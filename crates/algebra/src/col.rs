@@ -1,0 +1,105 @@
+//! Column identifiers.
+//!
+//! The compiler works with a small set of well-known columns — `iter`,
+//! `pos`, `item` are the backbone of the paper's relational sequence
+//! encoding (§3) — plus arbitrarily many fresh columns allocated during
+//! compilation. A [`Col`] is a plain `u32`; ids below [`Col::FIRST_FRESH`]
+//! are reserved for the well-known names.
+
+use std::fmt;
+
+/// A column name, interned as a small integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Col(pub u32);
+
+impl Col {
+    /// Iteration order (the paper's `iter` column).
+    pub const ITER: Col = Col(0);
+    /// Sequence order (the paper's `pos` column).
+    pub const POS: Col = Col(1);
+    /// Item value (node id or atomic value).
+    pub const ITEM: Col = Col(2);
+    /// Common auxiliary columns appearing in the paper's plans.
+    pub const POS1: Col = Col(3);
+    pub const ITER1: Col = Col(4);
+    pub const BIND: Col = Col(5);
+    pub const ORD: Col = Col(6);
+    pub const ITEM1: Col = Col(7);
+    pub const ITEM2: Col = Col(8);
+    pub const RES: Col = Col(9);
+    pub const OUTER: Col = Col(10);
+    pub const INNER: Col = Col(11);
+
+    /// First id handed out by [`crate::dag::Dag::fresh_col`].
+    pub const FIRST_FRESH: u32 = 32;
+
+    /// `order by` key value column for key index `i` (0 ≤ i < 8).
+    pub fn sort_key(i: usize) -> Col {
+        assert!(i < 8, "at most 8 order-by keys supported");
+        Col(16 + i as u32)
+    }
+
+    /// Join-helper column for `order by` key `i`.
+    pub fn sort_key_join(i: usize) -> Col {
+        assert!(i < 8, "at most 8 order-by keys supported");
+        Col(24 + i as u32)
+    }
+
+    /// Human-readable name (well-known columns get their paper names).
+    pub fn name(self) -> String {
+        match self {
+            Col::ITER => "iter".into(),
+            Col::POS => "pos".into(),
+            Col::ITEM => "item".into(),
+            Col::POS1 => "pos1".into(),
+            Col::ITER1 => "iter1".into(),
+            Col::BIND => "bind".into(),
+            Col::ORD => "ord".into(),
+            Col::ITEM1 => "item1".into(),
+            Col::ITEM2 => "item2".into(),
+            Col::RES => "res".into(),
+            Col::OUTER => "outer".into(),
+            Col::INNER => "inner".into(),
+            Col(n) => format!("c{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Col {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_names() {
+        assert_eq!(Col::ITER.name(), "iter");
+        assert_eq!(Col::POS.name(), "pos");
+        assert_eq!(Col::ITEM.name(), "item");
+        assert_eq!(Col(99).name(), "c99");
+    }
+
+    #[test]
+    fn well_known_ids_below_fresh_range() {
+        for c in [
+            Col::ITER,
+            Col::POS,
+            Col::ITEM,
+            Col::POS1,
+            Col::ITER1,
+            Col::BIND,
+            Col::ORD,
+            Col::ITEM1,
+            Col::ITEM2,
+            Col::RES,
+            Col::OUTER,
+            Col::INNER,
+        ] {
+            assert!(c.0 < Col::FIRST_FRESH);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Plan statistics: operator counts by kind.
+//!
+//! The paper reports plan sizes as evidence of the optimization's effect —
+//! Q6 under `ordered` has 19 operators of which 5 are `%` (Fig. 6a); under
+//! `unordered` all but one `%` become `#` (Fig. 6b); Q11's DAG shrinks from
+//! 235 to 141 operators after column dependency analysis (§4.1). This
+//! module computes our counterparts of those numbers.
+
+use crate::dag::{Dag, OpId};
+use crate::op::Op;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Operator census of one plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Total reachable operators.
+    pub total: usize,
+    /// Count per operator-kind name (e.g. `"%"`, `"#"`, `"⬡"`).
+    pub by_kind: BTreeMap<&'static str, usize>,
+}
+
+impl PlanStats {
+    /// Census of the plan rooted at `root`.
+    pub fn of(dag: &Dag, root: OpId) -> Self {
+        let mut stats = PlanStats::default();
+        for id in dag.reachable(root) {
+            stats.total += 1;
+            *stats.by_kind.entry(dag.op(id).kind_name()).or_insert(0) += 1;
+        }
+        stats
+    }
+
+    /// Number of order-materializing `%` (RowNum) operators.
+    pub fn rownums(&self) -> usize {
+        self.by_kind.get("%").copied().unwrap_or(0)
+    }
+
+    /// Number of free `#` (RowId) operators.
+    pub fn rowids(&self) -> usize {
+        self.by_kind.get("#").copied().unwrap_or(0)
+    }
+
+    /// Number of `⬡` step operators.
+    pub fn steps(&self) -> usize {
+        self.by_kind.get("⬡").copied().unwrap_or(0)
+    }
+
+    /// Count of operators of an arbitrary kind name.
+    pub fn count(&self, kind: &str) -> usize {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for PlanStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ops (", self.total)?;
+        let mut first = true;
+        for (k, n) in &self.by_kind {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}:{n}")?;
+            first = false;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Count how many `%` operators in the plan carry a non-trivial order
+/// specification (a `%` with an empty order list is "for free", §7).
+pub fn costly_rownums(dag: &Dag, root: OpId) -> usize {
+    dag.reachable(root)
+        .into_iter()
+        .filter(|&id| matches!(dag.op(id), Op::RowNum { order, .. } if !order.is_empty()))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::col::Col;
+    use crate::op::SortKey;
+    use crate::value::AValue;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut dag = Dag::new();
+        let l = dag.add(Op::Lit {
+            cols: vec![Col::ITER],
+            rows: vec![vec![AValue::Int(1)]],
+        });
+        let a = dag.add(Op::Attach {
+            input: l,
+            col: Col::ITEM,
+            value: AValue::Int(7),
+        });
+        let r = dag.add(Op::RowNum {
+            input: a,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let i = dag.add(Op::RowId {
+            input: r,
+            new: Col::POS1,
+        });
+        let s = PlanStats::of(&dag, i);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.rownums(), 1);
+        assert_eq!(s.rowids(), 1);
+        assert_eq!(s.count("lit"), 1);
+        assert_eq!(costly_rownums(&dag, i), 1);
+    }
+
+    #[test]
+    fn free_rownum_not_costly() {
+        let mut dag = Dag::new();
+        let l = dag.add(Op::Lit {
+            cols: vec![Col::ITER],
+            rows: vec![vec![AValue::Int(1)]],
+        });
+        let r = dag.add(Op::RowNum {
+            input: l,
+            new: Col::POS,
+            order: vec![],
+            part: None,
+        });
+        assert_eq!(costly_rownums(&dag, r), 0);
+        assert_eq!(PlanStats::of(&dag, r).rownums(), 1);
+    }
+}

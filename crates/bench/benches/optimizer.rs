@@ -1,0 +1,67 @@
+//! Optimizer-pass ablations: what each of the three rewrites (column
+//! dependency analysis, `%`-weakening, step merging) contributes to plan
+//! shrinkage, and what the analysis itself costs — the "design choices"
+//! benches DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exrquy::{QueryOptions, Session};
+use exrquy_opt::{optimize, OptOptions};
+use exrquy_xmark::query;
+
+fn plans(session: &mut Session, n: usize) -> (exrquy_algebra::Dag, exrquy_algebra::OpId) {
+    let mut opts = QueryOptions::order_indifferent();
+    opts.opt = OptOptions::disabled();
+    let plan = session.prepare(query(n), &opts).unwrap();
+    (plan.dag, plan.root)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut session = Session::new();
+    session.load_document("auction.xml", "<site/>").unwrap();
+
+    let mut group = c.benchmark_group("optimize_pass");
+    for n in [6usize, 10, 11] {
+        let (dag, root) = plans(&mut session, n);
+        let full = OptOptions::default();
+        let no_weaken = OptOptions {
+            weaken_rownum: false,
+            ..full
+        };
+        let no_merge = OptOptions {
+            merge_steps: false,
+            ..full
+        };
+        let cda_only = OptOptions {
+            weaken_rownum: false,
+            merge_steps: false,
+            ..full
+        };
+        let physical = OptOptions {
+            physical_order: true,
+            ..full
+        };
+        for (label, opts) in [
+            ("full", full),
+            ("no-weaken", no_weaken),
+            ("no-step-merge", no_merge),
+            ("cda-only", cda_only),
+            ("full+physical-order", physical),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("Q{n}")),
+                &opts,
+                |b, opts| {
+                    b.iter_batched(
+                        || dag.clone(),
+                        |mut d| optimize(&mut d, root, opts).0,
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! The cost asymmetry the whole paper exploits: `%` (RowNum — a blocking
+//! sort) vs `#` (RowId — "negligible cost or even free") vs the weakened
+//! `%⟨⟩` (criterion-free numbering, §7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exrquy_algebra::{AValue, Col, Dag, Op, OpId, SortKey};
+use exrquy_engine::{Engine, EngineOptions};
+use exrquy_xml::Store;
+use std::collections::HashMap;
+
+/// Build a `[iter, item]` literal with `n` rows, shuffled item values,
+/// `groups` distinct iterations.
+fn input(dag: &mut Dag, n: usize, groups: i64) -> OpId {
+    let mut rows = Vec::with_capacity(n);
+    // Deterministic pseudo-shuffle (xorshift) — no order correlation.
+    let mut x: i64 = 88172645463325252;
+    for i in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        rows.push(vec![
+            AValue::Int((i as i64) % groups),
+            AValue::Int(x % 1_000_000),
+        ]);
+    }
+    dag.add(Op::Lit {
+        cols: vec![Col::ITER, Col::ITEM],
+        rows,
+    })
+}
+
+fn run(dag: &Dag, root: OpId) -> usize {
+    let mut store = Store::new();
+    let mut engine = Engine::new(dag, &mut store, HashMap::new(), EngineOptions::default());
+    engine.eval(root).unwrap().nrows()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rownum_vs_rowid");
+    for &n in &[10_000usize, 100_000] {
+        let mut dag = Dag::new();
+        let src = input(&mut dag, n, 64);
+        let rownum = dag.add(Op::RowNum {
+            input: src,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let rowid = dag.add(Op::RowId {
+            input: src,
+            new: Col::POS,
+        });
+        let free_rownum = dag.add(Op::RowNum {
+            input: src,
+            new: Col::POS,
+            order: vec![],
+            part: Some(Col::ITER),
+        });
+        group.bench_with_input(BenchmarkId::new("percent-sort", n), &n, |b, _| {
+            b.iter(|| run(&dag, rownum))
+        });
+        group.bench_with_input(BenchmarkId::new("hash-free", n), &n, |b, _| {
+            b.iter(|| run(&dag, rowid))
+        });
+        group.bench_with_input(BenchmarkId::new("percent-grouped-free", n), &n, |b, _| {
+            b.iter(|| run(&dag, free_rownum))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

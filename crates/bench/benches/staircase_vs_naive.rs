@@ -1,0 +1,57 @@
+//! Staircase join vs the naive quadratic step algorithm — the step
+//! evaluation substrate of §3 ("several existing XPath step evaluation
+//! techniques may be plugged in to realize ⬡").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exrquy_xml::{axis, Axis, NamePool, NodeTest};
+use exrquy_xmark::{generate, XmarkConfig};
+
+fn bench(c: &mut Criterion) {
+    let xml = generate(&XmarkConfig::at_scale(0.002));
+    let mut pool = NamePool::new();
+    let doc = exrquy_xml::parse_document(&xml, &mut pool).unwrap();
+    let item = pool.lookup("item").unwrap();
+    // Context: the document root (the common near-root descendant scan).
+    let root_ctx = vec![0u32];
+    // Context: every element (a worst case for overlap pruning).
+    let all_elems: Vec<u32> = (0..doc.len() as u32)
+        .filter(|&p| doc.kind(p) == exrquy_xml::NodeKind::Element)
+        .collect();
+
+    let mut group = c.benchmark_group("step_descendant_item");
+    group.bench_with_input(BenchmarkId::new("staircase", "root"), &(), |b, _| {
+        b.iter(|| axis::step(&doc, &root_ctx, Axis::Descendant, NodeTest::Name(item)))
+    });
+    // Warm the per-name streams, then measure the TwigStack-style access.
+    let _ = doc.name_streams();
+    group.bench_with_input(BenchmarkId::new("name-stream", "root"), &(), |b, _| {
+        b.iter(|| axis::step_name_stream(&doc, &root_ctx, Axis::Descendant, NodeTest::Name(item)))
+    });
+    group.bench_with_input(BenchmarkId::new("naive", "root"), &(), |b, _| {
+        b.iter(|| axis::naive(&doc, &root_ctx, Axis::Descendant, NodeTest::Name(item)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("staircase", "all-elements"),
+        &(),
+        |b, _| b.iter(|| axis::step(&doc, &all_elems, Axis::Descendant, NodeTest::Name(item))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("name-stream", "all-elements"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                axis::step_name_stream(&doc, &all_elems, Axis::Descendant, NodeTest::Name(item))
+            })
+        },
+    );
+    group.finish();
+
+    let mut group = c.benchmark_group("step_child");
+    group.bench_with_input(BenchmarkId::new("staircase", "all-elements"), &(), |b, _| {
+        b.iter(|| axis::step(&doc, &all_elems, Axis::Child, NodeTest::Wildcard))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion companion to the `figure12` binary: per-query execution time
+//! under the two compiler configurations, on a fixed small XMark instance.
+//! (The paper-scale sweep with its 30 s cutoff lives in `--bin figure12`;
+//! this gives statistically solid numbers for a representative subset.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exrquy::QueryOptions;
+use exrquy_bench::xmark_session;
+use exrquy_xmark::query;
+
+fn bench(c: &mut Criterion) {
+    let (mut session, _) = xmark_session(0.005);
+    let mut group = c.benchmark_group("xmark");
+    group.sample_size(20);
+    // Q1 (lookup), Q6/Q7 (step merging outliers), Q8 (join), Q11 (the
+    // Table 2 query), Q19 (order by).
+    for n in [1usize, 6, 7, 8, 11, 19] {
+        for (label, opts) in [
+            ("baseline", QueryOptions::baseline()),
+            ("unordered", QueryOptions::order_indifferent()),
+        ] {
+            let plan = session.prepare(query(n), &opts).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("Q{n}")),
+                &plan,
+                |b, plan| b.iter(|| session.execute(plan).unwrap().items.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

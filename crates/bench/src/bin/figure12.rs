@@ -1,0 +1,121 @@
+//! Reproduction of the paper's **Figure 12**: observed speedup from order
+//! indifference over the complete XMark query set, across document sizes.
+//!
+//! The paper sweeps documents from 1 MB to 10 GB and reports speedups of
+//! 0–10 000 % (logarithmic outliers Q6/Q7 from step merging, Q11/Q12 from
+//! the removed iter→seq reorder). A speedup of 100 % means the
+//! order-indifferent plans execute twice as fast.
+//!
+//! Usage:
+//! `figure12 [--scales 0.001,0.01,0.1] [--runs 2] [--cutoff-ms 30000] [--queries 1..20]`
+//!
+//! Default scales 0.001/0.01/0.1 correspond to ≈0.1/1/10 MB-class
+//! instances on this generator (the paper's shape, laptop-sized); pass
+//! `--scales 1` for the 100 MB-class run.
+
+use exrquy::QueryOptions;
+use exrquy_bench::{best_of, fmt_bytes, xmark_session, Cli};
+use exrquy_xmark::{query, query_name};
+use std::time::Duration;
+
+fn main() {
+    let cli = Cli::new();
+    let scales: Vec<f64> = cli
+        .get("scales", String::from("0.001,0.01,0.1"))
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let runs = cli.get("runs", 2_usize);
+    let cutoff = Duration::from_millis(cli.get("cutoff-ms", 30_000_u64));
+    let queries: Vec<usize> = parse_queries(&cli.get("queries", String::from("1..20")));
+
+    println!("== Figure 12: speedup of order indifference on XMark ==");
+    println!("speedup = t_baseline / t_enabled - 1 (100 % ⇒ twice as fast)\n");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut header = vec!["query".to_string()];
+    let mut per_scale: Vec<Vec<Option<f64>>> = Vec::new();
+
+    for &scale in &scales {
+        let (mut session, bytes) = xmark_session(scale);
+        header.push(format!("{} ", fmt_bytes(bytes)));
+        eprintln!(
+            "scale {scale}: {} / {} nodes",
+            fmt_bytes(bytes),
+            session.store_nodes()
+        );
+        let mut col: Vec<Option<f64>> = Vec::new();
+        for &n in &queries {
+            let q = query(n);
+            let base = best_of(&mut session, q, &QueryOptions::baseline(), runs);
+            let speedup = match base {
+                Ok(tb) if tb <= cutoff => {
+                    let te = best_of(&mut session, q, &QueryOptions::order_indifferent(), runs)
+                        .expect("enabled run failed");
+                    Some(100.0 * (tb.as_secs_f64() / te.as_secs_f64().max(1e-9) - 1.0))
+                }
+                Ok(_) => None, // over cutoff (paper: 30 s interactive cutoff)
+                Err(e) => panic!("{}: baseline failed: {e}", query_name(n)),
+            };
+            eprintln!(
+                "  {:>4}: {}",
+                query_name(n),
+                speedup.map_or("(cutoff)".into(), |s| format!("{s:+.0} %"))
+            );
+            col.push(speedup);
+        }
+        per_scale.push(col);
+    }
+
+    for (qi, &n) in queries.iter().enumerate() {
+        let mut row = vec![query_name(n)];
+        for col in &per_scale {
+            row.push(match col[qi] {
+                Some(s) => format!("{s:+.0} %"),
+                None => "—".into(),
+            });
+        }
+        rows.push(row);
+    }
+
+    // Render the table.
+    println!();
+    let widths: Vec<usize> = (0..header.len())
+        .map(|c| {
+            rows.iter()
+                .map(|r| r[c].chars().count())
+                .chain(std::iter::once(header[c].chars().count()))
+                .max()
+                .unwrap()
+        })
+        .collect();
+    let print_row = |cells: &[String], widths: &[usize]| {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("| {} |", line.join(" | "));
+    };
+    print_row(&header, &widths);
+    for r in &rows {
+        print_row(r, &widths);
+    }
+    println!(
+        "\npaper shape: most queries gain 0–250 %; Q6/Q7 are logarithmic\n\
+         outliers (step merging); Q11/Q12 gain from the removed iter→seq\n\
+         reorder; '—' marks baseline runs over the cutoff."
+    );
+}
+
+fn parse_queries(spec: &str) -> Vec<usize> {
+    if let Some((a, b)) = spec.split_once("..") {
+        let a: usize = a.parse().unwrap_or(1);
+        let b: usize = b.parse().unwrap_or(20);
+        (a..=b).collect()
+    } else {
+        spec.split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect()
+    }
+}

@@ -1,0 +1,40 @@
+//! Per-operator-kind profile of one XMark query at one scale — the
+//! debugging companion to `table2`.
+//!
+//! Usage: `profile_query [--query 10] [--scale 0.02] [--baseline]`
+
+use exrquy::QueryOptions;
+use exrquy_bench::{fmt_bytes, xmark_session, Cli};
+use exrquy_xmark::query;
+
+fn main() {
+    let cli = Cli::new();
+    let n = cli.get("query", 10_usize);
+    let scale = cli.get("scale", 0.02_f64);
+    let opts = if cli.has("baseline") {
+        QueryOptions::baseline()
+    } else {
+        QueryOptions::order_indifferent()
+    };
+    let (mut session, bytes) = xmark_session(scale);
+    eprintln!("Q{n} at scale {scale} ({})", fmt_bytes(bytes));
+    let plan = session.prepare(query(n), &opts).expect("compiles");
+    eprintln!("plan: {}", plan.stats_final);
+    let out = session.execute(&plan).expect("executes");
+    eprintln!("{} result items", out.items.len());
+    let mut kinds: Vec<(&str, f64)> = out
+        .profile
+        .per_kind()
+        .iter()
+        .map(|(k, d)| (*k, d.as_secs_f64() * 1e3))
+        .collect();
+    kinds.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (k, ms) in kinds {
+        println!("{k:<12} {ms:>10.2} ms");
+    }
+    println!(
+        "{:<12} {:>10.2} ms",
+        "TOTAL",
+        out.profile.total().as_secs_f64() * 1e3
+    );
+}

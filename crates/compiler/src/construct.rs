@@ -1,0 +1,218 @@
+//! Node constructors: direct and computed element/attribute/text
+//! construction.
+//!
+//! Constructors realize order interaction 2© (sequence order establishes
+//! document order in the new fragment — the paper's Expression (3)): the
+//! content sequence encoding, `pos` included, feeds the `elem` operator,
+//! which writes the new fragment in that order.
+
+use crate::{CResult, CompileError, Compiler};
+use exrquy_algebra::{AValue, Col, FunKind, Op, OpId};
+use exrquy_frontend::{AttrPart, DirAttr, ElemContent, Expr};
+use std::rc::Rc;
+
+impl Compiler<'_> {
+    pub(crate) fn compile_constructor(&mut self, e: &Expr) -> CResult {
+        match e {
+            Expr::DirElement {
+                name,
+                attrs,
+                content,
+            } => {
+                let mut parts: Vec<OpId> = Vec::new();
+                for a in attrs {
+                    parts.push(self.compile_dir_attr(a)?);
+                }
+                for c in content {
+                    let q = match c {
+                        ElemContent::Text(t) => {
+                            self.const_item(AValue::Str(Rc::from(t.as_str())))
+                        }
+                        ElemContent::Expr(e) => self.compile(e)?,
+                    };
+                    parts.push(q);
+                }
+                // Keep the content-part provenance (`ord`): adjacent
+                // atomics merge space-separated only *within* one enclosed
+                // expression.
+                let content_seq = self.concat_content_parts(&parts);
+                self.emit_element(name, content_seq)
+            }
+            Expr::ElemConstructor { name, content } => {
+                let q = self.compile(content)?;
+                let tagged = self.concat_content_parts(&[q]);
+                self.emit_element(name, tagged)
+            }
+            Expr::AttrConstructor { name, value } => {
+                let q = self.compile(value)?;
+                let joined = self.string_join(q);
+                let values = self.dag.add(Op::Project {
+                    input: joined,
+                    cols: vec![(Col::ITER, Col::ITER), (Col::ITEM, Col::ITEM1)],
+                });
+                let names = self.const_name_table(name);
+                let attr = self.dag.add(Op::Attr { names, values });
+                let with_pos = self.dag.add(Op::Attach {
+                    input: attr,
+                    col: Col::POS,
+                    value: AValue::Int(1),
+                });
+                Ok(self.canonical(with_pos))
+            }
+            Expr::TextConstructor(value) => {
+                let q = self.compile(value)?;
+                let joined = self.string_join(q);
+                let content = self.dag.add(Op::Project {
+                    input: joined,
+                    cols: vec![(Col::ITER, Col::ITER), (Col::ITEM, Col::ITEM1)],
+                });
+                let text = self.dag.add(Op::TextNode { content });
+                let with_pos = self.dag.add(Op::Attach {
+                    input: text,
+                    col: Col::POS,
+                    value: AValue::Int(1),
+                });
+                Ok(self.canonical(with_pos))
+            }
+            other => Err(CompileError(format!(
+                "compile_constructor on {other:?}"
+            ))),
+        }
+    }
+
+    /// Like `concat_sequences` but keeps the part tag as an `ord` column
+    /// (`[iter, pos, item, ord]`) — the element constructor uses it for
+    /// the atomic-spacing rule.
+    fn concat_content_parts(&mut self, qs: &[OpId]) -> OpId {
+        if qs.is_empty() {
+            return self.dag.add(Op::Lit {
+                cols: vec![Col::ITER, Col::POS, Col::ITEM, Col::ORD],
+                rows: vec![],
+            });
+        }
+        let mut tagged = Vec::with_capacity(qs.len());
+        for (i, &q) in qs.iter().enumerate() {
+            tagged.push(self.dag.add(Op::Attach {
+                input: q,
+                col: Col::ORD,
+                value: AValue::Int(i as i64 + 1),
+            }));
+        }
+        let mut u = tagged[0];
+        for &t in &tagged[1..] {
+            u = self.dag.add(Op::Union { l: u, r: t });
+        }
+        let renum = self.dag.add(Op::RowNum {
+            input: u,
+            new: Col::POS1,
+            order: vec![
+                exrquy_algebra::SortKey::asc(Col::ORD),
+                exrquy_algebra::SortKey::asc(Col::POS),
+            ],
+            part: Some(Col::ITER),
+        });
+        self.dag.add(Op::Project {
+            input: renum,
+            cols: vec![
+                (Col::ITER, Col::ITER),
+                (Col::POS, Col::POS1),
+                (Col::ITEM, Col::ITEM),
+                (Col::ORD, Col::ORD),
+            ],
+        })
+    }
+
+    /// `loop × item|name` — the per-iteration constructor name table.
+    fn const_name_table(&mut self, name: &str) -> OpId {
+        let lp = self.cur_loop();
+        self.dag.add(Op::Attach {
+            input: lp,
+            col: Col::ITEM,
+            value: AValue::Str(Rc::from(name)),
+        })
+    }
+
+    fn emit_element(&mut self, name: &str, content: OpId) -> CResult {
+        let names = self.const_name_table(name);
+        let elem = self.dag.add(Op::Element { names, content });
+        let with_pos = self.dag.add(Op::Attach {
+            input: elem,
+            col: Col::POS,
+            value: AValue::Int(1),
+        });
+        Ok(self.canonical(with_pos))
+    }
+
+    /// A direct attribute with a value template: literal runs and enclosed
+    /// expressions concatenate into one string per iteration.
+    fn compile_dir_attr(&mut self, attr: &DirAttr) -> CResult {
+        let mut part_tables: Vec<OpId> = Vec::new();
+        for p in &attr.value {
+            let t = match p {
+                AttrPart::Lit(s) => {
+                    let lp = self.cur_loop();
+                    self.dag.add(Op::Attach {
+                        input: lp,
+                        col: Col::ITEM1,
+                        value: AValue::Str(Rc::from(s.as_str())),
+                    })
+                }
+                AttrPart::Expr(e) => {
+                    let q = self.compile(e)?;
+                    self.string_join(q)
+                }
+            };
+            part_tables.push(t);
+        }
+        // Concatenate the parts per iteration.
+        let value = match part_tables.len() {
+            0 => {
+                let lp = self.cur_loop();
+                self.dag.add(Op::Attach {
+                    input: lp,
+                    col: Col::ITEM1,
+                    value: AValue::Str(Rc::from("")),
+                })
+            }
+            1 => part_tables[0],
+            _ => {
+                let mut acc = part_tables[0];
+                for &next in &part_tables[1..] {
+                    let renamed = self.dag.add(Op::Project {
+                        input: next,
+                        cols: vec![(Col::ITER1, Col::ITER), (Col::ITEM2, Col::ITEM1)],
+                    });
+                    let joined = self.dag.add(Op::EquiJoin {
+                        l: acc,
+                        r: renamed,
+                        lcol: Col::ITER,
+                        rcol: Col::ITER1,
+                    });
+                    let cat = self.dag.add(Op::Fun {
+                        input: joined,
+                        new: Col::RES,
+                        kind: FunKind::Concat,
+                        args: vec![Col::ITEM1, Col::ITEM2],
+                    });
+                    acc = self.dag.add(Op::Project {
+                        input: cat,
+                        cols: vec![(Col::ITER, Col::ITER), (Col::ITEM1, Col::RES)],
+                    });
+                }
+                acc
+            }
+        };
+        let values = self.dag.add(Op::Project {
+            input: value,
+            cols: vec![(Col::ITER, Col::ITER), (Col::ITEM, Col::ITEM1)],
+        });
+        let names = self.const_name_table(&attr.name);
+        let a = self.dag.add(Op::Attr { names, values });
+        let with_pos = self.dag.add(Op::Attach {
+            input: a,
+            col: Col::POS,
+            value: AValue::Int(1),
+        });
+        Ok(self.canonical(with_pos))
+    }
+}

@@ -1,0 +1,147 @@
+//! `xq` — command-line XQuery over local XML files.
+//!
+//! ```sh
+//! xq --doc auction.xml=path/to/auction.xml 'fn:count(doc("auction.xml")//item)'
+//! xq --doc d.xml=data.xml --explain 'unordered { doc("d.xml")//(a|b) }'
+//! xq --query-file q.xq --doc auction.xml=auction.xml --baseline --time
+//! ```
+//!
+//! Flags:
+//!
+//! ```text
+//!   --doc <url>=<path>   load an XML file under the fn:doc() URL (repeatable)
+//!   --query-file <path>  read the query from a file instead of the argument
+//!   --baseline           order-aware compiler (no order indifference)
+//!   --unordered          force ordering mode unordered + full analysis
+//!   --explain            print the plan instead of executing
+//!   --sql                print the SQL:1999 translation instead of executing
+//!   --time               print compile/execute wall-clock to stderr
+//!   --profile            print the per-phase execution profile to stderr
+//! ```
+
+use exrquy::{QueryOptions, Session};
+use std::process::exit;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xq [--doc url=path]… [--baseline|--unordered] [--explain] \
+         [--time] [--profile] (<query> | --query-file <path>)"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut docs: Vec<(String, String)> = Vec::new();
+    let mut query: Option<String> = None;
+    let mut opts = QueryOptions::honor_prolog();
+    let mut explain = false;
+    let mut sql = false;
+    let mut time = false;
+    let mut profile = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--doc" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let Some((url, path)) = spec.split_once('=') else {
+                    eprintln!("--doc expects url=path, got `{spec}`");
+                    exit(2);
+                };
+                docs.push((url.to_string(), path.to_string()));
+            }
+            "--query-file" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(2);
+                });
+                query = Some(text);
+            }
+            "--baseline" => opts = QueryOptions::baseline(),
+            "--unordered" => opts = QueryOptions::order_indifferent(),
+            "--explain" => explain = true,
+            "--sql" => sql = true,
+            "--time" => time = true,
+            "--profile" => profile = true,
+            "--help" | "-h" => usage(),
+            other if query.is_none() && !other.starts_with('-') => {
+                query = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(query) = query else { usage() };
+
+    let mut session = Session::new();
+    for (url, path) in &docs {
+        let xml = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2);
+        });
+        let started = Instant::now();
+        if let Err(e) = session.load_document(url, &xml) {
+            eprintln!("loading {path}: {e}");
+            exit(1);
+        }
+        if time {
+            eprintln!(
+                "loaded {url} ({} bytes) in {:.1} ms",
+                xml.len(),
+                started.elapsed().as_secs_f64() * 1e3
+            );
+        }
+    }
+
+    let started = Instant::now();
+    let plan = match session.prepare(&query, &opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    };
+    let compile_time = started.elapsed();
+    if time {
+        eprintln!(
+            "compiled in {:.1} ms — plan {} (initial {})",
+            compile_time.as_secs_f64() * 1e3,
+            plan.stats_final,
+            plan.stats_initial
+        );
+    }
+
+    if explain {
+        print!("{}", plan.plan_text());
+        return;
+    }
+    if sql {
+        println!("{}", plan.to_sql());
+        return;
+    }
+
+    let started = Instant::now();
+    match session.execute(&plan) {
+        Ok(out) => {
+            if time {
+                eprintln!(
+                    "executed in {:.1} ms — {} items",
+                    started.elapsed().as_secs_f64() * 1e3,
+                    out.items.len()
+                );
+            }
+            if profile {
+                eprint!("{}", out.profile.render_breakdown(&plan.dag));
+            }
+            println!("{}", out.to_xml());
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Query results: serialized items, independent of the node store's
+//! lifetime (constructed fragments are released after each execution).
+
+use std::fmt;
+
+/// One item of a query result, with nodes already serialized to XML.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultItem {
+    /// A node, rendered as XML text.
+    Node(String),
+    Int(i64),
+    Dbl(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl ResultItem {
+    /// The serialization contribution of this item.
+    pub fn render(&self) -> String {
+        match self {
+            ResultItem::Node(x) => x.clone(),
+            ResultItem::Int(i) => i.to_string(),
+            ResultItem::Dbl(d) => exrquy_engine::item::fmt_double(*d),
+            ResultItem::Str(s) => s.clone(),
+            ResultItem::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Is this a node item?
+    pub fn is_node(&self) -> bool {
+        matches!(self, ResultItem::Node(_))
+    }
+}
+
+impl fmt::Display for ResultItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// XQuery-style sequence serialization: adjacent atomic values are
+/// separated by a single space; nodes serialize as XML.
+pub fn serialize_sequence(items: &[ResultItem]) -> String {
+    let mut out = String::new();
+    let mut prev_atomic = false;
+    for item in items {
+        let atomic = !item.is_node();
+        if atomic && prev_atomic {
+            out.push(' ');
+        }
+        out.push_str(&item.render());
+        prev_atomic = atomic;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomics_are_space_separated() {
+        let items = vec![
+            ResultItem::Int(1),
+            ResultItem::Str("x".into()),
+            ResultItem::Node("<a/>".into()),
+            ResultItem::Int(2),
+            ResultItem::Dbl(2.5),
+        ];
+        assert_eq!(serialize_sequence(&items), "1 x<a/>2 2.5");
+    }
+
+    #[test]
+    fn renders_each_kind() {
+        assert_eq!(ResultItem::Bool(true).render(), "true");
+        assert_eq!(ResultItem::Dbl(5000.0).render(), "5000");
+        assert_eq!(ResultItem::Node("<a/>".into()).render(), "<a/>");
+    }
+}

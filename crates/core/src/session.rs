@@ -1,0 +1,408 @@
+//! The query session: document registry + the parse→normalize→compile→
+//! optimize→execute pipeline.
+
+use crate::result::{serialize_sequence, ResultItem};
+use exrquy_algebra::{Col, Dag, OpId, PlanStats};
+use exrquy_compiler::{CompileError, CompiledPlan, Compiler};
+use exrquy_engine::{Engine, EngineOptions, Item, Profile, StepAlgo};
+use exrquy_frontend::{normalize_opts, parse_module, OrderingMode, XqError};
+use exrquy_opt::{optimize, OptOptions, OptReport};
+use exrquy_xml::{serialize, NodeId, ParseError, Store};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Any failure along the pipeline.
+#[derive(Debug)]
+pub enum Error {
+    Xml(ParseError),
+    Parse(XqError),
+    Compile(CompileError),
+    Eval(exrquy_engine::EvalError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml(e) => write!(f, "{e}"),
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Compile(e) => write!(f, "{e}"),
+            Error::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compiler/runtime configuration for one query.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Run the order-indifference normalization (Rules FN:COUNT, QUANT,
+    /// general-comparison wrapping, `order by` flagging). When `false`,
+    /// `fn:unordered()` degrades to the identity function (§6 baseline).
+    pub exploit: bool,
+    /// Override the prolog's `declare ordering`.
+    pub ordering: Option<OrderingMode>,
+    /// Plan optimization (column dependency analysis etc.).
+    pub opt: OptOptions,
+    /// Step algorithm selection.
+    pub step_algo: StepAlgo,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions::order_indifferent()
+    }
+}
+
+impl QueryOptions {
+    /// The paper's §5 "order indifference enabled" configuration:
+    /// normalization on, ordering mode `unordered`, full optimization.
+    pub fn order_indifferent() -> Self {
+        QueryOptions {
+            exploit: true,
+            ordering: Some(OrderingMode::Unordered),
+            opt: OptOptions::default(),
+            step_algo: StepAlgo::Staircase,
+        }
+    }
+
+    /// The unmodified, fully order-aware compiler (the baseline current
+    /// processors implement per §6).
+    pub fn baseline() -> Self {
+        QueryOptions {
+            exploit: false,
+            ordering: Some(OrderingMode::Ordered),
+            opt: OptOptions::disabled(),
+            step_algo: StepAlgo::Staircase,
+        }
+    }
+
+    /// Honor the query's own prolog (`declare ordering`), exploitation and
+    /// optimization on — the spec-faithful default for library users.
+    pub fn honor_prolog() -> Self {
+        QueryOptions {
+            exploit: true,
+            ordering: None,
+            opt: OptOptions::default(),
+            step_algo: StepAlgo::Staircase,
+        }
+    }
+}
+
+/// A compiled, optimized, reusable query plan.
+#[derive(Debug)]
+pub struct Prepared {
+    pub dag: Dag,
+    pub root: OpId,
+    /// Plan statistics before optimization.
+    pub stats_initial: PlanStats,
+    /// Plan statistics of the final plan.
+    pub stats_final: PlanStats,
+    pub opt_report: OptReport,
+    /// Snapshot of the name pool for readable plan rendering.
+    names: Vec<String>,
+    step_algo: StepAlgo,
+}
+
+impl Prepared {
+    fn resolver(&self) -> impl Fn(exrquy_xml::NameId) -> String + '_ {
+        move |id: exrquy_xml::NameId| {
+            self.names
+                .get(id.0 as usize)
+                .cloned()
+                .unwrap_or_else(|| id.to_string())
+        }
+    }
+
+    /// Indented text rendering of the plan.
+    pub fn plan_text(&self) -> String {
+        exrquy_algebra::dot::to_text_named(&self.dag, self.root, &self.resolver())
+    }
+
+    /// Graphviz rendering of the plan.
+    pub fn plan_dot(&self, title: &str) -> String {
+        exrquy_algebra::dot::to_dot(&self.dag, self.root, title)
+    }
+
+    /// SQL:1999 rendering of the plan (the "XQuery on SQL Hosts" mapping;
+    /// see `exrquy-sqlgen`): one `WITH` chain, `%` as
+    /// `ROW_NUMBER() OVER (…)`, steps as staircase-join predicates over a
+    /// shredded `doc_nodes` table.
+    pub fn to_sql(&self) -> String {
+        exrquy_sqlgen::to_sql(
+            &self.dag,
+            self.root,
+            &exrquy_sqlgen::SqlOptions {
+                names: self.names.clone(),
+                pretty: true,
+            },
+        )
+    }
+}
+
+/// Alias kept for discoverability: `explain` returns the same structure.
+pub type Explain = Prepared;
+
+/// Result of one query execution.
+#[derive(Debug)]
+pub struct QueryOutput {
+    pub items: Vec<ResultItem>,
+    /// Per-operator-kind timings of this execution.
+    pub profile: Profile,
+}
+
+impl QueryOutput {
+    /// XQuery serialization of the result sequence.
+    pub fn to_xml(&self) -> String {
+        serialize_sequence(&self.items)
+    }
+}
+
+/// A document store plus query pipeline.
+pub struct Session {
+    store: Store,
+    docs: HashMap<String, NodeId>,
+    base_frags: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Empty session.
+    pub fn new() -> Self {
+        Session {
+            store: Store::new(),
+            docs: HashMap::new(),
+            base_frags: 0,
+        }
+    }
+
+    /// Parse and register `xml` under `url` (the name `fn:doc()` uses).
+    ///
+    /// ```
+    /// let mut s = exrquy::Session::new();
+    /// s.load_document("d.xml", "<r><x/></r>").unwrap();
+    /// assert_eq!(s.query(r#"fn:count(doc("d.xml")//x)"#).unwrap().to_xml(), "1");
+    /// ```
+    pub fn load_document(&mut self, url: &str, xml: &str) -> Result<(), Error> {
+        let node = self.store.add_parsed(xml).map_err(Error::Xml)?;
+        self.docs.insert(url.to_string(), node);
+        self.base_frags = self.store.len();
+        Ok(())
+    }
+
+    /// Number of nodes across loaded documents.
+    pub fn store_nodes(&self) -> usize {
+        self.store.total_nodes()
+    }
+
+    /// Access the shared store (e.g. for inspecting loaded documents).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Parse, normalize, compile and optimize `query` without executing.
+    ///
+    /// A [`Prepared`] plan can be executed repeatedly and inspected:
+    ///
+    /// ```
+    /// use exrquy::{QueryOptions, Session};
+    /// let mut s = Session::new();
+    /// s.load_document("d.xml", "<r><x/><x/></r>").unwrap();
+    /// let plan = s
+    ///     .prepare(r#"fn:count(doc("d.xml")//x)"#, &QueryOptions::order_indifferent())
+    ///     .unwrap();
+    /// // The paper's machinery at work: the optimized plan carries no
+    /// // order-materializing % operators for this aggregate query.
+    /// assert_eq!(plan.stats_final.rownums(), 0);
+    /// for _ in 0..2 {
+    ///     assert_eq!(s.execute(&plan).unwrap().to_xml(), "2");
+    /// }
+    /// ```
+    pub fn prepare(&mut self, query: &str, opts: &QueryOptions) -> Result<Prepared, Error> {
+        let mut module = parse_module(query).map_err(Error::Parse)?;
+        if let Some(mode) = opts.ordering {
+            module.ordering = mode;
+        }
+        let module = normalize_opts(&module, opts.exploit);
+        let CompiledPlan { mut dag, root } = Compiler::new(&mut self.store)
+            .compile_module(&module)
+            .map_err(Error::Compile)?;
+        let stats_initial = PlanStats::of(&dag, root);
+        let (root, opt_report) = optimize(&mut dag, root, &opts.opt);
+        let stats_final = PlanStats::of(&dag, root);
+        Ok(Prepared {
+            dag,
+            root,
+            stats_initial,
+            stats_final,
+            opt_report,
+            names: self.store.pool.names().to_vec(),
+            step_algo: opts.step_algo,
+        })
+    }
+
+    /// Execute a prepared plan. Fragments constructed during evaluation
+    /// are released afterwards (results are serialized eagerly).
+    pub fn execute(&mut self, plan: &Prepared) -> Result<QueryOutput, Error> {
+        let engine_opts = EngineOptions {
+            step_algo: plan.step_algo,
+        };
+        let mut engine = Engine::new(&plan.dag, &mut self.store, self.docs.clone(), engine_opts);
+        let result = engine.eval(plan.root).map_err(Error::Eval)?;
+        // Rows in pos order; pos values need not be dense or start at 1 —
+        // only their ranks matter.
+        let pos = result.col(Col::POS).clone();
+        let item = result.col(Col::ITEM).clone();
+        let mut order: Vec<usize> = (0..result.nrows()).collect();
+        order.sort_by(|&a, &b| pos.get(a).sort_cmp(&pos.get(b)));
+        let profile = engine.profile.clone();
+        drop(engine);
+        let items = order
+            .into_iter()
+            .map(|r| match item.get(r) {
+                Item::Node(n) => {
+                    ResultItem::Node(serialize::node_to_string(&self.store, n))
+                }
+                Item::Int(i) => ResultItem::Int(i),
+                Item::Dbl(d) => ResultItem::Dbl(d),
+                Item::Str(s) => ResultItem::Str(s.to_string()),
+                Item::Bool(b) => ResultItem::Bool(b),
+            })
+            .collect();
+        self.store.truncate_frags(self.base_frags);
+        Ok(QueryOutput { items, profile })
+    }
+
+    /// One-shot: prepare + execute with the given options.
+    ///
+    /// ```
+    /// use exrquy::{QueryOptions, Session};
+    /// let mut s = Session::new();
+    /// s.load_document("t.xml", "<a><b><c/><d/></b><c/></a>").unwrap();
+    /// // The paper's Expression (1) under the order-aware baseline:
+    /// let out = s
+    ///     .query_with(r#"doc("t.xml")//(c|d)"#, &QueryOptions::baseline())
+    ///     .unwrap();
+    /// assert_eq!(out.to_xml(), "<c/><d/><c/>"); // document order
+    /// ```
+    pub fn query_with(&mut self, query: &str, opts: &QueryOptions) -> Result<QueryOutput, Error> {
+        let plan = self.prepare(query, opts)?;
+        self.execute(&plan)
+    }
+
+    /// One-shot with the spec-faithful default options (prolog honored,
+    /// order indifference exploited).
+    pub fn query(&mut self, query: &str) -> Result<QueryOutput, Error> {
+        self.query_with(query, &QueryOptions::honor_prolog())
+    }
+
+    /// Compile only — the plan inspection entry point.
+    pub fn explain(&mut self, query: &str, opts: &QueryOptions) -> Result<Explain, Error> {
+        self.prepare(query, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.load_document("t.xml", "<a><b><c/><d/></b><c/></a>").unwrap();
+        s
+    }
+
+    #[test]
+    fn literal_queries() {
+        let mut s = Session::new();
+        assert_eq!(s.query("1 + 2").unwrap().to_xml(), "3");
+        assert_eq!(s.query("(1, 2, 3)").unwrap().to_xml(), "1 2 3");
+        assert_eq!(s.query("\"hi\"").unwrap().to_xml(), "hi");
+        assert_eq!(s.query("()").unwrap().to_xml(), "");
+    }
+
+    #[test]
+    fn paths_in_document_order() {
+        let mut s = session();
+        // The paper's Expression (1): document order c1, d, c2.
+        let out = s
+            .query_with(
+                r#"doc("t.xml")//(c|d)"#,
+                &QueryOptions::baseline(),
+            )
+            .unwrap();
+        assert_eq!(out.to_xml(), "<c/><d/><c/>");
+    }
+
+    #[test]
+    fn unordered_mode_preserves_multiset() {
+        let mut s = session();
+        let q = r#"doc("t.xml")//(c|d)"#;
+        let ordered = s.query_with(q, &QueryOptions::baseline()).unwrap();
+        let unordered = s
+            .query_with(q, &QueryOptions::order_indifferent())
+            .unwrap();
+        let mut a: Vec<String> = ordered.items.iter().map(|i| i.render()).collect();
+        let mut b: Vec<String> = unordered.items.iter().map(|i| i.render()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flwor_and_constructors() {
+        let mut s = Session::new();
+        // The paper's Expression (4).
+        let out = s
+            .query_with(
+                r#"for $x at $p in ("a","b","c") return <e pos="{ $p }">{ $x }</e>"#,
+                &QueryOptions::baseline(),
+            )
+            .unwrap();
+        assert_eq!(
+            out.to_xml(),
+            r#"<e pos="1">a</e><e pos="2">b</e><e pos="3">c</e>"#
+        );
+    }
+
+    #[test]
+    fn count_exists_empty() {
+        let mut s = session();
+        assert_eq!(
+            s.query(r#"fn:count(doc("t.xml")//c)"#).unwrap().to_xml(),
+            "2"
+        );
+        assert_eq!(
+            s.query(r#"fn:exists(doc("t.xml")//z)"#).unwrap().to_xml(),
+            "false"
+        );
+        assert_eq!(
+            s.query(r#"fn:empty(doc("t.xml")//z)"#).unwrap().to_xml(),
+            "true"
+        );
+    }
+
+    #[test]
+    fn plan_stats_shrink_under_optimization() {
+        let mut s = session();
+        let q = r#"fn:count(doc("t.xml")//c)"#;
+        let plan = s.prepare(q, &QueryOptions::order_indifferent()).unwrap();
+        assert!(plan.stats_final.total < plan.stats_initial.total);
+        assert_eq!(plan.stats_final.rownums(), 0, "{}", plan.plan_text());
+    }
+
+    #[test]
+    fn constructed_fragments_are_released() {
+        let mut s = session();
+        let before = s.store().len();
+        let _ = s
+            .query(r#"for $c in doc("t.xml")//c return <e>{ $c }</e>"#)
+            .unwrap();
+        assert_eq!(s.store().len(), before);
+    }
+}

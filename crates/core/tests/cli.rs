@@ -1,0 +1,76 @@
+//! End-to-end tests of the `xq` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn xq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xq"))
+}
+
+fn write_doc(name: &str, xml: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("exrquy-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(xml.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn runs_a_query_over_a_file() {
+    let doc = write_doc("cli1.xml", "<r><a>1</a><a>2</a></r>");
+    let out = xq()
+        .arg("--doc")
+        .arg(format!("d.xml={}", doc.display()))
+        .arg(r#"fn:sum(doc("d.xml")//a)"#)
+        .output()
+        .expect("xq runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}
+
+#[test]
+fn explain_prints_a_plan() {
+    let doc = write_doc("cli2.xml", "<r/>");
+    let out = xq()
+        .arg("--doc")
+        .arg(format!("d.xml={}", doc.display()))
+        .arg("--explain")
+        .arg("--unordered")
+        .arg(r#"fn:count(doc("d.xml")//x)"#)
+        .output()
+        .expect("xq runs");
+    assert!(out.status.success());
+    let plan = String::from_utf8_lossy(&out.stdout);
+    assert!(plan.contains("serialize"), "{plan}");
+    assert!(plan.contains("⬡"), "{plan}");
+}
+
+#[test]
+fn reports_errors_with_nonzero_exit() {
+    let out = xq().arg("$unbound").output().expect("xq runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unbound variable"));
+
+    let out = xq().output().expect("xq runs");
+    assert_eq!(out.status.code(), Some(2)); // usage
+}
+
+#[test]
+fn baseline_flag_and_query_file() {
+    let doc = write_doc("cli3.xml", "<a><b><c/><d/></b><c/></a>");
+    let qfile = write_doc("cli3.xq", r#"doc("d.xml")//(c|d)"#);
+    let out = xq()
+        .arg("--doc")
+        .arg(format!("d.xml={}", doc.display()))
+        .arg("--baseline")
+        .arg("--query-file")
+        .arg(qfile.display().to_string())
+        .output()
+        .expect("xq runs");
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "<c/><d/><c/>"
+    );
+}

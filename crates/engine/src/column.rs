@@ -1,0 +1,121 @@
+//! Columns: typed value vectors, `Rc`-shared between tables.
+//!
+//! Two physical representations cover the plans' needs: dense `i64`
+//! columns (`iter`, `pos`, `bind`, row ids — the hot sort/join keys) and
+//! generic [`Item`] columns. Booleans ride in `Item` columns; selections
+//! read them through [`Column::get`].
+
+use crate::item::Item;
+use std::rc::Rc;
+
+/// A column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Int(Vec<i64>),
+    Item(Vec<Item>),
+}
+
+impl Column {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Item(v) => v.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at `i` as an [`Item`].
+    pub fn get(&self, i: usize) -> Item {
+        match self {
+            Column::Int(v) => Item::Int(v[i]),
+            Column::Item(v) => v[i].clone(),
+        }
+    }
+
+    /// Integer view at `i`; panics if the value is not integral (engine
+    /// invariant for `iter`/`pos`-class columns).
+    pub fn get_int(&self, i: usize) -> i64 {
+        match self {
+            Column::Int(v) => v[i],
+            Column::Item(v) => match &v[i] {
+                Item::Int(n) => *n,
+                other => panic!("expected integer column value, found {other:?}"),
+            },
+        }
+    }
+
+    /// Materialize as a plain `i64` vector (for columns known integral).
+    pub fn to_int_vec(&self) -> Vec<i64> {
+        match self {
+            Column::Int(v) => v.clone(),
+            Column::Item(v) => v
+                .iter()
+                .map(|it| match it {
+                    Item::Int(n) => *n,
+                    other => panic!("expected integer column value, found {other:?}"),
+                })
+                .collect(),
+        }
+    }
+
+    /// Gather `self[idx[i]]` into a new column.
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
+            Column::Item(v) => Column::Item(idx.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Append `other`'s values (schema alignment is the table layer's job).
+    pub fn append(&self, other: &Column) -> Column {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => {
+                let mut v = a.clone();
+                v.extend_from_slice(b);
+                Column::Int(v)
+            }
+            (a, b) => {
+                let mut v: Vec<Item> = (0..a.len()).map(|i| a.get(i)).collect();
+                v.extend((0..b.len()).map(|i| b.get(i)));
+                Column::Item(v)
+            }
+        }
+    }
+}
+
+/// Shared column handle.
+pub type ColRef = Rc<Column>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_and_append() {
+        let c = Column::Int(vec![10, 20, 30]);
+        assert_eq!(c.gather(&[2, 0]), Column::Int(vec![30, 10]));
+        let d = Column::Item(vec![Item::str("x")]);
+        let e = c.append(&d);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.get(0), Item::Int(10));
+        assert_eq!(e.get(3), Item::str("x"));
+    }
+
+    #[test]
+    fn int_views() {
+        let c = Column::Item(vec![Item::Int(5)]);
+        assert_eq!(c.get_int(0), 5);
+        assert_eq!(c.to_int_vec(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected integer")]
+    fn get_int_rejects_non_integers() {
+        Column::Item(vec![Item::str("x")]).get_int(0);
+    }
+}

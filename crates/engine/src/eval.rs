@@ -1,0 +1,1338 @@
+//! The operator evaluator.
+//!
+//! [`Engine::eval`] materializes the table of every operator reachable
+//! from the requested root, bottom-up in topological order, memoizing per
+//! [`OpId`] (the DAG is shared; shared subplans run once). Each
+//! operator's wall-clock time is added to the [`Profile`].
+
+use crate::column::Column;
+use crate::funs::{self, DynError};
+use crate::item::{GroupKey, Item};
+use crate::profile::Profile;
+use crate::table::Table;
+use exrquy_algebra::{AValue, AggrKind, Col, Dag, FunKind, Op, OpId};
+use exrquy_xml::tree::NodeKind;
+use exrquy_xml::{axis, NodeId, Store, TreeBuilder};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Runtime evaluation error.
+#[derive(Debug, Clone)]
+pub struct EvalError(pub String);
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<DynError> for EvalError {
+    fn from(e: DynError) -> Self {
+        EvalError(e.0)
+    }
+}
+
+/// Step-operator algorithm selection (§3: "several existing XPath step
+/// evaluation techniques may be plugged in to realize ⬡").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepAlgo {
+    /// Staircase join \[Grust et al., VLDB 2003\] — the MonetDB/XQuery
+    /// choice and our default.
+    #[default]
+    Staircase,
+    /// Per-name node streams (TwigStack-style tag-name access, paper §1)
+    /// for named tests; staircase elsewhere.
+    NameStream,
+    /// The quadratic reference implementation (differential testing).
+    Naive,
+}
+
+/// Evaluator knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOptions {
+    /// Which algorithm realizes the step operator `⬡`.
+    pub step_algo: StepAlgo,
+}
+
+/// One query execution context.
+pub struct Engine<'d, 's> {
+    dag: &'d Dag,
+    /// Node store: pre-loaded documents plus fragments constructed during
+    /// evaluation. Fragments created by node constructors are appended;
+    /// callers may truncate back to the base length between queries.
+    pub store: &'s mut Store,
+    docs: HashMap<String, NodeId>,
+    cache: HashMap<OpId, Rc<Table>>,
+    /// Per-kind timing of this execution.
+    pub profile: Profile,
+    opts: EngineOptions,
+}
+
+impl<'d, 's> Engine<'d, 's> {
+    /// Create an engine over `dag` with the given store and document
+    /// registry (`fn:doc` URL → root node).
+    pub fn new(
+        dag: &'d Dag,
+        store: &'s mut Store,
+        docs: HashMap<String, NodeId>,
+        opts: EngineOptions,
+    ) -> Self {
+        Engine {
+            dag,
+            store,
+            docs,
+            cache: HashMap::new(),
+            profile: Profile::default(),
+            opts,
+        }
+    }
+
+    /// Evaluate the plan rooted at `root`.
+    pub fn eval(&mut self, root: OpId) -> Result<Rc<Table>, EvalError> {
+        for id in self.dag.topo_order(root) {
+            if self.cache.contains_key(&id) {
+                continue;
+            }
+            let started = Instant::now();
+            let table = self.eval_op(id)?;
+            self.profile.record(self.dag, id, started.elapsed());
+            self.cache.insert(id, Rc::new(table));
+        }
+        Ok(self.cache[&root].clone())
+    }
+
+    fn input(&self, id: OpId) -> &Rc<Table> {
+        &self.cache[&id]
+    }
+
+    fn eval_op(&mut self, id: OpId) -> Result<Table, EvalError> {
+        let op = self.dag.op(id).clone();
+        match op {
+            Op::Lit { cols, rows } => Ok(eval_lit(&cols, &rows)),
+            Op::Doc { url } => {
+                let node = self.docs.get(url.as_ref()).copied().ok_or_else(|| {
+                    EvalError(format!("document `{url}` is not loaded"))
+                })?;
+                Ok(Table::new(vec![(
+                    Col::ITEM,
+                    Column::Item(vec![Item::Node(node)]),
+                )]))
+            }
+            Op::Project { input, cols } => {
+                let t = self.input(input);
+                let out = cols
+                    .iter()
+                    .map(|(new, src)| (*new, t.col(*src).clone()))
+                    .collect();
+                Ok(Table::from_refs(out, t.nrows()))
+            }
+            Op::Select { input, col } => {
+                let t = self.input(input).clone();
+                let c = t.col(col);
+                let mut idx = Vec::new();
+                for i in 0..t.nrows() {
+                    match c.get(i) {
+                        Item::Bool(true) => idx.push(i),
+                        Item::Bool(false) => {}
+                        other => {
+                            return Err(EvalError(format!(
+                                "σ on non-boolean value {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(t.gather(&idx))
+            }
+            Op::RowNum {
+                input,
+                new,
+                order,
+                part,
+            } => {
+                let t = self.input(input).clone();
+                Ok(eval_rownum(&t, new, &order, part))
+            }
+            Op::RowId { input, new } => {
+                let t = self.input(input).clone();
+                let n = t.nrows();
+                Ok(t.with_column(new, Column::Int((1..=n as i64).collect())))
+            }
+            Op::Attach { input, col, value } => {
+                let t = self.input(input).clone();
+                let item = avalue_item(&value);
+                let col_data = match &item {
+                    Item::Int(i) => Column::Int(vec![*i; t.nrows()]),
+                    other => Column::Item(vec![other.clone(); t.nrows()]),
+                };
+                Ok(t.with_column(col, col_data))
+            }
+            Op::Fun {
+                input,
+                new,
+                kind,
+                args,
+            } => {
+                let t = self.input(input).clone();
+                let arg_cols: Vec<_> = args.iter().map(|a| t.col(*a).clone()).collect();
+                let mut out = Vec::with_capacity(t.nrows());
+                let mut buf: Vec<Item> = Vec::with_capacity(arg_cols.len());
+                for r in 0..t.nrows() {
+                    buf.clear();
+                    buf.extend(arg_cols.iter().map(|c| c.get(r)));
+                    out.push(funs::apply(self.store, kind, &buf)?);
+                }
+                Ok(t.with_column(new, Column::Item(out)))
+            }
+            Op::Aggr {
+                input,
+                kind,
+                new,
+                arg,
+                part,
+            } => {
+                let t = self.input(input).clone();
+                eval_aggr(self.store, &t, kind, new, arg, part)
+            }
+            Op::Distinct { input } => {
+                let t = self.input(input).clone();
+                Ok(eval_distinct(&t))
+            }
+            Op::Step { input, axis, test } => {
+                let t = self.input(input).clone();
+                self.eval_step(&t, axis, test)
+            }
+            Op::Cross { l, r } => {
+                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
+                Ok(eval_cross(&lt, &rt))
+            }
+            Op::EquiJoin { l, r, lcol, rcol } => {
+                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
+                Ok(eval_equijoin(&lt, &rt, lcol, rcol))
+            }
+            Op::ThetaJoin { l, r, pred } => {
+                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
+                eval_thetajoin(&lt, &rt, &pred)
+            }
+            Op::Union { l, r } => {
+                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
+                Ok(eval_union(&lt, &rt))
+            }
+            Op::Difference { l, r, on } => {
+                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
+                Ok(eval_difference(&lt, &rt, &on))
+            }
+            Op::Element { names, content } => {
+                let (nt, ct) = (self.input(names).clone(), self.input(content).clone());
+                self.eval_element(&nt, &ct)
+            }
+            Op::Attr { names, values } => {
+                let (nt, vt) = (self.input(names).clone(), self.input(values).clone());
+                self.eval_attr(&nt, &vt)
+            }
+            Op::TextNode { content } => {
+                let ct = self.input(content).clone();
+                self.eval_textnode(&ct)
+            }
+            Op::Range { input, lo, hi, new } => {
+                let t = self.input(input).clone();
+                Ok(eval_range(&t, lo, hi, new)?)
+            }
+            Op::Serialize { input } => Ok((*self.input(input).clone()).clone()),
+        }
+    }
+
+    // ------------------------------------------------------------- step
+
+    fn eval_step(
+        &mut self,
+        t: &Table,
+        ax: exrquy_xml::Axis,
+        test: exrquy_xml::NodeTest,
+    ) -> Result<Table, EvalError> {
+        let iter_col = t.col(Col::ITER).clone();
+        let item_col = t.col(Col::ITEM).clone();
+        // Collect (iter, node) context pairs.
+        let mut ctx: Vec<(i64, NodeId)> = Vec::with_capacity(t.nrows());
+        for r in 0..t.nrows() {
+            match item_col.get(r) {
+                Item::Node(n) => ctx.push((iter_col.get_int(r), n)),
+                other => {
+                    return Err(EvalError(format!(
+                        "path step applied to atomic value {other}"
+                    )))
+                }
+            }
+        }
+        ctx.sort_unstable_by_key(|&(i, n)| (i, n));
+        ctx.dedup();
+        let mut out_iter: Vec<i64> = Vec::new();
+        let mut out_item: Vec<Item> = Vec::new();
+        let mut i = 0;
+        while i < ctx.len() {
+            // One (iter, frag) group at a time.
+            let (it, frag) = (ctx[i].0, ctx[i].1.frag);
+            let mut pres: Vec<u32> = Vec::new();
+            while i < ctx.len() && ctx[i].0 == it && ctx[i].1.frag == frag {
+                pres.push(ctx[i].1.pre);
+                i += 1;
+            }
+            let doc = self.store.frag(frag);
+            let result = match self.opts.step_algo {
+                StepAlgo::Staircase => axis::step(doc, &pres, ax, test),
+                StepAlgo::NameStream => axis::step_name_stream(doc, &pres, ax, test),
+                StepAlgo::Naive => axis::naive(doc, &pres, ax, test),
+            };
+            out_iter.extend(std::iter::repeat_n(it, result.len()));
+            out_item.extend(result.into_iter().map(|p| Item::Node(NodeId::new(frag, p))));
+        }
+        Ok(Table::new(vec![
+            (Col::ITER, Column::Int(out_iter)),
+            (Col::ITEM, Column::Item(out_item)),
+        ]))
+    }
+
+    // --------------------------------------------------- node construction
+
+    /// Gather `content` rows grouped by `iter`, sorted by `pos`, keeping
+    /// the content-part tag (`ord`; 0 when the plan carries none).
+    fn content_by_iter(content: &Table) -> HashMap<i64, Vec<(i64, i64, Item)>> {
+        let mut by_iter: HashMap<i64, Vec<(i64, i64, Item)>> = HashMap::new();
+        let iters = content.col(Col::ITER).clone();
+        let poss = content.col(Col::POS).clone();
+        let items = content.col(Col::ITEM).clone();
+        let ords = if content.schema().contains(&Col::ORD) {
+            Some(content.col(Col::ORD).clone())
+        } else {
+            None
+        };
+        for r in 0..content.nrows() {
+            let ord = ords.as_ref().map_or(0, |c| c.get_int(r));
+            by_iter
+                .entry(iters.get_int(r))
+                .or_default()
+                .push((poss.get_int(r), ord, items.get(r)));
+        }
+        for v in by_iter.values_mut() {
+            v.sort_by_key(|&(p, _, _)| p);
+        }
+        by_iter
+    }
+
+    fn eval_element(&mut self, names: &Table, content: &Table) -> Result<Table, EvalError> {
+        let by_iter = Self::content_by_iter(content);
+        // One new fragment holds all elements constructed by this operator
+        // invocation, as sibling roots, in iter order.
+        let mut order: Vec<(i64, usize)> = (0..names.nrows())
+            .map(|r| (names.col(Col::ITER).get_int(r), r))
+            .collect();
+        order.sort_unstable();
+        let mut b = TreeBuilder::new();
+        let mut roots: Vec<(i64, u32)> = Vec::with_capacity(order.len());
+        for &(it, r) in &order {
+            let name_item = names.col(Col::ITEM).get(r);
+            let name_str = match &name_item {
+                Item::Str(s) => s.to_string(),
+                other => other.to_xq_string(),
+            };
+            let name_id = self.store.pool.intern(&name_str);
+            let root = b.open_element(name_id);
+            if let Some(items) = by_iter.get(&it) {
+                self.build_content(&mut b, items)?;
+            }
+            b.close();
+            roots.push((it, root));
+        }
+        let frag = self.store.add(b.finish());
+        Ok(Table::new(vec![
+            (
+                Col::ITER,
+                Column::Int(roots.iter().map(|&(it, _)| it).collect()),
+            ),
+            (
+                Col::ITEM,
+                Column::Item(
+                    roots
+                        .iter()
+                        .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// Realize a constructor content sequence: leading attribute nodes
+    /// become attributes, adjacent atomics merge into one text node joined
+    /// with spaces, nodes are deep-copied (order interaction 2©: sequence
+    /// order establishes document order).
+    fn build_content(
+        &mut self,
+        b: &mut TreeBuilder,
+        items: &[(i64, i64, Item)],
+    ) -> Result<(), EvalError> {
+        let mut pending_text: Option<String> = None;
+        let mut pending_ord: i64 = 0;
+        let mut content_started = false;
+        for (_, ord, item) in items {
+            match item {
+                Item::Node(n) => {
+                    let doc = self.store.doc_of(*n);
+                    if doc.kind(n.pre) == NodeKind::Attribute {
+                        if content_started || pending_text.is_some() {
+                            return Err(EvalError(
+                                "attribute node follows element content (XQTY0024)".into(),
+                            ));
+                        }
+                        b.attribute(doc.name(n.pre), doc.text(n.pre).unwrap_or(""));
+                    } else {
+                        if let Some(t) = pending_text.take() {
+                            b.text(&t);
+                        }
+                        let doc = self.store.doc_of(*n);
+                        b.copy_subtree(doc, n.pre);
+                        content_started = true;
+                    }
+                }
+                atomic => {
+                    // Atomics merge into one text node; the space separator
+                    // only applies between atomics of the SAME enclosed
+                    // expression (content part).
+                    let s = atomic.to_xq_string();
+                    match pending_text.as_mut() {
+                        Some(t) => {
+                            if *ord == pending_ord {
+                                t.push(' ');
+                            }
+                            t.push_str(&s);
+                        }
+                        None => pending_text = Some(s),
+                    }
+                    pending_ord = *ord;
+                }
+            }
+        }
+        if let Some(t) = pending_text {
+            b.text(&t);
+        }
+        Ok(())
+    }
+
+    fn eval_attr(&mut self, names: &Table, values: &Table) -> Result<Table, EvalError> {
+        // values: iter|item (one string per iteration).
+        let mut val_by_iter: HashMap<i64, String> = HashMap::new();
+        for r in 0..values.nrows() {
+            let it = values.col(Col::ITER).get_int(r);
+            let v = values.col(Col::ITEM).get(r).to_xq_string();
+            val_by_iter.insert(it, v);
+        }
+        let mut order: Vec<(i64, usize)> = (0..names.nrows())
+            .map(|r| (names.col(Col::ITER).get_int(r), r))
+            .collect();
+        order.sort_unstable();
+        let mut doc = exrquy_xml::Document::new();
+        let mut rows: Vec<(i64, u32)> = Vec::new();
+        for &(it, r) in &order {
+            let name_str = names.col(Col::ITEM).get(r).to_xq_string();
+            let name_id = self.store.pool.intern(&name_str);
+            let value = val_by_iter.get(&it).cloned().unwrap_or_default();
+            let pre = doc.push_orphan_attribute(name_id, &value);
+            rows.push((it, pre));
+        }
+        let frag = self.store.add(doc);
+        Ok(Table::new(vec![
+            (
+                Col::ITER,
+                Column::Int(rows.iter().map(|&(it, _)| it).collect()),
+            ),
+            (
+                Col::ITEM,
+                Column::Item(
+                    rows.iter()
+                        .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    fn eval_textnode(&mut self, content: &Table) -> Result<Table, EvalError> {
+        let mut order: Vec<(i64, usize)> = (0..content.nrows())
+            .map(|r| (content.col(Col::ITER).get_int(r), r))
+            .collect();
+        order.sort_unstable();
+        let mut b = TreeBuilder::new();
+        let mut rows: Vec<(i64, u32)> = Vec::new();
+        for &(it, r) in &order {
+            let s = content.col(Col::ITEM).get(r).to_xq_string();
+            // Empty strings construct no text node (the XDM has none).
+            if let Some(pre) = b.text(&s) {
+                rows.push((it, pre));
+            }
+        }
+        let frag = self.store.add(b.finish());
+        Ok(Table::new(vec![
+            (
+                Col::ITER,
+                Column::Int(rows.iter().map(|&(it, _)| it).collect()),
+            ),
+            (
+                Col::ITEM,
+                Column::Item(
+                    rows.iter()
+                        .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+}
+
+// ------------------------------------------------------- free functions
+
+fn avalue_item(v: &AValue) -> Item {
+    match v {
+        AValue::Int(i) => Item::Int(*i),
+        AValue::Dbl(b) => Item::Dbl(f64::from_bits(*b)),
+        AValue::Str(s) => Item::Str(s.clone()),
+        AValue::Bool(b) => Item::Bool(*b),
+    }
+}
+
+fn eval_lit(cols: &[Col], rows: &[Vec<AValue>]) -> Table {
+    let built: Vec<(Col, Column)> = cols
+        .iter()
+        .enumerate()
+        .map(|(ci, &name)| {
+            let all_int = rows.iter().all(|r| matches!(r[ci], AValue::Int(_)));
+            let col = if all_int {
+                Column::Int(
+                    rows.iter()
+                        .map(|r| match r[ci] {
+                            AValue::Int(i) => i,
+                            _ => unreachable!(),
+                        })
+                        .collect(),
+                )
+            } else {
+                Column::Item(rows.iter().map(|r| avalue_item(&r[ci])).collect())
+            };
+            (name, col)
+        })
+        .collect();
+    Table::new(built)
+}
+
+fn eval_rownum(
+    t: &Table,
+    new: Col,
+    order: &[exrquy_algebra::SortKey],
+    part: Option<Col>,
+) -> Table {
+    let n = t.nrows();
+    // Fast path (§7): `%⟨⟩` with no order criteria needs no sort — dense
+    // per-group counters in one pass; "this operator comes for free".
+    if order.is_empty() {
+        let nums: Vec<i64> = match part {
+            None => (1..=n as i64).collect(),
+            Some(p) => {
+                let pc = t.col(p).clone();
+                let mut counters: HashMap<GroupKey, i64> = HashMap::new();
+                (0..n)
+                    .map(|r| {
+                        let c = counters.entry(pc.get(r).group_key()).or_insert(0);
+                        *c += 1;
+                        *c
+                    })
+                    .collect()
+            }
+        };
+        return t.with_column(new, Column::Int(nums));
+    }
+    // Sort keys: dereference integer columns once so the comparator
+    // avoids per-comparison Item boxing — `%` is the hot operator whose
+    // cost the whole paper is about, keep its constant factors honest.
+    enum Key {
+        Int(std::rc::Rc<Column>, bool),
+        Item(std::rc::Rc<Column>, bool),
+    }
+    impl Key {
+        fn cmp_rows(&self, a: usize, b: usize) -> std::cmp::Ordering {
+            match self {
+                Key::Int(c, desc) => {
+                    let Column::Int(v) = &**c else {
+                        unreachable!("Key::Int built from a non-Int column")
+                    };
+                    let o = v[a].cmp(&v[b]);
+                    if *desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+                Key::Item(c, desc) => {
+                    let o = c.get(a).sort_cmp(&c.get(b));
+                    if *desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+            }
+        }
+        fn eq_rows(&self, a: usize, b: usize) -> bool {
+            self.cmp_rows(a, b) == std::cmp::Ordering::Equal
+        }
+    }
+    fn key_for(col: std::rc::Rc<Column>, desc: bool) -> Key {
+        match &*col {
+            Column::Int(_) => Key::Int(col, desc),
+            Column::Item(_) => Key::Item(col, desc),
+        }
+    }
+    let mut keys: Vec<Key> = Vec::with_capacity(order.len() + 1);
+    if let Some(p) = part {
+        keys.push(key_for(t.col(p).clone(), false));
+    }
+    for k in order {
+        keys.push(key_for(t.col(k.col).clone(), k.desc));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        for k in &keys {
+            let c = k.cmp_rows(a, b);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    // Dense 1,2,3,… numbering per partition, written back to row order.
+    let has_part = part.is_some();
+    let mut nums = vec![0i64; n];
+    let mut rank = 0i64;
+    for (k, &row) in idx.iter().enumerate() {
+        let new_group = match (has_part, k) {
+            (_, 0) => true,
+            (true, _) => !keys[0].eq_rows(row, idx[k - 1]),
+            (false, _) => false,
+        };
+        rank = if new_group { 1 } else { rank + 1 };
+        nums[row] = rank;
+    }
+    t.with_column(new, Column::Int(nums))
+}
+
+fn eval_distinct(t: &Table) -> Table {
+    let mut seen: std::collections::HashSet<Vec<GroupKey>> = std::collections::HashSet::new();
+    let mut idx = Vec::new();
+    for r in 0..t.nrows() {
+        let key: Vec<GroupKey> = t.columns().iter().map(|(_, c)| c.get(r).group_key()).collect();
+        if seen.insert(key) {
+            idx.push(r);
+        }
+    }
+    t.gather(&idx)
+}
+
+fn eval_cross(l: &Table, r: &Table) -> Table {
+    let (n, m) = (l.nrows(), r.nrows());
+    let mut lidx = Vec::with_capacity(n * m);
+    let mut ridx = Vec::with_capacity(n * m);
+    for i in 0..n {
+        for j in 0..m {
+            lidx.push(i);
+            ridx.push(j);
+        }
+    }
+    join_gather(l, r, &lidx, &ridx)
+}
+
+fn join_gather(l: &Table, r: &Table, lidx: &[usize], ridx: &[usize]) -> Table {
+    let mut cols: Vec<(Col, Column)> = Vec::new();
+    for (name, c) in l.columns() {
+        cols.push((*name, c.gather(lidx)));
+    }
+    for (name, c) in r.columns() {
+        cols.push((*name, c.gather(ridx)));
+    }
+    Table::new(cols)
+}
+
+fn eval_equijoin(l: &Table, r: &Table, lcol: Col, rcol: Col) -> Table {
+    let lc = l.col(lcol).clone();
+    let rc = r.col(rcol).clone();
+    // Fast path: both integer columns.
+    let (mut lidx, mut ridx) = (Vec::new(), Vec::new());
+    match (&*lc, &*rc) {
+        (Column::Int(lv), Column::Int(rv)) => {
+            let mut index: HashMap<i64, Vec<usize>> = HashMap::new();
+            for (j, &v) in rv.iter().enumerate() {
+                index.entry(v).or_default().push(j);
+            }
+            for (i, &v) in lv.iter().enumerate() {
+                if let Some(matches) = index.get(&v) {
+                    for &j in matches {
+                        lidx.push(i);
+                        ridx.push(j);
+                    }
+                }
+            }
+        }
+        _ => {
+            let mut index: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+            for j in 0..r.nrows() {
+                index.entry(rc.get(j).group_key()).or_default().push(j);
+            }
+            for i in 0..l.nrows() {
+                if let Some(matches) = index.get(&lc.get(i).group_key()) {
+                    for &j in matches {
+                        lidx.push(i);
+                        ridx.push(j);
+                    }
+                }
+            }
+        }
+    }
+    join_gather(l, r, &lidx, &ridx)
+}
+
+fn eval_thetajoin(
+    l: &Table,
+    r: &Table,
+    pred: &[(Col, FunKind, Col)],
+) -> Result<Table, EvalError> {
+    assert!(!pred.is_empty(), "theta join needs at least one predicate");
+    let (p0l, k0, p0r) = pred[0];
+    let lc = l.col(p0l).clone();
+    let rc = r.col(p0r).clone();
+    let (mut lidx, mut ridx) = (Vec::new(), Vec::new());
+    match k0 {
+        FunKind::Eq => {
+            let mut index: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+            for j in 0..r.nrows() {
+                index.entry(rc.get(j).group_key()).or_default().push(j);
+            }
+            for i in 0..l.nrows() {
+                if let Some(matches) = index.get(&lc.get(i).group_key()) {
+                    for &j in matches {
+                        lidx.push(i);
+                        ridx.push(j);
+                    }
+                }
+            }
+        }
+        FunKind::Lt | FunKind::Le | FunKind::Gt | FunKind::Ge => {
+            // Band join: sort the right side numerically, emit a range per
+            // left row. Non-numeric values never match.
+            let mut rvals: Vec<(f64, usize)> = (0..r.nrows())
+                .filter_map(|j| rc.get(j).as_number_promoting().map(|v| (v, j)))
+                .filter(|(v, _)| !v.is_nan())
+                .collect();
+            rvals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let keys: Vec<f64> = rvals.iter().map(|&(v, _)| v).collect();
+            for i in 0..l.nrows() {
+                let Some(x) = lc.get(i).as_number_promoting() else {
+                    continue;
+                };
+                if x.is_nan() {
+                    continue;
+                }
+                let range = match k0 {
+                    // l < r  → right values strictly greater than x
+                    FunKind::Lt => keys.partition_point(|&v| v <= x)..keys.len(),
+                    FunKind::Le => keys.partition_point(|&v| v < x)..keys.len(),
+                    // l > r  → right values strictly less than x
+                    FunKind::Gt => 0..keys.partition_point(|&v| v < x),
+                    FunKind::Ge => 0..keys.partition_point(|&v| v <= x),
+                    _ => unreachable!(),
+                };
+                for k in range {
+                    lidx.push(i);
+                    ridx.push(rvals[k].1);
+                }
+            }
+        }
+        FunKind::Ne => {
+            // Rare; nested loop.
+            for i in 0..l.nrows() {
+                for j in 0..r.nrows() {
+                    if funs::compare_with(FunKind::Ne, &lc.get(i), &rc.get(j)) {
+                        lidx.push(i);
+                        ridx.push(j);
+                    }
+                }
+            }
+        }
+        other => {
+            return Err(EvalError(format!(
+                "unsupported theta-join predicate {other:?}"
+            )))
+        }
+    }
+    // Residual predicates filter the candidate pairs.
+    if pred.len() > 1 {
+        let rest: Vec<_> = pred[1..]
+            .iter()
+            .map(|&(lcn, k, rcn)| (l.col(lcn).clone(), k, r.col(rcn).clone()))
+            .collect();
+        let mut flidx = Vec::new();
+        let mut fridx = Vec::new();
+        'pair: for p in 0..lidx.len() {
+            for (lcn, k, rcn) in &rest {
+                if !funs::compare_with(*k, &lcn.get(lidx[p]), &rcn.get(ridx[p])) {
+                    continue 'pair;
+                }
+            }
+            flidx.push(lidx[p]);
+            fridx.push(ridx[p]);
+        }
+        lidx = flidx;
+        ridx = fridx;
+    }
+    Ok(join_gather(l, r, &lidx, &ridx))
+}
+
+/// Expand `lo..=hi` integer ranges per row (empty when lo > hi).
+fn eval_range(t: &Table, lo: Col, hi: Col, new: Col) -> Result<Table, EvalError> {
+    let loc = t.col(lo).clone();
+    let hic = t.col(hi).clone();
+    let mut idx: Vec<usize> = Vec::new();
+    let mut vals: Vec<i64> = Vec::new();
+    for r in 0..t.nrows() {
+        let (a, b) = (range_int(&loc.get(r))?, range_int(&hic.get(r))?);
+        for v in a..=b {
+            idx.push(r);
+            vals.push(v);
+        }
+    }
+    let base = t.gather(&idx);
+    Ok(base.with_column(new, Column::Int(vals)))
+}
+
+fn range_int(i: &Item) -> Result<i64, EvalError> {
+    match i.as_number_promoting() {
+        Some(f) if f.fract() == 0.0 => Ok(f as i64),
+        _ => Err(EvalError(format!("range bound `{i}` is not an integer"))),
+    }
+}
+
+fn eval_union(l: &Table, r: &Table) -> Table {
+    let mut cols: Vec<(Col, Column)> = Vec::new();
+    for (name, lc) in l.columns() {
+        let rc = r.col(*name);
+        cols.push((*name, lc.append(rc)));
+    }
+    Table::new(cols)
+}
+
+fn eval_difference(l: &Table, r: &Table, on: &[(Col, Col)]) -> Table {
+    let rcols: Vec<_> = on.iter().map(|&(_, rc)| r.col(rc).clone()).collect();
+    let keys: std::collections::HashSet<Vec<GroupKey>> = (0..r.nrows())
+        .map(|j| rcols.iter().map(|c| c.get(j).group_key()).collect())
+        .collect();
+    let lcols: Vec<_> = on.iter().map(|&(lc, _)| l.col(lc).clone()).collect();
+    let idx: Vec<usize> = (0..l.nrows())
+        .filter(|&i| {
+            let key: Vec<GroupKey> = lcols.iter().map(|c| c.get(i).group_key()).collect();
+            !keys.contains(&key)
+        })
+        .collect();
+    l.gather(&idx)
+}
+
+fn eval_aggr(
+    store: &Store,
+    t: &Table,
+    kind: AggrKind,
+    new: Col,
+    arg: Option<Col>,
+    part: Option<Col>,
+) -> Result<Table, EvalError> {
+    struct State {
+        count: i64,
+        sum: f64,
+        min: Option<Item>,
+        max: Option<Item>,
+        any: bool,
+        all: bool,
+        strs: Vec<(i64, String)>,
+        ebv_items: Vec<Item>,
+    }
+    impl State {
+        fn new() -> Self {
+            State {
+                count: 0,
+                sum: 0.0,
+                min: None,
+                max: None,
+                any: false,
+                all: true,
+                strs: Vec::new(),
+                ebv_items: Vec::new(),
+            }
+        }
+    }
+    let arg_col = arg.map(|a| t.col(a).clone());
+    let part_col = part.map(|p| t.col(p).clone());
+    let pos_col = if t.schema().contains(&Col::POS) {
+        Some(t.col(Col::POS).clone())
+    } else {
+        None
+    };
+    let mut groups: Vec<(i64, State)> = Vec::new();
+    let mut index: HashMap<i64, usize> = HashMap::new();
+    for r in 0..t.nrows() {
+        let key = part_col.as_ref().map_or(0, |p| p.get_int(r));
+        let gi = *index.entry(key).or_insert_with(|| {
+            groups.push((key, State::new()));
+            groups.len() - 1
+        });
+        let st = &mut groups[gi].1;
+        st.count += 1;
+        if let Some(a) = &arg_col {
+            let item = a.get(r);
+            match kind {
+                AggrKind::Sum | AggrKind::Avg => {
+                    let atom = funs::atomize_item(store, &item);
+                    let v = atom.as_number_promoting().ok_or_else(|| {
+                        EvalError(format!("fn:sum on non-numeric value {item}"))
+                    })?;
+                    st.sum += v;
+                }
+                AggrKind::Max | AggrKind::Min => {
+                    // Untyped values promote to xs:double for fn:min/max
+                    // (F&O §15.4); non-numeric strings compare lexically.
+                    let atom = funs::atomize_item(store, &item);
+                    let atom = match atom.as_number_promoting() {
+                        Some(n) => Item::Dbl(n),
+                        None => atom,
+                    };
+                    let better_max = st
+                        .max
+                        .as_ref()
+                        .is_none_or(|m| funs::compare(&atom, m)
+                            == Some(std::cmp::Ordering::Greater));
+                    if better_max {
+                        st.max = Some(atom.clone());
+                    }
+                    let better_min = st
+                        .min
+                        .as_ref()
+                        .is_none_or(|m| funs::compare(&atom, m) == Some(std::cmp::Ordering::Less));
+                    if better_min {
+                        st.min = Some(atom);
+                    }
+                }
+                AggrKind::Any | AggrKind::All => {
+                    let b = item.ebv();
+                    st.any |= b;
+                    st.all &= b;
+                }
+                AggrKind::Ebv => st.ebv_items.push(item),
+                AggrKind::StrJoin => {
+                    let atom = funs::atomize_item(store, &item);
+                    let posv = pos_col.as_ref().map_or(r as i64, |p| p.get_int(r));
+                    st.strs.push((posv, atom.to_xq_string()));
+                }
+                AggrKind::Count => {}
+            }
+        }
+    }
+    // Aggregates over the absent group: with no partition column the output
+    // must still carry one row (count of the empty sequence is 0).
+    if part_col.is_none() && groups.is_empty() {
+        groups.push((0, State::new()));
+    }
+    // Deterministic group order.
+    groups.sort_by_key(|&(k, _)| k);
+    let mut out_part: Vec<i64> = Vec::with_capacity(groups.len());
+    let mut out_val: Vec<Item> = Vec::with_capacity(groups.len());
+    for (key, mut st) in groups {
+        let val = match kind {
+            AggrKind::Count => Some(Item::Int(st.count)),
+            AggrKind::Sum => Some(Item::Dbl(st.sum)),
+            AggrKind::Avg => {
+                if st.count == 0 {
+                    None
+                } else {
+                    Some(Item::Dbl(st.sum / st.count as f64))
+                }
+            }
+            AggrKind::Max => st.max.take(),
+            AggrKind::Min => st.min.take(),
+            AggrKind::Any => Some(Item::Bool(st.any)),
+            AggrKind::All => Some(Item::Bool(st.all)),
+            AggrKind::Ebv => Some(Item::Bool(ebv_of_group(&st.ebv_items)?)),
+            AggrKind::StrJoin => {
+                st.strs.sort_by_key(|&(p, _)| p);
+                let joined = st
+                    .strs
+                    .iter()
+                    .map(|(_, s)| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Some(Item::str(&joined))
+            }
+        };
+        if let Some(v) = val {
+            out_part.push(key);
+            out_val.push(v);
+        }
+    }
+    let mut cols: Vec<(Col, Column)> = Vec::new();
+    if let Some(p) = part {
+        cols.push((p, Column::Int(out_part)));
+    }
+    cols.push((new, Column::Item(out_val)));
+    Ok(Table::new(cols))
+}
+
+/// Effective boolean value of an item sequence (`fn:boolean` rules).
+fn ebv_of_group(items: &[Item]) -> Result<bool, EvalError> {
+    match items {
+        [] => Ok(false),
+        [first, ..] if first.is_node() => Ok(true),
+        [single] => Ok(single.ebv()),
+        _ => Err(EvalError(
+            "effective boolean value of a multi-item atomic sequence (FORG0006)".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrquy_algebra::SortKey;
+    use exrquy_xml::{Axis, NodeTest};
+
+    fn run(dag: &Dag, root: OpId) -> Table {
+        let mut store = Store::new();
+        let mut e = Engine::new(dag, &mut store, HashMap::new(), EngineOptions::default());
+        (*e.eval(root).unwrap()).clone()
+    }
+
+    fn lit(dag: &mut Dag, cols: Vec<Col>, rows: Vec<Vec<i64>>) -> OpId {
+        dag.add(Op::Lit {
+            cols,
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(AValue::Int).collect())
+                .collect(),
+        })
+    }
+
+    #[test]
+    fn rownum_partitions_and_orders() {
+        let mut dag = Dag::new();
+        let l = lit(
+            &mut dag,
+            vec![Col::ITER, Col::ITEM],
+            vec![vec![2, 30], vec![1, 20], vec![1, 10], vec![2, 40]],
+        );
+        let r = dag.add(Op::RowNum {
+            input: l,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let t = run(&dag, r);
+        // row order preserved; numbers assigned per iter by item order
+        let nums: Vec<i64> = (0..4).map(|i| t.int(Col::POS, i)).collect();
+        assert_eq!(nums, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn rownum_descending() {
+        let mut dag = Dag::new();
+        let l = lit(&mut dag, vec![Col::ITEM], vec![vec![10], vec![30], vec![20]]);
+        let r = dag.add(Op::RowNum {
+            input: l,
+            new: Col::POS,
+            order: vec![SortKey {
+                col: Col::ITEM,
+                desc: true,
+            }],
+            part: None,
+        });
+        let t = run(&dag, r);
+        let nums: Vec<i64> = (0..3).map(|i| t.int(Col::POS, i)).collect();
+        assert_eq!(nums, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn rowid_attaches_unique_dense() {
+        let mut dag = Dag::new();
+        let l = lit(&mut dag, vec![Col::ITEM], vec![vec![9], vec![9], vec![9]]);
+        let r = dag.add(Op::RowId {
+            input: l,
+            new: Col::POS,
+        });
+        let t = run(&dag, r);
+        let mut nums: Vec<i64> = (0..3).map(|i| t.int(Col::POS, i)).collect();
+        nums.sort_unstable();
+        assert_eq!(nums, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn select_and_fun() {
+        let mut dag = Dag::new();
+        let l = lit(
+            &mut dag,
+            vec![Col::ITEM1, Col::ITEM2],
+            vec![vec![1, 2], vec![3, 3], vec![5, 4]],
+        );
+        let f = dag.add(Op::Fun {
+            input: l,
+            new: Col::RES,
+            kind: FunKind::Lt,
+            args: vec![Col::ITEM1, Col::ITEM2],
+        });
+        let s = dag.add(Op::Select {
+            input: f,
+            col: Col::RES,
+        });
+        let t = run(&dag, s);
+        assert_eq!(t.nrows(), 1);
+        assert_eq!(t.int(Col::ITEM1, 0), 1);
+    }
+
+    #[test]
+    fn aggr_count_per_group_and_empty_global() {
+        let mut dag = Dag::new();
+        let l = lit(
+            &mut dag,
+            vec![Col::ITER, Col::ITEM],
+            vec![vec![1, 10], vec![1, 20], vec![3, 30]],
+        );
+        let a = dag.add(Op::Aggr {
+            input: l,
+            kind: AggrKind::Count,
+            new: Col::RES,
+            arg: None,
+            part: Some(Col::ITER),
+        });
+        let t = run(&dag, a);
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.int(Col::ITER, 0), 1);
+        assert_eq!(t.item(Col::RES, 0), Item::Int(2));
+        assert_eq!(t.item(Col::RES, 1), Item::Int(1));
+
+        // Global count over an empty input still yields one row of 0.
+        let empty = lit(&mut dag, vec![Col::ITEM], vec![]);
+        let a2 = dag.add(Op::Aggr {
+            input: empty,
+            kind: AggrKind::Count,
+            new: Col::RES,
+            arg: None,
+            part: None,
+        });
+        let t2 = run(&dag, a2);
+        assert_eq!(t2.nrows(), 1);
+        assert_eq!(t2.item(Col::RES, 0), Item::Int(0));
+    }
+
+    #[test]
+    fn aggr_sum_max_min() {
+        let mut dag = Dag::new();
+        let l = lit(
+            &mut dag,
+            vec![Col::ITER, Col::ITEM],
+            vec![vec![1, 10], vec![1, 30], vec![2, 5]],
+        );
+        for (kind, expect1) in [
+            (AggrKind::Sum, Item::Dbl(40.0)),
+            (AggrKind::Max, Item::Dbl(30.0)),
+            (AggrKind::Min, Item::Dbl(10.0)),
+            (AggrKind::Avg, Item::Dbl(20.0)),
+        ] {
+            let a = dag.add(Op::Aggr {
+                input: l,
+                kind,
+                new: Col::RES,
+                arg: Some(Col::ITEM),
+                part: Some(Col::ITER),
+            });
+            let t = run(&dag, a);
+            assert_eq!(t.item(Col::RES, 0), expect1, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn equijoin_matches_pairs() {
+        let mut dag = Dag::new();
+        let l = lit(&mut dag, vec![Col::ITER], vec![vec![1], vec![2], vec![2]]);
+        let r = lit(
+            &mut dag,
+            vec![Col::ITER1, Col::ITEM],
+            vec![vec![2, 20], vec![3, 30]],
+        );
+        let j = dag.add(Op::EquiJoin {
+            l,
+            r,
+            lcol: Col::ITER,
+            rcol: Col::ITER1,
+        });
+        let t = run(&dag, j);
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.int(Col::ITEM, 0), 20);
+    }
+
+    #[test]
+    fn thetajoin_band() {
+        let mut dag = Dag::new();
+        let l = lit(&mut dag, vec![Col::ITEM1], vec![vec![10], vec![25]]);
+        let r = lit(
+            &mut dag,
+            vec![Col::ITEM2],
+            vec![vec![5], vec![15], vec![20], vec![30]],
+        );
+        let j = dag.add(Op::ThetaJoin {
+            l,
+            r,
+            pred: vec![(Col::ITEM1, FunKind::Gt, Col::ITEM2)],
+        });
+        let t = run(&dag, j);
+        // 10 > {5}; 25 > {5,15,20} → 4 pairs
+        assert_eq!(t.nrows(), 4);
+        let le = dag.add(Op::ThetaJoin {
+            l,
+            r,
+            pred: vec![(Col::ITEM1, FunKind::Le, Col::ITEM2)],
+        });
+        let t = run(&dag, le);
+        // 10 <= {15,20,30}; 25 <= {30} → 4 pairs
+        assert_eq!(t.nrows(), 4);
+    }
+
+    #[test]
+    fn union_aligns_columns() {
+        let mut dag = Dag::new();
+        let l = lit(&mut dag, vec![Col::ITER, Col::ITEM], vec![vec![1, 10]]);
+        // Same column set, different layout order.
+        let r = lit(&mut dag, vec![Col::ITEM, Col::ITER], vec![vec![20, 2]]);
+        let u = dag.add(Op::Union { l, r });
+        let t = run(&dag, u);
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.int(Col::ITER, 1), 2);
+        assert_eq!(t.int(Col::ITEM, 1), 20);
+    }
+
+    #[test]
+    fn difference_filters_by_key() {
+        let mut dag = Dag::new();
+        let l = lit(&mut dag, vec![Col::ITER], vec![vec![1], vec![2], vec![3]]);
+        let r = lit(&mut dag, vec![Col::ITER1], vec![vec![2]]);
+        let d = dag.add(Op::Difference {
+            l,
+            r,
+            on: vec![(Col::ITER, Col::ITER1)],
+        });
+        let t = run(&dag, d);
+        assert_eq!(t.nrows(), 2);
+    }
+
+    #[test]
+    fn distinct_removes_duplicate_rows() {
+        let mut dag = Dag::new();
+        let l = lit(
+            &mut dag,
+            vec![Col::ITER, Col::ITEM],
+            vec![vec![1, 10], vec![1, 10], vec![1, 20]],
+        );
+        let d = dag.add(Op::Distinct { input: l });
+        assert_eq!(run(&dag, d).nrows(), 2);
+    }
+
+    #[test]
+    fn step_over_document() {
+        let mut dag = Dag::new();
+        let doc_op = dag.add(Op::Doc {
+            url: Rc::from("t.xml"),
+        });
+        let ctx = dag.add(Op::Attach {
+            input: doc_op,
+            col: Col::ITER,
+            value: AValue::Int(1),
+        });
+        let mut store = Store::new();
+        let root = store.add_parsed("<a><b><c/><d/></b><c/></a>").unwrap();
+        let mut docs = HashMap::new();
+        docs.insert("t.xml".to_string(), root);
+
+        let name_c = store.pool.lookup("c").unwrap();
+        let dos = dag.add(Op::Step {
+            input: ctx,
+            axis: Axis::DescendantOrSelf,
+            test: NodeTest::AnyKind,
+        });
+        let step_c = dag.add(Op::Step {
+            input: dos,
+            axis: Axis::Child,
+            test: NodeTest::Name(name_c),
+        });
+        let mut e = Engine::new(&dag, &mut store, docs, EngineOptions::default());
+        let t = e.eval(step_c).unwrap();
+        // c1 (pre 3) and c2 (pre 5)
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.item(Col::ITEM, 0), Item::Node(NodeId::new(0, 3)));
+        assert_eq!(t.item(Col::ITEM, 1), Item::Node(NodeId::new(0, 5)));
+        // Profile recorded step time under "⬡".
+        assert!(e.profile.per_kind().contains_key("⬡"));
+    }
+
+    #[test]
+    fn element_construction_with_content() {
+        let mut dag = Dag::new();
+        // names: iter 1 → "e"
+        let names = dag.add(Op::Lit {
+            cols: vec![Col::ITER, Col::ITEM],
+            rows: vec![vec![AValue::Int(1), AValue::str("e")]],
+        });
+        // content: iter 1 → items 10, "x" at pos 1, 2
+        let content = dag.add(Op::Lit {
+            cols: vec![Col::ITER, Col::POS, Col::ITEM],
+            rows: vec![
+                vec![AValue::Int(1), AValue::Int(1), AValue::Int(10)],
+                vec![AValue::Int(1), AValue::Int(2), AValue::str("x")],
+            ],
+        });
+        let elem = dag.add(Op::Element { names, content });
+        let mut store = Store::new();
+        let mut e = Engine::new(&dag, &mut store, HashMap::new(), EngineOptions::default());
+        let t = e.eval(elem).unwrap();
+        assert_eq!(t.nrows(), 1);
+        let Item::Node(n) = t.item(Col::ITEM, 0) else {
+            panic!("expected node")
+        };
+        let rendered = exrquy_xml::serialize::node_to_string(&e.store, n);
+        // adjacent atomics joined with a space into one text node
+        assert_eq!(rendered, "<e>10 x</e>");
+    }
+
+    #[test]
+    fn ebv_rules_on_groups() {
+        assert!(!ebv_of_group(&[]).unwrap());
+        assert!(ebv_of_group(&[Item::Node(NodeId::new(0, 0)), Item::Int(0)]).unwrap());
+        assert!(!ebv_of_group(&[Item::Int(0)]).unwrap());
+        assert!(ebv_of_group(&[Item::Int(1), Item::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn shared_subplans_evaluate_once() {
+        let mut dag = Dag::new();
+        let l = lit(&mut dag, vec![Col::ITER], vec![vec![1], vec![2]]);
+        let a = dag.add(Op::RowId {
+            input: l,
+            new: Col::POS,
+        });
+        let d = dag.add(Op::Difference {
+            l: a,
+            r: a,
+            on: vec![(Col::POS, Col::POS)],
+        });
+        let t = run(&dag, d);
+        assert_eq!(t.nrows(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Runtime items: the values populating `item` columns.
+//!
+//! An item is a node reference or an atomic value (§1: "ordered finite
+//! sequences of items (atomic values or nodes)"). Atomic types are the
+//! pragmatic subset XMark needs: integers, doubles, strings, booleans.
+//! Untyped (node-derived) values are represented as strings and promoted
+//! numerically on demand, which matches XQuery's untypedAtomic promotion
+//! rules for the schema-less documents the paper evaluates on.
+
+use exrquy_xml::NodeId;
+use std::cmp::Ordering;
+use std::fmt;
+use std::rc::Rc;
+
+/// One item value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Node(NodeId),
+    Int(i64),
+    Dbl(f64),
+    Str(Rc<str>),
+    Bool(bool),
+}
+
+impl Item {
+    /// Build a string item.
+    pub fn str(s: &str) -> Item {
+        Item::Str(Rc::from(s))
+    }
+
+    /// Is this a node reference?
+    pub fn is_node(&self) -> bool {
+        matches!(self, Item::Node(_))
+    }
+
+    /// Numeric view (Int and Dbl only).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Item::Int(i) => Some(*i as f64),
+            Item::Dbl(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Numeric view with untyped (string) promotion — the comparison rules
+    /// use this when the other operand is numeric.
+    pub fn as_number_promoting(&self) -> Option<f64> {
+        match self {
+            Item::Str(s) => exrquy_xml::atomize::parse_number(s),
+            other => other.as_number(),
+        }
+    }
+
+    /// String rendering (XQuery `fn:string` on atomics; nodes must be
+    /// atomized before calling this).
+    pub fn to_xq_string(&self) -> String {
+        match self {
+            Item::Node(n) => format!("[node {n}]"),
+            Item::Int(i) => i.to_string(),
+            Item::Dbl(d) => fmt_double(*d),
+            Item::Str(s) => s.to_string(),
+            Item::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Effective boolean value of this single item.
+    pub fn ebv(&self) -> bool {
+        match self {
+            Item::Node(_) => true,
+            Item::Int(i) => *i != 0,
+            Item::Dbl(d) => *d != 0.0 && !d.is_nan(),
+            Item::Str(s) => !s.is_empty(),
+            Item::Bool(b) => *b,
+        }
+    }
+
+    /// Total order for sorting (`%` over item columns, `order by`).
+    /// Cross-class values order by class rank (bool < number < string <
+    /// node); numbers compare numerically across Int/Dbl; NaN sorts first.
+    pub fn sort_cmp(&self, other: &Item) -> Ordering {
+        fn class(i: &Item) -> u8 {
+            match i {
+                Item::Bool(_) => 0,
+                Item::Int(_) | Item::Dbl(_) => 1,
+                Item::Str(_) => 2,
+                Item::Node(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Item::Node(a), Item::Node(b)) => a.cmp(b),
+            (Item::Bool(a), Item::Bool(b)) => a.cmp(b),
+            (Item::Str(a), Item::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) => match (a.as_number(), b.as_number()) {
+                (Some(x), Some(y)) => {
+                    x.partial_cmp(&y).unwrap_or_else(|| match (x.is_nan(), y.is_nan()) {
+                        (true, true) => Ordering::Equal,
+                        (true, false) => Ordering::Less,
+                        (false, true) => Ordering::Greater,
+                        _ => unreachable!(),
+                    })
+                }
+                _ => class(a).cmp(&class(b)),
+            },
+        }
+    }
+
+    /// Hash key for grouping/joining: numbers collapse to their f64 bits so
+    /// `Int(2)` and `Dbl(2.0)` group together.
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Item::Node(n) => GroupKey::Node(*n),
+            Item::Int(i) => GroupKey::Num((*i as f64).to_bits()),
+            Item::Dbl(d) => GroupKey::Num(d.to_bits()),
+            Item::Str(s) => GroupKey::Str(s.clone()),
+            Item::Bool(b) => GroupKey::Bool(*b),
+        }
+    }
+}
+
+/// Hashable key of an item (see [`Item::group_key`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    Node(NodeId),
+    Num(u64),
+    Str(Rc<str>),
+    Bool(bool),
+}
+
+/// XQuery-style rendering of a double (integral doubles print without
+/// fraction, e.g. `5000` not `5000.0`).
+pub fn fmt_double(d: f64) -> String {
+    if d.is_nan() {
+        "NaN".into()
+    } else if d.is_infinite() {
+        if d > 0.0 { "INF".into() } else { "-INF".into() }
+    } else if d == d.trunc() && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xq_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ebv_rules() {
+        assert!(Item::Node(NodeId::new(0, 0)).ebv());
+        assert!(!Item::Int(0).ebv());
+        assert!(Item::Int(-1).ebv());
+        assert!(!Item::Dbl(f64::NAN).ebv());
+        assert!(!Item::str("").ebv());
+        assert!(Item::str("false").ebv()); // non-empty string is true
+        assert!(!Item::Bool(false).ebv());
+    }
+
+    #[test]
+    fn numeric_promotion() {
+        assert_eq!(Item::str("42").as_number_promoting(), Some(42.0));
+        assert_eq!(Item::str("x").as_number_promoting(), None);
+        assert_eq!(Item::Int(2).as_number_promoting(), Some(2.0));
+    }
+
+    #[test]
+    fn sort_order_across_classes() {
+        let mut v = vec![
+            Item::str("b"),
+            Item::Int(10),
+            Item::Dbl(2.5),
+            Item::Bool(true),
+            Item::Node(NodeId::new(0, 3)),
+            Item::Node(NodeId::new(0, 1)),
+            Item::str("a"),
+        ];
+        v.sort_by(|a, b| a.sort_cmp(b));
+        // bool < numbers < strings < nodes; numbers numeric; nodes doc order
+        assert_eq!(v[0], Item::Bool(true));
+        assert_eq!(v[1], Item::Dbl(2.5));
+        assert_eq!(v[2], Item::Int(10));
+        assert_eq!(v[3], Item::str("a"));
+        assert_eq!(v[4], Item::str("b"));
+        assert_eq!(v[5], Item::Node(NodeId::new(0, 1)));
+    }
+
+    #[test]
+    fn group_keys_unify_numeric_types() {
+        assert_eq!(Item::Int(2).group_key(), Item::Dbl(2.0).group_key());
+        assert_ne!(Item::Int(2).group_key(), Item::str("2").group_key());
+    }
+
+    #[test]
+    fn double_formatting() {
+        assert_eq!(fmt_double(5000.0), "5000");
+        assert_eq!(fmt_double(2.5), "2.5");
+        assert_eq!(fmt_double(f64::NAN), "NaN");
+        assert_eq!(fmt_double(f64::INFINITY), "INF");
+    }
+}

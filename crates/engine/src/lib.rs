@@ -1,0 +1,33 @@
+//! Columnar in-memory execution engine for the algebra DAG — the stand-in
+//! for the paper's MonetDB back-end.
+//!
+//! Design goals mirror what makes the paper's cost model tick:
+//!
+//! * the narrow `iter|pos|item` tables are stored column-wise
+//!   ([`Column`]), with `Rc`-shared columns so projection/rename is free
+//!   (MonetDB "operates on table descriptors rather than individual rows");
+//! * `#` ([`exrquy_algebra::Op::RowId`]) materializes a dense integer
+//!   column in one `memcpy`-class pass — "negligible cost or even free";
+//! * `%` ([`exrquy_algebra::Op::RowNum`]) performs a real sort — the
+//!   blocking operator whose elimination the whole paper is about;
+//! * the step operator `⬡` is evaluated with staircase join
+//!   (`exrquy-xml::axis`), per iteration group and fragment;
+//! * every operator's wall-clock time is recorded per operator *kind*
+//!   ([`Profile`]), which is exactly the granularity of the paper's
+//!   Table 2 breakdown.
+//!
+//! Evaluation is memoized over the shared DAG: an operator reachable via
+//! ten paths is evaluated once (§3's sharing).
+
+pub mod column;
+pub mod eval;
+pub mod funs;
+pub mod item;
+pub mod profile;
+pub mod table;
+
+pub use column::Column;
+pub use eval::{EvalError, Engine, EngineOptions, StepAlgo};
+pub use item::Item;
+pub use profile::Profile;
+pub use table::Table;

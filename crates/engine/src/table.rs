@@ -1,0 +1,159 @@
+//! Tables: named, `Rc`-shared columns of equal length.
+
+use crate::column::{ColRef, Column};
+use crate::item::Item;
+use exrquy_algebra::Col;
+use std::rc::Rc;
+
+/// One materialized intermediate result.
+#[derive(Debug, Clone)]
+pub struct Table {
+    cols: Vec<(Col, ColRef)>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Build from (name, column) pairs; all columns must have equal length.
+    pub fn new(cols: Vec<(Col, Column)>) -> Table {
+        let nrows = cols.first().map_or(0, |(_, c)| c.len());
+        for (name, c) in &cols {
+            assert_eq!(c.len(), nrows, "column `{name}` length mismatch");
+        }
+        Table {
+            cols: cols.into_iter().map(|(n, c)| (n, Rc::new(c))).collect(),
+            nrows,
+        }
+    }
+
+    /// Build from shared columns.
+    pub fn from_refs(cols: Vec<(Col, ColRef)>, nrows: usize) -> Table {
+        for (name, c) in &cols {
+            assert_eq!(c.len(), nrows, "column `{name}` length mismatch");
+        }
+        Table { cols, nrows }
+    }
+
+    /// An empty table with the given schema.
+    pub fn empty(schema: &[Col]) -> Table {
+        Table::new(schema.iter().map(|&c| (c, Column::Item(vec![]))).collect())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Column names in layout order.
+    pub fn schema(&self) -> Vec<Col> {
+        self.cols.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Shared handle to column `name`.
+    pub fn col(&self, name: Col) -> &ColRef {
+        self.cols
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| panic!("table has no column `{name}`"))
+    }
+
+    /// All (name, column) pairs.
+    pub fn columns(&self) -> &[(Col, ColRef)] {
+        &self.cols
+    }
+
+    /// Item at (`row`, `name`).
+    pub fn item(&self, name: Col, row: usize) -> Item {
+        self.col(name).get(row)
+    }
+
+    /// Integer at (`row`, `name`).
+    pub fn int(&self, name: Col, row: usize) -> i64 {
+        self.col(name).get_int(row)
+    }
+
+    /// New table with rows gathered by `idx`.
+    pub fn gather(&self, idx: &[usize]) -> Table {
+        Table {
+            cols: self
+                .cols
+                .iter()
+                .map(|(n, c)| (*n, Rc::new(c.gather(idx))))
+                .collect(),
+            nrows: idx.len(),
+        }
+    }
+
+    /// New table with an extra column.
+    pub fn with_column(&self, name: Col, col: Column) -> Table {
+        assert_eq!(col.len(), self.nrows);
+        let mut cols = self.cols.clone();
+        cols.push((name, Rc::new(col)));
+        Table {
+            cols,
+            nrows: self.nrows,
+        }
+    }
+
+    /// Render as an aligned text table (debugging, examples).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let names: Vec<String> = self.cols.iter().map(|(n, _)| n.name()).collect();
+        let _ = writeln!(out, "| {} |", names.join(" | "));
+        for r in 0..self.nrows {
+            let vals: Vec<String> = self
+                .cols
+                .iter()
+                .map(|(_, c)| c.get(r).to_xq_string())
+                .collect();
+            let _ = writeln!(out, "| {} |", vals.join(" | "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Table::new(vec![
+            (Col::ITER, Column::Int(vec![1, 1, 2])),
+            (Col::ITEM, Column::Item(vec![
+                Item::str("a"),
+                Item::str("b"),
+                Item::str("c"),
+            ])),
+        ]);
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.int(Col::ITER, 2), 2);
+        assert_eq!(t.item(Col::ITEM, 0), Item::str("a"));
+        assert_eq!(t.schema(), vec![Col::ITER, Col::ITEM]);
+    }
+
+    #[test]
+    fn gather_rows() {
+        let t = Table::new(vec![(Col::POS, Column::Int(vec![10, 20, 30]))]);
+        let g = t.gather(&[2, 1]);
+        assert_eq!(g.nrows(), 2);
+        assert_eq!(g.int(Col::POS, 0), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_columns_panic() {
+        Table::new(vec![
+            (Col::ITER, Column::Int(vec![1])),
+            (Col::POS, Column::Int(vec![1, 2])),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        let t = Table::empty(&[Col::ITER]);
+        t.col(Col::POS);
+    }
+}

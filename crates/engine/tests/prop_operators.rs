@@ -1,0 +1,267 @@
+//! Operator-level property tests: each relational operator against a
+//! naive model, plus the row-numbering invariants the compiler relies on.
+
+use exrquy_algebra::{AValue, Col, Dag, FunKind, Op, OpId, SortKey};
+use exrquy_engine::{Engine, EngineOptions, Item, Table};
+use exrquy_xml::Store;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn lit(dag: &mut Dag, cols: Vec<Col>, rows: &[Vec<i64>]) -> OpId {
+    dag.add(Op::Lit {
+        cols,
+        rows: rows
+            .iter()
+            .map(|r| r.iter().map(|&v| AValue::Int(v)).collect())
+            .collect(),
+    })
+}
+
+fn run(dag: &Dag, root: OpId) -> Table {
+    let mut store = Store::new();
+    let mut e = Engine::new(dag, &mut store, HashMap::new(), EngineOptions::default());
+    (*e.eval(root).unwrap()).clone()
+}
+
+fn rows2() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(
+        (0i64..6, -20i64..20).prop_map(|(a, b)| vec![a, b]),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `%` numbers each partition densely 1..k in sort order, regardless
+    /// of physical row order; row order itself is preserved.
+    #[test]
+    fn rownum_is_dense_per_group(rows in rows2()) {
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITER, Col::ITEM], &rows);
+        let rn = dag.add(Op::RowNum {
+            input: src,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let t = run(&dag, rn);
+        prop_assert_eq!(t.nrows(), rows.len());
+        // Group rows; per group the assigned numbers must be a permutation
+        // of 1..=k ordered consistently with the item values.
+        let mut groups: HashMap<i64, Vec<(i64, i64)>> = HashMap::new();
+        for r in 0..t.nrows() {
+            // Row order preserved: same (iter, item) as the input.
+            prop_assert_eq!(t.int(Col::ITER, r), rows[r][0]);
+            prop_assert_eq!(t.int(Col::ITEM, r), rows[r][1]);
+            groups
+                .entry(t.int(Col::ITER, r))
+                .or_default()
+                .push((t.int(Col::POS, r), t.int(Col::ITEM, r)));
+        }
+        for (_, mut g) in groups {
+            g.sort();
+            for (i, &(pos, _)) in g.iter().enumerate() {
+                prop_assert_eq!(pos, i as i64 + 1, "not dense: {:?}", &g);
+            }
+            // Sorting by assigned number must order items ascending.
+            for w in g.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1, "order violated: {:?}", &g);
+            }
+        }
+    }
+
+    /// `#` attaches unique values (and the engine's dense fast path for
+    /// criterion-free `%` matches per-group counting).
+    #[test]
+    fn rowid_unique_and_free_rownum_dense(rows in rows2()) {
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITER, Col::ITEM], &rows);
+        let rid = dag.add(Op::RowId { input: src, new: Col::POS });
+        let t = run(&dag, rid);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..t.nrows() {
+            prop_assert!(seen.insert(t.int(Col::POS, r)), "duplicate row id");
+        }
+        let free = dag.add(Op::RowNum {
+            input: src,
+            new: Col::POS,
+            order: vec![],
+            part: Some(Col::ITER),
+        });
+        let t = run(&dag, free);
+        let mut per_group: HashMap<i64, Vec<i64>> = HashMap::new();
+        for r in 0..t.nrows() {
+            per_group.entry(t.int(Col::ITER, r)).or_default().push(t.int(Col::POS, r));
+        }
+        for (_, mut v) in per_group {
+            v.sort_unstable();
+            for (i, &p) in v.iter().enumerate() {
+                prop_assert_eq!(p, i as i64 + 1);
+            }
+        }
+    }
+
+    /// Theta-join (band) ≡ the nested-loop definition.
+    #[test]
+    fn thetajoin_matches_nested_loop(
+        l in prop::collection::vec(-20i64..20, 0..25),
+        r in prop::collection::vec(-20i64..20, 0..25),
+        kind in prop_oneof![
+            Just(FunKind::Lt), Just(FunKind::Le), Just(FunKind::Gt),
+            Just(FunKind::Ge), Just(FunKind::Eq), Just(FunKind::Ne)
+        ],
+    ) {
+        let mut dag = Dag::new();
+        let lv: Vec<Vec<i64>> = l.iter().map(|&v| vec![v]).collect();
+        let rv: Vec<Vec<i64>> = r.iter().map(|&v| vec![v]).collect();
+        let lt = lit(&mut dag, vec![Col::ITEM1], &lv);
+        let rt = lit(&mut dag, vec![Col::ITEM2], &rv);
+        let tj = dag.add(Op::ThetaJoin {
+            l: lt,
+            r: rt,
+            pred: vec![(Col::ITEM1, kind, Col::ITEM2)],
+        });
+        let t = run(&dag, tj);
+        let mut got: Vec<(i64, i64)> = (0..t.nrows())
+            .map(|i| (t.int(Col::ITEM1, i), t.int(Col::ITEM2, i)))
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<(i64, i64)> = Vec::new();
+        for &a in &l {
+            for &b in &r {
+                let keep = match kind {
+                    FunKind::Lt => a < b,
+                    FunKind::Le => a <= b,
+                    FunKind::Gt => a > b,
+                    FunKind::Ge => a >= b,
+                    FunKind::Eq => a == b,
+                    FunKind::Ne => a != b,
+                    _ => unreachable!(),
+                };
+                if keep {
+                    expect.push((a, b));
+                }
+            }
+        }
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Difference ≡ the set-definition anti-semijoin.
+    #[test]
+    fn difference_matches_model(
+        l in prop::collection::vec(0i64..10, 0..30),
+        r in prop::collection::vec(0i64..10, 0..30),
+    ) {
+        let mut dag = Dag::new();
+        let lv: Vec<Vec<i64>> = l.iter().map(|&v| vec![v]).collect();
+        let rv: Vec<Vec<i64>> = r.iter().map(|&v| vec![v]).collect();
+        let lt = lit(&mut dag, vec![Col::ITER], &lv);
+        let rt = lit(&mut dag, vec![Col::ITER1], &rv);
+        let d = dag.add(Op::Difference {
+            l: lt,
+            r: rt,
+            on: vec![(Col::ITER, Col::ITER1)],
+        });
+        let t = run(&dag, d);
+        let rset: std::collections::HashSet<i64> = r.iter().copied().collect();
+        let expect: Vec<i64> = l.iter().copied().filter(|v| !rset.contains(v)).collect();
+        let got: Vec<i64> = (0..t.nrows()).map(|i| t.int(Col::ITER, i)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Distinct keeps the first occurrence of each row, in order.
+    #[test]
+    fn distinct_keeps_first_occurrences(rows in rows2()) {
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITER, Col::ITEM], &rows);
+        let d = dag.add(Op::Distinct { input: src });
+        let t = run(&dag, d);
+        let mut seen = std::collections::HashSet::new();
+        let mut expect = Vec::new();
+        for r in &rows {
+            if seen.insert((r[0], r[1])) {
+                expect.push((r[0], r[1]));
+            }
+        }
+        let got: Vec<(i64, i64)> = (0..t.nrows())
+            .map(|i| (t.int(Col::ITER, i), t.int(Col::ITEM, i)))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// EquiJoin ≡ nested-loop equality join (pair multiset).
+    #[test]
+    fn equijoin_matches_model(
+        l in prop::collection::vec((0i64..8, 0i64..50), 0..25),
+        r in prop::collection::vec((0i64..8, 0i64..50), 0..25),
+    ) {
+        let mut dag = Dag::new();
+        let lv: Vec<Vec<i64>> = l.iter().map(|&(k, v)| vec![k, v]).collect();
+        let rv: Vec<Vec<i64>> = r.iter().map(|&(k, v)| vec![k, v]).collect();
+        let lt = lit(&mut dag, vec![Col::ITER, Col::ITEM1], &lv);
+        let rt = lit(&mut dag, vec![Col::ITER1, Col::ITEM2], &rv);
+        let j = dag.add(Op::EquiJoin {
+            l: lt,
+            r: rt,
+            lcol: Col::ITER,
+            rcol: Col::ITER1,
+        });
+        let t = run(&dag, j);
+        let mut got: Vec<(i64, i64, i64)> = (0..t.nrows())
+            .map(|i| (t.int(Col::ITER, i), t.int(Col::ITEM1, i), t.int(Col::ITEM2, i)))
+            .collect();
+        got.sort_unstable();
+        let mut expect = Vec::new();
+        for &(lk, lv_) in &l {
+            for &(rk, rv_) in &r {
+                if lk == rk {
+                    expect.push((lk, lv_, rv_));
+                }
+            }
+        }
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Aggregates match straightforward per-group folds.
+    #[test]
+    fn aggregates_match_model(rows in rows2()) {
+        use exrquy_algebra::AggrKind;
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITER, Col::ITEM], &rows);
+        let mut model: HashMap<i64, Vec<i64>> = HashMap::new();
+        for r in &rows {
+            model.entry(r[0]).or_default().push(r[1]);
+        }
+        for kind in [AggrKind::Count, AggrKind::Sum, AggrKind::Max, AggrKind::Min] {
+            let a = dag.add(Op::Aggr {
+                input: src,
+                kind,
+                new: Col::RES,
+                arg: if kind == AggrKind::Count { None } else { Some(Col::ITEM) },
+                part: Some(Col::ITER),
+            });
+            let t = run(&dag, a);
+            prop_assert_eq!(t.nrows(), model.len());
+            for r in 0..t.nrows() {
+                let g = &model[&t.int(Col::ITER, r)];
+                let got = t.item(Col::RES, r);
+                match kind {
+                    AggrKind::Count => prop_assert_eq!(got, Item::Int(g.len() as i64)),
+                    AggrKind::Sum => {
+                        prop_assert_eq!(got, Item::Dbl(g.iter().sum::<i64>() as f64))
+                    }
+                    AggrKind::Max => {
+                        prop_assert_eq!(got, Item::Dbl(*g.iter().max().unwrap() as f64))
+                    }
+                    AggrKind::Min => {
+                        prop_assert_eq!(got, Item::Dbl(*g.iter().min().unwrap() as f64))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Normalization `J·K`: inserting order indifference at the language level.
+//!
+//! The paper (§2.2) shows that ordering mode `unordered` *cannot* be fully
+//! expressed by XQuery Core rewriting (Rule FOR breaks positional
+//! variables and hides permutation freedom), so only the rules that are
+//! valid in **either** ordering mode are applied here:
+//!
+//! * `FN:COUNT` and friends — aggregate arguments are wrapped in
+//!   `fn:unordered(·)`: `fn:count(e)` ⇒ `fn:count(fn:unordered(JeK))`.
+//!   Applied to `count`, `sum`, `avg`, `max`, `min`, `empty`, `exists`,
+//!   `boolean`, `not`, `distinct-values`.
+//! * `QUANT` — quantifier domains are wrapped: `some $x in e1 satisfies
+//!   e2` ⇒ `some $x in fn:unordered(Je1K) satisfies Je2K`.
+//! * General comparisons have existential semantics; both operands are
+//!   wrapped (the paper derives this from the `some`-based normalization
+//!   of `e1 = e2`).
+//! * FLWOR blocks with an `order by` clause are flagged `reordered`: the
+//!   tuple stream feeding the sort may be produced in arbitrary order
+//!   (context (f) of §1).
+//!
+//! In addition, `fn:unordered(e)` calls are reified into
+//! [`Expr::Unordered`] nodes so the compiler's Rule `FN:UNORDERED` can
+//! match them structurally. The mode-dependent rules (`FOR`, `STEP`,
+//! `UNION` of Figure 4) are realized *algebraically* by the compiler
+//! (Rules `LOC#`/`BIND#`), exactly as the paper prescribes.
+
+use crate::ast::*;
+
+/// Built-in functions that are indifferent to the sequence order of their
+/// (first) argument.
+pub const ORDER_INDIFFERENT_FNS: &[&str] = &[
+    "count",
+    "sum",
+    "avg",
+    "max",
+    "min",
+    "empty",
+    "exists",
+    "boolean",
+    "not",
+    "distinct-values",
+];
+
+/// Normalize a whole module with order-indifference exploitation on.
+pub fn normalize(m: &Module) -> Module {
+    normalize_opts(m, true)
+}
+
+/// Normalize a whole module. With `exploit = false` this produces the
+/// *baseline* of the paper's §5/§6 comparison: no `fn:unordered(·)`
+/// insertions, no `reordered` flags, and explicit `fn:unordered()` calls
+/// degrade to the identity function ("fn:unordered() is commonly
+/// implemented as the identity function", §6).
+pub fn normalize_opts(m: &Module, exploit: bool) -> Module {
+    Module {
+        ordering: m.ordering,
+        variables: m
+            .variables
+            .iter()
+            .map(|(n, e)| (n.clone(), norm_with(e, exploit)))
+            .collect(),
+        body: norm_with(&m.body, exploit),
+    }
+}
+
+/// Normalize one expression with exploitation on.
+pub fn norm(e: &Expr) -> Expr {
+    norm_with(e, true)
+}
+
+/// Wrap in `fn:unordered(·)` when exploitation is on (idempotent).
+fn wrap_unordered(e: Expr, exploit: bool) -> Expr {
+    if !exploit {
+        return e;
+    }
+    match e {
+        Expr::Unordered(i) => Expr::Unordered(i),
+        other => Expr::unordered(other),
+    }
+}
+
+/// Normalize one expression (recursive).
+pub fn norm_with(e: &Expr, exploit: bool) -> Expr {
+    let norm = |e: &Expr| norm_with(e, exploit);
+    match e {
+        Expr::IntLit(_)
+        | Expr::DblLit(_)
+        | Expr::StrLit(_)
+        | Expr::Empty
+        | Expr::Var(_)
+        | Expr::ContextItem
+        | Expr::Root => e.clone(),
+
+        Expr::Sequence(items) => Expr::Sequence(items.iter().map(norm).collect()),
+
+        Expr::PathStep {
+            input,
+            axis,
+            test,
+            predicates,
+        } => Expr::PathStep {
+            input: Box::new(norm(input)),
+            axis: *axis,
+            test: test.clone(),
+            predicates: predicates.iter().map(norm).collect(),
+        },
+
+        Expr::Filter { input, predicate } => Expr::Filter {
+            input: Box::new(norm(input)),
+            predicate: Box::new(norm(predicate)),
+        },
+
+        Expr::PathSeq { input, step } => Expr::PathSeq {
+            input: Box::new(norm(input)),
+            step: Box::new(norm(step)),
+        },
+
+        Expr::Flwor {
+            clauses,
+            order_by,
+            ret,
+            ..
+        } => {
+            let clauses = clauses
+                .iter()
+                .map(|c| match c {
+                    Clause::For { var, pos_var, seq } => Clause::For {
+                        var: var.clone(),
+                        pos_var: pos_var.clone(),
+                        seq: norm(seq),
+                    },
+                    Clause::Let { var, expr } => Clause::Let {
+                        var: var.clone(),
+                        expr: norm(expr),
+                    },
+                    Clause::Where(e) => Clause::Where(norm(e)),
+                })
+                .collect();
+            let order_by: Vec<OrderSpec> = order_by
+                .iter()
+                .map(|o| OrderSpec {
+                    key: norm(&o.key),
+                    descending: o.descending,
+                })
+                .collect();
+            // Context (f): an order by re-sorts the tuple stream, so the
+            // iteration order in which tuples are generated is unobservable.
+            let reordered = exploit && !order_by.is_empty();
+            Expr::Flwor {
+                clauses,
+                order_by,
+                reordered,
+                ret: Box::new(norm(ret)),
+            }
+        }
+
+        Expr::Quantified {
+            quant,
+            var,
+            domain,
+            satisfies,
+        } => Expr::Quantified {
+            quant: *quant,
+            var: var.clone(),
+            // Rule QUANT: the quantifier is indifferent to the order of its
+            // domain — in either ordering mode.
+            domain: Box::new(wrap_unordered(norm(domain), exploit)),
+            satisfies: Box::new(norm(satisfies)),
+        },
+
+        Expr::If { cond, then, els } => Expr::If {
+            // The condition feeds fn:boolean (EBV): order-indifferent.
+            cond: Box::new(wrap_unordered(norm(cond), exploit)),
+            then: Box::new(norm(then)),
+            els: Box::new(norm(els)),
+        },
+
+        Expr::Binary { op, l, r } => {
+            let (l, r) = (norm(l), norm(r));
+            if op.is_general_comparison() && exploit {
+                // Existential semantics: both operand orders unobservable.
+                Expr::binary(*op, Expr::unordered(l), Expr::unordered(r))
+            } else {
+                Expr::binary(*op, l, r)
+            }
+        }
+
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(norm(expr)),
+        },
+
+        Expr::Call { name, args } => {
+            let mut args: Vec<Expr> = args.iter().map(norm).collect();
+            if name == "unordered" && args.len() == 1 {
+                // Reify fn:unordered as a structural node (idempotent); in
+                // baseline mode it is the identity function (§6).
+                let inner = args.pop().unwrap();
+                if !exploit {
+                    return inner;
+                }
+                return match inner {
+                    Expr::Unordered(i) => Expr::Unordered(i),
+                    other => Expr::Unordered(Box::new(other)),
+                };
+            }
+            if exploit && ORDER_INDIFFERENT_FNS.contains(&name.as_str()) && !args.is_empty() {
+                // Rule FN:COUNT and its analogues.
+                let first = args.remove(0);
+                let first = match first {
+                    // Avoid double wrapping.
+                    Expr::Unordered(_) => first,
+                    other => Expr::unordered(other),
+                };
+                args.insert(0, first);
+            }
+            Expr::Call {
+                name: name.clone(),
+                args,
+            }
+        }
+
+        Expr::Unordered(inner) => match norm(inner) {
+            // fn:unordered is idempotent.
+            Expr::Unordered(i) => Expr::Unordered(i),
+            other => Expr::Unordered(Box::new(other)),
+        },
+
+        Expr::OrderingScope { mode, expr } => {
+            if !exploit {
+                // Baseline processors "proceed as if strict ordering is
+                // required throughout" (§6): the scope is dropped.
+                return norm(expr);
+            }
+            Expr::OrderingScope {
+                mode: *mode,
+                expr: Box::new(norm(expr)),
+            }
+        }
+
+        Expr::DirElement {
+            name,
+            attrs,
+            content,
+        } => Expr::DirElement {
+            name: name.clone(),
+            attrs: attrs
+                .iter()
+                .map(|a| DirAttr {
+                    name: a.name.clone(),
+                    value: a
+                        .value
+                        .iter()
+                        .map(|p| match p {
+                            AttrPart::Lit(s) => AttrPart::Lit(s.clone()),
+                            AttrPart::Expr(e) => AttrPart::Expr(norm(e)),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            content: content
+                .iter()
+                .map(|c| match c {
+                    ElemContent::Text(t) => ElemContent::Text(t.clone()),
+                    ElemContent::Expr(e) => ElemContent::Expr(norm(e)),
+                })
+                .collect(),
+        },
+
+        Expr::TextConstructor(e) => Expr::TextConstructor(Box::new(norm(e))),
+        Expr::AttrConstructor { name, value } => Expr::AttrConstructor {
+            name: name.clone(),
+            value: Box::new(norm(value)),
+        },
+        Expr::ElemConstructor { name, content } => Expr::ElemConstructor {
+            name: name.clone(),
+            content: Box::new(norm(content)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn norm_body(q: &str) -> Expr {
+        norm(&parse_module(q).unwrap().body)
+    }
+
+    #[test]
+    fn fn_count_rule() {
+        // Rule FN:COUNT: fn:count(e) ⇒ fn:count(fn:unordered(e)).
+        match norm_body("fn:count($l)") {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "count");
+                assert!(matches!(args[0], Expr::Unordered(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quant_rule() {
+        match norm_body("some $x in $d satisfies $x = 1") {
+            Expr::Quantified { domain, .. } => assert!(matches!(*domain, Expr::Unordered(_))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn general_comparison_operands_unordered() {
+        match norm_body("$a = $b") {
+            Expr::Binary { op, l, r } => {
+                assert_eq!(op, BinOp::GenEq);
+                assert!(matches!(*l, Expr::Unordered(_)));
+                assert!(matches!(*r, Expr::Unordered(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_comparison_untouched() {
+        match norm_body("$a eq $b") {
+            Expr::Binary { op, l, r } => {
+                assert_eq!(op, BinOp::ValEq);
+                assert!(!matches!(*l, Expr::Unordered(_)));
+                assert!(!matches!(*r, Expr::Unordered(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fn_unordered_reified_and_idempotent() {
+        assert!(matches!(norm_body("fn:unordered($x)"), Expr::Unordered(_)));
+        match norm_body("fn:unordered(fn:unordered($x))") {
+            Expr::Unordered(inner) => assert!(matches!(*inner, Expr::Var(_))),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // count(unordered(e)) does not double-wrap
+        match norm_body("fn:count(fn:unordered($x))") {
+            Expr::Call { args, .. } => match &args[0] {
+                Expr::Unordered(inner) => assert!(matches!(**inner, Expr::Var(_))),
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_marks_reordered() {
+        match norm_body("for $x in (3,1,2) order by $x return $x") {
+            Expr::Flwor { reordered, .. } => assert!(reordered),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match norm_body("for $x in (3,1,2) return $x") {
+            Expr::Flwor { reordered, .. } => assert!(!reordered),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_condition_unordered() {
+        match norm_body("if ($a) then 1 else 2") {
+            Expr::If { cond, .. } => assert!(matches!(*cond, Expr::Unordered(_))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

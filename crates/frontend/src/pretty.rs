@@ -1,0 +1,394 @@
+//! AST → XQuery surface-syntax printer.
+//!
+//! Produces parseable text; `parse(pretty(parse(q)))` yields the same AST
+//! (verified by the round-trip property tests). Used for debugging,
+//! error messages, and to embed normalized queries in reports.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render an expression as XQuery text.
+pub fn pretty(e: &Expr) -> String {
+    let mut s = String::new();
+    go(e, &mut s);
+    s
+}
+
+/// Render a whole module (prolog + body).
+pub fn pretty_module(m: &Module) -> String {
+    let mut s = String::new();
+    if m.ordering == OrderingMode::Unordered {
+        s.push_str("declare ordering unordered; ");
+    }
+    for (name, e) in &m.variables {
+        let _ = write!(s, "declare variable ${name} := {}; ", pretty(e));
+    }
+    go(&m.body, &mut s);
+    s
+}
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\"\""),
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn node_test(t: &NodeTestAst) -> String {
+    match t {
+        NodeTestAst::AnyKind => "node()".into(),
+        NodeTestAst::Wildcard => "*".into(),
+        NodeTestAst::Name(n) => n.clone(),
+        NodeTestAst::Text => "text()".into(),
+        NodeTestAst::Comment => "comment()".into(),
+        NodeTestAst::Pi(None) => "processing-instruction()".into(),
+        NodeTestAst::Pi(Some(t)) => format!("processing-instruction({t})"),
+        NodeTestAst::Element => "element()".into(),
+        NodeTestAst::DocumentNode => "document-node()".into(),
+    }
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "div",
+        BinOp::IDiv => "idiv",
+        BinOp::Mod => "mod",
+        BinOp::GenEq => "=",
+        BinOp::GenNe => "!=",
+        BinOp::GenLt => "<",
+        BinOp::GenLe => "<=",
+        BinOp::GenGt => ">",
+        BinOp::GenGe => ">=",
+        BinOp::ValEq => "eq",
+        BinOp::ValNe => "ne",
+        BinOp::ValLt => "lt",
+        BinOp::ValLe => "le",
+        BinOp::ValGt => "gt",
+        BinOp::ValGe => "ge",
+        BinOp::Is => "is",
+        BinOp::Before => "<<",
+        BinOp::After => ">>",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Union => "|",
+        BinOp::Intersect => "intersect",
+        BinOp::Except => "except",
+        BinOp::To => "to",
+    }
+}
+
+fn go(e: &Expr, s: &mut String) {
+    match e {
+        Expr::IntLit(i) => {
+            let _ = write!(s, "{i}");
+        }
+        Expr::DblLit(d) => {
+            if d.fract() == 0.0 && d.is_finite() {
+                let _ = write!(s, "{d:.1}");
+            } else {
+                let _ = write!(s, "{d}");
+            }
+        }
+        Expr::StrLit(v) => {
+            let _ = write!(s, "\"{}\"", escape_str(v));
+        }
+        Expr::Empty => s.push_str("()"),
+        Expr::Sequence(items) => {
+            s.push('(');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                go(it, s);
+            }
+            s.push(')');
+        }
+        Expr::Var(v) => {
+            let _ = write!(s, "${v}");
+        }
+        Expr::ContextItem => s.push('.'),
+        Expr::Root => s.push('/'),
+        Expr::PathStep {
+            input,
+            axis,
+            test,
+            predicates,
+        } => {
+            match **input {
+                Expr::ContextItem => {}
+                Expr::Root => s.push('/'),
+                _ => {
+                    go(input, s);
+                    s.push('/');
+                }
+            }
+            let _ = write!(s, "{}::{}", axis.as_str(), node_test(test));
+            for p in predicates {
+                s.push('[');
+                go(p, s);
+                s.push(']');
+            }
+        }
+        Expr::Filter { input, predicate } => {
+            go(input, s);
+            s.push('[');
+            go(predicate, s);
+            s.push(']');
+        }
+        Expr::PathSeq { input, step } => {
+            go(input, s);
+            s.push_str("/(");
+            go(step, s);
+            s.push(')');
+        }
+        Expr::Flwor {
+            clauses,
+            order_by,
+            ret,
+            ..
+        } => {
+            // FLWOR is an ExprSingle: parenthesize so it can be printed in
+            // any operand position.
+            s.push('(');
+            for c in clauses {
+                match c {
+                    Clause::For { var, pos_var, seq } => {
+                        let _ = write!(s, "for ${var} ");
+                        if let Some(p) = pos_var {
+                            let _ = write!(s, "at ${p} ");
+                        }
+                        s.push_str("in ");
+                        go_single(seq, s);
+                        s.push(' ');
+                    }
+                    Clause::Let { var, expr } => {
+                        let _ = write!(s, "let ${var} := ");
+                        go_single(expr, s);
+                        s.push(' ');
+                    }
+                    Clause::Where(e) => {
+                        s.push_str("where ");
+                        go_single(e, s);
+                        s.push(' ');
+                    }
+                }
+            }
+            if !order_by.is_empty() {
+                s.push_str("order by ");
+                for (i, o) in order_by.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    go_single(&o.key, s);
+                    if o.descending {
+                        s.push_str(" descending");
+                    }
+                }
+                s.push(' ');
+            }
+            s.push_str("return ");
+            go_single(ret, s);
+            s.push(')');
+        }
+        Expr::Quantified {
+            quant,
+            var,
+            domain,
+            satisfies,
+        } => {
+            let kw = match quant {
+                Quant::Some => "some",
+                Quant::Every => "every",
+            };
+            let _ = write!(s, "({kw} ${var} in ");
+            go_single(domain, s);
+            s.push_str(" satisfies ");
+            go_single(satisfies, s);
+            s.push(')');
+        }
+        Expr::If { cond, then, els } => {
+            s.push_str("(if (");
+            go(cond, s);
+            s.push_str(") then ");
+            go_single(then, s);
+            s.push_str(" else ");
+            go_single(els, s);
+            s.push(')');
+        }
+        Expr::Binary { op, l, r } => {
+            s.push('(');
+            go(l, s);
+            let _ = write!(s, " {} ", bin_op(*op));
+            go(r, s);
+            s.push(')');
+        }
+        Expr::Unary { op, expr } => {
+            s.push(match op {
+                UnOp::Minus => '-',
+                UnOp::Plus => '+',
+            });
+            go(expr, s);
+        }
+        Expr::Call { name, args } => {
+            let _ = write!(s, "fn:{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                go_single(a, s);
+            }
+            s.push(')');
+        }
+        Expr::Unordered(e) => {
+            s.push_str("fn:unordered(");
+            go_single(e, s);
+            s.push(')');
+        }
+        Expr::OrderingScope { mode, expr } => {
+            s.push_str(match mode {
+                OrderingMode::Ordered => "ordered { ",
+                OrderingMode::Unordered => "unordered { ",
+            });
+            go(expr, s);
+            s.push_str(" }");
+        }
+        Expr::DirElement {
+            name,
+            attrs,
+            content,
+        } => {
+            let _ = write!(s, "<{name}");
+            for a in attrs {
+                let _ = write!(s, " {}=\"", a.name);
+                for p in &a.value {
+                    match p {
+                        AttrPart::Lit(t) => {
+                            for c in t.chars() {
+                                match c {
+                                    '"' => s.push_str("&quot;"),
+                                    '&' => s.push_str("&amp;"),
+                                    '<' => s.push_str("&lt;"),
+                                    '{' => s.push_str("{{"),
+                                    '}' => s.push_str("}}"),
+                                    _ => s.push(c),
+                                }
+                            }
+                        }
+                        AttrPart::Expr(e) => {
+                            s.push('{');
+                            go(e, s);
+                            s.push('}');
+                        }
+                    }
+                }
+                s.push('"');
+            }
+            if content.is_empty() {
+                s.push_str("/>");
+                return;
+            }
+            s.push('>');
+            for c in content {
+                match c {
+                    ElemContent::Text(t) => {
+                        for c in t.chars() {
+                            match c {
+                                '&' => s.push_str("&amp;"),
+                                '<' => s.push_str("&lt;"),
+                                '{' => s.push_str("{{"),
+                                '}' => s.push_str("}}"),
+                                _ => s.push(c),
+                            }
+                        }
+                    }
+                    ElemContent::Expr(e) => match e {
+                        Expr::DirElement { .. } => go(e, s),
+                        _ => {
+                            s.push('{');
+                            go(e, s);
+                            s.push('}');
+                        }
+                    },
+                }
+            }
+            let _ = write!(s, "</{name}>");
+        }
+        Expr::TextConstructor(e) => {
+            s.push_str("text { ");
+            go(e, s);
+            s.push_str(" }");
+        }
+        Expr::AttrConstructor { name, value } => {
+            let _ = write!(s, "attribute {name} {{ ");
+            go(value, s);
+            s.push_str(" }");
+        }
+        Expr::ElemConstructor { name, content } => {
+            let _ = write!(s, "element {name} {{ ");
+            go(content, s);
+            s.push_str(" }");
+        }
+    }
+}
+
+/// Like [`go`] but parenthesizes top-level sequences (contexts where a
+/// bare `,` would be ambiguous).
+fn go_single(e: &Expr, s: &mut String) {
+    match e {
+        Expr::Sequence(_) => go(e, s), // Sequence already parenthesizes
+        _ => go(e, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn roundtrip(q: &str) {
+        let ast1 = parse_module(q).unwrap().body;
+        let text = pretty(&ast1);
+        let ast2 = parse_module(&text)
+            .unwrap_or_else(|e| panic!("re-parse of `{text}` failed: {e}"))
+            .body;
+        assert_eq!(ast1, ast2, "roundtrip mismatch via `{text}`");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for q in [
+            "1 + 2 * 3",
+            "(1, 2, 3)",
+            "$t//c",
+            "$t//(c|d)",
+            "$p/profile/@income > 5000 * $i",
+            "for $x at $p in (\"a\",\"b\",\"c\") return <e pos=\"{ $p }\">{ $x }</e>",
+            "unordered { $t//c }",
+            "if ($x = 1) then \"a\" else \"b\"",
+            "some $x in $d satisfies $x eq 1",
+            "fn:count($l)",
+            "let $b := $t//b let $d := $t//d return ($b << $d)",
+            "for $x in (3,1,2) order by $x descending return $x",
+            "element out { text { \"hi\" } }",
+            "$a except $b",
+            "1 to 5",
+            "-$x",
+        ] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn escapes_in_constructors() {
+        roundtrip(r#"<a x="q&quot;{1}">l&lt;r{2}</a>"#);
+    }
+}

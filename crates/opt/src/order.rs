@@ -1,0 +1,192 @@
+//! Physical row-order inference — the \[Moerkotte & Neumann, VLDB 2004\]
+//! extension the paper's §6 points at: "the techniques of \[15\] might
+//! infer that a particular sub-plan yields rows in ⟨b, c⟩ order. This
+//! renders subsequent `% a:⟨b,c⟩` or `% a:⟨c⟩‖b` operators as cheap as
+//! `# a`."
+//!
+//! This pass infers, for every operator, a *sort-order prefix*: the list
+//! of columns by which the engine is guaranteed to emit the operator's
+//! rows in ascending order. The facts are contracts of `exrquy-engine`:
+//!
+//! * `⬡` emits `(iter, item)`-sorted rows (staircase join output, grouped
+//!   by iteration);
+//! * π/σ/δ/`%`/`#`/attach/fun preserve their input's row order
+//!   (projection must keep the order columns alive, renames carry over);
+//! * `range` preserves input order and extends it with the ascending
+//!   range column;
+//! * everything else (unions, joins, aggregates, constructors) yields no
+//!   guarantee.
+//!
+//! The rewrite in [`rewrite`](crate::rewrite) (enabled via
+//! [`OptOptions::physical_order`](crate::OptOptions)) then drops the sort
+//! criteria of any `%` whose partition/criteria sequence is a prefix of
+//! the input's inferred order — turning the blocking sort into the free
+//! single-pass numbering. The pass is *physical* (it reasons about the
+//! engine, not the algebra) and therefore orthogonal to the paper's
+//! purely logical contribution; it ships disabled by default and is
+//! exercised by the ablation benchmarks.
+
+use exrquy_algebra::{Col, Dag, Op, OpId};
+use std::collections::HashMap;
+
+/// Operator → the column list its output rows are sorted by (ascending,
+/// lexicographic prefix). Missing entry or empty list = no guarantee.
+pub type OrderMap = HashMap<OpId, Vec<Col>>;
+
+/// Infer sort-order prefixes for every operator reachable from `root`.
+pub fn sort_orders(dag: &Dag, root: OpId) -> OrderMap {
+    let mut orders: OrderMap = HashMap::new();
+    for id in dag.topo_order(root) {
+        let op = dag.op(id);
+        let of = |c: OpId, orders: &OrderMap| -> Vec<Col> {
+            orders.get(&c).cloned().unwrap_or_default()
+        };
+        let mine: Vec<Col> = match op {
+            // Engine contract: per-iteration staircase results concatenated
+            // in ascending iteration order.
+            Op::Step { .. } => vec![Col::ITER, Col::ITEM],
+            // Row-order preserving unary operators.
+            Op::Select { input, .. }
+            | Op::RowNum { input, .. }
+            | Op::RowId { input, .. }
+            | Op::Attach { input, .. }
+            | Op::Fun { input, .. }
+            | Op::Distinct { input }
+            | Op::Serialize { input } => of(*input, &orders),
+            Op::Project { input, cols } => {
+                // Keep the longest prefix whose source columns survive the
+                // projection, mapped through the renames. A source column
+                // projected out truncates the prefix; a duplicated source
+                // keeps its first target.
+                let inp = of(*input, &orders);
+                let mut out = Vec::new();
+                'prefix: for src in inp {
+                    for (new, s) in cols {
+                        if *s == src {
+                            out.push(*new);
+                            continue 'prefix;
+                        }
+                    }
+                    break;
+                }
+                out
+            }
+            Op::Range { input, new, .. } => {
+                // Rows are emitted input-major with the range column
+                // ascending inside each input row.
+                let mut o = of(*input, &orders);
+                o.push(*new);
+                o
+            }
+            // No guarantee across merges, joins, aggregation, node
+            // construction or literals.
+            _ => Vec::new(),
+        };
+        if !mine.is_empty() {
+            orders.insert(id, mine);
+        }
+    }
+    orders
+}
+
+/// Would a `% new:⟨order⟩‖part` over an input sorted by `input_order` be
+/// satisfied without sorting? True when `[part?] ++ order` (all
+/// ascending) is a prefix of `input_order`.
+pub fn rownum_is_presorted(
+    input_order: &[Col],
+    order: &[exrquy_algebra::SortKey],
+    part: Option<Col>,
+) -> bool {
+    if order.iter().any(|k| k.desc) {
+        return false;
+    }
+    let mut want: Vec<Col> = Vec::with_capacity(order.len() + 1);
+    want.extend(part);
+    want.extend(order.iter().map(|k| k.col));
+    want.len() <= input_order.len() && want.iter().zip(input_order).all(|(a, b)| a == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrquy_algebra::SortKey;
+    use exrquy_xml::{Axis, NodeTest};
+
+    fn step_dag() -> (Dag, OpId) {
+        let mut dag = Dag::new();
+        let l = dag.add(Op::Lit {
+            cols: vec![Col::ITER, Col::ITEM],
+            rows: vec![],
+        });
+        let s = dag.add(Op::Step {
+            input: l,
+            axis: Axis::Child,
+            test: NodeTest::AnyKind,
+        });
+        (dag, s)
+    }
+
+    #[test]
+    fn step_output_is_iter_item_sorted() {
+        let (dag, s) = step_dag();
+        let o = sort_orders(&dag, s);
+        assert_eq!(o[&s], vec![Col::ITER, Col::ITEM]);
+    }
+
+    #[test]
+    fn projection_renames_and_truncates_prefix() {
+        let (mut dag, s) = step_dag();
+        // Rename iter→iter1, keep item: prefix carries through.
+        let p = dag.add(Op::Project {
+            input: s,
+            cols: vec![(Col::ITER1, Col::ITER), (Col::ITEM, Col::ITEM)],
+        });
+        let o = sort_orders(&dag, p);
+        assert_eq!(o[&p], vec![Col::ITER1, Col::ITEM]);
+        // Dropping iter truncates the prefix to nothing (item alone is not
+        // a global order).
+        let p2 = dag.add(Op::Project {
+            input: s,
+            cols: vec![(Col::ITEM, Col::ITEM)],
+        });
+        let o = sort_orders(&dag, p2);
+        assert!(o.get(&p2).is_none());
+    }
+
+    #[test]
+    fn presorted_check() {
+        let input = vec![Col::ITER, Col::ITEM];
+        assert!(rownum_is_presorted(
+            &input,
+            &[SortKey::asc(Col::ITEM)],
+            Some(Col::ITER)
+        ));
+        assert!(rownum_is_presorted(&input, &[SortKey::asc(Col::ITER)], None));
+        assert!(!rownum_is_presorted(
+            &input,
+            &[SortKey::asc(Col::ITEM)],
+            None
+        ));
+        assert!(!rownum_is_presorted(
+            &input,
+            &[SortKey {
+                col: Col::ITEM,
+                desc: true
+            }],
+            Some(Col::ITER)
+        ));
+        assert!(!rownum_is_presorted(
+            &input,
+            &[SortKey::asc(Col::ITEM), SortKey::asc(Col::POS)],
+            Some(Col::ITER)
+        ));
+    }
+
+    #[test]
+    fn union_kills_the_guarantee() {
+        let (mut dag, s) = step_dag();
+        let u = dag.add(Op::Union { l: s, r: s });
+        let o = sort_orders(&dag, u);
+        assert!(o.get(&u).is_none());
+    }
+}

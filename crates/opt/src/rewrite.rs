@@ -1,0 +1,717 @@
+//! The plan rewriter: applies column dependency analysis, `%`-weakening
+//! and step merging to a fixpoint.
+
+use crate::order::{rownum_is_presorted, sort_orders, OrderMap};
+use crate::props::{keys, properties, ColProp, KeyMap, PropMap};
+use crate::required::required_columns;
+use exrquy_algebra::{AValue, Col, Dag, Op, OpId, PlanStats};
+use exrquy_xml::{Axis, NodeTest};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which rewrites to run. The defaults correspond to the paper's modified
+/// compiler; switching individual passes off gives the ablation
+/// configurations of the benchmark harness.
+#[derive(Debug, Clone, Copy)]
+pub struct OptOptions {
+    /// §4.1 column dependency analysis: bypass dead `%`/`#`/attach/fun,
+    /// prune projections.
+    pub column_dependency: bool,
+    /// §7 property-based weakening: drop constant/arbitrary sort criteria,
+    /// turn criterion-free `%` into `#`.
+    pub weaken_rownum: bool,
+    /// §5 step merging: `⬡child::nt ∘ ⬡descendant-or-self::node()` ⇒
+    /// `⬡descendant::nt`.
+    pub merge_steps: bool,
+    /// Physical order inference (\[15\], cf. §6): drop the sort criteria
+    /// of a `%` whose input the engine provably emits presorted. Off by
+    /// default — the paper's contribution is purely logical; this is the
+    /// orthogonal extension, exercised by the ablation benches.
+    pub physical_order: bool,
+    /// Fixpoint bound.
+    pub max_rounds: usize,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions {
+            column_dependency: true,
+            weaken_rownum: true,
+            merge_steps: true,
+            physical_order: false,
+            max_rounds: 8,
+        }
+    }
+}
+
+impl OptOptions {
+    /// Everything off — the baseline compiler.
+    pub fn disabled() -> Self {
+        OptOptions {
+            column_dependency: false,
+            weaken_rownum: false,
+            merge_steps: false,
+            physical_order: false,
+            max_rounds: 1,
+        }
+    }
+}
+
+/// Before/after accounting of one optimization run.
+#[derive(Debug, Clone)]
+pub struct OptReport {
+    pub rounds: usize,
+    pub before: PlanStats,
+    pub after: PlanStats,
+}
+
+/// Optimize the plan rooted at `root`; returns the new root and a report.
+/// New operators are interned into the same arena (old ones simply become
+/// unreachable).
+pub fn optimize(dag: &mut Dag, root: OpId, opts: &OptOptions) -> (OpId, OptReport) {
+    let before = PlanStats::of(dag, root);
+    let mut cur = root;
+    let mut rounds = 0;
+    for _ in 0..opts.max_rounds {
+        let next = one_round(dag, cur, opts);
+        rounds += 1;
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    let after = PlanStats::of(dag, cur);
+    (
+        cur,
+        OptReport {
+            rounds,
+            before,
+            after,
+        },
+    )
+}
+
+fn one_round(dag: &mut Dag, root: OpId, opts: &OptOptions) -> OpId {
+    let req = required_columns(dag, root);
+    let props = properties(dag, root);
+    let orders = if opts.physical_order {
+        sort_orders(dag, root)
+    } else {
+        OrderMap::new()
+    };
+    let key_cols = if opts.weaken_rownum {
+        keys(dag, root)
+    } else {
+        KeyMap::new()
+    };
+    let order = dag.topo_order(root);
+    let mut memo: HashMap<OpId, OpId> = HashMap::new();
+    for old_id in order {
+        let old_op = dag.op(old_id).clone();
+        let new_children: Vec<OpId> = old_op.children().iter().map(|c| memo[c]).collect();
+        let new_id = rewrite_op(
+            dag, old_id, &old_op, &new_children, &req, &props, &orders, &key_cols, opts,
+        );
+        memo.insert(old_id, new_id);
+    }
+    memo[&root]
+}
+
+fn reqs(req: &HashMap<OpId, BTreeSet<Col>>, id: OpId) -> BTreeSet<Col> {
+    req.get(&id).cloned().unwrap_or_default()
+}
+
+fn prop_of(props: &PropMap, id: OpId, col: Col) -> Option<&ColProp> {
+    props.get(&id).and_then(|m| m.get(&col))
+}
+
+fn is_empty_lit(dag: &Dag, id: OpId) -> bool {
+    matches!(dag.op(id), Op::Lit { rows, .. } if rows.is_empty())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_op(
+    dag: &mut Dag,
+    old_id: OpId,
+    old_op: &Op,
+    ch: &[OpId],
+    req: &HashMap<OpId, BTreeSet<Col>>,
+    props: &PropMap,
+    orders: &OrderMap,
+    key_cols: &KeyMap,
+    opts: &OptOptions,
+) -> OpId {
+    let my_req = reqs(req, old_id);
+    match old_op {
+        // ---- operators that only add a column: bypass when dead
+        Op::RowNum {
+            new, order, part, ..
+        } => {
+            let old_input = old_op.children()[0];
+            if opts.column_dependency && !my_req.contains(new) {
+                return ch[0];
+            }
+            let (mut order, mut part) = (order.clone(), *part);
+            if opts.weaken_rownum {
+                // Drop constant criteria (sound: ties everywhere).
+                order.retain(|k| {
+                    !matches!(prop_of(props, old_input, k.col), Some(ColProp::Const(_)))
+                });
+                // §7: a globally unique criterion leaves no ties — later
+                // criteria are never consulted and can be truncated.
+                if let Some(ks) = key_cols.get(&old_input) {
+                    if let Some(i) = order.iter().position(|k| ks.contains(&k.col)) {
+                        order.truncate(i + 1);
+                    }
+                }
+                // If every remaining criterion is arbitrary, the whole
+                // order spec conveys nothing: drop it (§7).
+                if !order.is_empty()
+                    && order.iter().all(|k| {
+                        matches!(prop_of(props, old_input, k.col), Some(ColProp::Arbitrary))
+                    })
+                {
+                    order.clear();
+                }
+                if let Some(p) = part {
+                    if matches!(prop_of(props, old_input, p), Some(ColProp::Const(_))) {
+                        part = None;
+                    }
+                }
+                if order.is_empty() && part.is_none() {
+                    return dag.add(Op::RowId {
+                        input: ch[0],
+                        new: *new,
+                    });
+                }
+            }
+            // [15]-style physical order: the engine already emits the
+            // input presorted — the % numbers in one pass, no sort.
+            // Constant columns constrain nothing and are ignored on both
+            // sides of the prefix match.
+            if opts.physical_order && !order.is_empty() {
+                if let Some(input_order) = orders.get(&old_input) {
+                    let is_const = |c: Col| {
+                        matches!(prop_of(props, old_input, c), Some(ColProp::Const(_)))
+                    };
+                    let filtered_input: Vec<Col> = input_order
+                        .iter()
+                        .copied()
+                        .filter(|&c| !is_const(c))
+                        .collect();
+                    let filtered_order: Vec<exrquy_algebra::SortKey> = order
+                        .iter()
+                        .copied()
+                        .filter(|k| !is_const(k.col))
+                        .collect();
+                    let filtered_part = part.filter(|&p| !is_const(p));
+                    if rownum_is_presorted(&filtered_input, &filtered_order, filtered_part) {
+                        order.clear();
+                    }
+                }
+            }
+            dag.add(Op::RowNum {
+                input: ch[0],
+                new: *new,
+                order,
+                part,
+            })
+        }
+        Op::RowId { new, .. } => {
+            if opts.column_dependency && !my_req.contains(new) {
+                return ch[0];
+            }
+            dag.add(Op::RowId {
+                input: ch[0],
+                new: *new,
+            })
+        }
+        Op::Attach { col, value, .. } => {
+            if opts.column_dependency && !my_req.contains(col) {
+                return ch[0];
+            }
+            dag.add(Op::Attach {
+                input: ch[0],
+                col: *col,
+                value: value.clone(),
+            })
+        }
+        Op::Fun {
+            new, kind, args, ..
+        } => {
+            if opts.column_dependency && !my_req.contains(new) {
+                return ch[0];
+            }
+            dag.add(Op::Fun {
+                input: ch[0],
+                new: *new,
+                kind: *kind,
+                args: args.clone(),
+            })
+        }
+        // ---- projections: prune & collapse
+        Op::Project { cols, .. } => {
+            let mut cols: Vec<(Col, Col)> = cols.clone();
+            if opts.column_dependency {
+                let pruned: Vec<(Col, Col)> = cols
+                    .iter()
+                    .copied()
+                    .filter(|(new, _)| my_req.contains(new))
+                    .collect();
+                if !pruned.is_empty() {
+                    cols = pruned;
+                }
+            }
+            // Collapse π over π.
+            if let Op::Project {
+                input: inner_input,
+                cols: inner_cols,
+            } = dag.op(ch[0]).clone()
+            {
+                let composed: Option<Vec<(Col, Col)>> = cols
+                    .iter()
+                    .map(|(new, src)| {
+                        inner_cols
+                            .iter()
+                            .find(|(n, _)| n == src)
+                            .map(|(_, inner_src)| (*new, *inner_src))
+                    })
+                    .collect();
+                if let Some(composed) = composed {
+                    cols = composed;
+                    let identity = cols.iter().all(|(n, s)| n == s)
+                        && dag.schema(inner_input) == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
+                    if identity {
+                        return inner_input;
+                    }
+                    return dag.add(Op::Project {
+                        input: inner_input,
+                        cols,
+                    });
+                }
+            }
+            // Identity projection removal.
+            let identity = cols.iter().all(|(n, s)| n == s)
+                && dag.schema(ch[0]) == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
+            if identity {
+                return ch[0];
+            }
+            dag.add(Op::Project {
+                input: ch[0],
+                cols,
+            })
+        }
+        // ---- selections on known predicates
+        Op::Select { col, .. } => {
+            let old_input = old_op.children()[0];
+            match prop_of(props, old_input, *col) {
+                Some(ColProp::Const(AValue::Bool(true))) => ch[0],
+                Some(ColProp::Const(AValue::Bool(false))) => dag.add(Op::Lit {
+                    cols: dag.schema(ch[0]).to_vec(),
+                    rows: vec![],
+                }),
+                _ => dag.add(Op::Select {
+                    input: ch[0],
+                    col: *col,
+                }),
+            }
+        }
+        // ---- step merging (§5)
+        Op::Step { axis, test, .. } => {
+            if opts.merge_steps && *axis == Axis::Child {
+                if let Some(inner_input) = find_dos_step(dag, ch[0]) {
+                    return dag.add(Op::Step {
+                        input: inner_input,
+                        axis: Axis::Descendant,
+                        test: *test,
+                    });
+                }
+            }
+            dag.add(Op::Step {
+                input: ch[0],
+                axis: *axis,
+                test: *test,
+            })
+        }
+        // ---- structural simplifications
+        Op::Distinct { .. } => {
+            if let Op::Distinct { .. } = dag.op(ch[0]) {
+                return ch[0];
+            }
+            // §1/§4.2: a union of two steps over the *same* context with
+            // provably disjoint name tests needs no duplicate elimination
+            // ("obviously, the two steps yield disjoint results") — the δ
+            // over ∪̇ disappears, leaving the bare concatenation of
+            // Figure 10.
+            if let Op::Union { l, r } = *dag.op(ch[0]) {
+                if steps_disjoint(dag, l, r) {
+                    return ch[0];
+                }
+            }
+            dag.add(Op::Distinct { input: ch[0] })
+        }
+        Op::Union { .. } => {
+            let (l, r) = (ch[0], ch[1]);
+            if is_empty_lit(dag, l) {
+                return align_schema(dag, r, &my_req);
+            }
+            if is_empty_lit(dag, r) {
+                return align_schema(dag, l, &my_req);
+            }
+            // Defensive alignment: column pruning may have left the two
+            // sides with different column sets — project both to the
+            // required set.
+            let ls: BTreeSet<Col> = dag.schema(l).iter().copied().collect();
+            let rs: BTreeSet<Col> = dag.schema(r).iter().copied().collect();
+            if ls != rs {
+                let common: BTreeSet<Col> = ls.intersection(&rs).copied().collect();
+                let target: BTreeSet<Col> = if my_req.is_empty() {
+                    common.clone()
+                } else {
+                    my_req.intersection(&common).copied().collect()
+                };
+                let target = if target.is_empty() { common } else { target };
+                let lp = project_to(dag, l, &target);
+                let rp = project_to(dag, r, &target);
+                return dag.add(Op::Union { l: lp, r: rp });
+            }
+            dag.add(Op::Union { l, r })
+        }
+        // ---- default: rebuild with rewritten children
+        other => dag.add(other.with_children(ch)),
+    }
+}
+
+/// Project `id` onto exactly `cols` (no-op when already exact).
+fn project_to(dag: &mut Dag, id: OpId, cols: &BTreeSet<Col>) -> OpId {
+    let schema: BTreeSet<Col> = dag.schema(id).iter().copied().collect();
+    if &schema == cols {
+        return id;
+    }
+    let list: Vec<(Col, Col)> = cols.iter().map(|&c| (c, c)).collect();
+    dag.add(Op::Project {
+        input: id,
+        cols: list,
+    })
+}
+
+/// When a union side disappears, make sure the surviving side exposes at
+/// least the required columns in a deterministic layout.
+fn align_schema(dag: &mut Dag, id: OpId, req: &BTreeSet<Col>) -> OpId {
+    let schema: BTreeSet<Col> = dag.schema(id).iter().copied().collect();
+    if req.is_empty() || !req.is_subset(&schema) {
+        return id;
+    }
+    id
+}
+
+/// Are `l` and `r` step operators over the same context whose results are
+/// provably disjoint (same axis, different element/attribute name tests)?
+/// Step outputs are duplicate-free per iteration, so their union is too.
+fn steps_disjoint(dag: &Dag, l: OpId, r: OpId) -> bool {
+    match (dag.op(l), dag.op(r)) {
+        (
+            Op::Step {
+                input: li,
+                axis: la,
+                test: NodeTest::Name(ln),
+            },
+            Op::Step {
+                input: ri,
+                axis: ra,
+                test: NodeTest::Name(rn),
+            },
+        ) => li == ri && la == ra && ln != rn,
+        _ => false,
+    }
+}
+
+/// Walk through row-preserving `[iter,item]`-faithful operators (π keeping
+/// `iter`/`item` unrenamed, δ) until a `⬡descendant-or-self::node()` is
+/// found; return that step's input.
+fn find_dos_step(dag: &Dag, mut id: OpId) -> Option<OpId> {
+    loop {
+        match dag.op(id) {
+            Op::Project { input, cols } => {
+                let iter_ok = cols.iter().any(|&(n, s)| n == Col::ITER && s == Col::ITER);
+                let item_ok = cols.iter().any(|&(n, s)| n == Col::ITEM && s == Col::ITEM);
+                if iter_ok && item_ok {
+                    id = *input;
+                } else {
+                    return None;
+                }
+            }
+            Op::Distinct { input } => id = *input,
+            Op::Step {
+                input,
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::AnyKind,
+            } => return Some(*input),
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrquy_algebra::SortKey;
+
+    fn lit(dag: &mut Dag, cols: Vec<Col>) -> OpId {
+        dag.add(Op::Lit { cols, rows: vec![] })
+    }
+
+    /// Build the FN:UNORDERED pattern over an ordered step result:
+    /// serialize(π(#pos(π iter,item(%pos(step)))))  — CDA must delete the %.
+    #[test]
+    fn cda_removes_overwritten_rownum() {
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITER, Col::ITEM]);
+        let rn = dag.add(Op::RowNum {
+            input: src,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let proj = dag.add(Op::Project {
+            input: rn,
+            cols: vec![(Col::ITER, Col::ITER), (Col::ITEM, Col::ITEM)],
+        });
+        let hash = dag.add(Op::RowId {
+            input: proj,
+            new: Col::POS,
+        });
+        let root = dag.add(Op::Serialize { input: hash });
+        let before = PlanStats::of(&dag, root);
+        assert_eq!(before.rownums(), 1);
+        let (new_root, report) = optimize(&mut dag, root, &OptOptions::default());
+        let after = PlanStats::of(&dag, new_root);
+        assert_eq!(after.rownums(), 0, "{after}");
+        assert!(report.after.total < report.before.total);
+    }
+
+    #[test]
+    fn weakening_turns_arbitrary_criteria_rownum_into_rowid() {
+        // % pos1:⟨bind⟩ with bind from # — §7's endgame.
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITEM]);
+        let h = dag.add(Op::RowId {
+            input: src,
+            new: Col::BIND,
+        });
+        let rn = dag.add(Op::RowNum {
+            input: h,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::BIND)],
+            part: None,
+        });
+        let proj = dag.add(Op::Project {
+            input: rn,
+            cols: vec![(Col::POS, Col::POS), (Col::ITEM, Col::ITEM)],
+        });
+        let root = dag.add(Op::Serialize { input: proj });
+        let (new_root, _) = optimize(&mut dag, root, &OptOptions::default());
+        let after = PlanStats::of(&dag, new_root);
+        assert_eq!(after.rownums(), 0, "{after}");
+        // The pos numbering itself is still produced (required!), as a #.
+        assert!(after.rowids() >= 1);
+    }
+
+    #[test]
+    fn constant_part_and_criteria_are_dropped() {
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITEM]);
+        let c = dag.add(Op::Attach {
+            input: src,
+            col: Col::ITER,
+            value: AValue::Int(1),
+        });
+        let c2 = dag.add(Op::Attach {
+            input: c,
+            col: Col::POS1,
+            value: AValue::Int(7),
+        });
+        let rn = dag.add(Op::RowNum {
+            input: c2,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::POS1), SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let root = dag.add(Op::Serialize { input: rn });
+        let (new_root, _) = optimize(&mut dag, root, &OptOptions::default());
+        // The % survives (item is a real criterion) but lost the constant
+        // part and the constant first criterion.
+        let found = dag
+            .reachable(new_root)
+            .into_iter()
+            .find_map(|id| match dag.op(id) {
+                Op::RowNum { order, part, .. } => Some((order.clone(), *part)),
+                _ => None,
+            })
+            .expect("rownum survives");
+        assert_eq!(found.0.len(), 1);
+        assert_eq!(found.0[0].col, Col::ITEM);
+        assert_eq!(found.1, None);
+    }
+
+    #[test]
+    fn step_merge_fuses_dos_child() {
+        let mut dag = Dag::new();
+        let ctx = lit(&mut dag, vec![Col::ITER, Col::ITEM]);
+        let dos = dag.add(Op::Step {
+            input: ctx,
+            axis: Axis::DescendantOrSelf,
+            test: NodeTest::AnyKind,
+        });
+        let proj = dag.add(Op::Project {
+            input: dos,
+            cols: vec![(Col::ITER, Col::ITER), (Col::ITEM, Col::ITEM)],
+        });
+        let child = dag.add(Op::Step {
+            input: proj,
+            axis: Axis::Child,
+            test: NodeTest::Element,
+        });
+        let h = dag.add(Op::RowId {
+            input: child,
+            new: Col::POS,
+        });
+        let root = dag.add(Op::Serialize { input: h });
+        let (new_root, _) = optimize(&mut dag, root, &OptOptions::default());
+        let stats = PlanStats::of(&dag, new_root);
+        assert_eq!(stats.steps(), 1, "{stats}");
+        let merged = dag
+            .reachable(new_root)
+            .into_iter()
+            .find_map(|id| match dag.op(id) {
+                Op::Step { axis, .. } => Some(*axis),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(merged, Axis::Descendant);
+    }
+
+    #[test]
+    fn disabled_options_change_nothing() {
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITER, Col::ITEM]);
+        let rn = dag.add(Op::RowNum {
+            input: src,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let proj = dag.add(Op::Project {
+            input: rn,
+            cols: vec![(Col::ITER, Col::ITER), (Col::ITEM, Col::ITEM)],
+        });
+        let hash = dag.add(Op::RowId {
+            input: proj,
+            new: Col::POS,
+        });
+        let root = dag.add(Op::Serialize { input: hash });
+        let (new_root, report) = optimize(&mut dag, root, &OptOptions::disabled());
+        assert_eq!(report.before.total, report.after.total);
+        assert_eq!(PlanStats::of(&dag, new_root).rownums(), 1);
+    }
+
+    #[test]
+    fn unique_criterion_truncates_suffix() {
+        // §7: % pos1:⟨bind,pos⟩‖outer where bind is globally unique (it
+        // came from an unpartitioned numbering): `pos` is never consulted.
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITEM, Col::POS, Col::OUTER]);
+        let numbered = dag.add(Op::RowNum {
+            input: src,
+            new: Col::BIND,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: None, // global numbering → BIND unique
+        });
+        let rn = dag.add(Op::RowNum {
+            input: numbered,
+            new: Col::POS1,
+            order: vec![SortKey::asc(Col::BIND), SortKey::asc(Col::POS)],
+            part: Some(Col::OUTER),
+        });
+        let proj = dag.add(Op::Project {
+            input: rn,
+            cols: vec![(Col::POS, Col::POS1), (Col::ITEM, Col::ITEM)],
+        });
+        let root = dag.add(Op::Serialize { input: proj });
+        let (new_root, _) = optimize(&mut dag, root, &OptOptions::default());
+        let truncated = dag
+            .reachable(new_root)
+            .into_iter()
+            .filter_map(|id| match dag.op(id) {
+                Op::RowNum { order, new, .. } if *new == Col::POS1 => Some(order.clone()),
+                _ => None,
+            })
+            .next()
+            .expect("outer rownum survives");
+        assert_eq!(truncated.len(), 1, "{truncated:?}");
+        assert_eq!(truncated[0].col, Col::BIND);
+    }
+
+    #[test]
+    fn disjoint_step_union_needs_no_distinct() {
+        // §4.2 / Figure 10: δ(∪̇(⬡child::c q, ⬡child::d q)) — the steps'
+        // results are disjoint, the δ disappears.
+        let mut dag = Dag::new();
+        let ctx = lit(&mut dag, vec![Col::ITER, Col::ITEM]);
+        let mut pool = exrquy_xml::NamePool::new();
+        let c = pool.intern("c");
+        let d = pool.intern("d");
+        let sc = dag.add(Op::Step {
+            input: ctx,
+            axis: Axis::Child,
+            test: NodeTest::Name(c),
+        });
+        let sd = dag.add(Op::Step {
+            input: ctx,
+            axis: Axis::Child,
+            test: NodeTest::Name(d),
+        });
+        let u = dag.add(Op::Union { l: sc, r: sd });
+        let dd = dag.add(Op::Distinct { input: u });
+        let h = dag.add(Op::RowId {
+            input: dd,
+            new: Col::POS,
+        });
+        let root = dag.add(Op::Serialize { input: h });
+        let (new_root, _) = optimize(&mut dag, root, &OptOptions::default());
+        assert_eq!(PlanStats::of(&dag, new_root).count("δ"), 0);
+
+        // Same name test on both sides → results can overlap → δ stays.
+        let u2 = dag.add(Op::Union { l: sc, r: sc });
+        let dd2 = dag.add(Op::Distinct { input: u2 });
+        let h2 = dag.add(Op::RowId {
+            input: dd2,
+            new: Col::POS,
+        });
+        let root2 = dag.add(Op::Serialize { input: h2 });
+        let (new_root2, _) = optimize(&mut dag, root2, &OptOptions::default());
+        assert_eq!(PlanStats::of(&dag, new_root2).count("δ"), 1);
+    }
+
+    #[test]
+    fn select_on_constant_true_is_removed() {
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::POS, Col::ITEM]);
+        let flag = dag.add(Op::Attach {
+            input: src,
+            col: Col::RES,
+            value: AValue::Bool(true),
+        });
+        let sel = dag.add(Op::Select {
+            input: flag,
+            col: Col::RES,
+        });
+        let proj = dag.add(Op::Project {
+            input: sel,
+            cols: vec![(Col::POS, Col::POS), (Col::ITEM, Col::ITEM)],
+        });
+        let root = dag.add(Op::Serialize { input: proj });
+        let (new_root, _) = optimize(&mut dag, root, &OptOptions::default());
+        let stats = PlanStats::of(&dag, new_root);
+        assert_eq!(stats.count("σ"), 0, "{stats}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Standalone XMark document generator (the Rust counterpart of the
+//! benchmark's `xmlgen`).
+//!
+//! ```sh
+//! cargo run -p exrquy-xmark --release --bin xmlgen -- 0.01 auction.xml
+//! ```
+
+use exrquy_xmark::{generate, XmarkConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    let path = args.next();
+
+    let cfg = XmarkConfig::at_scale(scale);
+    let xml = generate(&cfg);
+    eprintln!(
+        "scale {scale}: {:.2} MB, {} persons, {} items, {} open / {} closed auctions",
+        xml.len() as f64 / 1e6,
+        cfg.persons(),
+        cfg.items(),
+        cfg.open_auctions(),
+        cfg.closed_auctions()
+    );
+    match path {
+        Some(p) => {
+            std::fs::write(&p, &xml).expect("write output file");
+            eprintln!("wrote {p}");
+        }
+        None => {
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(xml.as_bytes())
+                .expect("write stdout");
+        }
+    }
+}

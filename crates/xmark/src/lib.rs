@@ -1,0 +1,24 @@
+//! The XMark benchmark \[Schmidt et al., VLDB 2002\]: a scalable
+//! `auction.xml` generator and the 20 benchmark queries — the workload of
+//! the paper's §5 evaluation.
+//!
+//! The original benchmark ships a C generator (`xmlgen`); this crate is a
+//! deterministic Rust re-implementation producing the same element
+//! structure (see `gen.rs` for the schema) with simplified value
+//! distributions. Everything the 20 queries touch exists with comparable
+//! selectivities — e.g. `person/profile/@income` against
+//! `open_auction/initial` keeps Q11's ≈4 % join selectivity, and closed
+//! auction annotations contain the nested
+//! `parlist/listitem/parlist/listitem/text/emph/keyword` structure that
+//! Q15/Q16 navigate.
+//!
+//! Scale factor `1.0` corresponds to the original benchmark's 100 MB
+//! document (21 750 items, 25 500 persons, 12 000 open and 9 750 closed
+//! auctions); sizes scale linearly.
+
+pub mod gen;
+pub mod queries;
+pub mod text;
+
+pub use gen::{generate, XmarkConfig};
+pub use queries::{query, query_name, ALL_QUERIES};

@@ -1,0 +1,108 @@
+//! Filler-text generation for descriptions, names and annotations.
+//!
+//! The original XMark generator samples Shakespeare's plays; we sample a
+//! fixed word list (including the word `gold` that Q14 searches for) with
+//! occasional `<keyword>`, `<bold>` and `<emph>` markup.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Word list used for all running text (101 words; includes "gold").
+pub const WORDS: &[&str] = &[
+    "the", "of", "and", "to", "a", "in", "that", "is", "was", "he", "for", "it", "with", "as",
+    "his", "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they",
+    "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
+    "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
+    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
+    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
+    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
+    "must", "through", "years", "where", "much", "your", "way", "gold", "silver", "duty",
+    "honour", "merchant", "purse",
+];
+
+/// First names for people.
+pub const FIRST_NAMES: &[&str] = &[
+    "Isabel", "Kasimir", "Umberto", "Waldemar", "Jaak", "Mehrdad", "Farrukh", "Sibrand",
+    "Malgorzata", "Dirce", "Benjamin", "Shalom", "Takahiro", "Aloys", "Mechthild", "Juliana",
+];
+
+/// Last names for people.
+pub const LAST_NAMES: &[&str] = &[
+    "Marcinkowski", "Takano", "Barbosa", "Gerlach", "Sierra", "Unno", "Morrison", "Siegel",
+    "Dustdar", "Oppitz", "Braumandl", "Legaria", "Nikolaev", "Virgilio", "Weikum", "Suzuki",
+];
+
+/// Cities for addresses.
+pub const CITIES: &[&str] = &[
+    "Amsterdam", "Munich", "Toronto", "Kyoto", "Florence", "Madras", "Quito", "Nairobi",
+    "Auckland", "Boston",
+];
+
+/// Countries for addresses.
+pub const COUNTRIES: &[&str] = &[
+    "United States", "Germany", "Netherlands", "Japan", "Italy", "India", "Ecuador", "Kenya",
+    "New Zealand", "Canada",
+];
+
+/// One random word.
+pub fn word(rng: &mut SmallRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// A sentence of `n` plain words.
+pub fn sentence(rng: &mut SmallRng, n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(word(rng));
+    }
+    s
+}
+
+/// A person name.
+pub fn person_name(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+    )
+}
+
+/// A date `MM/DD/YYYY` in the benchmark's range.
+pub fn date(rng: &mut SmallRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+        rng.gen_range(1998..=2001)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn word_list_contains_gold() {
+        assert!(WORDS.contains(&"gold"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(sentence(&mut a, 12), sentence(&mut b, 12));
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert_eq!(date(&mut a), date(&mut b));
+    }
+
+    #[test]
+    fn sentence_has_requested_words() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 5);
+        assert_eq!(s.split(' ').count(), 5);
+    }
+}

@@ -1,0 +1,279 @@
+//! Incremental construction of encoded fragments.
+//!
+//! [`TreeBuilder`] is the single write path into the pre/size/level
+//! encoding; the XML parser, the XMark generator, and the runtime node
+//! constructors (element/attribute/text constructors in compiled plans) all
+//! funnel through it. It maintains the open-element stack and back-patches
+//! the `size` column when elements close, so a fragment is produced in one
+//! left-to-right pass.
+
+use crate::name::NameId;
+use crate::tree::{Document, NodeKind, NO_PARENT, NO_TEXT};
+
+/// Streaming builder for one [`Document`] fragment.
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    doc: Document,
+    /// Stack of open nodes (pre ranks).
+    open: Vec<u32>,
+    /// Set once a non-attribute child has been appended to the top element;
+    /// attributes may only appear before any other content.
+    content_started: Vec<bool>,
+}
+
+impl TreeBuilder {
+    /// Start building an empty fragment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a fragment with a document root node (what `fn:doc()` returns).
+    pub fn new_document() -> Self {
+        let mut b = Self::new();
+        b.push(NodeKind::Document, NameId::NONE, NO_TEXT);
+        b.open.push(0);
+        b.content_started.push(false);
+        b
+    }
+
+    fn level(&self) -> u16 {
+        self.open.len() as u16
+    }
+
+    fn parent(&self) -> u32 {
+        self.open.last().copied().unwrap_or(NO_PARENT)
+    }
+
+    fn push(&mut self, kind: NodeKind, name: NameId, text: u32) -> u32 {
+        let level = self.level();
+        let parent = self.parent();
+        self.doc.push_node(kind, name, level, parent, text)
+    }
+
+    /// Open an element node; subsequent nodes become its attributes /
+    /// children until [`close`](Self::close).
+    pub fn open_element(&mut self, name: NameId) -> u32 {
+        let pre = self.push(NodeKind::Element, name, NO_TEXT);
+        self.mark_content();
+        self.open.push(pre);
+        self.content_started.push(false);
+        pre
+    }
+
+    /// Close the most recently opened element (or document root),
+    /// back-patching its subtree size.
+    pub fn close(&mut self) -> u32 {
+        let pre = self.open.pop().expect("close() without open element");
+        self.content_started.pop();
+        let last = self.doc.len() as u32 - 1;
+        self.doc.sizes[pre as usize] = last - pre;
+        pre
+    }
+
+    /// Append an attribute to the currently open element. Panics if element
+    /// content has already started (attributes precede children in the
+    /// encoding).
+    pub fn attribute(&mut self, name: NameId, value: &str) -> u32 {
+        assert!(
+            !self.open.is_empty(),
+            "attribute() outside an open element"
+        );
+        assert!(
+            !*self.content_started.last().unwrap(),
+            "attribute() after element content started"
+        );
+        let text = self.doc.push_text_data(value.to_owned());
+        self.push(NodeKind::Attribute, name, text)
+    }
+
+    /// Append a text node. Empty strings produce no node (the XQuery data
+    /// model has no empty text nodes).
+    pub fn text(&mut self, content: &str) -> Option<u32> {
+        if content.is_empty() {
+            return None;
+        }
+        let text = self.doc.push_text_data(content.to_owned());
+        let pre = self.push(NodeKind::Text, NameId::NONE, text);
+        self.mark_content();
+        Some(pre)
+    }
+
+    /// Append a comment node.
+    pub fn comment(&mut self, content: &str) -> u32 {
+        let text = self.doc.push_text_data(content.to_owned());
+        let pre = self.push(NodeKind::Comment, NameId::NONE, text);
+        self.mark_content();
+        pre
+    }
+
+    /// Append a processing-instruction node.
+    pub fn processing_instruction(&mut self, target: NameId, content: &str) -> u32 {
+        let text = self.doc.push_text_data(content.to_owned());
+        let pre = self.push(NodeKind::ProcessingInstruction, target, text);
+        self.mark_content();
+        pre
+    }
+
+    /// Copy the subtree rooted at `src_pre` of `src` into the current
+    /// position (deep node copy, as required by XQuery constructor
+    /// semantics: content nodes are *copied* into the new fragment —
+    /// the paper's Expression (3) depends on this).
+    pub fn copy_subtree(&mut self, src: &Document, src_pre: u32) {
+        // Copying a document node copies its children (a document node is
+        // transparent for constructor content).
+        if src.kind(src_pre) == NodeKind::Document {
+            for c in src.children(src_pre) {
+                self.copy_subtree(src, c);
+            }
+            return;
+        }
+        let end = src_pre + src.size(src_pre);
+        // Replay the preorder sequence, closing copied elements whose
+        // pre/size window has been exhausted.
+        let mut open_ends: Vec<u32> = Vec::new();
+        let mut pre = src_pre;
+        while pre <= end {
+            while let Some(&e) = open_ends.last() {
+                if pre > e {
+                    self.close();
+                    open_ends.pop();
+                } else {
+                    break;
+                }
+            }
+            match src.kind(pre) {
+                NodeKind::Element => {
+                    self.open_element(src.name(pre));
+                    open_ends.push(pre + src.size(pre));
+                }
+                NodeKind::Document => unreachable!("document nodes are never nested"),
+                NodeKind::Attribute => {
+                    self.attribute(src.name(pre), src.text(pre).unwrap_or(""));
+                }
+                NodeKind::Text => {
+                    self.text(src.text(pre).unwrap_or(""));
+                }
+                NodeKind::Comment => {
+                    self.comment(src.text(pre).unwrap_or(""));
+                }
+                NodeKind::ProcessingInstruction => {
+                    self.processing_instruction(src.name(pre), src.text(pre).unwrap_or(""));
+                }
+            }
+            pre += 1;
+        }
+        while open_ends.pop().is_some() {
+            self.close();
+        }
+    }
+
+    fn mark_content(&mut self) {
+        if let Some(flag) = self.content_started.last_mut() {
+            *flag = true;
+        }
+    }
+
+    /// Finish building. Panics if elements remain open (other than an
+    /// implicit document root, which is closed automatically).
+    pub fn finish(mut self) -> Document {
+        if self.open.len() == 1 && self.doc.kind(self.open[0]) == NodeKind::Document {
+            self.close();
+        }
+        assert!(self.open.is_empty(), "finish() with unclosed elements");
+        debug_assert!(self.doc.check_invariants().is_ok());
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::NamePool;
+
+    #[test]
+    fn builds_nested_fragment_with_attributes() {
+        let mut pool = NamePool::new();
+        let mut b = TreeBuilder::new();
+        let e = pool.intern("e");
+        let pos = pool.intern("pos");
+        b.open_element(e);
+        b.attribute(pos, "1");
+        b.text("a");
+        b.close();
+        let doc = b.finish();
+        doc.check_invariants().unwrap();
+        assert_eq!(doc.len(), 3);
+        assert_eq!(doc.kind(0), NodeKind::Element);
+        assert_eq!(doc.kind(1), NodeKind::Attribute);
+        assert_eq!(doc.text(1), Some("1"));
+        assert_eq!(doc.kind(2), NodeKind::Text);
+        assert_eq!(doc.text(2), Some("a"));
+        assert_eq!(doc.size(0), 2);
+        // Attributes are not children.
+        let kids: Vec<u32> = doc.children(0).collect();
+        assert_eq!(kids, vec![2]);
+        let attrs: Vec<u32> = doc.attributes(0).collect();
+        assert_eq!(attrs, vec![1]);
+    }
+
+    #[test]
+    fn document_root_closes_implicitly() {
+        let mut pool = NamePool::new();
+        let mut b = TreeBuilder::new_document();
+        b.open_element(pool.intern("r"));
+        b.close();
+        let doc = b.finish();
+        assert_eq!(doc.kind(0), NodeKind::Document);
+        assert_eq!(doc.size(0), 1);
+        assert_eq!(doc.parent(1), Some(0));
+    }
+
+    #[test]
+    fn empty_text_is_dropped() {
+        let mut pool = NamePool::new();
+        let mut b = TreeBuilder::new();
+        b.open_element(pool.intern("r"));
+        assert!(b.text("").is_none());
+        b.close();
+        assert_eq!(b.finish().len(), 1);
+    }
+
+    #[test]
+    fn copy_subtree_is_deep() {
+        let mut pool = NamePool::new();
+        let (a, bn, c) = (pool.intern("a"), pool.intern("b"), pool.intern("c"));
+        let mut b1 = TreeBuilder::new();
+        b1.open_element(a);
+        b1.open_element(bn);
+        b1.text("x");
+        b1.close();
+        b1.open_element(c);
+        b1.close();
+        b1.close();
+        let src = b1.finish();
+
+        let mut b2 = TreeBuilder::new();
+        b2.open_element(pool.intern("e"));
+        b2.copy_subtree(&src, 1); // copy <b>x</b>
+        b2.copy_subtree(&src, 0); // copy whole <a> tree
+        b2.close();
+        let dst = b2.finish();
+        dst.check_invariants().unwrap();
+        // e, b, x, a, b, x, c
+        assert_eq!(dst.len(), 7);
+        assert_eq!(dst.name(1), bn);
+        assert_eq!(dst.text(2), Some("x"));
+        assert_eq!(dst.name(3), a);
+        assert_eq!(dst.size(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute() after element content")]
+    fn attribute_after_content_panics() {
+        let mut pool = NamePool::new();
+        let mut b = TreeBuilder::new();
+        b.open_element(pool.intern("r"));
+        b.text("hi");
+        b.attribute(pool.intern("x"), "1");
+    }
+}

@@ -1,0 +1,142 @@
+//! Serialization of encoded fragments back to XML text.
+//!
+//! Used to emit query results (the final `pos|item` table is serialized in
+//! sequence order) and by tests to compare fragments structurally.
+
+use crate::name::NamePool;
+use crate::store::{NodeId, Store};
+use crate::tree::{Document, NodeKind};
+use std::fmt::Write;
+
+/// Escape character data content (`<`, `&`, `>` after `]]`).
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape an attribute value (double-quote delimited).
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serialize the subtree rooted at `pre` of `doc` into `out`.
+pub fn serialize_subtree(doc: &Document, pre: u32, pool: &NamePool, out: &mut String) {
+    match doc.kind(pre) {
+        NodeKind::Document => {
+            for c in doc.children(pre) {
+                serialize_subtree(doc, c, pool, out);
+            }
+        }
+        NodeKind::Element => {
+            let name = pool.resolve(doc.name(pre));
+            out.push('<');
+            out.push_str(name);
+            for a in doc.attributes(pre) {
+                out.push(' ');
+                out.push_str(pool.resolve(doc.name(a)));
+                out.push_str("=\"");
+                escape_attr(doc.text(a).unwrap_or(""), out);
+                out.push('"');
+            }
+            let mut any_child = false;
+            for c in doc.children(pre) {
+                if !any_child {
+                    out.push('>');
+                    any_child = true;
+                }
+                serialize_subtree(doc, c, pool, out);
+            }
+            if any_child {
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            } else {
+                out.push_str("/>");
+            }
+        }
+        NodeKind::Attribute => {
+            // A top-level attribute serializes as name="value" (strictly a
+            // serialization error in XQuery; we keep it debuggable).
+            out.push_str(pool.resolve(doc.name(pre)));
+            out.push_str("=\"");
+            escape_attr(doc.text(pre).unwrap_or(""), out);
+            out.push('"');
+        }
+        NodeKind::Text => escape_text(doc.text(pre).unwrap_or(""), out),
+        NodeKind::Comment => {
+            let _ = write!(out, "<!--{}-->", doc.text(pre).unwrap_or(""));
+        }
+        NodeKind::ProcessingInstruction => {
+            let _ = write!(
+                out,
+                "<?{} {}?>",
+                pool.resolve(doc.name(pre)),
+                doc.text(pre).unwrap_or("")
+            );
+        }
+    }
+}
+
+/// Serialize one node of a [`Store`].
+pub fn serialize_node(store: &Store, node: NodeId, out: &mut String) {
+    serialize_subtree(store.doc_of(node), node.pre, &store.pool, out);
+}
+
+/// Convenience: serialize a node to a fresh string.
+pub fn node_to_string(store: &Store, node: NodeId) -> String {
+    let mut out = String::new();
+    serialize_node(store, node, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn roundtrip(s: &str) -> String {
+        let mut pool = NamePool::new();
+        let doc = parse_document(s, &mut pool).unwrap();
+        let mut out = String::new();
+        serialize_subtree(&doc, 0, &pool, &mut out);
+        out
+    }
+
+    #[test]
+    fn roundtrips_simple_document() {
+        assert_eq!(roundtrip("<a><b><c/><d/></b><c/></a>"), "<a><b><c/><d/></b><c/></a>");
+    }
+
+    #[test]
+    fn roundtrips_attributes_and_text() {
+        let s = r#"<e pos="1">hello <b>world</b></e>"#;
+        assert_eq!(roundtrip(s), s);
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(
+            roundtrip("<a x=\"&quot;&lt;\">&amp;&lt;</a>"),
+            "<a x=\"&quot;&lt;\">&amp;&lt;</a>"
+        );
+    }
+
+    #[test]
+    fn serializes_comments_and_pis() {
+        let s = "<a><!--note--><?go now?></a>";
+        assert_eq!(roundtrip(s), s);
+    }
+}

@@ -1,0 +1,375 @@
+//! The pre/size/level tree encoding.
+//!
+//! A [`Document`] stores one XML fragment as a struct-of-arrays indexed by
+//! *preorder rank* (`pre`), exactly the document-order-preserving node
+//! identifiers the paper's Figure 5 relies on. For every node we keep
+//!
+//! * its [`NodeKind`],
+//! * its interned name (elements, attributes, processing instructions),
+//! * `size` — the number of nodes in its subtree excluding itself (so the
+//!   descendants of `v` occupy exactly the pre ranks `v+1 ..= v+size(v)`),
+//! * `level` — its depth, and
+//! * `parent` — the pre rank of its parent (`u32::MAX` for the root).
+//!
+//! Attribute nodes are materialized in the preorder sequence directly after
+//! their owner element and before the element's children; this gives
+//! attributes stable, document-order-compatible identifiers while axis
+//! evaluation simply filters them out everywhere except on the `attribute`
+//! axis.
+
+use crate::name::{NameId, NamePool};
+use std::fmt;
+
+/// Kind of a node in the encoded tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The (virtual) document root produced by the parser.
+    Document,
+    Element,
+    Attribute,
+    Text,
+    Comment,
+    ProcessingInstruction,
+}
+
+impl NodeKind {
+    /// Whether nodes of this kind can carry children.
+    pub fn can_have_children(self) -> bool {
+        matches!(self, NodeKind::Document | NodeKind::Element)
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Document => "document",
+            NodeKind::Element => "element",
+            NodeKind::Attribute => "attribute",
+            NodeKind::Text => "text",
+            NodeKind::Comment => "comment",
+            NodeKind::ProcessingInstruction => "processing-instruction",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Sentinel parent rank of root nodes.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Index into a document's text data, or `NO_TEXT`.
+pub const NO_TEXT: u32 = u32::MAX;
+
+/// One encoded XML fragment.
+///
+/// All per-node vectors have identical length; index = preorder rank.
+#[derive(Debug, Default, Clone)]
+pub struct Document {
+    pub kinds: Vec<NodeKind>,
+    pub names: Vec<NameId>,
+    pub sizes: Vec<u32>,
+    pub levels: Vec<u16>,
+    pub parents: Vec<u32>,
+    /// Per-node index into `text_data` (text content of text nodes, value of
+    /// attributes, content of comments/PIs); `NO_TEXT` otherwise.
+    pub texts: Vec<u32>,
+    /// Owned string content referenced from `texts`.
+    pub text_data: Vec<String>,
+    /// Lazily built per-name element/attribute streams (sorted pre rank
+    /// lists) — the tag-name-based access paths of TwigStack-style step
+    /// evaluation (paper §1). Built on first use by
+    /// [`name_streams`](Self::name_streams).
+    name_streams: std::cell::OnceCell<NameStreams>,
+}
+
+/// Per-name sorted preorder streams.
+#[derive(Debug, Default, Clone)]
+pub struct NameStreams {
+    /// Element name → ascending pre ranks of elements with that name.
+    pub elements: std::collections::HashMap<NameId, Vec<u32>>,
+    /// Attribute name → ascending pre ranks of attributes with that name.
+    pub attributes: std::collections::HashMap<NameId, Vec<u32>>,
+}
+
+impl Document {
+    /// Create an empty fragment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes in the fragment.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the fragment holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Kind of node `pre`.
+    pub fn kind(&self, pre: u32) -> NodeKind {
+        self.kinds[pre as usize]
+    }
+
+    /// Name of node `pre` (`NameId::NONE` for unnamed nodes).
+    pub fn name(&self, pre: u32) -> NameId {
+        self.names[pre as usize]
+    }
+
+    /// Subtree size of node `pre` (descendants including attributes,
+    /// excluding the node itself).
+    pub fn size(&self, pre: u32) -> u32 {
+        self.sizes[pre as usize]
+    }
+
+    /// Depth of node `pre` (roots are at level 0).
+    pub fn level(&self, pre: u32) -> u16 {
+        self.levels[pre as usize]
+    }
+
+    /// Parent rank of node `pre`, or `None` for roots.
+    pub fn parent(&self, pre: u32) -> Option<u32> {
+        let p = self.parents[pre as usize];
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// String content of a text/attribute/comment/PI node; `None` otherwise.
+    pub fn text(&self, pre: u32) -> Option<&str> {
+        let t = self.texts[pre as usize];
+        (t != NO_TEXT).then(|| self.text_data[t as usize].as_str())
+    }
+
+    /// Per-name node streams, built lazily on first access (one pass over
+    /// the fragment). Preorder ranks per list are ascending by
+    /// construction.
+    pub fn name_streams(&self) -> &NameStreams {
+        self.name_streams.get_or_init(|| {
+            let mut s = NameStreams::default();
+            for pre in 0..self.len() as u32 {
+                match self.kind(pre) {
+                    NodeKind::Element => {
+                        s.elements.entry(self.name(pre)).or_default().push(pre)
+                    }
+                    NodeKind::Attribute => {
+                        s.attributes.entry(self.name(pre)).or_default().push(pre)
+                    }
+                    _ => continue,
+                };
+            }
+            s
+        })
+    }
+
+    /// Iterator over the pre ranks of the children of `pre` (attributes are
+    /// *not* children).
+    pub fn children(&self, pre: u32) -> ChildIter<'_> {
+        ChildIter {
+            doc: self,
+            next: pre + 1,
+            end: pre + 1 + self.size(pre),
+        }
+    }
+
+    /// Iterator over the attribute nodes of element `pre`.
+    ///
+    /// Attributes are stored as a contiguous run immediately after their
+    /// owner element.
+    pub fn attributes(&self, pre: u32) -> impl Iterator<Item = u32> + '_ {
+        let end = pre + 1 + self.size(pre);
+        (pre + 1..end).take_while(move |&p| self.kind(p) == NodeKind::Attribute)
+    }
+
+    /// `true` iff `anc` is a proper ancestor of `desc` (pre/size window
+    /// containment check — the heart of staircase join pruning).
+    pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
+        anc < desc && desc <= anc + self.size(anc)
+    }
+
+    /// Append one node; used by [`crate::builder::TreeBuilder`]. Returns the
+    /// new node's pre rank.
+    pub(crate) fn push_node(
+        &mut self,
+        kind: NodeKind,
+        name: NameId,
+        level: u16,
+        parent: u32,
+        text: u32,
+    ) -> u32 {
+        let pre = self.kinds.len() as u32;
+        self.kinds.push(kind);
+        self.names.push(name);
+        self.sizes.push(0);
+        self.levels.push(level);
+        self.parents.push(parent);
+        self.texts.push(text);
+        pre
+    }
+
+    /// Append a parentless attribute node (a computed attribute
+    /// constructor outside any element content creates one). Returns its
+    /// pre rank. Only valid on fragments built as flat forests.
+    pub fn push_orphan_attribute(&mut self, name: NameId, value: &str) -> u32 {
+        let text = self.push_text_data(value.to_owned());
+        self.push_node(NodeKind::Attribute, name, 0, NO_PARENT, text)
+    }
+
+    /// Intern string content, returning its index for `texts`.
+    pub(crate) fn push_text_data(&mut self, s: String) -> u32 {
+        let id = self.text_data.len() as u32;
+        self.text_data.push(s);
+        id
+    }
+
+    /// Debug rendering of the encoding: one line per node, as in the
+    /// paper's Figure 5.
+    pub fn dump(&self, pool: &NamePool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for pre in 0..self.len() as u32 {
+            let name = if self.name(pre).is_some() {
+                pool.resolve(self.name(pre)).to_owned()
+            } else {
+                String::from("-")
+            };
+            let _ = writeln!(
+                out,
+                "{:>4} {:<10} {:<12} size={:<4} level={:<2} parent={}",
+                pre,
+                self.kind(pre).to_string(),
+                name,
+                self.size(pre),
+                self.level(pre),
+                self.parent(pre).map_or("-".into(), |p| p.to_string()),
+            );
+        }
+        out
+    }
+
+    /// Validate the structural invariants of the encoding (used by tests and
+    /// debug assertions): sizes nest properly, levels are consistent with
+    /// parents, attribute runs directly follow their elements.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.len() as u32;
+        for pre in 0..n {
+            let size = self.size(pre);
+            if pre + size >= n + if size == 0 { 1 } else { 0 } && pre + size > n - 1 {
+                return Err(format!("node {pre}: subtree exceeds fragment"));
+            }
+            if let Some(p) = self.parent(pre) {
+                if !self.is_ancestor(p, pre) {
+                    return Err(format!("node {pre}: parent {p} window does not cover it"));
+                }
+                if self.level(pre) != self.level(p) + 1 {
+                    return Err(format!("node {pre}: level inconsistent with parent"));
+                }
+                if self.kind(pre) == NodeKind::Attribute && self.kind(p) != NodeKind::Element {
+                    return Err(format!("attribute {pre} not owned by an element"));
+                }
+            } else if self.level(pre) != 0 {
+                return Err(format!("root {pre} not at level 0"));
+            }
+            // Children windows nest: every node in (pre, pre+size] must have
+            // its whole subtree inside the window.
+            let end = pre + size;
+            let mut c = pre + 1;
+            while c <= end {
+                if c + self.size(c) > end {
+                    return Err(format!("node {c}: subtree escapes parent window of {pre}"));
+                }
+                c += self.size(c) + 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over child pre ranks, skipping attribute runs and whole
+/// subtrees via the `size` column.
+pub struct ChildIter<'a> {
+    doc: &'a Document,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.next < self.end {
+            let pre = self.next;
+            self.next = pre + self.doc.size(pre) + 1;
+            if self.doc.kind(pre) != NodeKind::Attribute {
+                return Some(pre);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    /// Build the paper's Figure 1 fragment `<a><b><c/><d/></b><c/></a>`.
+    fn figure1() -> (Document, NamePool) {
+        let mut pool = NamePool::new();
+        let mut b = TreeBuilder::new();
+        let a = pool.intern("a");
+        let bn = pool.intern("b");
+        let c = pool.intern("c");
+        let d = pool.intern("d");
+        b.open_element(a);
+        b.open_element(bn);
+        b.open_element(c);
+        b.close();
+        b.open_element(d);
+        b.close();
+        b.close();
+        b.open_element(c);
+        b.close();
+        b.close();
+        (b.finish(), pool)
+    }
+
+    #[test]
+    fn figure1_preorder_ranks() {
+        let (doc, pool) = figure1();
+        doc.check_invariants().unwrap();
+        // Figure 5 of the paper: a=0, b=1, c1=2, d=3, c2=4.
+        assert_eq!(doc.len(), 5);
+        assert_eq!(pool.resolve(doc.name(0)), "a");
+        assert_eq!(pool.resolve(doc.name(1)), "b");
+        assert_eq!(pool.resolve(doc.name(2)), "c");
+        assert_eq!(pool.resolve(doc.name(3)), "d");
+        assert_eq!(pool.resolve(doc.name(4)), "c");
+        assert_eq!(doc.size(0), 4);
+        assert_eq!(doc.size(1), 2);
+        assert_eq!(doc.size(2), 0);
+        // b precedes d in document order, witnessed by preorder ranks (§3).
+        assert!(1 < 3);
+        assert!(doc.is_ancestor(0, 3));
+        assert!(doc.is_ancestor(1, 3));
+        assert!(!doc.is_ancestor(1, 4));
+    }
+
+    #[test]
+    fn children_iteration() {
+        let (doc, _) = figure1();
+        let kids: Vec<u32> = doc.children(0).collect();
+        assert_eq!(kids, vec![1, 4]);
+        let kids: Vec<u32> = doc.children(1).collect();
+        assert_eq!(kids, vec![2, 3]);
+        assert!(doc.children(2).next().is_none());
+    }
+
+    #[test]
+    fn levels_and_parents() {
+        let (doc, _) = figure1();
+        assert_eq!(doc.level(0), 0);
+        assert_eq!(doc.level(3), 2);
+        assert_eq!(doc.parent(0), None);
+        assert_eq!(doc.parent(3), Some(1));
+        assert_eq!(doc.parent(4), Some(0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: load a document, run queries, inspect results and plans.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use exrquy::{QueryOptions, Session};
+
+fn main() {
+    let mut session = Session::new();
+
+    // A small bibliography document.
+    session
+        .load_document(
+            "bib.xml",
+            r#"<bib>
+                 <book year="1994"><title>TCP/IP Illustrated</title>
+                   <author>Stevens</author><price>65.95</price></book>
+                 <book year="2000"><title>Data on the Web</title>
+                   <author>Abiteboul</author><author>Buneman</author>
+                   <author>Suciu</author><price>39.95</price></book>
+                 <book year="1999"><title>The Economics of Technology</title>
+                   <author>Gerbarg</author><price>129.95</price></book>
+               </bib>"#,
+        )
+        .expect("document parses");
+
+    // 1. Paths and predicates.
+    let out = session
+        .query(r#"doc("bib.xml")/bib/book[@year > 1995]/title/text()"#)
+        .unwrap();
+    println!("titles after 1995: {}", out.to_xml());
+
+    // 2. FLWOR with constructors.
+    let out = session
+        .query(
+            r#"for $b in doc("bib.xml")/bib/book
+               where $b/price < 100
+               order by $b/title
+               return <cheap title="{ $b/title/text() }">{ $b/price/text() }</cheap>"#,
+        )
+        .unwrap();
+    println!("cheap books:       {}", out.to_xml());
+
+    // 3. Aggregates and quantifiers.
+    let out = session
+        .query(r#"fn:count(doc("bib.xml")//author)"#)
+        .unwrap();
+    println!("author count:      {}", out.to_xml());
+    let out = session
+        .query(
+            r#"some $b in doc("bib.xml")//book
+               satisfies fn:count($b/author) >= 3"#,
+        )
+        .unwrap();
+    println!("a 3-author book?   {}", out.to_xml());
+
+    // 4. Plans: the same query under the paper's two compiler
+    //    configurations.
+    let q = r#"fn:count(doc("bib.xml")//book/author)"#;
+    let baseline = session.prepare(q, &QueryOptions::baseline()).unwrap();
+    let enabled = session
+        .prepare(q, &QueryOptions::order_indifferent())
+        .unwrap();
+    println!("\nplan, order-aware baseline:      {}", baseline.stats_final);
+    println!("plan, order indifference on:     {}", enabled.stats_final);
+    println!("\norder-indifferent plan:\n{}", enabled.plan_text());
+}

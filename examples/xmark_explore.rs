@@ -1,0 +1,61 @@
+//! Generate an XMark auction document, run benchmark queries against it,
+//! and compare the two compiler configurations.
+//!
+//! ```sh
+//! cargo run --release --example xmark_explore -- [scale]
+//! ```
+
+use exrquy::{QueryOptions, Session};
+use exrquy_xmark::{generate, query, query_name, XmarkConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    let cfg = XmarkConfig::at_scale(scale);
+    print!("generating XMark instance at scale {scale}… ");
+    let xml = generate(&cfg);
+    println!(
+        "{:.2} MB, {} persons, {} items, {} open auctions",
+        xml.len() as f64 / 1e6,
+        cfg.persons(),
+        cfg.items(),
+        cfg.open_auctions()
+    );
+
+    let mut session = Session::new();
+    session.load_document("auction.xml", &xml).unwrap();
+    println!("loaded: {} nodes\n", session.store_nodes());
+
+    for n in [1usize, 2, 5, 6, 8, 11, 14, 17, 19, 20] {
+        let q = query(n);
+        let started = Instant::now();
+        let base = session.query_with(q, &QueryOptions::baseline()).unwrap();
+        let t_base = started.elapsed();
+        let started = Instant::now();
+        let oi = session
+            .query_with(q, &QueryOptions::order_indifferent())
+            .unwrap();
+        let t_oi = started.elapsed();
+        let preview = {
+            let x = oi.to_xml();
+            let p: String = x.chars().take(48).collect();
+            if x.len() > 48 {
+                format!("{p}…")
+            } else {
+                p
+            }
+        };
+        println!(
+            "{:>4}: {:>5} items | baseline {:>8.2} ms | unordered {:>8.2} ms | {}",
+            query_name(n),
+            base.items.len(),
+            t_base.as_secs_f64() * 1e3,
+            t_oi.as_secs_f64() * 1e3,
+            preview
+        );
+        assert_eq!(base.items.len(), oi.items.len(), "cardinality must agree");
+    }
+}

@@ -1,0 +1,12 @@
+//! Workspace umbrella for the eXrQuy reproduction.
+//!
+//! This package hosts the cross-crate integration tests (`tests/`,
+//! including the data-driven conformance corpus in `tests/cases/`) and
+//! the runnable examples (`examples/`); the library surface simply
+//! re-exports the [`exrquy`] facade crate.
+//!
+//! Start at [`exrquy::Session`] for the API, `README.md` for the project
+//! overview, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md`
+//! for the paper-vs-measured evaluation.
+
+pub use exrquy::*;

@@ -1,0 +1,168 @@
+//! Data-driven conformance cases.
+//!
+//! Each `tests/cases/*.case` file holds one or more cases in a simple
+//! sectioned format:
+//!
+//! ```text
+//! ### case-name
+//! --- doc d.xml
+//! <r>…</r>
+//! --- query
+//! fn:count(doc("d.xml")//x)
+//! --- expect
+//! 2
+//! ```
+//!
+//! Sections:
+//! * `--- doc <url>` — load the following XML under `<url>` (repeatable);
+//! * `--- query` — the XQuery text;
+//! * `--- expect` — exact serialized result under the ordered baseline
+//!   (also run under the order-indifferent configuration and compared as
+//!   an item multiset);
+//! * `--- expect-unordered-too` — additionally require exact equality
+//!   under the order-indifferent configuration (order-determined result);
+//! * `--- expect-error` — the query must fail, with the given substring
+//!   in the error text.
+
+use exrquy::{QueryOptions, Session};
+use std::path::PathBuf;
+
+#[derive(Debug, Default)]
+struct Case {
+    name: String,
+    file: String,
+    docs: Vec<(String, String)>,
+    query: String,
+    expect: Option<String>,
+    exact_unordered: bool,
+    expect_error: Option<String>,
+}
+
+fn parse_cases(file: &str, text: &str) -> Vec<Case> {
+    let mut cases: Vec<Case> = Vec::new();
+    let mut cur: Option<Case> = None;
+    let mut section: Option<(String, String)> = None; // (kind+arg, content)
+
+    fn flush_section(case: &mut Case, section: &mut Option<(String, String)>) {
+        let Some((head, content)) = section.take() else {
+            return;
+        };
+        let content = content.trim().to_string();
+        let mut parts = head.splitn(2, ' ');
+        match parts.next().unwrap() {
+            "doc" => {
+                let url = parts.next().expect("--- doc needs a url").to_string();
+                case.docs.push((url, content));
+            }
+            "query" => case.query = content,
+            "expect" => case.expect = Some(content),
+            "expect-unordered-too" => {
+                case.expect = Some(content);
+                case.exact_unordered = true;
+            }
+            "expect-error" => case.expect_error = Some(content),
+            other => panic!("unknown section `{other}` in {}", case.file),
+        }
+    }
+
+    for line in text.lines() {
+        if let Some(name) = line.strip_prefix("### ") {
+            if let Some(mut c) = cur.take() {
+                flush_section(&mut c, &mut section);
+                cases.push(c);
+            }
+            cur = Some(Case {
+                name: name.trim().to_string(),
+                file: file.to_string(),
+                ..Case::default()
+            });
+        } else if let Some(head) = line.strip_prefix("--- ") {
+            if let Some(c) = cur.as_mut() {
+                flush_section(c, &mut section);
+                section = Some((head.trim().to_string(), String::new()));
+            }
+        } else if let Some((_, content)) = section.as_mut() {
+            content.push_str(line);
+            content.push('\n');
+        }
+    }
+    if let Some(mut c) = cur.take() {
+        flush_section(&mut c, &mut section);
+        cases.push(c);
+    }
+    cases
+}
+
+fn run_case(case: &Case) {
+    let label = format!("{}::{}", case.file, case.name);
+    let mut session = Session::new();
+    for (url, xml) in &case.docs {
+        session
+            .load_document(url, xml)
+            .unwrap_or_else(|e| panic!("{label}: doc `{url}`: {e}"));
+    }
+    let baseline = session.query_with(&case.query, &QueryOptions::baseline());
+    if let Some(err_sub) = &case.expect_error {
+        let err = match baseline {
+            Err(e) => e.to_string(),
+            Ok(out) => panic!("{label}: expected error, got `{}`", out.to_xml()),
+        };
+        assert!(
+            err.contains(err_sub),
+            "{label}: error `{err}` lacks `{err_sub}`"
+        );
+        return;
+    }
+    let expect = case
+        .expect
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: no expectation"));
+    let baseline = baseline.unwrap_or_else(|e| panic!("{label}: baseline failed: {e}"));
+    assert_eq!(
+        &baseline.to_xml(),
+        expect,
+        "{label}: baseline result mismatch"
+    );
+    let unordered = session
+        .query_with(&case.query, &QueryOptions::order_indifferent())
+        .unwrap_or_else(|e| panic!("{label}: unordered failed: {e}"));
+    if case.exact_unordered {
+        assert_eq!(
+            &unordered.to_xml(),
+            expect,
+            "{label}: unordered result mismatch (exact)"
+        );
+    } else {
+        let mut a: Vec<String> = baseline.items.iter().map(|i| i.render()).collect();
+        let mut b: Vec<String> = unordered.items.iter().map(|i| i.render()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{label}: unordered multiset mismatch");
+    }
+}
+
+#[test]
+fn run_all_case_files() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/cases");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/cases directory exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .case files found in {dir:?}");
+    let mut total = 0;
+    for f in files {
+        let text = std::fs::read_to_string(&f).unwrap();
+        let name = f.file_name().unwrap().to_string_lossy().to_string();
+        let cases = parse_cases(&name, &text);
+        assert!(!cases.is_empty(), "{name}: no cases parsed");
+        for case in &cases {
+            run_case(case);
+            total += 1;
+        }
+    }
+    println!("ran {total} conformance cases");
+    assert!(total >= 40, "expected a substantial corpus, found {total}");
+}

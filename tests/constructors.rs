@@ -1,0 +1,163 @@
+//! Node construction: direct and computed constructors, deep-copy
+//! semantics, attribute handling, and the seq→doc order interaction (2©).
+
+use exrquy::{QueryOptions, Session};
+
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_document("d.xml", r#"<r><a k="1">x</a><b>y</b></r>"#).unwrap();
+    s
+}
+
+fn eval(s: &mut Session, q: &str) -> String {
+    s.query_with(q, &QueryOptions::baseline())
+        .unwrap_or_else(|e| panic!("`{q}`: {e}"))
+        .to_xml()
+}
+
+#[test]
+fn direct_element_with_literal_content() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "<e>hi</e>"), "<e>hi</e>");
+    assert_eq!(eval(&mut s, "<e/>"), "<e/>");
+    assert_eq!(eval(&mut s, "<e a=\"1\" b=\"2\"/>"), r#"<e a="1" b="2"/>"#);
+}
+
+#[test]
+fn enclosed_expressions_and_atomic_spacing() {
+    let mut s = session();
+    // Adjacent atomics merge into one text node, space-separated.
+    assert_eq!(eval(&mut s, "<e>{ 1, 2, 3 }</e>"), "<e>1 2 3</e>");
+    assert_eq!(eval(&mut s, "<e>{ 1 }-{ 2 }</e>"), "<e>1-2</e>");
+    // Expressions mixing nodes and atomics.
+    assert_eq!(
+        eval(&mut s, r#"<e>{ 1, doc("d.xml")//b, 2 }</e>"#),
+        "<e>1<b>y</b>2</e>"
+    );
+}
+
+#[test]
+fn content_nodes_are_deep_copies() {
+    let mut s = session();
+    // The copy lives in a new tree: its parent chain ends at the new
+    // element, and the original is untouched.
+    assert_eq!(
+        eval(
+            &mut s,
+            r#"let $e := <e>{ doc("d.xml")//a }</e> return fn:count($e/a/ancestor::r)"#
+        ),
+        "0"
+    );
+    assert_eq!(
+        eval(
+            &mut s,
+            r#"let $e := <e>{ doc("d.xml")//a }</e> return fn:count(doc("d.xml")//a/ancestor::r)"#
+        ),
+        "1"
+    );
+    // Attributes of copied elements survive.
+    assert_eq!(
+        eval(&mut s, r#"let $e := <e>{ doc("d.xml")//a }</e> return fn:data($e/a/@k)"#),
+        "1"
+    );
+}
+
+#[test]
+fn attribute_value_templates() {
+    let mut s = session();
+    assert_eq!(
+        eval(&mut s, r#"<e x="a{1+1}b{ "c" }"/>"#),
+        r#"<e x="a2bc"/>"#
+    );
+    // Sequence in template joins with spaces.
+    assert_eq!(eval(&mut s, r#"<e x="{ (1,2,3) }"/>"#), r#"<e x="1 2 3"/>"#);
+    // Node in template atomizes to string value.
+    assert_eq!(
+        eval(&mut s, r#"<e x="{ doc("d.xml")//b }"/>"#),
+        r#"<e x="y"/>"#
+    );
+    // Empty sequence → empty string.
+    assert_eq!(eval(&mut s, r#"<e x="{ () }"/>"#), r#"<e x=""/>"#);
+}
+
+#[test]
+fn computed_constructors() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "element out { 1, 2 }"), "<out>1 2</out>");
+    assert_eq!(eval(&mut s, "text { 'hello' }"), "hello");
+    // A computed attribute used as element content becomes an attribute.
+    assert_eq!(
+        eval(&mut s, r#"<e>{ attribute k { "v" } }</e>"#),
+        r#"<e k="v"/>"#
+    );
+}
+
+#[test]
+fn seq_to_doc_order_interaction() {
+    let mut s = session();
+    // Content sequence order becomes document order in the new fragment —
+    // regardless of the ordering mode (the paper's interaction 2© is not
+    // weakened, Figure 3).
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        let out = s
+            .query_with(
+                r#"let $b := doc("d.xml")//b, $a := doc("d.xml")//a
+                   return <e>{ $b, $a }</e>"#,
+                &opts,
+            )
+            .unwrap()
+            .to_xml();
+        assert_eq!(out, r#"<e><b>y</b><a k="1">x</a></e>"#);
+    }
+}
+
+#[test]
+fn constructors_inside_iterations() {
+    let mut s = session();
+    assert_eq!(
+        eval(
+            &mut s,
+            "for $i in (1, 2) return <n v=\"{ $i }\">{ $i * 10 }</n>"
+        ),
+        r#"<n v="1">10</n><n v="2">20</n>"#
+    );
+    // Nested constructors per iteration.
+    assert_eq!(
+        eval(&mut s, "for $i in (1, 2) return <o><i>{ $i }</i></o>"),
+        "<o><i>1</i></o><o><i>2</i></o>"
+    );
+}
+
+#[test]
+fn escaped_braces_and_entities() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "<e>a{{b}}c</e>"), "<e>a{b}c</e>");
+    assert_eq!(eval(&mut s, "<e>&lt;&amp;</e>"), "<e>&lt;&amp;</e>");
+}
+
+#[test]
+fn attribute_after_content_is_an_error() {
+    let mut s = session();
+    let err = s
+        .query(r#"<e>{ "text", attribute k { "v" } }</e>"#)
+        .unwrap_err();
+    assert!(err.to_string().contains("XQTY0024"), "{err}");
+}
+
+#[test]
+fn querying_constructed_fragments() {
+    let mut s = session();
+    // Navigate into freshly constructed nodes (paper Expression (3) uses
+    // $e/b): steps over constructed fragments work.
+    assert_eq!(
+        eval(
+            &mut s,
+            r#"let $e := <e><p>1</p><q/></e> return fn:count($e/*)"#
+        ),
+        "2"
+    );
+    assert_eq!(
+        eval(&mut s, r#"let $e := <e><p>7</p></e> return $e/p + 1"#),
+        "8"
+    );
+}

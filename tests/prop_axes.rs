@@ -1,0 +1,176 @@
+//! Property tests: staircase join ≡ the naive reference axis semantics on
+//! random trees, for every axis and node test.
+
+use exrquy_xml::{axis, Axis, Document, NamePool, NodeTest, TreeBuilder};
+use proptest::prelude::*;
+
+/// A recipe for a random tree: a preorder walk encoded as actions.
+#[derive(Debug, Clone)]
+enum Action {
+    Open(u8),
+    Close,
+    Attr(u8),
+    Text,
+    Comment,
+}
+
+fn actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..6).prop_map(Action::Open),
+            Just(Action::Close),
+            (0u8..4).prop_map(Action::Attr),
+            Just(Action::Text),
+            Just(Action::Comment),
+        ],
+        0..60,
+    )
+}
+
+/// Build a well-formed document from an arbitrary action list.
+fn build(actions: &[Action], pool: &mut NamePool) -> Document {
+    let names: Vec<_> = (0..6).map(|i| pool.intern(&format!("n{i}"))).collect();
+    let attrs: Vec<_> = (0..4).map(|i| pool.intern(&format!("a{i}"))).collect();
+    let mut b = TreeBuilder::new();
+    let root = pool.intern("root");
+    b.open_element(root);
+    let mut depth = 1;
+    let mut can_attr = true;
+    // Avoid adjacent text nodes: the XDM merges them, which would break
+    // the reparse-length check.
+    let mut last_was_text = false;
+    for a in actions {
+        match a {
+            Action::Open(i) => {
+                b.open_element(names[*i as usize]);
+                depth += 1;
+                can_attr = true;
+                last_was_text = false;
+            }
+            Action::Close => {
+                if depth > 1 {
+                    b.close();
+                    depth -= 1;
+                    can_attr = false;
+                    last_was_text = false;
+                }
+            }
+            Action::Attr(i) => {
+                if can_attr {
+                    // Attribute names may repeat on one element — the
+                    // encoding tolerates it and nothing here validates.
+                    b.attribute(attrs[*i as usize], "v");
+                }
+            }
+            Action::Text => {
+                if !last_was_text {
+                    b.text("t");
+                    can_attr = false;
+                    last_was_text = true;
+                }
+            }
+            Action::Comment => {
+                b.comment("c");
+                can_attr = false;
+                last_was_text = false;
+            }
+        }
+    }
+    while depth > 0 {
+        b.close();
+        depth -= 1;
+    }
+    b.finish()
+}
+
+const AXES: [Axis; 12] = [
+    Axis::Child,
+    Axis::Descendant,
+    Axis::DescendantOrSelf,
+    Axis::SelfAxis,
+    Axis::Attribute,
+    Axis::Parent,
+    Axis::Ancestor,
+    Axis::AncestorOrSelf,
+    Axis::FollowingSibling,
+    Axis::PrecedingSibling,
+    Axis::Following,
+    Axis::Preceding,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn staircase_equals_naive(acts in actions(), ctx_mask in prop::collection::vec(any::<bool>(), 61)) {
+        let mut pool = NamePool::new();
+        let doc = build(&acts, &mut pool);
+        prop_assert!(doc.check_invariants().is_ok());
+        // Context: masked subset of all nodes.
+        let ctx: Vec<u32> = (0..doc.len() as u32)
+            .filter(|&p| ctx_mask.get(p as usize).copied().unwrap_or(false))
+            .collect();
+        let tests = [
+            NodeTest::AnyKind,
+            NodeTest::Wildcard,
+            NodeTest::Name(pool.intern("n1")),
+            NodeTest::Name(pool.intern("a1")),
+            NodeTest::Text,
+            NodeTest::Comment,
+            NodeTest::Element,
+            NodeTest::DocumentNode,
+        ];
+        for &ax in &AXES {
+            for &t in &tests {
+                let fast = axis::step(&doc, &ctx, ax, t);
+                let slow = axis::naive(&doc, &ctx, ax, t);
+                prop_assert_eq!(
+                    &fast, &slow,
+                    "axis {:?} test {:?} ctx {:?}\n{}",
+                    ax, t, &ctx, doc.dump(&pool)
+                );
+                // Results are sorted & duplicate-free.
+                prop_assert!(fast.windows(2).all(|w| w[0] < w[1]));
+                // The TwigStack-style name-stream algorithm agrees too.
+                let streamed = axis::step_name_stream(&doc, &ctx, ax, t);
+                prop_assert_eq!(
+                    &streamed, &slow,
+                    "name-stream axis {:?} test {:?} ctx {:?}",
+                    ax, t, &ctx
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_copy_preserves_structure(acts in actions()) {
+        let mut pool = NamePool::new();
+        let doc = build(&acts, &mut pool);
+        // Copy the whole root into a fresh builder and compare serialized
+        // forms (deep copy is what constructors rely on).
+        let mut b = TreeBuilder::new();
+        b.copy_subtree(&doc, 0);
+        let copy = b.finish();
+        prop_assert!(copy.check_invariants().is_ok());
+        let mut s1 = String::new();
+        let mut s2 = String::new();
+        exrquy_xml::serialize::serialize_subtree(&doc, 0, &pool, &mut s1);
+        exrquy_xml::serialize::serialize_subtree(&copy, 0, &pool, &mut s2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn parse_serialize_roundtrip(acts in actions()) {
+        let mut pool = NamePool::new();
+        let doc = build(&acts, &mut pool);
+        let mut xml = String::new();
+        exrquy_xml::serialize::serialize_subtree(&doc, 0, &pool, &mut xml);
+        let mut pool2 = NamePool::new();
+        let reparsed = exrquy_xml::parse_document(&xml, &mut pool2).unwrap();
+        // Reparsed adds a document node at pre 0.
+        prop_assert_eq!(reparsed.len(), doc.len() + 1);
+        let mut xml2 = String::new();
+        exrquy_xml::serialize::serialize_subtree(&reparsed, 0, &pool2, &mut xml2);
+        prop_assert_eq!(xml, xml2);
+    }
+}

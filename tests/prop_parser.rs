@@ -1,0 +1,126 @@
+//! Parser/pretty-printer round-trip: for randomly generated ASTs,
+//! `parse(pretty(ast)) == ast`.
+
+use exrquy_frontend::{parse_module, pretty::pretty, BinOp, Clause, Expr, Quant};
+use proptest::prelude::*;
+
+fn var_name() -> impl Strategy<Value = String> {
+    prop_oneof![Just("x"), Just("y"), Just("doc1"), Just("v_2")].prop_map(str::to_string)
+}
+
+fn elem_name() -> impl Strategy<Value = String> {
+    prop_oneof![Just("item"), Just("e"), Just("person")].prop_map(str::to_string)
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::IntLit),
+        Just(Expr::DblLit(2.5)),
+        "[a-z ]{0,8}".prop_map(Expr::StrLit),
+        Just(Expr::Empty),
+        var_name().prop_map(Expr::Var),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = expr(depth - 1);
+    prop_oneof![
+        leaf,
+        // sequences
+        prop::collection::vec(expr(depth - 1), 2..4).prop_map(Expr::Sequence),
+        // binary operators across all families
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Mul),
+                Just(BinOp::GenEq),
+                Just(BinOp::GenLt),
+                Just(BinOp::ValNe),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Union),
+                Just(BinOp::Except),
+                Just(BinOp::Before),
+                Just(BinOp::Is),
+            ],
+            expr(depth - 1),
+            expr(depth - 1)
+        )
+            .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+        // FLWOR
+        (var_name(), expr(depth - 1), expr(depth - 1)).prop_map(|(v, seq, ret)| Expr::Flwor {
+            clauses: vec![Clause::For {
+                var: v,
+                pos_var: None,
+                seq,
+            }],
+            order_by: vec![],
+            reordered: false,
+            ret: Box::new(ret),
+        }),
+        // let + where
+        (var_name(), expr(depth - 1), expr(depth - 1), expr(depth - 1)).prop_map(
+            |(v, e1, cond, ret)| Expr::Flwor {
+                clauses: vec![
+                    Clause::Let {
+                        var: v,
+                        expr: e1
+                    },
+                    Clause::Where(cond)
+                ],
+                order_by: vec![],
+                reordered: false,
+                ret: Box::new(ret),
+            }
+        ),
+        // quantifier
+        (var_name(), expr(depth - 1), expr(depth - 1)).prop_map(|(v, d, s)| Expr::Quantified {
+            quant: Quant::Some,
+            var: v,
+            domain: Box::new(d),
+            satisfies: Box::new(s),
+        }),
+        // conditional
+        (expr(depth - 1), expr(depth - 1), expr(depth - 1)).prop_map(|(c, t, e)| Expr::If {
+            cond: Box::new(c),
+            then: Box::new(t),
+            els: Box::new(e),
+        }),
+        // function calls
+        (
+            prop_oneof![Just("count"), Just("exists"), Just("string")],
+            expr(depth - 1)
+        )
+            .prop_map(|(f, a)| Expr::Call {
+                name: f.to_string(),
+                args: vec![a],
+            }),
+        // unordered
+        inner.prop_map(|e| Expr::Unordered(Box::new(e))),
+        // computed constructors
+        (elem_name(), expr(depth - 1)).prop_map(|(n, c)| Expr::ElemConstructor {
+            name: n,
+            content: Box::new(c),
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_then_parse_roundtrips(ast in expr(3)) {
+        let text = pretty(&ast);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{text}"))
+            .body;
+        // `Expr::Unordered` prints as `fn:unordered(…)`, which parses back
+        // as a call — normalization reifies it again. Compare the
+        // normalized forms (normalization is deterministic and applied to
+        // both sides).
+        let a = exrquy_frontend::normalize::norm(&ast);
+        let b = exrquy_frontend::normalize::norm(&reparsed);
+        prop_assert_eq!(&a, &b, "roundtrip mismatch via `{}`", &text);
+    }
+}

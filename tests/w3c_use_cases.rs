@@ -1,0 +1,249 @@
+//! The W3C "XML Query Use Cases" XMP suite (the classic bib/reviews
+//! workload), transcribed to the supported dialect, with exact expected
+//! results. Exercises multi-document joins, grouping, sorting and
+//! reconstruction — and checks both compiler configurations agree.
+
+use exrquy::{QueryOptions, Session};
+
+const BIB: &str = r#"<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>"#;
+
+const REVIEWS: &str = r#"<reviews>
+  <entry>
+    <title>Data on the Web</title>
+    <price>34.95</price>
+    <review>A very good discussion of semi-structured database systems and XML.</review>
+  </entry>
+  <entry>
+    <title>Advanced Programming in the Unix environment</title>
+    <price>65.95</price>
+    <review>A clear and detailed discussion of UNIX programming.</review>
+  </entry>
+  <entry>
+    <title>TCP/IP Illustrated</title>
+    <price>65.95</price>
+    <review>One of the best books on TCP/IP.</review>
+  </entry>
+</reviews>"#;
+
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_document("bib.xml", BIB).unwrap();
+    s.load_document("reviews.xml", REVIEWS).unwrap();
+    s
+}
+
+/// Run under both configurations; return the baseline text after checking
+/// the multisets agree (exact equality where order is determined by an
+/// `order by` or a single constructed element).
+fn run(s: &mut Session, q: &str) -> String {
+    let base = s
+        .query_with(q, &QueryOptions::baseline())
+        .unwrap_or_else(|e| panic!("baseline `{q}`: {e}"));
+    let oi = s
+        .query_with(q, &QueryOptions::order_indifferent())
+        .unwrap_or_else(|e| panic!("unordered `{q}`: {e}"));
+    let mut a: Vec<String> = base.items.iter().map(|i| i.render()).collect();
+    let mut b: Vec<String> = oi.items.iter().map(|i| i.render()).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "configurations disagree on `{q}`");
+    base.to_xml()
+}
+
+#[test]
+fn xmp_q1_publisher_and_year_filter() {
+    // Q1: books published by Addison-Wesley after 1991, with year & title.
+    let mut s = session();
+    let out = run(
+        &mut s,
+        r#"<bib>{
+             for $b in doc("bib.xml")/bib/book
+             where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+             return <book year="{ $b/@year }">{ $b/title }</book>
+           }</bib>"#,
+    );
+    assert_eq!(
+        out,
+        "<bib><book year=\"1994\"><title>TCP/IP Illustrated</title></book>\
+         <book year=\"1992\"><title>Advanced Programming in the Unix environment</title></book></bib>"
+    );
+}
+
+#[test]
+fn xmp_q2_flat_title_author_pairs() {
+    // Q2: one result element per (book, author) pair.
+    let mut s = session();
+    let out = run(
+        &mut s,
+        r#"<results>{
+             for $b in doc("bib.xml")/bib/book, $t in $b/title, $a in $b/author
+             return <result>{ $t }{ $a/last }</result>
+           }</results>"#,
+    );
+    // 1 + 1 + 3 author pairs = 5 results.
+    assert_eq!(out.matches("<result>").count(), 5);
+    assert!(out.contains("<result><title>Data on the Web</title><last>Suciu</last></result>"));
+}
+
+#[test]
+fn xmp_q3_titles_with_all_authors() {
+    let mut s = session();
+    let out = run(
+        &mut s,
+        r#"<results>{
+             for $b in doc("bib.xml")/bib/book
+             return <result>{ $b/title }{ $b/author }</result>
+           }</results>"#,
+    );
+    assert_eq!(out.matches("<result>").count(), 4);
+    assert!(out.contains(
+        "<result><title>Data on the Web</title>\
+         <author><last>Abiteboul</last><first>Serge</first></author>\
+         <author><last>Buneman</last><first>Peter</first></author>\
+         <author><last>Suciu</last><first>Dan</first></author></result>"
+    ));
+}
+
+#[test]
+fn xmp_q4_books_per_author() {
+    // Q4 (adapted to string grouping): per distinct author last name, the
+    // titles of their books.
+    let mut s = session();
+    let out = run(
+        &mut s,
+        r#"<results>{
+             for $ln in fn:distinct-values(doc("bib.xml")//author/last)
+             return <result><author>{ $ln }</author>{
+                      for $b in doc("bib.xml")/bib/book
+                      where $b/author/last = $ln
+                      return $b/title
+                    }</result>
+           }</results>"#,
+    );
+    assert_eq!(out.matches("<result>").count(), 4);
+    assert!(out.contains(
+        "<result><author>Stevens</author><title>TCP/IP Illustrated</title>\
+         <title>Advanced Programming in the Unix environment</title></result>"
+    ));
+}
+
+#[test]
+fn xmp_q5_join_with_reviews() {
+    // Q5: books with both a bib price and a review price (two-document
+    // join on title).
+    let mut s = session();
+    let out = run(
+        &mut s,
+        r#"<books-with-prices>{
+             for $b in doc("bib.xml")/bib/book,
+                 $a in doc("reviews.xml")/reviews/entry
+             where $b/title = $a/title
+             return <book-with-prices>{ $b/title }
+                      <price-review>{ $a/price/text() }</price-review>
+                      <price>{ $b/price/text() }</price>
+                    </book-with-prices>
+           }</books-with-prices>"#,
+    );
+    assert_eq!(out.matches("<book-with-prices>").count(), 3);
+    assert!(out.contains(
+        "<book-with-prices><title>Data on the Web</title>\
+         <price-review>34.95</price-review><price>39.95</price></book-with-prices>"
+    ));
+}
+
+#[test]
+fn xmp_q6_books_with_multiple_authors() {
+    let mut s = session();
+    let out = run(
+        &mut s,
+        r#"for $b in doc("bib.xml")//book
+           where fn:count($b/author) > 1
+           return $b/title"#,
+    );
+    assert_eq!(out, "<title>Data on the Web</title>");
+}
+
+#[test]
+fn xmp_q7_sorted_by_title() {
+    // Q11-style: books after 1991, sorted by title.
+    let mut s = session();
+    for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
+        let out = s
+            .query_with(
+                r#"<bib>{
+                     for $b in doc("bib.xml")//book
+                     where $b/@year > 1991
+                     order by fn:string($b/title)
+                     return <book>{ $b/title }</book>
+                   }</bib>"#,
+                &opts,
+            )
+            .unwrap()
+            .to_xml();
+        assert_eq!(
+            out,
+            "<bib><book><title>Advanced Programming in the Unix environment</title></book>\
+             <book><title>Data on the Web</title></book>\
+             <book><title>TCP/IP Illustrated</title></book>\
+             <book><title>The Economics of Technology and Content for Digital TV</title></book></bib>"
+        );
+    }
+}
+
+#[test]
+fn xmp_q10_price_statistics() {
+    let mut s = session();
+    let out = run(
+        &mut s,
+        r#"<prices>
+             <minimum>{ fn:min(doc("bib.xml")//price) }</minimum>
+             <maximum>{ fn:max(doc("bib.xml")//price) }</maximum>
+             <average>{ fn:avg(doc("bib.xml")//price) }</average>
+           </prices>"#,
+    );
+    assert_eq!(
+        out,
+        "<prices><minimum>39.95</minimum><maximum>129.95</maximum>\
+         <average>75.45</average></prices>"
+    );
+}
+
+#[test]
+fn xmp_q12_books_without_reviews() {
+    let mut s = session();
+    let out = run(
+        &mut s,
+        r#"for $b in doc("bib.xml")//book
+           where fn:empty(for $e in doc("reviews.xml")//entry
+                          where $e/title = $b/title return $e)
+           return $b/title/text()"#,
+    );
+    assert_eq!(out, "The Economics of Technology and Content for Digital TV");
+}

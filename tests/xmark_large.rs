@@ -1,0 +1,54 @@
+//! Larger-scale XMark consistency run (ignored by default — takes tens of
+//! seconds). Run with:
+//!
+//! ```sh
+//! cargo test --release --test xmark_large -- --ignored
+//! ```
+
+use exrquy::{QueryOptions, Session};
+use exrquy_xmark::{generate, query, XmarkConfig};
+
+#[test]
+#[ignore = "large-scale run; invoke explicitly with --ignored"]
+fn all_queries_agree_at_scale_0_05() {
+    let cfg = XmarkConfig::at_scale(0.05);
+    let xml = generate(&cfg);
+    let mut s = Session::new();
+    s.load_document("auction.xml", &xml).unwrap();
+    for n in 1..=20 {
+        let base = s
+            .query_with(query(n), &QueryOptions::baseline())
+            .unwrap_or_else(|e| panic!("Q{n} baseline: {e}"));
+        let oi = s
+            .query_with(query(n), &QueryOptions::order_indifferent())
+            .unwrap_or_else(|e| panic!("Q{n} unordered: {e}"));
+        let mut a: Vec<String> = base.items.iter().map(|i| i.render()).collect();
+        let mut b: Vec<String> = oi.items.iter().map(|i| i.render()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a.len(), b.len(), "Q{n} cardinality");
+        assert_eq!(a, b, "Q{n} multiset");
+    }
+}
+
+#[test]
+#[ignore = "large-scale run; invoke explicitly with --ignored"]
+fn physical_order_configuration_agrees_at_scale() {
+    let cfg = XmarkConfig::at_scale(0.02);
+    let xml = generate(&cfg);
+    let mut s = Session::new();
+    s.load_document("auction.xml", &xml).unwrap();
+    let mut physical = QueryOptions::order_indifferent();
+    physical.opt.physical_order = true;
+    for n in 1..=20 {
+        let reference = s
+            .query_with(query(n), &QueryOptions::order_indifferent())
+            .unwrap();
+        let got = s.query_with(query(n), &physical).unwrap();
+        let mut a: Vec<String> = reference.items.iter().map(|i| i.render()).collect();
+        let mut b: Vec<String> = got.items.iter().map(|i| i.render()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "Q{n} multiset under physical-order inference");
+    }
+}

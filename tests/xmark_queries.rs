@@ -1,0 +1,187 @@
+//! End-to-end integration: all 20 XMark queries, run against a generated
+//! auction document under both compiler configurations.
+//!
+//! The key invariant of the paper: the order-indifferent configuration may
+//! permute result sequences (only where order is unobservable!) but never
+//! changes the result *multiset*; queries whose result order is fully
+//! determined (aggregates, single constructors) must agree exactly.
+
+use exrquy::{QueryOptions, ResultItem, Session};
+use exrquy_xmark::{generate, query, XmarkConfig};
+
+fn session() -> Session {
+    // ≈64 persons, 54 items, 30 open auctions, 24 closed auctions.
+    let cfg = XmarkConfig::at_scale(0.0025);
+    let xml = generate(&cfg);
+    let mut s = Session::new();
+    s.load_document("auction.xml", &xml).unwrap();
+    s
+}
+
+fn render(items: &[ResultItem]) -> Vec<String> {
+    items.iter().map(|i| i.render()).collect()
+}
+
+/// Run Qn in both configurations; return (baseline, order-indifferent).
+fn run_both(s: &mut Session, n: usize) -> (Vec<String>, Vec<String>) {
+    let base = s
+        .query_with(query(n), &QueryOptions::baseline())
+        .unwrap_or_else(|e| panic!("Q{n} baseline failed: {e}"));
+    let oi = s
+        .query_with(query(n), &QueryOptions::order_indifferent())
+        .unwrap_or_else(|e| panic!("Q{n} order-indifferent failed: {e}"));
+    (render(&base.items), render(&oi.items))
+}
+
+#[test]
+fn all_twenty_queries_agree_as_multisets() {
+    let mut s = session();
+    for n in 1..=20 {
+        let (mut base, mut oi) = run_both(&mut s, n);
+        assert_eq!(
+            base.len(),
+            oi.len(),
+            "Q{n}: cardinality differs (baseline {} vs unordered {})",
+            base.len(),
+            oi.len()
+        );
+        base.sort();
+        oi.sort();
+        assert_eq!(base, oi, "Q{n}: result multiset differs");
+    }
+}
+
+#[test]
+fn aggregate_queries_agree_exactly() {
+    // Q5, Q6, Q7, Q20 produce order-determined results: the two
+    // configurations must agree without sorting.
+    let mut s = session();
+    for n in [5, 6, 7, 20] {
+        let (base, oi) = run_both(&mut s, n);
+        assert_eq!(base, oi, "Q{n}: exact results differ");
+    }
+}
+
+#[test]
+fn q1_returns_person0_name() {
+    let mut s = session();
+    let out = s.query(query(1)).unwrap();
+    assert_eq!(out.items.len(), 1);
+    // person0's <name> text: a "First Last" string.
+    let name = out.items[0].render();
+    assert!(name.contains(' '), "unexpected name {name:?}");
+}
+
+#[test]
+fn q5_counts_expensive_closed_auctions() {
+    let mut s = session();
+    let out = s.query(query(5)).unwrap();
+    assert_eq!(out.items.len(), 1);
+    let ResultItem::Int(n) = out.items[0] else {
+        panic!("Q5 must return an integer, got {:?}", out.items[0]);
+    };
+    // price ∈ [5, 200) uniform → around 80 % of 24 closed auctions.
+    assert!(n > 0 && n <= 24, "implausible Q5 count {n}");
+}
+
+#[test]
+fn q6_counts_all_items() {
+    let mut s = session();
+    let out = s.query(query(6)).unwrap();
+    // One count per regions element (exactly one in the document).
+    assert_eq!(out.items.len(), 1);
+    let cfg = XmarkConfig::at_scale(0.0025);
+    assert_eq!(out.items[0], ResultItem::Int(cfg.items() as i64));
+}
+
+#[test]
+fn q10_produces_one_element_per_category_used() {
+    let mut s = session();
+    let out = s.query(query(10)).unwrap();
+    assert!(!out.items.is_empty());
+    for item in &out.items {
+        let x = item.render();
+        assert!(x.starts_with("<categorie>"), "bad Q10 item: {x}");
+    }
+}
+
+#[test]
+fn q11_counts_match_a_reference_computation() {
+    let mut s = session();
+    let out = s.query(query(11)).unwrap();
+    let cfg = XmarkConfig::at_scale(0.0025);
+    assert_eq!(out.items.len(), cfg.persons());
+    // Each result is <items name="…">N</items>; N must never exceed the
+    // number of open auctions.
+    for item in &out.items {
+        let x = item.render();
+        let inner: String = x
+            .chars()
+            .skip_while(|&c| c != '>')
+            .skip(1)
+            .take_while(|&c| c != '<')
+            .collect();
+        let n: i64 = inner.parse().unwrap_or_else(|_| panic!("bad Q11 item {x}"));
+        assert!((0..=cfg.open_auctions() as i64).contains(&n));
+    }
+}
+
+#[test]
+fn q17_complements_homepage_presence() {
+    let mut s = session();
+    let q17 = s.query(query(17)).unwrap();
+    let with_homepage = s
+        .query(
+            r#"let $auction := doc("auction.xml") return
+               fn:count(for $p in $auction/site/people/person
+                        where fn:exists($p/homepage/text()) return $p)"#,
+        )
+        .unwrap();
+    let ResultItem::Int(with) = with_homepage.items[0] else {
+        panic!()
+    };
+    let cfg = XmarkConfig::at_scale(0.0025);
+    assert_eq!(q17.items.len() + with as usize, cfg.persons());
+}
+
+#[test]
+fn q19_is_sorted_by_location() {
+    let mut s = session();
+    let out = s.query(query(19)).unwrap();
+    let cfg = XmarkConfig::at_scale(0.0025);
+    assert_eq!(out.items.len(), cfg.items());
+    // Extract the location text (element content) and check it ascends.
+    let locations: Vec<String> = out
+        .items
+        .iter()
+        .map(|i| {
+            let x = i.render();
+            x.chars()
+                .skip_while(|&c| c != '>')
+                .skip(1)
+                .take_while(|&c| c != '<')
+                .collect()
+        })
+        .collect();
+    let mut sorted = locations.clone();
+    sorted.sort();
+    assert_eq!(locations, sorted, "Q19 output not sorted by location");
+}
+
+#[test]
+fn unordered_plans_have_fewer_costly_rownums() {
+    let mut s = session();
+    for n in 1..=20 {
+        let base = s.prepare(query(n), &QueryOptions::baseline()).unwrap();
+        let oi = s
+            .prepare(query(n), &QueryOptions::order_indifferent())
+            .unwrap();
+        let base_rn =
+            exrquy::algebra::stats::costly_rownums(&base.dag, base.root);
+        let oi_rn = exrquy::algebra::stats::costly_rownums(&oi.dag, oi.root);
+        assert!(
+            oi_rn <= base_rn,
+            "Q{n}: unordered plan has MORE costly %: {oi_rn} vs {base_rn}"
+        );
+    }
+}
