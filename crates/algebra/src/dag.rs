@@ -222,10 +222,7 @@ impl Dag {
             Op::RowId { input, new } => extend(*input, *new, "#"),
             Op::Attach { input, col, .. } => extend(*input, *col, "attach"),
             Op::Fun {
-                input,
-                new,
-                args,
-                ..
+                input, new, args, ..
             } => {
                 for a in args {
                     self.require(*input, *a, "fun")?;

@@ -77,7 +77,11 @@ pub fn to_text_named(
 pub fn to_dot(dag: &Dag, root: OpId, title: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph plan {{");
-    let _ = writeln!(out, "  label={:?}; rankdir=BT; node [shape=box, fontsize=10];", title);
+    let _ = writeln!(
+        out,
+        "  label={:?}; rankdir=BT; node [shape=box, fontsize=10];",
+        title
+    );
     for id in dag.topo_order(root) {
         let op = dag.op(id);
         let label = op_label(op);

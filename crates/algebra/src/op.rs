@@ -177,10 +177,7 @@ pub enum Op {
     Doc { url: Rc<str> },
     /// Projection with rename; does *not* remove duplicates (§3). `cols`
     /// pairs are `(output name, input name)`.
-    Project {
-        input: OpId,
-        cols: Vec<(Col, Col)>,
-    },
+    Project { input: OpId, cols: Vec<(Col, Col)> },
     /// Keep rows whose (boolean) column `col` is true.
     Select { input: OpId, col: Col },
     /// `% new:⟨order⟩‖part` — dense rank (1,2,…) per group in sort order.

@@ -3,8 +3,9 @@
 //! shrinkage, and what the analysis itself costs — the "design choices"
 //! benches DESIGN.md calls out.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exrquy::{QueryOptions, Session};
+use exrquy_bench::harness::{BenchmarkId, Criterion};
+use exrquy_bench::{criterion_group, criterion_main};
 use exrquy_opt::{optimize, OptOptions};
 use exrquy_xmark::query;
 
@@ -54,7 +55,7 @@ fn bench(c: &mut Criterion) {
                     b.iter_batched(
                         || dag.clone(),
                         |mut d| optimize(&mut d, root, opts).0,
-                        criterion::BatchSize::SmallInput,
+                        exrquy_bench::harness::BatchSize::SmallInput,
                     )
                 },
             );

@@ -2,8 +2,9 @@
 //! sort) vs `#` (RowId — "negligible cost or even free") vs the weakened
 //! `%⟨⟩` (criterion-free numbering, §7).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exrquy_algebra::{AValue, Col, Dag, Op, OpId, SortKey};
+use exrquy_bench::harness::{BenchmarkId, Criterion};
+use exrquy_bench::{criterion_group, criterion_main};
 use exrquy_engine::{Engine, EngineOptions};
 use exrquy_xml::Store;
 use std::collections::HashMap;

@@ -2,9 +2,10 @@
 //! evaluation substrate of §3 ("several existing XPath step evaluation
 //! techniques may be plugged in to realize ⬡").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use exrquy_xml::{axis, Axis, NamePool, NodeTest};
+use exrquy_bench::harness::{BenchmarkId, Criterion};
+use exrquy_bench::{criterion_group, criterion_main};
 use exrquy_xmark::{generate, XmarkConfig};
+use exrquy_xml::{axis, Axis, NamePool, NodeTest};
 
 fn bench(c: &mut Criterion) {
     let xml = generate(&XmarkConfig::at_scale(0.002));
@@ -47,9 +48,11 @@ fn bench(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("step_child");
-    group.bench_with_input(BenchmarkId::new("staircase", "all-elements"), &(), |b, _| {
-        b.iter(|| axis::step(&doc, &all_elems, Axis::Child, NodeTest::Wildcard))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("staircase", "all-elements"),
+        &(),
+        |b, _| b.iter(|| axis::step(&doc, &all_elems, Axis::Child, NodeTest::Wildcard)),
+    );
     group.finish();
 }
 

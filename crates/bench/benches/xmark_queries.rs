@@ -3,9 +3,10 @@
 //! (The paper-scale sweep with its 30 s cutoff lives in `--bin figure12`;
 //! this gives statistically solid numbers for a representative subset.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exrquy::QueryOptions;
+use exrquy_bench::harness::{BenchmarkId, Criterion};
 use exrquy_bench::xmark_session;
+use exrquy_bench::{criterion_group, criterion_main};
 use exrquy_xmark::query;
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,163 @@
+//! Minimal micro-benchmark harness, API-compatible with the subset of
+//! `criterion` the `benches/` targets use (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`
+//! / `iter_batched`, `criterion_group!` / `criterion_main!`).
+//!
+//! It times each benchmark over a fixed number of samples and prints a
+//! `group/label/param  median  mean` line per benchmark. No statistics
+//! engine, no HTML reports — just stable wall-clock numbers with zero
+//! external dependencies, so the bench targets build offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+pub struct BenchmarkId {
+    label: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(label: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+            param: param.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        let mut s = b.samples;
+        s.sort_unstable();
+        let median = s.get(s.len() / 2).copied().unwrap_or_default();
+        let mean = if s.is_empty() {
+            Duration::ZERO
+        } else {
+            s.iter().sum::<Duration>() / s.len() as u32
+        };
+        println!(
+            "  {}/{}/{}  median {:?}  mean {:?}",
+            self.name, id.label, id.param, median, mean
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f` once per sample, after one untimed warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f());
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std_black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Criterion-style batched iteration: `setup` runs untimed before
+    /// each timed call of `f`.
+    pub fn iter_batched<S, O, Setup, F>(&mut self, mut setup: Setup, mut f: F, _size: BatchSize)
+    where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        std_black_box(f(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(f(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Criterion-compatible: bundle benchmark functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible: `main` for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:ident),+ $(,)?) => {
+        fn main() { $( $g(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("id", 1), &7u32, |b, &x| b.iter(|| x * 2));
+        g.bench_with_input(BenchmarkId::new("batched", 2), &(), |b, _| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -13,6 +13,8 @@
 //! relies on (`%` vs `#`, staircase join vs naive steps) and ablations of
 //! the optimizer passes.
 
+pub mod harness;
+
 use exrquy::{QueryOptions, Session};
 use exrquy_xmark::{generate, XmarkConfig};
 use std::time::{Duration, Instant};

@@ -25,9 +25,7 @@ impl Compiler<'_> {
                 }
                 for c in content {
                     let q = match c {
-                        ElemContent::Text(t) => {
-                            self.const_item(AValue::Str(Rc::from(t.as_str())))
-                        }
+                        ElemContent::Text(t) => self.const_item(AValue::Str(Rc::from(t.as_str()))),
                         ElemContent::Expr(e) => self.compile(e)?,
                     };
                     parts.push(q);
@@ -74,9 +72,10 @@ impl Compiler<'_> {
                 });
                 Ok(self.canonical(with_pos))
             }
-            other => Err(CompileError(format!(
-                "compile_constructor on {other:?}"
-            ))),
+            other => Err(CompileError::new(
+                exrquy_diag::ErrorCode::XPST0003,
+                format!("compile_constructor on {other:?}"),
+            )),
         }
     }
 

@@ -30,9 +30,10 @@ fn conjoin(mut es: Vec<Expr>) -> Option<Expr> {
     } else {
         es.remove(0)
     };
-    Some(es.into_iter().fold(first, |acc, e| {
-        Expr::binary(BinOp::And, acc, e)
-    }))
+    Some(
+        es.into_iter()
+            .fold(first, |acc, e| Expr::binary(BinOp::And, acc, e)),
+    )
 }
 
 /// Bookkeeping for one pushed `for` scope.
@@ -51,7 +52,10 @@ impl Compiler<'_> {
             ret,
         } = e
         else {
-            return Err(CompileError("compile_flwor on non-FLWOR".into()));
+            return Err(CompileError::new(
+                exrquy_diag::ErrorCode::XPST0003,
+                "compile_flwor on non-FLWOR",
+            ));
         };
         if order_by.is_empty() {
             self.compile_clauses(clauses, ret, *reordered)
@@ -716,9 +720,10 @@ impl Compiler<'_> {
                 }
                 _ => unreachable!(),
             },
-            other => Err(CompileError(format!(
-                "compile_binary_unary on {other:?}"
-            ))),
+            other => Err(CompileError::new(
+                exrquy_diag::ErrorCode::XPST0003,
+                format!("compile_binary_unary on {other:?}"),
+            )),
         }
     }
 

@@ -24,8 +24,9 @@ impl Compiler<'_> {
         match (name, args.len()) {
             ("doc", 1) => {
                 let Expr::StrLit(url) = &args[0] else {
-                    return Err(CompileError(
-                        "fn:doc requires a string literal URL".into(),
+                    return Err(CompileError::new(
+                        exrquy_diag::ErrorCode::XPST0017,
+                        "fn:doc requires a string literal URL",
                     ));
                 };
                 let doc = self.dag.add(Op::Doc {
@@ -37,10 +38,7 @@ impl Compiler<'_> {
                     value: AValue::Int(1),
                 });
                 let lp = self.cur_loop();
-                let crossed = self.dag.add(Op::Cross {
-                    l: lp,
-                    r: with_pos,
-                });
+                let crossed = self.dag.add(Op::Cross { l: lp, r: with_pos });
                 Ok(self.canonical(crossed))
             }
             ("count", 1) => self.compile_aggregate(AggrKind::Count, &args[0], Some(AValue::Int(0))),
@@ -48,7 +46,11 @@ impl Compiler<'_> {
             ("avg", 1) => self.compile_aggregate(AggrKind::Avg, &args[0], None),
             ("max", 1) => self.compile_aggregate(AggrKind::Max, &args[0], None),
             ("min", 1) => self.compile_aggregate(AggrKind::Min, &args[0], None),
-            ("exists", 1) | ("empty", 1) | ("boolean", 1) | ("not", 1) | ("true", 0)
+            ("exists", 1)
+            | ("empty", 1)
+            | ("boolean", 1)
+            | ("not", 1)
+            | ("true", 0)
             | ("false", 0) => {
                 let t = self.compile_truth(&Expr::Call {
                     name: name.to_string(),
@@ -148,21 +150,12 @@ impl Compiler<'_> {
             }
             ("substring", 2) => self.scalar_call(FunKind::Substring2, args, true, None),
             ("substring", 3) => self.scalar_call(FunKind::Substring3, args, true, None),
-            ("normalize-space", 0) => self.scalar_call(
-                FunKind::NormalizeSpace,
-                &[Expr::ContextItem],
-                true,
-                None,
-            ),
-            ("normalize-space", 1) => {
-                self.scalar_call(FunKind::NormalizeSpace, args, true, None)
+            ("normalize-space", 0) => {
+                self.scalar_call(FunKind::NormalizeSpace, &[Expr::ContextItem], true, None)
             }
-            ("substring-before", 2) => {
-                self.scalar_call(FunKind::SubstringBefore, args, true, None)
-            }
-            ("substring-after", 2) => {
-                self.scalar_call(FunKind::SubstringAfter, args, true, None)
-            }
+            ("normalize-space", 1) => self.scalar_call(FunKind::NormalizeSpace, args, true, None),
+            ("substring-before", 2) => self.scalar_call(FunKind::SubstringBefore, args, true, None),
+            ("substring-after", 2) => self.scalar_call(FunKind::SubstringAfter, args, true, None),
             ("ends-with", 2) => {
                 self.scalar_call(FunKind::EndsWith, args, true, Some(AValue::Bool(false)))
             }
@@ -185,15 +178,16 @@ impl Compiler<'_> {
                 if self.env.contains_key(&pseudo) {
                     self.compile_here(&Expr::Var(pseudo))
                 } else {
-                    Err(CompileError(format!(
-                        "fn:{name}() is only supported inside predicates"
-                    )))
+                    Err(CompileError::new(
+                        exrquy_diag::ErrorCode::XPST0017,
+                        format!("fn:{name}() is only supported inside predicates"),
+                    ))
                 }
             }
-            _ => Err(CompileError(format!(
-                "unsupported function fn:{name}/{}",
-                args.len()
-            ))),
+            _ => Err(CompileError::new(
+                exrquy_diag::ErrorCode::XPST0017,
+                format!("unsupported function fn:{name}/{}", args.len()),
+            )),
         }
     }
 

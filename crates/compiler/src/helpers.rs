@@ -286,7 +286,12 @@ impl Compiler<'_> {
             .get(".")
             .and_then(|s| s.last())
             .cloned()
-            .ok_or_else(|| CompileError("`/` used without a context document".into()))?;
+            .ok_or_else(|| {
+                CompileError::new(
+                    exrquy_diag::ErrorCode::XPDY0002,
+                    "`/` used without a context document",
+                )
+            })?;
         let lifted = self.lift(entry.q, entry.depth, self.depth);
         let ctx = self.restrict_to_loop(lifted);
         let ii = self.project_iter_item(ctx);

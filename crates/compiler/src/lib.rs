@@ -40,19 +40,35 @@ mod paths;
 mod truth;
 
 use exrquy_algebra::{AValue, Col, Dag, Op, OpId};
+use exrquy_diag::ErrorCode;
 use exrquy_frontend::{Expr, Module, OrderingMode};
 use exrquy_xml::Store;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-/// Compilation error (unbound variables, unsupported constructs).
+/// Compilation error (unbound variables, unsupported constructs),
+/// tagged with a W3C-style static error code.
 #[derive(Debug, Clone)]
-pub struct CompileError(pub String);
+pub struct CompileError {
+    /// Machine-readable error code (an `XPST*`/`XPDY*` static code).
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        CompileError {
+            code,
+            message: message.into(),
+        }
+    }
+}
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "compile error: {}", self.0)
+        write!(f, "compile error: {}", self.message)
     }
 }
 
@@ -159,10 +175,9 @@ impl<'s> Compiler<'s> {
     }
 
     pub(crate) fn lookup_var(&self, name: &str) -> Result<&VarEntry, CompileError> {
-        self.env
-            .get(name)
-            .and_then(|s| s.last())
-            .ok_or_else(|| CompileError(format!("unbound variable ${name}")))
+        self.env.get(name).and_then(|s| s.last()).ok_or_else(|| {
+            CompileError::new(ErrorCode::XPST0008, format!("unbound variable ${name}"))
+        })
     }
 
     /// Max binding depth among `e`'s free variables — the shallowest frame
@@ -171,10 +186,9 @@ impl<'s> Compiler<'s> {
         let mut d = 0;
         for v in e.free_vars() {
             let entry = if v == "." {
-                self.env
-                    .get(".")
-                    .and_then(|s| s.last())
-                    .ok_or_else(|| CompileError("context item used without focus".into()))?
+                self.env.get(".").and_then(|s| s.last()).ok_or_else(|| {
+                    CompileError::new(ErrorCode::XPDY0002, "context item used without focus")
+                })?
             } else {
                 self.lookup_var(&v)?
             };
@@ -249,7 +263,9 @@ impl<'s> Compiler<'s> {
                     .get(".")
                     .and_then(|s| s.last())
                     .cloned()
-                    .ok_or_else(|| CompileError("context item used without focus".into()))?;
+                    .ok_or_else(|| {
+                        CompileError::new(ErrorCode::XPDY0002, "context item used without focus")
+                    })?;
                 let lifted = self.lift(entry.q, entry.depth, self.depth);
                 Ok(self.restrict_to_loop(lifted))
             }

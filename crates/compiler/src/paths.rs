@@ -90,9 +90,10 @@ impl Compiler<'_> {
                 };
                 Ok(q)
             }
-            other => Err(CompileError(format!(
-                "compile_path on non-path expression {other:?}"
-            ))),
+            other => Err(CompileError::new(
+                exrquy_diag::ErrorCode::XPST0003,
+                format!("compile_path on non-path expression {other:?}"),
+            )),
         }
     }
 
@@ -358,15 +359,11 @@ enum Positional {
 /// inside a nested predicate, which establishes its own focus)?
 fn uses_focus_position(e: &Expr) -> bool {
     match e {
-        Expr::Call { name, args }
-            if (name == "position" || name == "last") && args.is_empty() =>
-        {
+        Expr::Call { name, args } if (name == "position" || name == "last") && args.is_empty() => {
             true
         }
         // Nested predicates re-focus; don't descend into them.
-        Expr::PathStep {
-            input, ..
-        } => uses_focus_position(input),
+        Expr::PathStep { input, .. } => uses_focus_position(input),
         Expr::Filter { input, .. } => uses_focus_position(input),
         Expr::PathSeq { input, .. } => uses_focus_position(input),
         other => {

@@ -152,11 +152,9 @@ fn node_set_ops_ordered_vs_unordered() {
 fn order_by_uses_unordered_bindings() {
     let p = compile("for $x in (3,1,2) order by $x descending return $x");
     // BIND# for the binding (reordered flag), one % for the sort.
-    let has_bind_rowid = p
-        .dag
-        .reachable(p.root)
-        .iter()
-        .any(|&id| matches!(p.dag.op(id), Op::RowId { new, .. } if *new == exrquy_algebra::Col::BIND));
+    let has_bind_rowid = p.dag.reachable(p.root).iter().any(
+        |&id| matches!(p.dag.op(id), Op::RowId { new, .. } if *new == exrquy_algebra::Col::BIND),
+    );
     assert!(has_bind_rowid);
     assert!(stats_of(&p).rownums() >= 1);
 }
@@ -190,7 +188,8 @@ fn unbound_variable_is_an_error() {
     let m = normalize(&parse_module("$nope").unwrap());
     let mut store = Store::new();
     let err = Compiler::new(&mut store).compile_module(&m).unwrap_err();
-    assert!(err.0.contains("unbound variable"));
+    assert!(err.message.contains("unbound variable"));
+    assert_eq!(err.code, exrquy_diag::ErrorCode::XPST0008);
 }
 
 #[test]

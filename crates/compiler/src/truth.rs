@@ -14,7 +14,7 @@
 //! builds them from plain joins over unordered `iter|item` views.
 
 use crate::{CResult, CompileError, Compiler, Frame};
-use exrquy_algebra::{AValue, AggrKind, FunKind, Col, Op, OpId};
+use exrquy_algebra::{AValue, AggrKind, Col, FunKind, Op, OpId};
 use exrquy_frontend::{BinOp, Expr, Quant};
 
 impl Compiler<'_> {
@@ -28,7 +28,11 @@ impl Compiler<'_> {
                 self.mode.pop();
                 r
             }
-            Expr::Binary { op: BinOp::And, l, r } => {
+            Expr::Binary {
+                op: BinOp::And,
+                l,
+                r,
+            } => {
                 let tl = self.compile_truth(l)?;
                 let tr = self.compile_truth(r)?;
                 let renamed = self.dag.add(Op::Project {
@@ -46,7 +50,11 @@ impl Compiler<'_> {
                     cols: vec![(Col::ITER, Col::ITER)],
                 }))
             }
-            Expr::Binary { op: BinOp::Or, l, r } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                l,
+                r,
+            } => {
                 let tl = self.compile_truth(l)?;
                 let tr = self.compile_truth(r)?;
                 let u = self.dag.add(Op::Union { l: tl, r: tr });
@@ -300,9 +308,10 @@ impl Compiler<'_> {
                 let t = self.compile_truth(e)?;
                 Ok(self.complete_bool(t))
             }
-            other => Err(CompileError(format!(
-                "compile_boolean_shaped on {other:?}"
-            ))),
+            other => Err(CompileError::new(
+                exrquy_diag::ErrorCode::XPST0003,
+                format!("compile_boolean_shaped on {other:?}"),
+            )),
         }
     }
 }

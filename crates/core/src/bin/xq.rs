@@ -17,28 +17,66 @@
 //!   --sql                print the SQL:1999 translation instead of executing
 //!   --time               print compile/execute wall-clock to stderr
 //!   --profile            print the per-phase execution profile to stderr
+//!   --timeout <secs>     wall-clock budget for execution (fractional ok)
+//!   --max-rows <n>       cap rows any single operator may materialize
+//!   --max-nodes <n>      cap XML nodes constructed during evaluation
+//!   --max-depth <n>      cap query expression nesting depth
+//!   --quiet              suppress the result; errors still print
 //! ```
+//!
+//! Exit codes: 0 success, 1 static error, 2 dynamic error, 3 budget /
+//! timeout / cancellation, 4 I/O error, 64 usage. Errors print as one
+//! line on stderr, prefixed with the W3C-style code, e.g.
+//! `xq: [XPST0003] XQuery error at byte 4: expected expression`.
 
-use exrquy::{QueryOptions, Session};
+use exrquy::diag::ExecutionBudget;
+use exrquy::{Error, QueryOptions, Session};
 use std::process::exit;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Usage errors exit with the conventional sysexits EX_USAGE.
+const EXIT_USAGE: i32 = 64;
+/// I/O failures (unreadable files) exit with the Io class code.
+const EXIT_IO: i32 = 4;
 
 fn usage() -> ! {
     eprintln!(
         "usage: xq [--doc url=path]… [--baseline|--unordered] [--explain] \
-         [--time] [--profile] (<query> | --query-file <path>)"
+         [--time] [--profile] [--timeout <secs>] [--max-rows <n>] \
+         [--max-nodes <n>] [--max-depth <n>] [--quiet] \
+         (<query> | --query-file <path>)"
     );
-    exit(2);
+    exit(EXIT_USAGE);
+}
+
+/// Print a pipeline error as one stderr line and exit with its class
+/// code (1 static, 2 dynamic, 3 resource, 4 I/O).
+fn fail(e: &Error) -> ! {
+    eprintln!("xq: {}", e.render_line());
+    exit(e.class().exit_code());
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    let Some(v) = v else {
+        eprintln!("{flag} expects a value");
+        exit(EXIT_USAGE);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{v}`");
+        exit(EXIT_USAGE);
+    })
 }
 
 fn main() {
     let mut docs: Vec<(String, String)> = Vec::new();
     let mut query: Option<String> = None;
     let mut opts = QueryOptions::honor_prolog();
+    let mut budget = ExecutionBudget::default();
     let mut explain = false;
     let mut sql = false;
     let mut time = false;
     let mut profile = false;
+    let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,15 +85,15 @@ fn main() {
                 let spec = args.next().unwrap_or_else(|| usage());
                 let Some((url, path)) = spec.split_once('=') else {
                     eprintln!("--doc expects url=path, got `{spec}`");
-                    exit(2);
+                    exit(EXIT_USAGE);
                 };
                 docs.push((url.to_string(), path.to_string()));
             }
             "--query-file" => {
                 let path = args.next().unwrap_or_else(|| usage());
                 let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-                    eprintln!("cannot read {path}: {e}");
-                    exit(2);
+                    eprintln!("xq: cannot read {path}: {e}");
+                    exit(EXIT_IO);
                 });
                 query = Some(text);
             }
@@ -65,6 +103,24 @@ fn main() {
             "--sql" => sql = true,
             "--time" => time = true,
             "--profile" => profile = true,
+            "--quiet" => quiet = true,
+            "--timeout" => {
+                let secs: f64 = parse_num("--timeout", args.next());
+                if secs.is_nan() || secs < 0.0 {
+                    eprintln!("--timeout: expected a non-negative number of seconds");
+                    exit(EXIT_USAGE);
+                }
+                budget = budget.with_max_wall(Duration::from_secs_f64(secs));
+            }
+            "--max-rows" => {
+                budget = budget.with_max_rows_per_op(parse_num("--max-rows", args.next()));
+            }
+            "--max-nodes" => {
+                budget = budget.with_max_nodes(parse_num("--max-nodes", args.next()));
+            }
+            "--max-depth" => {
+                budget = budget.with_max_depth(parse_num("--max-depth", args.next()));
+            }
             "--help" | "-h" => usage(),
             other if query.is_none() && !other.starts_with('-') => {
                 query = Some(other.to_string());
@@ -76,17 +132,18 @@ fn main() {
         }
     }
     let Some(query) = query else { usage() };
+    opts = opts.with_budget(budget);
 
     let mut session = Session::new();
     for (url, path) in &docs {
         let xml = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            exit(2);
+            eprintln!("xq: cannot read {path}: {e}");
+            exit(EXIT_IO);
         });
         let started = Instant::now();
         if let Err(e) = session.load_document(url, &xml) {
-            eprintln!("loading {path}: {e}");
-            exit(1);
+            eprintln!("xq: loading {path}: {}", e.render_line());
+            exit(e.class().exit_code());
         }
         if time {
             eprintln!(
@@ -100,10 +157,7 @@ fn main() {
     let started = Instant::now();
     let plan = match session.prepare(&query, &opts) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            exit(1);
-        }
+        Err(e) => fail(&e),
     };
     let compile_time = started.elapsed();
     if time {
@@ -137,11 +191,10 @@ fn main() {
             if profile {
                 eprint!("{}", out.profile.render_breakdown(&plan.dag));
             }
-            println!("{}", out.to_xml());
+            if !quiet {
+                println!("{}", out.to_xml());
+            }
         }
-        Err(e) => {
-            eprintln!("{e}");
-            exit(1);
-        }
+        Err(e) => fail(&e),
     }
 }

@@ -42,6 +42,7 @@ pub use session::{Error, Explain, Prepared, QueryOptions, QueryOutput, Session};
 
 // Re-exports for downstream harnesses.
 pub use exrquy_algebra as algebra;
+pub use exrquy_diag as diag;
 pub use exrquy_engine as engine;
 pub use exrquy_frontend as frontend;
 pub use exrquy_opt as opt;

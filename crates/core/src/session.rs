@@ -4,8 +4,9 @@
 use crate::result::{serialize_sequence, ResultItem};
 use exrquy_algebra::{Col, Dag, OpId, PlanStats};
 use exrquy_compiler::{CompileError, CompiledPlan, Compiler};
+use exrquy_diag::{CancellationToken, ErrorClass, ErrorCode, ExecutionBudget, Stage};
 use exrquy_engine::{Engine, EngineOptions, Item, Profile, StepAlgo};
-use exrquy_frontend::{normalize_opts, parse_module, OrderingMode, XqError};
+use exrquy_frontend::{check_depth, normalize_opts, parse_module_with, OrderingMode, XqError};
 use exrquy_opt::{optimize, OptOptions, OptReport};
 use exrquy_xml::{serialize, NodeId, ParseError, Store};
 use std::collections::HashMap;
@@ -18,6 +19,39 @@ pub enum Error {
     Parse(XqError),
     Compile(CompileError),
     Eval(exrquy_engine::EvalError),
+}
+
+impl Error {
+    /// The machine-readable error code, regardless of pipeline stage.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Error::Xml(e) => e.code,
+            Error::Parse(e) => e.code,
+            Error::Compile(e) => e.code,
+            Error::Eval(e) => e.code,
+        }
+    }
+
+    /// The pipeline stage that raised the error.
+    pub fn stage(&self) -> Stage {
+        match self {
+            Error::Xml(_) => Stage::Document,
+            Error::Parse(_) => Stage::Parse,
+            Error::Compile(_) => Stage::Compile,
+            Error::Eval(_) => Stage::Execute,
+        }
+    }
+
+    /// Coarse class (static / dynamic / resource), e.g. for exit codes.
+    pub fn class(&self) -> ErrorClass {
+        self.code().class()
+    }
+
+    /// One-line rendering with the code, e.g.
+    /// `[XPST0003] XQuery error at byte 4: expected expression`.
+    pub fn render_line(&self) -> String {
+        format!("[{}] {self}", self.code())
+    }
 }
 
 impl fmt::Display for Error {
@@ -46,6 +80,12 @@ pub struct QueryOptions {
     pub opt: OptOptions,
     /// Step algorithm selection.
     pub step_algo: StepAlgo,
+    /// Resource ceilings (rows, wall-clock, constructed nodes, nesting
+    /// depth). Defaults to unbounded, except that the parsers always
+    /// apply their own conservative depth limits.
+    pub budget: ExecutionBudget,
+    /// Cooperative cancellation; the engine polls it per operator.
+    pub cancel: Option<CancellationToken>,
 }
 
 impl Default for QueryOptions {
@@ -63,6 +103,8 @@ impl QueryOptions {
             ordering: Some(OrderingMode::Unordered),
             opt: OptOptions::default(),
             step_algo: StepAlgo::Staircase,
+            budget: ExecutionBudget::default(),
+            cancel: None,
         }
     }
 
@@ -74,6 +116,8 @@ impl QueryOptions {
             ordering: Some(OrderingMode::Ordered),
             opt: OptOptions::disabled(),
             step_algo: StepAlgo::Staircase,
+            budget: ExecutionBudget::default(),
+            cancel: None,
         }
     }
 
@@ -85,7 +129,21 @@ impl QueryOptions {
             ordering: None,
             opt: OptOptions::default(),
             step_algo: StepAlgo::Staircase,
+            budget: ExecutionBudget::default(),
+            cancel: None,
         }
+    }
+
+    /// Attach resource ceilings.
+    pub fn with_budget(mut self, budget: ExecutionBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancellationToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 }
 
@@ -102,6 +160,10 @@ pub struct Prepared {
     /// Snapshot of the name pool for readable plan rendering.
     names: Vec<String>,
     step_algo: StepAlgo,
+    /// Resource ceilings and cancellation carried from the options the
+    /// plan was prepared with; applied on every [`Session::execute`].
+    budget: ExecutionBudget,
+    cancel: Option<CancellationToken>,
 }
 
 impl Prepared {
@@ -224,11 +286,19 @@ impl Session {
     /// }
     /// ```
     pub fn prepare(&mut self, query: &str, opts: &QueryOptions) -> Result<Prepared, Error> {
-        let mut module = parse_module(query).map_err(Error::Parse)?;
+        let max_depth = opts
+            .budget
+            .max_depth
+            .unwrap_or(exrquy_frontend::DEFAULT_MAX_DEPTH);
+        let mut module = parse_module_with(query, max_depth).map_err(Error::Parse)?;
         if let Some(mode) = opts.ordering {
             module.ordering = mode;
         }
         let module = normalize_opts(&module, opts.exploit);
+        // Normalization wraps expressions (fn:unordered, comparisons), so
+        // re-check the AST depth with a little headroom; this also guards
+        // modules built programmatically rather than parsed.
+        check_depth(&module, max_depth.saturating_add(16)).map_err(Error::Parse)?;
         let CompiledPlan { mut dag, root } = Compiler::new(&mut self.store)
             .compile_module(&module)
             .map_err(Error::Compile)?;
@@ -243,6 +313,8 @@ impl Session {
             opt_report,
             names: self.store.pool.names().to_vec(),
             step_algo: opts.step_algo,
+            budget: opts.budget.clone(),
+            cancel: opts.cancel.clone(),
         })
     }
 
@@ -251,9 +323,20 @@ impl Session {
     pub fn execute(&mut self, plan: &Prepared) -> Result<QueryOutput, Error> {
         let engine_opts = EngineOptions {
             step_algo: plan.step_algo,
+            budget: plan.budget.clone(),
+            cancel: plan.cancel.clone(),
         };
         let mut engine = Engine::new(&plan.dag, &mut self.store, self.docs.clone(), engine_opts);
-        let result = engine.eval(plan.root).map_err(Error::Eval)?;
+        let result = match engine.eval(plan.root) {
+            Ok(t) => t,
+            Err(e) => {
+                // Release partially constructed fragments — a budget-tripped
+                // query must not leak memory into the session.
+                drop(engine);
+                self.store.truncate_frags(self.base_frags);
+                return Err(Error::Eval(e));
+            }
+        };
         // Rows in pos order; pos values need not be dense or start at 1 —
         // only their ranks matter.
         let pos = result.col(Col::POS).clone();
@@ -265,9 +348,7 @@ impl Session {
         let items = order
             .into_iter()
             .map(|r| match item.get(r) {
-                Item::Node(n) => {
-                    ResultItem::Node(serialize::node_to_string(&self.store, n))
-                }
+                Item::Node(n) => ResultItem::Node(serialize::node_to_string(&self.store, n)),
                 Item::Int(i) => ResultItem::Int(i),
                 Item::Dbl(d) => ResultItem::Dbl(d),
                 Item::Str(s) => ResultItem::Str(s.to_string()),
@@ -313,7 +394,8 @@ mod tests {
 
     fn session() -> Session {
         let mut s = Session::new();
-        s.load_document("t.xml", "<a><b><c/><d/></b><c/></a>").unwrap();
+        s.load_document("t.xml", "<a><b><c/><d/></b><c/></a>")
+            .unwrap();
         s
     }
 
@@ -331,10 +413,7 @@ mod tests {
         let mut s = session();
         // The paper's Expression (1): document order c1, d, c2.
         let out = s
-            .query_with(
-                r#"doc("t.xml")//(c|d)"#,
-                &QueryOptions::baseline(),
-            )
+            .query_with(r#"doc("t.xml")//(c|d)"#, &QueryOptions::baseline())
             .unwrap();
         assert_eq!(out.to_xml(), "<c/><d/><c/>");
     }
@@ -344,9 +423,7 @@ mod tests {
         let mut s = session();
         let q = r#"doc("t.xml")//(c|d)"#;
         let ordered = s.query_with(q, &QueryOptions::baseline()).unwrap();
-        let unordered = s
-            .query_with(q, &QueryOptions::order_indifferent())
-            .unwrap();
+        let unordered = s.query_with(q, &QueryOptions::order_indifferent()).unwrap();
         let mut a: Vec<String> = ordered.items.iter().map(|i| i.render()).collect();
         let mut b: Vec<String> = unordered.items.iter().map(|i| i.render()).collect();
         a.sort();

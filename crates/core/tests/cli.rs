@@ -25,7 +25,11 @@ fn runs_a_query_over_a_file() {
         .arg(r#"fn:sum(doc("d.xml")//a)"#)
         .output()
         .expect("xq runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
 }
 
@@ -53,7 +57,95 @@ fn reports_errors_with_nonzero_exit() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unbound variable"));
 
     let out = xq().output().expect("xq runs");
-    assert_eq!(out.status.code(), Some(2)); // usage
+    assert_eq!(out.status.code(), Some(64)); // usage (EX_USAGE)
+}
+
+#[test]
+fn exit_codes_distinguish_error_classes() {
+    // Static error (unbound variable) → 1, one line with the code.
+    let out = xq().arg("$unbound").output().expect("xq runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[XPST0008]"), "{stderr}");
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+
+    // Syntax error → also static → 1.
+    let out = xq().arg("1 +").output().expect("xq runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[XPST0003]"));
+
+    // Dynamic error (division by zero) → 2.
+    let out = xq().arg("1 idiv 0").output().expect("xq runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[FOAR0001]"));
+
+    // Budget exceeded → 3.
+    let out = xq()
+        .args(["--max-rows", "100"])
+        .arg("fn:count((1 to 100000000))")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[EXRQ0001]"));
+
+    // Timeout → 3 as well.
+    let out = xq()
+        .args(["--timeout", "0"])
+        .arg("(1, 2, 3)")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[EXRQ0001]"));
+
+    // I/O error (unreadable document) → 4.
+    let out = xq()
+        .args(["--doc", "d.xml=/nonexistent/nope.xml"])
+        .arg("1")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(4));
+}
+
+#[test]
+fn quiet_suppresses_results_but_not_errors() {
+    let out = xq().arg("--quiet").arg("1 + 1").output().expect("xq runs");
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty());
+
+    let out = xq()
+        .arg("--quiet")
+        .arg("1 idiv 0")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!out.stderr.is_empty());
+}
+
+#[test]
+fn budget_flags_accept_valid_queries() {
+    let doc = write_doc("cli4.xml", "<r><a>1</a><a>2</a></r>");
+    let out = xq()
+        .arg("--doc")
+        .arg(format!("d.xml={}", doc.display()))
+        .args(["--timeout", "30", "--max-rows", "100000"])
+        .args(["--max-nodes", "10000", "--max-depth", "64"])
+        .arg(r#"fn:count(doc("d.xml")//a)"#)
+        .output()
+        .expect("xq runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2");
+
+    // Garbage flag values are usage errors → 64.
+    let out = xq()
+        .args(["--max-rows", "lots"])
+        .arg("1")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(64));
 }
 
 #[test]
@@ -69,8 +161,5 @@ fn baseline_flag_and_query_file() {
         .output()
         .expect("xq runs");
     assert!(out.status.success());
-    assert_eq!(
-        String::from_utf8_lossy(&out.stdout).trim(),
-        "<c/><d/><c/>"
-    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "<c/><d/><c/>");
 }

@@ -1,0 +1,245 @@
+//! Shared diagnostics for the eXrQuy pipeline: a W3C-style error
+//! taxonomy, execution budgets, and cooperative cancellation.
+//!
+//! Every pipeline crate (xml, frontend, compiler, opt, engine, core)
+//! depends on this crate so that errors raised anywhere carry a stable
+//! machine-readable code, the pipeline stage that raised them, and —
+//! where available — a source offset. The CLI maps [`ErrorClass`] to
+//! process exit codes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stable, machine-readable error codes. The `XP*`/`FO*`/`XQ*` codes
+/// follow the W3C XQuery error namespace; `EXRQ*` codes are
+/// engine-specific resource-governance codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// Syntax error in the query (static).
+    XPST0003,
+    /// Undefined variable or other unresolved static reference.
+    XPST0008,
+    /// Unknown function name / arity (static).
+    XPST0017,
+    /// Context item used where none is defined.
+    XPDY0002,
+    /// Value has the wrong type for the operation.
+    XPTY0004,
+    /// Value cannot be cast to the required type.
+    FORG0001,
+    /// Invalid argument to an effective-boolean-value computation.
+    FORG0006,
+    /// Arithmetic error (division by zero, …).
+    FOAR0001,
+    /// Document retrieval failure (unknown / unparsable document).
+    FODC0002,
+    /// Attribute constructed after non-attribute content.
+    XQTY0024,
+    /// Execution budget (rows, wall-clock, constructed nodes) exceeded.
+    EXRQ0001,
+    /// Query cancelled via a [`CancellationToken`].
+    EXRQ0002,
+    /// Recursion / nesting depth limit exceeded.
+    EXRQ0003,
+}
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::XPST0003 => "XPST0003",
+            ErrorCode::XPST0008 => "XPST0008",
+            ErrorCode::XPST0017 => "XPST0017",
+            ErrorCode::XPDY0002 => "XPDY0002",
+            ErrorCode::XPTY0004 => "XPTY0004",
+            ErrorCode::FORG0001 => "FORG0001",
+            ErrorCode::FORG0006 => "FORG0006",
+            ErrorCode::FOAR0001 => "FOAR0001",
+            ErrorCode::FODC0002 => "FODC0002",
+            ErrorCode::XQTY0024 => "XQTY0024",
+            ErrorCode::EXRQ0001 => "EXRQ0001",
+            ErrorCode::EXRQ0002 => "EXRQ0002",
+            ErrorCode::EXRQ0003 => "EXRQ0003",
+        }
+    }
+
+    /// Coarse class used for CLI exit codes and retry policies.
+    pub fn class(self) -> ErrorClass {
+        match self {
+            ErrorCode::XPST0003 | ErrorCode::XPST0008 | ErrorCode::XPST0017 => ErrorClass::Static,
+            ErrorCode::EXRQ0001 | ErrorCode::EXRQ0002 | ErrorCode::EXRQ0003 => ErrorClass::Resource,
+            _ => ErrorClass::Dynamic,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Coarse error classes. The CLI maps these to exit codes:
+/// static → 1, dynamic → 2, resource (budget/timeout/cancel) → 3,
+/// I/O → 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    Static,
+    Dynamic,
+    Resource,
+    Io,
+}
+
+impl ErrorClass {
+    /// Process exit code for this class (0 is success, 64 is usage).
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorClass::Static => 1,
+            ErrorClass::Dynamic => 2,
+            ErrorClass::Resource => 3,
+            ErrorClass::Io => 4,
+        }
+    }
+}
+
+/// The pipeline stage that raised an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// XML document parsing / loading.
+    Document,
+    /// XQuery tokenizing + parsing.
+    Parse,
+    /// Normalization of the AST.
+    Normalize,
+    /// Compilation to the algebra DAG.
+    Compile,
+    /// Optimization passes.
+    Optimize,
+    /// Plan evaluation.
+    Execute,
+}
+
+impl Stage {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Document => "document",
+            Stage::Parse => "parse",
+            Stage::Normalize => "normalize",
+            Stage::Compile => "compile",
+            Stage::Optimize => "optimize",
+            Stage::Execute => "execute",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Resource ceilings for one query. All limits default to `None`
+/// (unbounded); `Session` applies a conservative default recursion
+/// depth even when no budget is supplied so that hostile inputs cannot
+/// overflow the stack.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionBudget {
+    /// Maximum rows any single operator may materialize.
+    pub max_rows_per_op: Option<usize>,
+    /// Maximum rows materialized across the whole plan.
+    pub max_rows_total: Option<usize>,
+    /// Wall-clock ceiling for evaluation.
+    pub max_wall: Option<Duration>,
+    /// Maximum XML nodes constructed during evaluation.
+    pub max_nodes: Option<usize>,
+    /// Maximum recursion / nesting depth in the parser and normalizer.
+    pub max_depth: Option<usize>,
+}
+
+impl ExecutionBudget {
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    pub fn with_max_rows_per_op(mut self, n: usize) -> Self {
+        self.max_rows_per_op = Some(n);
+        self
+    }
+
+    pub fn with_max_rows_total(mut self, n: usize) -> Self {
+        self.max_rows_total = Some(n);
+        self
+    }
+
+    pub fn with_max_wall(mut self, d: Duration) -> Self {
+        self.max_wall = Some(d);
+        self
+    }
+
+    pub fn with_max_nodes(mut self, n: usize) -> Self {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    pub fn with_max_depth(mut self, n: usize) -> Self {
+        self.max_depth = Some(n);
+        self
+    }
+}
+
+/// Cooperative cancellation flag, shareable across threads. The engine
+/// polls it once per evaluated operator (and inside the expansion loops
+/// of row-explosive operators), so cancellation takes effect at the
+/// next operator boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken(Arc<AtomicBool>);
+
+impl CancellationToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_render_and_classify() {
+        assert_eq!(ErrorCode::XPST0003.as_str(), "XPST0003");
+        assert_eq!(ErrorCode::XPST0003.class(), ErrorClass::Static);
+        assert_eq!(ErrorCode::XPTY0004.class(), ErrorClass::Dynamic);
+        assert_eq!(ErrorCode::EXRQ0001.class(), ErrorClass::Resource);
+        assert_eq!(ErrorClass::Resource.exit_code(), 3);
+        assert_eq!(format!("{}", ErrorCode::EXRQ0002), "EXRQ0002");
+    }
+
+    #[test]
+    fn cancellation_is_shared() {
+        let t = CancellationToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn budget_builders() {
+        let b = ExecutionBudget::unbounded()
+            .with_max_rows_total(10)
+            .with_max_depth(5);
+        assert_eq!(b.max_rows_total, Some(10));
+        assert_eq!(b.max_depth, Some(5));
+        assert_eq!(b.max_wall, None);
+    }
+}

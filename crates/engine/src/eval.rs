@@ -11,19 +11,35 @@ use crate::item::{GroupKey, Item};
 use crate::profile::Profile;
 use crate::table::Table;
 use exrquy_algebra::{AValue, AggrKind, Col, Dag, FunKind, Op, OpId};
+use exrquy_diag::{CancellationToken, ErrorCode, ExecutionBudget};
 use exrquy_xml::tree::NodeKind;
 use exrquy_xml::{axis, NodeId, Store, TreeBuilder};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
-/// Runtime evaluation error.
+/// Runtime evaluation error, tagged with a W3C-style dynamic error code
+/// (or an `EXRQ*` resource-governance code).
 #[derive(Debug, Clone)]
-pub struct EvalError(pub String);
+pub struct EvalError {
+    /// Machine-readable error code.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl EvalError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        EvalError {
+            code,
+            message: message.into(),
+        }
+    }
+}
 
 impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "evaluation error: {}", self.0)
+        write!(f, "evaluation error: {}", self.message)
     }
 }
 
@@ -31,7 +47,10 @@ impl std::error::Error for EvalError {}
 
 impl From<DynError> for EvalError {
     fn from(e: DynError) -> Self {
-        EvalError(e.0)
+        EvalError {
+            code: e.code,
+            message: e.message,
+        }
     }
 }
 
@@ -51,10 +70,15 @@ pub enum StepAlgo {
 }
 
 /// Evaluator knobs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineOptions {
     /// Which algorithm realizes the step operator `⬡`.
     pub step_algo: StepAlgo,
+    /// Resource ceilings enforced at operator boundaries (and inside the
+    /// expansion loops of row-explosive operators).
+    pub budget: ExecutionBudget,
+    /// Cooperative cancellation flag, polled once per evaluated operator.
+    pub cancel: Option<CancellationToken>,
 }
 
 /// One query execution context.
@@ -69,6 +93,14 @@ pub struct Engine<'d, 's> {
     /// Per-kind timing of this execution.
     pub profile: Profile,
     opts: EngineOptions,
+    /// Wall-clock deadline derived from `budget.max_wall` at engine
+    /// creation (one query per engine).
+    deadline: Option<Instant>,
+    /// Rows materialized so far across all evaluated operators.
+    rows_total: usize,
+    /// `store.total_nodes()` at engine creation; the constructed-node
+    /// ceiling applies to the delta.
+    nodes_base: usize,
 }
 
 impl<'d, 's> Engine<'d, 's> {
@@ -80,6 +112,8 @@ impl<'d, 's> Engine<'d, 's> {
         docs: HashMap<String, NodeId>,
         opts: EngineOptions,
     ) -> Self {
+        let deadline = opts.budget.max_wall.map(|d| Instant::now() + d);
+        let nodes_base = store.total_nodes();
         Engine {
             dag,
             store,
@@ -87,7 +121,85 @@ impl<'d, 's> Engine<'d, 's> {
             cache: HashMap::new(),
             profile: Profile::default(),
             opts,
+            deadline,
+            rows_total: 0,
+            nodes_base,
         }
+    }
+
+    /// Cancellation + wall-clock poll; called once per operator and from
+    /// the expansion loops of row-explosive operators.
+    fn poll_governance(&self) -> Result<(), EvalError> {
+        if self
+            .opts
+            .cancel
+            .as_ref()
+            .is_some_and(CancellationToken::is_cancelled)
+        {
+            return Err(EvalError::new(
+                ErrorCode::EXRQ0002,
+                "query cancelled".to_string(),
+            ));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(EvalError::new(
+                    ErrorCode::EXRQ0001,
+                    "wall-clock budget exceeded".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective row ceiling for the next operator: the per-operator cap
+    /// and whatever remains of the total-row budget, whichever is lower
+    /// (`usize::MAX` when unbounded). Row-explosive operators check this
+    /// *before* or *while* materializing, so memory stays bounded.
+    fn op_row_cap(&self) -> usize {
+        let per_op = self.opts.budget.max_rows_per_op.unwrap_or(usize::MAX);
+        let remaining = self
+            .opts
+            .budget
+            .max_rows_total
+            .map_or(usize::MAX, |t| t.saturating_sub(self.rows_total));
+        per_op.min(remaining)
+    }
+
+    /// Account an operator's output and enforce the row / node ceilings.
+    fn charge_op_output(&mut self, nrows: usize) -> Result<(), EvalError> {
+        if let Some(cap) = self.opts.budget.max_rows_per_op {
+            if nrows > cap {
+                return Err(EvalError::new(
+                    ErrorCode::EXRQ0001,
+                    format!("operator materialized {nrows} rows, exceeding the per-operator budget of {cap}"),
+                ));
+            }
+        }
+        self.rows_total += nrows;
+        if let Some(cap) = self.opts.budget.max_rows_total {
+            if self.rows_total > cap {
+                return Err(EvalError::new(
+                    ErrorCode::EXRQ0001,
+                    format!(
+                        "plan materialized {} rows in total, exceeding the budget of {cap}",
+                        self.rows_total
+                    ),
+                ));
+            }
+        }
+        if let Some(cap) = self.opts.budget.max_nodes {
+            let constructed = self.store.total_nodes().saturating_sub(self.nodes_base);
+            if constructed > cap {
+                return Err(EvalError::new(
+                    ErrorCode::EXRQ0001,
+                    format!(
+                        "query constructed {constructed} XML nodes, exceeding the budget of {cap}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Evaluate the plan rooted at `root`.
@@ -96,9 +208,11 @@ impl<'d, 's> Engine<'d, 's> {
             if self.cache.contains_key(&id) {
                 continue;
             }
+            self.poll_governance()?;
             let started = Instant::now();
             let table = self.eval_op(id)?;
             self.profile.record(self.dag, id, started.elapsed());
+            self.charge_op_output(table.nrows())?;
             self.cache.insert(id, Rc::new(table));
         }
         Ok(self.cache[&root].clone())
@@ -114,7 +228,10 @@ impl<'d, 's> Engine<'d, 's> {
             Op::Lit { cols, rows } => Ok(eval_lit(&cols, &rows)),
             Op::Doc { url } => {
                 let node = self.docs.get(url.as_ref()).copied().ok_or_else(|| {
-                    EvalError(format!("document `{url}` is not loaded"))
+                    EvalError::new(
+                        ErrorCode::FODC0002,
+                        format!("document `{url}` is not loaded"),
+                    )
                 })?;
                 Ok(Table::new(vec![(
                     Col::ITEM,
@@ -138,9 +255,10 @@ impl<'d, 's> Engine<'d, 's> {
                         Item::Bool(true) => idx.push(i),
                         Item::Bool(false) => {}
                         other => {
-                            return Err(EvalError(format!(
-                                "σ on non-boolean value {other:?}"
-                            )))
+                            return Err(EvalError::new(
+                                ErrorCode::XPTY0004,
+                                format!("σ on non-boolean value {other:?}"),
+                            ))
                         }
                     }
                 }
@@ -206,15 +324,15 @@ impl<'d, 's> Engine<'d, 's> {
             }
             Op::Cross { l, r } => {
                 let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
-                Ok(eval_cross(&lt, &rt))
+                eval_cross(&lt, &rt, self.op_row_cap())
             }
             Op::EquiJoin { l, r, lcol, rcol } => {
                 let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
-                Ok(eval_equijoin(&lt, &rt, lcol, rcol))
+                eval_equijoin(&lt, &rt, lcol, rcol, self.op_row_cap())
             }
             Op::ThetaJoin { l, r, pred } => {
                 let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
-                eval_thetajoin(&lt, &rt, &pred)
+                eval_thetajoin(&lt, &rt, &pred, self.op_row_cap())
             }
             Op::Union { l, r } => {
                 let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
@@ -238,7 +356,7 @@ impl<'d, 's> Engine<'d, 's> {
             }
             Op::Range { input, lo, hi, new } => {
                 let t = self.input(input).clone();
-                Ok(eval_range(&t, lo, hi, new)?)
+                eval_range(&t, lo, hi, new, self.op_row_cap())
             }
             Op::Serialize { input } => Ok((*self.input(input).clone()).clone()),
         }
@@ -260,9 +378,10 @@ impl<'d, 's> Engine<'d, 's> {
             match item_col.get(r) {
                 Item::Node(n) => ctx.push((iter_col.get_int(r), n)),
                 other => {
-                    return Err(EvalError(format!(
-                        "path step applied to atomic value {other}"
-                    )))
+                    return Err(EvalError::new(
+                        ErrorCode::XPTY0004,
+                        format!("path step applied to atomic value {other}"),
+                    ))
                 }
             }
         }
@@ -381,8 +500,9 @@ impl<'d, 's> Engine<'d, 's> {
                     let doc = self.store.doc_of(*n);
                     if doc.kind(n.pre) == NodeKind::Attribute {
                         if content_started || pending_text.is_some() {
-                            return Err(EvalError(
-                                "attribute node follows element content (XQTY0024)".into(),
+                            return Err(EvalError::new(
+                                ErrorCode::XQTY0024,
+                                "attribute node follows element content (XQTY0024)",
                             ));
                         }
                         b.attribute(doc.name(n.pre), doc.text(n.pre).unwrap_or(""));
@@ -524,12 +644,7 @@ fn eval_lit(cols: &[Col], rows: &[Vec<AValue>]) -> Table {
     Table::new(built)
 }
 
-fn eval_rownum(
-    t: &Table,
-    new: Col,
-    order: &[exrquy_algebra::SortKey],
-    part: Option<Col>,
-) -> Table {
+fn eval_rownum(t: &Table, new: Col, order: &[exrquy_algebra::SortKey], part: Option<Col>) -> Table {
     let n = t.nrows();
     // Fast path (§7): `%⟨⟩` with no order criteria needs no sort — dense
     // per-group counters in one pass; "this operator comes for free".
@@ -628,7 +743,11 @@ fn eval_distinct(t: &Table) -> Table {
     let mut seen: std::collections::HashSet<Vec<GroupKey>> = std::collections::HashSet::new();
     let mut idx = Vec::new();
     for r in 0..t.nrows() {
-        let key: Vec<GroupKey> = t.columns().iter().map(|(_, c)| c.get(r).group_key()).collect();
+        let key: Vec<GroupKey> = t
+            .columns()
+            .iter()
+            .map(|(_, c)| c.get(r).group_key())
+            .collect();
         if seen.insert(key) {
             idx.push(r);
         }
@@ -636,8 +755,23 @@ fn eval_distinct(t: &Table) -> Table {
     t.gather(&idx)
 }
 
-fn eval_cross(l: &Table, r: &Table) -> Table {
+/// The EXRQ0001 error raised when a row-explosive operator would exceed
+/// its budget. Raised *before* (or while) materializing, so the budget
+/// also bounds memory, not just the reported result size.
+fn row_cap_exceeded(cap: usize) -> EvalError {
+    EvalError::new(
+        ErrorCode::EXRQ0001,
+        format!("operator result exceeds the row budget of {cap} rows"),
+    )
+}
+
+fn eval_cross(l: &Table, r: &Table, cap: usize) -> Result<Table, EvalError> {
     let (n, m) = (l.nrows(), r.nrows());
+    // n·m is known up front — reject oversized (or overflowing) products
+    // before allocating anything.
+    if n.checked_mul(m).is_none_or(|total| total > cap) {
+        return Err(row_cap_exceeded(cap));
+    }
     let mut lidx = Vec::with_capacity(n * m);
     let mut ridx = Vec::with_capacity(n * m);
     for i in 0..n {
@@ -646,7 +780,7 @@ fn eval_cross(l: &Table, r: &Table) -> Table {
             ridx.push(j);
         }
     }
-    join_gather(l, r, &lidx, &ridx)
+    Ok(join_gather(l, r, &lidx, &ridx))
 }
 
 fn join_gather(l: &Table, r: &Table, lidx: &[usize], ridx: &[usize]) -> Table {
@@ -660,10 +794,17 @@ fn join_gather(l: &Table, r: &Table, lidx: &[usize], ridx: &[usize]) -> Table {
     Table::new(cols)
 }
 
-fn eval_equijoin(l: &Table, r: &Table, lcol: Col, rcol: Col) -> Table {
+fn eval_equijoin(
+    l: &Table,
+    r: &Table,
+    lcol: Col,
+    rcol: Col,
+    cap: usize,
+) -> Result<Table, EvalError> {
     let lc = l.col(lcol).clone();
     let rc = r.col(rcol).clone();
-    // Fast path: both integer columns.
+    // Fast path: both integer columns. Skewed keys make the match count
+    // quadratic in the worst case, so the budget is checked at each push.
     let (mut lidx, mut ridx) = (Vec::new(), Vec::new());
     match (&*lc, &*rc) {
         (Column::Int(lv), Column::Int(rv)) => {
@@ -674,6 +815,9 @@ fn eval_equijoin(l: &Table, r: &Table, lcol: Col, rcol: Col) -> Table {
             for (i, &v) in lv.iter().enumerate() {
                 if let Some(matches) = index.get(&v) {
                     for &j in matches {
+                        if lidx.len() >= cap {
+                            return Err(row_cap_exceeded(cap));
+                        }
                         lidx.push(i);
                         ridx.push(j);
                     }
@@ -688,6 +832,9 @@ fn eval_equijoin(l: &Table, r: &Table, lcol: Col, rcol: Col) -> Table {
             for i in 0..l.nrows() {
                 if let Some(matches) = index.get(&lc.get(i).group_key()) {
                     for &j in matches {
+                        if lidx.len() >= cap {
+                            return Err(row_cap_exceeded(cap));
+                        }
                         lidx.push(i);
                         ridx.push(j);
                     }
@@ -695,14 +842,17 @@ fn eval_equijoin(l: &Table, r: &Table, lcol: Col, rcol: Col) -> Table {
             }
         }
     }
-    join_gather(l, r, &lidx, &ridx)
+    Ok(join_gather(l, r, &lidx, &ridx))
 }
 
 fn eval_thetajoin(
     l: &Table,
     r: &Table,
     pred: &[(Col, FunKind, Col)],
+    cap: usize,
 ) -> Result<Table, EvalError> {
+    // Invariant: the compiler only emits ThetaJoin with a non-empty
+    // predicate list (an empty one would be a Cross in disguise).
     assert!(!pred.is_empty(), "theta join needs at least one predicate");
     let (p0l, k0, p0r) = pred[0];
     let lc = l.col(p0l).clone();
@@ -717,6 +867,9 @@ fn eval_thetajoin(
             for i in 0..l.nrows() {
                 if let Some(matches) = index.get(&lc.get(i).group_key()) {
                     for &j in matches {
+                        if lidx.len() >= cap {
+                            return Err(row_cap_exceeded(cap));
+                        }
                         lidx.push(i);
                         ridx.push(j);
                     }
@@ -730,6 +883,7 @@ fn eval_thetajoin(
                 .filter_map(|j| rc.get(j).as_number_promoting().map(|v| (v, j)))
                 .filter(|(v, _)| !v.is_nan())
                 .collect();
+            // NaNs were filtered above, so partial_cmp cannot return None.
             rvals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let keys: Vec<f64> = rvals.iter().map(|&(v, _)| v).collect();
             for i in 0..l.nrows() {
@@ -748,6 +902,9 @@ fn eval_thetajoin(
                     FunKind::Ge => 0..keys.partition_point(|&v| v <= x),
                     _ => unreachable!(),
                 };
+                if lidx.len() + range.len() > cap {
+                    return Err(row_cap_exceeded(cap));
+                }
                 for k in range {
                     lidx.push(i);
                     ridx.push(rvals[k].1);
@@ -759,6 +916,9 @@ fn eval_thetajoin(
             for i in 0..l.nrows() {
                 for j in 0..r.nrows() {
                     if funs::compare_with(FunKind::Ne, &lc.get(i), &rc.get(j)) {
+                        if lidx.len() >= cap {
+                            return Err(row_cap_exceeded(cap));
+                        }
                         lidx.push(i);
                         ridx.push(j);
                     }
@@ -766,9 +926,10 @@ fn eval_thetajoin(
             }
         }
         other => {
-            return Err(EvalError(format!(
-                "unsupported theta-join predicate {other:?}"
-            )))
+            return Err(EvalError::new(
+                ErrorCode::XPST0017,
+                format!("unsupported theta-join predicate {other:?}"),
+            ))
         }
     }
     // Residual predicates filter the candidate pairs.
@@ -794,8 +955,10 @@ fn eval_thetajoin(
     Ok(join_gather(l, r, &lidx, &ridx))
 }
 
-/// Expand `lo..=hi` integer ranges per row (empty when lo > hi).
-fn eval_range(t: &Table, lo: Col, hi: Col, new: Col) -> Result<Table, EvalError> {
+/// Expand `lo..=hi` integer ranges per row (empty when lo > hi). A query
+/// like `(1 to 100000000000)` must trip the row budget incrementally, not
+/// after exhausting memory, so the cap is checked inside the loop.
+fn eval_range(t: &Table, lo: Col, hi: Col, new: Col, cap: usize) -> Result<Table, EvalError> {
     let loc = t.col(lo).clone();
     let hic = t.col(hi).clone();
     let mut idx: Vec<usize> = Vec::new();
@@ -803,6 +966,9 @@ fn eval_range(t: &Table, lo: Col, hi: Col, new: Col) -> Result<Table, EvalError>
     for r in 0..t.nrows() {
         let (a, b) = (range_int(&loc.get(r))?, range_int(&hic.get(r))?);
         for v in a..=b {
+            if vals.len() >= cap {
+                return Err(row_cap_exceeded(cap));
+            }
             idx.push(r);
             vals.push(v);
         }
@@ -814,7 +980,10 @@ fn eval_range(t: &Table, lo: Col, hi: Col, new: Col) -> Result<Table, EvalError>
 fn range_int(i: &Item) -> Result<i64, EvalError> {
     match i.as_number_promoting() {
         Some(f) if f.fract() == 0.0 => Ok(f as i64),
-        _ => Err(EvalError(format!("range bound `{i}` is not an integer"))),
+        _ => Err(EvalError::new(
+            ErrorCode::FORG0001,
+            format!("range bound `{i}` is not an integer"),
+        )),
     }
 }
 
@@ -897,7 +1066,10 @@ fn eval_aggr(
                 AggrKind::Sum | AggrKind::Avg => {
                     let atom = funs::atomize_item(store, &item);
                     let v = atom.as_number_promoting().ok_or_else(|| {
-                        EvalError(format!("fn:sum on non-numeric value {item}"))
+                        EvalError::new(
+                            ErrorCode::FORG0001,
+                            format!("fn:sum on non-numeric value {item}"),
+                        )
                     })?;
                     st.sum += v;
                 }
@@ -909,11 +1081,9 @@ fn eval_aggr(
                         Some(n) => Item::Dbl(n),
                         None => atom,
                     };
-                    let better_max = st
-                        .max
-                        .as_ref()
-                        .is_none_or(|m| funs::compare(&atom, m)
-                            == Some(std::cmp::Ordering::Greater));
+                    let better_max = st.max.as_ref().is_none_or(|m| {
+                        funs::compare(&atom, m) == Some(std::cmp::Ordering::Greater)
+                    });
                     if better_max {
                         st.max = Some(atom.clone());
                     }
@@ -995,8 +1165,9 @@ fn ebv_of_group(items: &[Item]) -> Result<bool, EvalError> {
         [] => Ok(false),
         [first, ..] if first.is_node() => Ok(true),
         [single] => Ok(single.ebv()),
-        _ => Err(EvalError(
-            "effective boolean value of a multi-item atomic sequence (FORG0006)".into(),
+        _ => Err(EvalError::new(
+            ErrorCode::FORG0006,
+            "effective boolean value of a multi-item atomic sequence (FORG0006)",
         )),
     }
 }
@@ -1046,7 +1217,11 @@ mod tests {
     #[test]
     fn rownum_descending() {
         let mut dag = Dag::new();
-        let l = lit(&mut dag, vec![Col::ITEM], vec![vec![10], vec![30], vec![20]]);
+        let l = lit(
+            &mut dag,
+            vec![Col::ITEM],
+            vec![vec![10], vec![30], vec![20]],
+        );
         let r = dag.add(Op::RowNum {
             input: l,
             new: Col::POS,
@@ -1306,7 +1481,7 @@ mod tests {
         let Item::Node(n) = t.item(Col::ITEM, 0) else {
             panic!("expected node")
         };
-        let rendered = exrquy_xml::serialize::node_to_string(&e.store, n);
+        let rendered = exrquy_xml::serialize::node_to_string(e.store, n);
         // adjacent atomics joined with a space into one text node
         assert_eq!(rendered, "<e>10 x</e>");
     }

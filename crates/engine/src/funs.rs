@@ -8,17 +8,31 @@
 
 use crate::item::Item;
 use exrquy_algebra::FunKind;
+use exrquy_diag::ErrorCode;
 use exrquy_xml::atomize;
 use exrquy_xml::Store;
 use std::cmp::Ordering;
 
-/// Dynamic-type error (e.g. arithmetic on a non-numeric string).
+/// Dynamic-type error (e.g. arithmetic on a non-numeric string), tagged
+/// with its W3C error code.
 #[derive(Debug, Clone)]
-pub struct DynError(pub String);
+pub struct DynError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl DynError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        DynError {
+            code,
+            message: message.into(),
+        }
+    }
+}
 
 impl std::fmt::Display for DynError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dynamic error: {}", self.0)
+        write!(f, "dynamic error: {}", self.message)
     }
 }
 
@@ -57,13 +71,20 @@ pub fn compare_with(kind: FunKind, a: &Item, b: &Item) -> bool {
         FunKind::Le => ord != Ordering::Greater,
         FunKind::Gt => ord == Ordering::Greater,
         FunKind::Ge => ord != Ordering::Less,
+        // Invariant: reachable only from Eq..Ge dispatch sites (apply and
+        // the theta-join), never from user input — a trip here is a bug in
+        // the engine itself, so a panic is the right failure mode.
         other => panic!("compare_with called with non-comparison {other:?}"),
     }
 }
 
 fn num(i: &Item) -> Result<f64, DynError> {
-    i.as_number_promoting()
-        .ok_or_else(|| DynError(format!("cannot treat `{i}` as a number")))
+    i.as_number_promoting().ok_or_else(|| {
+        DynError::new(
+            ErrorCode::FORG0001,
+            format!("cannot treat `{i}` as a number"),
+        )
+    })
 }
 
 fn both_int(a: &Item, b: &Item) -> Option<(i64, i64)> {
@@ -83,6 +104,10 @@ pub fn atomize_item(store: &Store, i: &Item) -> Item {
 
 /// Evaluate `kind` over `args` (already atomized where the compiler
 /// requires it).
+///
+/// Arity: the compiler emits `Op::Fun` with exactly the argument count
+/// each `FunKind` requires, so the `args[0]`/`args[1]`/`args[2]` indexing
+/// below is an engine invariant, not a user-reachable panic.
 pub fn apply(store: &Store, kind: FunKind, args: &[Item]) -> Result<Item, DynError> {
     use FunKind::*;
     Ok(match kind {
@@ -104,14 +129,17 @@ pub fn apply(store: &Store, kind: FunKind, args: &[Item]) -> Result<Item, DynErr
                     Div => Item::Dbl(x / y),
                     IDiv => {
                         if y == 0.0 {
-                            return Err(DynError("integer division by zero".into()));
+                            return Err(DynError::new(
+                                ErrorCode::FOAR0001,
+                                "integer division by zero",
+                            ));
                         }
                         Item::Int((x / y).trunc() as i64)
                     }
                     Mod => {
                         if let Some((xi, yi)) = both_int(&args[0], &args[1]) {
                             if yi == 0 {
-                                return Err(DynError("modulo by zero".into()));
+                                return Err(DynError::new(ErrorCode::FOAR0001, "modulo by zero"));
                             }
                             Item::Int(xi % yi)
                         } else {
@@ -225,7 +253,12 @@ pub fn apply(store: &Store, kind: FunKind, args: &[Item]) -> Result<Item, DynErr
                     Item::str("")
                 }
             }
-            _ => return Err(DynError("fn:local-name on non-node".into())),
+            _ => {
+                return Err(DynError::new(
+                    ErrorCode::XPTY0004,
+                    "fn:local-name on non-node",
+                ))
+            }
         },
         ItemEbv => Item::Bool(args[0].ebv()),
         NodeBefore | NodeAfter | NodeIs => match (&args[0], &args[1]) {
@@ -234,7 +267,12 @@ pub fn apply(store: &Store, kind: FunKind, args: &[Item]) -> Result<Item, DynErr
                 NodeAfter => a > b,
                 _ => a == b,
             }),
-            _ => return Err(DynError("node comparison on non-nodes".into())),
+            _ => {
+                return Err(DynError::new(
+                    ErrorCode::XPTY0004,
+                    "node comparison on non-nodes",
+                ))
+            }
         },
         Round => Item::Dbl(num(&args[0])?.round()),
         Floor => Item::Dbl(num(&args[0])?.floor()),
@@ -294,12 +332,21 @@ mod tests {
     fn string_functions() {
         let s = store();
         assert_eq!(
-            apply(&s, FunKind::Contains, &[Item::str("gold ring"), Item::str("gold")]).unwrap(),
+            apply(
+                &s,
+                FunKind::Contains,
+                &[Item::str("gold ring"), Item::str("gold")]
+            )
+            .unwrap(),
             Item::Bool(true)
         );
         assert_eq!(
-            apply(&s, FunKind::Substring3, &[Item::str("hello"), Item::Int(2), Item::Int(3)])
-                .unwrap(),
+            apply(
+                &s,
+                FunKind::Substring3,
+                &[Item::str("hello"), Item::Int(2), Item::Int(3)]
+            )
+            .unwrap(),
             Item::str("ell")
         );
         assert_eq!(
@@ -315,7 +362,7 @@ mod tests {
         let elem = Item::Node(exrquy_xml::NodeId::new(root.frag, 1));
         assert_eq!(atomize_item(&s, &elem), Item::str("42"));
         assert_eq!(
-            apply(&s, FunKind::ToNum, &[elem.clone()]).unwrap(),
+            apply(&s, FunKind::ToNum, std::slice::from_ref(&elem)).unwrap(),
             Item::Dbl(42.0)
         );
         assert_eq!(apply(&s, FunKind::NameOf, &[elem]).unwrap(), Item::str("a"));

@@ -92,12 +92,13 @@ impl Item {
             (Item::Str(a), Item::Str(b)) => a.as_ref().cmp(b.as_ref()),
             (a, b) => match (a.as_number(), b.as_number()) {
                 (Some(x), Some(y)) => {
-                    x.partial_cmp(&y).unwrap_or_else(|| match (x.is_nan(), y.is_nan()) {
-                        (true, true) => Ordering::Equal,
-                        (true, false) => Ordering::Less,
-                        (false, true) => Ordering::Greater,
-                        _ => unreachable!(),
-                    })
+                    x.partial_cmp(&y)
+                        .unwrap_or_else(|| match (x.is_nan(), y.is_nan()) {
+                            (true, true) => Ordering::Equal,
+                            (true, false) => Ordering::Less,
+                            (false, true) => Ordering::Greater,
+                            _ => unreachable!(),
+                        })
                 }
                 _ => class(a).cmp(&class(b)),
             },
@@ -132,7 +133,11 @@ pub fn fmt_double(d: f64) -> String {
     if d.is_nan() {
         "NaN".into()
     } else if d.is_infinite() {
-        if d > 0.0 { "INF".into() } else { "-INF".into() }
+        if d > 0.0 {
+            "INF".into()
+        } else {
+            "-INF".into()
+        }
     } else if d == d.trunc() && d.abs() < 1e15 {
         format!("{}", d as i64)
     } else {
@@ -170,7 +175,7 @@ mod tests {
 
     #[test]
     fn sort_order_across_classes() {
-        let mut v = vec![
+        let mut v = [
             Item::str("b"),
             Item::Int(10),
             Item::Dbl(2.5),

@@ -27,7 +27,7 @@ pub mod profile;
 pub mod table;
 
 pub use column::Column;
-pub use eval::{EvalError, Engine, EngineOptions, StepAlgo};
+pub use eval::{Engine, EngineOptions, EvalError, StepAlgo};
 pub use item::Item;
 pub use profile::Profile;
 pub use table::Table;

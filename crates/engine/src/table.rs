@@ -121,11 +121,10 @@ mod tests {
     fn construction_and_access() {
         let t = Table::new(vec![
             (Col::ITER, Column::Int(vec![1, 1, 2])),
-            (Col::ITEM, Column::Item(vec![
-                Item::str("a"),
-                Item::str("b"),
-                Item::str("c"),
-            ])),
+            (
+                Col::ITEM,
+                Column::Item(vec![Item::str("a"), Item::str("b"), Item::str("c")]),
+            ),
         ]);
         assert_eq!(t.nrows(), 3);
         assert_eq!(t.int(Col::ITER, 2), 2);

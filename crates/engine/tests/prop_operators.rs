@@ -1,10 +1,12 @@
-//! Operator-level property tests: each relational operator against a
-//! naive model, plus the row-numbering invariants the compiler relies on.
+//! Operator-level randomized tests: each relational operator against a
+//! naive model, plus the row-numbering invariants the compiler relies
+//! on. Driven by the in-repo deterministic PRNG so the suite builds
+//! offline.
 
 use exrquy_algebra::{AValue, Col, Dag, FunKind, Op, OpId, SortKey};
 use exrquy_engine::{Engine, EngineOptions, Item, Table};
+use exrquy_xml::rng::SmallRng;
 use exrquy_xml::Store;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn lit(dag: &mut Dag, cols: Vec<Col>, rows: &[Vec<i64>]) -> OpId {
@@ -23,20 +25,26 @@ fn run(dag: &Dag, root: OpId) -> Table {
     (*e.eval(root).unwrap()).clone()
 }
 
-fn rows2() -> impl Strategy<Value = Vec<Vec<i64>>> {
-    prop::collection::vec(
-        (0i64..6, -20i64..20).prop_map(|(a, b)| vec![a, b]),
-        0..40,
-    )
+/// Up to 40 rows of `[0..6, -20..20]` pairs.
+fn rows2(rng: &mut SmallRng) -> Vec<Vec<i64>> {
+    let n = rng.gen_range(0usize..40);
+    (0..n)
+        .map(|_| vec![rng.gen_range(0i64..6), rng.gen_range(-20i64..20)])
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn vec_i64(rng: &mut SmallRng, lo: i64, hi: i64, max_len: usize) -> Vec<i64> {
+    let n = rng.gen_range(0usize..max_len);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    /// `%` numbers each partition densely 1..k in sort order, regardless
-    /// of physical row order; row order itself is preserved.
-    #[test]
-    fn rownum_is_dense_per_group(rows in rows2()) {
+/// `%` numbers each partition densely 1..k in sort order, regardless
+/// of physical row order; row order itself is preserved.
+#[test]
+fn rownum_is_dense_per_group() {
+    let mut rng = SmallRng::seed_from_u64(0x01);
+    for _case in 0..96 {
+        let rows = rows2(&mut rng);
         let mut dag = Dag::new();
         let src = lit(&mut dag, vec![Col::ITER, Col::ITEM], &rows);
         let rn = dag.add(Op::RowNum {
@@ -46,14 +54,14 @@ proptest! {
             part: Some(Col::ITER),
         });
         let t = run(&dag, rn);
-        prop_assert_eq!(t.nrows(), rows.len());
+        assert_eq!(t.nrows(), rows.len());
         // Group rows; per group the assigned numbers must be a permutation
         // of 1..=k ordered consistently with the item values.
         let mut groups: HashMap<i64, Vec<(i64, i64)>> = HashMap::new();
-        for r in 0..t.nrows() {
+        for (r, row) in rows.iter().enumerate() {
             // Row order preserved: same (iter, item) as the input.
-            prop_assert_eq!(t.int(Col::ITER, r), rows[r][0]);
-            prop_assert_eq!(t.int(Col::ITEM, r), rows[r][1]);
+            assert_eq!(t.int(Col::ITER, r), row[0]);
+            assert_eq!(t.int(Col::ITEM, r), row[1]);
             groups
                 .entry(t.int(Col::ITER, r))
                 .or_default()
@@ -62,26 +70,33 @@ proptest! {
         for (_, mut g) in groups {
             g.sort();
             for (i, &(pos, _)) in g.iter().enumerate() {
-                prop_assert_eq!(pos, i as i64 + 1, "not dense: {:?}", &g);
+                assert_eq!(pos, i as i64 + 1, "not dense: {:?}", &g);
             }
             // Sorting by assigned number must order items ascending.
             for w in g.windows(2) {
-                prop_assert!(w[0].1 <= w[1].1, "order violated: {:?}", &g);
+                assert!(w[0].1 <= w[1].1, "order violated: {:?}", &g);
             }
         }
     }
+}
 
-    /// `#` attaches unique values (and the engine's dense fast path for
-    /// criterion-free `%` matches per-group counting).
-    #[test]
-    fn rowid_unique_and_free_rownum_dense(rows in rows2()) {
+/// `#` attaches unique values (and the engine's dense fast path for
+/// criterion-free `%` matches per-group counting).
+#[test]
+fn rowid_unique_and_free_rownum_dense() {
+    let mut rng = SmallRng::seed_from_u64(0x02);
+    for _case in 0..96 {
+        let rows = rows2(&mut rng);
         let mut dag = Dag::new();
         let src = lit(&mut dag, vec![Col::ITER, Col::ITEM], &rows);
-        let rid = dag.add(Op::RowId { input: src, new: Col::POS });
+        let rid = dag.add(Op::RowId {
+            input: src,
+            new: Col::POS,
+        });
         let t = run(&dag, rid);
         let mut seen = std::collections::HashSet::new();
         for r in 0..t.nrows() {
-            prop_assert!(seen.insert(t.int(Col::POS, r)), "duplicate row id");
+            assert!(seen.insert(t.int(Col::POS, r)), "duplicate row id");
         }
         let free = dag.add(Op::RowNum {
             input: src,
@@ -92,26 +107,36 @@ proptest! {
         let t = run(&dag, free);
         let mut per_group: HashMap<i64, Vec<i64>> = HashMap::new();
         for r in 0..t.nrows() {
-            per_group.entry(t.int(Col::ITER, r)).or_default().push(t.int(Col::POS, r));
+            per_group
+                .entry(t.int(Col::ITER, r))
+                .or_default()
+                .push(t.int(Col::POS, r));
         }
         for (_, mut v) in per_group {
             v.sort_unstable();
             for (i, &p) in v.iter().enumerate() {
-                prop_assert_eq!(p, i as i64 + 1);
+                assert_eq!(p, i as i64 + 1);
             }
         }
     }
+}
 
-    /// Theta-join (band) ≡ the nested-loop definition.
-    #[test]
-    fn thetajoin_matches_nested_loop(
-        l in prop::collection::vec(-20i64..20, 0..25),
-        r in prop::collection::vec(-20i64..20, 0..25),
-        kind in prop_oneof![
-            Just(FunKind::Lt), Just(FunKind::Le), Just(FunKind::Gt),
-            Just(FunKind::Ge), Just(FunKind::Eq), Just(FunKind::Ne)
-        ],
-    ) {
+/// Theta-join (band) ≡ the nested-loop definition.
+#[test]
+fn thetajoin_matches_nested_loop() {
+    let kinds = [
+        FunKind::Lt,
+        FunKind::Le,
+        FunKind::Gt,
+        FunKind::Ge,
+        FunKind::Eq,
+        FunKind::Ne,
+    ];
+    let mut rng = SmallRng::seed_from_u64(0x03);
+    for _case in 0..96 {
+        let l = vec_i64(&mut rng, -20, 20, 25);
+        let r = vec_i64(&mut rng, -20, 20, 25);
+        let kind = kinds[rng.gen_range(0usize..kinds.len())];
         let mut dag = Dag::new();
         let lv: Vec<Vec<i64>> = l.iter().map(|&v| vec![v]).collect();
         let rv: Vec<Vec<i64>> = r.iter().map(|&v| vec![v]).collect();
@@ -145,15 +170,17 @@ proptest! {
             }
         }
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Difference ≡ the set-definition anti-semijoin.
-    #[test]
-    fn difference_matches_model(
-        l in prop::collection::vec(0i64..10, 0..30),
-        r in prop::collection::vec(0i64..10, 0..30),
-    ) {
+/// Difference ≡ the set-definition anti-semijoin.
+#[test]
+fn difference_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x04);
+    for _case in 0..96 {
+        let l = vec_i64(&mut rng, 0, 10, 30);
+        let r = vec_i64(&mut rng, 0, 10, 30);
         let mut dag = Dag::new();
         let lv: Vec<Vec<i64>> = l.iter().map(|&v| vec![v]).collect();
         let rv: Vec<Vec<i64>> = r.iter().map(|&v| vec![v]).collect();
@@ -168,12 +195,16 @@ proptest! {
         let rset: std::collections::HashSet<i64> = r.iter().copied().collect();
         let expect: Vec<i64> = l.iter().copied().filter(|v| !rset.contains(v)).collect();
         let got: Vec<i64> = (0..t.nrows()).map(|i| t.int(Col::ITER, i)).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Distinct keeps the first occurrence of each row, in order.
-    #[test]
-    fn distinct_keeps_first_occurrences(rows in rows2()) {
+/// Distinct keeps the first occurrence of each row, in order.
+#[test]
+fn distinct_keeps_first_occurrences() {
+    let mut rng = SmallRng::seed_from_u64(0x05);
+    for _case in 0..96 {
+        let rows = rows2(&mut rng);
         let mut dag = Dag::new();
         let src = lit(&mut dag, vec![Col::ITER, Col::ITEM], &rows);
         let d = dag.add(Op::Distinct { input: src });
@@ -188,15 +219,23 @@ proptest! {
         let got: Vec<(i64, i64)> = (0..t.nrows())
             .map(|i| (t.int(Col::ITER, i), t.int(Col::ITEM, i)))
             .collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// EquiJoin ≡ nested-loop equality join (pair multiset).
-    #[test]
-    fn equijoin_matches_model(
-        l in prop::collection::vec((0i64..8, 0i64..50), 0..25),
-        r in prop::collection::vec((0i64..8, 0i64..50), 0..25),
-    ) {
+/// EquiJoin ≡ nested-loop equality join (pair multiset).
+#[test]
+fn equijoin_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x06);
+    for _case in 0..96 {
+        let n_l = rng.gen_range(0usize..25);
+        let l: Vec<(i64, i64)> = (0..n_l)
+            .map(|_| (rng.gen_range(0i64..8), rng.gen_range(0i64..50)))
+            .collect();
+        let n_r = rng.gen_range(0usize..25);
+        let r: Vec<(i64, i64)> = (0..n_r)
+            .map(|_| (rng.gen_range(0i64..8), rng.gen_range(0i64..50)))
+            .collect();
         let mut dag = Dag::new();
         let lv: Vec<Vec<i64>> = l.iter().map(|&(k, v)| vec![k, v]).collect();
         let rv: Vec<Vec<i64>> = r.iter().map(|&(k, v)| vec![k, v]).collect();
@@ -210,7 +249,13 @@ proptest! {
         });
         let t = run(&dag, j);
         let mut got: Vec<(i64, i64, i64)> = (0..t.nrows())
-            .map(|i| (t.int(Col::ITER, i), t.int(Col::ITEM1, i), t.int(Col::ITEM2, i)))
+            .map(|i| {
+                (
+                    t.int(Col::ITER, i),
+                    t.int(Col::ITEM1, i),
+                    t.int(Col::ITEM2, i),
+                )
+            })
             .collect();
         got.sort_unstable();
         let mut expect = Vec::new();
@@ -222,13 +267,17 @@ proptest! {
             }
         }
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Aggregates match straightforward per-group folds.
-    #[test]
-    fn aggregates_match_model(rows in rows2()) {
-        use exrquy_algebra::AggrKind;
+/// Aggregates match straightforward per-group folds.
+#[test]
+fn aggregates_match_model() {
+    use exrquy_algebra::AggrKind;
+    let mut rng = SmallRng::seed_from_u64(0x07);
+    for _case in 0..96 {
+        let rows = rows2(&mut rng);
         let mut dag = Dag::new();
         let src = lit(&mut dag, vec![Col::ITER, Col::ITEM], &rows);
         let mut model: HashMap<i64, Vec<i64>> = HashMap::new();
@@ -240,24 +289,28 @@ proptest! {
                 input: src,
                 kind,
                 new: Col::RES,
-                arg: if kind == AggrKind::Count { None } else { Some(Col::ITEM) },
+                arg: if kind == AggrKind::Count {
+                    None
+                } else {
+                    Some(Col::ITEM)
+                },
                 part: Some(Col::ITER),
             });
             let t = run(&dag, a);
-            prop_assert_eq!(t.nrows(), model.len());
+            assert_eq!(t.nrows(), model.len());
             for r in 0..t.nrows() {
                 let g = &model[&t.int(Col::ITER, r)];
                 let got = t.item(Col::RES, r);
                 match kind {
-                    AggrKind::Count => prop_assert_eq!(got, Item::Int(g.len() as i64)),
+                    AggrKind::Count => assert_eq!(got, Item::Int(g.len() as i64)),
                     AggrKind::Sum => {
-                        prop_assert_eq!(got, Item::Dbl(g.iter().sum::<i64>() as f64))
+                        assert_eq!(got, Item::Dbl(g.iter().sum::<i64>() as f64))
                     }
                     AggrKind::Max => {
-                        prop_assert_eq!(got, Item::Dbl(*g.iter().max().unwrap() as f64))
+                        assert_eq!(got, Item::Dbl(*g.iter().max().unwrap() as f64))
                     }
                     AggrKind::Min => {
-                        prop_assert_eq!(got, Item::Dbl(*g.iter().min().unwrap() as f64))
+                        assert_eq!(got, Item::Dbl(*g.iter().min().unwrap() as f64))
                     }
                     _ => unreachable!(),
                 }

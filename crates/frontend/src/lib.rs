@@ -29,6 +29,6 @@ pub use ast::{
     AttrPart, BinOp, Clause, DirAttr, ElemContent, Expr, Module, NodeTestAst, OrderSpec,
     OrderingMode, Quant, UnOp,
 };
-pub use normalize::{normalize, normalize_opts};
-pub use parse::{parse_module, parse_query, XqError};
+pub use normalize::{check_depth, normalize, normalize_opts};
+pub use parse::{parse_module, parse_module_with, parse_query, XqError, DEFAULT_MAX_DEPTH};
 pub use pretty::pretty;

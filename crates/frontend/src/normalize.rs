@@ -279,6 +279,92 @@ pub fn norm_with(e: &Expr, exploit: bool) -> Expr {
     }
 }
 
+/// Direct sub-expressions of `e` (one structural level).
+fn subexprs(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::IntLit(_)
+        | Expr::DblLit(_)
+        | Expr::StrLit(_)
+        | Expr::Empty
+        | Expr::Var(_)
+        | Expr::ContextItem
+        | Expr::Root => vec![],
+        Expr::Sequence(items) => items.iter().collect(),
+        Expr::PathStep {
+            input, predicates, ..
+        } => std::iter::once(&**input).chain(predicates).collect(),
+        Expr::Filter { input, predicate } => vec![input, predicate],
+        Expr::PathSeq { input, step } => vec![input, step],
+        Expr::Flwor {
+            clauses,
+            order_by,
+            ret,
+            ..
+        } => clauses
+            .iter()
+            .map(|c| match c {
+                Clause::For { seq, .. } => seq,
+                Clause::Let { expr, .. } => expr,
+                Clause::Where(e) => e,
+            })
+            .chain(order_by.iter().map(|o| &o.key))
+            .chain(std::iter::once(&**ret))
+            .collect(),
+        Expr::Quantified {
+            domain, satisfies, ..
+        } => vec![domain, satisfies],
+        Expr::If { cond, then, els } => vec![cond, then, els],
+        Expr::Binary { l, r, .. } => vec![l, r],
+        Expr::Unary { expr, .. } => vec![expr],
+        Expr::Call { args, .. } => args.iter().collect(),
+        Expr::Unordered(inner) => vec![inner],
+        Expr::OrderingScope { expr, .. } => vec![expr],
+        Expr::DirElement { attrs, content, .. } => attrs
+            .iter()
+            .flat_map(|a| &a.value)
+            .filter_map(|p| match p {
+                AttrPart::Expr(e) => Some(e),
+                AttrPart::Lit(_) => None,
+            })
+            .chain(content.iter().filter_map(|c| match c {
+                ElemContent::Expr(e) => Some(e),
+                ElemContent::Text(_) => None,
+            }))
+            .collect(),
+        Expr::TextConstructor(e) => vec![e],
+        Expr::AttrConstructor { value, .. } => vec![value],
+        Expr::ElemConstructor { content, .. } => vec![content],
+    }
+}
+
+/// Verify that no expression in the module nests deeper than
+/// `max_depth`. Implemented with an explicit work-list (not recursion)
+/// so the check itself is stack-safe on arbitrarily deep ASTs — this
+/// guards the *recursive* normalizer and compiler, which walk the tree
+/// with the call stack, against programmatically built or
+/// over-budget ASTs.
+pub fn check_depth(m: &Module, max_depth: usize) -> Result<(), crate::parse::XqError> {
+    let mut work: Vec<(&Expr, usize)> = m
+        .variables
+        .iter()
+        .map(|(_, e)| (e, 1))
+        .chain(std::iter::once((&m.body, 1)))
+        .collect();
+    while let Some((e, depth)) = work.pop() {
+        if depth > max_depth {
+            return Err(crate::parse::XqError {
+                offset: 0,
+                message: format!("expression nesting exceeds depth limit {max_depth}"),
+                code: exrquy_diag::ErrorCode::EXRQ0003,
+            });
+        }
+        for child in subexprs(e) {
+            work.push((child, depth + 1));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

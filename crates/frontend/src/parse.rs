@@ -7,15 +7,25 @@
 //! applies the appropriate micro-lexer for each position.
 
 use crate::ast::*;
+use exrquy_diag::ErrorCode;
 use exrquy_xml::parse::decode_entities;
 use exrquy_xml::Axis;
 use std::fmt;
+
+/// Default expression-nesting ceiling. Each nesting level costs a
+/// handful of stack frames in the recursive-descent parser, so this
+/// bounds worst-case stack use on hostile input while being far deeper
+/// than any realistic query.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
 
 /// Frontend error (parse or normalization) with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XqError {
     pub offset: usize,
     pub message: String,
+    /// Machine-readable code (`XPST0003` for syntax errors, `EXRQ0003`
+    /// for nesting-depth overflow).
+    pub code: ErrorCode,
 }
 
 impl fmt::Display for XqError {
@@ -28,7 +38,13 @@ impl std::error::Error for XqError {}
 
 /// Parse a full query (prolog + body).
 pub fn parse_module(src: &str) -> Result<Module, XqError> {
+    parse_module_with(src, DEFAULT_MAX_DEPTH)
+}
+
+/// [`parse_module`] with an explicit expression-nesting ceiling.
+pub fn parse_module_with(src: &str, max_depth: usize) -> Result<Module, XqError> {
     let mut p = P::new(src);
+    p.max_depth = max_depth;
     let module = p.module()?;
     p.ws();
     if !p.at_end() {
@@ -46,6 +62,8 @@ pub fn parse_query(src: &str) -> Result<Module, XqError> {
 struct P<'a> {
     src: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> P<'a> {
@@ -53,6 +71,8 @@ impl<'a> P<'a> {
         P {
             src: src.as_bytes(),
             pos: 0,
+            depth: 0,
+            max_depth: DEFAULT_MAX_DEPTH,
         }
     }
 
@@ -60,7 +80,27 @@ impl<'a> P<'a> {
         XqError {
             offset: self.pos,
             message: msg.into(),
+            code: ErrorCode::XPST0003,
         }
+    }
+
+    /// Bump the nesting depth on entry to a recursion point
+    /// (`expr_single`, `unary_expr`, `direct_constructor`); paired with
+    /// [`P::leave`]. Bounds the parser's stack use on hostile input.
+    fn enter(&mut self) -> Result<(), XqError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(XqError {
+                offset: self.pos,
+                message: format!("expression nesting exceeds depth limit {}", self.max_depth),
+                code: ErrorCode::EXRQ0003,
+            });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn at_end(&self) -> bool {
@@ -76,7 +116,9 @@ impl<'a> P<'a> {
     }
 
     fn starts(&self, s: &str) -> bool {
-        self.src[self.pos..].starts_with(s.as_bytes())
+        self.src
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(s.as_bytes()))
     }
 
     /// Skip whitespace and (nested) `(: … :)` comments.
@@ -144,6 +186,9 @@ impl<'a> P<'a> {
         while self.src.get(end).copied().is_some_and(Self::is_name_char) {
             end += 1;
         }
+        // Invariant: name bytes accept multi-byte sequences wholesale
+        // (`b >= 0x80`), so the slice ends on a char boundary of the
+        // original `&str` and is always valid UTF-8.
         Some(std::str::from_utf8(&self.src[start..end]).unwrap())
     }
 
@@ -181,6 +226,8 @@ impl<'a> P<'a> {
         self.pos += first.len();
         if self.peek() == Some(b':') && self.peek_at(1).is_some_and(Self::is_name_start) {
             self.pos += 1;
+            // Invariant: the `is_name_start` guard one line up means
+            // `peek_ident` cannot return `None` here.
             let second = self.peek_ident().unwrap();
             self.pos += second.len();
             Ok(format!("{first}:{second}"))
@@ -259,6 +306,13 @@ impl<'a> P<'a> {
     }
 
     fn expr_single(&mut self) -> Result<Expr, XqError> {
+        self.enter()?;
+        let r = self.expr_single_inner();
+        self.leave();
+        r
+    }
+
+    fn expr_single_inner(&mut self) -> Result<Expr, XqError> {
         self.ws();
         if self.at_kw("for") || self.at_kw("let") {
             // Guard: `for`/`let` must be followed by `$` to be FLWOR.
@@ -347,10 +401,9 @@ impl<'a> P<'a> {
                     false
                 };
                 // `empty greatest|least` accepted and ignored.
-                if self.eat_kw("empty")
-                    && !self.eat_kw("greatest") {
-                        self.expect_kw("least")?;
-                    }
+                if self.eat_kw("empty") && !self.eat_kw("greatest") {
+                    self.expect_kw("least")?;
+                }
                 order_by.push(OrderSpec { key, descending });
                 self.ws();
                 if !self.eat(",") {
@@ -594,6 +647,13 @@ impl<'a> P<'a> {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, XqError> {
+        self.enter()?;
+        let r = self.unary_expr_inner();
+        self.leave();
+        r
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, XqError> {
         self.ws();
         if self.eat("-") {
             let e = self.unary_expr()?;
@@ -743,6 +803,8 @@ impl<'a> P<'a> {
             Some(b'.') => !self.starts(".."),
             Some(c) if c.is_ascii_digit() => true,
             Some(c) if Self::is_name_start(c) => {
+                // Invariant: the `is_name_start` guard means `peek_ident`
+                // cannot return `None` here.
                 let word = self.peek_ident().unwrap().to_owned();
                 // Kind-test names are steps when followed by `(`; `text {`
                 // and `element name {` are computed constructors.
@@ -758,7 +820,7 @@ impl<'a> P<'a> {
                         i += 1;
                     }
                     return match self.src.get(i) {
-                        Some(b'{') => true, // text { e }
+                        Some(b'{') => true,  // text { e }
                         Some(b'(') => false, // kind test
                         Some(&ch) if Self::is_name_start(ch) && word == "element" => true,
                         _ => false,
@@ -860,6 +922,7 @@ impl<'a> P<'a> {
             }
         }
         // Strip namespace prefix from name tests (no prefix resolution).
+        // Invariant: `rsplit` always yields at least one element.
         let local = name.rsplit(':').next().unwrap().to_owned();
         Ok(NodeTestAst::Name(local))
     }
@@ -933,6 +996,8 @@ impl<'a> P<'a> {
             Some(c) if c.is_ascii_digit() => self.number(),
             Some(b'<') => self.direct_constructor(),
             Some(c) if Self::is_name_start(c) => {
+                // Invariant: the `is_name_start` guard means `peek_ident`
+                // cannot return `None` here.
                 let word = self.peek_ident().unwrap().to_owned();
                 match word.as_str() {
                     "unordered" | "ordered" => {
@@ -1054,15 +1119,13 @@ impl<'a> P<'a> {
                 }
                 Some(_) => {
                     let start = self.pos;
-                    while self
-                        .peek()
-                        .is_some_and(|c| c != quote)
-                    {
+                    while self.peek().is_some_and(|c| c != quote) {
                         self.pos += 1;
                     }
-                    raw.push_str(std::str::from_utf8(&self.src[start..self.pos]).map_err(
-                        |_| self.err("invalid UTF-8 in string literal"),
-                    )?);
+                    raw.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in string literal"))?,
+                    );
                 }
             }
         }
@@ -1092,6 +1155,8 @@ impl<'a> P<'a> {
                 self.pos += 1;
             }
         }
+        // Invariant: only ASCII digits / `.` / `e` were consumed, so the
+        // slice is valid UTF-8.
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         if is_double {
             text.parse::<f64>()
@@ -1107,6 +1172,13 @@ impl<'a> P<'a> {
     // ------------------------------------------- direct constructors
 
     fn direct_constructor(&mut self) -> Result<Expr, XqError> {
+        self.enter()?;
+        let r = self.direct_constructor_inner();
+        self.leave();
+        r
+    }
+
+    fn direct_constructor_inner(&mut self) -> Result<Expr, XqError> {
         self.expect("<")?;
         let name = self.qname()?;
         let mut attrs = Vec::new();
@@ -1187,6 +1259,8 @@ impl<'a> P<'a> {
                         .iter()
                         .position(|&b| b == b';')
                         .ok_or_else(|| self.err("unterminated entity reference"))?;
+                    // Invariant: the slice is delimited by ASCII `&`/`;`
+                    // inside a `&str`, so it sits on char boundaries.
                     let ent =
                         std::str::from_utf8(&self.src[self.pos..self.pos + semi + 1]).unwrap();
                     lit.push_str(&decode_entities(ent).map_err(|m| self.err(m))?);
@@ -1200,6 +1274,8 @@ impl<'a> P<'a> {
                     {
                         self.pos += 1;
                     }
+                    // Invariant: the scan stops only at ASCII delimiters,
+                    // so the slice sits on char boundaries of the source.
                     lit.push_str(std::str::from_utf8(&self.src[start..self.pos]).unwrap());
                 }
             }
@@ -1231,9 +1307,9 @@ impl<'a> P<'a> {
                         self.pos += 2;
                         let end = self.qname()?;
                         if end != name {
-                            return Err(self.err(format!(
-                                "mismatched end tag `</{end}>` for `<{name}>`"
-                            )));
+                            return Err(
+                                self.err(format!("mismatched end tag `</{end}>` for `<{name}>`"))
+                            );
                         }
                         self.ws();
                         self.expect(">")?;
@@ -1260,9 +1336,9 @@ impl<'a> P<'a> {
                             }
                             self.pos += 1;
                         }
-                        text.push_str(
-                            std::str::from_utf8(&self.src[start..self.pos]).unwrap(),
-                        );
+                        // Invariant: `]]>` is ASCII, so the slice sits on
+                        // char boundaries of the source.
+                        text.push_str(std::str::from_utf8(&self.src[start..self.pos]).unwrap());
                         self.pos += 3;
                         continue;
                     }
@@ -1295,6 +1371,8 @@ impl<'a> P<'a> {
                         .iter()
                         .position(|&b| b == b';')
                         .ok_or_else(|| self.err("unterminated entity reference"))?;
+                    // Invariant: the slice is delimited by ASCII `&`/`;`
+                    // inside a `&str`, so it sits on char boundaries.
                     let ent =
                         std::str::from_utf8(&self.src[self.pos..self.pos + semi + 1]).unwrap();
                     text.push_str(&decode_entities(ent).map_err(|m| self.err(m))?);
@@ -1341,7 +1419,9 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Expr {
-        parse_module(s).unwrap_or_else(|e| panic!("parse failed for `{s}`: {e}")).body
+        parse_module(s)
+            .unwrap_or_else(|e| panic!("parse failed for `{s}`: {e}"))
+            .body
     }
 
     #[test]
@@ -1362,7 +1442,9 @@ mod tests {
                 assert_eq!(items.len(), 2);
                 // 2 + (3 * 4)
                 match &items[1] {
-                    Expr::Binary { op: BinOp::Add, r, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Add, r, ..
+                    } => {
                         assert!(matches!(**r, Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     other => panic!("unexpected: {other:?}"),
@@ -1569,10 +1651,8 @@ mod tests {
 
     #[test]
     fn prolog_declarations() {
-        let m = parse_module(
-            "declare ordering unordered; declare variable $x := 1; $x + 1",
-        )
-        .unwrap();
+        let m =
+            parse_module("declare ordering unordered; declare variable $x := 1; $x + 1").unwrap();
         assert_eq!(m.ordering, OrderingMode::Unordered);
         assert_eq!(m.variables.len(), 1);
     }
@@ -1607,7 +1687,10 @@ mod tests {
             Expr::DirElement { content, .. } => {
                 // whitespace-only runs dropped: <b> element and {1} remain
                 assert_eq!(content.len(), 2);
-                assert!(matches!(content[0], ElemContent::Expr(Expr::DirElement { .. })));
+                assert!(matches!(
+                    content[0],
+                    ElemContent::Expr(Expr::DirElement { .. })
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -1690,12 +1773,7 @@ mod tests {
         assert!(matches!(parse("/"), Expr::Root));
         match parse("/site/regions") {
             Expr::PathStep { input, .. } => {
-                assert!(matches!(
-                    *input,
-                    Expr::PathStep {
-                        ..
-                    }
-                ));
+                assert!(matches!(*input, Expr::PathStep { .. }));
             }
             other => panic!("unexpected: {other:?}"),
         }

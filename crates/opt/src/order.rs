@@ -150,7 +150,7 @@ mod tests {
             cols: vec![(Col::ITEM, Col::ITEM)],
         });
         let o = sort_orders(&dag, p2);
-        assert!(o.get(&p2).is_none());
+        assert!(!o.contains_key(&p2));
     }
 
     #[test]
@@ -161,7 +161,11 @@ mod tests {
             &[SortKey::asc(Col::ITEM)],
             Some(Col::ITER)
         ));
-        assert!(rownum_is_presorted(&input, &[SortKey::asc(Col::ITER)], None));
+        assert!(rownum_is_presorted(
+            &input,
+            &[SortKey::asc(Col::ITER)],
+            None
+        ));
         assert!(!rownum_is_presorted(
             &input,
             &[SortKey::asc(Col::ITEM)],
@@ -187,6 +191,6 @@ mod tests {
         let (mut dag, s) = step_dag();
         let u = dag.add(Op::Union { l: s, r: s });
         let o = sort_orders(&dag, u);
-        assert!(o.get(&u).is_none());
+        assert!(!o.contains_key(&u));
     }
 }

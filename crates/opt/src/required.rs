@@ -133,8 +133,7 @@ pub fn required_columns(dag: &Dag, root: OpId) -> HashMap<OpId, BTreeSet<Col>> {
             }
             Op::Element { names, content } => {
                 push(*names, [Col::ITER, Col::ITEM].into_iter().collect());
-                let mut c: BTreeSet<Col> =
-                    [Col::ITER, Col::POS, Col::ITEM].into_iter().collect();
+                let mut c: BTreeSet<Col> = [Col::ITER, Col::POS, Col::ITEM].into_iter().collect();
                 // The content-part tag participates in the atomic-spacing
                 // rule when the plan carries it.
                 if dag.schema(*content).contains(&Col::ORD) {
@@ -150,8 +149,7 @@ pub fn required_columns(dag: &Dag, root: OpId) -> HashMap<OpId, BTreeSet<Col>> {
                 push(*content, [Col::ITER, Col::ITEM].into_iter().collect());
             }
             Op::Range { input, lo, hi, new } => {
-                let mut n: BTreeSet<Col> =
-                    my_req.iter().copied().filter(|c| c != new).collect();
+                let mut n: BTreeSet<Col> = my_req.iter().copied().filter(|c| c != new).collect();
                 n.insert(*lo);
                 n.insert(*hi);
                 push(*input, n);
@@ -246,9 +244,6 @@ mod tests {
         });
         let root = dag.add(Op::Serialize { input: a });
         let req = required_columns(&dag, root);
-        assert_eq!(
-            req[&l],
-            [Col::ITEM].into_iter().collect::<BTreeSet<_>>()
-        );
+        assert_eq!(req[&l], [Col::ITEM].into_iter().collect::<BTreeSet<_>>());
     }
 }

@@ -109,7 +109,15 @@ fn one_round(dag: &mut Dag, root: OpId, opts: &OptOptions) -> OpId {
         let old_op = dag.op(old_id).clone();
         let new_children: Vec<OpId> = old_op.children().iter().map(|c| memo[c]).collect();
         let new_id = rewrite_op(
-            dag, old_id, &old_op, &new_children, &req, &props, &orders, &key_cols, opts,
+            dag,
+            old_id,
+            &old_op,
+            &new_children,
+            &req,
+            &props,
+            &orders,
+            &key_cols,
+            opts,
         );
         memo.insert(old_id, new_id);
     }
@@ -190,19 +198,15 @@ fn rewrite_op(
             // sides of the prefix match.
             if opts.physical_order && !order.is_empty() {
                 if let Some(input_order) = orders.get(&old_input) {
-                    let is_const = |c: Col| {
-                        matches!(prop_of(props, old_input, c), Some(ColProp::Const(_)))
-                    };
+                    let is_const =
+                        |c: Col| matches!(prop_of(props, old_input, c), Some(ColProp::Const(_)));
                     let filtered_input: Vec<Col> = input_order
                         .iter()
                         .copied()
                         .filter(|&c| !is_const(c))
                         .collect();
-                    let filtered_order: Vec<exrquy_algebra::SortKey> = order
-                        .iter()
-                        .copied()
-                        .filter(|k| !is_const(k.col))
-                        .collect();
+                    let filtered_order: Vec<exrquy_algebra::SortKey> =
+                        order.iter().copied().filter(|k| !is_const(k.col)).collect();
                     let filtered_part = part.filter(|&p| !is_const(p));
                     if rownum_is_presorted(&filtered_input, &filtered_order, filtered_part) {
                         order.clear();
@@ -279,7 +283,8 @@ fn rewrite_op(
                 if let Some(composed) = composed {
                     cols = composed;
                     let identity = cols.iter().all(|(n, s)| n == s)
-                        && dag.schema(inner_input) == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
+                        && dag.schema(inner_input)
+                            == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
                     if identity {
                         return inner_input;
                     }
@@ -295,10 +300,7 @@ fn rewrite_op(
             if identity {
                 return ch[0];
             }
-            dag.add(Op::Project {
-                input: ch[0],
-                cols,
-            })
+            dag.add(Op::Project { input: ch[0], cols })
         }
         // ---- selections on known predicates
         Op::Select { col, .. } => {

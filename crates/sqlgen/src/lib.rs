@@ -87,11 +87,7 @@ pub fn to_sql(dag: &Dag, root: OpId, opts: &SqlOptions) -> String {
             .collect::<Vec<_>>()
             .join(sep),
     );
-    let _ = write!(
-        sql,
-        "\nSELECT * FROM {} ORDER BY pos",
-        cte_name(root)
-    );
+    let _ = write!(sql, "\nSELECT * FROM {} ORDER BY pos", cte_name(root));
     sql
 }
 
@@ -159,7 +155,12 @@ fn fun_expr(kind: FunKind, args: &[Col]) -> String {
         }
         FunKind::Contains => format!("(POSITION({} IN {}) > 0)", a(1), a(0)),
         FunKind::StartsWith => {
-            format!("(SUBSTRING({} FROM 1 FOR CHAR_LENGTH({})) = {})", a(0), a(1), a(1))
+            format!(
+                "(SUBSTRING({} FROM 1 FOR CHAR_LENGTH({})) = {})",
+                a(0),
+                a(1),
+                a(1)
+            )
         }
         FunKind::EndsWith => format!("xq_ends_with({}, {})", a(0), a(1)),
         FunKind::StringLength => format!("CHAR_LENGTH({})", a(0)),
@@ -225,7 +226,11 @@ fn axis_predicate(axis: Axis) -> &'static str {
 }
 
 fn test_predicate(axis: Axis, test: NodeTest, opts: &SqlOptions) -> String {
-    let principal = if axis == Axis::Attribute { "attr" } else { "elem" };
+    let principal = if axis == Axis::Attribute {
+        "attr"
+    } else {
+        "elem"
+    };
     match test {
         NodeTest::AnyKind => {
             if axis == Axis::Attribute {
@@ -302,11 +307,9 @@ fn emit_op(dag: &Dag, id: OpId, opts: &SqlOptions) -> String {
                 .join(", ");
             format!("SELECT {list} FROM {}", cte_name(*input))
         }
-        Op::Select { input, col } => format!(
-            "SELECT * FROM {} WHERE {}",
-            cte_name(*input),
-            ident(*col)
-        ),
+        Op::Select { input, col } => {
+            format!("SELECT * FROM {} WHERE {}", cte_name(*input), ident(*col))
+        }
         Op::RowNum {
             input,
             new,
@@ -438,9 +441,15 @@ fn emit_op(dag: &Dag, id: OpId, opts: &SqlOptions) -> String {
             let cols = dag.schema(*l);
             format!(
                 "SELECT {} FROM {} UNION ALL SELECT {} FROM {}",
-                cols.iter().map(|c| ident(*c)).collect::<Vec<_>>().join(", "),
+                cols.iter()
+                    .map(|c| ident(*c))
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 cte_name(*l),
-                cols.iter().map(|c| ident(*c)).collect::<Vec<_>>().join(", "),
+                cols.iter()
+                    .map(|c| ident(*c))
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 cte_name(*r)
             )
         }

@@ -102,7 +102,10 @@ fn theta_join_emits_inequality_join() {
            return fn:count($l)"#,
         true,
     );
-    assert!(sql.contains("JOIN") && sql.contains("ON l.item1 > r.item2"), "{sql}");
+    assert!(
+        sql.contains("JOIN") && sql.contains("ON l.item1 > r.item2"),
+        "{sql}"
+    );
 }
 
 #[test]

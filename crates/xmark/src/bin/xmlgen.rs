@@ -9,10 +9,7 @@ use exrquy_xmark::{generate, XmarkConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let scale: f64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.01);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.01);
     let path = args.next();
 
     let cfg = XmarkConfig::at_scale(scale);

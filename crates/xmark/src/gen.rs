@@ -5,8 +5,7 @@
 //! selectivities the evaluation depends on (see crate docs).
 
 use crate::text;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use exrquy_xml::rng::SmallRng;
 use std::fmt::Write;
 
 /// Generator parameters.
@@ -149,7 +148,8 @@ impl Gen<'_> {
     fn description(&mut self, deep_p: f64) {
         self.out.push_str("<description>");
         if self.rng.gen_bool(deep_p) {
-            self.out.push_str("<parlist><listitem><parlist><listitem><text>");
+            self.out
+                .push_str("<parlist><listitem><parlist><listitem><text>");
             let s = text::sentence(self.rng, 5);
             let w = text::word(self.rng);
             let _ = write!(self.out, "{s} <emph><keyword>{w}</keyword></emph>");
@@ -189,11 +189,16 @@ impl Gen<'_> {
             "<location>{}</location>",
             text::COUNTRIES[self.rng.gen_range(0..text::COUNTRIES.len())]
         );
-        let _ = write!(self.out, "<quantity>{}</quantity>", self.rng.gen_range(1..5));
+        let _ = write!(
+            self.out,
+            "<quantity>{}</quantity>",
+            self.rng.gen_range(1..5)
+        );
         let _ = write!(self.out, "<name>{}</name>", text::sentence(self.rng, 2));
         self.out.push_str("<payment>Creditcard</payment>");
         self.description(0.05);
-        self.out.push_str("<shipping>Will ship internationally</shipping>");
+        self.out
+            .push_str("<shipping>Will ship internationally</shipping>");
         let n_cat = self.rng.gen_range(1..4);
         for _ in 0..n_cat {
             let c = self.category_ref();
@@ -366,8 +371,16 @@ impl Gen<'_> {
             let seller = self.person_ref();
             let _ = write!(self.out, "<seller person=\"{seller}\"/>");
             self.annotation(0.05);
-            let _ = write!(self.out, "<quantity>{}</quantity>", self.rng.gen_range(1..5));
-            let kind = if self.chance(0.5) { "Regular" } else { "Featured" };
+            let _ = write!(
+                self.out,
+                "<quantity>{}</quantity>",
+                self.rng.gen_range(1..5)
+            );
+            let kind = if self.chance(0.5) {
+                "Regular"
+            } else {
+                "Featured"
+            };
             let _ = write!(self.out, "<type>{kind}</type>");
             let (d1, d2) = (text::date(self.rng), text::date(self.rng));
             let _ = write!(
@@ -403,8 +416,16 @@ impl Gen<'_> {
                 self.rng.gen_range(5.0_f64..200.0)
             );
             let _ = write!(self.out, "<date>{}</date>", text::date(self.rng));
-            let _ = write!(self.out, "<quantity>{}</quantity>", self.rng.gen_range(1..5));
-            let kind = if self.chance(0.5) { "Regular" } else { "Featured" };
+            let _ = write!(
+                self.out,
+                "<quantity>{}</quantity>",
+                self.rng.gen_range(1..5)
+            );
+            let kind = if self.chance(0.5) {
+                "Regular"
+            } else {
+                "Featured"
+            };
             let _ = write!(self.out, "<type>{kind}</type>");
             // Q15/Q16 navigate the deep parlist structure: generate it for
             // ~25 % of closed-auction annotations.
@@ -418,7 +439,7 @@ impl Gen<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exrquy_xml::{NamePool, parse_document};
+    use exrquy_xml::{parse_document, NamePool};
 
     #[test]
     fn generates_wellformed_xml() {
@@ -432,9 +453,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = XmarkConfig { scale: 0.001, seed: 9 };
+        let cfg = XmarkConfig {
+            scale: 0.001,
+            seed: 9,
+        };
         assert_eq!(generate(&cfg), generate(&cfg));
-        let other = XmarkConfig { scale: 0.001, seed: 10 };
+        let other = XmarkConfig {
+            scale: 0.001,
+            seed: 10,
+        };
         assert_ne!(generate(&cfg), generate(&other));
     }
 
@@ -442,17 +469,17 @@ mod tests {
     fn contains_all_query_touchpoints() {
         let xml = generate(&XmarkConfig::at_scale(0.004));
         for needle in [
-            "person id=\"person0\"",     // Q1
-            "<bidder>",                  // Q2/Q3
-            "<initial>",                 // Q11
-            "income=",                   // Q11/Q12/Q20
-            "<closed_auction>",          // Q5/Q8/Q9
+            "person id=\"person0\"",                        // Q1
+            "<bidder>",                                     // Q2/Q3
+            "<initial>",                                    // Q11
+            "income=",                                      // Q11/Q12/Q20
+            "<closed_auction>",                             // Q5/Q8/Q9
             "<parlist><listitem><parlist><listitem><text>", // Q15/Q16
-            "<homepage>",                // Q17
-            "<reserve>",                 // Q18
-            "<location>",                // Q19
-            "<incategory",               // Q10
-            "<australia>",               // Q13
+            "<homepage>",                                   // Q17
+            "<reserve>",                                    // Q18
+            "<location>",                                   // Q19
+            "<incategory",                                  // Q10
+            "<australia>",                                  // Q13
         ] {
             assert!(xml.contains(needle), "missing {needle}");
         }

@@ -4,8 +4,7 @@
 //! fixed word list (including the word `gold` that Q14 searches for) with
 //! occasional `<keyword>`, `<bold>` and `<emph>` markup.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use exrquy_xml::rng::SmallRng;
 
 /// Word list used for all running text (101 words; includes "gold").
 pub const WORDS: &[&str] = &[
@@ -13,35 +12,79 @@ pub const WORDS: &[&str] = &[
     "his", "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they",
     "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
     "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
-    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
-    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
-    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
-    "must", "through", "years", "where", "much", "your", "way", "gold", "silver", "duty",
-    "honour", "merchant", "purse",
+    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could", "time",
+    "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like", "our",
+    "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before", "must",
+    "through", "years", "where", "much", "your", "way", "gold", "silver", "duty", "honour",
+    "merchant", "purse",
 ];
 
 /// First names for people.
 pub const FIRST_NAMES: &[&str] = &[
-    "Isabel", "Kasimir", "Umberto", "Waldemar", "Jaak", "Mehrdad", "Farrukh", "Sibrand",
-    "Malgorzata", "Dirce", "Benjamin", "Shalom", "Takahiro", "Aloys", "Mechthild", "Juliana",
+    "Isabel",
+    "Kasimir",
+    "Umberto",
+    "Waldemar",
+    "Jaak",
+    "Mehrdad",
+    "Farrukh",
+    "Sibrand",
+    "Malgorzata",
+    "Dirce",
+    "Benjamin",
+    "Shalom",
+    "Takahiro",
+    "Aloys",
+    "Mechthild",
+    "Juliana",
 ];
 
 /// Last names for people.
 pub const LAST_NAMES: &[&str] = &[
-    "Marcinkowski", "Takano", "Barbosa", "Gerlach", "Sierra", "Unno", "Morrison", "Siegel",
-    "Dustdar", "Oppitz", "Braumandl", "Legaria", "Nikolaev", "Virgilio", "Weikum", "Suzuki",
+    "Marcinkowski",
+    "Takano",
+    "Barbosa",
+    "Gerlach",
+    "Sierra",
+    "Unno",
+    "Morrison",
+    "Siegel",
+    "Dustdar",
+    "Oppitz",
+    "Braumandl",
+    "Legaria",
+    "Nikolaev",
+    "Virgilio",
+    "Weikum",
+    "Suzuki",
 ];
 
 /// Cities for addresses.
 pub const CITIES: &[&str] = &[
-    "Amsterdam", "Munich", "Toronto", "Kyoto", "Florence", "Madras", "Quito", "Nairobi",
-    "Auckland", "Boston",
+    "Amsterdam",
+    "Munich",
+    "Toronto",
+    "Kyoto",
+    "Florence",
+    "Madras",
+    "Quito",
+    "Nairobi",
+    "Auckland",
+    "Boston",
 ];
 
 /// Countries for addresses.
 pub const COUNTRIES: &[&str] = &[
-    "United States", "Germany", "Netherlands", "Japan", "Italy", "India", "Ecuador", "Kenya",
-    "New Zealand", "Canada",
+    "United States",
+    "Germany",
+    "Netherlands",
+    "Japan",
+    "Italy",
+    "India",
+    "Ecuador",
+    "Kenya",
+    "New Zealand",
+    "Canada",
 ];
 
 /// One random word.
@@ -83,7 +126,6 @@ pub fn date(rng: &mut SmallRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn word_list_contains_gold() {

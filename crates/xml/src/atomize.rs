@@ -48,7 +48,9 @@ pub fn parse_number(s: &str) -> Option<f64> {
         "NaN" => return Some(f64::NAN),
         _ => {}
     }
-    t.parse::<f64>().ok().filter(|f| f.is_finite() || t.contains("INF"))
+    t.parse::<f64>()
+        .ok()
+        .filter(|f| f.is_finite() || t.contains("INF"))
 }
 
 /// Parse an integer string value (`xs:integer` lexical space).

@@ -46,7 +46,11 @@ impl Axis {
     pub fn is_reverse(self) -> bool {
         matches!(
             self,
-            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::PrecedingSibling
+                | Axis::Preceding
         )
     }
 
@@ -121,8 +125,7 @@ impl NodeTest {
             NodeTest::Text => kind == NodeKind::Text,
             NodeTest::Comment => kind == NodeKind::Comment,
             NodeTest::Pi(target) => {
-                kind == NodeKind::ProcessingInstruction
-                    && target.is_none_or(|t| doc.name(pre) == t)
+                kind == NodeKind::ProcessingInstruction && target.is_none_or(|t| doc.name(pre) == t)
             }
             NodeTest::DocumentNode => kind == NodeKind::Document,
             NodeTest::Element => kind == NodeKind::Element,
@@ -135,7 +138,10 @@ impl NodeTest {
 /// `ctx` must be sorted ascending and duplicate-free; the result is sorted
 /// ascending and duplicate-free.
 pub fn step(doc: &Document, ctx: &[u32], axis: Axis, test: NodeTest) -> Vec<u32> {
-    debug_assert!(ctx.windows(2).all(|w| w[0] < w[1]), "context must be sorted, dup-free");
+    debug_assert!(
+        ctx.windows(2).all(|w| w[0] < w[1]),
+        "context must be sorted, dup-free"
+    );
     let attr = axis.principal_is_attribute();
     let mut out = match axis {
         Axis::Descendant => staircase_descendant(doc, ctx, false, test),
@@ -335,9 +341,12 @@ pub fn step_name_stream(doc: &Document, ctx: &[u32], axis: Axis, test: NodeTest)
                 let (lo, hi) = (v + 1, v + doc.size(v) + 1);
                 let from = stream.partition_point(|&p| p < lo);
                 let to = stream.partition_point(|&p| p < hi);
-                out.extend(stream[from..to].iter().copied().filter(|&p| {
-                    doc.parent(p) == Some(v)
-                }));
+                out.extend(
+                    stream[from..to]
+                        .iter()
+                        .copied()
+                        .filter(|&p| doc.parent(p) == Some(v)),
+                );
             }
             out.sort_unstable();
             out.dedup();
@@ -352,9 +361,12 @@ pub fn step_name_stream(doc: &Document, ctx: &[u32], axis: Axis, test: NodeTest)
                 let (lo, hi) = (v + 1, v + doc.size(v) + 1);
                 let from = stream.partition_point(|&p| p < lo);
                 let to = stream.partition_point(|&p| p < hi);
-                out.extend(stream[from..to].iter().copied().filter(|&p| {
-                    doc.parent(p) == Some(v)
-                }));
+                out.extend(
+                    stream[from..to]
+                        .iter()
+                        .copied()
+                        .filter(|&p| doc.parent(p) == Some(v)),
+                );
             }
             out.sort_unstable();
             out.dedup();
@@ -391,10 +403,16 @@ fn node_in_axis(doc: &Document, v: u32, p: u32, axis: Axis) -> bool {
         Axis::Ancestor => doc.is_ancestor(p, v),
         Axis::AncestorOrSelf => p == v || doc.is_ancestor(p, v),
         Axis::FollowingSibling => {
-            doc.kind(v) != NodeKind::Attribute && doc.parent(p) == doc.parent(v) && p > v && !is_attr
+            doc.kind(v) != NodeKind::Attribute
+                && doc.parent(p) == doc.parent(v)
+                && p > v
+                && !is_attr
         }
         Axis::PrecedingSibling => {
-            doc.kind(v) != NodeKind::Attribute && doc.parent(p) == doc.parent(v) && p < v && !is_attr
+            doc.kind(v) != NodeKind::Attribute
+                && doc.parent(p) == doc.parent(v)
+                && p < v
+                && !is_attr
         }
         Axis::Following => p > v + doc.size(v) && !is_attr,
         Axis::Preceding => p + doc.size(p) < v && !is_attr,
@@ -483,10 +501,16 @@ mod tests {
     fn following_and_preceding() {
         let (d, _) = doc("<a><b><c/><d/></b><c/></a>");
         // following(c1=3) = {d=4, c2=5}
-        assert_eq!(step(&d, &[3], Axis::Following, NodeTest::AnyKind), vec![4, 5]);
+        assert_eq!(
+            step(&d, &[3], Axis::Following, NodeTest::AnyKind),
+            vec![4, 5]
+        );
         // preceding(c2=5) = {b=2? no: b contains nothing after... } b(2) has
         // size 2, 2+2=4 < 5 → included; c1(3): 3<5 → included; d(4): 4<5 → included.
-        assert_eq!(step(&d, &[5], Axis::Preceding, NodeTest::AnyKind), vec![2, 3, 4]);
+        assert_eq!(
+            step(&d, &[5], Axis::Preceding, NodeTest::AnyKind),
+            vec![2, 3, 4]
+        );
         // an ancestor is in neither axis
         assert!(!step(&d, &[3], Axis::Preceding, NodeTest::AnyKind).contains(&1));
     }
@@ -498,7 +522,12 @@ mod tests {
                <asia><item id="2"/></asia></regions><people/></site>"#,
         );
         let item = pool.intern("item");
-        let ctxs: Vec<Vec<u32>> = vec![vec![0], vec![1], vec![1, 2, 3], (0..d.len() as u32).collect()];
+        let ctxs: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![1],
+            vec![1, 2, 3],
+            (0..d.len() as u32).collect(),
+        ];
         let axes = [
             Axis::Child,
             Axis::Descendant,

@@ -74,10 +74,7 @@ impl TreeBuilder {
     /// content has already started (attributes precede children in the
     /// encoding).
     pub fn attribute(&mut self, name: NameId, value: &str) -> u32 {
-        assert!(
-            !self.open.is_empty(),
-            "attribute() outside an open element"
-        );
+        assert!(!self.open.is_empty(), "attribute() outside an open element");
         assert!(
             !*self.content_started.last().unwrap(),
             "attribute() after element content started"

@@ -26,6 +26,7 @@ pub mod axis;
 pub mod builder;
 pub mod name;
 pub mod parse;
+pub mod rng;
 pub mod serialize;
 pub mod store;
 pub mod tree;
@@ -33,6 +34,6 @@ pub mod tree;
 pub use axis::{Axis, NodeTest};
 pub use builder::TreeBuilder;
 pub use name::{NameId, NamePool};
-pub use parse::{parse_document, ParseError};
+pub use parse::{parse_document, parse_document_with, ParseError, DEFAULT_MAX_DEPTH};
 pub use store::{NodeId, Store};
 pub use tree::{Document, NodeKind};

@@ -11,7 +11,13 @@
 use crate::builder::TreeBuilder;
 use crate::name::NamePool;
 use crate::tree::Document;
+use exrquy_diag::ErrorCode;
 use std::fmt;
+
+/// Default element-nesting ceiling: deep enough for any realistic
+/// document, shallow enough that recursive descent cannot overflow the
+/// stack on hostile input.
+pub const DEFAULT_MAX_DEPTH: usize = 512;
 
 /// Error with byte offset into the input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,11 +26,18 @@ pub struct ParseError {
     pub offset: usize,
     /// Human-readable description.
     pub message: String,
+    /// Machine-readable code (`FODC0002` for malformed documents,
+    /// `EXRQ0003` for nesting-depth overflow).
+    pub code: ErrorCode,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -34,12 +47,21 @@ impl std::error::Error for ParseError {}
 /// the pre/size/level encoding. The result carries a document root node at
 /// pre rank 0.
 pub fn parse_document(input: &str, pool: &mut NamePool) -> Result<Document, ParseError> {
+    parse_document_with(input, pool, DEFAULT_MAX_DEPTH)
+}
+
+/// [`parse_document`] with an explicit element-nesting ceiling.
+pub fn parse_document_with(
+    input: &str,
+    pool: &mut NamePool,
+    max_depth: usize,
+) -> Result<Document, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
         pool,
         builder: TreeBuilder::new_document(),
-        depth: 0,
+        max_depth,
     };
     p.skip_prolog()?;
     p.parse_element()?;
@@ -55,7 +77,7 @@ struct Parser<'a, 'p> {
     pos: usize,
     pool: &'p mut NamePool,
     builder: TreeBuilder,
-    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_, '_> {
@@ -63,6 +85,7 @@ impl Parser<'_, '_> {
         ParseError {
             offset: self.pos,
             message: msg.into(),
+            code: ErrorCode::FODC0002,
         }
     }
 
@@ -163,109 +186,142 @@ impl Parser<'_, '_> {
         Ok(std::str::from_utf8(&self.bytes[start..self.pos]).expect("valid utf8 slice"))
     }
 
+    /// Parse one element (the document root) and everything inside it.
+    ///
+    /// Iterative with an explicit stack of open element names: nesting
+    /// depth is heap-bounded (and budget-checked against `max_depth`)
+    /// instead of consuming a native stack frame per level, so hostile
+    /// deeply-nested input cannot overflow the stack no matter how small
+    /// the calling thread's stack is.
     fn parse_element(&mut self) -> Result<(), ParseError> {
-        self.expect("<")?;
-        let name = self.parse_name()?.to_owned();
-        let name_id = self.pool.intern(&name);
-        self.builder.open_element(name_id);
-        self.depth += 1;
+        let mut open: Vec<String> = Vec::new();
+        'start_tag: loop {
+            // Positioned at a start tag `<name …`.
+            if open.len() >= self.max_depth {
+                return Err(ParseError {
+                    offset: self.pos,
+                    message: format!("element nesting exceeds depth limit {}", self.max_depth),
+                    code: ErrorCode::EXRQ0003,
+                });
+            }
+            self.expect("<")?;
+            let name = self.parse_name()?.to_owned();
+            let name_id = self.pool.intern(&name);
+            self.builder.open_element(name_id);
 
-        // Attributes.
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some(b'>') => {
-                    self.pos += 1;
-                    break;
+            // Attributes.
+            let mut self_closing = false;
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(b'/') => {
+                        self.expect("/>")?;
+                        self.builder.close();
+                        self_closing = true;
+                        break;
+                    }
+                    Some(_) => {
+                        let attr = self.parse_name()?.to_owned();
+                        let attr_id = self.pool.intern(&attr);
+                        self.skip_ws();
+                        self.expect("=")?;
+                        self.skip_ws();
+                        let quote = match self.peek() {
+                            Some(q @ (b'"' | b'\'')) => q,
+                            _ => return Err(self.err("expected quoted attribute value")),
+                        };
+                        self.pos += 1;
+                        let raw_start = self.pos;
+                        while self.peek().is_some_and(|b| b != quote) {
+                            self.pos += 1;
+                        }
+                        let raw = std::str::from_utf8(&self.bytes[raw_start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in attribute value"))?;
+                        let value = decode_entities(raw).map_err(|m| self.err(m))?;
+                        // `quote` is ASCII (`"` or `'`), so the one-byte slice
+                        // is always valid UTF-8.
+                        self.expect(std::str::from_utf8(&[quote]).unwrap())?;
+                        self.builder.attribute(attr_id, &value);
+                    }
+                    None => return Err(self.err("unterminated start tag")),
                 }
-                Some(b'/') => {
-                    self.expect("/>")?;
-                    self.builder.close();
-                    self.depth -= 1;
+            }
+            if self_closing {
+                if open.is_empty() {
                     return Ok(());
                 }
-                Some(_) => {
-                    let attr = self.parse_name()?.to_owned();
-                    let attr_id = self.pool.intern(&attr);
+            } else {
+                open.push(name);
+            }
+
+            // Content events of the innermost open element, until a child
+            // start tag re-enters the outer loop or everything is closed.
+            loop {
+                if self.starts_with("</") {
+                    self.pos += 2;
+                    let end_name = self.parse_name()?.to_owned();
+                    // Invariant: the content loop only runs with at least one
+                    // open element (self-closing roots returned above).
+                    let name = open.pop().expect("open element stack non-empty");
+                    if end_name != name {
+                        return Err(self.err(format!(
+                            "mismatched end tag: expected `</{name}>`, found `</{end_name}>`"
+                        )));
+                    }
                     self.skip_ws();
-                    self.expect("=")?;
-                    self.skip_ws();
-                    let quote = match self.peek() {
-                        Some(q @ (b'"' | b'\'')) => q,
-                        _ => return Err(self.err("expected quoted attribute value")),
-                    };
-                    self.pos += 1;
-                    let raw_start = self.pos;
-                    while self.peek().is_some_and(|b| b != quote) {
+                    self.expect(">")?;
+                    self.builder.close();
+                    if open.is_empty() {
+                        return Ok(());
+                    }
+                } else if self.starts_with("<!--") {
+                    let start = self.pos + 4;
+                    let end = find(self.bytes, start, "-->")
+                        .ok_or_else(|| self.err("unterminated comment"))?;
+                    let content = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in comment"))?;
+                    self.builder.comment(content);
+                    self.pos = end + 3;
+                } else if self.starts_with("<![CDATA[") {
+                    let start = self.pos + 9;
+                    let end = find(self.bytes, start, "]]>")
+                        .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                    let content = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
+                    self.builder.text(content);
+                    self.pos = end + 3;
+                } else if self.starts_with("<?") {
+                    self.pos += 2;
+                    let target = self.parse_name()?.to_owned();
+                    let target_id = self.pool.intern(&target);
+                    let start = self.pos;
+                    let end =
+                        find(self.bytes, start, "?>").ok_or_else(|| self.err("unterminated PI"))?;
+                    let content = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in PI"))?
+                        .trim_start();
+                    self.builder.processing_instruction(target_id, content);
+                    self.pos = end + 2;
+                } else if self.starts_with("<") {
+                    continue 'start_tag;
+                } else if self.peek().is_none() {
+                    let name = open.last().expect("open element stack non-empty");
+                    return Err(self.err(format!("unexpected end of input inside `<{name}>`")));
+                } else {
+                    // Character data up to the next `<`.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'<') {
                         self.pos += 1;
                     }
-                    let raw = std::str::from_utf8(&self.bytes[raw_start..self.pos])
-                        .map_err(|_| self.err("invalid UTF-8 in attribute value"))?;
-                    let value = decode_entities(raw).map_err(|m| self.err(m))?;
-                    self.expect(std::str::from_utf8(&[quote]).unwrap())?;
-                    self.builder.attribute(attr_id, &value);
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in character data"))?;
+                    let text = decode_entities(raw).map_err(|m| self.err(m))?;
+                    self.builder.text(&text);
                 }
-                None => return Err(self.err("unterminated start tag")),
-            }
-        }
-
-        // Content.
-        loop {
-            if self.starts_with("</") {
-                self.pos += 2;
-                let end_name = self.parse_name()?.to_owned();
-                if end_name != name {
-                    return Err(self.err(format!(
-                        "mismatched end tag: expected `</{name}>`, found `</{end_name}>`"
-                    )));
-                }
-                self.skip_ws();
-                self.expect(">")?;
-                self.builder.close();
-                self.depth -= 1;
-                return Ok(());
-            } else if self.starts_with("<!--") {
-                let start = self.pos + 4;
-                let end = find(self.bytes, start, "-->")
-                    .ok_or_else(|| self.err("unterminated comment"))?;
-                let content = std::str::from_utf8(&self.bytes[start..end])
-                    .map_err(|_| self.err("invalid UTF-8 in comment"))?;
-                self.builder.comment(content);
-                self.pos = end + 3;
-            } else if self.starts_with("<![CDATA[") {
-                let start = self.pos + 9;
-                let end = find(self.bytes, start, "]]>")
-                    .ok_or_else(|| self.err("unterminated CDATA section"))?;
-                let content = std::str::from_utf8(&self.bytes[start..end])
-                    .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
-                self.builder.text(content);
-                self.pos = end + 3;
-            } else if self.starts_with("<?") {
-                self.pos += 2;
-                let target = self.parse_name()?.to_owned();
-                let target_id = self.pool.intern(&target);
-                let start = self.pos;
-                let end =
-                    find(self.bytes, start, "?>").ok_or_else(|| self.err("unterminated PI"))?;
-                let content = std::str::from_utf8(&self.bytes[start..end])
-                    .map_err(|_| self.err("invalid UTF-8 in PI"))?
-                    .trim_start();
-                self.builder.processing_instruction(target_id, content);
-                self.pos = end + 2;
-            } else if self.starts_with("<") {
-                self.parse_element()?;
-            } else if self.peek().is_none() {
-                return Err(self.err(format!("unexpected end of input inside `<{name}>`")));
-            } else {
-                // Character data up to the next `<`.
-                let start = self.pos;
-                while self.peek().is_some_and(|b| b != b'<') {
-                    self.pos += 1;
-                }
-                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8 in character data"))?;
-                let text = decode_entities(raw).map_err(|m| self.err(m))?;
-                self.builder.text(&text);
             }
         }
     }
@@ -363,8 +419,7 @@ mod tests {
 
     #[test]
     fn skips_prolog_and_doctype() {
-        let (doc, _) =
-            parse("<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a>x</a><!-- bye -->");
+        let (doc, _) = parse("<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a>x</a><!-- bye -->");
         assert_eq!(doc.len(), 3);
         assert_eq!(doc.text(2), Some("x"));
     }

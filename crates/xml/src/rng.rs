@@ -1,0 +1,127 @@
+//! Small deterministic PRNG used for data generation and property
+//! tests. API-compatible with the subset of `rand::rngs::SmallRng`
+//! that the workspace uses (`seed_from_u64`, `gen_bool`, `gen_range`),
+//! so generators and tests need no external crates. Not
+//! cryptographically secure; statistical quality (SplitMix64) is
+//! plenty for synthetic documents and randomized tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic 64-bit PRNG (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next 64 random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value drawn from `range`. Panics if the range is empty,
+    /// matching `rand`'s contract.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                // Modulo bias is negligible for the tiny spans used in
+                // data generation, and determinism is what matters here.
+                let off = rng.next_u64() % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                let off = rng.next_u64() % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u32, u64, i32, i64);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+            let i = rng.gen_range(1..=12);
+            assert!((1..=12).contains(&i));
+            let f = rng.gen_range(0.5_f64..250.0);
+            assert!((0.5..250.0).contains(&f));
+            let neg = rng.gen_range(-20i64..20);
+            assert!((-20..20).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}

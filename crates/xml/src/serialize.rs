@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn roundtrips_simple_document() {
-        assert_eq!(roundtrip("<a><b><c/><d/></b><c/></a>"), "<a><b><c/><d/></b><c/></a>");
+        assert_eq!(
+            roundtrip("<a><b><c/><d/></b><c/></a>"),
+            "<a><b><c/><d/></b><c/></a>"
+        );
     }
 
     #[test]

@@ -147,9 +147,7 @@ impl Document {
             let mut s = NameStreams::default();
             for pre in 0..self.len() as u32 {
                 match self.kind(pre) {
-                    NodeKind::Element => {
-                        s.elements.entry(self.name(pre)).or_default().push(pre)
-                    }
+                    NodeKind::Element => s.elements.entry(self.name(pre)).or_default().push(pre),
                     NodeKind::Attribute => {
                         s.attributes.entry(self.name(pre)).or_default().push(pre)
                     }
@@ -346,8 +344,7 @@ mod tests {
         assert_eq!(doc.size(0), 4);
         assert_eq!(doc.size(1), 2);
         assert_eq!(doc.size(2), 0);
-        // b precedes d in document order, witnessed by preorder ranks (§3).
-        assert!(1 < 3);
+        // b (rank 1) precedes d (rank 3) in document order (§3).
         assert!(doc.is_ancestor(0, 3));
         assert!(doc.is_ancestor(1, 3));
         assert!(!doc.is_ancestor(1, 4));

@@ -62,7 +62,10 @@ fn main() {
     let enabled = session
         .prepare(q, &QueryOptions::order_indifferent())
         .unwrap();
-    println!("\nplan, order-aware baseline:      {}", baseline.stats_final);
+    println!(
+        "\nplan, order-aware baseline:      {}",
+        baseline.stats_final
+    );
     println!("plan, order indifference on:     {}", enabled.stats_final);
     println!("\norder-indifferent plan:\n{}", enabled.plan_text());
 }

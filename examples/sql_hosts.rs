@@ -22,7 +22,10 @@ fn main() {
     println!("{}\n", baseline.to_sql());
     println!(
         "note the sorting window function{}:\n",
-        if baseline.to_sql().contains("ROW_NUMBER() OVER (PARTITION BY") {
+        if baseline
+            .to_sql()
+            .contains("ROW_NUMBER() OVER (PARTITION BY")
+        {
             " ROW_NUMBER() OVER (PARTITION BY iter ORDER BY item)"
         } else {
             "s"
@@ -40,7 +43,9 @@ fn main() {
          consumes an unordered table, exactly the paper's point."
     );
     assert!(
-        !enabled.to_sql().contains("OVER (PARTITION BY iter ORDER BY item)"),
+        !enabled
+            .to_sql()
+            .contains("OVER (PARTITION BY iter ORDER BY item)"),
         "unexpected sorting window in the order-indifferent plan"
     );
 }

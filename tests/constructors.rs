@@ -5,7 +5,8 @@ use exrquy::{QueryOptions, Session};
 
 fn session() -> Session {
     let mut s = Session::new();
-    s.load_document("d.xml", r#"<r><a k="1">x</a><b>y</b></r>"#).unwrap();
+    s.load_document("d.xml", r#"<r><a k="1">x</a><b>y</b></r>"#)
+        .unwrap();
     s
 }
 
@@ -57,7 +58,10 @@ fn content_nodes_are_deep_copies() {
     );
     // Attributes of copied elements survive.
     assert_eq!(
-        eval(&mut s, r#"let $e := <e>{ doc("d.xml")//a }</e> return fn:data($e/a/@k)"#),
+        eval(
+            &mut s,
+            r#"let $e := <e>{ doc("d.xml")//a }</e> return fn:data($e/a/@k)"#
+        ),
         "1"
     );
 }

@@ -1,6 +1,8 @@
 //! Error paths: parse errors, static (compile) errors, and dynamic
-//! (runtime) errors must surface as typed errors, never panics.
+//! (runtime) errors must surface as typed errors, never panics — and
+//! every error carries a stable machine-readable code.
 
+use exrquy::diag::{ErrorClass, ErrorCode};
 use exrquy::{QueryOptions, Session};
 
 fn session() -> Session {
@@ -79,15 +81,91 @@ fn malformed_documents_are_rejected() {
 }
 
 #[test]
+fn malformed_documents_carry_codes() {
+    let mut s = Session::new();
+    // Truncated documents, mismatched tags, bad entity references,
+    // attribute syntax junk: all FODC0002 (document retrieval failure).
+    for xml in [
+        "<a><b>",         // truncated: b and a never close
+        "<a><b></a></b>", // mismatched close ordering
+        "<a>&nope;</a>",  // unknown entity reference
+        "<a>&#xZZ;</a>",  // malformed character reference
+        "<a foo></a>",    // attribute without value
+        "<a foo=bar/>",   // unquoted attribute value
+        "<a/><b/>",       // two roots
+        "<>x</>",         // empty tag name
+    ] {
+        let err = s.load_document("bad.xml", xml).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::FODC0002, "`{xml}` gave {err}");
+        assert_eq!(err.class(), ErrorClass::Dynamic);
+        assert!(err.to_string().contains("XML parse error at byte"), "{err}");
+    }
+    // Absurdly deep nesting is a resource error, not a stack overflow.
+    let deep = format!("{}{}", "<e>".repeat(4000), "</e>".repeat(4000));
+    let err = s.load_document("deep.xml", &deep).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::EXRQ0003, "{err}");
+    assert_eq!(err.class(), ErrorClass::Resource);
+}
+
+#[test]
+fn query_errors_carry_codes() {
+    let mut s = session();
+    let cases: &[(&str, ErrorCode)] = &[
+        // Syntax.
+        ("1 +", ErrorCode::XPST0003),
+        ("<a><b></a>", ErrorCode::XPST0003),
+        ("for $x in", ErrorCode::XPST0003),
+        ("\"unterminated", ErrorCode::XPST0003),
+        // Static references.
+        ("$nobody", ErrorCode::XPST0008),
+        ("fn:frobnicate()", ErrorCode::XPST0017),
+        (".", ErrorCode::XPDY0002),
+        ("/r", ErrorCode::XPDY0002),
+        // Dynamic.
+        (r#"doc("missing.xml")/x"#, ErrorCode::FODC0002),
+        ("1 idiv 0", ErrorCode::FOAR0001),
+        ("5 mod 0", ErrorCode::FOAR0001),
+        (r#"doc("d.xml")//b + 1"#, ErrorCode::FORG0001),
+        ("if ((1, 2)) then 1 else 2", ErrorCode::FORG0006),
+        ("(1)/child::a", ErrorCode::XPTY0004),
+        // Absurd nesting depth.
+        (
+            Box::leak(format!("{}1{}", "(".repeat(400), ")".repeat(400)).into_boxed_str()),
+            ErrorCode::EXRQ0003,
+        ),
+    ];
+    for (q, code) in cases {
+        let err = s.query(q).unwrap_err();
+        assert_eq!(err.code(), *code, "`{q}` gave [{}] {err}", err.code());
+        // The one-line rendering leads with the code.
+        assert!(err.render_line().starts_with(&format!("[{code:?}]")));
+    }
+}
+
+#[test]
+fn absurd_predicate_nesting_is_governed() {
+    // A predicate tower is expression nesting too: each `[...]` level
+    // must count against the depth budget rather than recurse freely.
+    let mut s = session();
+    let q = format!(
+        r#"doc("d.xml"){}"#,
+        "[a[1][b".repeat(80) + &"]]".repeat(80) + &"]".repeat(80)
+    );
+    let err = s.query(&q).unwrap_err();
+    assert!(
+        matches!(err.code(), ErrorCode::EXRQ0003 | ErrorCode::XPST0003),
+        "{err}"
+    );
+}
+
+#[test]
 fn errors_are_equal_across_configurations() {
     // A query that fails must fail under every configuration (the
     // optimizer may not mask or invent errors for always-evaluated code).
     let mut s = session();
     for q in ["1 idiv 0", r#"doc("missing.xml")/x"#] {
         assert!(s.query_with(q, &QueryOptions::baseline()).is_err());
-        assert!(s
-            .query_with(q, &QueryOptions::order_indifferent())
-            .is_err());
+        assert!(s.query_with(q, &QueryOptions::order_indifferent()).is_err());
     }
 }
 
@@ -97,5 +175,8 @@ fn session_stays_usable_after_errors() {
     let _ = s.query("1 idiv 0").unwrap_err();
     let _ = s.query("$nope").unwrap_err();
     assert_eq!(s.query("1 + 1").unwrap().to_xml(), "2");
-    assert_eq!(s.query(r#"fn:count(doc("d.xml")//a)"#).unwrap().to_xml(), "1");
+    assert_eq!(
+        s.query(r#"fn:count(doc("d.xml")//a)"#).unwrap().to_xml(),
+        "1"
+    );
 }

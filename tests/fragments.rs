@@ -25,7 +25,10 @@ fn union_across_documents_is_stable() {
     let a = eval(&mut s, r#"doc("one.xml")//x | doc("two.xml")//x"#);
     let b = eval(&mut s, r#"doc("two.xml")//x | doc("one.xml")//x"#);
     assert_eq!(a, "<x>1</x><x>2</x>");
-    assert_eq!(a, b, "union must be order-stable regardless of operand order");
+    assert_eq!(
+        a, b,
+        "union must be order-stable regardless of operand order"
+    );
 }
 
 #[test]
@@ -51,10 +54,7 @@ fn constructed_nodes_sort_after_loaded_documents() {
     // A node constructed during the query is a new tree; `<<` against base
     // documents must be deterministic (new fragments sort last).
     assert_eq!(
-        eval(
-            &mut s,
-            r#"let $n := <n/> return doc("one.xml")//x << $n"#
-        ),
+        eval(&mut s, r#"let $n := <n/> return doc("one.xml")//x << $n"#),
         "true"
     );
 }

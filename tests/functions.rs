@@ -154,10 +154,7 @@ fn value_vs_general_comparisons() {
 fn boolean_as_value_and_in_branches() {
     let mut s = session();
     assert_eq!(eval(&mut s, "(1 = 1, 1 = 2)"), "true false");
-    assert_eq!(
-        eval(&mut s, "for $b in (1, 2) return $b = 1"),
-        "true false"
-    );
+    assert_eq!(eval(&mut s, "for $b in (1, 2) return $b = 1"), "true false");
     // Under unordered mode the FLWOR result may be permuted (iteration
     // order is arbitrary); the baseline fixes document order.
     let q = r#"for $n in doc("d.xml")//n
@@ -218,9 +215,18 @@ fn declared_variables_in_prolog() {
 #[test]
 fn extended_string_functions() {
     let mut s = session();
-    assert_eq!(eval(&mut s, r#"fn:normalize-space("  a   b  c ")"#), "a b c");
-    assert_eq!(eval(&mut s, r#"fn:substring-before("1999/04/01", "/")"#), "1999");
-    assert_eq!(eval(&mut s, r#"fn:substring-after("1999/04/01", "/")"#), "04/01");
+    assert_eq!(
+        eval(&mut s, r#"fn:normalize-space("  a   b  c ")"#),
+        "a b c"
+    );
+    assert_eq!(
+        eval(&mut s, r#"fn:substring-before("1999/04/01", "/")"#),
+        "1999"
+    );
+    assert_eq!(
+        eval(&mut s, r#"fn:substring-after("1999/04/01", "/")"#),
+        "04/01"
+    );
     assert_eq!(eval(&mut s, r#"fn:substring-before("abc", "z")"#), "");
     assert_eq!(eval(&mut s, r#"fn:ends-with("seafood", "food")"#), "true");
     assert_eq!(eval(&mut s, r#"fn:ends-with((), "x")"#), "false");

@@ -2,12 +2,13 @@
 //! interactions of §2 (Figure 2), the partially-detached interactions of
 //! ordering mode `unordered` (Figure 3), and the §2.2 pitfalls.
 
-use exrquy::{QueryOptions, ResultItem, Session};
+use exrquy::{QueryOptions, Session};
 
 /// Figure 1's fragment, bound to `$t` via `doc("t.xml")/a`.
 fn session() -> Session {
     let mut s = Session::new();
-    s.load_document("t.xml", "<a><b><c/><d/></b><c/></a>").unwrap();
+    s.load_document("t.xml", "<a><b><c/><d/></b><c/></a>")
+        .unwrap();
     s
 }
 
@@ -143,23 +144,13 @@ fn expressions_6_and_7_nested_iteration() {
     let ordered = run(&mut s, body, &QueryOptions::baseline());
     assert_eq!(
         ordered,
-        vec![
-            "<a>1 10</a>",
-            "<a>1 20</a>",
-            "<a>2 10</a>",
-            "<a>2 20</a>"
-        ]
+        vec!["<a>1 10</a>", "<a>1 20</a>", "<a>2 10</a>", "<a>2 20</a>"]
     );
     let mut unordered = run(&mut s, body, &QueryOptions::order_indifferent());
     unordered.sort();
     assert_eq!(
         unordered,
-        vec![
-            "<a>1 10</a>",
-            "<a>1 20</a>",
-            "<a>2 10</a>",
-            "<a>2 20</a>"
-        ]
+        vec!["<a>1 10</a>", "<a>1 20</a>", "<a>2 10</a>", "<a>2 20</a>"]
     );
 }
 

@@ -1,8 +1,10 @@
-//! Property tests: staircase join ≡ the naive reference axis semantics on
-//! random trees, for every axis and node test.
+//! Randomized property tests: staircase join ≡ the naive reference axis
+//! semantics on random trees, for every axis and node test. Driven by
+//! the in-repo deterministic PRNG (seeded loops stand in for proptest
+//! strategies so the suite builds offline).
 
+use exrquy_xml::rng::SmallRng;
 use exrquy_xml::{axis, Axis, Document, NamePool, NodeTest, TreeBuilder};
-use proptest::prelude::*;
 
 /// A recipe for a random tree: a preorder walk encoded as actions.
 #[derive(Debug, Clone)]
@@ -14,17 +16,17 @@ enum Action {
     Comment,
 }
 
-fn actions() -> impl Strategy<Value = Vec<Action>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..6).prop_map(Action::Open),
-            Just(Action::Close),
-            (0u8..4).prop_map(Action::Attr),
-            Just(Action::Text),
-            Just(Action::Comment),
-        ],
-        0..60,
-    )
+fn random_actions(rng: &mut SmallRng) -> Vec<Action> {
+    let n = rng.gen_range(0usize..60);
+    (0..n)
+        .map(|_| match rng.gen_range(0..5) {
+            0 => Action::Open(rng.gen_range(0u32..6) as u8),
+            1 => Action::Close,
+            2 => Action::Attr(rng.gen_range(0u32..4) as u8),
+            3 => Action::Text,
+            _ => Action::Comment,
+        })
+        .collect()
 }
 
 /// Build a well-formed document from an arbitrary action list.
@@ -98,17 +100,17 @@ const AXES: [Axis; 12] = [
     Axis::Preceding,
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn staircase_equals_naive(acts in actions(), ctx_mask in prop::collection::vec(any::<bool>(), 61)) {
+#[test]
+fn staircase_equals_naive() {
+    let mut rng = SmallRng::seed_from_u64(0xA7E5);
+    for _case in 0..64 {
+        let acts = random_actions(&mut rng);
         let mut pool = NamePool::new();
         let doc = build(&acts, &mut pool);
-        prop_assert!(doc.check_invariants().is_ok());
-        // Context: masked subset of all nodes.
+        assert!(doc.check_invariants().is_ok());
+        // Context: random subset of all nodes.
         let ctx: Vec<u32> = (0..doc.len() as u32)
-            .filter(|&p| ctx_mask.get(p as usize).copied().unwrap_or(false))
+            .filter(|_| rng.gen_bool(0.5))
             .collect();
         let tests = [
             NodeTest::AnyKind,
@@ -124,16 +126,20 @@ proptest! {
             for &t in &tests {
                 let fast = axis::step(&doc, &ctx, ax, t);
                 let slow = axis::naive(&doc, &ctx, ax, t);
-                prop_assert_eq!(
-                    &fast, &slow,
+                assert_eq!(
+                    &fast,
+                    &slow,
                     "axis {:?} test {:?} ctx {:?}\n{}",
-                    ax, t, &ctx, doc.dump(&pool)
+                    ax,
+                    t,
+                    &ctx,
+                    doc.dump(&pool)
                 );
                 // Results are sorted & duplicate-free.
-                prop_assert!(fast.windows(2).all(|w| w[0] < w[1]));
+                assert!(fast.windows(2).all(|w| w[0] < w[1]));
                 // The TwigStack-style name-stream algorithm agrees too.
                 let streamed = axis::step_name_stream(&doc, &ctx, ax, t);
-                prop_assert_eq!(
+                assert_eq!(
                     &streamed, &slow,
                     "name-stream axis {:?} test {:?} ctx {:?}",
                     ax, t, &ctx
@@ -141,9 +147,13 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn subtree_copy_preserves_structure(acts in actions()) {
+#[test]
+fn subtree_copy_preserves_structure() {
+    let mut rng = SmallRng::seed_from_u64(0xC0B1);
+    for _case in 0..64 {
+        let acts = random_actions(&mut rng);
         let mut pool = NamePool::new();
         let doc = build(&acts, &mut pool);
         // Copy the whole root into a fresh builder and compare serialized
@@ -151,16 +161,20 @@ proptest! {
         let mut b = TreeBuilder::new();
         b.copy_subtree(&doc, 0);
         let copy = b.finish();
-        prop_assert!(copy.check_invariants().is_ok());
+        assert!(copy.check_invariants().is_ok());
         let mut s1 = String::new();
         let mut s2 = String::new();
         exrquy_xml::serialize::serialize_subtree(&doc, 0, &pool, &mut s1);
         exrquy_xml::serialize::serialize_subtree(&copy, 0, &pool, &mut s2);
-        prop_assert_eq!(s1, s2);
+        assert_eq!(s1, s2);
     }
+}
 
-    #[test]
-    fn parse_serialize_roundtrip(acts in actions()) {
+#[test]
+fn parse_serialize_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x51DE);
+    for _case in 0..64 {
+        let acts = random_actions(&mut rng);
         let mut pool = NamePool::new();
         let doc = build(&acts, &mut pool);
         let mut xml = String::new();
@@ -168,9 +182,9 @@ proptest! {
         let mut pool2 = NamePool::new();
         let reparsed = exrquy_xml::parse_document(&xml, &mut pool2).unwrap();
         // Reparsed adds a document node at pre 0.
-        prop_assert_eq!(reparsed.len(), doc.len() + 1);
+        assert_eq!(reparsed.len(), doc.len() + 1);
         let mut xml2 = String::new();
         exrquy_xml::serialize::serialize_subtree(&reparsed, 0, &pool2, &mut xml2);
-        prop_assert_eq!(xml, xml2);
+        assert_eq!(xml, xml2);
     }
 }

@@ -1,0 +1,173 @@
+//! The robustness tentpole, distilled: NOTHING a user feeds the
+//! pipeline — arbitrary bytes, mutated queries, hostile documents — may
+//! panic. Every failure must surface as a typed `Result` error.
+//!
+//! Driven by the in-repo deterministic PRNG so the suite builds offline.
+
+use exrquy::Session;
+use exrquy_xml::rng::SmallRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Seed queries covering every expression family the frontend knows;
+/// mutation starts from these so the fuzzer spends its time past the
+/// first token.
+const QUERY_CORPUS: &[&str] = &[
+    r#"doc("d.xml")//(c|d)"#,
+    r#"for $x at $p in doc("d.xml")//a return <e pos="{ $p }">{ $x }</e>"#,
+    r#"fn:count(doc("d.xml")//a[b > 1])"#,
+    "let $x := (1, 2, 3) return fn:sum($x)",
+    "some $x in (1 to 10) satisfies $x > 5",
+    "if (fn:exists((1))) then <y/> else ()",
+    "unordered { for $i in (1 to 5) return $i * $i }",
+    "declare ordering unordered; (1, 2)[. > 1]",
+    r#"fn:string-join(("a", "b"), "-")"#,
+    "<a b=\"{ 1 + 2 }\">text{ 3 }</a>",
+];
+
+const XML_CORPUS: &[&str] = &[
+    "<r><a>1</a><b x='y'>2</b><!--c--></r>",
+    "<a><b><c/></b>t&amp;x</a>",
+    "<r xmlns='u'><p:q/></r>",
+];
+
+/// Printable fragments that keep mutants syntactically "interesting".
+const TOKENS: &[&str] = &[
+    "<",
+    ">",
+    "/",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "$",
+    "\"",
+    "'",
+    "&",
+    ";",
+    "for",
+    "in",
+    "return",
+    "let",
+    ":=",
+    "doc",
+    "!",
+    "idiv",
+    "0",
+    "9999999999",
+    " ",
+    "@",
+    "::",
+    ",",
+    "to",
+    "..",
+    "-",
+    "=",
+];
+
+fn mutate(rng: &mut SmallRng, src: &str) -> String {
+    let mut s: Vec<u8> = src.as_bytes().to_vec();
+    for _ in 0..rng.gen_range(1usize..6) {
+        let choice = rng.gen_range(0u32..4);
+        match choice {
+            // Insert a token at a random position.
+            0 => {
+                let tok = TOKENS[rng.gen_range(0usize..TOKENS.len())];
+                let at = rng.gen_range(0usize..s.len() + 1);
+                s.splice(at..at, tok.bytes());
+            }
+            // Delete a random slice.
+            1 if !s.is_empty() => {
+                let a = rng.gen_range(0usize..s.len());
+                let b = (a + rng.gen_range(1usize..8)).min(s.len());
+                s.drain(a..b);
+            }
+            // Overwrite one byte with an arbitrary one.
+            2 if !s.is_empty() => {
+                let at = rng.gen_range(0usize..s.len());
+                s[at] = rng.gen_range(0u32..256) as u8;
+            }
+            // Duplicate a slice (nesting amplifier).
+            _ if !s.is_empty() => {
+                let a = rng.gen_range(0usize..s.len());
+                let b = (a + rng.gen_range(1usize..16)).min(s.len());
+                let copy: Vec<u8> = s[a..b].to_vec();
+                s.splice(b..b, copy);
+            }
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&s).into_owned()
+}
+
+fn random_bytes(rng: &mut SmallRng, max_len: usize) -> String {
+    let n = rng.gen_range(0usize..max_len);
+    let bytes: Vec<u8> = (0..n).map(|_| rng.gen_range(0u32..256) as u8).collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Run one (document, query) pair through a fresh session; the only
+/// acceptable outcomes are Ok or a typed Error.
+fn pipeline_must_not_panic(xml: &str, query: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut s = Session::new();
+        let _ = s.load_document("d.xml", xml);
+        match s.query(query) {
+            Ok(out) => {
+                let _ = out.to_xml();
+            }
+            Err(e) => {
+                let _ = (e.code(), e.class(), e.stage(), e.render_line());
+            }
+        }
+    }));
+    assert!(
+        outcome.is_ok(),
+        "pipeline panicked on xml={xml:?} query={query:?}"
+    );
+}
+
+#[test]
+fn arbitrary_bytes_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xFACE);
+    for _case in 0..192 {
+        let xml = random_bytes(&mut rng, 120);
+        let query = random_bytes(&mut rng, 120);
+        pipeline_must_not_panic(&xml, &query);
+    }
+}
+
+#[test]
+fn mutated_queries_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for _case in 0..256 {
+        let base = QUERY_CORPUS[rng.gen_range(0usize..QUERY_CORPUS.len())];
+        let query = mutate(&mut rng, base);
+        let xml = XML_CORPUS[rng.gen_range(0usize..XML_CORPUS.len())];
+        pipeline_must_not_panic(xml, &query);
+    }
+}
+
+#[test]
+fn mutated_documents_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C5);
+    for _case in 0..256 {
+        let base = XML_CORPUS[rng.gen_range(0usize..XML_CORPUS.len())];
+        let xml = mutate(&mut rng, base);
+        let query = QUERY_CORPUS[rng.gen_range(0usize..QUERY_CORPUS.len())];
+        pipeline_must_not_panic(&xml, query);
+    }
+}
+
+#[test]
+fn hostile_depth_never_overflows_the_stack() {
+    // Deep but well-formed inputs: both parsers must refuse them with
+    // EXRQ0003 long before the stack gives out.
+    for depth in [100, 1000, 10_000, 100_000] {
+        let query = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        pipeline_must_not_panic("<r/>", &query);
+        let xml = format!("{}{}", "<e>".repeat(depth), "</e>".repeat(depth));
+        pipeline_must_not_panic(&xml, "1 + 1");
+    }
+}

@@ -1,116 +1,122 @@
 //! Parser/pretty-printer round-trip: for randomly generated ASTs,
-//! `parse(pretty(ast)) == ast`.
+//! `parse(pretty(ast)) == ast` (modulo normalization). Driven by the
+//! in-repo deterministic PRNG so the suite builds offline.
 
 use exrquy_frontend::{parse_module, pretty::pretty, BinOp, Clause, Expr, Quant};
-use proptest::prelude::*;
+use exrquy_xml::rng::SmallRng;
 
-fn var_name() -> impl Strategy<Value = String> {
-    prop_oneof![Just("x"), Just("y"), Just("doc1"), Just("v_2")].prop_map(str::to_string)
+fn var_name(rng: &mut SmallRng) -> String {
+    ["x", "y", "doc1", "v_2"][rng.gen_range(0usize..4)].to_string()
 }
 
-fn elem_name() -> impl Strategy<Value = String> {
-    prop_oneof![Just("item"), Just("e"), Just("person")].prop_map(str::to_string)
+fn elem_name(rng: &mut SmallRng) -> String {
+    ["item", "e", "person"][rng.gen_range(0usize..3)].to_string()
 }
 
-fn expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(Expr::IntLit),
-        Just(Expr::DblLit(2.5)),
-        "[a-z ]{0,8}".prop_map(Expr::StrLit),
-        Just(Expr::Empty),
-        var_name().prop_map(Expr::Var),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
+fn str_lit(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(0usize..8);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0u32..27);
+            if c == 26 {
+                ' '
+            } else {
+                (b'a' + c as u8) as char
+            }
+        })
+        .collect()
+}
+
+fn leaf(rng: &mut SmallRng) -> Expr {
+    match rng.gen_range(0..5) {
+        0 => Expr::IntLit(rng.gen_range(0i64..1000)),
+        1 => Expr::DblLit(2.5),
+        2 => Expr::StrLit(str_lit(rng)),
+        3 => Expr::Empty,
+        _ => Expr::Var(var_name(rng)),
     }
-    let inner = expr(depth - 1);
-    prop_oneof![
-        leaf,
-        // sequences
-        prop::collection::vec(expr(depth - 1), 2..4).prop_map(Expr::Sequence),
-        // binary operators across all families
-        (
-            prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Mul),
-                Just(BinOp::GenEq),
-                Just(BinOp::GenLt),
-                Just(BinOp::ValNe),
-                Just(BinOp::And),
-                Just(BinOp::Or),
-                Just(BinOp::Union),
-                Just(BinOp::Except),
-                Just(BinOp::Before),
-                Just(BinOp::Is),
-            ],
-            expr(depth - 1),
-            expr(depth - 1)
-        )
-            .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
-        // FLWOR
-        (var_name(), expr(depth - 1), expr(depth - 1)).prop_map(|(v, seq, ret)| Expr::Flwor {
+}
+
+fn random_expr(rng: &mut SmallRng, depth: u32) -> Expr {
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..10) {
+        0 => leaf(rng),
+        1 => {
+            let n = rng.gen_range(2usize..4);
+            Expr::Sequence((0..n).map(|_| random_expr(rng, depth - 1)).collect())
+        }
+        2 => {
+            let ops = [
+                BinOp::Add,
+                BinOp::Mul,
+                BinOp::GenEq,
+                BinOp::GenLt,
+                BinOp::ValNe,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Union,
+                BinOp::Except,
+                BinOp::Before,
+                BinOp::Is,
+            ];
+            let op = ops[rng.gen_range(0usize..ops.len())];
+            Expr::binary(op, random_expr(rng, depth - 1), random_expr(rng, depth - 1))
+        }
+        3 => Expr::Flwor {
             clauses: vec![Clause::For {
-                var: v,
+                var: var_name(rng),
                 pos_var: None,
-                seq,
+                seq: random_expr(rng, depth - 1),
             }],
             order_by: vec![],
             reordered: false,
-            ret: Box::new(ret),
-        }),
-        // let + where
-        (var_name(), expr(depth - 1), expr(depth - 1), expr(depth - 1)).prop_map(
-            |(v, e1, cond, ret)| Expr::Flwor {
-                clauses: vec![
-                    Clause::Let {
-                        var: v,
-                        expr: e1
-                    },
-                    Clause::Where(cond)
-                ],
-                order_by: vec![],
-                reordered: false,
-                ret: Box::new(ret),
-            }
-        ),
-        // quantifier
-        (var_name(), expr(depth - 1), expr(depth - 1)).prop_map(|(v, d, s)| Expr::Quantified {
+            ret: Box::new(random_expr(rng, depth - 1)),
+        },
+        4 => Expr::Flwor {
+            clauses: vec![
+                Clause::Let {
+                    var: var_name(rng),
+                    expr: random_expr(rng, depth - 1),
+                },
+                Clause::Where(random_expr(rng, depth - 1)),
+            ],
+            order_by: vec![],
+            reordered: false,
+            ret: Box::new(random_expr(rng, depth - 1)),
+        },
+        5 => Expr::Quantified {
             quant: Quant::Some,
-            var: v,
-            domain: Box::new(d),
-            satisfies: Box::new(s),
-        }),
-        // conditional
-        (expr(depth - 1), expr(depth - 1), expr(depth - 1)).prop_map(|(c, t, e)| Expr::If {
-            cond: Box::new(c),
-            then: Box::new(t),
-            els: Box::new(e),
-        }),
-        // function calls
-        (
-            prop_oneof![Just("count"), Just("exists"), Just("string")],
-            expr(depth - 1)
-        )
-            .prop_map(|(f, a)| Expr::Call {
+            var: var_name(rng),
+            domain: Box::new(random_expr(rng, depth - 1)),
+            satisfies: Box::new(random_expr(rng, depth - 1)),
+        },
+        6 => Expr::If {
+            cond: Box::new(random_expr(rng, depth - 1)),
+            then: Box::new(random_expr(rng, depth - 1)),
+            els: Box::new(random_expr(rng, depth - 1)),
+        },
+        7 => {
+            let f = ["count", "exists", "string"][rng.gen_range(0usize..3)];
+            Expr::Call {
                 name: f.to_string(),
-                args: vec![a],
-            }),
-        // unordered
-        inner.prop_map(|e| Expr::Unordered(Box::new(e))),
-        // computed constructors
-        (elem_name(), expr(depth - 1)).prop_map(|(n, c)| Expr::ElemConstructor {
-            name: n,
-            content: Box::new(c),
-        }),
-    ]
-    .boxed()
+                args: vec![random_expr(rng, depth - 1)],
+            }
+        }
+        8 => Expr::Unordered(Box::new(random_expr(rng, depth - 1))),
+        _ => Expr::ElemConstructor {
+            name: elem_name(rng),
+            content: Box::new(random_expr(rng, depth - 1)),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pretty_then_parse_roundtrips(ast in expr(3)) {
+#[test]
+fn pretty_then_parse_roundtrips() {
+    let mut rng = SmallRng::seed_from_u64(0x9A123);
+    for _case in 0..128 {
+        let ast = random_expr(&mut rng, 3);
         let text = pretty(&ast);
         let reparsed = parse_module(&text)
             .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{text}"))
@@ -121,6 +127,6 @@ proptest! {
         // both sides).
         let a = exrquy_frontend::normalize::norm(&ast);
         let b = exrquy_frontend::normalize::norm(&reparsed);
-        prop_assert_eq!(&a, &b, "roundtrip mismatch via `{}`", &text);
+        assert_eq!(&a, &b, "roundtrip mismatch via `{}`", &text);
     }
 }

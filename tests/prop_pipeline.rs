@@ -1,32 +1,33 @@
 //! Pipeline-level property tests: on random documents, every compiler /
 //! optimizer / engine configuration must produce the same result
 //! *multiset* for a battery of queries, and order-determined queries must
-//! agree exactly.
+//! agree exactly. Driven by the in-repo deterministic PRNG so the suite
+//! builds offline.
 
 use exrquy::{QueryOptions, Session};
 use exrquy_opt::OptOptions;
-use proptest::prelude::*;
+use exrquy_xml::rng::SmallRng;
 
 /// Random small document: nested `a`/`b`/`c` elements with `v` attributes
 /// and numeric text.
-fn doc_strategy() -> impl Strategy<Value = String> {
-    fn node(depth: u32) -> BoxedStrategy<String> {
-        let leaf = (0u32..100).prop_map(|n| format!("<c v=\"{n}\">{n}</c>"));
-        if depth == 0 {
-            leaf.boxed()
+fn random_doc(rng: &mut SmallRng) -> String {
+    fn node(rng: &mut SmallRng, depth: u32) -> String {
+        let leaf = |rng: &mut SmallRng| {
+            let n = rng.gen_range(0u32..100);
+            format!("<c v=\"{n}\">{n}</c>")
+        };
+        if depth == 0 || rng.gen_bool(0.4) {
+            leaf(rng)
         } else {
-            prop_oneof![
-                leaf,
-                (
-                    prop_oneof![Just("a"), Just("b")],
-                    prop::collection::vec(node(depth - 1), 0..4)
-                )
-                    .prop_map(|(tag, kids)| format!("<{tag}>{}</{tag}>", kids.join(""))),
-            ]
-            .boxed()
+            let tag = if rng.gen_bool(0.5) { "a" } else { "b" };
+            let n = rng.gen_range(0usize..4);
+            let kids: String = (0..n).map(|_| node(rng, depth - 1)).collect();
+            format!("<{tag}>{kids}</{tag}>")
         }
     }
-    prop::collection::vec(node(3), 1..5).prop_map(|kids| format!("<root>{}</root>", kids.join("")))
+    let n = rng.gen_range(1usize..5);
+    let kids: String = (0..n).map(|_| node(rng, 3)).collect();
+    format!("<root>{kids}</root>")
 }
 
 /// Queries whose results are fully order-determined (they must agree
@@ -93,11 +94,11 @@ fn configs() -> Vec<(&'static str, QueryOptions)> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_configurations_agree(xml in doc_strategy()) {
+#[test]
+fn all_configurations_agree() {
+    let mut rng = SmallRng::seed_from_u64(0x1b1b);
+    for _case in 0..24 {
+        let xml = random_doc(&mut rng);
         let mut session = Session::new();
         session.load_document("d.xml", &xml).unwrap();
         let configs = configs();
@@ -117,9 +118,10 @@ proptest! {
                     .iter()
                     .map(|i| i.render())
                     .collect();
-                prop_assert_eq!(
+                assert_eq!(
                     &reference, &got,
-                    "query {} differs under {} on {}", q, name, &xml
+                    "query {} differs under {} on {}",
+                    q, name, &xml
                 );
             }
         }
@@ -141,16 +143,21 @@ proptest! {
                     .map(|i| i.render())
                     .collect();
                 got.sort();
-                prop_assert_eq!(
+                assert_eq!(
                     &reference, &got,
-                    "multiset of {} differs under {} on {}", q, name, &xml
+                    "multiset of {} differs under {} on {}",
+                    q, name, &xml
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn baseline_results_are_document_ordered(xml in doc_strategy()) {
+#[test]
+fn baseline_results_are_document_ordered() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C);
+    for _case in 0..24 {
+        let xml = random_doc(&mut rng);
         let mut session = Session::new();
         session.load_document("d.xml", &xml).unwrap();
         // Path results under the baseline must be in document order: the
@@ -168,6 +175,6 @@ proptest! {
                 format!("v=\"{}\"", &rest[..end])
             })
             .collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
 }

@@ -5,7 +5,8 @@ use exrquy::{QueryOptions, Session};
 
 fn session() -> Session {
     let mut s = Session::new();
-    s.load_document("d.xml", "<r><a>1</a><a>2</a><b>9</b></r>").unwrap();
+    s.load_document("d.xml", "<r><a>1</a><a>2</a><b>9</b></r>")
+        .unwrap();
     s
 }
 
@@ -84,10 +85,7 @@ fn hoisted_lets_are_visible_in_deep_scopes() {
 fn context_item_nesting_in_predicates() {
     let mut s = session();
     // Predicates re-focus `.`; nested predicates each get their own focus.
-    assert_eq!(
-        eval(&mut s, r#"fn:count(doc("d.xml")//a[. = 2])"#),
-        "1"
-    );
+    assert_eq!(eval(&mut s, r#"fn:count(doc("d.xml")//a[. = 2])"#), "1");
     assert_eq!(
         eval(
             &mut s,
@@ -171,10 +169,7 @@ fn if_branches_restrict_loops() {
 fn empty_binding_sequences_yield_empty_loops() {
     let mut s = session();
     assert_eq!(eval(&mut s, "for $x in () return $x + 1"), "");
-    assert_eq!(
-        eval(&mut s, "fn:count(for $x in () return 1)"),
-        "0"
-    );
+    assert_eq!(eval(&mut s, "fn:count(for $x in () return 1)"), "0");
     assert_eq!(
         eval(
             &mut s,
@@ -212,18 +207,9 @@ fn position_and_last_in_predicate_expressions() {
     let mut s = session();
     let q = r#"for $x in (10,20,30,40) return ()"#;
     let _ = q;
-    assert_eq!(
-        eval(&mut s, "(10,20,30,40)[position() > 2]"),
-        "30 40"
-    );
-    assert_eq!(
-        eval(&mut s, "(10,20,30,40)[position() = last()]"),
-        "40"
-    );
-    assert_eq!(
-        eval(&mut s, "(10,20,30,40)[position() mod 2 = 0]"),
-        "20 40"
-    );
+    assert_eq!(eval(&mut s, "(10,20,30,40)[position() > 2]"), "30 40");
+    assert_eq!(eval(&mut s, "(10,20,30,40)[position() = last()]"), "40");
+    assert_eq!(eval(&mut s, "(10,20,30,40)[position() mod 2 = 0]"), "20 40");
     // Combined with a value condition on the focus.
     assert_eq!(
         eval(&mut s, "(10,20,30,40)[position() < 3 and . > 10]"),
@@ -238,5 +224,8 @@ fn position_and_last_in_predicate_expressions() {
         "<b>9</b>"
     );
     // Path steps: second `a` element.
-    assert_eq!(eval(&mut s, r#"doc("d.xml")//a[position() = 2]"#), "<a>2</a>");
+    assert_eq!(
+        eval(&mut s, r#"doc("d.xml")//a[position() = 2]"#),
+        "<a>2</a>"
+    );
 }

@@ -245,5 +245,8 @@ fn xmp_q12_books_without_reviews() {
                           where $e/title = $b/title return $e)
            return $b/title/text()"#,
     );
-    assert_eq!(out, "The Economics of Technology and Content for Digital TV");
+    assert_eq!(
+        out,
+        "The Economics of Technology and Content for Digital TV"
+    );
 }

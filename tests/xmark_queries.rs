@@ -176,8 +176,7 @@ fn unordered_plans_have_fewer_costly_rownums() {
         let oi = s
             .prepare(query(n), &QueryOptions::order_indifferent())
             .unwrap();
-        let base_rn =
-            exrquy::algebra::stats::costly_rownums(&base.dag, base.root);
+        let base_rn = exrquy::algebra::stats::costly_rownums(&base.dag, base.root);
         let oi_rn = exrquy::algebra::stats::costly_rownums(&oi.dag, oi.root);
         assert!(
             oi_rn <= base_rn,
