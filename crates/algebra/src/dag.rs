@@ -143,6 +143,46 @@ impl Dag {
         order
     }
 
+    /// Structurally validate the whole plan rooted at `root`: every
+    /// reachable operator must reference only already-interned children
+    /// and its stored schema must match what [`try_add`](Self::try_add)
+    /// would infer for it today. `add`/`try_add` guarantee this at
+    /// construction time; this re-check exists so the optimizer can
+    /// verify after every rewrite round that no rule corrupted an
+    /// operator it did not build itself.
+    pub fn validate_plan(&self, root: OpId) -> Result<(), SchemaError> {
+        if root.0 as usize >= self.ops.len() {
+            return Err(SchemaError(format!(
+                "root {root} out of bounds (dag has {} ops)",
+                self.ops.len()
+            )));
+        }
+        for id in self.topo_order(root) {
+            let op = self.op(id);
+            for c in op.children() {
+                // Interning appends, so a well-formed operator's children
+                // always have strictly smaller ids (the DAG is acyclic by
+                // construction).
+                if c >= id {
+                    return Err(SchemaError(format!(
+                        "{id} ({}): child {c} does not precede its parent",
+                        op.kind_name()
+                    )));
+                }
+            }
+            let inferred = self
+                .infer_schema(op)
+                .map_err(|e| SchemaError(format!("{id} ({}): {}", op.kind_name(), e.0)))?;
+            if inferred != self.schemas[id.0 as usize] {
+                return Err(SchemaError(format!(
+                    "{id} ({}): stored schema diverges from inferred schema",
+                    op.kind_name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
     fn has(&self, id: OpId, col: Col) -> bool {
         self.schema(id).contains(&col)
     }
@@ -463,6 +503,26 @@ mod tests {
                 rcol: Col::ITER,
             })
             .is_err());
+    }
+
+    #[test]
+    fn validate_plan_accepts_well_formed_plans() {
+        let mut dag = Dag::new();
+        let l = lit1(&mut dag);
+        let a = dag.add(Op::Attach {
+            input: l,
+            col: Col::ITEM,
+            value: AValue::Int(7),
+        });
+        let r = dag.add(Op::RowNum {
+            input: a,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        assert!(dag.validate_plan(r).is_ok());
+        // An out-of-bounds root is rejected, not a panic.
+        assert!(dag.validate_plan(OpId(999)).is_err());
     }
 
     #[test]

@@ -21,13 +21,15 @@
 
 pub mod col;
 pub mod dag;
+pub mod diff;
 pub mod dot;
 pub mod op;
 pub mod stats;
 pub mod value;
 
 pub use col::Col;
-pub use dag::{Dag, OpId};
+pub use dag::{Dag, OpId, SchemaError};
+pub use diff::{plan_diff, PlanDiff};
 pub use op::{AggrKind, FunKind, Op, SortKey};
 pub use stats::PlanStats;
 pub use value::AValue;

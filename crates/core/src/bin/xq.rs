@@ -21,15 +21,22 @@
 //!   --max-rows <n>       cap rows any single operator may materialize
 //!   --max-nodes <n>      cap XML nodes constructed during evaluation
 //!   --max-depth <n>      cap query expression nesting depth
+//!   --verify             run the three-way differential oracle (baseline,
+//!                        optimized, %-weakening disabled) and compare the
+//!                        results under the applicable equivalence
+//!   --inject <spec>      arm deterministic failpoints, e.g.
+//!                        doc-io:2,budget-trip:rownum,cancel-after:5
+//!                        (env fallback: EXRQ_INJECT)
 //!   --quiet              suppress the result; errors still print
 //! ```
 //!
 //! Exit codes: 0 success, 1 static error, 2 dynamic error, 3 budget /
-//! timeout / cancellation, 4 I/O error, 64 usage. Errors print as one
-//! line on stderr, prefixed with the W3C-style code, e.g.
+//! timeout / cancellation, 4 I/O error, 5 verification failure (oracle
+//! divergence / ill-formed optimizer output), 64 usage. Errors print as
+//! one line on stderr, prefixed with the W3C-style code, e.g.
 //! `xq: [XPST0003] XQuery error at byte 4: expected expression`.
 
-use exrquy::diag::ExecutionBudget;
+use exrquy::diag::{ExecutionBudget, Failpoints};
 use exrquy::{Error, QueryOptions, Session};
 use std::process::exit;
 use std::time::{Duration, Instant};
@@ -43,8 +50,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: xq [--doc url=path]… [--baseline|--unordered] [--explain] \
          [--time] [--profile] [--timeout <secs>] [--max-rows <n>] \
-         [--max-nodes <n>] [--max-depth <n>] [--quiet] \
-         (<query> | --query-file <path>)"
+         [--max-nodes <n>] [--max-depth <n>] [--verify] [--inject <spec>] \
+         [--quiet] (<query> | --query-file <path>)"
     );
     exit(EXIT_USAGE);
 }
@@ -73,6 +80,8 @@ fn main() {
     let mut opts = QueryOptions::honor_prolog();
     let mut budget = ExecutionBudget::default();
     let mut explain = false;
+    let mut verify = false;
+    let mut inject: Option<String> = None;
     let mut sql = false;
     let mut time = false;
     let mut profile = false;
@@ -100,6 +109,11 @@ fn main() {
             "--baseline" => opts = QueryOptions::baseline(),
             "--unordered" => opts = QueryOptions::order_indifferent(),
             "--explain" => explain = true,
+            "--verify" => verify = true,
+            "--inject" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                inject = Some(spec);
+            }
             "--sql" => sql = true,
             "--time" => time = true,
             "--profile" => profile = true,
@@ -133,8 +147,20 @@ fn main() {
     }
     let Some(query) = query else { usage() };
     opts = opts.with_budget(budget);
+    // CLI flag wins over the environment fallback.
+    let inject = inject.or_else(|| std::env::var("EXRQ_INJECT").ok());
+    if let Some(spec) = &inject {
+        match Failpoints::parse(spec) {
+            Ok(fp) => opts = opts.with_failpoints(fp),
+            Err(e) => {
+                eprintln!("--inject: {e}");
+                exit(EXIT_USAGE);
+            }
+        }
+    }
 
     let mut session = Session::new();
+    session.set_failpoints(opts.failpoints.clone());
     for (url, path) in &docs {
         let xml = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("xq: cannot read {path}: {e}");
@@ -151,6 +177,24 @@ fn main() {
                 xml.len(),
                 started.elapsed().as_secs_f64() * 1e3
             );
+        }
+    }
+
+    if verify {
+        let started = Instant::now();
+        match session.verify(&query, &opts) {
+            Ok(report) => {
+                eprintln!(
+                    "{} in {:.1} ms",
+                    report.summary(),
+                    started.elapsed().as_secs_f64() * 1e3
+                );
+                if !quiet {
+                    println!("{}", exrquy::result::serialize_sequence(&report.items));
+                }
+                return;
+            }
+            Err(e) => fail(&e),
         }
     }
 

@@ -36,9 +36,11 @@
 
 pub mod result;
 pub mod session;
+pub mod verify;
 
 pub use result::ResultItem;
 pub use session::{Error, Explain, Prepared, QueryOptions, QueryOutput, Session};
+pub use verify::{ArmReport, Equivalence, VerifyError, VerifyReport};
 
 // Re-exports for downstream harnesses.
 pub use exrquy_algebra as algebra;

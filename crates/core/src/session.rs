@@ -2,12 +2,13 @@
 //! optimize→execute pipeline.
 
 use crate::result::{serialize_sequence, ResultItem};
+use crate::verify::VerifyError;
 use exrquy_algebra::{Col, Dag, OpId, PlanStats};
 use exrquy_compiler::{CompileError, CompiledPlan, Compiler};
-use exrquy_diag::{CancellationToken, ErrorClass, ErrorCode, ExecutionBudget, Stage};
+use exrquy_diag::{CancellationToken, ErrorClass, ErrorCode, ExecutionBudget, Failpoints, Stage};
 use exrquy_engine::{Engine, EngineOptions, Item, Profile, StepAlgo};
 use exrquy_frontend::{check_depth, normalize_opts, parse_module_with, OrderingMode, XqError};
-use exrquy_opt::{optimize, OptOptions, OptReport};
+use exrquy_opt::{try_optimize, OptError, OptOptions, OptReport};
 use exrquy_xml::{serialize, NodeId, ParseError, Store};
 use std::collections::HashMap;
 use std::fmt;
@@ -18,7 +19,9 @@ pub enum Error {
     Xml(ParseError),
     Parse(XqError),
     Compile(CompileError),
+    Opt(OptError),
     Eval(exrquy_engine::EvalError),
+    Verify(VerifyError),
 }
 
 impl Error {
@@ -28,7 +31,9 @@ impl Error {
             Error::Xml(e) => e.code,
             Error::Parse(e) => e.code,
             Error::Compile(e) => e.code,
+            Error::Opt(_) => ErrorCode::EXRQ0005,
             Error::Eval(e) => e.code,
+            Error::Verify(e) => e.code,
         }
     }
 
@@ -38,7 +43,9 @@ impl Error {
             Error::Xml(_) => Stage::Document,
             Error::Parse(_) => Stage::Parse,
             Error::Compile(_) => Stage::Compile,
+            Error::Opt(_) => Stage::Optimize,
             Error::Eval(_) => Stage::Execute,
+            Error::Verify(_) => Stage::Verify,
         }
     }
 
@@ -60,7 +67,9 @@ impl fmt::Display for Error {
             Error::Xml(e) => write!(f, "{e}"),
             Error::Parse(e) => write!(f, "{e}"),
             Error::Compile(e) => write!(f, "{e}"),
+            Error::Opt(e) => write!(f, "{e}"),
             Error::Eval(e) => write!(f, "{e}"),
+            Error::Verify(e) => write!(f, "{e}"),
         }
     }
 }
@@ -86,6 +95,8 @@ pub struct QueryOptions {
     pub budget: ExecutionBudget,
     /// Cooperative cancellation; the engine polls it per operator.
     pub cancel: Option<CancellationToken>,
+    /// Armed failpoints (deterministic fault injection); empty by default.
+    pub failpoints: Failpoints,
 }
 
 impl Default for QueryOptions {
@@ -105,6 +116,7 @@ impl QueryOptions {
             step_algo: StepAlgo::Staircase,
             budget: ExecutionBudget::default(),
             cancel: None,
+            failpoints: Failpoints::none(),
         }
     }
 
@@ -118,6 +130,7 @@ impl QueryOptions {
             step_algo: StepAlgo::Staircase,
             budget: ExecutionBudget::default(),
             cancel: None,
+            failpoints: Failpoints::none(),
         }
     }
 
@@ -131,6 +144,7 @@ impl QueryOptions {
             step_algo: StepAlgo::Staircase,
             budget: ExecutionBudget::default(),
             cancel: None,
+            failpoints: Failpoints::none(),
         }
     }
 
@@ -143,6 +157,12 @@ impl QueryOptions {
     /// Attach a cancellation token.
     pub fn with_cancel(mut self, cancel: CancellationToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Arm failpoints (deterministic fault injection).
+    pub fn with_failpoints(mut self, failpoints: Failpoints) -> Self {
+        self.failpoints = failpoints;
         self
     }
 }
@@ -164,6 +184,12 @@ pub struct Prepared {
     /// plan was prepared with; applied on every [`Session::execute`].
     budget: ExecutionBudget,
     cancel: Option<CancellationToken>,
+    /// Armed failpoints carried from the options.
+    failpoints: Failpoints,
+    /// The effective ordering mode this plan was compiled under (after
+    /// any option override of the prolog's `declare ordering`) — it
+    /// decides which result equivalence the differential oracle applies.
+    pub ordering: OrderingMode,
 }
 
 impl Prepared {
@@ -251,10 +277,21 @@ impl Session {
     /// assert_eq!(s.query(r#"fn:count(doc("d.xml")//x)"#).unwrap().to_xml(), "1");
     /// ```
     pub fn load_document(&mut self, url: &str, xml: &str) -> Result<(), Error> {
-        let node = self.store.add_parsed(xml).map_err(Error::Xml)?;
+        let node = self
+            .store
+            .add_parsed(xml)
+            .map_err(|e| Error::Xml(e.with_source(url)))?;
         self.docs.insert(url.to_string(), node);
         self.base_frags = self.store.len();
         Ok(())
+    }
+
+    /// Arm failpoints on the session's document resolver (the `doc-parse`
+    /// hook fires in [`load_document`](Self::load_document)). Failpoints
+    /// for plan evaluation travel with [`QueryOptions::failpoints`]
+    /// instead, so the oracle can arm each arm independently.
+    pub fn set_failpoints(&mut self, failpoints: Failpoints) {
+        self.store.set_failpoints(failpoints);
     }
 
     /// Number of nodes across loaded documents.
@@ -294,6 +331,7 @@ impl Session {
         if let Some(mode) = opts.ordering {
             module.ordering = mode;
         }
+        let effective_ordering = module.ordering;
         let module = normalize_opts(&module, opts.exploit);
         // Normalization wraps expressions (fn:unordered, comparisons), so
         // re-check the AST depth with a little headroom; this also guards
@@ -303,7 +341,7 @@ impl Session {
             .compile_module(&module)
             .map_err(Error::Compile)?;
         let stats_initial = PlanStats::of(&dag, root);
-        let (root, opt_report) = optimize(&mut dag, root, &opts.opt);
+        let (root, opt_report) = try_optimize(&mut dag, root, &opts.opt).map_err(Error::Opt)?;
         let stats_final = PlanStats::of(&dag, root);
         Ok(Prepared {
             dag,
@@ -315,6 +353,8 @@ impl Session {
             step_algo: opts.step_algo,
             budget: opts.budget.clone(),
             cancel: opts.cancel.clone(),
+            failpoints: opts.failpoints.clone(),
+            ordering: effective_ordering,
         })
     }
 
@@ -325,6 +365,7 @@ impl Session {
             step_algo: plan.step_algo,
             budget: plan.budget.clone(),
             cancel: plan.cancel.clone(),
+            failpoints: plan.failpoints.clone(),
         };
         let mut engine = Engine::new(&plan.dag, &mut self.store, self.docs.clone(), engine_opts);
         let result = match engine.eval(plan.root) {

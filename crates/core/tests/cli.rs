@@ -149,6 +149,96 @@ fn budget_flags_accept_valid_queries() {
 }
 
 #[test]
+fn verify_runs_the_oracle_and_prints_the_result() {
+    let doc = write_doc("cli5.xml", "<r><a>1</a><a>2</a></r>");
+    let out = xq()
+        .arg("--doc")
+        .arg(format!("d.xml={}", doc.display()))
+        .arg("--verify")
+        .arg(r#"doc("d.xml")//a"#)
+        .output()
+        .expect("xq runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("3 arms agree"), "{stderr}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "<a>1</a><a>2</a>"
+    );
+}
+
+#[test]
+fn verify_divergence_exits_5_with_exrq0004() {
+    let doc = write_doc("cli6.xml", "<r><a>1</a><a>2</a></r>");
+    for arm in ["optimized", "baseline", "noweaken"] {
+        let out = xq()
+            .arg("--doc")
+            .arg(format!("d.xml={}", doc.display()))
+            .args(["--verify", "--inject", &format!("oracle-perturb:{arm}")])
+            .arg(r#"doc("d.xml")//a"#)
+            .output()
+            .expect("xq runs");
+        assert_eq!(out.status.code(), Some(5), "arm {arm}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("[EXRQ0004]"), "arm {arm}: {stderr}");
+    }
+}
+
+#[test]
+fn inject_flag_forces_typed_failures() {
+    let doc = write_doc("cli7.xml", "<r><a>1</a></r>");
+    let with_doc = |extra: &[&str], query: &str| {
+        xq().arg("--doc")
+            .arg(format!("d.xml={}", doc.display()))
+            .args(extra)
+            .arg(query)
+            .output()
+            .expect("xq runs")
+    };
+
+    // Injected document I/O failure → dynamic error → exit 2.
+    let out = with_doc(&["--inject", "doc-io:1"], r#"doc("d.xml")//a"#);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[FODC0002]"));
+
+    // Injected parse failure at load time → exit 2 with FODC0006.
+    let out = with_doc(&["--inject", "doc-parse:1"], "1");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[FODC0006]"));
+
+    // Injected budget trip / cancellation → resource class → exit 3.
+    let out = with_doc(&["--inject", "budget-trip:step"], r#"doc("d.xml")//a"#);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[EXRQ0001]"));
+
+    let out = with_doc(&["--inject", "cancel-after:1"], r#"doc("d.xml")//a"#);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[EXRQ0002]"));
+
+    // A malformed spec is a usage error.
+    let out = with_doc(&["--inject", "frobnicate:1"], "1");
+    assert_eq!(out.status.code(), Some(64));
+}
+
+#[test]
+fn inject_env_var_is_honored() {
+    let doc = write_doc("cli8.xml", "<r><a/></r>");
+    let out = xq()
+        .arg("--doc")
+        .arg(format!("d.xml={}", doc.display()))
+        .env("EXRQ_INJECT", "doc-parse:1")
+        .arg("1")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[FODC0006]"));
+}
+
+#[test]
 fn baseline_flag_and_query_file() {
     let doc = write_doc("cli3.xml", "<a><b><c/><d/></b><c/></a>");
     let qfile = write_doc("cli3.xq", r#"doc("d.xml")//(c|d)"#);

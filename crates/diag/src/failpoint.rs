@@ -1,0 +1,258 @@
+//! Deterministic fault injection: a failpoint registry configured from a
+//! compact spec string (CLI `--inject` / env `EXRQ_INJECT`).
+//!
+//! A [`Failpoints`] value is pure configuration — immutable thresholds
+//! with no interior mutability — so a single registry can be cloned into
+//! every pipeline layer (document resolver, engine, oracle) and each
+//! consumer keeps its own deterministic counters. Running the same query
+//! with the same spec therefore trips exactly the same failpoint at
+//! exactly the same place, which is what makes fault-injection tests
+//! reproducible.
+//!
+//! Spec grammar (comma-separated, order-insensitive):
+//!
+//! ```text
+//!   doc-io:<n>          fail the n-th fn:doc access with FODC0002
+//!   doc-parse:<n>       fail the n-th document load as malformed (FODC0006)
+//!   budget-trip:<op>    trip EXRQ0001 when evaluating an operator of the
+//!                       given kind (rownum, rowid, step, join, select,
+//!                       project, distinct, union, aggr, …)
+//!   cancel-after:<n>    cancel (EXRQ0002) at the n-th operator boundary
+//!   oracle-perturb:<arm> corrupt one oracle arm's result
+//!                       (arm ∈ baseline | optimized | noweaken)
+//! ```
+//!
+//! Example: `--inject doc-io:2,budget-trip:rownum,cancel-after:5`.
+
+use std::fmt;
+
+/// Which differential-oracle arm an `oracle-perturb` failpoint corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleArm {
+    /// Unoptimized, fully order-aware reference execution.
+    Baseline,
+    /// The optimized plan under the requested options.
+    Optimized,
+    /// Optimized with `%`-weakening disabled.
+    NoWeaken,
+}
+
+impl OracleArm {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OracleArm::Baseline => "baseline",
+            OracleArm::Optimized => "optimized",
+            OracleArm::NoWeaken => "noweaken",
+        }
+    }
+}
+
+impl fmt::Display for OracleArm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a failpoint spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailpointSpecError(pub String);
+
+impl fmt::Display for FailpointSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid failpoint spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FailpointSpecError {}
+
+/// Immutable registry of armed failpoints. `Default` is "nothing armed";
+/// [`Failpoints::is_empty`] lets hot paths skip all checks with one branch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Failpoints {
+    /// 1-based index of the `fn:doc` access that fails with an injected
+    /// I/O error.
+    pub doc_io: Option<usize>,
+    /// 1-based index of the document load that fails as malformed content.
+    pub doc_parse: Option<usize>,
+    /// Operator-kind names (canonical symbols, e.g. `"%"`, `"⬡"`) whose
+    /// evaluation trips the execution budget.
+    pub budget_trip: Vec<String>,
+    /// Cancel after this many operator evaluations.
+    pub cancel_after: Option<usize>,
+    /// Corrupt this oracle arm's result sequence.
+    pub oracle_perturb: Option<OracleArm>,
+}
+
+/// Map a user-facing operator alias to the canonical kind name used by
+/// the algebra (`Op::kind_name`). Unknown aliases pass through verbatim,
+/// so the canonical symbols themselves are always accepted.
+fn canonical_op_kind(alias: &str) -> String {
+    match alias {
+        "rownum" => "%".to_string(),
+        "rowid" => "#".to_string(),
+        "step" => "⬡".to_string(),
+        "select" => "σ".to_string(),
+        "project" => "π".to_string(),
+        "distinct" => "δ".to_string(),
+        "union" => "∪̇".to_string(),
+        "join" => "⋈".to_string(),
+        "thetajoin" => "⋈θ".to_string(),
+        "cross" => "×".to_string(),
+        "difference" => "\\".to_string(),
+        other => other.to_string(),
+    }
+}
+
+impl Failpoints {
+    /// Registry with nothing armed.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no failpoint is armed (the fast-path check).
+    pub fn is_empty(&self) -> bool {
+        self == &Self::default()
+    }
+
+    /// Parse a comma-separated spec (see the module docs for the grammar).
+    /// The empty string parses to an empty registry.
+    pub fn parse(spec: &str) -> Result<Self, FailpointSpecError> {
+        let mut fp = Failpoints::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, arg) = match part.split_once(':') {
+                Some((n, a)) => (n.trim(), Some(a.trim())),
+                None => (part, None),
+            };
+            let num = |what: &str| -> Result<usize, FailpointSpecError> {
+                let raw = arg.ok_or_else(|| {
+                    FailpointSpecError(format!("`{what}` needs a numeric argument, e.g. {what}:2"))
+                })?;
+                raw.parse::<usize>().map_err(|_| {
+                    FailpointSpecError(format!("`{what}`: cannot parse `{raw}` as a number"))
+                })
+            };
+            match name {
+                "doc-io" => fp.doc_io = Some(num("doc-io")?.max(1)),
+                "doc-parse" => fp.doc_parse = Some(num("doc-parse")?.max(1)),
+                "cancel-after" => fp.cancel_after = Some(num("cancel-after")?),
+                "budget-trip" => {
+                    let op = arg.filter(|a| !a.is_empty()).ok_or_else(|| {
+                        FailpointSpecError(
+                            "`budget-trip` needs an operator kind, e.g. budget-trip:rownum".into(),
+                        )
+                    })?;
+                    fp.budget_trip.push(canonical_op_kind(op));
+                }
+                "oracle-perturb" => {
+                    let arm = match arg {
+                        Some("baseline") => OracleArm::Baseline,
+                        Some("optimized") | Some("opt") => OracleArm::Optimized,
+                        Some("noweaken") => OracleArm::NoWeaken,
+                        other => {
+                            return Err(FailpointSpecError(format!(
+                                "`oracle-perturb`: unknown arm `{}` \
+                                 (expected baseline|optimized|noweaken)",
+                                other.unwrap_or("")
+                            )))
+                        }
+                    };
+                    fp.oracle_perturb = Some(arm);
+                }
+                other => {
+                    return Err(FailpointSpecError(format!(
+                        "unknown failpoint `{other}` \
+                         (expected doc-io, doc-parse, budget-trip, cancel-after, oracle-perturb)"
+                    )))
+                }
+            }
+        }
+        Ok(fp)
+    }
+
+    /// Should the `n`-th (1-based) `fn:doc` access fail with an injected
+    /// I/O error?
+    pub fn doc_io_fails(&self, access: usize) -> bool {
+        self.doc_io == Some(access)
+    }
+
+    /// Should the `n`-th (1-based) document load fail as malformed?
+    pub fn doc_parse_fails(&self, load: usize) -> bool {
+        self.doc_parse == Some(load)
+    }
+
+    /// Should evaluating an operator of `kind` trip the budget?
+    pub fn trips_budget(&self, kind: &str) -> bool {
+        self.budget_trip.iter().any(|k| k == kind)
+    }
+
+    /// Should the query cancel at this operator boundary (`ops_seen`
+    /// operators already evaluated)?
+    pub fn cancels_at(&self, ops_seen: usize) -> bool {
+        self.cancel_after.is_some_and(|n| ops_seen >= n)
+    }
+
+    /// Should the given oracle arm's result be corrupted?
+    pub fn perturbs_arm(&self, arm: OracleArm) -> bool {
+        self.oracle_perturb == Some(arm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_arms_nothing() {
+        let fp = Failpoints::parse("").unwrap();
+        assert!(fp.is_empty());
+        assert!(!fp.doc_io_fails(1));
+        assert!(!fp.trips_budget("%"));
+        assert!(!fp.cancels_at(1_000_000));
+    }
+
+    #[test]
+    fn parses_the_issue_example() {
+        let fp = Failpoints::parse("doc-io:2,budget-trip:rownum,cancel-after:5").unwrap();
+        assert!(!fp.doc_io_fails(1));
+        assert!(fp.doc_io_fails(2));
+        assert!(fp.trips_budget("%"));
+        assert!(!fp.trips_budget("#"));
+        assert!(!fp.cancels_at(4));
+        assert!(fp.cancels_at(5));
+    }
+
+    #[test]
+    fn canonical_symbols_and_aliases_both_work() {
+        let fp = Failpoints::parse("budget-trip:⬡,budget-trip:join").unwrap();
+        assert!(fp.trips_budget("⬡"));
+        assert!(fp.trips_budget("⋈"));
+    }
+
+    #[test]
+    fn oracle_perturb_arms() {
+        let fp = Failpoints::parse("oracle-perturb:optimized").unwrap();
+        assert!(fp.perturbs_arm(OracleArm::Optimized));
+        assert!(!fp.perturbs_arm(OracleArm::Baseline));
+        assert!(Failpoints::parse("oracle-perturb:sideways").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(Failpoints::parse("doc-io").is_err());
+        assert!(Failpoints::parse("doc-io:x").is_err());
+        assert!(Failpoints::parse("budget-trip").is_err());
+        assert!(Failpoints::parse("frobnicate:3").is_err());
+    }
+
+    #[test]
+    fn whitespace_and_empty_parts_are_tolerated() {
+        let fp = Failpoints::parse(" doc-io:1 , , cancel-after:0 ").unwrap();
+        assert!(fp.doc_io_fails(1));
+        // cancel-after:0 cancels at the very first boundary.
+        assert!(fp.cancels_at(0));
+    }
+}

@@ -7,6 +7,10 @@
 //! where available — a source offset. The CLI maps [`ErrorClass`] to
 //! process exit codes.
 
+pub mod failpoint;
+
+pub use failpoint::{FailpointSpecError, Failpoints, OracleArm};
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,8 +37,10 @@ pub enum ErrorCode {
     FORG0006,
     /// Arithmetic error (division by zero, …).
     FOAR0001,
-    /// Document retrieval failure (unknown / unparsable document).
+    /// Document retrieval failure (document not loaded / I/O error).
     FODC0002,
+    /// Document content is not well-formed XML (cf. `fn:parse-xml`).
+    FODC0006,
     /// Attribute constructed after non-attribute content.
     XQTY0024,
     /// Execution budget (rows, wall-clock, constructed nodes) exceeded.
@@ -43,6 +49,12 @@ pub enum ErrorCode {
     EXRQ0002,
     /// Recursion / nesting depth limit exceeded.
     EXRQ0003,
+    /// Differential oracle divergence: an optimized execution produced a
+    /// result outside the admissible set of the reference execution.
+    EXRQ0004,
+    /// The optimizer produced an ill-formed plan (caught by per-rewrite
+    /// validation; names the offending rule and operator).
+    EXRQ0005,
 }
 
 impl ErrorCode {
@@ -57,10 +69,13 @@ impl ErrorCode {
             ErrorCode::FORG0006 => "FORG0006",
             ErrorCode::FOAR0001 => "FOAR0001",
             ErrorCode::FODC0002 => "FODC0002",
+            ErrorCode::FODC0006 => "FODC0006",
             ErrorCode::XQTY0024 => "XQTY0024",
             ErrorCode::EXRQ0001 => "EXRQ0001",
             ErrorCode::EXRQ0002 => "EXRQ0002",
             ErrorCode::EXRQ0003 => "EXRQ0003",
+            ErrorCode::EXRQ0004 => "EXRQ0004",
+            ErrorCode::EXRQ0005 => "EXRQ0005",
         }
     }
 
@@ -69,6 +84,7 @@ impl ErrorCode {
         match self {
             ErrorCode::XPST0003 | ErrorCode::XPST0008 | ErrorCode::XPST0017 => ErrorClass::Static,
             ErrorCode::EXRQ0001 | ErrorCode::EXRQ0002 | ErrorCode::EXRQ0003 => ErrorClass::Resource,
+            ErrorCode::EXRQ0004 | ErrorCode::EXRQ0005 => ErrorClass::Verification,
             _ => ErrorClass::Dynamic,
         }
     }
@@ -82,13 +98,16 @@ impl std::fmt::Display for ErrorCode {
 
 /// Coarse error classes. The CLI maps these to exit codes:
 /// static → 1, dynamic → 2, resource (budget/timeout/cancel) → 3,
-/// I/O → 4.
+/// I/O → 4, verification (oracle divergence / ill-formed plan) → 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorClass {
     Static,
     Dynamic,
     Resource,
     Io,
+    /// Self-verification failure: the pipeline caught itself producing a
+    /// wrong answer or an ill-formed plan. Always a bug, never user error.
+    Verification,
 }
 
 impl ErrorClass {
@@ -99,6 +118,7 @@ impl ErrorClass {
             ErrorClass::Dynamic => 2,
             ErrorClass::Resource => 3,
             ErrorClass::Io => 4,
+            ErrorClass::Verification => 5,
         }
     }
 }
@@ -118,6 +138,8 @@ pub enum Stage {
     Optimize,
     /// Plan evaluation.
     Execute,
+    /// Differential self-verification (the three-way oracle).
+    Verify,
 }
 
 impl Stage {
@@ -129,6 +151,7 @@ impl Stage {
             Stage::Compile => "compile",
             Stage::Optimize => "optimize",
             Stage::Execute => "execute",
+            Stage::Verify => "verify",
         }
     }
 }
@@ -222,6 +245,11 @@ mod tests {
         assert_eq!(ErrorCode::EXRQ0001.class(), ErrorClass::Resource);
         assert_eq!(ErrorClass::Resource.exit_code(), 3);
         assert_eq!(format!("{}", ErrorCode::EXRQ0002), "EXRQ0002");
+        assert_eq!(ErrorCode::FODC0006.class(), ErrorClass::Dynamic);
+        assert_eq!(ErrorCode::EXRQ0004.class(), ErrorClass::Verification);
+        assert_eq!(ErrorCode::EXRQ0005.class(), ErrorClass::Verification);
+        assert_eq!(ErrorClass::Verification.exit_code(), 5);
+        assert_eq!(Stage::Verify.as_str(), "verify");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::item::{GroupKey, Item};
 use crate::profile::Profile;
 use crate::table::Table;
 use exrquy_algebra::{AValue, AggrKind, Col, Dag, FunKind, Op, OpId};
-use exrquy_diag::{CancellationToken, ErrorCode, ExecutionBudget};
+use exrquy_diag::{CancellationToken, ErrorCode, ExecutionBudget, Failpoints};
 use exrquy_xml::tree::NodeKind;
 use exrquy_xml::{axis, NodeId, Store, TreeBuilder};
 use std::collections::HashMap;
@@ -79,6 +79,11 @@ pub struct EngineOptions {
     pub budget: ExecutionBudget,
     /// Cooperative cancellation flag, polled once per evaluated operator.
     pub cancel: Option<CancellationToken>,
+    /// Armed failpoints (fault injection). Empty by default; the engine
+    /// keeps its own deterministic counters (operators evaluated, `fn:doc`
+    /// accesses), so re-running the same plan trips the same failpoint at
+    /// the same place.
+    pub failpoints: Failpoints,
 }
 
 /// One query execution context.
@@ -101,6 +106,12 @@ pub struct Engine<'d, 's> {
     /// `store.total_nodes()` at engine creation; the constructed-node
     /// ceiling applies to the delta.
     nodes_base: usize,
+    /// Operators evaluated so far (cache misses only) — the deterministic
+    /// counter behind the `cancel-after` failpoint.
+    ops_seen: usize,
+    /// `fn:doc` accesses so far (1-based at check time) — the counter
+    /// behind the `doc-io` failpoint.
+    doc_accesses: usize,
 }
 
 impl<'d, 's> Engine<'d, 's> {
@@ -124,6 +135,8 @@ impl<'d, 's> Engine<'d, 's> {
             deadline,
             rows_total: 0,
             nodes_base,
+            ops_seen: 0,
+            doc_accesses: 0,
         }
     }
 
@@ -209,13 +222,43 @@ impl<'d, 's> Engine<'d, 's> {
                 continue;
             }
             self.poll_governance()?;
+            self.poll_failpoints(id)?;
             let started = Instant::now();
             let table = self.eval_op(id)?;
             self.profile.record(self.dag, id, started.elapsed());
             self.charge_op_output(table.nrows())?;
             self.cache.insert(id, Rc::new(table));
+            self.ops_seen += 1;
         }
         Ok(self.cache[&root].clone())
+    }
+
+    /// Injected-fault checks at the operator boundary: `cancel-after`
+    /// (counted over evaluated operators) and `budget-trip` (matched on
+    /// the operator kind about to run). Mirrors [`poll_governance`]
+    /// (Self::poll_governance) so injected faults exercise exactly the
+    /// error paths real exhaustion would take.
+    fn poll_failpoints(&self, id: OpId) -> Result<(), EvalError> {
+        if self.opts.failpoints.is_empty() {
+            return Ok(());
+        }
+        if self.opts.failpoints.cancels_at(self.ops_seen) {
+            return Err(EvalError::new(
+                ErrorCode::EXRQ0002,
+                format!(
+                    "query cancelled (injected at operator boundary {})",
+                    self.ops_seen
+                ),
+            ));
+        }
+        let kind = self.dag.op(id).kind_name();
+        if self.opts.failpoints.trips_budget(kind) {
+            return Err(EvalError::new(
+                ErrorCode::EXRQ0001,
+                format!("execution budget exceeded (injected in `{kind}` operator {id})"),
+            ));
+        }
+        Ok(())
     }
 
     fn input(&self, id: OpId) -> &Rc<Table> {
@@ -227,6 +270,16 @@ impl<'d, 's> Engine<'d, 's> {
         match op {
             Op::Lit { cols, rows } => Ok(eval_lit(&cols, &rows)),
             Op::Doc { url } => {
+                self.doc_accesses += 1;
+                if self.opts.failpoints.doc_io_fails(self.doc_accesses) {
+                    return Err(EvalError::new(
+                        ErrorCode::FODC0002,
+                        format!(
+                            "I/O error retrieving document `{url}` (injected at access {})",
+                            self.doc_accesses
+                        ),
+                    ));
+                }
                 let node = self.docs.get(url.as_ref()).copied().ok_or_else(|| {
                     EvalError::new(
                         ErrorCode::FODC0002,

@@ -56,72 +56,193 @@ impl OptOptions {
     }
 }
 
-/// Before/after accounting of one optimization run.
+/// One named rule application recorded in the rewrite trace: in `round`,
+/// `rule` rewrote the operator `before` into `after`.
+#[derive(Debug, Clone)]
+pub struct RuleApplication {
+    pub round: usize,
+    pub rule: &'static str,
+    pub before: OpId,
+    pub after: OpId,
+}
+
+/// The optimizer produced an ill-formed plan (always an optimizer bug,
+/// never a user error): names the rule, the operator it was rewriting,
+/// that operator's kind, and the fixpoint round — enough to replay the
+/// failure from the rewrite trace.
+#[derive(Debug, Clone)]
+pub struct OptError {
+    /// The rule whose output failed validation.
+    pub rule: &'static str,
+    /// The (pre-rewrite) operator the rule was applied to.
+    pub op: OpId,
+    /// Kind name of the operator the rule tried to intern.
+    pub kind: &'static str,
+    /// Fixpoint round (0-based) in which the rule fired.
+    pub round: usize,
+    /// The underlying schema/structure violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "round {}: rule `{}` on {} produced an ill-formed `{}` operator: {}",
+            self.round, self.rule, self.op, self.kind, self.message
+        )
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// Before/after accounting of one optimization run, plus the full rewrite
+/// trace (every named rule application, in firing order).
 #[derive(Debug, Clone)]
 pub struct OptReport {
     pub rounds: usize,
     pub before: PlanStats,
     pub after: PlanStats,
+    pub trace: Vec<RuleApplication>,
+}
+
+impl OptReport {
+    /// Rule applications of a given rule name (trace query helper).
+    pub fn fired(&self, rule: &str) -> usize {
+        self.trace.iter().filter(|a| a.rule == rule).count()
+    }
 }
 
 /// Optimize the plan rooted at `root`; returns the new root and a report.
 /// New operators are interned into the same arena (old ones simply become
-/// unreachable).
+/// unreachable). Panics if a rewrite produces an ill-formed plan — callers
+/// that want the typed error use [`try_optimize`].
 pub fn optimize(dag: &mut Dag, root: OpId, opts: &OptOptions) -> (OpId, OptReport) {
+    match try_optimize(dag, root, opts) {
+        Ok(res) => res,
+        Err(e) => panic!("optimizer produced an ill-formed plan: {e}"),
+    }
+}
+
+/// Like [`optimize`], but every rule application is schema-validated the
+/// moment it interns its result (via [`Dag::try_add`]) and the whole plan
+/// is re-validated ([`Dag::validate_plan`]) after every fixpoint round.
+/// An ill-formed rewrite surfaces as a typed [`OptError`] naming the rule
+/// and operator instead of a panic deep inside the arena.
+pub fn try_optimize(
+    dag: &mut Dag,
+    root: OpId,
+    opts: &OptOptions,
+) -> Result<(OpId, OptReport), OptError> {
     let before = PlanStats::of(dag, root);
     let mut cur = root;
     let mut rounds = 0;
-    for _ in 0..opts.max_rounds {
-        let next = one_round(dag, cur, opts);
+    let mut trace = Vec::new();
+    for round in 0..opts.max_rounds {
+        let next = one_round(dag, cur, opts, round, &mut trace)?;
         rounds += 1;
         if next == cur {
             break;
         }
+        dag.validate_plan(next).map_err(|e| OptError {
+            rule: "fixpoint-round",
+            op: next,
+            kind: dag.op(next).kind_name(),
+            round,
+            message: e.0,
+        })?;
         cur = next;
     }
     let after = PlanStats::of(dag, cur);
-    (
+    Ok((
         cur,
         OptReport {
             rounds,
             before,
             after,
+            trace,
         },
-    )
+    ))
 }
 
-fn one_round(dag: &mut Dag, root: OpId, opts: &OptOptions) -> OpId {
-    let req = required_columns(dag, root);
-    let props = properties(dag, root);
-    let orders = if opts.physical_order {
-        sort_orders(dag, root)
-    } else {
-        OrderMap::new()
-    };
-    let key_cols = if opts.weaken_rownum {
-        keys(dag, root)
-    } else {
-        KeyMap::new()
+/// Per-round analysis results + trace sink, bundled so the per-operator
+/// rewriter doesn't take nine arguments.
+struct Ctx<'a> {
+    req: HashMap<OpId, BTreeSet<Col>>,
+    props: PropMap,
+    orders: OrderMap,
+    key_cols: KeyMap,
+    opts: OptOptions,
+    round: usize,
+    trace: &'a mut Vec<RuleApplication>,
+}
+
+impl Ctx<'_> {
+    /// Record that `rule` rewrote `before` into `after`.
+    fn fire(&mut self, rule: &'static str, before: OpId, after: OpId) {
+        self.trace.push(RuleApplication {
+            round: self.round,
+            rule,
+            before,
+            after,
+        });
+    }
+}
+
+/// Intern a rewritten operator, converting a schema violation into a typed
+/// [`OptError`] that names the rule and the operator being rewritten. This
+/// is the per-rewrite validation hook: every rule's output passes through
+/// here before it can reach the plan.
+fn intern(
+    dag: &mut Dag,
+    ctx: &Ctx<'_>,
+    rule: &'static str,
+    old_id: OpId,
+    op: Op,
+) -> Result<OpId, OptError> {
+    let kind = op.kind_name();
+    dag.try_add(op).map_err(|e| OptError {
+        rule,
+        op: old_id,
+        kind,
+        round: ctx.round,
+        message: e.0,
+    })
+}
+
+fn one_round(
+    dag: &mut Dag,
+    root: OpId,
+    opts: &OptOptions,
+    round: usize,
+    trace: &mut Vec<RuleApplication>,
+) -> Result<OpId, OptError> {
+    let mut ctx = Ctx {
+        req: required_columns(dag, root),
+        props: properties(dag, root),
+        orders: if opts.physical_order {
+            sort_orders(dag, root)
+        } else {
+            OrderMap::new()
+        },
+        key_cols: if opts.weaken_rownum {
+            keys(dag, root)
+        } else {
+            KeyMap::new()
+        },
+        opts: *opts,
+        round,
+        trace,
     };
     let order = dag.topo_order(root);
     let mut memo: HashMap<OpId, OpId> = HashMap::new();
     for old_id in order {
         let old_op = dag.op(old_id).clone();
         let new_children: Vec<OpId> = old_op.children().iter().map(|c| memo[c]).collect();
-        let new_id = rewrite_op(
-            dag,
-            old_id,
-            &old_op,
-            &new_children,
-            &req,
-            &props,
-            &orders,
-            &key_cols,
-            opts,
-        );
+        let new_id = rewrite_op(dag, &mut ctx, old_id, &old_op, &new_children)?;
         memo.insert(old_id, new_id);
     }
-    memo[&root]
+    Ok(memo[&root])
 }
 
 fn reqs(req: &HashMap<OpId, BTreeSet<Col>>, id: OpId) -> BTreeSet<Col> {
@@ -136,19 +257,15 @@ fn is_empty_lit(dag: &Dag, id: OpId) -> bool {
     matches!(dag.op(id), Op::Lit { rows, .. } if rows.is_empty())
 }
 
-#[allow(clippy::too_many_arguments)]
 fn rewrite_op(
     dag: &mut Dag,
+    ctx: &mut Ctx<'_>,
     old_id: OpId,
     old_op: &Op,
     ch: &[OpId],
-    req: &HashMap<OpId, BTreeSet<Col>>,
-    props: &PropMap,
-    orders: &OrderMap,
-    key_cols: &KeyMap,
-    opts: &OptOptions,
-) -> OpId {
-    let my_req = reqs(req, old_id);
+) -> Result<OpId, OptError> {
+    let my_req = reqs(&ctx.req, old_id);
+    let opts = ctx.opts;
     match old_op {
         // ---- operators that only add a column: bypass when dead
         Op::RowNum {
@@ -156,17 +273,23 @@ fn rewrite_op(
         } => {
             let old_input = old_op.children()[0];
             if opts.column_dependency && !my_req.contains(new) {
-                return ch[0];
+                ctx.fire("cda-bypass-rownum", old_id, ch[0]);
+                return Ok(ch[0]);
             }
             let (mut order, mut part) = (order.clone(), *part);
+            let mut rule: &'static str = "rebuild";
             if opts.weaken_rownum {
+                let (len0, part0) = (order.len(), part);
                 // Drop constant criteria (sound: ties everywhere).
                 order.retain(|k| {
-                    !matches!(prop_of(props, old_input, k.col), Some(ColProp::Const(_)))
+                    !matches!(
+                        prop_of(&ctx.props, old_input, k.col),
+                        Some(ColProp::Const(_))
+                    )
                 });
                 // §7: a globally unique criterion leaves no ties — later
                 // criteria are never consulted and can be truncated.
-                if let Some(ks) = key_cols.get(&old_input) {
+                if let Some(ks) = ctx.key_cols.get(&old_input) {
                     if let Some(i) = order.iter().position(|k| ks.contains(&k.col)) {
                         order.truncate(i + 1);
                     }
@@ -175,21 +298,35 @@ fn rewrite_op(
                 // order spec conveys nothing: drop it (§7).
                 if !order.is_empty()
                     && order.iter().all(|k| {
-                        matches!(prop_of(props, old_input, k.col), Some(ColProp::Arbitrary))
+                        matches!(
+                            prop_of(&ctx.props, old_input, k.col),
+                            Some(ColProp::Arbitrary)
+                        )
                     })
                 {
                     order.clear();
                 }
                 if let Some(p) = part {
-                    if matches!(prop_of(props, old_input, p), Some(ColProp::Const(_))) {
+                    if matches!(prop_of(&ctx.props, old_input, p), Some(ColProp::Const(_))) {
                         part = None;
                     }
                 }
+                if order.len() != len0 || part != part0 {
+                    rule = "weaken-criteria";
+                }
                 if order.is_empty() && part.is_none() {
-                    return dag.add(Op::RowId {
-                        input: ch[0],
-                        new: *new,
-                    });
+                    let id = intern(
+                        dag,
+                        ctx,
+                        "weaken-rownum-to-rowid",
+                        old_id,
+                        Op::RowId {
+                            input: ch[0],
+                            new: *new,
+                        },
+                    )?;
+                    ctx.fire("weaken-rownum-to-rowid", old_id, id);
+                    return Ok(id);
                 }
             }
             // [15]-style physical order: the engine already emits the
@@ -197,9 +334,10 @@ fn rewrite_op(
             // Constant columns constrain nothing and are ignored on both
             // sides of the prefix match.
             if opts.physical_order && !order.is_empty() {
-                if let Some(input_order) = orders.get(&old_input) {
-                    let is_const =
-                        |c: Col| matches!(prop_of(props, old_input, c), Some(ColProp::Const(_)));
+                if let Some(input_order) = ctx.orders.get(&old_input) {
+                    let is_const = |c: Col| {
+                        matches!(prop_of(&ctx.props, old_input, c), Some(ColProp::Const(_)))
+                    };
                     let filtered_input: Vec<Col> = input_order
                         .iter()
                         .copied()
@@ -210,51 +348,84 @@ fn rewrite_op(
                     let filtered_part = part.filter(|&p| !is_const(p));
                     if rownum_is_presorted(&filtered_input, &filtered_order, filtered_part) {
                         order.clear();
+                        rule = "physical-order";
                     }
                 }
             }
-            dag.add(Op::RowNum {
-                input: ch[0],
-                new: *new,
-                order,
-                part,
-            })
+            let id = intern(
+                dag,
+                ctx,
+                rule,
+                old_id,
+                Op::RowNum {
+                    input: ch[0],
+                    new: *new,
+                    order,
+                    part,
+                },
+            )?;
+            if rule != "rebuild" {
+                ctx.fire(rule, old_id, id);
+            }
+            Ok(id)
         }
         Op::RowId { new, .. } => {
             if opts.column_dependency && !my_req.contains(new) {
-                return ch[0];
+                ctx.fire("cda-bypass-rowid", old_id, ch[0]);
+                return Ok(ch[0]);
             }
-            dag.add(Op::RowId {
-                input: ch[0],
-                new: *new,
-            })
+            intern(
+                dag,
+                ctx,
+                "rebuild",
+                old_id,
+                Op::RowId {
+                    input: ch[0],
+                    new: *new,
+                },
+            )
         }
         Op::Attach { col, value, .. } => {
             if opts.column_dependency && !my_req.contains(col) {
-                return ch[0];
+                ctx.fire("cda-bypass-attach", old_id, ch[0]);
+                return Ok(ch[0]);
             }
-            dag.add(Op::Attach {
-                input: ch[0],
-                col: *col,
-                value: value.clone(),
-            })
+            intern(
+                dag,
+                ctx,
+                "rebuild",
+                old_id,
+                Op::Attach {
+                    input: ch[0],
+                    col: *col,
+                    value: value.clone(),
+                },
+            )
         }
         Op::Fun {
             new, kind, args, ..
         } => {
             if opts.column_dependency && !my_req.contains(new) {
-                return ch[0];
+                ctx.fire("cda-bypass-fun", old_id, ch[0]);
+                return Ok(ch[0]);
             }
-            dag.add(Op::Fun {
-                input: ch[0],
-                new: *new,
-                kind: *kind,
-                args: args.clone(),
-            })
+            intern(
+                dag,
+                ctx,
+                "rebuild",
+                old_id,
+                Op::Fun {
+                    input: ch[0],
+                    new: *new,
+                    kind: *kind,
+                    args: args.clone(),
+                },
+            )
         }
         // ---- projections: prune & collapse
         Op::Project { cols, .. } => {
             let mut cols: Vec<(Col, Col)> = cols.clone();
+            let mut pruned_any = false;
             if opts.column_dependency {
                 let pruned: Vec<(Col, Col)> = cols
                     .iter()
@@ -262,8 +433,12 @@ fn rewrite_op(
                     .filter(|(new, _)| my_req.contains(new))
                     .collect();
                 if !pruned.is_empty() {
+                    pruned_any = pruned.len() != cols.len();
                     cols = pruned;
                 }
+            }
+            if pruned_any {
+                ctx.fire("project-prune", old_id, old_id);
             }
             // Collapse π over π.
             if let Op::Project {
@@ -286,58 +461,108 @@ fn rewrite_op(
                         && dag.schema(inner_input)
                             == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
                     if identity {
-                        return inner_input;
+                        ctx.fire("project-identity", old_id, inner_input);
+                        return Ok(inner_input);
                     }
-                    return dag.add(Op::Project {
-                        input: inner_input,
-                        cols,
-                    });
+                    let id = intern(
+                        dag,
+                        ctx,
+                        "project-collapse",
+                        old_id,
+                        Op::Project {
+                            input: inner_input,
+                            cols,
+                        },
+                    )?;
+                    ctx.fire("project-collapse", old_id, id);
+                    return Ok(id);
                 }
             }
             // Identity projection removal.
             let identity = cols.iter().all(|(n, s)| n == s)
                 && dag.schema(ch[0]) == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
             if identity {
-                return ch[0];
+                ctx.fire("project-identity", old_id, ch[0]);
+                return Ok(ch[0]);
             }
-            dag.add(Op::Project { input: ch[0], cols })
+            intern(
+                dag,
+                ctx,
+                "rebuild",
+                old_id,
+                Op::Project { input: ch[0], cols },
+            )
         }
         // ---- selections on known predicates
         Op::Select { col, .. } => {
             let old_input = old_op.children()[0];
-            match prop_of(props, old_input, *col) {
-                Some(ColProp::Const(AValue::Bool(true))) => ch[0],
-                Some(ColProp::Const(AValue::Bool(false))) => dag.add(Op::Lit {
-                    cols: dag.schema(ch[0]).to_vec(),
-                    rows: vec![],
-                }),
-                _ => dag.add(Op::Select {
-                    input: ch[0],
-                    col: *col,
-                }),
+            match prop_of(&ctx.props, old_input, *col) {
+                Some(ColProp::Const(AValue::Bool(true))) => {
+                    ctx.fire("select-const-true", old_id, ch[0]);
+                    Ok(ch[0])
+                }
+                Some(ColProp::Const(AValue::Bool(false))) => {
+                    let id = intern(
+                        dag,
+                        ctx,
+                        "select-const-false",
+                        old_id,
+                        Op::Lit {
+                            cols: dag.schema(ch[0]).to_vec(),
+                            rows: vec![],
+                        },
+                    )?;
+                    ctx.fire("select-const-false", old_id, id);
+                    Ok(id)
+                }
+                _ => intern(
+                    dag,
+                    ctx,
+                    "rebuild",
+                    old_id,
+                    Op::Select {
+                        input: ch[0],
+                        col: *col,
+                    },
+                ),
             }
         }
         // ---- step merging (§5)
         Op::Step { axis, test, .. } => {
             if opts.merge_steps && *axis == Axis::Child {
                 if let Some(inner_input) = find_dos_step(dag, ch[0]) {
-                    return dag.add(Op::Step {
-                        input: inner_input,
-                        axis: Axis::Descendant,
-                        test: *test,
-                    });
+                    let id = intern(
+                        dag,
+                        ctx,
+                        "merge-steps",
+                        old_id,
+                        Op::Step {
+                            input: inner_input,
+                            axis: Axis::Descendant,
+                            test: *test,
+                        },
+                    )?;
+                    ctx.fire("merge-steps", old_id, id);
+                    return Ok(id);
                 }
             }
-            dag.add(Op::Step {
-                input: ch[0],
-                axis: *axis,
-                test: *test,
-            })
+            intern(
+                dag,
+                ctx,
+                "rebuild",
+                old_id,
+                Op::Step {
+                    input: ch[0],
+                    axis: *axis,
+                    test: *test,
+                },
+            )
         }
         // ---- structural simplifications
         Op::Distinct { .. } => {
             if let Op::Distinct { .. } = dag.op(ch[0]) {
-                return ch[0];
+                ctx.fire("distinct-dedup", old_id, ch[0]);
+                return Ok(ch[0]);
             }
             // §1/§4.2: a union of two steps over the *same* context with
             // provably disjoint name tests needs no duplicate elimination
@@ -346,18 +571,23 @@ fn rewrite_op(
             // Figure 10.
             if let Op::Union { l, r } = *dag.op(ch[0]) {
                 if steps_disjoint(dag, l, r) {
-                    return ch[0];
+                    ctx.fire("distinct-disjoint-union", old_id, ch[0]);
+                    return Ok(ch[0]);
                 }
             }
-            dag.add(Op::Distinct { input: ch[0] })
+            intern(dag, ctx, "rebuild", old_id, Op::Distinct { input: ch[0] })
         }
         Op::Union { .. } => {
             let (l, r) = (ch[0], ch[1]);
             if is_empty_lit(dag, l) {
-                return align_schema(dag, r, &my_req);
+                let id = align_schema(dag, r, &my_req);
+                ctx.fire("union-empty-side", old_id, id);
+                return Ok(id);
             }
             if is_empty_lit(dag, r) {
-                return align_schema(dag, l, &my_req);
+                let id = align_schema(dag, l, &my_req);
+                ctx.fire("union-empty-side", old_id, id);
+                return Ok(id);
             }
             // Defensive alignment: column pruning may have left the two
             // sides with different column sets — project both to the
@@ -372,28 +602,47 @@ fn rewrite_op(
                     my_req.intersection(&common).copied().collect()
                 };
                 let target = if target.is_empty() { common } else { target };
-                let lp = project_to(dag, l, &target);
-                let rp = project_to(dag, r, &target);
-                return dag.add(Op::Union { l: lp, r: rp });
+                let lp = project_to(dag, ctx, l, &target)?;
+                let rp = project_to(dag, ctx, r, &target)?;
+                let id = intern(
+                    dag,
+                    ctx,
+                    "union-align-schema",
+                    old_id,
+                    Op::Union { l: lp, r: rp },
+                )?;
+                ctx.fire("union-align-schema", old_id, id);
+                return Ok(id);
             }
-            dag.add(Op::Union { l, r })
+            intern(dag, ctx, "rebuild", old_id, Op::Union { l, r })
         }
         // ---- default: rebuild with rewritten children
-        other => dag.add(other.with_children(ch)),
+        other => intern(dag, ctx, "rebuild", old_id, other.with_children(ch)),
     }
 }
 
 /// Project `id` onto exactly `cols` (no-op when already exact).
-fn project_to(dag: &mut Dag, id: OpId, cols: &BTreeSet<Col>) -> OpId {
+fn project_to(
+    dag: &mut Dag,
+    ctx: &Ctx<'_>,
+    id: OpId,
+    cols: &BTreeSet<Col>,
+) -> Result<OpId, OptError> {
     let schema: BTreeSet<Col> = dag.schema(id).iter().copied().collect();
     if &schema == cols {
-        return id;
+        return Ok(id);
     }
     let list: Vec<(Col, Col)> = cols.iter().map(|&c| (c, c)).collect();
-    dag.add(Op::Project {
-        input: id,
-        cols: list,
-    })
+    intern(
+        dag,
+        ctx,
+        "union-align-schema",
+        id,
+        Op::Project {
+            input: id,
+            cols: list,
+        },
+    )
 }
 
 /// When a union side disappears, make sure the surviving side exposes at
@@ -692,6 +941,44 @@ mod tests {
         let root2 = dag.add(Op::Serialize { input: h2 });
         let (new_root2, _) = optimize(&mut dag, root2, &OptOptions::default());
         assert_eq!(PlanStats::of(&dag, new_root2).count("δ"), 1);
+    }
+
+    #[test]
+    fn trace_names_fired_rules() {
+        // Same plan as `cda_removes_overwritten_rownum`: the trace must
+        // name the dead-% bypass, and every entry must carry a round.
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITER, Col::ITEM]);
+        let rn = dag.add(Op::RowNum {
+            input: src,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let proj = dag.add(Op::Project {
+            input: rn,
+            cols: vec![(Col::ITER, Col::ITER), (Col::ITEM, Col::ITEM)],
+        });
+        let hash = dag.add(Op::RowId {
+            input: proj,
+            new: Col::POS,
+        });
+        let root = dag.add(Op::Serialize { input: hash });
+        let (_, report) = try_optimize(&mut dag, root, &OptOptions::default()).unwrap();
+        assert!(report.fired("cda-bypass-rownum") >= 1, "{:?}", report.trace);
+        assert!(report
+            .trace
+            .iter()
+            .all(|a| a.round < OptOptions::default().max_rounds));
+        // The disabled configuration fires nothing.
+        let mut dag2 = Dag::new();
+        let src2 = lit(&mut dag2, vec![Col::ITER, Col::ITEM]);
+        let root2 = dag2.add(Op::RowId {
+            input: src2,
+            new: Col::POS,
+        });
+        let (_, report2) = try_optimize(&mut dag2, root2, &OptOptions::disabled()).unwrap();
+        assert!(report2.trace.is_empty(), "{:?}", report2.trace);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Run the XMark differential suite from the command line.
+//!
+//! ```text
+//! xmark-verify [--seed N]... [--scale F] [--query N]...
+//! ```
+//!
+//! Exits 0 when every (seed, query) cell passes the three-way oracle and
+//! 1 on any divergence, printing the failing cells. CI runs this over a
+//! fixed seed matrix.
+
+use exrquy_verify::{run_xmark_suite, SuiteConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = SuiteConfig::default();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut queries: Vec<usize> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parse_next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => match parse_next(&mut args, "--seed").parse() {
+                Ok(s) => seeds.push(s),
+                Err(_) => die("--seed: not a number"),
+            },
+            "--scale" => match parse_next(&mut args, "--scale").parse() {
+                Ok(f) => cfg.scale = f,
+                Err(_) => die("--scale: not a number"),
+            },
+            "--query" => match parse_next(&mut args, "--query").parse() {
+                Ok(q) if (1..=20).contains(&q) => queries.push(q),
+                _ => die("--query: expected 1..=20"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: xmark-verify [--seed N]... [--scale F] [--query N]...");
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !seeds.is_empty() {
+        cfg.seeds = seeds;
+    }
+    if !queries.is_empty() {
+        cfg.queries = queries;
+    }
+    let report = run_xmark_suite(&cfg);
+    eprintln!("{report}");
+    if report.all_passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("xmark-verify: {msg}");
+    std::process::exit(64);
+}

@@ -1,0 +1,312 @@
+//! The fault-injection matrix: failpoint specs against real queries,
+//! asserting graceful degradation.
+//!
+//! "Graceful" means four things, all checked per case: (1) the query
+//! fails with one of the *expected* typed error codes — injected faults
+//! must ride the same error paths real faults take; (2) no panic escapes
+//! the pipeline; (3) the store holds no partially-built fragments
+//! afterwards; (4) the session stays usable — the same query succeeds
+//! once the failpoints are disarmed.
+
+use exrquy::diag::{ErrorCode, Failpoints};
+use exrquy::{QueryOptions, Session};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One cell of the fault matrix.
+#[derive(Debug, Clone)]
+pub struct FaultCase {
+    /// Short label for reports.
+    pub name: String,
+    /// Failpoint spec (the `--inject` grammar).
+    pub spec: String,
+    /// Query to run with the failpoints armed.
+    pub query: String,
+    /// Error codes that count as graceful degradation.
+    pub expected: Vec<ErrorCode>,
+    /// Run under the order-aware baseline configuration instead of the
+    /// order-indifferent one (needed when the targeted operator — e.g.
+    /// `%` — only survives in unoptimized plans).
+    pub baseline: bool,
+}
+
+impl FaultCase {
+    pub fn new(
+        name: &str,
+        spec: &str,
+        query: &str,
+        expected: Vec<ErrorCode>,
+        baseline: bool,
+    ) -> Self {
+        FaultCase {
+            name: name.to_string(),
+            spec: spec.to_string(),
+            query: query.to_string(),
+            expected,
+            baseline,
+        }
+    }
+}
+
+/// Outcome of one case.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    pub name: String,
+    /// Observed error code, when the query failed with a typed error.
+    pub code: Option<ErrorCode>,
+    /// `None` when the case degraded gracefully; otherwise what went
+    /// wrong (wrong code, unexpected success, state leak, panic, …).
+    pub problem: Option<String>,
+}
+
+/// Outcome of a matrix run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    pub outcomes: Vec<FaultOutcome>,
+}
+
+impl FaultReport {
+    pub fn failures(&self) -> Vec<&FaultOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.problem.is_some())
+            .collect()
+    }
+
+    pub fn all_graceful(&self) -> bool {
+        self.outcomes.iter().all(|o| o.problem.is_none())
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fails = self.failures();
+        write!(
+            f,
+            "fault matrix: {}/{} cases degraded gracefully",
+            self.outcomes.len() - fails.len(),
+            self.outcomes.len()
+        )?;
+        for o in fails {
+            write!(f, "\n  {}: {}", o.name, o.problem.as_deref().unwrap_or(""))?;
+        }
+        Ok(())
+    }
+}
+
+/// Two small documents every case can rely on: `d.xml` and `e.xml`, each
+/// with two `x` descendants.
+const DOC_D: &str = "<site><a><x/></a><b><x/></b></site>";
+const DOC_E: &str = "<other><x/><c><x/></c></other>";
+
+/// The standard grid: every failpoint kind, over queries guaranteed to
+/// reach the targeted operator.
+pub fn default_cases() -> Vec<FaultCase> {
+    vec![
+        FaultCase::new(
+            "doc-io-first-access",
+            "doc-io:1",
+            r#"doc("d.xml")//x"#,
+            vec![ErrorCode::FODC0002],
+            false,
+        ),
+        FaultCase::new(
+            "doc-io-second-access",
+            "doc-io:2",
+            r#"(doc("d.xml")//x, doc("e.xml")//x)"#,
+            vec![ErrorCode::FODC0002],
+            false,
+        ),
+        FaultCase::new(
+            "doc-parse-on-load",
+            "doc-parse:1",
+            r#"fn:count(doc("d.xml")//x)"#,
+            vec![ErrorCode::FODC0006],
+            false,
+        ),
+        FaultCase::new(
+            "budget-trip-step",
+            "budget-trip:step",
+            r#"doc("d.xml")//x"#,
+            vec![ErrorCode::EXRQ0001],
+            false,
+        ),
+        FaultCase::new(
+            "budget-trip-rownum",
+            "budget-trip:rownum",
+            // The baseline plan numbers the step result with a sorting %.
+            r#"doc("d.xml")//x"#,
+            vec![ErrorCode::EXRQ0001],
+            true,
+        ),
+        FaultCase::new(
+            "budget-trip-serialize",
+            "budget-trip:serialize",
+            r#"doc("d.xml")//x"#,
+            vec![ErrorCode::EXRQ0001],
+            false,
+        ),
+        FaultCase::new(
+            "cancel-at-first-boundary",
+            "cancel-after:0",
+            r#"doc("d.xml")//x"#,
+            vec![ErrorCode::EXRQ0002],
+            false,
+        ),
+        FaultCase::new(
+            "cancel-mid-plan",
+            "cancel-after:3",
+            r#"for $x in doc("d.xml")//x return <hit>{ $x }</hit>"#,
+            vec![ErrorCode::EXRQ0002],
+            false,
+        ),
+    ]
+}
+
+/// Run one case; any panic inside counts as a failed case, not a failed
+/// harness.
+fn run_case(case: &FaultCase) -> FaultOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| check_case(case)));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            FaultOutcome {
+                name: case.name.clone(),
+                code: None,
+                problem: Some(format!("PANIC: {msg}")),
+            }
+        }
+    }
+}
+
+fn check_case(case: &FaultCase) -> FaultOutcome {
+    let fail = |code: Option<ErrorCode>, problem: String| FaultOutcome {
+        name: case.name.clone(),
+        code,
+        problem: Some(problem),
+    };
+    let fp = match Failpoints::parse(&case.spec) {
+        Ok(fp) => fp,
+        Err(e) => return fail(None, format!("spec rejected: {e}")),
+    };
+    let base_opts = if case.baseline {
+        QueryOptions::baseline()
+    } else {
+        QueryOptions::order_indifferent()
+    };
+
+    let mut session = Session::new();
+    session.set_failpoints(fp.clone());
+    let load = session
+        .load_document("d.xml", DOC_D)
+        .and_then(|()| session.load_document("e.xml", DOC_E));
+    let observed = match load {
+        Err(e) => {
+            // Load-time fault (doc-parse). Nothing may have been
+            // registered for the failed document.
+            if session.store().len() >= 2 {
+                return fail(
+                    Some(e.code()),
+                    format!(
+                        "malformed load left {} fragments behind",
+                        session.store().len()
+                    ),
+                );
+            }
+            e.code()
+        }
+        Ok(()) => {
+            let frags_before = session.store().len();
+            let opts = base_opts.clone().with_failpoints(fp);
+            match session.query_with(&case.query, &opts) {
+                Ok(_) => {
+                    return fail(
+                        None,
+                        "expected an injected failure, query succeeded".to_string(),
+                    )
+                }
+                Err(e) => {
+                    if session.store().len() != frags_before {
+                        return fail(
+                            Some(e.code()),
+                            format!(
+                                "store leaked fragments: {} before, {} after",
+                                frags_before,
+                                session.store().len()
+                            ),
+                        );
+                    }
+                    e.code()
+                }
+            }
+        }
+    };
+    if !case.expected.contains(&observed) {
+        return fail(
+            Some(observed),
+            format!("unexpected code {observed} (expected {:?})", case.expected),
+        );
+    }
+    // The session must remain usable once the failpoints are disarmed.
+    session.set_failpoints(Failpoints::none());
+    if let Err(e) = session
+        .load_document("d.xml", DOC_D)
+        .and_then(|()| session.load_document("e.xml", DOC_E))
+    {
+        return fail(
+            Some(observed),
+            format!("session not reusable after fault: reload failed: {e}"),
+        );
+    }
+    if let Err(e) = session.query_with(&case.query, &base_opts) {
+        return fail(
+            Some(observed),
+            format!("session not reusable after fault: rerun failed: {e}"),
+        );
+    }
+    FaultOutcome {
+        name: case.name.clone(),
+        code: Some(observed),
+        problem: None,
+    }
+}
+
+/// Run a fault matrix (use [`default_cases`] for the standard grid).
+pub fn run_fault_matrix(cases: &[FaultCase]) -> FaultReport {
+    FaultReport {
+        outcomes: cases.iter().map(run_case).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matrix_degrades_gracefully() {
+        let report = run_fault_matrix(&default_cases());
+        assert!(report.all_graceful(), "{report}");
+        assert_eq!(report.outcomes.len(), default_cases().len());
+    }
+
+    #[test]
+    fn wrong_expectation_is_reported_not_panicked() {
+        // A case that expects the wrong code must come back as a problem.
+        let case = FaultCase::new(
+            "mislabeled",
+            "cancel-after:0",
+            r#"doc("d.xml")//x"#,
+            vec![ErrorCode::FODC0002],
+            false,
+        );
+        let report = run_fault_matrix(&[case]);
+        assert!(!report.all_graceful());
+        assert_eq!(report.outcomes[0].code, Some(ErrorCode::EXRQ0002));
+        assert!(report.to_string().contains("mislabeled"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Self-verification harnesses for the eXrQuy pipeline.
+//!
+//! The primitive — the three-way differential oracle — lives in the core
+//! crate as [`Session::verify`](exrquy::Session::verify): it executes one
+//! query unoptimized, optimized, and optimized with `%`-weakening
+//! disabled, and compares the results under the equivalence the effective
+//! ordering mode grants (exact sequences when `ordered`, bags when
+//! `unordered`). This crate builds the batch layers on top:
+//!
+//! * [`suite`] — the XMark differential suite: all 20 benchmark queries,
+//!   over a matrix of generator seeds and scale factors, through the
+//!   oracle. Any divergence is a bug in the optimizer (or the oracle).
+//! * [`harness`] — the fault-injection matrix: a grid of failpoint specs
+//!   (`doc-io`, `doc-parse`, `budget-trip`, `cancel-after`) run against
+//!   real queries, asserting *graceful degradation*: the expected typed
+//!   error code, no panic, no partially-built store state, and a session
+//!   that remains usable afterwards.
+//!
+//! Both layers are deterministic end to end — documents come from the
+//! seeded XMark generator, failpoints are counter-based — so a red run
+//! reproduces on every machine.
+
+pub mod harness;
+pub mod suite;
+
+pub use harness::{default_cases, run_fault_matrix, FaultCase, FaultOutcome, FaultReport};
+pub use suite::{run_xmark_suite, QueryOutcome, SuiteConfig, SuiteReport};

@@ -26,18 +26,37 @@ pub struct ParseError {
     pub offset: usize,
     /// Human-readable description.
     pub message: String,
-    /// Machine-readable code (`FODC0002` for malformed documents,
+    /// Machine-readable code (`FODC0006` for malformed content,
     /// `EXRQ0003` for nesting-depth overflow).
     pub code: ErrorCode,
+    /// Where the input came from (file path or URL), when known. Set by
+    /// document loaders via [`with_source`](Self::with_source) so the
+    /// rendered message names the offending document, not just the offset.
+    pub source: Option<String>,
+}
+
+impl ParseError {
+    /// Attach the originating path/URL to the error.
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "XML parse error at byte {}: {}",
-            self.offset, self.message
-        )
+        match &self.source {
+            Some(src) => write!(
+                f,
+                "XML parse error in `{src}` at byte {}: {}",
+                self.offset, self.message
+            ),
+            None => write!(
+                f,
+                "XML parse error at byte {}: {}",
+                self.offset, self.message
+            ),
+        }
     }
 }
 
@@ -85,7 +104,8 @@ impl Parser<'_, '_> {
         ParseError {
             offset: self.pos,
             message: msg.into(),
-            code: ErrorCode::FODC0002,
+            code: ErrorCode::FODC0006,
+            source: None,
         }
     }
 
@@ -202,6 +222,7 @@ impl Parser<'_, '_> {
                     offset: self.pos,
                     message: format!("element nesting exceeds depth limit {}", self.max_depth),
                     code: ErrorCode::EXRQ0003,
+                    source: None,
                 });
             }
             self.expect("<")?;

@@ -9,6 +9,7 @@
 
 use crate::name::NamePool;
 use crate::tree::Document;
+use exrquy_diag::{ErrorCode, Failpoints};
 use std::fmt;
 
 /// Global node identifier. Lexicographic order on `(frag, pre)` is the
@@ -41,6 +42,12 @@ pub struct Store {
     frags: Vec<Document>,
     /// Shared element/attribute name interning.
     pub pool: NamePool,
+    /// Armed failpoints for the document resolver (`doc-parse`).
+    failpoints: Failpoints,
+    /// Documents loaded through [`add_parsed`](Self::add_parsed) over the
+    /// store's lifetime (not reduced by `truncate_frags`) — the
+    /// deterministic counter behind the `doc-parse` failpoint.
+    loads: usize,
 }
 
 impl Store {
@@ -89,9 +96,28 @@ impl Store {
         self.frags.truncate(len);
     }
 
+    /// Arm failpoints for this store's document resolver (the `doc-parse`
+    /// fault hook).
+    pub fn set_failpoints(&mut self, failpoints: Failpoints) {
+        self.failpoints = failpoints;
+    }
+
     /// Parse `text` and register the resulting document, returning the id
-    /// of its document root node.
+    /// of its document root node. Nothing is registered on a parse error —
+    /// a malformed document never leaves a partially-built fragment behind.
     pub fn add_parsed(&mut self, text: &str) -> Result<NodeId, crate::parse::ParseError> {
+        self.loads += 1;
+        if self.failpoints.doc_parse_fails(self.loads) {
+            return Err(crate::parse::ParseError {
+                offset: 0,
+                message: format!(
+                    "document content is not well-formed (injected at load {})",
+                    self.loads
+                ),
+                code: ErrorCode::FODC0006,
+                source: None,
+            });
+        }
         let doc = crate::parse::parse_document(text, &mut self.pool)?;
         let frag = self.add(doc);
         Ok(NodeId::new(frag, 0))

@@ -84,7 +84,9 @@ fn malformed_documents_are_rejected() {
 fn malformed_documents_carry_codes() {
     let mut s = Session::new();
     // Truncated documents, mismatched tags, bad entity references,
-    // attribute syntax junk: all FODC0002 (document retrieval failure).
+    // attribute syntax junk: all FODC0006 (malformed content) — distinct
+    // from FODC0002, which is reserved for retrieval failures (the
+    // document does not exist or cannot be read).
     for xml in [
         "<a><b>",         // truncated: b and a never close
         "<a><b></a></b>", // mismatched close ordering
@@ -96,15 +98,48 @@ fn malformed_documents_carry_codes() {
         "<>x</>",         // empty tag name
     ] {
         let err = s.load_document("bad.xml", xml).unwrap_err();
-        assert_eq!(err.code(), ErrorCode::FODC0002, "`{xml}` gave {err}");
+        assert_eq!(err.code(), ErrorCode::FODC0006, "`{xml}` gave {err}");
         assert_eq!(err.class(), ErrorClass::Dynamic);
-        assert!(err.to_string().contains("XML parse error at byte"), "{err}");
+        assert!(
+            err.to_string()
+                .contains("XML parse error in `bad.xml` at byte"),
+            "{err}"
+        );
     }
     // Absurdly deep nesting is a resource error, not a stack overflow.
     let deep = format!("{}{}", "<e>".repeat(4000), "</e>".repeat(4000));
     let err = s.load_document("deep.xml", &deep).unwrap_err();
     assert_eq!(err.code(), ErrorCode::EXRQ0003, "{err}");
     assert_eq!(err.class(), ErrorClass::Resource);
+}
+
+#[test]
+fn malformed_documents_name_path_and_byte_offset() {
+    let mut s = Session::new();
+    // The mismatched close tag sits at a known offset; the message must
+    // name the document and point into it.
+    let xml = "<root><ok/></wrong>";
+    let err = s.load_document("data/feed.xml", xml).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::FODC0006);
+    let msg = err.to_string();
+    assert!(msg.contains("`data/feed.xml`"), "{msg}");
+    let offset: usize = msg
+        .split("at byte ")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|d| d.parse().ok())
+        })
+        .unwrap_or_else(|| panic!("no byte offset in `{msg}`"));
+    assert!(
+        offset >= xml.find("</wrong>").unwrap() && offset < xml.len(),
+        "offset {offset} does not point at the bad close tag in `{msg}`"
+    );
+    // A missing document stays FODC0002: retrieval, not content.
+    let mut s2 = session();
+    let err = s2.query(r#"doc("nope.xml")/x"#).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::FODC0002);
 }
 
 #[test]

@@ -1,0 +1,262 @@
+//! Serialize→parse round-trip property: for randomly generated XML
+//! trees, parsing the serializer's output reproduces the exact
+//! pre/size/level encoding. Driven by the in-repo deterministic PRNG so
+//! the suite builds offline.
+
+use exrquy_xml::rng::SmallRng;
+use exrquy_xml::serialize::{escape_attr, escape_text, serialize_subtree};
+use exrquy_xml::{parse_document, Document, NamePool};
+
+/// Abstract content node; the generator emits these, an emitter renders
+/// them to markup, and the parser's encoding is what we compare.
+enum Node {
+    Elem {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Node>,
+    },
+    Text(String),
+    Comment(String),
+    Pi(String, String),
+}
+
+fn elem_name(rng: &mut SmallRng) -> String {
+    ["item", "person", "e", "ns_x", "long-name.v2"][rng.gen_range(0usize..5)].to_string()
+}
+
+/// Text content, biased towards characters that need escaping.
+fn text_content(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(1usize..12);
+    let mut s = String::new();
+    for _ in 0..n {
+        match rng.gen_range(0u32..10) {
+            0 => s.push('<'),
+            1 => s.push('&'),
+            2 => s.push('>'),
+            3 => s.push('"'),
+            4 => s.push(' '),
+            _ => s.push((b'a' + rng.gen_range(0u32..26) as u8) as char),
+        }
+    }
+    // Whitespace-only text is representable but easy to confuse with
+    // indentation; keep at least one visible character.
+    if s.trim().is_empty() {
+        s.push('t');
+    }
+    s
+}
+
+/// Comment/PI bodies stay in a safe alphabet: `--` inside a comment and
+/// `?>` inside a PI are unserializable, and leading whitespace in PI data
+/// is trimmed by the parser.
+fn safe_content(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(1usize..10);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0u32..27);
+            if c == 26 {
+                ' '
+            } else {
+                (b'a' + c as u8) as char
+            }
+        })
+        .collect::<String>()
+        .trim()
+        .to_string()
+        + "z"
+}
+
+fn random_elem(rng: &mut SmallRng, depth: u32) -> Node {
+    let n_attrs = rng.gen_range(0usize..3);
+    let attrs = (0..n_attrs)
+        .map(|i| (format!("a{i}"), text_content(rng)))
+        .collect();
+    let mut children = Vec::new();
+    if depth > 0 {
+        let n = rng.gen_range(0usize..4);
+        let mut last_was_text = false;
+        for _ in 0..n {
+            // Adjacent text nodes merge on reparse, so never emit two in
+            // a row — the property is about the encoding, not about text
+            // coalescing.
+            let choice = if last_was_text {
+                rng.gen_range(1u32..4)
+            } else {
+                rng.gen_range(0u32..5)
+            };
+            let child = match choice {
+                0 | 4 => {
+                    last_was_text = true;
+                    Node::Text(text_content(rng))
+                }
+                1 => {
+                    last_was_text = false;
+                    random_elem(rng, depth - 1)
+                }
+                2 => {
+                    last_was_text = false;
+                    Node::Comment(safe_content(rng))
+                }
+                _ => {
+                    last_was_text = false;
+                    Node::Pi("go".to_string(), safe_content(rng))
+                }
+            };
+            children.push(child);
+        }
+    }
+    Node::Elem {
+        name: elem_name(rng),
+        attrs,
+        children,
+    }
+}
+
+fn emit(node: &Node, out: &mut String) {
+    match node {
+        Node::Elem {
+            name,
+            attrs,
+            children,
+        } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    emit(c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+        Node::Text(t) => escape_text(t, out),
+        Node::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        Node::Pi(target, data) => {
+            out.push_str("<?");
+            out.push_str(target);
+            out.push(' ');
+            out.push_str(data);
+            out.push_str("?>");
+        }
+    }
+}
+
+/// Everything the pre/size/level encoding stores, with names resolved
+/// through the pool so the comparison is independent of interning order.
+fn encoding_fingerprint(doc: &Document, pool: &NamePool) -> Vec<String> {
+    use exrquy_xml::NodeKind;
+    (0..doc.len() as u32)
+        .map(|pre| {
+            let named = matches!(
+                doc.kind(pre),
+                NodeKind::Element | NodeKind::Attribute | NodeKind::ProcessingInstruction
+            );
+            let name = if named {
+                pool.resolve(doc.name(pre))
+            } else {
+                ""
+            };
+            format!(
+                "{} name={name:?} size={} level={} parent={:?} text={:?}",
+                doc.kind(pre),
+                doc.size(pre),
+                doc.level(pre),
+                doc.parent(pre),
+                doc.text(pre),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn serialize_parse_preserves_pre_size_level_encoding() {
+    let mut rng = SmallRng::seed_from_u64(0xE17A);
+    for case in 0..200 {
+        let tree = random_elem(&mut rng, 3);
+        let mut text = String::new();
+        emit(&tree, &mut text);
+
+        let mut pool1 = NamePool::new();
+        let doc1 = parse_document(&text, &mut pool1)
+            .unwrap_or_else(|e| panic!("case {case}: generated XML failed to parse: {e}\n{text}"));
+        doc1.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: first parse broke invariants: {e}"));
+
+        let mut serialized = String::new();
+        serialize_subtree(&doc1, 0, &pool1, &mut serialized);
+
+        let mut pool2 = NamePool::new();
+        let doc2 = parse_document(&serialized, &mut pool2).unwrap_or_else(|e| {
+            panic!("case {case}: serialized XML failed to reparse: {e}\n{serialized}")
+        });
+        doc2.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: reparse broke invariants: {e}"));
+
+        assert_eq!(
+            encoding_fingerprint(&doc1, &pool1),
+            encoding_fingerprint(&doc2, &pool2),
+            "case {case}: round-trip changed the encoding\noriginal: {text}\nserialized: {serialized}"
+        );
+
+        // The fixpoint must be reached after one round: serializing the
+        // reparsed document reproduces the same bytes.
+        let mut serialized2 = String::new();
+        serialize_subtree(&doc2, 0, &pool2, &mut serialized2);
+        assert_eq!(
+            serialized, serialized2,
+            "case {case}: serializer not a fixpoint"
+        );
+    }
+}
+
+#[test]
+fn roundtrip_covers_depth_and_width_extremes() {
+    // A deep chain and a wide fan-out exercise `size`/`level` bookkeeping
+    // at the boundaries the random sampler rarely hits.
+    let deep = {
+        let mut s = String::new();
+        for _ in 0..40 {
+            s.push_str("<d>");
+        }
+        s.push_str("leaf");
+        for _ in 0..40 {
+            s.push_str("</d>");
+        }
+        s
+    };
+    let wide = {
+        let mut s = String::from("<w>");
+        for i in 0..120 {
+            s.push_str(&format!("<c i=\"{i}\"/>"));
+        }
+        s.push_str("</w>");
+        s
+    };
+    for text in [deep, wide] {
+        let mut pool1 = NamePool::new();
+        let doc1 = parse_document(&text, &mut pool1).expect("parse");
+        let mut out = String::new();
+        serialize_subtree(&doc1, 0, &pool1, &mut out);
+        let mut pool2 = NamePool::new();
+        let doc2 = parse_document(&out, &mut pool2).expect("reparse");
+        assert_eq!(
+            encoding_fingerprint(&doc1, &pool1),
+            encoding_fingerprint(&doc2, &pool2)
+        );
+    }
+}

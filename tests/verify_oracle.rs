@@ -1,0 +1,78 @@
+//! Tier-1 differential-oracle suite: every XMark query through the
+//! three-way oracle, plus end-to-end checks that an injected divergence
+//! is caught and reported with the typed code and a plan diff.
+
+use exrquy::diag::{ErrorCode, Failpoints};
+use exrquy::{Equivalence, QueryOptions, Session};
+use exrquy_verify::{run_xmark_suite, SuiteConfig};
+use exrquy_xmark::{generate, XmarkConfig};
+
+fn xmark_session() -> Session {
+    let mut s = Session::new();
+    let xml = generate(&XmarkConfig {
+        scale: 0.0025,
+        seed: 42,
+    });
+    s.load_document("auction.xml", &xml).expect("load");
+    s
+}
+
+#[test]
+fn all_twenty_xmark_queries_pass_the_oracle() {
+    let report = run_xmark_suite(&SuiteConfig::default());
+    assert!(report.all_passed(), "{report}");
+    assert_eq!(report.outcomes.len(), 20);
+}
+
+#[test]
+fn suite_is_stable_across_generator_seeds() {
+    // A second seed changes every document value; the oracle must still
+    // agree on a representative query slice.
+    let cfg = SuiteConfig {
+        queries: vec![2, 8, 11, 17, 19],
+        ..SuiteConfig::default()
+    }
+    .with_seeds(vec![7, 1234]);
+    let report = run_xmark_suite(&cfg);
+    assert!(report.all_passed(), "{report}");
+    assert_eq!(report.outcomes.len(), 10);
+}
+
+#[test]
+fn oracle_reports_equivalence_matching_ordering_mode() {
+    let mut s = xmark_session();
+    let unordered = s
+        .verify(
+            "for $i in doc(\"auction.xml\")//item return $i/@id",
+            &QueryOptions::order_indifferent(),
+        )
+        .expect("oracle");
+    assert_eq!(unordered.equivalence, Equivalence::Bag);
+    assert_eq!(unordered.arms.len(), 3);
+
+    let ordered = s
+        .verify(
+            "for $i in doc(\"auction.xml\")//item return $i/@id",
+            &QueryOptions::honor_prolog(),
+        )
+        .expect("oracle");
+    assert_eq!(ordered.equivalence, Equivalence::Sequence);
+}
+
+#[test]
+fn injected_divergence_fails_with_exrq0004_and_plan_diff() {
+    let mut s = xmark_session();
+    for arm in ["baseline", "optimized", "noweaken"] {
+        let fp = Failpoints::parse(&format!("oracle-perturb:{arm}")).expect("spec");
+        let opts = QueryOptions::order_indifferent().with_failpoints(fp);
+        let err = s
+            .verify("doc(\"auction.xml\")//item/name", &opts)
+            .expect_err("perturbed arm must diverge");
+        assert_eq!(err.code(), ErrorCode::EXRQ0004, "arm {arm}: {err}");
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("plan diff vs baseline") || arm == "baseline",
+            "arm {arm} divergence must carry a plan diff: {rendered}"
+        );
+    }
+}
