@@ -30,7 +30,7 @@ use crate::col::Col;
 use crate::dag::OpId;
 use crate::value::AValue;
 use exrquy_xml::{Axis, NodeTest};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Sort criterion of a [`Op::RowNum`] (or an `order by`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -174,7 +174,7 @@ pub enum Op {
     },
     /// Access to an encoded XML document: one row, `item` = document root
     /// node of `url`.
-    Doc { url: Rc<str> },
+    Doc { url: Arc<str> },
     /// Projection with rename; does *not* remove duplicates (§3). `cols`
     /// pairs are `(output name, input name)`.
     Project { input: OpId, cols: Vec<(Col, Col)> },

@@ -5,7 +5,7 @@
 //! their bit pattern ([`AValue::Dbl`] wraps an ordered representation).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An atomic value in a plan literal.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -14,7 +14,7 @@ pub enum AValue {
     /// Double, stored as bits so the enum is `Eq + Hash`. NaNs with
     /// different payloads compare unequal, which is fine for interning.
     Dbl(u64),
-    Str(Rc<str>),
+    Str(Arc<str>),
     Bool(bool),
 }
 
@@ -26,7 +26,7 @@ impl AValue {
 
     /// Build a string value.
     pub fn str(s: &str) -> Self {
-        AValue::Str(Rc::from(s))
+        AValue::Str(Arc::from(s))
     }
 
     /// Extract the double (if this is one).

@@ -9,11 +9,11 @@ use exrquy_bench::{criterion_group, criterion_main};
 use exrquy_opt::{optimize, OptOptions};
 use exrquy_xmark::query;
 
-fn plans(session: &mut Session, n: usize) -> (exrquy_algebra::Dag, exrquy_algebra::OpId) {
+fn plans(session: &Session, n: usize) -> (exrquy_algebra::Dag, exrquy_algebra::OpId) {
     let mut opts = QueryOptions::order_indifferent();
     opts.opt = OptOptions::disabled();
     let plan = session.prepare(query(n), &opts).unwrap();
-    (plan.dag, plan.root)
+    (plan.dag.clone(), plan.root)
 }
 
 fn bench(c: &mut Criterion) {
@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("optimize_pass");
     for n in [6usize, 10, 11] {
-        let (dag, root) = plans(&mut session, n);
+        let (dag, root) = plans(&session, n);
         let full = OptOptions::default();
         let no_weaken = OptOptions {
             weaken_rownum: false,

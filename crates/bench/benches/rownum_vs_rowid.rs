@@ -6,8 +6,8 @@ use exrquy_algebra::{AValue, Col, Dag, Op, OpId, SortKey};
 use exrquy_bench::harness::{BenchmarkId, Criterion};
 use exrquy_bench::{criterion_group, criterion_main};
 use exrquy_engine::{Engine, EngineOptions};
-use exrquy_xml::Store;
-use std::collections::HashMap;
+use exrquy_xml::{Catalog, FragArena};
+use std::sync::Arc;
 
 /// Build a `[iter, item]` literal with `n` rows, shuffled item values,
 /// `groups` distinct iterations.
@@ -31,8 +31,8 @@ fn input(dag: &mut Dag, n: usize, groups: i64) -> OpId {
 }
 
 fn run(dag: &Dag, root: OpId) -> usize {
-    let mut store = Store::new();
-    let mut engine = Engine::new(dag, &mut store, HashMap::new(), EngineOptions::default());
+    let mut arena = FragArena::new(Arc::new(Catalog::new()));
+    let mut engine = Engine::new(dag, &mut arena, EngineOptions::default());
     engine.eval(root).unwrap().nrows()
 }
 

@@ -10,7 +10,7 @@ use exrquy_bench::{criterion_group, criterion_main};
 use exrquy_xmark::query;
 
 fn bench(c: &mut Criterion) {
-    let (mut session, _) = xmark_session(0.005);
+    let (session, _) = xmark_session(0.005);
     let mut group = c.benchmark_group("xmark");
     group.sample_size(20);
     // Q1 (lookup), Q6/Q7 (step merging outliers), Q8 (join), Q11 (the

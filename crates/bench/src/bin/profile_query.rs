@@ -16,7 +16,7 @@ fn main() {
     } else {
         QueryOptions::order_indifferent()
     };
-    let (mut session, bytes) = xmark_session(scale);
+    let (session, bytes) = xmark_session(scale);
     eprintln!("Q{n} at scale {scale} ({})", fmt_bytes(bytes));
     let plan = session.prepare(query(n), &opts).expect("compiles");
     eprintln!("plan: {}", plan.stats_final);

@@ -9,7 +9,7 @@
 use crate::{CResult, CompileError, Compiler};
 use exrquy_algebra::{AValue, Col, FunKind, Op, OpId};
 use exrquy_frontend::{AttrPart, DirAttr, ElemContent, Expr};
-use std::rc::Rc;
+use std::sync::Arc;
 
 impl Compiler<'_> {
     pub(crate) fn compile_constructor(&mut self, e: &Expr) -> CResult {
@@ -25,7 +25,7 @@ impl Compiler<'_> {
                 }
                 for c in content {
                     let q = match c {
-                        ElemContent::Text(t) => self.const_item(AValue::Str(Rc::from(t.as_str()))),
+                        ElemContent::Text(t) => self.const_item(AValue::Str(Arc::from(t.as_str()))),
                         ElemContent::Expr(e) => self.compile(e)?,
                     };
                     parts.push(q);
@@ -127,7 +127,7 @@ impl Compiler<'_> {
         self.dag.add(Op::Attach {
             input: lp,
             col: Col::ITEM,
-            value: AValue::Str(Rc::from(name)),
+            value: AValue::Str(Arc::from(name)),
         })
     }
 
@@ -153,7 +153,7 @@ impl Compiler<'_> {
                     self.dag.add(Op::Attach {
                         input: lp,
                         col: Col::ITEM1,
-                        value: AValue::Str(Rc::from(s.as_str())),
+                        value: AValue::Str(Arc::from(s.as_str())),
                     })
                 }
                 AttrPart::Expr(e) => {
@@ -170,7 +170,7 @@ impl Compiler<'_> {
                 self.dag.add(Op::Attach {
                     input: lp,
                     col: Col::ITEM1,
-                    value: AValue::Str(Rc::from("")),
+                    value: AValue::Str(Arc::from("")),
                 })
             }
             1 => part_tables[0],

@@ -561,7 +561,7 @@ impl Compiler<'_> {
                 let completed = self.complete_with_default(
                     sk,
                     Col::sort_key(i),
-                    AValue::Str(std::rc::Rc::from("")),
+                    AValue::Str(std::sync::Arc::from("")),
                 );
                 keys.push((Col::sort_key(i), spec.descending));
                 key_tables.push(completed);

@@ -8,7 +8,7 @@
 use crate::{CResult, CompileError, Compiler};
 use exrquy_algebra::{AValue, AggrKind, Col, FunKind, Op, OpId};
 use exrquy_frontend::Expr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Scratch column for the `i`-th scalar argument.
 fn arg_col(i: usize) -> Col {
@@ -30,7 +30,7 @@ impl Compiler<'_> {
                     ));
                 };
                 let doc = self.dag.add(Op::Doc {
-                    url: Rc::from(url.as_str()),
+                    url: Arc::from(url.as_str()),
                 });
                 let with_pos = self.dag.add(Op::Attach {
                     input: doc,
@@ -115,7 +115,7 @@ impl Compiler<'_> {
                     FunKind::NameOf,
                     &target,
                     false,
-                    Some(AValue::Str(Rc::from(""))),
+                    Some(AValue::Str(Arc::from(""))),
                 )
             }
             ("root", 1) => {

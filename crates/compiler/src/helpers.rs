@@ -275,7 +275,7 @@ impl Compiler<'_> {
             arg: Some(Col::RES),
             part: Some(Col::ITER),
         });
-        self.complete_with_default(joined, Col::ITEM1, AValue::Str(std::rc::Rc::from("")))
+        self.complete_with_default(joined, Col::ITEM1, AValue::Str(std::sync::Arc::from("")))
     }
 
     /// Compile the root (`/`): the document node reached from the current

@@ -42,10 +42,10 @@ mod truth;
 use exrquy_algebra::{AValue, Col, Dag, Op, OpId};
 use exrquy_diag::ErrorCode;
 use exrquy_frontend::{Expr, Module, OrderingMode};
-use exrquy_xml::Store;
+use exrquy_xml::{Catalog, NameId, NamePool};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Compilation error (unbound variables, unsupported constructs),
 /// tagged with a W3C-style static error code.
@@ -83,6 +83,11 @@ pub struct CompiledPlan {
     /// Root operator ([`Op::Serialize`]); its `pos|item` columns carry the
     /// query result.
     pub root: OpId,
+    /// Name snapshot the plan's node tests were interned against: the
+    /// catalog's frozen pool, extended (copy-on-write) with any names the
+    /// query mentions that no document contains. Shared, not cloned, into
+    /// the prepared plan and every execution overlay.
+    pub names: Arc<NamePool>,
 }
 
 /// One loop-lifting stack frame.
@@ -103,11 +108,19 @@ pub(crate) struct VarEntry {
     pub q: OpId,
 }
 
-/// The compiler state.
-pub struct Compiler<'s> {
+/// The compiler state. Compilation only *reads* the shared catalog; the
+/// names a query mentions are interned into a private copy-on-write
+/// snapshot ([`CompiledPlan::names`]), so any number of compilations may
+/// run concurrently over one `Arc<Catalog>`.
+pub struct Compiler<'c> {
     pub(crate) dag: Dag,
-    /// Shared name pool (node tests are interned against it).
-    pub(crate) store: &'s mut Store,
+    /// The shared, immutable document layer (read-only).
+    #[allow(dead_code)]
+    pub(crate) catalog: &'c Catalog,
+    /// Name snapshot: starts as a shared handle to the catalog's frozen
+    /// pool; cloned lazily (`Arc::make_mut`) the first time the query
+    /// mentions a name absent from every document.
+    names: Arc<NamePool>,
     pub(crate) frames: Vec<Frame>,
     /// Current nesting depth (index into `frames`); may be lower than
     /// `frames.len() - 1` while compiling a hoisted sub-expression.
@@ -116,10 +129,11 @@ pub struct Compiler<'s> {
     pub(crate) mode: Vec<OrderingMode>,
 }
 
-impl<'s> Compiler<'s> {
-    /// Create a compiler; `store` provides (and accumulates) interned
-    /// names for node tests and constructors.
-    pub fn new(store: &'s mut Store) -> Self {
+impl<'c> Compiler<'c> {
+    /// Create a compiler over a shared catalog; node-test names resolve
+    /// against the catalog's pool and accumulate into the plan's own
+    /// snapshot.
+    pub fn new(catalog: &'c Catalog) -> Self {
         let mut dag = Dag::new();
         let unit_loop = dag.add(Op::Lit {
             cols: vec![Col::ITER],
@@ -127,7 +141,8 @@ impl<'s> Compiler<'s> {
         });
         Compiler {
             dag,
-            store,
+            names: catalog.pool_arc(),
+            catalog,
             frames: vec![Frame {
                 loop_op: unit_loop,
                 map_op: None,
@@ -136,6 +151,15 @@ impl<'s> Compiler<'s> {
             env: HashMap::new(),
             mode: vec![OrderingMode::Ordered],
         }
+    }
+
+    /// Intern `name` into the plan's name snapshot. Names already in the
+    /// catalog pool resolve without touching the snapshot.
+    pub(crate) fn intern(&mut self, name: &str) -> NameId {
+        if let Some(id) = self.names.lookup(name) {
+            return id;
+        }
+        Arc::make_mut(&mut self.names).intern(name)
     }
 
     /// Compile a normalized module into a plan.
@@ -150,6 +174,7 @@ impl<'s> Compiler<'s> {
         Ok(CompiledPlan {
             dag: self.dag,
             root,
+            names: self.names,
         })
     }
 
@@ -250,7 +275,7 @@ impl<'s> Compiler<'s> {
         match e {
             Expr::IntLit(i) => Ok(self.const_item(AValue::Int(*i))),
             Expr::DblLit(d) => Ok(self.const_item(AValue::dbl(*d))),
-            Expr::StrLit(s) => Ok(self.const_item(AValue::Str(Rc::from(s.as_str())))),
+            Expr::StrLit(s) => Ok(self.const_item(AValue::Str(Arc::from(s.as_str())))),
             Expr::Empty => Ok(self.empty_seq()),
             Expr::Var(name) => {
                 let entry = self.lookup_var(name)?.clone();

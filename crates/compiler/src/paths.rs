@@ -11,11 +11,11 @@ impl Compiler<'_> {
         match t {
             NodeTestAst::AnyKind => NodeTest::AnyKind,
             NodeTestAst::Wildcard => NodeTest::Wildcard,
-            NodeTestAst::Name(n) => NodeTest::Name(self.store.pool.intern(n)),
+            NodeTestAst::Name(n) => NodeTest::Name(self.intern(n)),
             NodeTestAst::Text => NodeTest::Text,
             NodeTestAst::Comment => NodeTest::Comment,
             NodeTestAst::Pi(None) => NodeTest::Pi(None),
-            NodeTestAst::Pi(Some(t)) => NodeTest::Pi(Some(self.store.pool.intern(t))),
+            NodeTestAst::Pi(Some(t)) => NodeTest::Pi(Some(self.intern(t))),
             NodeTestAst::Element => NodeTest::Element,
             NodeTestAst::DocumentNode => NodeTest::DocumentNode,
         }

@@ -5,13 +5,13 @@
 use crate::{CompiledPlan, Compiler};
 use exrquy_algebra::{stats, Op, PlanStats};
 use exrquy_frontend::{normalize, parse_module};
-use exrquy_xml::Store;
+use exrquy_xml::Catalog;
 
 fn compile(q: &str) -> CompiledPlan {
     let m = parse_module(q).unwrap_or_else(|e| panic!("parse: {e}"));
     let m = normalize(&m);
-    let mut store = Store::new();
-    Compiler::new(&mut store)
+    let catalog = Catalog::new();
+    Compiler::new(&catalog)
         .compile_module(&m)
         .unwrap_or_else(|e| panic!("compile `{q}`: {e}"))
 }
@@ -186,8 +186,8 @@ fn xmark_like_queries_compile() {
 #[test]
 fn unbound_variable_is_an_error() {
     let m = normalize(&parse_module("$nope").unwrap());
-    let mut store = Store::new();
-    let err = Compiler::new(&mut store).compile_module(&m).unwrap_err();
+    let catalog = Catalog::new();
+    let err = Compiler::new(&catalog).compile_module(&m).unwrap_err();
     assert!(err.message.contains("unbound variable"));
     assert_eq!(err.code, exrquy_diag::ErrorCode::XPST0008);
 }

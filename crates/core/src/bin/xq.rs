@@ -215,6 +215,14 @@ fn main() {
 
     if explain {
         print!("{}", plan.plan_text());
+        let cs = session.cache_stats();
+        eprintln!(
+            "plan cache: {} hit(s), {} miss(es), {} uncacheable ({:.0}% hit rate)",
+            cs.hits,
+            cs.misses,
+            cs.uncacheable,
+            cs.hit_rate() * 100.0
+        );
         return;
     }
     if sql {

@@ -1,0 +1,218 @@
+//! The per-catalog query executor: compile + optimize + evaluate over an
+//! immutable, shareable [`Catalog`] snapshot, with a plan cache.
+//!
+//! An [`Executor`] owns no mutable document state. Every execution
+//! evaluates into a private [`FragArena`] overlay, so any number of
+//! executions — across threads — may run concurrently against the same
+//! `Arc<Catalog>`. Cloning an executor is cheap and shares both the
+//! catalog and the plan cache.
+
+use crate::result::ResultItem;
+use crate::session::{Error, Prepared, QueryOptions, QueryOutput};
+use exrquy_algebra::{Col, PlanStats};
+use exrquy_compiler::{CompiledPlan, Compiler};
+use exrquy_engine::{Engine, EngineOptions, Item};
+use exrquy_frontend::{check_depth, normalize_opts, parse_module_with};
+use exrquy_opt::try_optimize;
+use exrquy_xml::{serialize, Catalog, FragArena};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// The thread-safety contract of the pipeline, checked at compile time:
+// catalogs are shared across threads, prepared plans are executed from
+// many threads at once, executors are cloned into worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<Executor>();
+};
+
+/// Plan-cache counters (monotonic over the executor's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `prepare` calls answered from the cache.
+    pub hits: u64,
+    /// `prepare` calls that compiled and populated the cache.
+    pub misses: u64,
+    /// `prepare` calls that bypassed the cache (options carrying
+    /// run-specific state: a cancellation token or armed failpoints).
+    pub uncacheable: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over cacheable lookups (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Hashed (query text, options fingerprint) → shared prepared plan.
+///
+/// Internal to [`Executor`]; `Mutex` + atomics rather than anything
+/// fancier because preparation dominates the lock hold time by orders of
+/// magnitude and contention is per-catalog.
+#[derive(Debug, Default)]
+struct PlanCache {
+    plans: Mutex<HashMap<u64, Arc<Prepared>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+impl PlanCache {
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything that changes the compiled plan must feed the cache key;
+/// two option sets with equal fingerprints must prepare identical plans.
+fn fingerprint(query: &str, opts: &QueryOptions) -> u64 {
+    let mut h = DefaultHasher::new();
+    query.hash(&mut h);
+    opts.exploit.hash(&mut h);
+    opts.ordering.hash(&mut h);
+    opts.opt.hash(&mut h);
+    opts.step_algo.hash(&mut h);
+    opts.budget.hash(&mut h);
+    h.finish()
+}
+
+/// A query pipeline bound to one immutable catalog snapshot.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    catalog: Arc<Catalog>,
+    cache: Arc<PlanCache>,
+}
+
+impl Executor {
+    /// Executor over `catalog` with a fresh plan cache.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        Executor {
+            catalog,
+            cache: Arc::new(PlanCache::default()),
+        }
+    }
+
+    /// The catalog this executor reads.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Parse, normalize, compile and optimize `query` without executing,
+    /// consulting the plan cache first. Plans prepared with a cancellation
+    /// token or armed failpoints carry run-specific state and bypass the
+    /// cache.
+    pub fn prepare(&self, query: &str, opts: &QueryOptions) -> Result<Arc<Prepared>, Error> {
+        if opts.cancel.is_some() || !opts.failpoints.is_empty() {
+            self.cache.uncacheable.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(self.compile(query, opts)?));
+        }
+        let key = fingerprint(query, opts);
+        if let Some(plan) = self.cache.plans.lock().unwrap().get(&key) {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(self.compile(query, opts)?);
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .plans
+            .lock()
+            .unwrap()
+            .insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    fn compile(&self, query: &str, opts: &QueryOptions) -> Result<Prepared, Error> {
+        let max_depth = opts
+            .budget
+            .max_depth
+            .unwrap_or(exrquy_frontend::DEFAULT_MAX_DEPTH);
+        let mut module = parse_module_with(query, max_depth).map_err(Error::Parse)?;
+        if let Some(mode) = opts.ordering {
+            module.ordering = mode;
+        }
+        let effective_ordering = module.ordering;
+        let module = normalize_opts(&module, opts.exploit);
+        // Normalization wraps expressions (fn:unordered, comparisons), so
+        // re-check the AST depth with a little headroom; this also guards
+        // modules built programmatically rather than parsed.
+        check_depth(&module, max_depth.saturating_add(16)).map_err(Error::Parse)?;
+        let CompiledPlan {
+            mut dag,
+            root,
+            names,
+        } = Compiler::new(&self.catalog)
+            .compile_module(&module)
+            .map_err(Error::Compile)?;
+        let stats_initial = PlanStats::of(&dag, root);
+        let (root, opt_report) = try_optimize(&mut dag, root, &opts.opt).map_err(Error::Opt)?;
+        let stats_final = PlanStats::of(&dag, root);
+        Ok(Prepared {
+            dag,
+            root,
+            stats_initial,
+            stats_final,
+            opt_report,
+            names,
+            step_algo: opts.step_algo,
+            budget: opts.budget.clone(),
+            cancel: opts.cancel.clone(),
+            failpoints: opts.failpoints.clone(),
+            ordering: effective_ordering,
+        })
+    }
+
+    /// Execute a prepared plan. Evaluation writes into a fresh per-call
+    /// [`FragArena`] overlay, so the catalog is untouched whether the
+    /// query succeeds, trips a budget, or is cancelled — the rollback the
+    /// old mutable store needed is now structural.
+    pub fn execute(&self, plan: &Prepared) -> Result<QueryOutput, Error> {
+        let engine_opts = EngineOptions {
+            step_algo: plan.step_algo,
+            budget: plan.budget.clone(),
+            cancel: plan.cancel.clone(),
+            failpoints: plan.failpoints.clone(),
+        };
+        let mut arena = FragArena::with_names(Arc::clone(&self.catalog), Arc::clone(&plan.names));
+        let mut engine = Engine::new(&plan.dag, &mut arena, engine_opts);
+        let result = engine.eval(plan.root).map_err(Error::Eval)?;
+        // Rows in pos order; pos values need not be dense or start at 1 —
+        // only their ranks matter.
+        let pos = result.col(Col::POS).clone();
+        let item = result.col(Col::ITEM).clone();
+        let mut order: Vec<usize> = (0..result.nrows()).collect();
+        order.sort_by(|&a, &b| pos.get(a).sort_cmp(&pos.get(b)));
+        let profile = engine.profile.clone();
+        drop(engine);
+        let items = order
+            .into_iter()
+            .map(|r| match item.get(r) {
+                Item::Node(n) => ResultItem::Node(serialize::node_to_string(&arena, n)),
+                Item::Int(i) => ResultItem::Int(i),
+                Item::Dbl(d) => ResultItem::Dbl(d),
+                Item::Str(s) => ResultItem::Str(s.to_string()),
+                Item::Bool(b) => ResultItem::Bool(b),
+            })
+            .collect();
+        Ok(QueryOutput { items, profile })
+    }
+}

@@ -34,10 +34,12 @@
 //!   activates Rules LOC#/BIND#, and the column dependency analysis plus
 //!   `%`-weakening run over the plan.
 
+pub mod executor;
 pub mod result;
 pub mod session;
 pub mod verify;
 
+pub use executor::{CacheStats, Executor};
 pub use result::ResultItem;
 pub use session::{Error, Explain, Prepared, QueryOptions, QueryOutput, Session};
 pub use verify::{ArmReport, Equivalence, VerifyError, VerifyReport};

@@ -1,17 +1,18 @@
 //! The query session: document registry + the parse→normalize→compile→
 //! optimize→execute pipeline.
 
+use crate::executor::{CacheStats, Executor};
 use crate::result::{serialize_sequence, ResultItem};
 use crate::verify::VerifyError;
-use exrquy_algebra::{Col, Dag, OpId, PlanStats};
-use exrquy_compiler::{CompileError, CompiledPlan, Compiler};
+use exrquy_algebra::{Dag, OpId, PlanStats};
+use exrquy_compiler::CompileError;
 use exrquy_diag::{CancellationToken, ErrorClass, ErrorCode, ExecutionBudget, Failpoints, Stage};
-use exrquy_engine::{Engine, EngineOptions, Item, Profile, StepAlgo};
-use exrquy_frontend::{check_depth, normalize_opts, parse_module_with, OrderingMode, XqError};
-use exrquy_opt::{try_optimize, OptError, OptOptions, OptReport};
-use exrquy_xml::{serialize, NodeId, ParseError, Store};
-use std::collections::HashMap;
+use exrquy_engine::{Profile, StepAlgo};
+use exrquy_frontend::{OrderingMode, XqError};
+use exrquy_opt::{OptError, OptOptions, OptReport};
+use exrquy_xml::{Catalog, NamePool, ParseError};
 use std::fmt;
+use std::sync::Arc;
 
 /// Any failure along the pipeline.
 #[derive(Debug)]
@@ -177,15 +178,17 @@ pub struct Prepared {
     /// Plan statistics of the final plan.
     pub stats_final: PlanStats,
     pub opt_report: OptReport,
-    /// Snapshot of the name pool for readable plan rendering.
-    names: Vec<String>,
-    step_algo: StepAlgo,
+    /// The plan's frozen name-pool snapshot (catalog names plus names the
+    /// compiler interned for this query), shared with every execution's
+    /// arena — plan rendering and SQL emission borrow it, never copy it.
+    pub(crate) names: Arc<NamePool>,
+    pub(crate) step_algo: StepAlgo,
     /// Resource ceilings and cancellation carried from the options the
     /// plan was prepared with; applied on every [`Session::execute`].
-    budget: ExecutionBudget,
-    cancel: Option<CancellationToken>,
+    pub(crate) budget: ExecutionBudget,
+    pub(crate) cancel: Option<CancellationToken>,
     /// Armed failpoints carried from the options.
-    failpoints: Failpoints,
+    pub(crate) failpoints: Failpoints,
     /// The effective ordering mode this plan was compiled under (after
     /// any option override of the prolog's `declare ordering`) — it
     /// decides which result equivalence the differential oracle applies.
@@ -196,8 +199,8 @@ impl Prepared {
     fn resolver(&self) -> impl Fn(exrquy_xml::NameId) -> String + '_ {
         move |id: exrquy_xml::NameId| {
             self.names
-                .get(id.0 as usize)
-                .cloned()
+                .get(id)
+                .map(str::to_owned)
                 .unwrap_or_else(|| id.to_string())
         }
     }
@@ -221,7 +224,7 @@ impl Prepared {
             &self.dag,
             self.root,
             &exrquy_sqlgen::SqlOptions {
-                names: self.names.clone(),
+                names: Arc::clone(&self.names),
                 pretty: true,
             },
         )
@@ -246,11 +249,23 @@ impl QueryOutput {
     }
 }
 
-/// A document store plus query pipeline.
+/// A thin convenience wrapper: a mutable document registry over the
+/// immutable [`Catalog`] + [`Executor`] split.
+///
+/// Loading a document builds a *new* catalog snapshot and swaps in a
+/// fresh executor (which also invalidates the plan cache — plans compile
+/// against one catalog's name pool). The read-only query path
+/// (`prepare` / `execute` / `query*`) takes `&self`: hand
+/// [`catalog`](Self::catalog) or a clone of [`executor`](Self::executor)
+/// to other threads to run queries concurrently.
 pub struct Session {
-    store: Store,
-    docs: HashMap<String, NodeId>,
-    base_frags: usize,
+    executor: Executor,
+    /// Failpoints armed on the document resolver (the `doc-parse` hook);
+    /// plan-evaluation failpoints travel with [`QueryOptions`] instead.
+    failpoints: Failpoints,
+    /// Documents loaded so far — the deterministic counter behind the
+    /// `doc-parse` failpoint.
+    loads: usize,
 }
 
 impl Default for Session {
@@ -263,13 +278,18 @@ impl Session {
     /// Empty session.
     pub fn new() -> Self {
         Session {
-            store: Store::new(),
-            docs: HashMap::new(),
-            base_frags: 0,
+            executor: Executor::new(Arc::new(Catalog::new())),
+            failpoints: Failpoints::none(),
+            loads: 0,
         }
     }
 
     /// Parse and register `xml` under `url` (the name `fn:doc()` uses).
+    ///
+    /// The document is parsed into a staging catalog builder and the
+    /// session's executor is swapped only on success, so a failed
+    /// (re)load leaves the previous catalog — including any document
+    /// previously registered under `url` — fully intact.
     ///
     /// ```
     /// let mut s = exrquy::Session::new();
@@ -277,12 +297,26 @@ impl Session {
     /// assert_eq!(s.query(r#"fn:count(doc("d.xml")//x)"#).unwrap().to_xml(), "1");
     /// ```
     pub fn load_document(&mut self, url: &str, xml: &str) -> Result<(), Error> {
-        let node = self
-            .store
-            .add_parsed(xml)
+        self.loads += 1;
+        if self.failpoints.doc_parse_fails(self.loads) {
+            return Err(Error::Xml(
+                ParseError {
+                    offset: 0,
+                    message: format!(
+                        "document content is not well-formed (injected at load {})",
+                        self.loads
+                    ),
+                    code: ErrorCode::FODC0006,
+                    source: None,
+                }
+                .with_source(url),
+            ));
+        }
+        let mut builder = self.executor.catalog().to_builder();
+        builder
+            .load_str(url, xml)
             .map_err(|e| Error::Xml(e.with_source(url)))?;
-        self.docs.insert(url.to_string(), node);
-        self.base_frags = self.store.len();
+        self.executor = Executor::new(Arc::new(builder.build()));
         Ok(())
     }
 
@@ -291,22 +325,39 @@ impl Session {
     /// for plan evaluation travel with [`QueryOptions::failpoints`]
     /// instead, so the oracle can arm each arm independently.
     pub fn set_failpoints(&mut self, failpoints: Failpoints) {
-        self.store.set_failpoints(failpoints);
+        self.failpoints = failpoints;
     }
 
     /// Number of nodes across loaded documents.
     pub fn store_nodes(&self) -> usize {
-        self.store.total_nodes()
+        self.executor.catalog().total_nodes()
     }
 
-    /// Access the shared store (e.g. for inspecting loaded documents).
-    pub fn store(&self) -> &Store {
-        &self.store
+    /// The current catalog snapshot. Clone the `Arc` to share the loaded
+    /// documents with other threads; later `load_document` calls build
+    /// new snapshots and never disturb outstanding clones.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        self.executor.catalog()
+    }
+
+    /// The executor bound to the current catalog snapshot. Cloning it
+    /// shares the plan cache.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Plan-cache counters of the current executor (reset on document
+    /// loads, which invalidate the cache wholesale).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.executor.cache_stats()
     }
 
     /// Parse, normalize, compile and optimize `query` without executing.
     ///
-    /// A [`Prepared`] plan can be executed repeatedly and inspected:
+    /// Plans are cached per (query text, options fingerprint): preparing
+    /// the same query with equal options again returns the same
+    /// `Arc<Prepared>`. A [`Prepared`] plan can be executed repeatedly
+    /// and inspected:
     ///
     /// ```
     /// use exrquy::{QueryOptions, Session};
@@ -322,82 +373,16 @@ impl Session {
     ///     assert_eq!(s.execute(&plan).unwrap().to_xml(), "2");
     /// }
     /// ```
-    pub fn prepare(&mut self, query: &str, opts: &QueryOptions) -> Result<Prepared, Error> {
-        let max_depth = opts
-            .budget
-            .max_depth
-            .unwrap_or(exrquy_frontend::DEFAULT_MAX_DEPTH);
-        let mut module = parse_module_with(query, max_depth).map_err(Error::Parse)?;
-        if let Some(mode) = opts.ordering {
-            module.ordering = mode;
-        }
-        let effective_ordering = module.ordering;
-        let module = normalize_opts(&module, opts.exploit);
-        // Normalization wraps expressions (fn:unordered, comparisons), so
-        // re-check the AST depth with a little headroom; this also guards
-        // modules built programmatically rather than parsed.
-        check_depth(&module, max_depth.saturating_add(16)).map_err(Error::Parse)?;
-        let CompiledPlan { mut dag, root } = Compiler::new(&mut self.store)
-            .compile_module(&module)
-            .map_err(Error::Compile)?;
-        let stats_initial = PlanStats::of(&dag, root);
-        let (root, opt_report) = try_optimize(&mut dag, root, &opts.opt).map_err(Error::Opt)?;
-        let stats_final = PlanStats::of(&dag, root);
-        Ok(Prepared {
-            dag,
-            root,
-            stats_initial,
-            stats_final,
-            opt_report,
-            names: self.store.pool.names().to_vec(),
-            step_algo: opts.step_algo,
-            budget: opts.budget.clone(),
-            cancel: opts.cancel.clone(),
-            failpoints: opts.failpoints.clone(),
-            ordering: effective_ordering,
-        })
+    pub fn prepare(&self, query: &str, opts: &QueryOptions) -> Result<Arc<Prepared>, Error> {
+        self.executor.prepare(query, opts)
     }
 
     /// Execute a prepared plan. Fragments constructed during evaluation
-    /// are released afterwards (results are serialized eagerly).
-    pub fn execute(&mut self, plan: &Prepared) -> Result<QueryOutput, Error> {
-        let engine_opts = EngineOptions {
-            step_algo: plan.step_algo,
-            budget: plan.budget.clone(),
-            cancel: plan.cancel.clone(),
-            failpoints: plan.failpoints.clone(),
-        };
-        let mut engine = Engine::new(&plan.dag, &mut self.store, self.docs.clone(), engine_opts);
-        let result = match engine.eval(plan.root) {
-            Ok(t) => t,
-            Err(e) => {
-                // Release partially constructed fragments — a budget-tripped
-                // query must not leak memory into the session.
-                drop(engine);
-                self.store.truncate_frags(self.base_frags);
-                return Err(Error::Eval(e));
-            }
-        };
-        // Rows in pos order; pos values need not be dense or start at 1 —
-        // only their ranks matter.
-        let pos = result.col(Col::POS).clone();
-        let item = result.col(Col::ITEM).clone();
-        let mut order: Vec<usize> = (0..result.nrows()).collect();
-        order.sort_by(|&a, &b| pos.get(a).sort_cmp(&pos.get(b)));
-        let profile = engine.profile.clone();
-        drop(engine);
-        let items = order
-            .into_iter()
-            .map(|r| match item.get(r) {
-                Item::Node(n) => ResultItem::Node(serialize::node_to_string(&self.store, n)),
-                Item::Int(i) => ResultItem::Int(i),
-                Item::Dbl(d) => ResultItem::Dbl(d),
-                Item::Str(s) => ResultItem::Str(s.to_string()),
-                Item::Bool(b) => ResultItem::Bool(b),
-            })
-            .collect();
-        self.store.truncate_frags(self.base_frags);
-        Ok(QueryOutput { items, profile })
+    /// live in a per-execution overlay arena and are released with it
+    /// (results are serialized eagerly) — the shared catalog is never
+    /// touched, even when execution fails mid-plan.
+    pub fn execute(&self, plan: &Prepared) -> Result<QueryOutput, Error> {
+        self.executor.execute(plan)
     }
 
     /// One-shot: prepare + execute with the given options.
@@ -412,19 +397,19 @@ impl Session {
     ///     .unwrap();
     /// assert_eq!(out.to_xml(), "<c/><d/><c/>"); // document order
     /// ```
-    pub fn query_with(&mut self, query: &str, opts: &QueryOptions) -> Result<QueryOutput, Error> {
+    pub fn query_with(&self, query: &str, opts: &QueryOptions) -> Result<QueryOutput, Error> {
         let plan = self.prepare(query, opts)?;
         self.execute(&plan)
     }
 
     /// One-shot with the spec-faithful default options (prolog honored,
     /// order indifference exploited).
-    pub fn query(&mut self, query: &str) -> Result<QueryOutput, Error> {
+    pub fn query(&self, query: &str) -> Result<QueryOutput, Error> {
         self.query_with(query, &QueryOptions::honor_prolog())
     }
 
     /// Compile only — the plan inspection entry point.
-    pub fn explain(&mut self, query: &str, opts: &QueryOptions) -> Result<Explain, Error> {
+    pub fn explain(&self, query: &str, opts: &QueryOptions) -> Result<Arc<Explain>, Error> {
         self.prepare(query, opts)
     }
 }
@@ -442,7 +427,7 @@ mod tests {
 
     #[test]
     fn literal_queries() {
-        let mut s = Session::new();
+        let s = Session::new();
         assert_eq!(s.query("1 + 2").unwrap().to_xml(), "3");
         assert_eq!(s.query("(1, 2, 3)").unwrap().to_xml(), "1 2 3");
         assert_eq!(s.query("\"hi\"").unwrap().to_xml(), "hi");
@@ -451,7 +436,7 @@ mod tests {
 
     #[test]
     fn paths_in_document_order() {
-        let mut s = session();
+        let s = session();
         // The paper's Expression (1): document order c1, d, c2.
         let out = s
             .query_with(r#"doc("t.xml")//(c|d)"#, &QueryOptions::baseline())
@@ -461,7 +446,7 @@ mod tests {
 
     #[test]
     fn unordered_mode_preserves_multiset() {
-        let mut s = session();
+        let s = session();
         let q = r#"doc("t.xml")//(c|d)"#;
         let ordered = s.query_with(q, &QueryOptions::baseline()).unwrap();
         let unordered = s.query_with(q, &QueryOptions::order_indifferent()).unwrap();
@@ -474,7 +459,7 @@ mod tests {
 
     #[test]
     fn flwor_and_constructors() {
-        let mut s = Session::new();
+        let s = Session::new();
         // The paper's Expression (4).
         let out = s
             .query_with(
@@ -490,7 +475,7 @@ mod tests {
 
     #[test]
     fn count_exists_empty() {
-        let mut s = session();
+        let s = session();
         assert_eq!(
             s.query(r#"fn:count(doc("t.xml")//c)"#).unwrap().to_xml(),
             "2"
@@ -507,7 +492,7 @@ mod tests {
 
     #[test]
     fn plan_stats_shrink_under_optimization() {
-        let mut s = session();
+        let s = session();
         let q = r#"fn:count(doc("t.xml")//c)"#;
         let plan = s.prepare(q, &QueryOptions::order_indifferent()).unwrap();
         assert!(plan.stats_final.total < plan.stats_initial.total);
@@ -515,12 +500,12 @@ mod tests {
     }
 
     #[test]
-    fn constructed_fragments_are_released() {
-        let mut s = session();
-        let before = s.store().len();
+    fn constructed_fragments_stay_out_of_the_catalog() {
+        let s = session();
+        let before = (s.catalog().frag_count(), s.store_nodes());
         let _ = s
             .query(r#"for $c in doc("t.xml")//c return <e>{ $c }</e>"#)
             .unwrap();
-        assert_eq!(s.store().len(), before);
+        assert_eq!((s.catalog().frag_count(), s.store_nodes()), before);
     }
 }

@@ -201,7 +201,7 @@ impl Session {
     ///     .unwrap();
     /// assert_eq!(report.items.len(), 1);
     /// ```
-    pub fn verify(&mut self, query: &str, opts: &QueryOptions) -> Result<VerifyReport, Error> {
+    pub fn verify(&self, query: &str, opts: &QueryOptions) -> Result<VerifyReport, Error> {
         let arm_configs = [
             (OracleArm::Baseline, baseline_opts(opts)),
             (OracleArm::Optimized, opts.clone()),
@@ -295,7 +295,7 @@ mod tests {
 
     #[test]
     fn oracle_passes_on_agreeing_arms() {
-        let mut s = session();
+        let s = session();
         let report = s
             .verify(r#"doc("t.xml")//(c|d)"#, &QueryOptions::order_indifferent())
             .unwrap();
@@ -307,7 +307,7 @@ mod tests {
 
     #[test]
     fn ordered_mode_uses_sequence_equivalence() {
-        let mut s = session();
+        let s = session();
         let report = s
             .verify(r#"doc("t.xml")//(c|d)"#, &QueryOptions::baseline())
             .unwrap();
@@ -316,7 +316,7 @@ mod tests {
 
     #[test]
     fn injected_perturbation_is_caught_with_exrq0004() {
-        let mut s = session();
+        let s = session();
         let opts = QueryOptions::order_indifferent()
             .with_failpoints(Failpoints::parse("oracle-perturb:optimized").unwrap());
         let err = s.verify(r#"doc("t.xml")//(c|d)"#, &opts).unwrap_err();
@@ -330,7 +330,7 @@ mod tests {
 
     #[test]
     fn perturbing_the_baseline_is_also_caught() {
-        let mut s = session();
+        let s = session();
         let opts = QueryOptions::order_indifferent()
             .with_failpoints(Failpoints::parse("oracle-perturb:baseline").unwrap());
         let err = s.verify(r#"fn:count(doc("t.xml")//c)"#, &opts).unwrap_err();
@@ -339,7 +339,7 @@ mod tests {
 
     #[test]
     fn empty_results_still_verify() {
-        let mut s = session();
+        let s = session();
         let report = s
             .verify(r#"doc("t.xml")//z"#, &QueryOptions::order_indifferent())
             .unwrap();

@@ -166,7 +166,7 @@ impl std::fmt::Display for Stage {
 /// (unbounded); `Session` applies a conservative default recursion
 /// depth even when no budget is supplied so that hostile inputs cannot
 /// overflow the stack.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct ExecutionBudget {
     /// Maximum rows any single operator may materialize.
     pub max_rows_per_op: Option<usize>,

@@ -13,7 +13,7 @@ use crate::table::Table;
 use exrquy_algebra::{AValue, AggrKind, Col, Dag, FunKind, Op, OpId};
 use exrquy_diag::{CancellationToken, ErrorCode, ExecutionBudget, Failpoints};
 use exrquy_xml::tree::NodeKind;
-use exrquy_xml::{axis, NodeId, Store, TreeBuilder};
+use exrquy_xml::{axis, FragArena, NodeId, NodeRead, TreeBuilder};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
@@ -56,7 +56,7 @@ impl From<DynError> for EvalError {
 
 /// Step-operator algorithm selection (§3: "several existing XPath step
 /// evaluation techniques may be plugged in to realize ⬡").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum StepAlgo {
     /// Staircase join \[Grust et al., VLDB 2003\] — the MonetDB/XQuery
     /// choice and our default.
@@ -87,13 +87,16 @@ pub struct EngineOptions {
 }
 
 /// One query execution context.
+///
+/// The engine reads base documents through the arena's shared catalog
+/// and appends every fragment it constructs to the arena's private
+/// overlay — the catalog itself is never mutated, so any number of
+/// engines may run concurrently over one `Arc<Catalog>`.
 pub struct Engine<'d, 's> {
     dag: &'d Dag,
-    /// Node store: pre-loaded documents plus fragments constructed during
-    /// evaluation. Fragments created by node constructors are appended;
-    /// callers may truncate back to the base length between queries.
-    pub store: &'s mut Store,
-    docs: HashMap<String, NodeId>,
+    /// Per-execution fragment overlay over the shared catalog. Dropping
+    /// it (with the engine) releases everything this query constructed.
+    pub arena: &'s mut FragArena,
     cache: HashMap<OpId, Rc<Table>>,
     /// Per-kind timing of this execution.
     pub profile: Profile,
@@ -103,7 +106,7 @@ pub struct Engine<'d, 's> {
     deadline: Option<Instant>,
     /// Rows materialized so far across all evaluated operators.
     rows_total: usize,
-    /// `store.total_nodes()` at engine creation; the constructed-node
+    /// Overlay nodes present at engine creation; the constructed-node
     /// ceiling applies to the delta.
     nodes_base: usize,
     /// Operators evaluated so far (cache misses only) — the deterministic
@@ -115,20 +118,14 @@ pub struct Engine<'d, 's> {
 }
 
 impl<'d, 's> Engine<'d, 's> {
-    /// Create an engine over `dag` with the given store and document
-    /// registry (`fn:doc` URL → root node).
-    pub fn new(
-        dag: &'d Dag,
-        store: &'s mut Store,
-        docs: HashMap<String, NodeId>,
-        opts: EngineOptions,
-    ) -> Self {
+    /// Create an engine over `dag` evaluating into `arena` (which also
+    /// supplies the document registry via its catalog).
+    pub fn new(dag: &'d Dag, arena: &'s mut FragArena, opts: EngineOptions) -> Self {
         let deadline = opts.budget.max_wall.map(|d| Instant::now() + d);
-        let nodes_base = store.total_nodes();
+        let nodes_base = arena.constructed_nodes();
         Engine {
             dag,
-            store,
-            docs,
+            arena,
             cache: HashMap::new(),
             profile: Profile::default(),
             opts,
@@ -202,7 +199,10 @@ impl<'d, 's> Engine<'d, 's> {
             }
         }
         if let Some(cap) = self.opts.budget.max_nodes {
-            let constructed = self.store.total_nodes().saturating_sub(self.nodes_base);
+            let constructed = self
+                .arena
+                .constructed_nodes()
+                .saturating_sub(self.nodes_base);
             if constructed > cap {
                 return Err(EvalError::new(
                     ErrorCode::EXRQ0001,
@@ -280,7 +280,7 @@ impl<'d, 's> Engine<'d, 's> {
                         ),
                     ));
                 }
-                let node = self.docs.get(url.as_ref()).copied().ok_or_else(|| {
+                let node = self.arena.catalog().doc_root(url.as_ref()).ok_or_else(|| {
                     EvalError::new(
                         ErrorCode::FODC0002,
                         format!("document `{url}` is not loaded"),
@@ -353,7 +353,7 @@ impl<'d, 's> Engine<'d, 's> {
                 for r in 0..t.nrows() {
                     buf.clear();
                     buf.extend(arg_cols.iter().map(|c| c.get(r)));
-                    out.push(funs::apply(self.store, kind, &buf)?);
+                    out.push(funs::apply(self.arena, kind, &buf)?);
                 }
                 Ok(t.with_column(new, Column::Item(out)))
             }
@@ -365,7 +365,7 @@ impl<'d, 's> Engine<'d, 's> {
                 part,
             } => {
                 let t = self.input(input).clone();
-                eval_aggr(self.store, &t, kind, new, arg, part)
+                eval_aggr(self.arena, &t, kind, new, arg, part)
             }
             Op::Distinct { input } => {
                 let t = self.input(input).clone();
@@ -451,7 +451,7 @@ impl<'d, 's> Engine<'d, 's> {
                 pres.push(ctx[i].1.pre);
                 i += 1;
             }
-            let doc = self.store.frag(frag);
+            let doc = self.arena.frag(frag);
             let result = match self.opts.step_algo {
                 StepAlgo::Staircase => axis::step(doc, &pres, ax, test),
                 StepAlgo::NameStream => axis::step_name_stream(doc, &pres, ax, test),
@@ -509,7 +509,7 @@ impl<'d, 's> Engine<'d, 's> {
                 Item::Str(s) => s.to_string(),
                 other => other.to_xq_string(),
             };
-            let name_id = self.store.pool.intern(&name_str);
+            let name_id = self.arena.intern(&name_str);
             let root = b.open_element(name_id);
             if let Some(items) = by_iter.get(&it) {
                 self.build_content(&mut b, items)?;
@@ -517,7 +517,7 @@ impl<'d, 's> Engine<'d, 's> {
             b.close();
             roots.push((it, root));
         }
-        let frag = self.store.add(b.finish());
+        let frag = self.arena.add(b.finish());
         Ok(Table::new(vec![
             (
                 Col::ITER,
@@ -550,7 +550,7 @@ impl<'d, 's> Engine<'d, 's> {
         for (_, ord, item) in items {
             match item {
                 Item::Node(n) => {
-                    let doc = self.store.doc_of(*n);
+                    let doc = self.arena.doc_of(*n);
                     if doc.kind(n.pre) == NodeKind::Attribute {
                         if content_started || pending_text.is_some() {
                             return Err(EvalError::new(
@@ -563,7 +563,7 @@ impl<'d, 's> Engine<'d, 's> {
                         if let Some(t) = pending_text.take() {
                             b.text(&t);
                         }
-                        let doc = self.store.doc_of(*n);
+                        let doc = self.arena.doc_of(*n);
                         b.copy_subtree(doc, n.pre);
                         content_started = true;
                     }
@@ -608,12 +608,12 @@ impl<'d, 's> Engine<'d, 's> {
         let mut rows: Vec<(i64, u32)> = Vec::new();
         for &(it, r) in &order {
             let name_str = names.col(Col::ITEM).get(r).to_xq_string();
-            let name_id = self.store.pool.intern(&name_str);
+            let name_id = self.arena.intern(&name_str);
             let value = val_by_iter.get(&it).cloned().unwrap_or_default();
             let pre = doc.push_orphan_attribute(name_id, &value);
             rows.push((it, pre));
         }
-        let frag = self.store.add(doc);
+        let frag = self.arena.add(doc);
         Ok(Table::new(vec![
             (
                 Col::ITER,
@@ -644,7 +644,7 @@ impl<'d, 's> Engine<'d, 's> {
                 rows.push((it, pre));
             }
         }
-        let frag = self.store.add(b.finish());
+        let frag = self.arena.add(b.finish());
         Ok(Table::new(vec![
             (
                 Col::ITER,
@@ -668,7 +668,7 @@ fn avalue_item(v: &AValue) -> Item {
     match v {
         AValue::Int(i) => Item::Int(*i),
         AValue::Dbl(b) => Item::Dbl(f64::from_bits(*b)),
-        AValue::Str(s) => Item::Str(s.clone()),
+        AValue::Str(s) => Item::Str(Rc::from(s.as_ref())),
         AValue::Bool(b) => Item::Bool(*b),
     }
 }
@@ -1064,8 +1064,8 @@ fn eval_difference(l: &Table, r: &Table, on: &[(Col, Col)]) -> Table {
     l.gather(&idx)
 }
 
-fn eval_aggr(
-    store: &Store,
+fn eval_aggr<R: NodeRead + ?Sized>(
+    nodes: &R,
     t: &Table,
     kind: AggrKind,
     new: Col,
@@ -1117,7 +1117,7 @@ fn eval_aggr(
             let item = a.get(r);
             match kind {
                 AggrKind::Sum | AggrKind::Avg => {
-                    let atom = funs::atomize_item(store, &item);
+                    let atom = funs::atomize_item(nodes, &item);
                     let v = atom.as_number_promoting().ok_or_else(|| {
                         EvalError::new(
                             ErrorCode::FORG0001,
@@ -1129,7 +1129,7 @@ fn eval_aggr(
                 AggrKind::Max | AggrKind::Min => {
                     // Untyped values promote to xs:double for fn:min/max
                     // (F&O §15.4); non-numeric strings compare lexically.
-                    let atom = funs::atomize_item(store, &item);
+                    let atom = funs::atomize_item(nodes, &item);
                     let atom = match atom.as_number_promoting() {
                         Some(n) => Item::Dbl(n),
                         None => atom,
@@ -1155,7 +1155,7 @@ fn eval_aggr(
                 }
                 AggrKind::Ebv => st.ebv_items.push(item),
                 AggrKind::StrJoin => {
-                    let atom = funs::atomize_item(store, &item);
+                    let atom = funs::atomize_item(nodes, &item);
                     let posv = pos_col.as_ref().map_or(r as i64, |p| p.get_int(r));
                     st.strs.push((posv, atom.to_xq_string()));
                 }
@@ -1229,11 +1229,12 @@ fn ebv_of_group(items: &[Item]) -> Result<bool, EvalError> {
 mod tests {
     use super::*;
     use exrquy_algebra::SortKey;
-    use exrquy_xml::{Axis, NodeTest};
+    use exrquy_xml::{Axis, Catalog, NodeTest};
+    use std::sync::Arc;
 
     fn run(dag: &Dag, root: OpId) -> Table {
-        let mut store = Store::new();
-        let mut e = Engine::new(dag, &mut store, HashMap::new(), EngineOptions::default());
+        let mut arena = FragArena::new(Arc::new(Catalog::new()));
+        let mut e = Engine::new(dag, &mut arena, EngineOptions::default());
         (*e.eval(root).unwrap()).clone()
     }
 
@@ -1477,19 +1478,20 @@ mod tests {
     fn step_over_document() {
         let mut dag = Dag::new();
         let doc_op = dag.add(Op::Doc {
-            url: Rc::from("t.xml"),
+            url: Arc::from("t.xml"),
         });
         let ctx = dag.add(Op::Attach {
             input: doc_op,
             col: Col::ITER,
             value: AValue::Int(1),
         });
-        let mut store = Store::new();
-        let root = store.add_parsed("<a><b><c/><d/></b><c/></a>").unwrap();
-        let mut docs = HashMap::new();
-        docs.insert("t.xml".to_string(), root);
+        let mut builder = Catalog::builder();
+        builder
+            .load_str("t.xml", "<a><b><c/><d/></b><c/></a>")
+            .unwrap();
+        let catalog = Arc::new(builder.build());
 
-        let name_c = store.pool.lookup("c").unwrap();
+        let name_c = catalog.pool().lookup("c").unwrap();
         let dos = dag.add(Op::Step {
             input: ctx,
             axis: Axis::DescendantOrSelf,
@@ -1500,7 +1502,8 @@ mod tests {
             axis: Axis::Child,
             test: NodeTest::Name(name_c),
         });
-        let mut e = Engine::new(&dag, &mut store, docs, EngineOptions::default());
+        let mut arena = FragArena::new(catalog);
+        let mut e = Engine::new(&dag, &mut arena, EngineOptions::default());
         let t = e.eval(step_c).unwrap();
         // c1 (pre 3) and c2 (pre 5)
         assert_eq!(t.nrows(), 2);
@@ -1527,14 +1530,14 @@ mod tests {
             ],
         });
         let elem = dag.add(Op::Element { names, content });
-        let mut store = Store::new();
-        let mut e = Engine::new(&dag, &mut store, HashMap::new(), EngineOptions::default());
+        let mut arena = FragArena::new(Arc::new(Catalog::new()));
+        let mut e = Engine::new(&dag, &mut arena, EngineOptions::default());
         let t = e.eval(elem).unwrap();
         assert_eq!(t.nrows(), 1);
         let Item::Node(n) = t.item(Col::ITEM, 0) else {
             panic!("expected node")
         };
-        let rendered = exrquy_xml::serialize::node_to_string(e.store, n);
+        let rendered = exrquy_xml::serialize::node_to_string(e.arena, n);
         // adjacent atomics joined with a space into one text node
         assert_eq!(rendered, "<e>10 x</e>");
     }

@@ -10,7 +10,7 @@ use crate::item::Item;
 use exrquy_algebra::FunKind;
 use exrquy_diag::ErrorCode;
 use exrquy_xml::atomize;
-use exrquy_xml::Store;
+use exrquy_xml::NodeRead;
 use std::cmp::Ordering;
 
 /// Dynamic-type error (e.g. arithmetic on a non-numeric string), tagged
@@ -95,9 +95,9 @@ fn both_int(a: &Item, b: &Item) -> Option<(i64, i64)> {
 }
 
 /// Atomize: nodes become their (untyped) string value, atomics pass.
-pub fn atomize_item(store: &Store, i: &Item) -> Item {
+pub fn atomize_item<R: NodeRead + ?Sized>(nodes: &R, i: &Item) -> Item {
     match i {
-        Item::Node(n) => Item::str(&atomize::node_string_value(store, *n)),
+        Item::Node(n) => Item::str(&atomize::node_string_value(nodes, *n)),
         other => other.clone(),
     }
 }
@@ -108,7 +108,11 @@ pub fn atomize_item(store: &Store, i: &Item) -> Item {
 /// Arity: the compiler emits `Op::Fun` with exactly the argument count
 /// each `FunKind` requires, so the `args[0]`/`args[1]`/`args[2]` indexing
 /// below is an engine invariant, not a user-reachable panic.
-pub fn apply(store: &Store, kind: FunKind, args: &[Item]) -> Result<Item, DynError> {
+pub fn apply<R: NodeRead + ?Sized>(
+    nodes: &R,
+    kind: FunKind,
+    args: &[Item],
+) -> Result<Item, DynError> {
     use FunKind::*;
     Ok(match kind {
         Add | Sub | Mul | Div | IDiv | Mod => {
@@ -234,21 +238,21 @@ pub fn apply(store: &Store, kind: FunKind, args: &[Item]) -> Result<Item, DynErr
                     .collect::<String>(),
             )
         }
-        Atomize => atomize_item(store, &args[0]),
+        Atomize => atomize_item(nodes, &args[0]),
         ToNum => {
-            let v = atomize_item(store, &args[0]);
+            let v = atomize_item(nodes, &args[0]);
             match v.as_number_promoting() {
                 Some(n) => Item::Dbl(n),
                 None => Item::Dbl(f64::NAN),
             }
         }
-        ToStr => Item::str(&atomize_item(store, &args[0]).to_xq_string()),
+        ToStr => Item::str(&atomize_item(nodes, &args[0]).to_xq_string()),
         NameOf => match &args[0] {
             Item::Node(n) => {
-                let doc = store.doc_of(*n);
+                let doc = nodes.doc_of(*n);
                 let name = doc.name(n.pre);
                 if name.is_some() {
-                    Item::str(store.pool.resolve(name))
+                    Item::str(nodes.resolve_name(name))
                 } else {
                     Item::str("")
                 }
@@ -283,9 +287,10 @@ pub fn apply(store: &Store, kind: FunKind, args: &[Item]) -> Result<Item, DynErr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use exrquy_xml::Catalog;
 
-    fn store() -> Store {
-        Store::new()
+    fn store() -> Catalog {
+        Catalog::new()
     }
 
     #[test]
@@ -357,8 +362,9 @@ mod tests {
 
     #[test]
     fn atomize_and_casts() {
-        let mut s = Store::new();
-        let root = s.add_parsed("<a>4<b>2</b></a>").unwrap();
+        let mut b = Catalog::builder();
+        let root = b.load_str("t.xml", "<a>4<b>2</b></a>").unwrap();
+        let s = b.build();
         let elem = Item::Node(exrquy_xml::NodeId::new(root.frag, 1));
         assert_eq!(atomize_item(&s, &elem), Item::str("42"));
         assert_eq!(

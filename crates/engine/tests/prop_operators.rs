@@ -6,8 +6,9 @@
 use exrquy_algebra::{AValue, Col, Dag, FunKind, Op, OpId, SortKey};
 use exrquy_engine::{Engine, EngineOptions, Item, Table};
 use exrquy_xml::rng::SmallRng;
-use exrquy_xml::Store;
+use exrquy_xml::{Catalog, FragArena};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 fn lit(dag: &mut Dag, cols: Vec<Col>, rows: &[Vec<i64>]) -> OpId {
     dag.add(Op::Lit {
@@ -20,8 +21,8 @@ fn lit(dag: &mut Dag, cols: Vec<Col>, rows: &[Vec<i64>]) -> OpId {
 }
 
 fn run(dag: &Dag, root: OpId) -> Table {
-    let mut store = Store::new();
-    let mut e = Engine::new(dag, &mut store, HashMap::new(), EngineOptions::default());
+    let mut arena = FragArena::new(Arc::new(Catalog::new()));
+    let mut e = Engine::new(dag, &mut arena, EngineOptions::default());
     (*e.eval(root).unwrap()).clone()
 }
 

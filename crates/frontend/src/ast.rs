@@ -10,7 +10,7 @@ use exrquy_xml::Axis;
 
 /// Global ordering mode (query prolog `declare ordering`), also set
 /// locally by `ordered { }` / `unordered { }`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OrderingMode {
     /// The "perceived default" (§2).
     #[default]

@@ -11,7 +11,7 @@ use std::collections::{BTreeSet, HashMap};
 /// Which rewrites to run. The defaults correspond to the paper's modified
 /// compiler; switching individual passes off gives the ablation
 /// configurations of the benchmark harness.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptOptions {
     /// §4.1 column dependency analysis: bypass dead `%`/`#`/attach/fun,
     /// prune projections.

@@ -39,15 +39,17 @@
 //! plans in `exrquy-algebra` and a SQL host.
 
 use exrquy_algebra::{AValue, AggrKind, Col, Dag, FunKind, Op, OpId, SortKey};
-use exrquy_xml::{Axis, NameId, NodeTest};
+use exrquy_xml::{Axis, NameId, NamePool, NodeTest};
 use std::fmt::Write;
+use std::sync::Arc;
 
 /// Options for SQL emission.
 #[derive(Debug, Clone)]
 pub struct SqlOptions {
-    /// Interned node-test names, indexable by `NameId` (a snapshot of the
-    /// session's pool); ids beyond the table render as `name_<id>`.
-    pub names: Vec<String>,
+    /// Interned node-test names (the plan's frozen pool snapshot, shared —
+    /// not copied — with the prepared plan); ids beyond the pool render as
+    /// `name_<id>`.
+    pub names: Arc<NamePool>,
     /// Pretty line breaks between CTEs (default on).
     pub pretty: bool,
 }
@@ -55,7 +57,7 @@ pub struct SqlOptions {
 impl Default for SqlOptions {
     fn default() -> Self {
         SqlOptions {
-            names: Vec::new(),
+            names: Arc::new(NamePool::new()),
             pretty: true,
         }
     }
@@ -64,8 +66,8 @@ impl Default for SqlOptions {
 impl SqlOptions {
     fn resolve(&self, id: NameId) -> String {
         self.names
-            .get(id.0 as usize)
-            .cloned()
+            .get(id)
+            .map(str::to_owned)
             .unwrap_or_else(|| format!("name_{}", id.0))
     }
 }

@@ -6,7 +6,7 @@ use exrquy_algebra::{AValue, Col, Dag, Op, OpId, SortKey};
 use exrquy_compiler::Compiler;
 use exrquy_frontend::{normalize_opts, parse_module, OrderingMode};
 use exrquy_opt::{optimize, OptOptions};
-use exrquy_xml::Store;
+use exrquy_xml::Catalog;
 
 fn compile_to_sql(q: &str, unordered: bool) -> String {
     let mut m = parse_module(q).unwrap();
@@ -16,8 +16,8 @@ fn compile_to_sql(q: &str, unordered: bool) -> String {
         OrderingMode::Ordered
     };
     let m = normalize_opts(&m, unordered);
-    let mut store = Store::new();
-    let plan = Compiler::new(&mut store).compile_module(&m).unwrap();
+    let catalog = Catalog::new();
+    let plan = Compiler::new(&catalog).compile_module(&m).unwrap();
     let mut dag = plan.dag;
     let root = if unordered {
         optimize(&mut dag, plan.root, &OptOptions::default()).0
@@ -169,8 +169,8 @@ fn cte_count_matches_plan_size() {
     let mut m = parse_module(r#"fn:count(doc("a.xml")//x)"#).unwrap();
     m.ordering = OrderingMode::Unordered;
     let m = normalize_opts(&m, true);
-    let mut store = Store::new();
-    let plan = Compiler::new(&mut store).compile_module(&m).unwrap();
+    let catalog = Catalog::new();
+    let plan = Compiler::new(&catalog).compile_module(&m).unwrap();
     let mut dag = plan.dag;
     let (root, _) = optimize(&mut dag, plan.root, &OptOptions::default());
     let sql = to_sql(&dag, root, &SqlOptions::default());

@@ -1,20 +1,23 @@
 //! Run the XMark differential suite from the command line.
 //!
 //! ```text
-//! xmark-verify [--seed N]... [--scale F] [--query N]...
+//! xmark-verify [--seed N]... [--scale F] [--query N]... [--threads N]
 //! ```
 //!
 //! Exits 0 when every (seed, query) cell passes the three-way oracle and
 //! 1 on any divergence, printing the failing cells. CI runs this over a
-//! fixed seed matrix.
+//! fixed seed matrix. With `--threads N`, additionally runs the
+//! multi-threaded differential: N threads re-execute the query set
+//! through one shared executor and must be bag-equal to a serial pass.
 
-use exrquy_verify::{run_xmark_suite, SuiteConfig};
+use exrquy_verify::{run_concurrent_differential, run_xmark_suite, ConcurrencyConfig, SuiteConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut cfg = SuiteConfig::default();
     let mut seeds: Vec<u64> = Vec::new();
     let mut queries: Vec<usize> = Vec::new();
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let parse_next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -34,8 +37,14 @@ fn main() -> ExitCode {
                 Ok(q) if (1..=20).contains(&q) => queries.push(q),
                 _ => die("--query: expected 1..=20"),
             },
+            "--threads" => match parse_next(&mut args, "--threads").parse() {
+                Ok(t) if t >= 1 => threads = Some(t),
+                _ => die("--threads: expected a positive number"),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: xmark-verify [--seed N]... [--scale F] [--query N]...");
+                eprintln!(
+                    "usage: xmark-verify [--seed N]... [--scale F] [--query N]... [--threads N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => die(&format!("unknown argument `{other}`")),
@@ -49,7 +58,21 @@ fn main() -> ExitCode {
     }
     let report = run_xmark_suite(&cfg);
     eprintln!("{report}");
-    if report.all_passed() {
+    let mut ok = report.all_passed();
+
+    if let Some(threads) = threads {
+        let ccfg = ConcurrencyConfig {
+            scale: cfg.scale,
+            seed: cfg.seeds.first().copied().unwrap_or(42),
+            threads,
+            queries: cfg.queries.clone(),
+        };
+        let creport = run_concurrent_differential(&ccfg);
+        eprintln!("{creport}");
+        ok &= creport.passed();
+    }
+
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

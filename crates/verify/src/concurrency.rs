@@ -1,0 +1,182 @@
+//! Multi-threaded differential run: the thread-safety proof for the
+//! Catalog/Executor split.
+//!
+//! One XMark document is loaded into a single catalog snapshot; a serial
+//! pass establishes the reference answer for every configured query;
+//! then N threads re-execute the full query set concurrently through a
+//! *shared* executor (same `Arc<Catalog>`, same plan cache). Every
+//! thread's every result must be bag-equal to the serial reference —
+//! order indifference grants exactly that freedom — the catalog must be
+//! byte-identical afterwards (concurrent executions write only their
+//! private overlay arenas), and the plan cache must show hits (threads
+//! reuse the plans the serial pass compiled).
+
+use exrquy::{CacheStats, QueryOptions, ResultItem, Session};
+use exrquy_xmark::{generate, query, XmarkConfig, ALL_QUERIES};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Parameters for the concurrent differential run.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyConfig {
+    /// XMark scale factor for the generated document.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker thread count.
+    pub threads: usize,
+    /// 1-based query numbers each thread runs (defaults to all 20).
+    pub queries: Vec<usize>,
+}
+
+impl Default for ConcurrencyConfig {
+    fn default() -> Self {
+        ConcurrencyConfig {
+            scale: 0.0025,
+            seed: 42,
+            threads: 8,
+            queries: (1..=ALL_QUERIES.len()).collect(),
+        }
+    }
+}
+
+/// Outcome of a concurrent differential run.
+#[derive(Debug)]
+pub struct ConcurrencyReport {
+    pub threads: usize,
+    /// (thread, query) cells executed.
+    pub cells: usize,
+    /// Divergence descriptions; empty on success.
+    pub mismatches: Vec<String>,
+    /// Plan-cache counters after the run (serial pass + all threads).
+    pub cache: CacheStats,
+    /// Catalog node counts before and after the concurrent phase — any
+    /// difference means an execution leaked constructed nodes into the
+    /// shared snapshot.
+    pub catalog_nodes: (usize, usize),
+}
+
+impl ConcurrencyReport {
+    /// Every cell bag-equal, catalog untouched, and the plan cache was
+    /// actually exercised across threads.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+            && self.catalog_nodes.0 == self.catalog_nodes.1
+            && self.cache.hits > 0
+    }
+}
+
+impl fmt::Display for ConcurrencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "concurrent differential: {} threads x {} cells, {} mismatch(es), \
+             catalog nodes {} -> {}, plan cache {} hit(s) / {} miss(es) \
+             ({:.0}% hit rate)",
+            self.threads,
+            self.cells,
+            self.mismatches.len(),
+            self.catalog_nodes.0,
+            self.catalog_nodes.1,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0
+        )?;
+        for m in &self.mismatches {
+            write!(f, "\n  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a result as a sorted bag (the equivalence `unordered` mode
+/// grants: any permutation of the reference multiset is admissible).
+fn bag(items: &[ResultItem]) -> Vec<String> {
+    let mut v: Vec<String> = items.iter().map(ResultItem::render).collect();
+    v.sort();
+    v
+}
+
+/// Run the concurrent differential: serial reference pass, then
+/// `cfg.threads` threads re-running every query against the shared
+/// executor, comparing bags.
+pub fn run_concurrent_differential(cfg: &ConcurrencyConfig) -> ConcurrencyReport {
+    let xml = generate(&XmarkConfig {
+        scale: cfg.scale,
+        seed: cfg.seed,
+    });
+    let mut session = Session::new();
+    session
+        .load_document("auction.xml", &xml)
+        .expect("XMark generator emitted malformed XML");
+    let opts = QueryOptions::order_indifferent();
+
+    // Serial reference pass (also primes the plan cache).
+    let mut reference: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut mismatches: Vec<String> = Vec::new();
+    for &q in &cfg.queries {
+        match session.query_with(query(q), &opts) {
+            Ok(out) => reference.push((q, bag(&out.items))),
+            Err(e) => mismatches.push(format!("serial Q{q}: {}", e.render_line())),
+        }
+    }
+
+    let executor = session.executor().clone();
+    let nodes_before = session.catalog().total_nodes();
+    let shared_mismatches = Mutex::new(mismatches);
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let executor = &executor;
+            let reference = &reference;
+            let opts = &opts;
+            let shared_mismatches = &shared_mismatches;
+            scope.spawn(move || {
+                for (q, expect) in reference {
+                    let outcome = executor
+                        .prepare(query(*q), opts)
+                        .and_then(|plan| executor.execute(&plan));
+                    let problem = match outcome {
+                        Ok(out) if &bag(&out.items) == expect => continue,
+                        Ok(out) => format!(
+                            "thread {t} Q{q}: bag mismatch ({} items vs {} expected)",
+                            out.items.len(),
+                            expect.len()
+                        ),
+                        Err(e) => format!("thread {t} Q{q}: {}", e.render_line()),
+                    };
+                    shared_mismatches.lock().unwrap().push(problem);
+                }
+            });
+        }
+    });
+    let nodes_after = session.catalog().total_nodes();
+
+    ConcurrencyReport {
+        threads: cfg.threads,
+        cells: cfg.threads * reference.len(),
+        mismatches: shared_mismatches.into_inner().unwrap(),
+        cache: executor.cache_stats(),
+        catalog_nodes: (nodes_before, nodes_after),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_concurrent_subset_passes_with_cache_hits() {
+        // Full coverage lives in the tier-1 integration test
+        // (`tests/concurrency.rs`); a 3-query x 4-thread smoke keeps the
+        // unit tier fast.
+        let cfg = ConcurrencyConfig {
+            threads: 4,
+            queries: vec![1, 6, 20],
+            ..ConcurrencyConfig::default()
+        };
+        let report = run_concurrent_differential(&cfg);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cells, 12);
+        assert!(report.cache.hit_rate() > 0.0);
+    }
+}

@@ -209,19 +209,19 @@ fn check_case(case: &FaultCase) -> FaultOutcome {
         Err(e) => {
             // Load-time fault (doc-parse). Nothing may have been
             // registered for the failed document.
-            if session.store().len() >= 2 {
+            if session.catalog().frag_count() >= 2 {
                 return fail(
                     Some(e.code()),
                     format!(
                         "malformed load left {} fragments behind",
-                        session.store().len()
+                        session.catalog().frag_count()
                     ),
                 );
             }
             e.code()
         }
         Ok(()) => {
-            let frags_before = session.store().len();
+            let frags_before = session.catalog().frag_count();
             let opts = base_opts.clone().with_failpoints(fp);
             match session.query_with(&case.query, &opts) {
                 Ok(_) => {
@@ -231,13 +231,13 @@ fn check_case(case: &FaultCase) -> FaultOutcome {
                     )
                 }
                 Err(e) => {
-                    if session.store().len() != frags_before {
+                    if session.catalog().frag_count() != frags_before {
                         return fail(
                             Some(e.code()),
                             format!(
-                                "store leaked fragments: {} before, {} after",
+                                "catalog leaked fragments: {} before, {} after",
                                 frags_before,
-                                session.store().len()
+                                session.catalog().frag_count()
                             ),
                         );
                     }

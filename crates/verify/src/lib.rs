@@ -15,13 +15,20 @@
 //!   real queries, asserting *graceful degradation*: the expected typed
 //!   error code, no panic, no partially-built store state, and a session
 //!   that remains usable afterwards.
+//! * [`concurrency`] — the multi-threaded differential: N threads
+//!   re-execute the XMark query set through one shared executor (same
+//!   `Arc<Catalog>`, same plan cache) and every result must be bag-equal
+//!   to a serial reference pass, with the catalog untouched and the plan
+//!   cache showing cross-thread hits.
 //!
 //! Both layers are deterministic end to end — documents come from the
 //! seeded XMark generator, failpoints are counter-based — so a red run
 //! reproduces on every machine.
 
+pub mod concurrency;
 pub mod harness;
 pub mod suite;
 
+pub use concurrency::{run_concurrent_differential, ConcurrencyConfig, ConcurrencyReport};
 pub use harness::{default_cases, run_fault_matrix, FaultCase, FaultOutcome, FaultReport};
 pub use suite::{run_xmark_suite, QueryOutcome, SuiteConfig, SuiteReport};

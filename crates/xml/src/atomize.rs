@@ -7,7 +7,7 @@
 //! the concatenation of all descendant text nodes in document order, for
 //! the other kinds their own content.
 
-use crate::store::{NodeId, Store};
+use crate::catalog::{NodeId, NodeRead};
 use crate::tree::{Document, NodeKind};
 
 /// String value of node `pre` in `doc`.
@@ -27,9 +27,10 @@ pub fn string_value(doc: &Document, pre: u32) -> String {
     }
 }
 
-/// String value of a store node.
-pub fn node_string_value(store: &Store, node: NodeId) -> String {
-    string_value(store.doc_of(node), node.pre)
+/// String value of a node resolved through any layer (catalog or
+/// overlay).
+pub fn node_string_value<R: NodeRead + ?Sized>(nodes: &R, node: NodeId) -> String {
+    string_value(nodes.doc_of(node), node.pre)
 }
 
 /// Parse an XQuery-style numeric literal from a string value (leading and

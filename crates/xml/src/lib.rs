@@ -24,16 +24,16 @@
 pub mod atomize;
 pub mod axis;
 pub mod builder;
+pub mod catalog;
 pub mod name;
 pub mod parse;
 pub mod rng;
 pub mod serialize;
-pub mod store;
 pub mod tree;
 
 pub use axis::{Axis, NodeTest};
 pub use builder::TreeBuilder;
+pub use catalog::{Catalog, CatalogBuilder, FragArena, NodeId, NodeRead};
 pub use name::{NameId, NamePool};
 pub use parse::{parse_document, parse_document_with, ParseError, DEFAULT_MAX_DEPTH};
-pub use store::{NodeId, Store};
 pub use tree::{Document, NodeKind};

@@ -3,8 +3,10 @@
 //! Element and attribute names are interned once per [`NamePool`] so that
 //! node tests in the step operator compare a single `u32` instead of string
 //! contents. A pool is shared by all documents of a
-//! [`Store`](crate::store::Store), which makes names comparable across the
-//! base document and runtime-constructed fragments.
+//! [`Catalog`](crate::catalog::Catalog), which makes names comparable
+//! across the base documents and — via the overlay interning of
+//! [`FragArena`](crate::catalog::FragArena) — runtime-constructed
+//! fragments.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -74,6 +76,12 @@ impl NamePool {
     /// All interned names, indexable by `NameId`.
     pub fn names(&self) -> &[String] {
         &self.names
+    }
+
+    /// Resolve an id, returning `None` for `NameId::NONE` or ids beyond
+    /// this pool (e.g. overlay-interned names of a later execution).
+    pub fn get(&self, id: NameId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
     }
 
     /// Number of distinct names interned so far.

@@ -3,8 +3,8 @@
 //! Used to emit query results (the final `pos|item` table is serialized in
 //! sequence order) and by tests to compare fragments structurally.
 
-use crate::name::NamePool;
-use crate::store::{NodeId, Store};
+use crate::catalog::{NodeId, NodeRead};
+use crate::name::{NameId, NamePool};
 use crate::tree::{Document, NodeKind};
 use std::fmt::Write;
 
@@ -32,21 +32,33 @@ pub fn escape_attr(s: &str, out: &mut String) {
     }
 }
 
-/// Serialize the subtree rooted at `pre` of `doc` into `out`.
+/// Serialize the subtree rooted at `pre` of `doc` into `out`, resolving
+/// names against `pool`.
 pub fn serialize_subtree(doc: &Document, pre: u32, pool: &NamePool, out: &mut String) {
+    serialize_resolved(doc, pre, &|id| pool.resolve(id), out);
+}
+
+/// Core serializer; `resolve` supplies name strings (a plain pool, or a
+/// layered catalog + overlay view).
+fn serialize_resolved<'n>(
+    doc: &Document,
+    pre: u32,
+    resolve: &impl Fn(NameId) -> &'n str,
+    out: &mut String,
+) {
     match doc.kind(pre) {
         NodeKind::Document => {
             for c in doc.children(pre) {
-                serialize_subtree(doc, c, pool, out);
+                serialize_resolved(doc, c, resolve, out);
             }
         }
         NodeKind::Element => {
-            let name = pool.resolve(doc.name(pre));
+            let name = resolve(doc.name(pre));
             out.push('<');
             out.push_str(name);
             for a in doc.attributes(pre) {
                 out.push(' ');
-                out.push_str(pool.resolve(doc.name(a)));
+                out.push_str(resolve(doc.name(a)));
                 out.push_str("=\"");
                 escape_attr(doc.text(a).unwrap_or(""), out);
                 out.push('"');
@@ -57,7 +69,7 @@ pub fn serialize_subtree(doc: &Document, pre: u32, pool: &NamePool, out: &mut St
                     out.push('>');
                     any_child = true;
                 }
-                serialize_subtree(doc, c, pool, out);
+                serialize_resolved(doc, c, resolve, out);
             }
             if any_child {
                 out.push_str("</");
@@ -70,7 +82,7 @@ pub fn serialize_subtree(doc: &Document, pre: u32, pool: &NamePool, out: &mut St
         NodeKind::Attribute => {
             // A top-level attribute serializes as name="value" (strictly a
             // serialization error in XQuery; we keep it debuggable).
-            out.push_str(pool.resolve(doc.name(pre)));
+            out.push_str(resolve(doc.name(pre)));
             out.push_str("=\"");
             escape_attr(doc.text(pre).unwrap_or(""), out);
             out.push('"');
@@ -83,22 +95,27 @@ pub fn serialize_subtree(doc: &Document, pre: u32, pool: &NamePool, out: &mut St
             let _ = write!(
                 out,
                 "<?{} {}?>",
-                pool.resolve(doc.name(pre)),
+                resolve(doc.name(pre)),
                 doc.text(pre).unwrap_or("")
             );
         }
     }
 }
 
-/// Serialize one node of a [`Store`].
-pub fn serialize_node(store: &Store, node: NodeId, out: &mut String) {
-    serialize_subtree(store.doc_of(node), node.pre, &store.pool, out);
+/// Serialize one node resolved through any layer (catalog or overlay).
+pub fn serialize_node<R: NodeRead + ?Sized>(nodes: &R, node: NodeId, out: &mut String) {
+    serialize_resolved(
+        nodes.doc_of(node),
+        node.pre,
+        &|id| nodes.resolve_name(id),
+        out,
+    );
 }
 
 /// Convenience: serialize a node to a fresh string.
-pub fn node_to_string(store: &Store, node: NodeId) -> String {
+pub fn node_to_string<R: NodeRead + ?Sized>(nodes: &R, node: NodeId) -> String {
     let mut out = String::new();
-    serialize_node(store, node, &mut out);
+    serialize_node(nodes, node, &mut out);
     out
 }
 

@@ -78,7 +78,10 @@ pub struct Document {
     /// lists) — the tag-name-based access paths of TwigStack-style step
     /// evaluation (paper §1). Built on first use by
     /// [`name_streams`](Self::name_streams).
-    name_streams: std::cell::OnceCell<NameStreams>,
+    /// `OnceLock` (not `OnceCell`) so a `Document` stays `Sync`: catalogs
+    /// share fragments across query threads, and the first step evaluation
+    /// to need the streams may happen on any of them.
+    name_streams: std::sync::OnceLock<NameStreams>,
 }
 
 /// Per-name sorted preorder streams.

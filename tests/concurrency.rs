@@ -1,0 +1,141 @@
+//! Concurrency smoke suite for the Catalog/Executor split.
+//!
+//! The thread-safety contract under test: a catalog snapshot is immutable
+//! and shareable (`Arc<Catalog>`), a prepared plan may be executed from
+//! any number of threads at once, and every execution writes only into
+//! its private fragment overlay — so concurrent runs are bag-equal to a
+//! serial run and the catalog is byte-identical afterwards.
+
+use exrquy::{Prepared, QueryOptions, ResultItem, Session};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_document(
+        "d.xml",
+        "<site><a n='1'><b>x</b><b>y</b></a><a n='2'><b>z</b></a>\
+         <a n='3'/><a n='4'><b>w</b><c>q</c></a></site>",
+    )
+    .unwrap();
+    s
+}
+
+/// Results as a sorted multiset — the equivalence `unordered` grants.
+fn bag(items: &[ResultItem]) -> Vec<String> {
+    let mut v: Vec<String> = items.iter().map(ResultItem::render).collect();
+    v.sort();
+    v
+}
+
+/// The same `Arc<Prepared>` executed from 8 threads at once against one
+/// shared executor must agree with the serial answer in every thread.
+#[test]
+fn one_prepared_plan_shared_across_threads() {
+    let s = session();
+    let opts = QueryOptions::order_indifferent();
+    let plan = s
+        .prepare("for $b in doc(\"d.xml\")//b return <hit>{$b}</hit>", &opts)
+        .unwrap();
+    let expect = bag(&s.execute(&plan).unwrap().items);
+    assert!(!expect.is_empty(), "smoke query must produce results");
+
+    let executor = s.executor().clone();
+    let nodes_before = s.catalog().total_nodes();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let plan: &Prepared = &plan;
+            let executor = &executor;
+            let expect = &expect;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    let out = executor.execute(plan).unwrap();
+                    assert_eq!(&bag(&out.items), expect);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        s.catalog().total_nodes(),
+        nodes_before,
+        "concurrent construction must stay in per-execution overlays"
+    );
+}
+
+/// Distinct plans (element construction, aggregation, reverse axes,
+/// positional predicates) executed concurrently against one catalog.
+#[test]
+fn distinct_plans_share_one_catalog() {
+    let queries = [
+        "fn:count(doc(\"d.xml\")//b)",
+        "for $a in doc(\"d.xml\")//a return <n>{fn:count($a/b)}</n>",
+        "unordered { for $b in doc(\"d.xml\")//b return $b/.. }",
+        "(doc(\"d.xml\")//b)[2]",
+        "for $a in doc(\"d.xml\")/site/a return fn:string($a/@n)",
+    ];
+    let s = session();
+    let opts = QueryOptions::order_indifferent();
+    let serial: Vec<(Arc<Prepared>, Vec<String>)> = queries
+        .iter()
+        .map(|q| {
+            let plan = s.prepare(q, &opts).unwrap();
+            let expect = bag(&s.execute(&plan).unwrap().items);
+            (plan, expect)
+        })
+        .collect();
+
+    let executor = s.executor().clone();
+    let nodes_before = s.catalog().total_nodes();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let serial = &serial;
+            let executor = &executor;
+            scope.spawn(move || {
+                // Stagger starting offsets so threads overlap on
+                // different plans at any instant.
+                for i in 0..serial.len() {
+                    let (plan, expect) = &serial[(t + i) % serial.len()];
+                    let out = executor.execute(plan).unwrap();
+                    assert_eq!(&bag(&out.items), expect);
+                }
+            });
+        }
+    });
+    assert_eq!(s.catalog().total_nodes(), nodes_before);
+}
+
+/// Threads that prepare for themselves hit the plan cache primed by the
+/// serial pass and get pointer-identical plans.
+#[test]
+fn concurrent_prepare_hits_shared_cache() {
+    let s = session();
+    let opts = QueryOptions::order_indifferent();
+    let query = "for $b in doc(\"d.xml\")//b return fn:string($b)";
+    let primed = s.prepare(query, &opts).unwrap();
+    let expect = bag(&s.execute(&primed).unwrap().items);
+
+    let executor = s.executor().clone();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let executor = &executor;
+            let opts = &opts;
+            let primed = &primed;
+            let expect = &expect;
+            scope.spawn(move || {
+                let plan = executor.prepare(query, opts).unwrap();
+                assert!(
+                    Arc::ptr_eq(&plan, primed),
+                    "cache hit must return the shared prepared plan"
+                );
+                assert_eq!(&bag(&executor.execute(&plan).unwrap().items), expect);
+            });
+        }
+    });
+    let stats = executor.cache_stats();
+    assert!(
+        stats.hits >= THREADS as u64,
+        "expected >= {THREADS} cache hits, got {}",
+        stats.hits
+    );
+}

@@ -98,7 +98,7 @@ fn computed_constructors() {
 
 #[test]
 fn seq_to_doc_order_interaction() {
-    let mut s = session();
+    let s = session();
     // Content sequence order becomes document order in the new fragment —
     // regardless of the ordering mode (the paper's interaction 2© is not
     // weakened, Figure 3).
@@ -141,7 +141,7 @@ fn escaped_braces_and_entities() {
 
 #[test]
 fn attribute_after_content_is_an_error() {
-    let mut s = session();
+    let s = session();
     let err = s
         .query(r#"<e>{ "text", attribute k { "v" } }</e>"#)
         .unwrap_err();

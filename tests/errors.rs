@@ -13,7 +13,7 @@ fn session() -> Session {
 
 #[test]
 fn parse_errors_carry_positions() {
-    let mut s = session();
+    let s = session();
     for q in [
         "1 +",
         "for $x in",
@@ -34,7 +34,7 @@ fn parse_errors_carry_positions() {
 
 #[test]
 fn static_errors() {
-    let mut s = session();
+    let s = session();
     // Unbound variable.
     let err = s.query("$nobody").unwrap_err();
     assert!(err.to_string().contains("unbound variable $nobody"));
@@ -51,7 +51,7 @@ fn static_errors() {
 
 #[test]
 fn dynamic_errors() {
-    let mut s = session();
+    let s = session();
     // Unknown document.
     let err = s.query(r#"doc("missing.xml")/x"#).unwrap_err();
     assert!(err.to_string().contains("not loaded"), "{err}");
@@ -137,14 +137,14 @@ fn malformed_documents_name_path_and_byte_offset() {
         "offset {offset} does not point at the bad close tag in `{msg}`"
     );
     // A missing document stays FODC0002: retrieval, not content.
-    let mut s2 = session();
+    let s2 = session();
     let err = s2.query(r#"doc("nope.xml")/x"#).unwrap_err();
     assert_eq!(err.code(), ErrorCode::FODC0002);
 }
 
 #[test]
 fn query_errors_carry_codes() {
-    let mut s = session();
+    let s = session();
     let cases: &[(&str, ErrorCode)] = &[
         // Syntax.
         ("1 +", ErrorCode::XPST0003),
@@ -181,7 +181,7 @@ fn query_errors_carry_codes() {
 fn absurd_predicate_nesting_is_governed() {
     // A predicate tower is expression nesting too: each `[...]` level
     // must count against the depth budget rather than recurse freely.
-    let mut s = session();
+    let s = session();
     let q = format!(
         r#"doc("d.xml"){}"#,
         "[a[1][b".repeat(80) + &"]]".repeat(80) + &"]".repeat(80)
@@ -197,7 +197,7 @@ fn absurd_predicate_nesting_is_governed() {
 fn errors_are_equal_across_configurations() {
     // A query that fails must fail under every configuration (the
     // optimizer may not mask or invent errors for always-evaluated code).
-    let mut s = session();
+    let s = session();
     for q in ["1 idiv 0", r#"doc("missing.xml")/x"#] {
         assert!(s.query_with(q, &QueryOptions::baseline()).is_err());
         assert!(s.query_with(q, &QueryOptions::order_indifferent()).is_err());
@@ -206,7 +206,7 @@ fn errors_are_equal_across_configurations() {
 
 #[test]
 fn session_stays_usable_after_errors() {
-    let mut s = session();
+    let s = session();
     let _ = s.query("1 idiv 0").unwrap_err();
     let _ = s.query("$nope").unwrap_err();
     assert_eq!(s.query("1 + 1").unwrap().to_xml(), "2");

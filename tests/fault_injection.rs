@@ -25,7 +25,7 @@ fn default_fault_matrix_degrades_gracefully() {
 
 #[test]
 fn injected_doc_io_fault_is_a_retrieval_error() {
-    let mut s = session_with_doc();
+    let s = session_with_doc();
     let err = s
         .query_with(r#"doc("d.xml")//x"#, &opts_with("doc-io:1"))
         .expect_err("doc-io:1 must fail the first access");
@@ -42,13 +42,13 @@ fn injected_doc_io_fault_is_a_retrieval_error() {
 fn injected_parse_fault_is_malformed_content_and_leaves_no_fragment() {
     let mut s = Session::new();
     s.set_failpoints(Failpoints::parse("doc-parse:1").expect("spec"));
-    let frags_before = s.store().len();
+    let frags_before = s.catalog().frag_count();
     let err = s
         .load_document("bad.xml", "<ok/>")
         .expect_err("doc-parse:1 must reject the first load");
     assert_eq!(err.code(), ErrorCode::FODC0006);
     assert_eq!(
-        s.store().len(),
+        s.catalog().frag_count(),
         frags_before,
         "a failed load must not register a fragment"
     );
@@ -63,7 +63,7 @@ fn injected_parse_fault_is_malformed_content_and_leaves_no_fragment() {
 
 #[test]
 fn injected_budget_trip_is_a_resource_error() {
-    let mut s = session_with_doc();
+    let s = session_with_doc();
     let err = s
         .query_with(r#"doc("d.xml")//x"#, &opts_with("budget-trip:step"))
         .expect_err("budget-trip:step must trip in the step operator");
@@ -74,7 +74,7 @@ fn injected_budget_trip_is_a_resource_error() {
 
 #[test]
 fn injected_cancellation_is_a_cancellation_error() {
-    let mut s = session_with_doc();
+    let s = session_with_doc();
     for spec in ["cancel-after:0", "cancel-after:2"] {
         let err = s
             .query_with(r#"doc("d.xml")//x"#, &opts_with(spec))

@@ -99,7 +99,7 @@ fn node_functions() {
 
 #[test]
 fn distinct_values_multiset() {
-    let mut s = session();
+    let s = session();
     // Order of distinct-values is implementation-defined: compare sorted.
     let q = r#"fn:distinct-values((1, 2, 1, 3, 2))"#;
     for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
@@ -133,7 +133,7 @@ fn arithmetic_edge_cases() {
 
 #[test]
 fn unknown_function_is_a_compile_error() {
-    let mut s = session();
+    let s = session();
     let err = s.query("fn:no-such-function(1)").unwrap_err();
     assert!(err.to_string().contains("unsupported function"), "{err}");
 }
@@ -174,7 +174,7 @@ fn boolean_as_value_and_in_branches() {
 
 #[test]
 fn results_have_expected_types() {
-    let mut s = session();
+    let s = session();
     let out = s.query("(1, 1.5, 'x', 2 = 2)").unwrap();
     assert_eq!(
         out.items,

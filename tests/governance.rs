@@ -19,7 +19,7 @@ fn with_budget(budget: ExecutionBudget) -> QueryOptions {
 
 #[test]
 fn row_budget_stops_range_explosion() {
-    let mut s = session();
+    let s = session();
     // 10^12 rows would exhaust memory; the cap must trip incrementally.
     let opts = with_budget(ExecutionBudget::default().with_max_rows_per_op(10_000));
     let err = s
@@ -32,7 +32,7 @@ fn row_budget_stops_range_explosion() {
 
 #[test]
 fn row_budget_stops_cross_product() {
-    let mut s = session();
+    let s = session();
     let opts = with_budget(ExecutionBudget::default().with_max_rows_per_op(50));
     // Nested for-loops compile to a cross product: 20 × 20 = 400 > 50.
     let err = s
@@ -54,7 +54,7 @@ fn row_budget_stops_cross_product() {
 
 #[test]
 fn total_row_budget_spans_operators() {
-    let mut s = session();
+    let s = session();
     // Each operator stays small, but the plan as a whole crosses the
     // total-row ceiling.
     let opts = with_budget(ExecutionBudget::default().with_max_rows_total(10));
@@ -66,7 +66,7 @@ fn total_row_budget_spans_operators() {
 
 #[test]
 fn node_budget_stops_construction() {
-    let mut s = session();
+    let s = session();
     let opts = with_budget(ExecutionBudget::default().with_max_nodes(10));
     // Content depends on $i, so every element is constructed at runtime
     // (a constant constructor would be materialized at compile time).
@@ -79,7 +79,7 @@ fn node_budget_stops_construction() {
 
 #[test]
 fn zero_timeout_trips_immediately() {
-    let mut s = session();
+    let s = session();
     let opts = with_budget(ExecutionBudget::default().with_max_wall(Duration::ZERO));
     let err = s.query_with(r#"doc("d.xml")//a"#, &opts).unwrap_err();
     assert_eq!(err.code(), ErrorCode::EXRQ0001, "{err}");
@@ -88,7 +88,7 @@ fn zero_timeout_trips_immediately() {
 
 #[test]
 fn generous_budget_is_invisible() {
-    let mut s = session();
+    let s = session();
     let opts = with_budget(
         ExecutionBudget::default()
             .with_max_rows_per_op(1_000_000)
@@ -107,7 +107,7 @@ fn generous_budget_is_invisible() {
 
 #[test]
 fn cancelled_token_aborts_execution() {
-    let mut s = session();
+    let s = session();
     let token = CancellationToken::new();
     token.cancel();
     let opts = QueryOptions::honor_prolog().with_cancel(token);
@@ -119,7 +119,7 @@ fn cancelled_token_aborts_execution() {
 
 #[test]
 fn uncancelled_token_is_invisible() {
-    let mut s = session();
+    let s = session();
     let token = CancellationToken::new();
     let opts = QueryOptions::honor_prolog().with_cancel(token.clone());
     assert_eq!(
@@ -135,7 +135,7 @@ fn uncancelled_token_is_invisible() {
 
 #[test]
 fn depth_budget_overrides_default() {
-    let mut s = session();
+    let s = session();
     // 32 nested parens exceed an explicit depth budget of 16 …
     let q = format!("{}1{}", "(".repeat(32), ")".repeat(32));
     let opts = with_budget(ExecutionBudget::default().with_max_depth(16));
@@ -147,14 +147,14 @@ fn depth_budget_overrides_default() {
 
 #[test]
 fn session_survives_budget_trips_without_leaking() {
-    let mut s = session();
-    let before = s.store().len();
+    let s = session();
+    let before = s.catalog().frag_count();
     let opts = with_budget(ExecutionBudget::default().with_max_nodes(5));
     let _ = s
         .query_with("for $i in (1 to 50) return <e>{ $i }</e>", &opts)
         .unwrap_err();
     // Partially constructed fragments were released …
-    assert_eq!(s.store().len(), before);
+    assert_eq!(s.catalog().frag_count(), before);
     // … and the session still answers queries.
     assert_eq!(
         s.query(r#"fn:count(doc("d.xml")//a)"#).unwrap().to_xml(),

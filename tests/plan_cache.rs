@@ -1,0 +1,169 @@
+//! Plan-cache semantics: hits return the shared plan, anything that
+//! changes the compiled plan misses, run-specific state bypasses the
+//! cache, and loading a document invalidates wholesale.
+
+use exrquy::diag::{CancellationToken, Failpoints};
+use exrquy::engine::StepAlgo;
+use exrquy::frontend::OrderingMode;
+use exrquy::opt::OptOptions;
+use exrquy::{QueryOptions, Session};
+use std::sync::Arc;
+
+const QUERY: &str = "for $a in doc(\"d.xml\")//a return fn:string($a)";
+
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_document("d.xml", "<r><a>1</a><a>2</a></r>").unwrap();
+    s
+}
+
+#[test]
+fn identical_options_hit_and_share_the_plan() {
+    let s = session();
+    let opts = QueryOptions::order_indifferent();
+    let first = s.prepare(QUERY, &opts).unwrap();
+    let second = s.prepare(QUERY, &opts).unwrap();
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "a cache hit must return the same Arc<Prepared>"
+    );
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert!(stats.hit_rate() > 0.0);
+}
+
+#[test]
+fn different_query_text_misses() {
+    let s = session();
+    let opts = QueryOptions::order_indifferent();
+    let a = s.prepare(QUERY, &opts).unwrap();
+    let b = s.prepare("fn:count(doc(\"d.xml\")//a)", &opts).unwrap();
+    assert!(!Arc::ptr_eq(&a, &b));
+    assert_eq!(s.cache_stats().misses, 2);
+}
+
+#[test]
+fn ordering_override_misses() {
+    let s = session();
+    let a = s
+        .prepare(QUERY, &QueryOptions::order_indifferent())
+        .unwrap();
+    let mut forced = QueryOptions::order_indifferent();
+    forced.ordering = Some(OrderingMode::Ordered);
+    let b = s.prepare(QUERY, &forced).unwrap();
+    assert!(!Arc::ptr_eq(&a, &b));
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 2));
+}
+
+#[test]
+fn optimizer_toggles_miss() {
+    let s = session();
+    let a = s
+        .prepare(QUERY, &QueryOptions::order_indifferent())
+        .unwrap();
+    let mut weakened = QueryOptions::order_indifferent();
+    weakened.opt = OptOptions {
+        weaken_rownum: false,
+        ..weakened.opt
+    };
+    let b = s.prepare(QUERY, &weakened).unwrap();
+    assert!(!Arc::ptr_eq(&a, &b));
+    assert_eq!(s.cache_stats().misses, 2);
+}
+
+#[test]
+fn step_algorithm_misses() {
+    let s = session();
+    let a = s
+        .prepare(QUERY, &QueryOptions::order_indifferent())
+        .unwrap();
+    let mut naive = QueryOptions::order_indifferent();
+    naive.step_algo = StepAlgo::Naive;
+    let b = s.prepare(QUERY, &naive).unwrap();
+    assert!(!Arc::ptr_eq(&a, &b));
+    assert_eq!(s.cache_stats().misses, 2);
+}
+
+#[test]
+fn baseline_and_exploiting_modes_cache_separately() {
+    let s = session();
+    let a = s.prepare(QUERY, &QueryOptions::baseline()).unwrap();
+    let b = s
+        .prepare(QUERY, &QueryOptions::order_indifferent())
+        .unwrap();
+    assert!(!Arc::ptr_eq(&a, &b));
+    // Re-preparing each mode hits its own entry.
+    assert!(Arc::ptr_eq(
+        &a,
+        &s.prepare(QUERY, &QueryOptions::baseline()).unwrap()
+    ));
+    assert!(Arc::ptr_eq(
+        &b,
+        &s.prepare(QUERY, &QueryOptions::order_indifferent())
+            .unwrap()
+    ));
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (2, 2));
+}
+
+#[test]
+fn document_load_invalidates_the_cache() {
+    let mut s = session();
+    let opts = QueryOptions::order_indifferent();
+    let stale = s.prepare(QUERY, &opts).unwrap();
+    s.load_document("d.xml", "<r><a>changed</a></r>").unwrap();
+    let fresh = s.prepare(QUERY, &opts).unwrap();
+    assert!(
+        !Arc::ptr_eq(&stale, &fresh),
+        "a (re)load must not serve plans compiled against the old catalog"
+    );
+    // The new executor starts with zeroed counters: this prepare was a miss.
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 1));
+    // And the fresh plan sees the new content.
+    let out = s.execute(&fresh).unwrap();
+    assert_eq!(out.items.len(), 1);
+}
+
+#[test]
+fn cancellation_token_bypasses_the_cache() {
+    let s = session();
+    let opts = QueryOptions::order_indifferent().with_cancel(CancellationToken::new());
+    let a = s.prepare(QUERY, &opts).unwrap();
+    let b = s.prepare(QUERY, &opts).unwrap();
+    assert!(
+        !Arc::ptr_eq(&a, &b),
+        "run-specific plans must not be shared"
+    );
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.uncacheable), (0, 0, 2));
+}
+
+#[test]
+fn armed_failpoints_bypass_the_cache() {
+    let s = session();
+    let opts = QueryOptions::order_indifferent()
+        .with_failpoints(Failpoints::parse("cancel-after:5").unwrap());
+    let a = s.prepare(QUERY, &opts).unwrap();
+    let b = s.prepare(QUERY, &opts).unwrap();
+    assert!(!Arc::ptr_eq(&a, &b));
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.uncacheable), (0, 0, 2));
+}
+
+#[test]
+fn cached_plans_still_execute_correctly() {
+    let s = session();
+    let opts = QueryOptions::order_indifferent();
+    let plan = s.prepare(QUERY, &opts).unwrap();
+    let first = s.execute(&plan).unwrap();
+    let again = s.prepare(QUERY, &opts).unwrap();
+    let second = s.execute(&again).unwrap();
+    let render = |items: &[exrquy::ResultItem]| {
+        let mut v: Vec<String> = items.iter().map(|i| i.render()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(render(&first.items), render(&second.items));
+}

@@ -185,7 +185,7 @@ fn physical_order_inference_removes_presorted_sorts() {
     // mode, the engine emits step results presorted by (iter, item), so
     // the LOC-rule % needs no sort once physical order inference runs.
     use exrquy_opt::OptOptions;
-    let mut s = session();
+    let s = session();
     let q = r#"doc("d.xml")//a/text()"#;
     let mut plain = QueryOptions::baseline();
     plain.opt = OptOptions::default(); // logical analysis only

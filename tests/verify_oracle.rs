@@ -40,7 +40,7 @@ fn suite_is_stable_across_generator_seeds() {
 
 #[test]
 fn oracle_reports_equivalence_matching_ordering_mode() {
-    let mut s = xmark_session();
+    let s = xmark_session();
     let unordered = s
         .verify(
             "for $i in doc(\"auction.xml\")//item return $i/@id",
@@ -61,7 +61,7 @@ fn oracle_reports_equivalence_matching_ordering_mode() {
 
 #[test]
 fn injected_divergence_fails_with_exrq0004_and_plan_diff() {
-    let mut s = xmark_session();
+    let s = xmark_session();
     for arm in ["baseline", "optimized", "noweaken"] {
         let fp = Failpoints::parse(&format!("oracle-perturb:{arm}")).expect("spec");
         let opts = QueryOptions::order_indifferent().with_failpoints(fp);

@@ -193,7 +193,7 @@ fn xmp_q6_books_with_multiple_authors() {
 #[test]
 fn xmp_q7_sorted_by_title() {
     // Q11-style: books after 1991, sorted by title.
-    let mut s = session();
+    let s = session();
     for opts in [QueryOptions::baseline(), QueryOptions::order_indifferent()] {
         let out = s
             .query_with(

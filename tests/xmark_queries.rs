@@ -64,7 +64,7 @@ fn aggregate_queries_agree_exactly() {
 
 #[test]
 fn q1_returns_person0_name() {
-    let mut s = session();
+    let s = session();
     let out = s.query(query(1)).unwrap();
     assert_eq!(out.items.len(), 1);
     // person0's <name> text: a "First Last" string.
@@ -74,7 +74,7 @@ fn q1_returns_person0_name() {
 
 #[test]
 fn q5_counts_expensive_closed_auctions() {
-    let mut s = session();
+    let s = session();
     let out = s.query(query(5)).unwrap();
     assert_eq!(out.items.len(), 1);
     let ResultItem::Int(n) = out.items[0] else {
@@ -86,7 +86,7 @@ fn q5_counts_expensive_closed_auctions() {
 
 #[test]
 fn q6_counts_all_items() {
-    let mut s = session();
+    let s = session();
     let out = s.query(query(6)).unwrap();
     // One count per regions element (exactly one in the document).
     assert_eq!(out.items.len(), 1);
@@ -96,7 +96,7 @@ fn q6_counts_all_items() {
 
 #[test]
 fn q10_produces_one_element_per_category_used() {
-    let mut s = session();
+    let s = session();
     let out = s.query(query(10)).unwrap();
     assert!(!out.items.is_empty());
     for item in &out.items {
@@ -107,7 +107,7 @@ fn q10_produces_one_element_per_category_used() {
 
 #[test]
 fn q11_counts_match_a_reference_computation() {
-    let mut s = session();
+    let s = session();
     let out = s.query(query(11)).unwrap();
     let cfg = XmarkConfig::at_scale(0.0025);
     assert_eq!(out.items.len(), cfg.persons());
@@ -128,7 +128,7 @@ fn q11_counts_match_a_reference_computation() {
 
 #[test]
 fn q17_complements_homepage_presence() {
-    let mut s = session();
+    let s = session();
     let q17 = s.query(query(17)).unwrap();
     let with_homepage = s
         .query(
@@ -146,7 +146,7 @@ fn q17_complements_homepage_presence() {
 
 #[test]
 fn q19_is_sorted_by_location() {
-    let mut s = session();
+    let s = session();
     let out = s.query(query(19)).unwrap();
     let cfg = XmarkConfig::at_scale(0.0025);
     assert_eq!(out.items.len(), cfg.items());
@@ -170,7 +170,7 @@ fn q19_is_sorted_by_location() {
 
 #[test]
 fn unordered_plans_have_fewer_costly_rownums() {
-    let mut s = session();
+    let s = session();
     for n in 1..=20 {
         let base = s.prepare(query(n), &QueryOptions::baseline()).unwrap();
         let oi = s
