@@ -348,6 +348,32 @@ impl Op {
         op
     }
 
+    /// Every kind name [`Op::kind_name`] can return, in declaration
+    /// order. Coverage tooling checks itself against this list.
+    pub const KIND_NAMES: &'static [&'static str] = &[
+        "lit",
+        "doc",
+        "π",
+        "σ",
+        "%",
+        "#",
+        "attach",
+        "fun",
+        "aggr",
+        "δ",
+        "⬡",
+        "×",
+        "⋈",
+        "⋈θ",
+        "∪̇",
+        "\\",
+        "elem",
+        "attr",
+        "text",
+        "range",
+        "serialize",
+    ];
+
     /// Short operator-kind name for statistics and rendering.
     pub fn kind_name(&self) -> &'static str {
         match self {

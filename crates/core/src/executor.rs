@@ -13,7 +13,7 @@ use exrquy_algebra::{Col, PlanStats};
 use exrquy_compiler::{CompiledPlan, Compiler};
 use exrquy_engine::{Engine, EngineOptions, Item};
 use exrquy_frontend::{check_depth, normalize_opts, parse_module_with};
-use exrquy_opt::try_optimize;
+use exrquy_opt::try_optimize_with;
 use exrquy_xml::{serialize, Catalog, FragArena};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -164,7 +164,9 @@ impl Executor {
             .compile_module(&module)
             .map_err(Error::Compile)?;
         let stats_initial = PlanStats::of(&dag, root);
-        let (root, opt_report) = try_optimize(&mut dag, root, &opts.opt).map_err(Error::Opt)?;
+        let (root, opt_report) =
+            try_optimize_with(&mut dag, root, &opts.opt, opts.failpoints.perturbed_rule())
+                .map_err(Error::Opt)?;
         let stats_final = PlanStats::of(&dag, root);
         Ok(Prepared {
             dag,

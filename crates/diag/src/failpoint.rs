@@ -20,6 +20,9 @@
 //!   cancel-after:<n>    cancel (EXRQ0002) at the n-th operator boundary
 //!   oracle-perturb:<arm> corrupt one oracle arm's result
 //!                       (arm ∈ baseline | optimized | noweaken)
+//!   rule-perturb:<rule> apply the named rewrite rule in a deliberately
+//!                       unsound variant (a planted optimizer bug; the
+//!                       optimizer decides which rules support it)
 //! ```
 //!
 //! Example: `--inject doc-io:2,budget-trip:rownum,cancel-after:5`.
@@ -81,6 +84,8 @@ pub struct Failpoints {
     pub cancel_after: Option<usize>,
     /// Corrupt this oracle arm's result sequence.
     pub oracle_perturb: Option<OracleArm>,
+    /// Apply this named rewrite rule unsoundly (planted optimizer bug).
+    pub rule_perturb: Option<String>,
 }
 
 /// Map a user-facing operator alias to the canonical kind name used by
@@ -162,10 +167,19 @@ impl Failpoints {
                     };
                     fp.oracle_perturb = Some(arm);
                 }
+                "rule-perturb" => {
+                    let rule = arg.filter(|a| !a.is_empty()).ok_or_else(|| {
+                        FailpointSpecError(
+                            "`rule-perturb` needs a rule name, e.g. rule-perturb:weaken-criteria"
+                                .into(),
+                        )
+                    })?;
+                    fp.rule_perturb = Some(rule.to_string());
+                }
                 other => {
                     return Err(FailpointSpecError(format!(
-                        "unknown failpoint `{other}` \
-                         (expected doc-io, doc-parse, budget-trip, cancel-after, oracle-perturb)"
+                        "unknown failpoint `{other}` (expected doc-io, doc-parse, \
+                         budget-trip, cancel-after, oracle-perturb, rule-perturb)"
                     )))
                 }
             }
@@ -198,6 +212,11 @@ impl Failpoints {
     /// Should the given oracle arm's result be corrupted?
     pub fn perturbs_arm(&self, arm: OracleArm) -> bool {
         self.oracle_perturb == Some(arm)
+    }
+
+    /// The rewrite rule to apply unsoundly, when armed.
+    pub fn perturbed_rule(&self) -> Option<&str> {
+        self.rule_perturb.as_deref()
     }
 }
 
@@ -238,6 +257,15 @@ mod tests {
         assert!(fp.perturbs_arm(OracleArm::Optimized));
         assert!(!fp.perturbs_arm(OracleArm::Baseline));
         assert!(Failpoints::parse("oracle-perturb:sideways").is_err());
+    }
+
+    #[test]
+    fn rule_perturb_arms() {
+        let fp = Failpoints::parse("rule-perturb:weaken-criteria").unwrap();
+        assert_eq!(fp.perturbed_rule(), Some("weaken-criteria"));
+        assert!(!fp.is_empty());
+        assert!(Failpoints::parse("rule-perturb").is_err());
+        assert!(Failpoints::parse("rule-perturb:").is_err());
     }
 
     #[test]

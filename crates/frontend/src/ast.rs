@@ -379,6 +379,91 @@ impl Expr {
         }
     }
 
+    /// Visit direct sub-expressions mutably, in the same order as
+    /// [`Expr::for_each_child`]. The order agreement is load-bearing: the
+    /// AST shrinker numbers nodes with the immutable walk and edits them
+    /// with this one.
+    pub fn for_each_child_mut(&mut self, mut f: impl FnMut(&mut Expr)) {
+        match self {
+            Expr::IntLit(_)
+            | Expr::DblLit(_)
+            | Expr::StrLit(_)
+            | Expr::Empty
+            | Expr::Var(_)
+            | Expr::ContextItem
+            | Expr::Root => {}
+            Expr::Sequence(es) => es.iter_mut().for_each(&mut f),
+            Expr::PathStep {
+                input, predicates, ..
+            } => {
+                f(input);
+                predicates.iter_mut().for_each(&mut f);
+            }
+            Expr::Filter { input, predicate } => {
+                f(input);
+                f(predicate);
+            }
+            Expr::PathSeq { input, step } => {
+                f(input);
+                f(step);
+            }
+            Expr::Flwor {
+                clauses,
+                order_by,
+                ret,
+                ..
+            } => {
+                for c in clauses {
+                    match c {
+                        Clause::For { seq, .. } => f(seq),
+                        Clause::Let { expr, .. } => f(expr),
+                        Clause::Where(e) => f(e),
+                    }
+                }
+                for o in order_by {
+                    f(&mut o.key);
+                }
+                f(ret);
+            }
+            Expr::Quantified {
+                domain, satisfies, ..
+            } => {
+                f(domain);
+                f(satisfies);
+            }
+            Expr::If { cond, then, els } => {
+                f(cond);
+                f(then);
+                f(els);
+            }
+            Expr::Binary { l, r, .. } => {
+                f(l);
+                f(r);
+            }
+            Expr::Unary { expr, .. } => f(expr),
+            Expr::Call { args, .. } => args.iter_mut().for_each(&mut f),
+            Expr::Unordered(e) => f(e),
+            Expr::OrderingScope { expr, .. } => f(expr),
+            Expr::DirElement { attrs, content, .. } => {
+                for a in attrs {
+                    for p in &mut a.value {
+                        if let AttrPart::Expr(e) = p {
+                            f(e);
+                        }
+                    }
+                }
+                for c in content {
+                    if let ElemContent::Expr(e) = c {
+                        f(e);
+                    }
+                }
+            }
+            Expr::TextConstructor(e) => f(e),
+            Expr::AttrConstructor { value, .. } => f(value),
+            Expr::ElemConstructor { content, .. } => f(content),
+        }
+    }
+
     /// Visit direct sub-expressions (not descending into binding
     /// structure — callers that care about scoping handle Flwor/Quantified
     /// themselves, as `collect_free` does).

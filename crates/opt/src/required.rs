@@ -6,7 +6,19 @@ use std::collections::{BTreeSet, HashMap};
 /// For every operator reachable from `root`, the set of its *output*
 /// columns that some consumer strictly requires. The root requires
 /// `{pos, item}` (serialization of the result sequence).
-pub fn required_columns(dag: &Dag, root: OpId) -> HashMap<OpId, BTreeSet<Col>> {
+///
+/// `prune_projections` must mirror whether the rewriter is allowed to
+/// prune unrequired columns out of `π` operators (`project-prune`
+/// enabled under column-dependency analysis). When it is, a projection
+/// only demands the sources of its *required* outputs; when pruning is
+/// off, the rebuilt projection keeps every column, so every source stays
+/// demanded — otherwise a column-dependency bypass upstream could delete
+/// the producer of a column the surviving projection still references.
+pub fn required_columns(
+    dag: &Dag,
+    root: OpId,
+    prune_projections: bool,
+) -> HashMap<OpId, BTreeSet<Col>> {
     let order = dag.topo_order(root);
     let mut req: HashMap<OpId, BTreeSet<Col>> = HashMap::new();
     req.insert(root, [Col::POS, Col::ITEM].into_iter().collect());
@@ -22,7 +34,7 @@ pub fn required_columns(dag: &Dag, root: OpId) -> HashMap<OpId, BTreeSet<Col>> {
             Op::Project { input, cols } => {
                 let needed: BTreeSet<Col> = cols
                     .iter()
-                    .filter(|(new, _)| my_req.contains(new))
+                    .filter(|(new, _)| !prune_projections || my_req.contains(new))
                     .map(|(_, src)| *src)
                     .collect();
                 push(*input, needed);
@@ -184,7 +196,7 @@ mod tests {
             new: Col::POS,
         });
         let root = dag.add(Op::Serialize { input: h });
-        let req = required_columns(&dag, root);
+        let req = required_columns(&dag, root, true);
         assert!(!req[&l].contains(&Col::POS), "{:?}", req[&l]);
         assert!(req[&l].contains(&Col::ITEM));
     }
@@ -207,7 +219,7 @@ mod tests {
             input: rn,
             cols: vec![(Col::ITEM, Col::ITEM)],
         });
-        let req = required_columns(&dag, drop_pos);
+        let req = required_columns(&dag, drop_pos, true);
         // Root here is the projection; seed {pos, item} intersected away.
         assert!(!req[&rn].contains(&Col::POS));
     }
@@ -224,7 +236,7 @@ mod tests {
             col: Col::RES,
         });
         let root = dag.add(Op::Serialize { input: s });
-        let req = required_columns(&dag, root);
+        let req = required_columns(&dag, root, true);
         assert!(req[&l].contains(&Col::RES));
         assert!(req[&l].contains(&Col::POS));
         assert!(req[&l].contains(&Col::ITEM));
@@ -243,7 +255,7 @@ mod tests {
             value: AValue::Int(1),
         });
         let root = dag.add(Op::Serialize { input: a });
-        let req = required_columns(&dag, root);
+        let req = required_columns(&dag, root, true);
         assert_eq!(req[&l], [Col::ITEM].into_iter().collect::<BTreeSet<_>>());
     }
 }

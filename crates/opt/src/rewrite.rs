@@ -4,6 +4,7 @@
 use crate::order::{rownum_is_presorted, sort_orders, OrderMap};
 use crate::props::{keys, properties, ColProp, KeyMap, PropMap};
 use crate::required::required_columns;
+use crate::rules::RuleSet;
 use exrquy_algebra::{AValue, Col, Dag, Op, OpId, PlanStats};
 use exrquy_xml::{Axis, NodeTest};
 use std::collections::{BTreeSet, HashMap};
@@ -27,6 +28,12 @@ pub struct OptOptions {
     /// default — the paper's contribution is purely logical; this is the
     /// orthogonal extension, exercised by the ablation benches.
     pub physical_order: bool,
+    /// Individually disabled named rules (see [`crate::rules::RULE_NAMES`])
+    /// — finer-grained than the pass flags above; a rule fires only when
+    /// its pass is enabled *and* its name is not in this set. The
+    /// differential attribution harness uses this to replay a diverging
+    /// query with one suspect rewrite switched off at a time.
+    pub disabled_rules: RuleSet,
     /// Fixpoint bound.
     pub max_rounds: usize,
 }
@@ -38,6 +45,7 @@ impl Default for OptOptions {
             weaken_rownum: true,
             merge_steps: true,
             physical_order: false,
+            disabled_rules: RuleSet::empty(),
             max_rounds: 8,
         }
     }
@@ -51,8 +59,15 @@ impl OptOptions {
             weaken_rownum: false,
             merge_steps: false,
             physical_order: false,
+            disabled_rules: RuleSet::empty(),
             max_rounds: 1,
         }
+    }
+
+    /// This configuration with one more named rule disabled.
+    pub fn without_rule(mut self, rule: &str) -> Self {
+        self.disabled_rules = self.disabled_rules.with(rule);
+        self
     }
 }
 
@@ -134,12 +149,30 @@ pub fn try_optimize(
     root: OpId,
     opts: &OptOptions,
 ) -> Result<(OpId, OptReport), OptError> {
+    try_optimize_with(dag, root, opts, None)
+}
+
+/// [`try_optimize`] with an optional *rule perturbation*: when `perturb`
+/// names a rule, that rule is applied in a deliberately unsound variant
+/// (currently supported for `weaken-criteria`, which then drops *every*
+/// sort criterion instead of only the provably irrelevant ones). This is
+/// the optimizer's arm of the `rule-perturb` failpoint — a planted,
+/// deterministic optimizer bug that the differential oracle must catch
+/// and the attribution pass must pin on the named rule. A perturbed rule
+/// still honors [`OptOptions::disabled_rules`], which is exactly what
+/// lets attribution make the planted divergence vanish.
+pub fn try_optimize_with(
+    dag: &mut Dag,
+    root: OpId,
+    opts: &OptOptions,
+    perturb: Option<&str>,
+) -> Result<(OpId, OptReport), OptError> {
     let before = PlanStats::of(dag, root);
     let mut cur = root;
     let mut rounds = 0;
     let mut trace = Vec::new();
     for round in 0..opts.max_rounds {
-        let next = one_round(dag, cur, opts, round, &mut trace)?;
+        let next = one_round(dag, cur, opts, perturb, round, &mut trace)?;
         rounds += 1;
         if next == cur {
             break;
@@ -173,6 +206,7 @@ struct Ctx<'a> {
     orders: OrderMap,
     key_cols: KeyMap,
     opts: OptOptions,
+    perturb: Option<&'a str>,
     round: usize,
     trace: &'a mut Vec<RuleApplication>,
 }
@@ -186,6 +220,16 @@ impl Ctx<'_> {
             before,
             after,
         });
+    }
+
+    /// May the named rule fire under the current options?
+    fn on(&self, rule: &str) -> bool {
+        !self.opts.disabled_rules.contains(rule)
+    }
+
+    /// Is the named rule armed for unsound perturbation (and not disabled)?
+    fn perturbed(&self, rule: &str) -> bool {
+        self.perturb == Some(rule) && self.on(rule)
     }
 }
 
@@ -214,11 +258,16 @@ fn one_round(
     dag: &mut Dag,
     root: OpId,
     opts: &OptOptions,
+    perturb: Option<&str>,
     round: usize,
     trace: &mut Vec<RuleApplication>,
 ) -> Result<OpId, OptError> {
     let mut ctx = Ctx {
-        req: required_columns(dag, root),
+        req: required_columns(
+            dag,
+            root,
+            opts.column_dependency && !opts.disabled_rules.contains("project-prune"),
+        ),
         props: properties(dag, root),
         orders: if opts.physical_order {
             sort_orders(dag, root)
@@ -231,6 +280,7 @@ fn one_round(
             KeyMap::new()
         },
         opts: *opts,
+        perturb,
         round,
         trace,
     };
@@ -272,13 +322,13 @@ fn rewrite_op(
             new, order, part, ..
         } => {
             let old_input = old_op.children()[0];
-            if opts.column_dependency && !my_req.contains(new) {
+            if opts.column_dependency && ctx.on("cda-bypass-rownum") && !my_req.contains(new) {
                 ctx.fire("cda-bypass-rownum", old_id, ch[0]);
                 return Ok(ch[0]);
             }
             let (mut order, mut part) = (order.clone(), *part);
             let mut rule: &'static str = "rebuild";
-            if opts.weaken_rownum {
+            if opts.weaken_rownum && ctx.on("weaken-criteria") {
                 let (len0, part0) = (order.len(), part);
                 // Drop constant criteria (sound: ties everywhere).
                 order.retain(|k| {
@@ -306,6 +356,14 @@ fn rewrite_op(
                 {
                     order.clear();
                 }
+                if ctx.perturbed("weaken-criteria") && !order.is_empty() {
+                    // Planted bug (`rule-perturb:weaken-criteria`): treat
+                    // *every* criterion as droppable — unsound whenever a
+                    // real criterion remained, which is what the oracle
+                    // must catch and attribution must pin on this rule.
+                    order.clear();
+                    part = None;
+                }
                 if let Some(p) = part {
                     if matches!(prop_of(&ctx.props, old_input, p), Some(ColProp::Const(_))) {
                         part = None;
@@ -314,26 +372,37 @@ fn rewrite_op(
                 if order.len() != len0 || part != part0 {
                     rule = "weaken-criteria";
                 }
-                if order.is_empty() && part.is_none() {
-                    let id = intern(
-                        dag,
-                        ctx,
-                        "weaken-rownum-to-rowid",
-                        old_id,
-                        Op::RowId {
-                            input: ch[0],
-                            new: *new,
-                        },
-                    )?;
-                    ctx.fire("weaken-rownum-to-rowid", old_id, id);
-                    return Ok(id);
+            }
+            if opts.weaken_rownum
+                && ctx.on("weaken-rownum-to-rowid")
+                && order.is_empty()
+                && part.is_none()
+            {
+                let id = intern(
+                    dag,
+                    ctx,
+                    "weaken-rownum-to-rowid",
+                    old_id,
+                    Op::RowId {
+                        input: ch[0],
+                        new: *new,
+                    },
+                )?;
+                // When criteria-weakening is what emptied the order
+                // spec, record it too: attribution enumerates the
+                // trace, and disabling `weaken-criteria` (not the
+                // conversion) is what undoes the weakening.
+                if rule == "weaken-criteria" {
+                    ctx.fire("weaken-criteria", old_id, id);
                 }
+                ctx.fire("weaken-rownum-to-rowid", old_id, id);
+                return Ok(id);
             }
             // [15]-style physical order: the engine already emits the
             // input presorted — the % numbers in one pass, no sort.
             // Constant columns constrain nothing and are ignored on both
             // sides of the prefix match.
-            if opts.physical_order && !order.is_empty() {
+            if opts.physical_order && ctx.on("physical-order") && !order.is_empty() {
                 if let Some(input_order) = ctx.orders.get(&old_input) {
                     let is_const = |c: Col| {
                         matches!(prop_of(&ctx.props, old_input, c), Some(ColProp::Const(_)))
@@ -370,7 +439,7 @@ fn rewrite_op(
             Ok(id)
         }
         Op::RowId { new, .. } => {
-            if opts.column_dependency && !my_req.contains(new) {
+            if opts.column_dependency && ctx.on("cda-bypass-rowid") && !my_req.contains(new) {
                 ctx.fire("cda-bypass-rowid", old_id, ch[0]);
                 return Ok(ch[0]);
             }
@@ -386,7 +455,7 @@ fn rewrite_op(
             )
         }
         Op::Attach { col, value, .. } => {
-            if opts.column_dependency && !my_req.contains(col) {
+            if opts.column_dependency && ctx.on("cda-bypass-attach") && !my_req.contains(col) {
                 ctx.fire("cda-bypass-attach", old_id, ch[0]);
                 return Ok(ch[0]);
             }
@@ -405,7 +474,7 @@ fn rewrite_op(
         Op::Fun {
             new, kind, args, ..
         } => {
-            if opts.column_dependency && !my_req.contains(new) {
+            if opts.column_dependency && ctx.on("cda-bypass-fun") && !my_req.contains(new) {
                 ctx.fire("cda-bypass-fun", old_id, ch[0]);
                 return Ok(ch[0]);
             }
@@ -426,7 +495,7 @@ fn rewrite_op(
         Op::Project { cols, .. } => {
             let mut cols: Vec<(Col, Col)> = cols.clone();
             let mut pruned_any = false;
-            if opts.column_dependency {
+            if opts.column_dependency && ctx.on("project-prune") {
                 let pruned: Vec<(Col, Col)> = cols
                     .iter()
                     .copied()
@@ -441,47 +510,49 @@ fn rewrite_op(
                 ctx.fire("project-prune", old_id, old_id);
             }
             // Collapse π over π.
-            if let Op::Project {
-                input: inner_input,
-                cols: inner_cols,
-            } = dag.op(ch[0]).clone()
-            {
-                let composed: Option<Vec<(Col, Col)>> = cols
-                    .iter()
-                    .map(|(new, src)| {
-                        inner_cols
-                            .iter()
-                            .find(|(n, _)| n == src)
-                            .map(|(_, inner_src)| (*new, *inner_src))
-                    })
-                    .collect();
-                if let Some(composed) = composed {
-                    cols = composed;
-                    let identity = cols.iter().all(|(n, s)| n == s)
-                        && dag.schema(inner_input)
-                            == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
-                    if identity {
-                        ctx.fire("project-identity", old_id, inner_input);
-                        return Ok(inner_input);
+            if ctx.on("project-collapse") {
+                if let Op::Project {
+                    input: inner_input,
+                    cols: inner_cols,
+                } = dag.op(ch[0]).clone()
+                {
+                    let composed: Option<Vec<(Col, Col)>> = cols
+                        .iter()
+                        .map(|(new, src)| {
+                            inner_cols
+                                .iter()
+                                .find(|(n, _)| n == src)
+                                .map(|(_, inner_src)| (*new, *inner_src))
+                        })
+                        .collect();
+                    if let Some(composed) = composed {
+                        cols = composed;
+                        let identity = cols.iter().all(|(n, s)| n == s)
+                            && dag.schema(inner_input)
+                                == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
+                        if identity && ctx.on("project-identity") {
+                            ctx.fire("project-identity", old_id, inner_input);
+                            return Ok(inner_input);
+                        }
+                        let id = intern(
+                            dag,
+                            ctx,
+                            "project-collapse",
+                            old_id,
+                            Op::Project {
+                                input: inner_input,
+                                cols,
+                            },
+                        )?;
+                        ctx.fire("project-collapse", old_id, id);
+                        return Ok(id);
                     }
-                    let id = intern(
-                        dag,
-                        ctx,
-                        "project-collapse",
-                        old_id,
-                        Op::Project {
-                            input: inner_input,
-                            cols,
-                        },
-                    )?;
-                    ctx.fire("project-collapse", old_id, id);
-                    return Ok(id);
                 }
             }
             // Identity projection removal.
             let identity = cols.iter().all(|(n, s)| n == s)
                 && dag.schema(ch[0]) == cols.iter().map(|(n, _)| *n).collect::<Vec<_>>();
-            if identity {
+            if identity && ctx.on("project-identity") {
                 ctx.fire("project-identity", old_id, ch[0]);
                 return Ok(ch[0]);
             }
@@ -497,11 +568,11 @@ fn rewrite_op(
         Op::Select { col, .. } => {
             let old_input = old_op.children()[0];
             match prop_of(&ctx.props, old_input, *col) {
-                Some(ColProp::Const(AValue::Bool(true))) => {
+                Some(ColProp::Const(AValue::Bool(true))) if ctx.on("select-const-true") => {
                     ctx.fire("select-const-true", old_id, ch[0]);
                     Ok(ch[0])
                 }
-                Some(ColProp::Const(AValue::Bool(false))) => {
+                Some(ColProp::Const(AValue::Bool(false))) if ctx.on("select-const-false") => {
                     let id = intern(
                         dag,
                         ctx,
@@ -529,7 +600,7 @@ fn rewrite_op(
         }
         // ---- step merging (§5)
         Op::Step { axis, test, .. } => {
-            if opts.merge_steps && *axis == Axis::Child {
+            if opts.merge_steps && ctx.on("merge-steps") && *axis == Axis::Child {
                 if let Some(inner_input) = find_dos_step(dag, ch[0]) {
                     let id = intern(
                         dag,
@@ -560,41 +631,47 @@ fn rewrite_op(
         }
         // ---- structural simplifications
         Op::Distinct { .. } => {
-            if let Op::Distinct { .. } = dag.op(ch[0]) {
-                ctx.fire("distinct-dedup", old_id, ch[0]);
-                return Ok(ch[0]);
+            if ctx.on("distinct-dedup") {
+                if let Op::Distinct { .. } = dag.op(ch[0]) {
+                    ctx.fire("distinct-dedup", old_id, ch[0]);
+                    return Ok(ch[0]);
+                }
             }
             // §1/§4.2: a union of two steps over the *same* context with
             // provably disjoint name tests needs no duplicate elimination
             // ("obviously, the two steps yield disjoint results") — the δ
             // over ∪̇ disappears, leaving the bare concatenation of
             // Figure 10.
-            if let Op::Union { l, r } = *dag.op(ch[0]) {
-                if steps_disjoint(dag, l, r) {
-                    ctx.fire("distinct-disjoint-union", old_id, ch[0]);
-                    return Ok(ch[0]);
+            if ctx.on("distinct-disjoint-union") {
+                if let Op::Union { l, r } = *dag.op(ch[0]) {
+                    if steps_disjoint(dag, l, r) {
+                        ctx.fire("distinct-disjoint-union", old_id, ch[0]);
+                        return Ok(ch[0]);
+                    }
                 }
             }
             intern(dag, ctx, "rebuild", old_id, Op::Distinct { input: ch[0] })
         }
         Op::Union { .. } => {
             let (l, r) = (ch[0], ch[1]);
-            if is_empty_lit(dag, l) {
-                let id = align_schema(dag, r, &my_req);
-                ctx.fire("union-empty-side", old_id, id);
-                return Ok(id);
-            }
-            if is_empty_lit(dag, r) {
-                let id = align_schema(dag, l, &my_req);
-                ctx.fire("union-empty-side", old_id, id);
-                return Ok(id);
+            if ctx.on("union-empty-side") {
+                if is_empty_lit(dag, l) {
+                    let id = align_schema(dag, r, &my_req);
+                    ctx.fire("union-empty-side", old_id, id);
+                    return Ok(id);
+                }
+                if is_empty_lit(dag, r) {
+                    let id = align_schema(dag, l, &my_req);
+                    ctx.fire("union-empty-side", old_id, id);
+                    return Ok(id);
+                }
             }
             // Defensive alignment: column pruning may have left the two
             // sides with different column sets — project both to the
             // required set.
             let ls: BTreeSet<Col> = dag.schema(l).iter().copied().collect();
             let rs: BTreeSet<Col> = dag.schema(r).iter().copied().collect();
-            if ls != rs {
+            if ls != rs && ctx.on("union-align-schema") {
                 let common: BTreeSet<Col> = ls.intersection(&rs).copied().collect();
                 let target: BTreeSet<Col> = if my_req.is_empty() {
                     common.clone()
@@ -1002,5 +1079,77 @@ mod tests {
         let (new_root, _) = optimize(&mut dag, root, &OptOptions::default());
         let stats = PlanStats::of(&dag, new_root);
         assert_eq!(stats.count("σ"), 0, "{stats}");
+    }
+
+    /// The FN:UNORDERED pattern again, but with the dead-% bypass disabled
+    /// by name: the % must survive and the trace must not record the rule.
+    #[test]
+    fn disabled_rule_does_not_fire() {
+        let mut dag = Dag::new();
+        let src = lit(&mut dag, vec![Col::ITER, Col::ITEM]);
+        let rn = dag.add(Op::RowNum {
+            input: src,
+            new: Col::POS,
+            order: vec![SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let proj = dag.add(Op::Project {
+            input: rn,
+            cols: vec![(Col::ITER, Col::ITER), (Col::ITEM, Col::ITEM)],
+        });
+        let hash = dag.add(Op::RowId {
+            input: proj,
+            new: Col::POS,
+        });
+        let root = dag.add(Op::Serialize { input: hash });
+        let opts = OptOptions::default().without_rule("cda-bypass-rownum");
+        let (new_root, report) = try_optimize(&mut dag, root, &opts).unwrap();
+        assert_eq!(report.fired("cda-bypass-rownum"), 0, "{:?}", report.trace);
+        assert_eq!(PlanStats::of(&dag, new_root).rownums(), 1);
+    }
+
+    /// `rule-perturb:weaken-criteria` drops a *real* criterion — the
+    /// planted optimizer bug attribution tests hunt. Disabling the
+    /// perturbed rule restores soundness.
+    #[test]
+    fn perturbed_weaken_criteria_drops_real_criteria() {
+        fn plan(dag: &mut Dag) -> OpId {
+            let src = lit(dag, vec![Col::ITEM]);
+            let rn = dag.add(Op::RowNum {
+                input: src,
+                new: Col::POS,
+                order: vec![SortKey::asc(Col::ITEM)],
+                part: None,
+            });
+            let proj = dag.add(Op::Project {
+                input: rn,
+                cols: vec![(Col::POS, Col::POS), (Col::ITEM, Col::ITEM)],
+            });
+            dag.add(Op::Serialize { input: proj })
+        }
+        // Unperturbed: the ITEM criterion is real, the % survives.
+        let mut dag = Dag::new();
+        let root = plan(&mut dag);
+        let (clean_root, _) = try_optimize(&mut dag, root, &OptOptions::default()).unwrap();
+        assert_eq!(PlanStats::of(&dag, clean_root).rownums(), 1);
+        // Perturbed: every criterion dropped, the % degrades to a #.
+        let mut dag = Dag::new();
+        let root = plan(&mut dag);
+        let (bad_root, report) = try_optimize_with(
+            &mut dag,
+            root,
+            &OptOptions::default(),
+            Some("weaken-criteria"),
+        )
+        .unwrap();
+        assert_eq!(PlanStats::of(&dag, bad_root).rownums(), 0);
+        assert!(report.fired("weaken-criteria") >= 1, "{:?}", report.trace);
+        // Perturbed but with the rule disabled: soundness restored.
+        let mut dag = Dag::new();
+        let root = plan(&mut dag);
+        let opts = OptOptions::default().without_rule("weaken-criteria");
+        let (fixed_root, _) =
+            try_optimize_with(&mut dag, root, &opts, Some("weaken-criteria")).unwrap();
+        assert_eq!(PlanStats::of(&dag, fixed_root).rownums(), 1);
     }
 }

@@ -8,8 +8,10 @@
 //! afterwards; (4) the session stays usable — the same query succeeds
 //! once the failpoints are disarmed.
 
+use exrquy::algebra::Op;
 use exrquy::diag::{ErrorCode, Failpoints};
 use exrquy::{QueryOptions, Session};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -283,6 +285,164 @@ pub fn run_fault_matrix(cases: &[FaultCase]) -> FaultReport {
     }
 }
 
+/// Where an operator kind was observed: a coverage-corpus query whose
+/// final plan contains at least one operator of that kind.
+#[derive(Debug, Clone)]
+pub struct KindExemplar {
+    /// Corpus entry name.
+    pub corpus: String,
+    /// The query whose plan exhibits the kind.
+    pub query: String,
+    /// Configuration the plan was prepared under (`true` = order-aware
+    /// baseline; some kinds, notably `%`, only survive there).
+    pub baseline: bool,
+}
+
+/// The failpoint coverage map: which operator kinds real plans contain,
+/// which of them the default fault grid's `budget-trip` cells exercise,
+/// and an auto-generated trip matrix for all of them.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageReport {
+    /// Kind → exemplar plan, for every kind the corpus reaches.
+    pub present: BTreeMap<&'static str, KindExemplar>,
+    /// Kinds the default grid's `budget-trip` specs would trip.
+    pub default_exercised: BTreeSet<&'static str>,
+    /// Kinds present in corpus plans that the default grid never trips —
+    /// the blind spots the generated matrix exists to close.
+    pub unexercised: Vec<&'static str>,
+    /// One generated `budget-trip` case per present kind, each targeting
+    /// the exemplar query under the exemplar configuration.
+    pub generated: Vec<FaultCase>,
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "failpoint coverage: {}/{} operator kinds reached, {} exercised by the default grid",
+            self.present.len(),
+            Op::KIND_NAMES.len(),
+            self.default_exercised.len(),
+        )?;
+        if !self.unexercised.is_empty() {
+            write!(
+                f,
+                "\n  default-grid blind spots: {}",
+                self.unexercised.join(" ")
+            )?;
+        }
+        let missing: Vec<&str> = Op::KIND_NAMES
+            .iter()
+            .copied()
+            .filter(|k| !self.present.contains_key(k))
+            .collect();
+        if !missing.is_empty() {
+            write!(
+                f,
+                "\n  kinds no corpus plan contains: {}",
+                missing.join(" ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The coverage corpus: a handful of queries whose plans jointly contain
+/// every operator kind the compiler can emit (checked by test against
+/// [`Op::KIND_NAMES`]). Censused under both configurations — the
+/// order-indifferent plan first, so generated cases target optimized
+/// plans wherever the kind survives optimization.
+pub fn coverage_corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("paths", r#"doc("d.xml")//x"#),
+        (
+            "construct",
+            r#"for $x in doc("d.xml")//x return <hit n="1">t{ $x }</hit>"#,
+        ),
+        (
+            "theta-join",
+            r#"for $a in doc("d.xml")//x for $b in doc("e.xml")//x where fn:count($a/child::*) < fn:count($b/child::*) return $a"#,
+        ),
+        ("intersect", r#"doc("d.xml")//x intersect doc("d.xml")//x"#),
+        ("range", r#"1 to 3"#),
+        (
+            "text",
+            r#"for $x in doc("d.xml")//x return text { fn:count($x/child::*) }"#,
+        ),
+    ]
+}
+
+/// Build the failpoint coverage map: census the corpus plans, compare
+/// against the default grid, and generate a `budget-trip` case for every
+/// operator kind any plan contains.
+pub fn failpoint_coverage() -> CoverageReport {
+    let mut present: BTreeMap<&'static str, KindExemplar> = BTreeMap::new();
+    for (name, query) in coverage_corpus() {
+        for baseline in [false, true] {
+            let opts = if baseline {
+                QueryOptions::baseline()
+            } else {
+                QueryOptions::order_indifferent()
+            };
+            let mut session = Session::new();
+            if session
+                .load_document("d.xml", DOC_D)
+                .and_then(|()| session.load_document("e.xml", DOC_E))
+                .is_err()
+            {
+                continue;
+            }
+            let Ok(plan) = session.prepare(query, &opts) else {
+                continue;
+            };
+            for &kind in plan.stats_final.by_kind.keys() {
+                present.entry(kind).or_insert_with(|| KindExemplar {
+                    corpus: name.to_string(),
+                    query: query.to_string(),
+                    baseline,
+                });
+            }
+        }
+    }
+    // Which of these kinds would the default grid's specs trip? Asking
+    // the parsed failpoints themselves keeps this in sync with the alias
+    // table instead of duplicating it.
+    let mut default_exercised: BTreeSet<&'static str> = BTreeSet::new();
+    for case in default_cases() {
+        let Ok(fp) = Failpoints::parse(&case.spec) else {
+            continue;
+        };
+        for &kind in present.keys() {
+            if fp.trips_budget(kind) {
+                default_exercised.insert(kind);
+            }
+        }
+    }
+    let unexercised: Vec<&'static str> = present
+        .keys()
+        .copied()
+        .filter(|k| !default_exercised.contains(k))
+        .collect();
+    let generated = present
+        .iter()
+        .map(|(kind, ex)| {
+            FaultCase::new(
+                &format!("auto-budget-trip-{kind}"),
+                &format!("budget-trip:{kind}"),
+                &ex.query,
+                vec![ErrorCode::EXRQ0001],
+                ex.baseline,
+            )
+        })
+        .collect();
+    CoverageReport {
+        present,
+        default_exercised,
+        unexercised,
+        generated,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +452,48 @@ mod tests {
         let report = run_fault_matrix(&default_cases());
         assert!(report.all_graceful(), "{report}");
         assert_eq!(report.outcomes.len(), default_cases().len());
+    }
+
+    #[test]
+    fn coverage_corpus_reaches_every_operator_kind() {
+        let report = failpoint_coverage();
+        for &kind in Op::KIND_NAMES {
+            assert!(
+                report.present.contains_key(kind),
+                "no corpus plan contains `{kind}`: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_grid_has_known_blind_spots() {
+        // The default grid trips steps, rownums, and serialization only.
+        // These kinds exist in real plans but are never budget-tripped by
+        // it — exactly the gap the generated matrix closes.
+        let report = failpoint_coverage();
+        for kind in ["aggr", "attach", "elem", "⋈θ"] {
+            assert!(
+                report.unexercised.contains(&kind),
+                "expected `{kind}` to be a default-grid blind spot: {report}"
+            );
+        }
+        for kind in ["⬡", "%", "serialize"] {
+            assert!(
+                report.default_exercised.contains(kind),
+                "default grid should exercise `{kind}`: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_trip_matrix_degrades_gracefully() {
+        // Every auto-generated budget-trip case — one per operator kind
+        // any corpus plan contains — must fail with EXRQ0001, leak no
+        // state, and leave the session reusable.
+        let coverage = failpoint_coverage();
+        assert_eq!(coverage.generated.len(), coverage.present.len());
+        let report = run_fault_matrix(&coverage.generated);
+        assert!(report.all_graceful(), "{report}");
     }
 
     #[test]

@@ -20,15 +20,37 @@
 //!   `Arc<Catalog>`, same plan cache) and every result must be bag-equal
 //!   to a serial reference pass, with the catalog untouched and the plan
 //!   cache showing cross-thread hits.
+//! * [`fuzz`] — the self-minimizing differential fuzzer (CLI:
+//!   `fuzz-verify`): a grammar-driven generator draws random documents
+//!   and queries per seeded cell and pushes each through the oracle,
+//!   under both the ordered (sequence-equivalence) and unordered
+//!   (bag-equivalence) profiles.
+//! * [`shrink`] — on a divergence, a structural AST minimizer reduces
+//!   the query to a local minimum that still diverges, probing each
+//!   candidate through a pretty-print→re-parse round so the reported
+//!   text is exactly the query that fails.
+//! * [`attribute`] — per-rule attribution: re-run the minimized query
+//!   with rewrite rules from the optimized arm's trace disabled
+//!   (bisection with single-rule fallback) to name the culprit rewrite,
+//!   or report the fault engine-side.
 //!
-//! Both layers are deterministic end to end — documents come from the
-//! seeded XMark generator, failpoints are counter-based — so a red run
-//! reproduces on every machine.
+//! All layers are deterministic end to end — documents come from seeded
+//! generators, failpoints are counter-based — so a red run reproduces on
+//! every machine.
 
+pub mod attribute;
 pub mod concurrency;
+pub mod fuzz;
 pub mod harness;
+pub mod shrink;
 pub mod suite;
 
+pub use attribute::{attribute_divergence, Attribution};
 pub use concurrency::{run_concurrent_differential, ConcurrencyConfig, ConcurrencyReport};
-pub use harness::{default_cases, run_fault_matrix, FaultCase, FaultOutcome, FaultReport};
+pub use fuzz::{gen_doc, gen_query, run_fuzz, Divergence, FuzzConfig, FuzzProfile, FuzzReport};
+pub use harness::{
+    coverage_corpus, default_cases, failpoint_coverage, run_fault_matrix, CoverageReport,
+    FaultCase, FaultOutcome, FaultReport, KindExemplar,
+};
+pub use shrink::{shrink, weight, ShrinkOutcome};
 pub use suite::{run_xmark_suite, QueryOutcome, SuiteConfig, SuiteReport};

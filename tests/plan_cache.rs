@@ -5,7 +5,7 @@
 use exrquy::diag::{CancellationToken, Failpoints};
 use exrquy::engine::StepAlgo;
 use exrquy::frontend::OrderingMode;
-use exrquy::opt::OptOptions;
+use exrquy::opt::{OptOptions, RuleSet};
 use exrquy::{QueryOptions, Session};
 use std::sync::Arc;
 
@@ -70,6 +70,38 @@ fn optimizer_toggles_miss() {
     let b = s.prepare(QUERY, &weakened).unwrap();
     assert!(!Arc::ptr_eq(&a, &b));
     assert_eq!(s.cache_stats().misses, 2);
+}
+
+#[test]
+fn individually_disabled_rules_miss() {
+    // Attribution bisects by disabling single rewrite rules; every
+    // distinct disabled-rule set must get its own cache entry, and the
+    // same set must hit its own.
+    let s = session();
+    let all = s
+        .prepare(QUERY, &QueryOptions::order_indifferent())
+        .unwrap();
+    let disable = |names: &[&str]| {
+        let mut opts = QueryOptions::order_indifferent();
+        opts.opt.disabled_rules = RuleSet::from_names(names.iter().copied()).unwrap();
+        opts
+    };
+    let no_weaken = s.prepare(QUERY, &disable(&["weaken-criteria"])).unwrap();
+    let no_prune = s.prepare(QUERY, &disable(&["project-prune"])).unwrap();
+    let no_both = s
+        .prepare(QUERY, &disable(&["weaken-criteria", "project-prune"]))
+        .unwrap();
+    assert!(!Arc::ptr_eq(&all, &no_weaken));
+    assert!(!Arc::ptr_eq(&all, &no_prune));
+    assert!(!Arc::ptr_eq(&no_weaken, &no_prune));
+    assert!(!Arc::ptr_eq(&no_weaken, &no_both));
+    assert_eq!(s.cache_stats().misses, 4);
+    // The same disabled set is the same plan.
+    assert!(Arc::ptr_eq(
+        &no_weaken,
+        &s.prepare(QUERY, &disable(&["weaken-criteria"])).unwrap()
+    ));
+    assert_eq!(s.cache_stats().hits, 1);
 }
 
 #[test]
