@@ -1,0 +1,140 @@
+//! Intra-query parallel execution benchmark: wall-clock the XMark query
+//! set at several worker-thread counts and emit `BENCH_par.json`.
+//!
+//! Usage:
+//! `par-bench [--scale 0.01] [--runs 3] [--threads 1,2,4]
+//!            [--queries 1..20] [--out BENCH_par.json]`
+//!
+//! For every query the serial run (`threads = 1`) is the reference: each
+//! parallel run's rendered output must be byte-identical to it (the
+//! scheduler's determinism contract), and the reported speedup is
+//! `t_serial / t_parallel`. The JSON records `host_cores` — on a 1-core
+//! host the scheduler has no parallelism to exploit and speedups near
+//! 1.0 (or slightly below, from scheduling overhead) are the honest
+//! expectation; the numbers are only meaningful relative to that field.
+
+use exrquy::{QueryOptions, ResultItem, Session};
+use exrquy_bench::{best_of, fmt_bytes, xmark_session, Cli};
+use exrquy_xmark::{query, query_name};
+use std::fmt::Write as _;
+
+fn main() {
+    let cli = Cli::new();
+    let scale = cli.get("scale", 0.01_f64);
+    let runs = cli.get("runs", 3_usize);
+    let threads: Vec<usize> = cli
+        .get("threads", String::from("1,2,4"))
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let queries = parse_queries(&cli.get("queries", String::from("1..20")));
+    let out_path = cli.get("out", String::from("BENCH_par.json"));
+    assert!(
+        threads.contains(&1),
+        "the thread list must include 1 (the serial reference)"
+    );
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (mut session, bytes) = xmark_session(scale);
+    eprintln!(
+        "par-bench: scale {scale} ({}), {} nodes, host cores {host_cores}",
+        fmt_bytes(bytes),
+        session.store_nodes()
+    );
+
+    let mut rows: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+    let mut identical = true;
+    for &n in &queries {
+        let q = query(n);
+        let reference = rendered(&mut session, q, 1);
+        let mut times: Vec<(usize, f64)> = Vec::new();
+        for &t in &threads {
+            if t != 1 && rendered(&mut session, q, t) != reference {
+                identical = false;
+                eprintln!(
+                    "  {}: threads={t} output DIVERGED from serial",
+                    query_name(n)
+                );
+            }
+            let opts = QueryOptions::order_indifferent().with_threads(t);
+            let best = best_of(&mut session, q, &opts, runs)
+                .unwrap_or_else(|e| panic!("{} at threads={t} failed: {e}", query_name(n)));
+            times.push((t, best.as_secs_f64() * 1e3));
+        }
+        let serial = times.iter().find(|(t, _)| *t == 1).unwrap().1;
+        let line: Vec<String> = times
+            .iter()
+            .map(|(t, ms)| format!("t{t} {ms:.2} ms (x{:.2})", serial / ms.max(1e-9)))
+            .collect();
+        eprintln!("  {:>4}: {}", query_name(n), line.join(", "));
+        rows.push((query_name(n), times));
+    }
+
+    let json = render_json(scale, bytes, host_cores, runs, identical, &rows);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!(
+        "wrote {out_path} ({} queries, serializations {})",
+        rows.len(),
+        if identical { "identical" } else { "DIVERGED" }
+    );
+    assert!(identical, "parallel output diverged from serial");
+}
+
+/// The byte-identity witness: the full rendered output, order preserved.
+fn rendered(session: &mut Session, q: &str, threads: usize) -> Vec<String> {
+    let opts = QueryOptions::order_indifferent().with_threads(threads);
+    let out = session.query_with(q, &opts).expect("query failed");
+    out.items.iter().map(ResultItem::render).collect()
+}
+
+fn render_json(
+    scale: f64,
+    bytes: usize,
+    host_cores: usize,
+    runs: usize,
+    identical: bool,
+    rows: &[(String, Vec<(usize, f64)>)],
+) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"intra-query-parallelism\",");
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"doc_bytes\": {bytes},");
+    let _ = writeln!(j, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(j, "  \"runs_per_cell\": {runs},");
+    let _ = writeln!(j, "  \"identical_serializations\": {identical},");
+    let _ = writeln!(j, "  \"queries\": [");
+    for (i, (name, times)) in rows.iter().enumerate() {
+        let serial = times.iter().find(|(t, _)| *t == 1).unwrap().1;
+        let cells: Vec<String> = times
+            .iter()
+            .map(|(t, ms)| {
+                format!(
+                    "\"t{t}\": {{\"wall_ms\": {ms:.4}, \"speedup\": {:.4}}}",
+                    serial / ms.max(1e-9)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            j,
+            "    {{\"query\": \"{name}\", {}}}{}",
+            cells.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+fn parse_queries(spec: &str) -> Vec<usize> {
+    if let Some((a, b)) = spec.split_once("..") {
+        let a: usize = a.parse().unwrap_or(1);
+        let b: usize = b.parse().unwrap_or(20);
+        (a..=b).collect()
+    } else {
+        spec.split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect()
+    }
+}

@@ -17,6 +17,9 @@
 //!   --sql                print the SQL:1999 translation instead of executing
 //!   --time               print compile/execute wall-clock to stderr
 //!   --profile            print the per-phase execution profile to stderr
+//!   --threads <n>        intra-query worker threads (default 1 = serial;
+//!                        results are byte-identical at any thread count)
+//!   --plan-cache <n>     plan-cache capacity in prepared plans (default 128)
 //!   --timeout <secs>     wall-clock budget for execution (fractional ok)
 //!   --max-rows <n>       cap rows any single operator may materialize
 //!   --max-nodes <n>      cap XML nodes constructed during evaluation
@@ -49,7 +52,8 @@ const EXIT_IO: i32 = 4;
 fn usage() -> ! {
     eprintln!(
         "usage: xq [--doc url=path]… [--baseline|--unordered] [--explain] \
-         [--time] [--profile] [--timeout <secs>] [--max-rows <n>] \
+         [--time] [--profile] [--threads <n>] [--plan-cache <n>] \
+         [--timeout <secs>] [--max-rows <n>] \
          [--max-nodes <n>] [--max-depth <n>] [--verify] [--inject <spec>] \
          [--quiet] (<query> | --query-file <path>)"
     );
@@ -83,6 +87,7 @@ fn main() {
     let mut verify = false;
     let mut inject: Option<String> = None;
     let mut sql = false;
+    let mut plan_cache: Option<usize> = None;
     let mut time = false;
     let mut profile = false;
     let mut quiet = false;
@@ -115,6 +120,12 @@ fn main() {
                 inject = Some(spec);
             }
             "--sql" => sql = true,
+            "--threads" => {
+                opts = opts.with_threads(parse_num("--threads", args.next()));
+            }
+            "--plan-cache" => {
+                plan_cache = Some(parse_num("--plan-cache", args.next()));
+            }
             "--time" => time = true,
             "--profile" => profile = true,
             "--quiet" => quiet = true,
@@ -160,6 +171,9 @@ fn main() {
     }
 
     let mut session = Session::new();
+    if let Some(capacity) = plan_cache {
+        session.set_plan_cache_capacity(capacity);
+    }
     session.set_failpoints(opts.failpoints.clone());
     for (url, path) in &docs {
         let xml = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -217,10 +231,11 @@ fn main() {
         print!("{}", plan.plan_text());
         let cs = session.cache_stats();
         eprintln!(
-            "plan cache: {} hit(s), {} miss(es), {} uncacheable ({:.0}% hit rate)",
+            "plan cache: {} hit(s), {} miss(es), {} uncacheable, {} evicted ({:.0}% hit rate)",
             cs.hits,
             cs.misses,
             cs.uncacheable,
+            cs.evictions,
             cs.hit_rate() * 100.0
         );
         return;

@@ -41,6 +41,8 @@ pub struct CacheStats {
     /// `prepare` calls that bypassed the cache (options carrying
     /// run-specific state: a cancellation token or armed failpoints).
     pub uncacheable: u64,
+    /// Plans evicted to keep the cache within its capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -55,25 +57,73 @@ impl CacheStats {
     }
 }
 
-/// Hashed (query text, options fingerprint) → shared prepared plan.
+/// Default plan-cache capacity (prepared plans per catalog snapshot).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Hashed (query text, options fingerprint) → shared prepared plan,
+/// bounded by LRU eviction.
 ///
 /// Internal to [`Executor`]; `Mutex` + atomics rather than anything
 /// fancier because preparation dominates the lock hold time by orders of
-/// magnitude and contention is per-catalog.
-#[derive(Debug, Default)]
+/// magnitude and contention is per-catalog. Recency is a monotone stamp
+/// refreshed on every hit; insertion past capacity evicts the
+/// least-recently-used entry (outstanding `Arc<Prepared>` handles stay
+/// valid — eviction only drops the cache's reference).
+#[derive(Debug)]
 struct PlanCache {
-    plans: Mutex<HashMap<u64, Arc<Prepared>>>,
+    plans: Mutex<HashMap<u64, (Arc<Prepared>, u64)>>,
+    capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     uncacheable: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PlanCache {
+    fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            plans: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn stamp(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<Prepared>> {
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        let (plan, stamp) = plans.get_mut(&key)?;
+        *stamp = self.stamp();
+        Some(Arc::clone(plan))
+    }
+
+    fn insert(&self, key: u64, plan: Arc<Prepared>) {
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        plans.insert(key, (plan, self.stamp()));
+        while plans.len() > self.capacity {
+            let oldest = plans
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache over capacity");
+            plans.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -88,6 +138,7 @@ fn fingerprint(query: &str, opts: &QueryOptions) -> u64 {
     opts.opt.hash(&mut h);
     opts.step_algo.hash(&mut h);
     opts.budget.hash(&mut h);
+    opts.threads.hash(&mut h);
     h.finish()
 }
 
@@ -99,11 +150,17 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// Executor over `catalog` with a fresh plan cache.
+    /// Executor over `catalog` with a fresh plan cache of the default
+    /// capacity ([`DEFAULT_PLAN_CACHE_CAPACITY`]).
     pub fn new(catalog: Arc<Catalog>) -> Self {
+        Self::with_cache_capacity(catalog, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Executor with an explicit plan-cache capacity (plans; minimum 1).
+    pub fn with_cache_capacity(catalog: Arc<Catalog>, capacity: usize) -> Self {
         Executor {
             catalog,
-            cache: Arc::new(PlanCache::default()),
+            cache: Arc::new(PlanCache::with_capacity(capacity)),
         }
     }
 
@@ -127,17 +184,13 @@ impl Executor {
             return Ok(Arc::new(self.compile(query, opts)?));
         }
         let key = fingerprint(query, opts);
-        if let Some(plan) = self.cache.plans.lock().unwrap().get(&key) {
+        if let Some(plan) = self.cache.get(key) {
             self.cache.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(plan));
+            return Ok(plan);
         }
         let plan = Arc::new(self.compile(query, opts)?);
         self.cache.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .plans
-            .lock()
-            .unwrap()
-            .insert(key, Arc::clone(&plan));
+        self.cache.insert(key, Arc::clone(&plan));
         Ok(plan)
     }
 
@@ -179,6 +232,7 @@ impl Executor {
             budget: opts.budget.clone(),
             cancel: opts.cancel.clone(),
             failpoints: opts.failpoints.clone(),
+            threads: opts.threads,
             ordering: effective_ordering,
         })
     }
@@ -193,6 +247,7 @@ impl Executor {
             budget: plan.budget.clone(),
             cancel: plan.cancel.clone(),
             failpoints: plan.failpoints.clone(),
+            threads: plan.threads,
         };
         let mut arena = FragArena::with_names(Arc::clone(&self.catalog), Arc::clone(&plan.names));
         let mut engine = Engine::new(&plan.dag, &mut arena, engine_opts);

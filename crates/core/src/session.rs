@@ -1,7 +1,7 @@
 //! The query session: document registry + the parse→normalize→compile→
 //! optimize→execute pipeline.
 
-use crate::executor::{CacheStats, Executor};
+use crate::executor::{CacheStats, Executor, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::result::{serialize_sequence, ResultItem};
 use crate::verify::VerifyError;
 use exrquy_algebra::{Dag, OpId, PlanStats};
@@ -98,6 +98,9 @@ pub struct QueryOptions {
     pub cancel: Option<CancellationToken>,
     /// Armed failpoints (deterministic fault injection); empty by default.
     pub failpoints: Failpoints,
+    /// Worker threads for intra-query parallel execution (`1` = serial).
+    /// Serial and parallel runs produce byte-identical serializations.
+    pub threads: usize,
 }
 
 impl Default for QueryOptions {
@@ -118,6 +121,7 @@ impl QueryOptions {
             budget: ExecutionBudget::default(),
             cancel: None,
             failpoints: Failpoints::none(),
+            threads: 1,
         }
     }
 
@@ -132,6 +136,7 @@ impl QueryOptions {
             budget: ExecutionBudget::default(),
             cancel: None,
             failpoints: Failpoints::none(),
+            threads: 1,
         }
     }
 
@@ -146,6 +151,7 @@ impl QueryOptions {
             budget: ExecutionBudget::default(),
             cancel: None,
             failpoints: Failpoints::none(),
+            threads: 1,
         }
     }
 
@@ -164,6 +170,13 @@ impl QueryOptions {
     /// Arm failpoints (deterministic fault injection).
     pub fn with_failpoints(mut self, failpoints: Failpoints) -> Self {
         self.failpoints = failpoints;
+        self
+    }
+
+    /// Set the intra-query worker thread count (`0` and `1` both mean
+    /// serial execution).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -189,6 +202,8 @@ pub struct Prepared {
     pub(crate) cancel: Option<CancellationToken>,
     /// Armed failpoints carried from the options.
     pub(crate) failpoints: Failpoints,
+    /// Intra-query worker thread count carried from the options.
+    pub(crate) threads: usize,
     /// The effective ordering mode this plan was compiled under (after
     /// any option override of the prolog's `declare ordering`) — it
     /// decides which result equivalence the differential oracle applies.
@@ -260,6 +275,9 @@ impl QueryOutput {
 /// to other threads to run queries concurrently.
 pub struct Session {
     executor: Executor,
+    /// Plan-cache capacity carried across catalog swaps (each
+    /// `load_document` builds a fresh executor).
+    cache_capacity: usize,
     /// Failpoints armed on the document resolver (the `doc-parse` hook);
     /// plan-evaluation failpoints travel with [`QueryOptions`] instead.
     failpoints: Failpoints,
@@ -279,9 +297,19 @@ impl Session {
     pub fn new() -> Self {
         Session {
             executor: Executor::new(Arc::new(Catalog::new())),
+            cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             failpoints: Failpoints::none(),
             loads: 0,
         }
+    }
+
+    /// Cap the plan cache at `capacity` prepared plans (minimum 1). The
+    /// current cache is rebuilt empty, and executors created by later
+    /// document loads inherit the capacity.
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.cache_capacity = capacity.max(1);
+        self.executor =
+            Executor::with_cache_capacity(Arc::clone(self.executor.catalog()), self.cache_capacity);
     }
 
     /// Parse and register `xml` under `url` (the name `fn:doc()` uses).
@@ -316,7 +344,8 @@ impl Session {
         builder
             .load_str(url, xml)
             .map_err(|e| Error::Xml(e.with_source(url)))?;
-        self.executor = Executor::new(Arc::new(builder.build()));
+        self.executor =
+            Executor::with_cache_capacity(Arc::new(builder.build()), self.cache_capacity);
         Ok(())
     }
 

@@ -11,9 +11,9 @@ pub mod failpoint;
 
 pub use failpoint::{FailpointSpecError, Failpoints, OracleArm};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Stable, machine-readable error codes. The `XP*`/`FO*`/`XQ*` codes
 /// follow the W3C XQuery error namespace; `EXRQ*` codes are
@@ -211,6 +211,160 @@ impl ExecutionBudget {
     }
 }
 
+/// A budget or cancellation trip, ready to be wrapped into the raising
+/// stage's error type.
+#[derive(Debug, Clone)]
+pub struct BudgetViolation {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl BudgetViolation {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        BudgetViolation {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// The shared, atomic run-time state of one query execution's
+/// [`ExecutionBudget`]: row counters, operator counters, `fn:doc` access
+/// counters, a wall-clock deadline and the cancellation token, all
+/// behind atomics so every worker thread of an intra-query parallel
+/// execution charges the *same* meter. Budget decrements and failpoint
+/// polls are the engine's yield points — they happen at operator
+/// boundaries on every thread, so cancellation and budget trips
+/// propagate across the whole worker pool within one operator.
+///
+/// Serial executions use the same meter (uncontended atomics are cheap),
+/// which keeps the accounting semantics of the two modes identical.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    budget: ExecutionBudget,
+    deadline: Option<Instant>,
+    cancel: Option<CancellationToken>,
+    rows_total: AtomicUsize,
+    ops_seen: AtomicUsize,
+    doc_accesses: AtomicUsize,
+}
+
+impl BudgetMeter {
+    /// Arm a meter: the wall-clock deadline starts now.
+    pub fn new(budget: ExecutionBudget, cancel: Option<CancellationToken>) -> Self {
+        let deadline = budget.max_wall.map(|d| Instant::now() + d);
+        BudgetMeter {
+            budget,
+            deadline,
+            cancel,
+            rows_total: AtomicUsize::new(0),
+            ops_seen: AtomicUsize::new(0),
+            doc_accesses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The limits this meter enforces.
+    pub fn budget(&self) -> &ExecutionBudget {
+        &self.budget
+    }
+
+    /// Cancellation + wall-clock poll — the cooperative yield point,
+    /// called once per operator on whichever thread evaluates it.
+    pub fn poll(&self) -> Result<(), BudgetViolation> {
+        if self
+            .cancel
+            .as_ref()
+            .is_some_and(CancellationToken::is_cancelled)
+        {
+            return Err(BudgetViolation::new(ErrorCode::EXRQ0002, "query cancelled"));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetViolation::new(
+                    ErrorCode::EXRQ0001,
+                    "wall-clock budget exceeded",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective row ceiling for the next operator: the per-operator cap
+    /// and whatever remains of the total-row budget, whichever is lower
+    /// (`usize::MAX` when unbounded).
+    pub fn op_row_cap(&self) -> usize {
+        let per_op = self.budget.max_rows_per_op.unwrap_or(usize::MAX);
+        let remaining = self.budget.max_rows_total.map_or(usize::MAX, |t| {
+            t.saturating_sub(self.rows_total.load(Ordering::Relaxed))
+        });
+        per_op.min(remaining)
+    }
+
+    /// Account one operator's output rows against the per-operator and
+    /// total ceilings.
+    pub fn charge_rows(&self, nrows: usize) -> Result<(), BudgetViolation> {
+        if let Some(cap) = self.budget.max_rows_per_op {
+            if nrows > cap {
+                return Err(BudgetViolation::new(
+                    ErrorCode::EXRQ0001,
+                    format!("operator materialized {nrows} rows, exceeding the per-operator budget of {cap}"),
+                ));
+            }
+        }
+        let total = self.rows_total.fetch_add(nrows, Ordering::Relaxed) + nrows;
+        if let Some(cap) = self.budget.max_rows_total {
+            if total > cap {
+                return Err(BudgetViolation::new(
+                    ErrorCode::EXRQ0001,
+                    format!(
+                        "plan materialized {total} rows in total, exceeding the budget of {cap}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Enforce the constructed-node ceiling against a current count.
+    pub fn check_nodes(&self, constructed: usize) -> Result<(), BudgetViolation> {
+        if let Some(cap) = self.budget.max_nodes {
+            if constructed > cap {
+                return Err(BudgetViolation::new(
+                    ErrorCode::EXRQ0001,
+                    format!(
+                        "query constructed {constructed} XML nodes, exceeding the budget of {cap}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows materialized so far across all operators (and threads).
+    pub fn rows_total(&self) -> usize {
+        self.rows_total.load(Ordering::Relaxed)
+    }
+
+    /// Operators fully evaluated so far — the counter behind the
+    /// `cancel-after` failpoint. Deterministic under serial execution;
+    /// under parallel execution completions race, so an injected cancel
+    /// still fires but not necessarily at the same operator.
+    pub fn ops_seen(&self) -> usize {
+        self.ops_seen.load(Ordering::Relaxed)
+    }
+
+    /// Record one completed operator.
+    pub fn record_op(&self) {
+        self.ops_seen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one `fn:doc` access; returns the new 1-based access count
+    /// (the counter behind the `doc-io` failpoint).
+    pub fn record_doc_access(&self) -> usize {
+        self.doc_accesses.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
 /// Cooperative cancellation flag, shareable across threads. The engine
 /// polls it once per evaluated operator (and inside the expansion loops
 /// of row-explosive operators), so cancellation takes effect at the
@@ -259,6 +413,34 @@ mod tests {
         assert!(!u.is_cancelled());
         t.cancel();
         assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn meter_charges_rows_atomically() {
+        let m = BudgetMeter::new(ExecutionBudget::unbounded().with_max_rows_total(10), None);
+        assert_eq!(m.op_row_cap(), 10);
+        m.charge_rows(6).unwrap();
+        assert_eq!(m.op_row_cap(), 4);
+        let e = m.charge_rows(5).unwrap_err();
+        assert_eq!(e.code, ErrorCode::EXRQ0001);
+        // Per-operator cap is independent of the running total.
+        let m = BudgetMeter::new(ExecutionBudget::unbounded().with_max_rows_per_op(3), None);
+        assert!(m.charge_rows(3).is_ok());
+        assert_eq!(m.charge_rows(4).unwrap_err().code, ErrorCode::EXRQ0001);
+    }
+
+    #[test]
+    fn meter_polls_cancellation_from_any_clone() {
+        let t = CancellationToken::new();
+        let m = BudgetMeter::new(ExecutionBudget::unbounded(), Some(t.clone()));
+        assert!(m.poll().is_ok());
+        t.cancel();
+        assert_eq!(m.poll().unwrap_err().code, ErrorCode::EXRQ0002);
+        m.record_op();
+        m.record_op();
+        assert_eq!(m.ops_seen(), 2);
+        assert_eq!(m.record_doc_access(), 1);
+        assert_eq!(m.record_doc_access(), 2);
     }
 
     #[test]

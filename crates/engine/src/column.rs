@@ -1,4 +1,5 @@
-//! Columns: typed value vectors, `Rc`-shared between tables.
+//! Columns: typed value vectors, `Arc`-shared between tables (and, under
+//! intra-query parallel execution, between worker threads).
 //!
 //! Two physical representations cover the plans' needs: dense `i64`
 //! columns (`iter`, `pos`, `bind`, row ids — the hot sort/join keys) and
@@ -6,7 +7,7 @@
 //! read them through [`Column::get`].
 
 use crate::item::Item;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A column of values.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +90,7 @@ impl Column {
 }
 
 /// Shared column handle.
-pub type ColRef = Rc<Column>;
+pub type ColRef = Arc<Column>;
 
 #[cfg(test)]
 mod tests {

@@ -4,6 +4,12 @@
 //! from the requested root, bottom-up in topological order, memoizing per
 //! [`OpId`] (the DAG is shared; shared subplans run once). Each
 //! operator's wall-clock time is added to the [`Profile`].
+//!
+//! With [`EngineOptions::threads`] above one, evaluation is handed to the
+//! work-stealing scheduler in [`crate::par`], which runs independent pure
+//! subplans concurrently and pins node-constructing operators to the
+//! owning thread; the row-wise kernels in this module additionally split
+//! large inputs into morsels. Both paths produce bit-identical tables.
 
 use crate::column::Column;
 use crate::funs::{self, DynError};
@@ -11,11 +17,13 @@ use crate::item::{GroupKey, Item};
 use crate::profile::Profile;
 use crate::table::Table;
 use exrquy_algebra::{AValue, AggrKind, Col, Dag, FunKind, Op, OpId};
-use exrquy_diag::{CancellationToken, ErrorCode, ExecutionBudget, Failpoints};
+use exrquy_diag::{
+    BudgetMeter, BudgetViolation, CancellationToken, ErrorCode, ExecutionBudget, Failpoints,
+};
 use exrquy_xml::tree::NodeKind;
 use exrquy_xml::{axis, FragArena, NodeId, NodeRead, TreeBuilder};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Runtime evaluation error, tagged with a W3C-style dynamic error code
@@ -54,6 +62,15 @@ impl From<DynError> for EvalError {
     }
 }
 
+impl From<BudgetViolation> for EvalError {
+    fn from(v: BudgetViolation) -> Self {
+        EvalError {
+            code: v.code,
+            message: v.message,
+        }
+    }
+}
+
 /// Step-operator algorithm selection (§3: "several existing XPath step
 /// evaluation techniques may be plugged in to realize ⬡").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -82,8 +99,14 @@ pub struct EngineOptions {
     /// Armed failpoints (fault injection). Empty by default; the engine
     /// keeps its own deterministic counters (operators evaluated, `fn:doc`
     /// accesses), so re-running the same plan trips the same failpoint at
-    /// the same place.
+    /// the same place (under serial execution; parallel completions race,
+    /// so a parallel run trips the same failpoint but not necessarily at
+    /// the same operator).
     pub failpoints: Failpoints,
+    /// Worker threads for intra-query parallel execution; `0` and `1`
+    /// both mean serial. Serial and parallel runs of the same plan
+    /// produce bit-identical tables.
+    pub threads: usize,
 }
 
 /// One query execution context.
@@ -93,35 +116,28 @@ pub struct EngineOptions {
 /// overlay — the catalog itself is never mutated, so any number of
 /// engines may run concurrently over one `Arc<Catalog>`.
 pub struct Engine<'d, 's> {
-    dag: &'d Dag,
+    pub(crate) dag: &'d Dag,
     /// Per-execution fragment overlay over the shared catalog. Dropping
     /// it (with the engine) releases everything this query constructed.
     pub arena: &'s mut FragArena,
-    cache: HashMap<OpId, Rc<Table>>,
+    pub(crate) cache: HashMap<OpId, Arc<Table>>,
     /// Per-kind timing of this execution.
     pub profile: Profile,
-    opts: EngineOptions,
-    /// Wall-clock deadline derived from `budget.max_wall` at engine
-    /// creation (one query per engine).
-    deadline: Option<Instant>,
-    /// Rows materialized so far across all evaluated operators.
-    rows_total: usize,
+    pub(crate) opts: EngineOptions,
+    /// Atomic budget/cancellation meter shared with every worker thread
+    /// of a parallel execution; its decrements and polls are the yield
+    /// points.
+    pub(crate) meter: BudgetMeter,
     /// Overlay nodes present at engine creation; the constructed-node
     /// ceiling applies to the delta.
-    nodes_base: usize,
-    /// Operators evaluated so far (cache misses only) — the deterministic
-    /// counter behind the `cancel-after` failpoint.
-    ops_seen: usize,
-    /// `fn:doc` accesses so far (1-based at check time) — the counter
-    /// behind the `doc-io` failpoint.
-    doc_accesses: usize,
+    pub(crate) nodes_base: usize,
 }
 
 impl<'d, 's> Engine<'d, 's> {
     /// Create an engine over `dag` evaluating into `arena` (which also
     /// supplies the document registry via its catalog).
     pub fn new(dag: &'d Dag, arena: &'s mut FragArena, opts: EngineOptions) -> Self {
-        let deadline = opts.budget.max_wall.map(|d| Instant::now() + d);
+        let meter = BudgetMeter::new(opts.budget.clone(), opts.cancel.clone());
         let nodes_base = arena.constructed_nodes();
         Engine {
             dag,
@@ -129,546 +145,666 @@ impl<'d, 's> Engine<'d, 's> {
             cache: HashMap::new(),
             profile: Profile::default(),
             opts,
-            deadline,
-            rows_total: 0,
+            meter,
             nodes_base,
-            ops_seen: 0,
-            doc_accesses: 0,
         }
-    }
-
-    /// Cancellation + wall-clock poll; called once per operator and from
-    /// the expansion loops of row-explosive operators.
-    fn poll_governance(&self) -> Result<(), EvalError> {
-        if self
-            .opts
-            .cancel
-            .as_ref()
-            .is_some_and(CancellationToken::is_cancelled)
-        {
-            return Err(EvalError::new(
-                ErrorCode::EXRQ0002,
-                "query cancelled".to_string(),
-            ));
-        }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
-                return Err(EvalError::new(
-                    ErrorCode::EXRQ0001,
-                    "wall-clock budget exceeded".to_string(),
-                ));
-            }
-        }
-        Ok(())
-    }
-
-    /// Effective row ceiling for the next operator: the per-operator cap
-    /// and whatever remains of the total-row budget, whichever is lower
-    /// (`usize::MAX` when unbounded). Row-explosive operators check this
-    /// *before* or *while* materializing, so memory stays bounded.
-    fn op_row_cap(&self) -> usize {
-        let per_op = self.opts.budget.max_rows_per_op.unwrap_or(usize::MAX);
-        let remaining = self
-            .opts
-            .budget
-            .max_rows_total
-            .map_or(usize::MAX, |t| t.saturating_sub(self.rows_total));
-        per_op.min(remaining)
     }
 
     /// Account an operator's output and enforce the row / node ceilings.
-    fn charge_op_output(&mut self, nrows: usize) -> Result<(), EvalError> {
-        if let Some(cap) = self.opts.budget.max_rows_per_op {
-            if nrows > cap {
-                return Err(EvalError::new(
-                    ErrorCode::EXRQ0001,
-                    format!("operator materialized {nrows} rows, exceeding the per-operator budget of {cap}"),
-                ));
-            }
-        }
-        self.rows_total += nrows;
-        if let Some(cap) = self.opts.budget.max_rows_total {
-            if self.rows_total > cap {
-                return Err(EvalError::new(
-                    ErrorCode::EXRQ0001,
-                    format!(
-                        "plan materialized {} rows in total, exceeding the budget of {cap}",
-                        self.rows_total
-                    ),
-                ));
-            }
-        }
-        if let Some(cap) = self.opts.budget.max_nodes {
-            let constructed = self
-                .arena
-                .constructed_nodes()
-                .saturating_sub(self.nodes_base);
-            if constructed > cap {
-                return Err(EvalError::new(
-                    ErrorCode::EXRQ0001,
-                    format!(
-                        "query constructed {constructed} XML nodes, exceeding the budget of {cap}"
-                    ),
-                ));
-            }
-        }
+    pub(crate) fn charge_op_output(&mut self, nrows: usize) -> Result<(), EvalError> {
+        self.meter.charge_rows(nrows)?;
+        let constructed = self
+            .arena
+            .constructed_nodes()
+            .saturating_sub(self.nodes_base);
+        self.meter.check_nodes(constructed)?;
         Ok(())
     }
 
     /// Evaluate the plan rooted at `root`.
-    pub fn eval(&mut self, root: OpId) -> Result<Rc<Table>, EvalError> {
+    pub fn eval(&mut self, root: OpId) -> Result<Arc<Table>, EvalError> {
+        if self.opts.threads > 1 {
+            return crate::par::eval_parallel(self, root);
+        }
         for id in self.dag.topo_order(root) {
             if self.cache.contains_key(&id) {
                 continue;
             }
-            self.poll_governance()?;
+            self.meter.poll()?;
             self.poll_failpoints(id)?;
             let started = Instant::now();
             let table = self.eval_op(id)?;
             self.profile.record(self.dag, id, started.elapsed());
             self.charge_op_output(table.nrows())?;
-            self.cache.insert(id, Rc::new(table));
-            self.ops_seen += 1;
+            self.cache.insert(id, Arc::new(table));
+            self.meter.record_op();
         }
         Ok(self.cache[&root].clone())
     }
 
-    /// Injected-fault checks at the operator boundary: `cancel-after`
-    /// (counted over evaluated operators) and `budget-trip` (matched on
-    /// the operator kind about to run). Mirrors [`poll_governance`]
-    /// (Self::poll_governance) so injected faults exercise exactly the
-    /// error paths real exhaustion would take.
-    fn poll_failpoints(&self, id: OpId) -> Result<(), EvalError> {
-        if self.opts.failpoints.is_empty() {
-            return Ok(());
-        }
-        if self.opts.failpoints.cancels_at(self.ops_seen) {
-            return Err(EvalError::new(
-                ErrorCode::EXRQ0002,
-                format!(
-                    "query cancelled (injected at operator boundary {})",
-                    self.ops_seen
-                ),
-            ));
-        }
-        let kind = self.dag.op(id).kind_name();
-        if self.opts.failpoints.trips_budget(kind) {
-            return Err(EvalError::new(
-                ErrorCode::EXRQ0001,
-                format!("execution budget exceeded (injected in `{kind}` operator {id})"),
-            ));
-        }
-        Ok(())
+    /// Injected-fault checks at the operator boundary (see
+    /// [`poll_failpoints`]); mirrors the meter poll so injected faults
+    /// exercise exactly the error paths real exhaustion would take.
+    pub(crate) fn poll_failpoints(&self, id: OpId) -> Result<(), EvalError> {
+        poll_failpoints(&self.opts.failpoints, self.dag, id, self.meter.ops_seen())
     }
 
-    fn input(&self, id: OpId) -> &Rc<Table> {
+    fn input(&self, id: OpId) -> &Arc<Table> {
         &self.cache[&id]
     }
 
     fn eval_op(&mut self, id: OpId) -> Result<Table, EvalError> {
         let op = self.dag.op(id).clone();
         match op {
-            Op::Lit { cols, rows } => Ok(eval_lit(&cols, &rows)),
-            Op::Doc { url } => {
-                self.doc_accesses += 1;
-                if self.opts.failpoints.doc_io_fails(self.doc_accesses) {
-                    return Err(EvalError::new(
-                        ErrorCode::FODC0002,
-                        format!(
-                            "I/O error retrieving document `{url}` (injected at access {})",
-                            self.doc_accesses
-                        ),
-                    ));
-                }
-                let node = self.arena.catalog().doc_root(url.as_ref()).ok_or_else(|| {
-                    EvalError::new(
-                        ErrorCode::FODC0002,
-                        format!("document `{url}` is not loaded"),
-                    )
-                })?;
-                Ok(Table::new(vec![(
-                    Col::ITEM,
-                    Column::Item(vec![Item::Node(node)]),
-                )]))
-            }
-            Op::Project { input, cols } => {
-                let t = self.input(input);
-                let out = cols
-                    .iter()
-                    .map(|(new, src)| (*new, t.col(*src).clone()))
-                    .collect();
-                Ok(Table::from_refs(out, t.nrows()))
-            }
-            Op::Select { input, col } => {
-                let t = self.input(input).clone();
-                let c = t.col(col);
-                let mut idx = Vec::new();
-                for i in 0..t.nrows() {
-                    match c.get(i) {
-                        Item::Bool(true) => idx.push(i),
-                        Item::Bool(false) => {}
-                        other => {
-                            return Err(EvalError::new(
-                                ErrorCode::XPTY0004,
-                                format!("σ on non-boolean value {other:?}"),
-                            ))
-                        }
-                    }
-                }
-                Ok(t.gather(&idx))
-            }
-            Op::RowNum {
-                input,
-                new,
-                order,
-                part,
-            } => {
-                let t = self.input(input).clone();
-                Ok(eval_rownum(&t, new, &order, part))
-            }
-            Op::RowId { input, new } => {
-                let t = self.input(input).clone();
-                let n = t.nrows();
-                Ok(t.with_column(new, Column::Int((1..=n as i64).collect())))
-            }
-            Op::Attach { input, col, value } => {
-                let t = self.input(input).clone();
-                let item = avalue_item(&value);
-                let col_data = match &item {
-                    Item::Int(i) => Column::Int(vec![*i; t.nrows()]),
-                    other => Column::Item(vec![other.clone(); t.nrows()]),
-                };
-                Ok(t.with_column(col, col_data))
-            }
-            Op::Fun {
-                input,
-                new,
-                kind,
-                args,
-            } => {
-                let t = self.input(input).clone();
-                let arg_cols: Vec<_> = args.iter().map(|a| t.col(*a).clone()).collect();
-                let mut out = Vec::with_capacity(t.nrows());
-                let mut buf: Vec<Item> = Vec::with_capacity(arg_cols.len());
-                for r in 0..t.nrows() {
-                    buf.clear();
-                    buf.extend(arg_cols.iter().map(|c| c.get(r)));
-                    out.push(funs::apply(self.arena, kind, &buf)?);
-                }
-                Ok(t.with_column(new, Column::Item(out)))
-            }
-            Op::Aggr {
-                input,
-                kind,
-                new,
-                arg,
-                part,
-            } => {
-                let t = self.input(input).clone();
-                eval_aggr(self.arena, &t, kind, new, arg, part)
-            }
-            Op::Distinct { input } => {
-                let t = self.input(input).clone();
-                Ok(eval_distinct(&t))
-            }
-            Op::Step { input, axis, test } => {
-                let t = self.input(input).clone();
-                self.eval_step(&t, axis, test)
-            }
-            Op::Cross { l, r } => {
-                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
-                eval_cross(&lt, &rt, self.op_row_cap())
-            }
-            Op::EquiJoin { l, r, lcol, rcol } => {
-                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
-                eval_equijoin(&lt, &rt, lcol, rcol, self.op_row_cap())
-            }
-            Op::ThetaJoin { l, r, pred } => {
-                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
-                eval_thetajoin(&lt, &rt, &pred, self.op_row_cap())
-            }
-            Op::Union { l, r } => {
-                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
-                Ok(eval_union(&lt, &rt))
-            }
-            Op::Difference { l, r, on } => {
-                let (lt, rt) = (self.input(l).clone(), self.input(r).clone());
-                Ok(eval_difference(&lt, &rt, &on))
-            }
+            // Writer operators need `&mut FragArena` and always run on the
+            // thread that owns the engine, in topological sequence — the
+            // single-writer rule that keeps fragment ids and interned names
+            // deterministic.
             Op::Element { names, content } => {
                 let (nt, ct) = (self.input(names).clone(), self.input(content).clone());
-                self.eval_element(&nt, &ct)
+                eval_element(self.arena, &nt, &ct)
             }
             Op::Attr { names, values } => {
                 let (nt, vt) = (self.input(names).clone(), self.input(values).clone());
-                self.eval_attr(&nt, &vt)
+                eval_attr(self.arena, &nt, &vt)
             }
             Op::TextNode { content } => {
                 let ct = self.input(content).clone();
-                self.eval_textnode(&ct)
+                eval_textnode(self.arena, &ct)
             }
-            Op::Range { input, lo, hi, new } => {
-                let t = self.input(input).clone();
-                eval_range(&t, lo, hi, new, self.op_row_cap())
+            _ => {
+                let cache = &self.cache;
+                eval_pure(
+                    self.dag,
+                    id,
+                    &|i| cache[&i].clone(),
+                    self.arena,
+                    &self.opts,
+                    &self.meter,
+                )
             }
-            Op::Serialize { input } => Ok((*self.input(input).clone()).clone()),
         }
     }
+}
 
-    // ------------------------------------------------------------- step
+// ------------------------------------------------------- pure operators
 
-    fn eval_step(
-        &mut self,
-        t: &Table,
-        ax: exrquy_xml::Axis,
-        test: exrquy_xml::NodeTest,
-    ) -> Result<Table, EvalError> {
-        let iter_col = t.col(Col::ITER).clone();
-        let item_col = t.col(Col::ITEM).clone();
-        // Collect (iter, node) context pairs.
-        let mut ctx: Vec<(i64, NodeId)> = Vec::with_capacity(t.nrows());
-        for r in 0..t.nrows() {
-            match item_col.get(r) {
-                Item::Node(n) => ctx.push((iter_col.get_int(r), n)),
+/// Evaluate a non-constructing operator. Shared by the serial engine and
+/// the parallel scheduler's worker threads: `input` resolves already
+/// evaluated children (from the memo cache or the scheduler's result
+/// slots) and the arena is only read. Writer operators
+/// (`Element`/`Attr`/`TextNode`) never reach this function.
+pub(crate) fn eval_pure(
+    dag: &Dag,
+    id: OpId,
+    input: &dyn Fn(OpId) -> Arc<Table>,
+    arena: &FragArena,
+    opts: &EngineOptions,
+    meter: &BudgetMeter,
+) -> Result<Table, EvalError> {
+    let threads = opts.threads.max(1);
+    let op = dag.op(id).clone();
+    match op {
+        Op::Lit { cols, rows } => Ok(eval_lit(&cols, &rows)),
+        Op::Doc { url } => {
+            let access = meter.record_doc_access();
+            if opts.failpoints.doc_io_fails(access) {
+                return Err(EvalError::new(
+                    ErrorCode::FODC0002,
+                    format!("I/O error retrieving document `{url}` (injected at access {access})"),
+                ));
+            }
+            let node = arena.catalog().doc_root(url.as_ref()).ok_or_else(|| {
+                EvalError::new(
+                    ErrorCode::FODC0002,
+                    format!("document `{url}` is not loaded"),
+                )
+            })?;
+            Ok(Table::new(vec![(
+                Col::ITEM,
+                Column::Item(vec![Item::Node(node)]),
+            )]))
+        }
+        Op::Project { input: inp, cols } => {
+            let t = input(inp);
+            let out = cols
+                .iter()
+                .map(|(new, src)| (*new, t.col(*src).clone()))
+                .collect();
+            Ok(Table::from_refs(out, t.nrows()))
+        }
+        Op::Select { input: inp, col } => {
+            let t = input(inp);
+            eval_select(&t, col, threads)
+        }
+        Op::RowNum {
+            input: inp,
+            new,
+            order,
+            part,
+        } => {
+            let t = input(inp);
+            Ok(eval_rownum(&t, new, &order, part, threads))
+        }
+        Op::RowId { input: inp, new } => {
+            let t = input(inp);
+            let n = t.nrows();
+            Ok(t.with_column(new, Column::Int((1..=n as i64).collect())))
+        }
+        Op::Attach {
+            input: inp,
+            col,
+            value,
+        } => {
+            let t = input(inp);
+            let item = avalue_item(&value);
+            let col_data = match &item {
+                Item::Int(i) => Column::Int(vec![*i; t.nrows()]),
+                other => Column::Item(vec![other.clone(); t.nrows()]),
+            };
+            Ok(t.with_column(col, col_data))
+        }
+        Op::Fun {
+            input: inp,
+            new,
+            kind,
+            args,
+        } => {
+            let t = input(inp);
+            eval_fun(arena, &t, new, kind, &args, threads)
+        }
+        Op::Aggr {
+            input: inp,
+            kind,
+            new,
+            arg,
+            part,
+        } => {
+            let t = input(inp);
+            eval_aggr(arena, &t, kind, new, arg, part)
+        }
+        Op::Distinct { input: inp } => {
+            let t = input(inp);
+            Ok(eval_distinct(&t))
+        }
+        Op::Step {
+            input: inp,
+            axis,
+            test,
+        } => {
+            let t = input(inp);
+            eval_step(arena, &t, axis, test, opts.step_algo, threads)
+        }
+        Op::Cross { l, r } => {
+            let (lt, rt) = (input(l), input(r));
+            eval_cross(&lt, &rt, meter.op_row_cap())
+        }
+        Op::EquiJoin { l, r, lcol, rcol } => {
+            let (lt, rt) = (input(l), input(r));
+            eval_equijoin(&lt, &rt, lcol, rcol, meter.op_row_cap())
+        }
+        Op::ThetaJoin { l, r, pred } => {
+            let (lt, rt) = (input(l), input(r));
+            eval_thetajoin(&lt, &rt, &pred, meter.op_row_cap())
+        }
+        Op::Union { l, r } => {
+            let (lt, rt) = (input(l), input(r));
+            Ok(eval_union(&lt, &rt))
+        }
+        Op::Difference { l, r, on } => {
+            let (lt, rt) = (input(l), input(r));
+            Ok(eval_difference(&lt, &rt, &on))
+        }
+        Op::Range {
+            input: inp,
+            lo,
+            hi,
+            new,
+        } => {
+            let t = input(inp);
+            eval_range(&t, lo, hi, new, meter.op_row_cap())
+        }
+        Op::Serialize { input: inp } => Ok((*input(inp)).clone()),
+        Op::Element { .. } | Op::Attr { .. } | Op::TextNode { .. } => {
+            unreachable!("writer operators are evaluated on the owning thread")
+        }
+    }
+}
+
+// ------------------------------------------------------- morsel kernels
+
+/// Inputs below this row count are not worth splitting: thread spawn and
+/// result concatenation would dominate the scan.
+pub(crate) const MORSEL_MIN_ROWS: usize = 4096;
+
+/// Contiguous near-equal ranges covering `0..n` (at most `threads` of
+/// them, never empty ones).
+fn morsel_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let k = threads.min(n).max(1);
+    let (base, rem) = (n / k, n % k);
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `f` over morsels of `0..n` on a scoped thread pool and return the
+/// partial results **in morsel order** — callers concatenate them, which
+/// is what makes every parallel kernel bit-identical to its serial run.
+/// On failure the error of the earliest morsel wins; because morsels are
+/// contiguous and ordered, that is exactly the error the serial scan
+/// would have hit first.
+fn run_morsels<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, EvalError>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Result<T, EvalError> + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return if n == 0 {
+            Ok(Vec::new())
+        } else {
+            Ok(vec![f(0..n)?])
+        };
+    }
+    let f = &f;
+    let results: Vec<Result<T, EvalError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = morsel_ranges(n, threads)
+            .into_iter()
+            .map(|r| s.spawn(move || f(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Effective worker count for a kernel over `nrows` rows.
+fn kernel_threads(nrows: usize, threads: usize) -> usize {
+    if nrows >= MORSEL_MIN_ROWS {
+        threads
+    } else {
+        1
+    }
+}
+
+fn eval_select(t: &Table, col: Col, threads: usize) -> Result<Table, EvalError> {
+    let c = t.col(col).clone();
+    let n = t.nrows();
+    let parts = run_morsels(n, kernel_threads(n, threads), |range| {
+        let mut idx = Vec::new();
+        for i in range {
+            match c.get(i) {
+                Item::Bool(true) => idx.push(i),
+                Item::Bool(false) => {}
                 other => {
                     return Err(EvalError::new(
                         ErrorCode::XPTY0004,
-                        format!("path step applied to atomic value {other}"),
+                        format!("σ on non-boolean value {other:?}"),
                     ))
                 }
             }
         }
-        ctx.sort_unstable_by_key(|&(i, n)| (i, n));
-        ctx.dedup();
-        let mut out_iter: Vec<i64> = Vec::new();
-        let mut out_item: Vec<Item> = Vec::new();
-        let mut i = 0;
-        while i < ctx.len() {
-            // One (iter, frag) group at a time.
-            let (it, frag) = (ctx[i].0, ctx[i].1.frag);
-            let mut pres: Vec<u32> = Vec::new();
-            while i < ctx.len() && ctx[i].0 == it && ctx[i].1.frag == frag {
-                pres.push(ctx[i].1.pre);
-                i += 1;
-            }
-            let doc = self.arena.frag(frag);
-            let result = match self.opts.step_algo {
-                StepAlgo::Staircase => axis::step(doc, &pres, ax, test),
-                StepAlgo::NameStream => axis::step_name_stream(doc, &pres, ax, test),
-                StepAlgo::Naive => axis::naive(doc, &pres, ax, test),
-            };
-            out_iter.extend(std::iter::repeat_n(it, result.len()));
-            out_item.extend(result.into_iter().map(|p| Item::Node(NodeId::new(frag, p))));
+        Ok(idx)
+    })?;
+    let idx = parts.concat();
+    Ok(t.gather(&idx))
+}
+
+fn eval_fun(
+    arena: &FragArena,
+    t: &Table,
+    new: Col,
+    kind: FunKind,
+    args: &[Col],
+    threads: usize,
+) -> Result<Table, EvalError> {
+    let arg_cols: Vec<_> = args.iter().map(|a| t.col(*a).clone()).collect();
+    let n = t.nrows();
+    let arg_cols = &arg_cols;
+    let parts = run_morsels(n, kernel_threads(n, threads), move |range| {
+        let mut out = Vec::with_capacity(range.len());
+        let mut buf: Vec<Item> = Vec::with_capacity(arg_cols.len());
+        for r in range {
+            buf.clear();
+            buf.extend(arg_cols.iter().map(|c| c.get(r)));
+            out.push(funs::apply(arena, kind, &buf)?);
         }
-        Ok(Table::new(vec![
-            (Col::ITER, Column::Int(out_iter)),
-            (Col::ITEM, Column::Item(out_item)),
-        ]))
+        Ok(out)
+    })?;
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
     }
+    Ok(t.with_column(new, Column::Item(out)))
+}
 
-    // --------------------------------------------------- node construction
+// ------------------------------------------------------------- step
 
-    /// Gather `content` rows grouped by `iter`, sorted by `pos`, keeping
-    /// the content-part tag (`ord`; 0 when the plan carries none).
-    fn content_by_iter(content: &Table) -> HashMap<i64, Vec<(i64, i64, Item)>> {
-        let mut by_iter: HashMap<i64, Vec<(i64, i64, Item)>> = HashMap::new();
-        let iters = content.col(Col::ITER).clone();
-        let poss = content.col(Col::POS).clone();
-        let items = content.col(Col::ITEM).clone();
-        let ords = if content.schema().contains(&Col::ORD) {
-            Some(content.col(Col::ORD).clone())
-        } else {
-            None
-        };
-        for r in 0..content.nrows() {
-            let ord = ords.as_ref().map_or(0, |c| c.get_int(r));
-            by_iter
-                .entry(iters.get_int(r))
-                .or_default()
-                .push((poss.get_int(r), ord, items.get(r)));
+fn eval_step(
+    arena: &FragArena,
+    t: &Table,
+    ax: exrquy_xml::Axis,
+    test: exrquy_xml::NodeTest,
+    algo: StepAlgo,
+    threads: usize,
+) -> Result<Table, EvalError> {
+    let iter_col = t.col(Col::ITER).clone();
+    let item_col = t.col(Col::ITEM).clone();
+    // Collect (iter, node) context pairs.
+    let mut ctx: Vec<(i64, NodeId)> = Vec::with_capacity(t.nrows());
+    for r in 0..t.nrows() {
+        match item_col.get(r) {
+            Item::Node(n) => ctx.push((iter_col.get_int(r), n)),
+            other => {
+                return Err(EvalError::new(
+                    ErrorCode::XPTY0004,
+                    format!("path step applied to atomic value {other}"),
+                ))
+            }
         }
-        for v in by_iter.values_mut() {
-            v.sort_by_key(|&(p, _, _)| p);
+    }
+    ctx.sort_unstable_by_key(|&(i, n)| (i, n));
+    ctx.dedup();
+    // One group per (iter, frag): the staircase-join unit of work.
+    let mut groups: Vec<(i64, u32, Vec<u32>)> = Vec::new();
+    let mut i = 0;
+    while i < ctx.len() {
+        let (it, frag) = (ctx[i].0, ctx[i].1.frag);
+        let mut pres: Vec<u32> = Vec::new();
+        while i < ctx.len() && ctx[i].0 == it && ctx[i].1.frag == frag {
+            pres.push(ctx[i].1.pre);
+            i += 1;
         }
+        groups.push((it, frag, pres));
+    }
+    // Data-parallel over groups; partials concatenate in group order, so
+    // the output is the serial (iter, doc-order) sequence either way.
+    let groups = &groups;
+    let parts = run_morsels(
+        groups.len(),
+        kernel_threads(t.nrows(), threads),
+        move |range| {
+            let mut out_iter: Vec<i64> = Vec::new();
+            let mut out_item: Vec<Item> = Vec::new();
+            for g in range {
+                let (it, frag, pres) = &groups[g];
+                let doc = arena.frag(*frag);
+                let result = match algo {
+                    StepAlgo::Staircase => axis::step(doc, pres, ax, test),
+                    StepAlgo::NameStream => axis::step_name_stream(doc, pres, ax, test),
+                    StepAlgo::Naive => axis::naive(doc, pres, ax, test),
+                };
+                out_iter.extend(std::iter::repeat_n(*it, result.len()));
+                out_item.extend(
+                    result
+                        .into_iter()
+                        .map(|p| Item::Node(NodeId::new(*frag, p))),
+                );
+            }
+            Ok((out_iter, out_item))
+        },
+    )?;
+    let mut out_iter: Vec<i64> = Vec::new();
+    let mut out_item: Vec<Item> = Vec::new();
+    for (pi, pv) in parts {
+        out_iter.extend(pi);
+        out_item.extend(pv);
+    }
+    Ok(Table::new(vec![
+        (Col::ITER, Column::Int(out_iter)),
+        (Col::ITEM, Column::Item(out_item)),
+    ]))
+}
+
+// --------------------------------------------------- node construction
+
+/// Gather `content` rows grouped by `iter`, sorted by `pos`, keeping
+/// the content-part tag (`ord`; 0 when the plan carries none).
+fn content_by_iter(content: &Table) -> HashMap<i64, Vec<(i64, i64, Item)>> {
+    let mut by_iter: HashMap<i64, Vec<(i64, i64, Item)>> = HashMap::new();
+    let iters = content.col(Col::ITER).clone();
+    let poss = content.col(Col::POS).clone();
+    let items = content.col(Col::ITEM).clone();
+    let ords = if content.schema().contains(&Col::ORD) {
+        Some(content.col(Col::ORD).clone())
+    } else {
+        None
+    };
+    for r in 0..content.nrows() {
+        let ord = ords.as_ref().map_or(0, |c| c.get_int(r));
         by_iter
+            .entry(iters.get_int(r))
+            .or_default()
+            .push((poss.get_int(r), ord, items.get(r)));
     }
+    for v in by_iter.values_mut() {
+        v.sort_by_key(|&(p, _, _)| p);
+    }
+    by_iter
+}
 
-    fn eval_element(&mut self, names: &Table, content: &Table) -> Result<Table, EvalError> {
-        let by_iter = Self::content_by_iter(content);
-        // One new fragment holds all elements constructed by this operator
-        // invocation, as sibling roots, in iter order.
-        let mut order: Vec<(i64, usize)> = (0..names.nrows())
-            .map(|r| (names.col(Col::ITER).get_int(r), r))
-            .collect();
-        order.sort_unstable();
-        let mut b = TreeBuilder::new();
-        let mut roots: Vec<(i64, u32)> = Vec::with_capacity(order.len());
-        for &(it, r) in &order {
-            let name_item = names.col(Col::ITEM).get(r);
-            let name_str = match &name_item {
-                Item::Str(s) => s.to_string(),
-                other => other.to_xq_string(),
-            };
-            let name_id = self.arena.intern(&name_str);
-            let root = b.open_element(name_id);
-            if let Some(items) = by_iter.get(&it) {
-                self.build_content(&mut b, items)?;
-            }
-            b.close();
-            roots.push((it, root));
+pub(crate) fn eval_element(
+    arena: &mut FragArena,
+    names: &Table,
+    content: &Table,
+) -> Result<Table, EvalError> {
+    let by_iter = content_by_iter(content);
+    // One new fragment holds all elements constructed by this operator
+    // invocation, as sibling roots, in iter order.
+    let mut order: Vec<(i64, usize)> = (0..names.nrows())
+        .map(|r| (names.col(Col::ITER).get_int(r), r))
+        .collect();
+    order.sort_unstable();
+    let mut b = TreeBuilder::new();
+    let mut roots: Vec<(i64, u32)> = Vec::with_capacity(order.len());
+    for &(it, r) in &order {
+        let name_item = names.col(Col::ITEM).get(r);
+        let name_str = match &name_item {
+            Item::Str(s) => s.to_string(),
+            other => other.to_xq_string(),
+        };
+        let name_id = arena.intern(&name_str);
+        let root = b.open_element(name_id);
+        if let Some(items) = by_iter.get(&it) {
+            build_content(arena, &mut b, items)?;
         }
-        let frag = self.arena.add(b.finish());
-        Ok(Table::new(vec![
-            (
-                Col::ITER,
-                Column::Int(roots.iter().map(|&(it, _)| it).collect()),
-            ),
-            (
-                Col::ITEM,
-                Column::Item(
-                    roots
-                        .iter()
-                        .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
-                        .collect(),
-                ),
-            ),
-        ]))
+        b.close();
+        roots.push((it, root));
     }
+    let frag = arena.add(b.finish());
+    Ok(Table::new(vec![
+        (
+            Col::ITER,
+            Column::Int(roots.iter().map(|&(it, _)| it).collect()),
+        ),
+        (
+            Col::ITEM,
+            Column::Item(
+                roots
+                    .iter()
+                    .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
+                    .collect(),
+            ),
+        ),
+    ]))
+}
 
-    /// Realize a constructor content sequence: leading attribute nodes
-    /// become attributes, adjacent atomics merge into one text node joined
-    /// with spaces, nodes are deep-copied (order interaction 2©: sequence
-    /// order establishes document order).
-    fn build_content(
-        &mut self,
-        b: &mut TreeBuilder,
-        items: &[(i64, i64, Item)],
-    ) -> Result<(), EvalError> {
-        let mut pending_text: Option<String> = None;
-        let mut pending_ord: i64 = 0;
-        let mut content_started = false;
-        for (_, ord, item) in items {
-            match item {
-                Item::Node(n) => {
-                    let doc = self.arena.doc_of(*n);
-                    if doc.kind(n.pre) == NodeKind::Attribute {
-                        if content_started || pending_text.is_some() {
-                            return Err(EvalError::new(
-                                ErrorCode::XQTY0024,
-                                "attribute node follows element content (XQTY0024)",
-                            ));
-                        }
-                        b.attribute(doc.name(n.pre), doc.text(n.pre).unwrap_or(""));
-                    } else {
-                        if let Some(t) = pending_text.take() {
-                            b.text(&t);
-                        }
-                        let doc = self.arena.doc_of(*n);
-                        b.copy_subtree(doc, n.pre);
-                        content_started = true;
+/// Realize a constructor content sequence: leading attribute nodes
+/// become attributes, adjacent atomics merge into one text node joined
+/// with spaces, nodes are deep-copied (order interaction 2©: sequence
+/// order establishes document order).
+fn build_content(
+    arena: &FragArena,
+    b: &mut TreeBuilder,
+    items: &[(i64, i64, Item)],
+) -> Result<(), EvalError> {
+    let mut pending_text: Option<String> = None;
+    let mut pending_ord: i64 = 0;
+    let mut content_started = false;
+    for (_, ord, item) in items {
+        match item {
+            Item::Node(n) => {
+                let doc = arena.doc_of(*n);
+                if doc.kind(n.pre) == NodeKind::Attribute {
+                    if content_started || pending_text.is_some() {
+                        return Err(EvalError::new(
+                            ErrorCode::XQTY0024,
+                            "attribute node follows element content (XQTY0024)",
+                        ));
                     }
-                }
-                atomic => {
-                    // Atomics merge into one text node; the space separator
-                    // only applies between atomics of the SAME enclosed
-                    // expression (content part).
-                    let s = atomic.to_xq_string();
-                    match pending_text.as_mut() {
-                        Some(t) => {
-                            if *ord == pending_ord {
-                                t.push(' ');
-                            }
-                            t.push_str(&s);
-                        }
-                        None => pending_text = Some(s),
+                    b.attribute(doc.name(n.pre), doc.text(n.pre).unwrap_or(""));
+                } else {
+                    if let Some(t) = pending_text.take() {
+                        b.text(&t);
                     }
-                    pending_ord = *ord;
+                    let doc = arena.doc_of(*n);
+                    b.copy_subtree(doc, n.pre);
+                    content_started = true;
                 }
             }
+            atomic => {
+                // Atomics merge into one text node; the space separator
+                // only applies between atomics of the SAME enclosed
+                // expression (content part).
+                let s = atomic.to_xq_string();
+                match pending_text.as_mut() {
+                    Some(t) => {
+                        if *ord == pending_ord {
+                            t.push(' ');
+                        }
+                        t.push_str(&s);
+                    }
+                    None => pending_text = Some(s),
+                }
+                pending_ord = *ord;
+            }
         }
-        if let Some(t) = pending_text {
-            b.text(&t);
-        }
-        Ok(())
     }
+    if let Some(t) = pending_text {
+        b.text(&t);
+    }
+    Ok(())
+}
 
-    fn eval_attr(&mut self, names: &Table, values: &Table) -> Result<Table, EvalError> {
-        // values: iter|item (one string per iteration).
-        let mut val_by_iter: HashMap<i64, String> = HashMap::new();
-        for r in 0..values.nrows() {
-            let it = values.col(Col::ITER).get_int(r);
-            let v = values.col(Col::ITEM).get(r).to_xq_string();
-            val_by_iter.insert(it, v);
-        }
-        let mut order: Vec<(i64, usize)> = (0..names.nrows())
-            .map(|r| (names.col(Col::ITER).get_int(r), r))
-            .collect();
-        order.sort_unstable();
-        let mut doc = exrquy_xml::Document::new();
-        let mut rows: Vec<(i64, u32)> = Vec::new();
-        for &(it, r) in &order {
-            let name_str = names.col(Col::ITEM).get(r).to_xq_string();
-            let name_id = self.arena.intern(&name_str);
-            let value = val_by_iter.get(&it).cloned().unwrap_or_default();
-            let pre = doc.push_orphan_attribute(name_id, &value);
+pub(crate) fn eval_attr(
+    arena: &mut FragArena,
+    names: &Table,
+    values: &Table,
+) -> Result<Table, EvalError> {
+    // values: iter|item (one string per iteration).
+    let mut val_by_iter: HashMap<i64, String> = HashMap::new();
+    for r in 0..values.nrows() {
+        let it = values.col(Col::ITER).get_int(r);
+        let v = values.col(Col::ITEM).get(r).to_xq_string();
+        val_by_iter.insert(it, v);
+    }
+    let mut order: Vec<(i64, usize)> = (0..names.nrows())
+        .map(|r| (names.col(Col::ITER).get_int(r), r))
+        .collect();
+    order.sort_unstable();
+    let mut doc = exrquy_xml::Document::new();
+    let mut rows: Vec<(i64, u32)> = Vec::new();
+    for &(it, r) in &order {
+        let name_str = names.col(Col::ITEM).get(r).to_xq_string();
+        let name_id = arena.intern(&name_str);
+        let value = val_by_iter.get(&it).cloned().unwrap_or_default();
+        let pre = doc.push_orphan_attribute(name_id, &value);
+        rows.push((it, pre));
+    }
+    let frag = arena.add(doc);
+    Ok(Table::new(vec![
+        (
+            Col::ITER,
+            Column::Int(rows.iter().map(|&(it, _)| it).collect()),
+        ),
+        (
+            Col::ITEM,
+            Column::Item(
+                rows.iter()
+                    .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+pub(crate) fn eval_textnode(arena: &mut FragArena, content: &Table) -> Result<Table, EvalError> {
+    let mut order: Vec<(i64, usize)> = (0..content.nrows())
+        .map(|r| (content.col(Col::ITER).get_int(r), r))
+        .collect();
+    order.sort_unstable();
+    let mut b = TreeBuilder::new();
+    let mut rows: Vec<(i64, u32)> = Vec::new();
+    for &(it, r) in &order {
+        let s = content.col(Col::ITEM).get(r).to_xq_string();
+        // Empty strings construct no text node (the XDM has none).
+        if let Some(pre) = b.text(&s) {
             rows.push((it, pre));
         }
-        let frag = self.arena.add(doc);
-        Ok(Table::new(vec![
-            (
-                Col::ITER,
-                Column::Int(rows.iter().map(|&(it, _)| it).collect()),
-            ),
-            (
-                Col::ITEM,
-                Column::Item(
-                    rows.iter()
-                        .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
-                        .collect(),
-                ),
-            ),
-        ]))
     }
-
-    fn eval_textnode(&mut self, content: &Table) -> Result<Table, EvalError> {
-        let mut order: Vec<(i64, usize)> = (0..content.nrows())
-            .map(|r| (content.col(Col::ITER).get_int(r), r))
-            .collect();
-        order.sort_unstable();
-        let mut b = TreeBuilder::new();
-        let mut rows: Vec<(i64, u32)> = Vec::new();
-        for &(it, r) in &order {
-            let s = content.col(Col::ITEM).get(r).to_xq_string();
-            // Empty strings construct no text node (the XDM has none).
-            if let Some(pre) = b.text(&s) {
-                rows.push((it, pre));
-            }
-        }
-        let frag = self.arena.add(b.finish());
-        Ok(Table::new(vec![
-            (
-                Col::ITER,
-                Column::Int(rows.iter().map(|&(it, _)| it).collect()),
+    let frag = arena.add(b.finish());
+    Ok(Table::new(vec![
+        (
+            Col::ITER,
+            Column::Int(rows.iter().map(|&(it, _)| it).collect()),
+        ),
+        (
+            Col::ITEM,
+            Column::Item(
+                rows.iter()
+                    .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
+                    .collect(),
             ),
-            (
-                Col::ITEM,
-                Column::Item(
-                    rows.iter()
-                        .map(|&(_, pre)| Item::Node(NodeId::new(frag, pre)))
-                        .collect(),
-                ),
-            ),
-        ]))
-    }
+        ),
+    ]))
 }
 
 // ------------------------------------------------------- free functions
+
+/// Injected-fault checks at the operator boundary: `cancel-after`
+/// (counted over evaluated operators) and `budget-trip` (matched on the
+/// operator kind about to run). Mirrors [`BudgetMeter::poll`] so injected
+/// faults exercise exactly the error paths real exhaustion would take.
+pub(crate) fn poll_failpoints(
+    failpoints: &Failpoints,
+    dag: &Dag,
+    id: OpId,
+    ops_seen: usize,
+) -> Result<(), EvalError> {
+    if failpoints.is_empty() {
+        return Ok(());
+    }
+    if failpoints.cancels_at(ops_seen) {
+        return Err(EvalError::new(
+            ErrorCode::EXRQ0002,
+            format!("query cancelled (injected at operator boundary {ops_seen})"),
+        ));
+    }
+    let kind = dag.op(id).kind_name();
+    if failpoints.trips_budget(kind) {
+        return Err(EvalError::new(
+            ErrorCode::EXRQ0001,
+            format!("execution budget exceeded (injected in `{kind}` operator {id})"),
+        ));
+    }
+    Ok(())
+}
 
 fn avalue_item(v: &AValue) -> Item {
     match v {
         AValue::Int(i) => Item::Int(*i),
         AValue::Dbl(b) => Item::Dbl(f64::from_bits(*b)),
-        AValue::Str(s) => Item::Str(Rc::from(s.as_ref())),
+        AValue::Str(s) => Item::Str(Arc::from(s.as_ref())),
         AValue::Bool(b) => Item::Bool(*b),
     }
 }
@@ -697,7 +833,13 @@ fn eval_lit(cols: &[Col], rows: &[Vec<AValue>]) -> Table {
     Table::new(built)
 }
 
-fn eval_rownum(t: &Table, new: Col, order: &[exrquy_algebra::SortKey], part: Option<Col>) -> Table {
+fn eval_rownum(
+    t: &Table,
+    new: Col,
+    order: &[exrquy_algebra::SortKey],
+    part: Option<Col>,
+    threads: usize,
+) -> Table {
     let n = t.nrows();
     // Fast path (§7): `%⟨⟩` with no order criteria needs no sort — dense
     // per-group counters in one pass; "this operator comes for free".
@@ -722,8 +864,8 @@ fn eval_rownum(t: &Table, new: Col, order: &[exrquy_algebra::SortKey], part: Opt
     // avoids per-comparison Item boxing — `%` is the hot operator whose
     // cost the whole paper is about, keep its constant factors honest.
     enum Key {
-        Int(std::rc::Rc<Column>, bool),
-        Item(std::rc::Rc<Column>, bool),
+        Int(Arc<Column>, bool),
+        Item(Arc<Column>, bool),
     }
     impl Key {
         fn cmp_rows(&self, a: usize, b: usize) -> std::cmp::Ordering {
@@ -753,7 +895,7 @@ fn eval_rownum(t: &Table, new: Col, order: &[exrquy_algebra::SortKey], part: Opt
             self.cmp_rows(a, b) == std::cmp::Ordering::Equal
         }
     }
-    fn key_for(col: std::rc::Rc<Column>, desc: bool) -> Key {
+    fn key_for(col: Arc<Column>, desc: bool) -> Key {
         match &*col {
             Column::Int(_) => Key::Int(col, desc),
             Column::Item(_) => Key::Item(col, desc),
@@ -766,8 +908,7 @@ fn eval_rownum(t: &Table, new: Col, order: &[exrquy_algebra::SortKey], part: Opt
     for k in order {
         keys.push(key_for(t.col(k.col).clone(), k.desc));
     }
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
+    let cmp = |a: usize, b: usize| {
         for k in &keys {
             let c = k.cmp_rows(a, b);
             if c != std::cmp::Ordering::Equal {
@@ -775,7 +916,8 @@ fn eval_rownum(t: &Table, new: Col, order: &[exrquy_algebra::SortKey], part: Opt
             }
         }
         std::cmp::Ordering::Equal
-    });
+    };
+    let idx = stable_sorted_indices(n, threads, &cmp);
     // Dense 1,2,3,… numbering per partition, written back to row order.
     let has_part = part.is_some();
     let mut nums = vec![0i64; n];
@@ -790,6 +932,54 @@ fn eval_rownum(t: &Table, new: Col, order: &[exrquy_algebra::SortKey], part: Opt
         nums[row] = rank;
     }
     t.with_column(new, Column::Int(nums))
+}
+
+/// Index sort reproducing the serial `sort_by` (stable) bit-for-bit:
+/// morsel chunks are stable-sorted in parallel, then folded left-to-right
+/// through a left-preference merge. Equal keys keep the lower original
+/// index — exactly the stability guarantee of the serial sort — because
+/// chunks cover ascending index ranges and the merge prefers the left run
+/// on ties.
+fn stable_sorted_indices<C>(n: usize, threads: usize, cmp: &C) -> Vec<usize>
+where
+    C: Fn(usize, usize) -> std::cmp::Ordering + Sync,
+{
+    let eff = kernel_threads(n, threads);
+    if eff <= 1 {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| cmp(a, b));
+        return idx;
+    }
+    let chunks = run_morsels(n, eff, move |range| {
+        let mut idx: Vec<usize> = range.collect();
+        idx.sort_by(|&a, &b| cmp(a, b));
+        Ok(idx)
+    })
+    .expect("infallible index sort");
+    chunks
+        .into_iter()
+        .reduce(|a, b| stable_merge(&a, &b, cmp))
+        .unwrap_or_default()
+}
+
+fn stable_merge<C>(a: &[usize], b: &[usize], cmp: &C) -> Vec<usize>
+where
+    C: Fn(usize, usize) -> std::cmp::Ordering,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(a[i], b[j]) != std::cmp::Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 fn eval_distinct(t: &Table) -> Table {

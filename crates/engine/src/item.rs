@@ -10,7 +10,7 @@
 use exrquy_xml::NodeId;
 use std::cmp::Ordering;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One item value.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,14 +18,14 @@ pub enum Item {
     Node(NodeId),
     Int(i64),
     Dbl(f64),
-    Str(Rc<str>),
+    Str(Arc<str>),
     Bool(bool),
 }
 
 impl Item {
     /// Build a string item.
     pub fn str(s: &str) -> Item {
-        Item::Str(Rc::from(s))
+        Item::Str(Arc::from(s))
     }
 
     /// Is this a node reference?
@@ -123,7 +123,7 @@ impl Item {
 pub enum GroupKey {
     Node(NodeId),
     Num(u64),
-    Str(Rc<str>),
+    Str(Arc<str>),
     Bool(bool),
 }
 

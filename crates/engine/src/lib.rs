@@ -4,7 +4,7 @@
 //! Design goals mirror what makes the paper's cost model tick:
 //!
 //! * the narrow `iter|pos|item` tables are stored column-wise
-//!   ([`Column`]), with `Rc`-shared columns so projection/rename is free
+//!   ([`Column`]), with `Arc`-shared columns so projection/rename is free
 //!   (MonetDB "operates on table descriptors rather than individual rows");
 //! * `#` ([`exrquy_algebra::Op::RowId`]) materializes a dense integer
 //!   column in one `memcpy`-class pass — "negligible cost or even free";
@@ -23,6 +23,7 @@ pub mod column;
 pub mod eval;
 pub mod funs;
 pub mod item;
+mod par;
 pub mod profile;
 pub mod table;
 

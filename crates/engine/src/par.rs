@@ -1,0 +1,475 @@
+//! Work-stealing intra-query scheduler.
+//!
+//! [`eval_parallel`] evaluates independent pure subplans of the shared
+//! DAG concurrently and pins every node-constructing ("writer") operator
+//! to the main thread, in exactly the serial topological sequence — the
+//! single-writer rule. Fragment ids and interned name ids are handed out
+//! in the same order as a serial run, so the two paths produce
+//! bit-identical tables (the differential suites assert this).
+//!
+//! Shape of the loop: alternate
+//!
+//! 1. a **parallel region** draining every ready pure operator through
+//!    per-worker deques with work stealing (a finished operator releases
+//!    its parents; newly ready pure parents go onto the finishing
+//!    worker's own deque), and
+//! 2. a **writer phase** executing ready writers on the main thread with
+//!    `&mut FragArena`.
+//!
+//! Termination: after a region drains, the topologically earliest
+//! unfinished operator has all children finished; the region would have
+//! consumed it if it were pure, so it is the next writer in sequence (or
+//! the root is done). The loop therefore always progresses.
+//!
+//! Budget charging, cancellation polls, and failpoint polls go through
+//! the shared atomic [`BudgetMeter`] — those are the yield points.
+//! Failpoint trip *placement* is racy under parallel completion order
+//! (the counters are global), but the error paths taken are the same.
+
+use crate::eval::{
+    eval_attr, eval_element, eval_pure, eval_textnode, poll_failpoints, Engine, EngineOptions,
+    EvalError,
+};
+use crate::profile::Profile;
+use crate::table::Table;
+use exrquy_algebra::{Dag, Op, OpId};
+use exrquy_diag::BudgetMeter;
+use exrquy_xml::FragArena;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// Everything a worker touches must cross the scope boundary.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_sync::<FragArena>();
+    assert_sync::<EngineOptions>();
+    assert_sync::<BudgetMeter>();
+    assert_send::<EvalError>();
+    assert_send::<Profile>();
+};
+
+/// Shared scheduler state, borrowed by every worker of a region.
+struct Cx<'a> {
+    dag: &'a Dag,
+    arena: &'a FragArena,
+    opts: &'a EngineOptions,
+    meter: &'a BudgetMeter,
+    /// One result slot per DAG operator, indexed by `OpId.0`.
+    results: &'a [OnceLock<Arc<Table>>],
+    /// Outstanding-children count per operator (with multiplicity: an
+    /// operator using one child twice waits for it twice).
+    waiting: &'a [AtomicUsize],
+    /// Reverse edges, with multiplicity, restricted to the live plan.
+    parents: &'a [Vec<u32>],
+    is_writer: &'a [bool],
+    threads: usize,
+}
+
+impl Cx<'_> {
+    fn result(&self, id: OpId) -> Arc<Table> {
+        self.results[id.0 as usize]
+            .get()
+            .expect("child evaluated before parent (topological invariant)")
+            .clone()
+    }
+
+    /// Evaluate one pure operator, publish its table, and return the
+    /// parents it made ready (pure parents only — writers are picked up
+    /// by the main loop's sequence pointer).
+    fn step(&self, id: OpId, prof: &mut Profile) -> Result<Vec<OpId>, EvalError> {
+        self.meter.poll()?;
+        poll_failpoints(&self.opts.failpoints, self.dag, id, self.meter.ops_seen())?;
+        let started = Instant::now();
+        let table = eval_pure(
+            self.dag,
+            id,
+            &|i| self.result(i),
+            self.arena,
+            self.opts,
+            self.meter,
+        )?;
+        prof.record(self.dag, id, started.elapsed());
+        self.meter.charge_rows(table.nrows())?;
+        let _ = self.results[id.0 as usize].set(Arc::new(table));
+        self.meter.record_op();
+        Ok(self.release_parents(id))
+    }
+
+    /// Decrement each parent's outstanding count; a parent hitting zero
+    /// is ready. Pure ready parents are returned; ready writers surface
+    /// through the main loop's `waiting` check instead.
+    fn release_parents(&self, id: OpId) -> Vec<OpId> {
+        let mut ready = Vec::new();
+        for &p in &self.parents[id.0 as usize] {
+            if self.waiting[p as usize].fetch_sub(1, Ordering::AcqRel) == 1
+                && !self.is_writer[p as usize]
+            {
+                ready.push(OpId(p));
+            }
+        }
+        ready
+    }
+}
+
+/// Drain `seeds` and everything they transitively make ready, in
+/// parallel. Linear stretches run inline on the calling thread; a scoped
+/// worker pool is only spun up once two or more operators are ready at
+/// the same time.
+fn run_region(cx: &Cx<'_>, mut seeds: Vec<OpId>, profile: &mut Profile) -> Result<(), EvalError> {
+    while seeds.len() == 1 {
+        let id = seeds.pop().expect("len checked");
+        seeds.extend(cx.step(id, profile)?);
+    }
+    if seeds.is_empty() {
+        return Ok(());
+    }
+    let w = cx.threads.min(seeds.len());
+    let deques: Vec<Mutex<VecDeque<OpId>>> = (0..w).map(|_| Mutex::new(VecDeque::new())).collect();
+    // `tasks` counts published-but-unfinished operators; workers spin
+    // until it reaches zero. Children are published (and counted) before
+    // their releaser is retired, so the count only hits zero when the
+    // region is truly drained.
+    let tasks = AtomicUsize::new(seeds.len());
+    for (i, id) in seeds.into_iter().enumerate() {
+        deques[i % w].lock().expect("deque lock").push_back(id);
+    }
+    let abort = AtomicBool::new(false);
+    let first_err: Mutex<Option<EvalError>> = Mutex::new(None);
+    let worker_profiles: Vec<Profile> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..w)
+            .map(|wi| {
+                let (deques, tasks, abort, first_err) = (&deques, &tasks, &abort, &first_err);
+                s.spawn(move || {
+                    let mut prof = Profile::default();
+                    worker_loop(cx, wi, deques, tasks, abort, first_err, &mut prof);
+                    prof
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("region worker panicked"))
+            .collect()
+    });
+    for p in &worker_profiles {
+        profile.merge(p);
+    }
+    if let Some(e) = first_err.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    Ok(())
+}
+
+fn worker_loop(
+    cx: &Cx<'_>,
+    wi: usize,
+    deques: &[Mutex<VecDeque<OpId>>],
+    tasks: &AtomicUsize,
+    abort: &AtomicBool,
+    first_err: &Mutex<Option<EvalError>>,
+    prof: &mut Profile,
+) {
+    let w = deques.len();
+    loop {
+        if abort.load(Ordering::Acquire) || tasks.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        // Own deque first (LIFO: cache-warm, depth-first); steal FIFO
+        // from the others otherwise (oldest task: likely a big subtree).
+        let mut next = deques[wi].lock().expect("deque lock").pop_back();
+        if next.is_none() {
+            for k in 1..w {
+                let victim = (wi + k) % w;
+                next = deques[victim].lock().expect("deque lock").pop_front();
+                if next.is_some() {
+                    break;
+                }
+            }
+        }
+        let Some(id) = next else {
+            std::thread::yield_now();
+            continue;
+        };
+        match cx.step(id, prof) {
+            Ok(ready) => {
+                if !ready.is_empty() {
+                    tasks.fetch_add(ready.len(), Ordering::Release);
+                    let mut dq = deques[wi].lock().expect("deque lock");
+                    dq.extend(ready);
+                }
+            }
+            Err(e) => {
+                let mut slot = first_err.lock().expect("error lock");
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                abort.store(true, Ordering::Release);
+                return;
+            }
+        }
+        tasks.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Evaluate one writer operator on the main thread.
+fn eval_writer(
+    engine: &mut Engine<'_, '_>,
+    id: OpId,
+    results: &[OnceLock<Arc<Table>>],
+) -> Result<Table, EvalError> {
+    let get = |i: OpId| -> Arc<Table> {
+        results[i.0 as usize]
+            .get()
+            .expect("writer input evaluated")
+            .clone()
+    };
+    match engine.dag.op(id).clone() {
+        Op::Element { names, content } => {
+            let (nt, ct) = (get(names), get(content));
+            eval_element(engine.arena, &nt, &ct)
+        }
+        Op::Attr { names, values } => {
+            let (nt, vt) = (get(names), get(values));
+            eval_attr(engine.arena, &nt, &vt)
+        }
+        Op::TextNode { content } => {
+            let ct = get(content);
+            eval_textnode(engine.arena, &ct)
+        }
+        other => unreachable!("`{}` is not a writer operator", other.kind_name()),
+    }
+}
+
+fn is_writer_op(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Element { .. } | Op::Attr { .. } | Op::TextNode { .. }
+    )
+}
+
+/// Parallel evaluation of the plan rooted at `root` (entered from
+/// [`Engine::eval`] when `threads > 1`).
+pub(crate) fn eval_parallel(
+    engine: &mut Engine<'_, '_>,
+    root: OpId,
+) -> Result<Arc<Table>, EvalError> {
+    let dag = engine.dag;
+    let order = dag.topo_order(root);
+    let n = dag.len();
+    let results: Vec<OnceLock<Arc<Table>>> = (0..n).map(|_| OnceLock::new()).collect();
+    // Seed from the memo cache (repeated `eval` calls on one engine).
+    for (id, t) in &engine.cache {
+        let _ = results[id.0 as usize].set(t.clone());
+    }
+    let mut waiting: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut is_writer = vec![false; n];
+    for &id in &order {
+        let i = id.0 as usize;
+        is_writer[i] = is_writer_op(dag.op(id));
+        if results[i].get().is_some() {
+            continue;
+        }
+        let mut outstanding = 0;
+        for c in dag.op(id).children() {
+            if results[c.0 as usize].get().is_some() {
+                continue;
+            }
+            outstanding += 1;
+            parents[c.0 as usize].push(id.0);
+        }
+        waiting[i] = AtomicUsize::new(outstanding);
+    }
+    let writer_seq: Vec<OpId> = order
+        .iter()
+        .copied()
+        .filter(|&id| is_writer[id.0 as usize] && results[id.0 as usize].get().is_none())
+        .collect();
+    let mut seeds: Vec<OpId> = order
+        .iter()
+        .copied()
+        .filter(|&id| {
+            results[id.0 as usize].get().is_none()
+                && !is_writer[id.0 as usize]
+                && waiting[id.0 as usize].load(Ordering::Relaxed) == 0
+        })
+        .collect();
+    let threads = engine.opts.threads;
+    let mut next_writer = 0;
+    while results[root.0 as usize].get().is_none() {
+        if !seeds.is_empty() {
+            let cx = Cx {
+                dag,
+                arena: &*engine.arena,
+                opts: &engine.opts,
+                meter: &engine.meter,
+                results: &results,
+                waiting: &waiting,
+                parents: &parents,
+                is_writer: &is_writer,
+                threads,
+            };
+            run_region(&cx, std::mem::take(&mut seeds), &mut engine.profile)?;
+        }
+        let mut progressed = false;
+        while next_writer < writer_seq.len() {
+            let id = writer_seq[next_writer];
+            if waiting[id.0 as usize].load(Ordering::Acquire) != 0 {
+                break;
+            }
+            next_writer += 1;
+            progressed = true;
+            engine.meter.poll()?;
+            engine.poll_failpoints(id)?;
+            let started = Instant::now();
+            let table = eval_writer(engine, id, &results)?;
+            engine.profile.record(dag, id, started.elapsed());
+            let nrows = table.nrows();
+            let _ = results[id.0 as usize].set(Arc::new(table));
+            engine.charge_op_output(nrows)?;
+            engine.meter.record_op();
+            for &p in &parents[id.0 as usize] {
+                if waiting[p as usize].fetch_sub(1, Ordering::AcqRel) == 1 && !is_writer[p as usize]
+                {
+                    seeds.push(OpId(p));
+                }
+            }
+        }
+        if results[root.0 as usize].get().is_some() {
+            break;
+        }
+        if seeds.is_empty() && !progressed {
+            unreachable!("scheduler stalled: no ready operator but the root is incomplete");
+        }
+    }
+    // Fill the memo cache so later `eval` calls (e.g. a second root over
+    // the same engine) reuse this run's results.
+    for &id in &order {
+        if let Some(t) = results[id.0 as usize].get() {
+            engine.cache.entry(id).or_insert_with(|| t.clone());
+        }
+    }
+    Ok(results[root.0 as usize]
+        .get()
+        .expect("root evaluated")
+        .clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EngineOptions;
+    use crate::item::Item;
+    use exrquy_algebra::{AValue, Col};
+    use exrquy_xml::Catalog;
+
+    fn opts(threads: usize) -> EngineOptions {
+        EngineOptions {
+            threads,
+            ..EngineOptions::default()
+        }
+    }
+
+    fn lit(dag: &mut Dag, cols: Vec<Col>, rows: Vec<Vec<i64>>) -> OpId {
+        dag.add(Op::Lit {
+            cols,
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(AValue::Int).collect())
+                .collect(),
+        })
+    }
+
+    /// A diamond of pure operators: two independent branches over one
+    /// shared literal, joined by a union.
+    fn diamond(dag: &mut Dag) -> OpId {
+        let rows: Vec<Vec<i64>> = (0..10_000).map(|i| vec![i % 7, i]).collect();
+        let base = lit(dag, vec![Col::ITER, Col::ITEM], rows);
+        let a = dag.add(Op::RowNum {
+            input: base,
+            new: Col::POS,
+            order: vec![exrquy_algebra::SortKey::asc(Col::ITEM)],
+            part: Some(Col::ITER),
+        });
+        let b = dag.add(Op::RowId {
+            input: base,
+            new: Col::POS,
+        });
+        dag.add(Op::Union { l: a, r: b })
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_diamond() {
+        let mut dag = Dag::new();
+        let root = diamond(&mut dag);
+        let run = |threads: usize| -> Table {
+            let mut arena = FragArena::new(Arc::new(Catalog::new()));
+            let mut e = Engine::new(&dag, &mut arena, opts(threads));
+            (*e.eval(root).unwrap()).clone()
+        };
+        let serial = run(1);
+        let par = run(4);
+        assert_eq!(serial.schema(), par.schema());
+        assert_eq!(serial.nrows(), par.nrows());
+        for (name, col) in serial.columns() {
+            assert_eq!(col.as_ref(), par.col(*name).as_ref(), "column {name}");
+        }
+    }
+
+    #[test]
+    fn parallel_construction_matches_serial() {
+        let mut dag = Dag::new();
+        let names = dag.add(Op::Lit {
+            cols: vec![Col::ITER, Col::ITEM],
+            rows: vec![
+                vec![AValue::Int(1), AValue::str("a")],
+                vec![AValue::Int(2), AValue::str("b")],
+            ],
+        });
+        let content = dag.add(Op::Lit {
+            cols: vec![Col::ITER, Col::POS, Col::ITEM],
+            rows: vec![
+                vec![AValue::Int(1), AValue::Int(1), AValue::Int(10)],
+                vec![AValue::Int(2), AValue::Int(1), AValue::Int(20)],
+            ],
+        });
+        let elem = dag.add(Op::Element { names, content });
+        let render = |threads: usize| -> Vec<String> {
+            let mut arena = FragArena::new(Arc::new(Catalog::new()));
+            let mut e = Engine::new(&dag, &mut arena, opts(threads));
+            let t = e.eval(elem).unwrap();
+            (0..t.nrows())
+                .map(|r| {
+                    let Item::Node(node) = t.item(Col::ITEM, r) else {
+                        panic!("expected node")
+                    };
+                    exrquy_xml::serialize::node_to_string(e.arena, node)
+                })
+                .collect()
+        };
+        assert_eq!(render(1), render(4));
+        assert_eq!(render(4), vec!["<a>10</a>".to_string(), "<b>20</b>".into()]);
+    }
+
+    #[test]
+    fn parallel_reports_evaluation_errors() {
+        let mut dag = Dag::new();
+        // Select on a non-boolean column fails identically on both paths.
+        let base = lit(&mut dag, vec![Col::ITER, Col::ITEM], vec![vec![1, 5]]);
+        let bad = dag.add(Op::Select {
+            input: base,
+            col: Col::ITEM,
+        });
+        let ok = dag.add(Op::Distinct { input: base });
+        let root = dag.add(Op::Union { l: bad, r: ok });
+        let err_of = |threads: usize| {
+            let mut arena = FragArena::new(Arc::new(Catalog::new()));
+            let mut e = Engine::new(&dag, &mut arena, opts(threads));
+            e.eval(root).unwrap_err()
+        };
+        assert_eq!(err_of(1).code, err_of(4).code);
+    }
+}

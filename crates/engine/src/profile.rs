@@ -40,6 +40,19 @@ impl Profile {
         self.total += d;
     }
 
+    /// Fold another profile into this one (parallel workers each record
+    /// into a private profile; the scheduler merges them when the region
+    /// joins).
+    pub fn merge(&mut self, other: &Profile) {
+        for (kind, d) in &other.per_kind {
+            *self.per_kind.entry(kind).or_insert(Duration::ZERO) += *d;
+        }
+        for (op, d) in &other.per_op {
+            *self.per_op.entry(*op).or_insert(Duration::ZERO) += *d;
+        }
+        self.total += other.total;
+    }
+
     /// Total recorded time.
     pub fn total(&self) -> Duration {
         self.total

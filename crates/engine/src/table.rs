@@ -1,9 +1,18 @@
-//! Tables: named, `Rc`-shared columns of equal length.
+//! Tables: named, `Arc`-shared columns of equal length.
 
 use crate::column::{ColRef, Column};
 use crate::item::Item;
 use exrquy_algebra::Col;
-use std::rc::Rc;
+use std::sync::Arc;
+
+// Intra-query parallelism ships tables between worker threads; keep the
+// whole value layer `Send + Sync` by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Item>();
+    assert_send_sync::<Column>();
+    assert_send_sync::<Table>();
+};
 
 /// One materialized intermediate result.
 #[derive(Debug, Clone)]
@@ -20,7 +29,7 @@ impl Table {
             assert_eq!(c.len(), nrows, "column `{name}` length mismatch");
         }
         Table {
-            cols: cols.into_iter().map(|(n, c)| (n, Rc::new(c))).collect(),
+            cols: cols.into_iter().map(|(n, c)| (n, Arc::new(c))).collect(),
             nrows,
         }
     }
@@ -78,7 +87,7 @@ impl Table {
             cols: self
                 .cols
                 .iter()
-                .map(|(n, c)| (*n, Rc::new(c.gather(idx))))
+                .map(|(n, c)| (*n, Arc::new(c.gather(idx))))
                 .collect(),
             nrows: idx.len(),
         }
@@ -88,7 +97,7 @@ impl Table {
     pub fn with_column(&self, name: Col, col: Column) -> Table {
         assert_eq!(col.len(), self.nrows);
         let mut cols = self.cols.clone();
-        cols.push((name, Rc::new(col)));
+        cols.push((name, Arc::new(col)));
         Table {
             cols,
             nrows: self.nrows,

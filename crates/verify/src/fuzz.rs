@@ -573,6 +573,14 @@ impl Gen<'_> {
     /// single-item expressions into constructors. (The fuzzer found this
     /// family on its first long run; see the regression cases.)
     fn element(&mut self, depth: usize) -> Expr {
+        // `text { … }` freezes its content exactly like element content
+        // does; a singleton keeps the value deterministic in either
+        // profile (multi-item content would be space-joined in an
+        // implementation-dependent order under `unordered`).
+        if self.rng.gen_bool(0.2) {
+            let content = self.singleton_expr(depth + 1);
+            return Expr::TextConstructor(Box::new(content));
+        }
         let content = if self.profile == FuzzProfile::Unordered {
             self.singleton_expr(depth + 1)
         } else {
@@ -716,10 +724,16 @@ impl Gen<'_> {
                 }
             }
             _ => {
-                // Union of two paths (doc-order establishing).
+                // Set operation over two paths (doc-order establishing;
+                // intersect/except exercise the node-set pruning rewrites).
                 let l = self.path(depth + 1);
                 let r = self.path(depth + 1);
-                Expr::binary(BinOp::Union, l, r)
+                let op = match self.rng.gen_range(0..4u32) {
+                    0 | 1 => BinOp::Union,
+                    2 => BinOp::Intersect,
+                    _ => BinOp::Except,
+                };
+                Expr::binary(op, l, r)
             }
         }
     }

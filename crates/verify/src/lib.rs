@@ -20,6 +20,11 @@
 //!   `Arc<Catalog>`, same plan cache) and every result must be bag-equal
 //!   to a serial reference pass, with the catalog untouched and the plan
 //!   cache showing cross-thread hits.
+//! * [`parallel`] — the serial/parallel determinism differential: every
+//!   query run with `threads = N` must serialize *byte-identically* to
+//!   the serial run (exact sequence equality, deliberately stricter than
+//!   the bag equivalence the unordered mode would grant), over both the
+//!   XMark queries and a fuzz-generated corpus.
 //! * [`fuzz`] — the self-minimizing differential fuzzer (CLI:
 //!   `fuzz-verify`): a grammar-driven generator draws random documents
 //!   and queries per seeded cell and pushes each through the oracle,
@@ -42,6 +47,7 @@ pub mod attribute;
 pub mod concurrency;
 pub mod fuzz;
 pub mod harness;
+pub mod parallel;
 pub mod shrink;
 pub mod suite;
 
@@ -52,5 +58,6 @@ pub use harness::{
     coverage_corpus, default_cases, failpoint_coverage, run_fault_matrix, CoverageReport,
     FaultCase, FaultOutcome, FaultReport, KindExemplar,
 };
+pub use parallel::{run_parallel_differential, ParallelConfig, ParallelReport};
 pub use shrink::{shrink, weight, ShrinkOutcome};
 pub use suite::{run_xmark_suite, QueryOutcome, SuiteConfig, SuiteReport};

@@ -6,7 +6,11 @@
 //! its private fragment overlay — so concurrent runs are bag-equal to a
 //! serial run and the catalog is byte-identical afterwards.
 
+use exrquy::diag::{ErrorCode, Failpoints};
+use exrquy::frontend::pretty;
 use exrquy::{Prepared, QueryOptions, ResultItem, Session};
+use exrquy_verify::fuzz::{cell_rng, FUZZ_DOC_URL};
+use exrquy_verify::{gen_doc, gen_query, FuzzProfile};
 use std::sync::Arc;
 
 const THREADS: usize = 8;
@@ -138,4 +142,63 @@ fn concurrent_prepare_hits_shared_cache() {
         "expected >= {THREADS} cache hits, got {}",
         stats.hits
     );
+}
+
+/// Fuzz-generated queries executed with 4 worker threads under armed
+/// budget-trip and cancel-after failpoints must degrade gracefully: a
+/// typed budget (EXRQ0001) or cancellation (EXRQ0002) error — or clean
+/// success when the failpoint is never reached — with no panic, no
+/// poisoned scheduler state, no constructed-node leak into the shared
+/// catalog, and a session that keeps answering afterwards.
+#[test]
+fn parallel_execution_degrades_gracefully_under_failpoints() {
+    let specs = [
+        "budget-trip:step",
+        "budget-trip:rownum",
+        "cancel-after:0",
+        "cancel-after:3",
+        "cancel-after:7",
+    ];
+    for i in 0..8 {
+        for profile in [FuzzProfile::Ordered, FuzzProfile::Unordered] {
+            let mut rng = cell_rng(2024, i, profile);
+            let doc = gen_doc(&mut rng);
+            let query = pretty(&gen_query(&mut rng, profile));
+            let mut s = Session::new();
+            s.load_document(FUZZ_DOC_URL, &doc).unwrap();
+            let parallel = profile.options().with_threads(4);
+            // A query that errors without failpoints exercises an engine
+            // limit; its injected runs could surface that error instead
+            // of the fault's, so only clean cells assert the code.
+            let Ok(clean) = s.query_with(&query, &parallel) else {
+                continue;
+            };
+            let nodes_before = s.catalog().total_nodes();
+            for spec in specs {
+                let opts = parallel
+                    .clone()
+                    .with_failpoints(Failpoints::parse(spec).unwrap());
+                match s.query_with(&query, &opts) {
+                    Ok(_) => {} // the plan never hits the failpoint
+                    Err(e) => assert!(
+                        matches!(e.code(), ErrorCode::EXRQ0001 | ErrorCode::EXRQ0002),
+                        "iter {i} [{profile}] `{spec}`: expected a typed \
+                         budget/cancel error, got {}\nquery: {query}",
+                        e.render_line()
+                    ),
+                }
+            }
+            assert_eq!(
+                s.catalog().total_nodes(),
+                nodes_before,
+                "aborted parallel runs must not leak nodes into the catalog"
+            );
+            // The session is not poisoned: the same query still answers
+            // identically after every injected abort.
+            let after = s.query_with(&query, &parallel).unwrap();
+            let render =
+                |items: &[ResultItem]| items.iter().map(ResultItem::render).collect::<Vec<_>>();
+            assert_eq!(render(&clean.items), render(&after.items));
+        }
+    }
 }

@@ -1,0 +1,53 @@
+//! Tier-1 serial/parallel determinism: intra-query parallel execution
+//! must be invisible in the output.
+//!
+//! Every query run with worker threads must serialize *byte-identically*
+//! to the serial run — exact sequence equality of rendered items,
+//! deliberately stricter than the bag equivalence the unordered mode
+//! would grant — because morsel kernels concatenate partial results in
+//! morsel order and node construction executes in the exact serial
+//! topological sequence on the owning thread.
+
+use exrquy::{QueryOptions, ResultItem, Session};
+use exrquy_verify::{run_parallel_differential, ParallelConfig};
+
+/// The full default corpus: all 20 XMark queries at 2 and 4 worker
+/// threads, plus 25 fuzz-generated cells per profile.
+#[test]
+fn xmark_and_fuzz_corpora_serialize_identically_across_thread_counts() {
+    let report = run_parallel_differential(&ParallelConfig::default());
+    assert!(report.passed(), "{report}");
+    assert!(report.cells > 0);
+}
+
+/// Node construction inside a parallel run: fragment ids and interned
+/// names are assigned on the owning thread in serial topological order,
+/// so even freshly built elements render byte-identically.
+#[test]
+fn constructed_nodes_render_identically() {
+    let mut s = Session::new();
+    s.load_document(
+        "d.xml",
+        "<site><a n='1'><b>x</b><b>y</b></a><a n='2'><b>z</b></a></site>",
+    )
+    .unwrap();
+    let query = "for $a in doc(\"d.xml\")//a \
+                 return <hit n=\"{fn:string($a/@n)}\">{$a/b}</hit>";
+    let render = |out: &[ResultItem]| out.iter().map(ResultItem::render).collect::<Vec<_>>();
+    let serial = s
+        .query_with(query, &QueryOptions::order_indifferent().with_threads(1))
+        .unwrap();
+    for threads in [2, 4, 8] {
+        let par = s
+            .query_with(
+                query,
+                &QueryOptions::order_indifferent().with_threads(threads),
+            )
+            .unwrap();
+        assert_eq!(
+            render(&serial.items),
+            render(&par.items),
+            "threads={threads} diverged from serial"
+        );
+    }
+}

@@ -185,6 +185,70 @@ fn armed_failpoints_bypass_the_cache() {
 }
 
 #[test]
+fn thread_count_misses() {
+    let s = session();
+    let a = s
+        .prepare(QUERY, &QueryOptions::order_indifferent())
+        .unwrap();
+    let b = s
+        .prepare(QUERY, &QueryOptions::order_indifferent().with_threads(4))
+        .unwrap();
+    assert!(
+        !Arc::ptr_eq(&a, &b),
+        "thread count is part of the plan fingerprint"
+    );
+    assert!(Arc::ptr_eq(
+        &b,
+        &s.prepare(QUERY, &QueryOptions::order_indifferent().with_threads(4))
+            .unwrap()
+    ));
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 2));
+}
+
+#[test]
+fn lru_eviction_drops_the_least_recently_used_plan() {
+    let mut s = session();
+    s.set_plan_cache_capacity(2);
+    let opts = QueryOptions::order_indifferent();
+    let queries = [
+        "fn:count(doc(\"d.xml\")//a)",
+        "fn:exists(doc(\"d.xml\")//a)",
+        "fn:empty(doc(\"d.xml\")//a)",
+    ];
+    let q0 = s.prepare(queries[0], &opts).unwrap();
+    let _q1 = s.prepare(queries[1], &opts).unwrap();
+    // Refresh q0 so q1 is now the least recently used entry…
+    assert!(Arc::ptr_eq(&q0, &s.prepare(queries[0], &opts).unwrap()));
+    // …then overflow the capacity of 2: q1 must be the eviction victim.
+    let _q2 = s.prepare(queries[2], &opts).unwrap();
+    assert_eq!(s.cache_stats().evictions, 1);
+    assert!(
+        Arc::ptr_eq(&q0, &s.prepare(queries[0], &opts).unwrap()),
+        "the recently used plan must survive the eviction"
+    );
+    // q1 was evicted, so re-preparing it recompiles (a miss)…
+    let before = s.cache_stats().misses;
+    let _q1_again = s.prepare(queries[1], &opts).unwrap();
+    assert_eq!(s.cache_stats().misses, before + 1);
+    // …which in turn evicts the next victim to stay within capacity.
+    assert_eq!(s.cache_stats().evictions, 2);
+}
+
+#[test]
+fn evicted_plans_remain_executable() {
+    let mut s = session();
+    s.set_plan_cache_capacity(1);
+    let opts = QueryOptions::order_indifferent();
+    let plan = s.prepare(QUERY, &opts).unwrap();
+    // Force the eviction of `plan` while we still hold its Arc.
+    let _other = s.prepare("fn:count(doc(\"d.xml\")//a)", &opts).unwrap();
+    assert_eq!(s.cache_stats().evictions, 1);
+    let out = s.execute(&plan).unwrap();
+    assert_eq!(out.items.len(), 2);
+}
+
+#[test]
 fn cached_plans_still_execute_correctly() {
     let s = session();
     let opts = QueryOptions::order_indifferent();
