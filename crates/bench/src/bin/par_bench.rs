@@ -12,11 +12,25 @@
 //! host the scheduler has no parallelism to exploit and speedups near
 //! 1.0 (or slightly below, from scheduling overhead) are the honest
 //! expectation; the numbers are only meaningful relative to that field.
+//!
+//! Each parallel cell also records the scheduler's own counters
+//! (parallel regions, ops run on workers vs inline, steals, ready-queue
+//! peak) so a flat speedup is attributable: no regions means the plan
+//! had no parallelism to mine, many steals with no speedup means the
+//! work units were too small.
 
+use exrquy::engine::SchedStats;
 use exrquy::{QueryOptions, ResultItem, Session};
+use exrquy_bench::report::{num, write};
 use exrquy_bench::{best_of, fmt_bytes, xmark_session, Cli};
 use exrquy_xmark::{query, query_name};
-use std::fmt::Write as _;
+use exrquy_xqd::json::{obj, Value};
+
+struct Cell {
+    threads: usize,
+    wall_ms: f64,
+    sched: SchedStats,
+}
 
 fn main() {
     let cli = Cli::new();
@@ -42,14 +56,15 @@ fn main() {
         session.store_nodes()
     );
 
-    let mut rows: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+    let mut rows: Vec<(String, Vec<Cell>)> = Vec::new();
     let mut identical = true;
     for &n in &queries {
         let q = query(n);
-        let reference = rendered(&mut session, q, 1);
-        let mut times: Vec<(usize, f64)> = Vec::new();
+        let (reference, _) = rendered(&mut session, q, 1);
+        let mut cells: Vec<Cell> = Vec::new();
         for &t in &threads {
-            if t != 1 && rendered(&mut session, q, t) != reference {
+            let (output, sched) = rendered(&mut session, q, t);
+            if t != 1 && output != reference {
                 identical = false;
                 eprintln!(
                     "  {}: threads={t} output DIVERGED from serial",
@@ -59,19 +74,31 @@ fn main() {
             let opts = QueryOptions::order_indifferent().with_threads(t);
             let best = best_of(&mut session, q, &opts, runs)
                 .unwrap_or_else(|e| panic!("{} at threads={t} failed: {e}", query_name(n)));
-            times.push((t, best.as_secs_f64() * 1e3));
+            cells.push(Cell {
+                threads: t,
+                wall_ms: best.as_secs_f64() * 1e3,
+                sched,
+            });
         }
-        let serial = times.iter().find(|(t, _)| *t == 1).unwrap().1;
-        let line: Vec<String> = times
+        let serial = cells.iter().find(|c| c.threads == 1).unwrap().wall_ms;
+        let line: Vec<String> = cells
             .iter()
-            .map(|(t, ms)| format!("t{t} {ms:.2} ms (x{:.2})", serial / ms.max(1e-9)))
+            .map(|c| {
+                format!(
+                    "t{} {:.2} ms (x{:.2}, {} steals)",
+                    c.threads,
+                    c.wall_ms,
+                    serial / c.wall_ms.max(1e-9),
+                    c.sched.steals
+                )
+            })
             .collect();
         eprintln!("  {:>4}: {}", query_name(n), line.join(", "));
-        rows.push((query_name(n), times));
+        rows.push((query_name(n), cells));
     }
 
-    let json = render_json(scale, bytes, host_cores, runs, identical, &rows);
-    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    let report = render_report(scale, bytes, host_cores, runs, identical, &rows);
+    write(&out_path, &report);
     eprintln!(
         "wrote {out_path} ({} queries, serializations {})",
         rows.len(),
@@ -80,51 +107,66 @@ fn main() {
     assert!(identical, "parallel output diverged from serial");
 }
 
-/// The byte-identity witness: the full rendered output, order preserved.
-fn rendered(session: &mut Session, q: &str, threads: usize) -> Vec<String> {
+/// The byte-identity witness (full rendered output, order preserved)
+/// plus the scheduler counters of that run.
+fn rendered(session: &mut Session, q: &str, threads: usize) -> (Vec<String>, SchedStats) {
     let opts = QueryOptions::order_indifferent().with_threads(threads);
     let out = session.query_with(q, &opts).expect("query failed");
-    out.items.iter().map(ResultItem::render).collect()
+    let items = out.items.iter().map(ResultItem::render).collect();
+    (items, out.profile.sched)
 }
 
-fn render_json(
+fn sched_json(s: &SchedStats) -> Value {
+    obj(vec![
+        ("regions", Value::Int(s.regions as i64)),
+        ("par_ops", Value::Int(s.par_ops as i64)),
+        ("inline_ops", Value::Int(s.inline_ops as i64)),
+        ("steals", Value::Int(s.steals as i64)),
+        ("queue_peak", Value::Int(s.queue_peak as i64)),
+    ])
+}
+
+fn render_report(
     scale: f64,
     bytes: usize,
     host_cores: usize,
     runs: usize,
     identical: bool,
-    rows: &[(String, Vec<(usize, f64)>)],
-) -> String {
-    let mut j = String::new();
-    let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"bench\": \"intra-query-parallelism\",");
-    let _ = writeln!(j, "  \"scale\": {scale},");
-    let _ = writeln!(j, "  \"doc_bytes\": {bytes},");
-    let _ = writeln!(j, "  \"host_cores\": {host_cores},");
-    let _ = writeln!(j, "  \"runs_per_cell\": {runs},");
-    let _ = writeln!(j, "  \"identical_serializations\": {identical},");
-    let _ = writeln!(j, "  \"queries\": [");
-    for (i, (name, times)) in rows.iter().enumerate() {
-        let serial = times.iter().find(|(t, _)| *t == 1).unwrap().1;
-        let cells: Vec<String> = times
-            .iter()
-            .map(|(t, ms)| {
-                format!(
-                    "\"t{t}\": {{\"wall_ms\": {ms:.4}, \"speedup\": {:.4}}}",
-                    serial / ms.max(1e-9)
-                )
-            })
-            .collect();
-        let _ = writeln!(
-            j,
-            "    {{\"query\": \"{name}\", {}}}{}",
-            cells.join(", "),
-            if i + 1 < rows.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(j, "  ]");
-    let _ = writeln!(j, "}}");
-    j
+    rows: &[(String, Vec<Cell>)],
+) -> Value {
+    let queries: Vec<Value> = rows
+        .iter()
+        .map(|(name, cells)| {
+            let serial = cells.iter().find(|c| c.threads == 1).unwrap().wall_ms;
+            let mut pairs = vec![("query", Value::Str(name.clone()))];
+            let cell_values: Vec<(String, Value)> = cells
+                .iter()
+                .map(|c| {
+                    (
+                        format!("t{}", c.threads),
+                        obj(vec![
+                            ("wall_ms", num(c.wall_ms)),
+                            ("speedup", num(serial / c.wall_ms.max(1e-9))),
+                            ("sched", sched_json(&c.sched)),
+                        ]),
+                    )
+                })
+                .collect();
+            for (k, v) in &cell_values {
+                pairs.push((k.as_str(), v.clone()));
+            }
+            obj(pairs)
+        })
+        .collect();
+    obj(vec![
+        ("bench", Value::Str("intra-query-parallelism".into())),
+        ("scale", num(scale)),
+        ("doc_bytes", Value::Int(bytes as i64)),
+        ("host_cores", Value::Int(host_cores as i64)),
+        ("runs_per_cell", Value::Int(runs as i64)),
+        ("identical_serializations", Value::Bool(identical)),
+        ("queries", Value::Array(queries)),
+    ])
 }
 
 fn parse_queries(spec: &str) -> Vec<usize> {

@@ -1,0 +1,219 @@
+//! Serving-layer load benchmark: hammer an `xqd` daemon with N
+//! concurrent clients and report throughput, latency percentiles, and
+//! shed/error counts to `BENCH_serve.json`.
+//!
+//! Usage:
+//! `qps-bench [--addr host:port] [--scale 0.005] [--clients 4]
+//!            [--requests 50] [--queries 1,6,13] [--deadline-ms 0]
+//!            [--workers 4] [--queue 64] [--max-inflight 2]
+//!            [--threads 0] [--out BENCH_serve.json]`
+//!
+//! Without `--addr` the daemon is spawned in-process on a loopback port
+//! with an XMark document at `--scale`, so the benchmark is
+//! self-contained (this is what CI runs). Shed responses (`EXRQ0006/7/8`)
+//! are *successes* of the overload policy and are counted separately
+//! from errors: the daemon's contract is a typed answer for every
+//! request, never a hang.
+
+use exrquy::Session;
+use exrquy_bench::report::{num, percentile, write};
+use exrquy_bench::{fmt_bytes, Cli};
+use exrquy_xmark::{generate, query, XmarkConfig};
+use exrquy_xqd::json::{obj, parse, Value};
+use exrquy_xqd::{spawn, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default, Clone)]
+struct ClientTally {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    shed_overload: u64,
+    shed_deadline: u64,
+    shed_draining: u64,
+    errors: u64,
+}
+
+fn main() {
+    let cli = Cli::new();
+    let addr_flag = cli.get("addr", String::new());
+    let scale = cli.get("scale", 0.005_f64);
+    let clients = cli.get("clients", 4_usize).max(1);
+    let requests = cli.get("requests", 50_usize).max(1);
+    let deadline_ms = cli.get("deadline-ms", 0_u64);
+    let out_path = cli.get("out", String::from("BENCH_serve.json"));
+    let query_nums: Vec<usize> = cli
+        .get("queries", String::from("1,6,13"))
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let queries: Vec<String> = query_nums.iter().map(|&n| query(n).to_string()).collect();
+    assert!(!queries.is_empty(), "--queries selected nothing");
+
+    // Spawn in-process unless pointed at a running daemon.
+    let mut spawned: Option<ServerHandle> = None;
+    let addr = if addr_flag.is_empty() {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: cli.get("workers", 4_usize),
+            queue_capacity: cli.get("queue", 64_usize),
+            max_inflight_per_client: cli.get("max-inflight", 2_usize),
+            threads: cli.get("threads", 0_usize),
+            ..ServerConfig::default()
+        };
+        let xml = generate(&XmarkConfig::at_scale(scale));
+        let bytes = xml.len();
+        let mut session = Session::new();
+        session
+            .load_document("auction.xml", &xml)
+            .expect("generated XMark document must parse");
+        eprintln!(
+            "qps-bench: in-process xqd, scale {scale} ({}), {} workers",
+            fmt_bytes(bytes),
+            cfg.workers
+        );
+        let handle = spawn(cfg, session).expect("spawn in-process daemon");
+        let addr = handle.addr().to_string();
+        spawned = Some(handle);
+        addr
+    } else {
+        eprintln!("qps-bench: targeting running daemon at {addr_flag}");
+        addr_flag
+    };
+
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let addr = addr.clone();
+            let queries = &queries;
+            handles.push(scope.spawn(move || run_client(&addr, c, requests, queries, deadline_ms)));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut all = ClientTally::default();
+    for t in &tallies {
+        all.latencies_ms.extend_from_slice(&t.latencies_ms);
+        all.ok += t.ok;
+        all.shed_overload += t.shed_overload;
+        all.shed_deadline += t.shed_deadline;
+        all.shed_draining += t.shed_draining;
+        all.errors += t.errors;
+    }
+    all.latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let total = (clients * requests) as u64;
+    let answered = all.latencies_ms.len() as u64;
+    let shed = all.shed_overload + all.shed_deadline + all.shed_draining;
+    let throughput = answered as f64 / wall.as_secs_f64().max(1e-9);
+    let (p50, p95, p99) = (
+        percentile(&all.latencies_ms, 50.0),
+        percentile(&all.latencies_ms, 95.0),
+        percentile(&all.latencies_ms, 99.0),
+    );
+
+    eprintln!(
+        "qps-bench: {answered}/{total} answered in {:.2}s — {throughput:.1} req/s, \
+         p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms, \
+         {} ok / {shed} shed / {} errors",
+        wall.as_secs_f64(),
+        all.ok,
+        all.errors
+    );
+
+    let mut pairs = vec![
+        ("bench", Value::Str("serving-qps".into())),
+        ("clients", Value::Int(clients as i64)),
+        ("requests_per_client", Value::Int(requests as i64)),
+        ("deadline_ms", Value::Int(deadline_ms as i64)),
+        ("wall_s", num(wall.as_secs_f64())),
+        ("throughput_rps", num(throughput)),
+        ("p50_ms", num(p50)),
+        ("p95_ms", num(p95)),
+        ("p99_ms", num(p99)),
+        ("answered", Value::Int(answered as i64)),
+        ("ok", Value::Int(all.ok as i64)),
+        ("shed_overload", Value::Int(all.shed_overload as i64)),
+        ("shed_deadline", Value::Int(all.shed_deadline as i64)),
+        ("shed_draining", Value::Int(all.shed_draining as i64)),
+        ("errors", Value::Int(all.errors as i64)),
+    ];
+
+    // With an in-process daemon the server-side counters come along for
+    // free and must agree with the client's view.
+    let server_stats = spawned.map(|handle| {
+        let stats = handle.shutdown();
+        obj(vec![
+            ("admitted", Value::Int(stats.admitted as i64)),
+            ("completed", Value::Int(stats.completed as i64)),
+            ("failed", Value::Int(stats.failed as i64)),
+            ("shed_overload", Value::Int(stats.shed_overload as i64)),
+            ("shed_deadline", Value::Int(stats.shed_deadline as i64)),
+            ("shed_draining", Value::Int(stats.shed_draining as i64)),
+            ("queue_peak", Value::Int(stats.queue_peak as i64)),
+            ("connections", Value::Int(stats.connections as i64)),
+        ])
+    });
+    if let Some(stats) = &server_stats {
+        pairs.push(("server", stats.clone()));
+    }
+    write(&out_path, &obj(pairs));
+    eprintln!("wrote {out_path}");
+
+    assert_eq!(
+        answered, total,
+        "every request must get a typed response — missing answers mean a hang"
+    );
+}
+
+fn run_client(
+    addr: &str,
+    client_idx: usize,
+    requests: usize,
+    queries: &[String],
+    deadline_ms: u64,
+) -> ClientTally {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut tally = ClientTally::default();
+
+    for i in 0..requests {
+        let q = &queries[i % queries.len()];
+        let mut req = vec![
+            ("id", Value::Int((client_idx * requests + i) as i64)),
+            ("op", Value::Str("query".into())),
+            ("query", Value::Str(q.clone())),
+        ];
+        if deadline_ms > 0 {
+            req.push(("deadline_ms", Value::Int(deadline_ms as i64)));
+        }
+        let line = obj(req).render();
+        let sent = Instant::now();
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+
+        let mut response = String::new();
+        let n = reader.read_line(&mut response).expect("read response");
+        assert!(n > 0, "daemon closed connection mid-benchmark");
+        tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        let v = parse(response.trim_end()).expect("daemon sent invalid json");
+        if v.get("ok") == Some(&Value::Bool(true)) {
+            tally.ok += 1;
+        } else {
+            match v.get("code").and_then(Value::as_str) {
+                Some("EXRQ0006") => tally.shed_overload += 1,
+                Some("EXRQ0007") => tally.shed_deadline += 1,
+                Some("EXRQ0008") => tally.shed_draining += 1,
+                _ => tally.errors += 1,
+            }
+        }
+    }
+    tally
+}

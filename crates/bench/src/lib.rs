@@ -14,6 +14,7 @@
 //! the optimizer passes.
 
 pub mod harness;
+pub mod report;
 
 use exrquy::{QueryOptions, Session};
 use exrquy_xmark::{generate, XmarkConfig};

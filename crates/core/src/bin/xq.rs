@@ -21,6 +21,9 @@
 //!                        results are byte-identical at any thread count)
 //!   --plan-cache <n>     plan-cache capacity in prepared plans (default 128)
 //!   --timeout <secs>     wall-clock budget for execution (fractional ok)
+//!   --deadline-ms <ms>   hard deadline covering load + compile + execute;
+//!                        exceeding it exits 3 with EXRQ0007 (the same
+//!                        code path xqd uses to shed overdue requests)
 //!   --max-rows <n>       cap rows any single operator may materialize
 //!   --max-nodes <n>      cap XML nodes constructed during evaluation
 //!   --max-depth <n>      cap query expression nesting depth
@@ -53,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: xq [--doc url=path]… [--baseline|--unordered] [--explain] \
          [--time] [--profile] [--threads <n>] [--plan-cache <n>] \
-         [--timeout <secs>] [--max-rows <n>] \
+         [--timeout <secs>] [--deadline-ms <ms>] [--max-rows <n>] \
          [--max-nodes <n>] [--max-depth <n>] [--verify] [--inject <spec>] \
          [--quiet] (<query> | --query-file <path>)"
     );
@@ -91,6 +94,7 @@ fn main() {
     let mut time = false;
     let mut profile = false;
     let mut quiet = false;
+    let mut deadline: Option<Instant> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,6 +140,10 @@ fn main() {
                     exit(EXIT_USAGE);
                 }
                 budget = budget.with_max_wall(Duration::from_secs_f64(secs));
+            }
+            "--deadline-ms" => {
+                let ms: u64 = parse_num("--deadline-ms", args.next());
+                deadline = Some(Instant::now() + Duration::from_millis(ms));
             }
             "--max-rows" => {
                 budget = budget.with_max_rows_per_op(parse_num("--max-rows", args.next()));
@@ -245,8 +253,15 @@ fn main() {
         return;
     }
 
+    // The CLI deadline rides the same RunOptions path the xqd daemon
+    // uses: pre-shed if it already passed (covering load + compile
+    // time), hard-deadline the budget meter otherwise.
+    let run = exrquy::RunOptions {
+        deadline,
+        ..Default::default()
+    };
     let started = Instant::now();
-    match session.execute(&plan) {
+    match session.execute_with(&plan, &run) {
         Ok(out) => {
             if time {
                 eprintln!(

@@ -11,7 +11,8 @@ use crate::result::ResultItem;
 use crate::session::{Error, Prepared, QueryOptions, QueryOutput};
 use exrquy_algebra::{Col, PlanStats};
 use exrquy_compiler::{CompiledPlan, Compiler};
-use exrquy_engine::{Engine, EngineOptions, Item};
+use exrquy_diag::{CancellationToken, ErrorCode, Failpoints};
+use exrquy_engine::{Engine, EngineOptions, EvalError, Item};
 use exrquy_frontend::{check_depth, normalize_opts, parse_module_with};
 use exrquy_opt::try_optimize_with;
 use exrquy_xml::{serialize, Catalog, FragArena};
@@ -20,6 +21,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 // The thread-safety contract of the pipeline, checked at compile time:
 // catalogs are shared across threads, prepared plans are executed from
@@ -142,6 +144,51 @@ fn fingerprint(query: &str, opts: &QueryOptions) -> u64 {
     h.finish()
 }
 
+/// Run-time overrides for one execution of a prepared plan.
+///
+/// Everything here is *execution* state, deliberately kept out of
+/// [`QueryOptions`] and the plan-cache fingerprint: a serving layer
+/// prepares a query once with cacheable options and then executes it many
+/// times, each run carrying its own deadline, cancellation token, and
+/// failpoint registry. This is what keeps the plan cache hot under
+/// per-request deadlines — options-borne cancel tokens bypass the cache,
+/// run-borne ones do not.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Absolute deadline for this run. Checked before evaluation starts
+    /// (a request already past its deadline is shed without running) and
+    /// polled at every operator boundary; trips as
+    /// [`ErrorCode::EXRQ0007`].
+    pub deadline: Option<Instant>,
+    /// Cancellation token for this run; overrides any token the plan was
+    /// prepared with.
+    pub cancel: Option<CancellationToken>,
+    /// Failpoints for this run; overrides the plan's registry when set.
+    pub failpoints: Option<Failpoints>,
+}
+
+impl RunOptions {
+    /// Overrides carrying a deadline `timeout` from now, typically from a
+    /// CLI `--deadline-ms` or a request's `deadline_ms` field.
+    pub fn with_deadline_in(timeout: std::time::Duration) -> Self {
+        RunOptions {
+            deadline: Some(Instant::now() + timeout),
+            ..RunOptions::default()
+        }
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancellationToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Has the deadline already passed?
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
 /// A query pipeline bound to one immutable catalog snapshot.
 #[derive(Debug, Clone)]
 pub struct Executor {
@@ -242,12 +289,32 @@ impl Executor {
     /// query succeeds, trips a budget, or is cancelled — the rollback the
     /// old mutable store needed is now structural.
     pub fn execute(&self, plan: &Prepared) -> Result<QueryOutput, Error> {
+        self.execute_with(plan, &RunOptions::default())
+    }
+
+    /// Execute a prepared plan under per-run overrides (deadline,
+    /// cancellation, failpoints). The single deadline code path shared by
+    /// `xq --deadline-ms` and the `xqd` serving daemon: a run past its
+    /// deadline is shed with [`ErrorCode::EXRQ0007`] *before* evaluation,
+    /// and an in-flight run trips the same code at the next operator
+    /// boundary.
+    pub fn execute_with(&self, plan: &Prepared, run: &RunOptions) -> Result<QueryOutput, Error> {
+        if run.expired() {
+            return Err(Error::Eval(EvalError::new(
+                ErrorCode::EXRQ0007,
+                "request deadline exceeded before execution started",
+            )));
+        }
         let engine_opts = EngineOptions {
             step_algo: plan.step_algo,
             budget: plan.budget.clone(),
-            cancel: plan.cancel.clone(),
-            failpoints: plan.failpoints.clone(),
+            cancel: run.cancel.clone().or_else(|| plan.cancel.clone()),
+            failpoints: run
+                .failpoints
+                .clone()
+                .unwrap_or_else(|| plan.failpoints.clone()),
             threads: plan.threads,
+            deadline: run.deadline,
         };
         let mut arena = FragArena::with_names(Arc::clone(&self.catalog), Arc::clone(&plan.names));
         let mut engine = Engine::new(&plan.dag, &mut arena, engine_opts);

@@ -39,7 +39,7 @@ pub mod result;
 pub mod session;
 pub mod verify;
 
-pub use executor::{CacheStats, Executor};
+pub use executor::{CacheStats, Executor, RunOptions};
 pub use result::ResultItem;
 pub use session::{Error, Explain, Prepared, QueryOptions, QueryOutput, Session};
 pub use verify::{ArmReport, Equivalence, VerifyError, VerifyReport};

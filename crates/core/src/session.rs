@@ -414,6 +414,17 @@ impl Session {
         self.executor.execute(plan)
     }
 
+    /// Execute a prepared plan under per-run overrides (deadline,
+    /// cancellation token, failpoints) — see
+    /// [`Executor::execute_with`](crate::Executor::execute_with).
+    pub fn execute_with(
+        &self,
+        plan: &Prepared,
+        run: &crate::executor::RunOptions,
+    ) -> Result<QueryOutput, Error> {
+        self.executor.execute_with(plan, run)
+    }
+
     /// One-shot: prepare + execute with the given options.
     ///
     /// ```
@@ -526,6 +537,45 @@ mod tests {
         let plan = s.prepare(q, &QueryOptions::order_indifferent()).unwrap();
         assert!(plan.stats_final.total < plan.stats_initial.total);
         assert_eq!(plan.stats_final.rownums(), 0, "{}", plan.plan_text());
+    }
+
+    #[test]
+    fn execute_with_deadline_sheds_and_keeps_the_cache_hot() {
+        use crate::executor::RunOptions;
+        use std::time::{Duration, Instant};
+
+        let s = session();
+        let opts = QueryOptions::order_indifferent();
+        let q = r#"fn:count(doc("t.xml")//c)"#;
+        let plan = s.prepare(q, &opts).unwrap();
+
+        // An already-expired deadline sheds before evaluation starts.
+        let run = RunOptions {
+            deadline: Some(Instant::now()),
+            ..RunOptions::default()
+        };
+        let err = s.execute_with(&plan, &run).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::EXRQ0007);
+
+        // A generous deadline plus a run-level cancel token executes fine
+        // — and because the token travels with the run, not the options,
+        // the plan cache still answers the prepare.
+        let run = RunOptions::with_deadline_in(Duration::from_secs(60))
+            .with_cancel(CancellationToken::new());
+        assert_eq!(s.execute_with(&plan, &run).unwrap().to_xml(), "2");
+        let again = s.prepare(q, &opts).unwrap();
+        assert!(
+            Arc::ptr_eq(&plan, &again),
+            "run overrides must not defeat the cache"
+        );
+
+        // A pre-cancelled run-level token stops the run with EXRQ0002.
+        let t = CancellationToken::new();
+        t.cancel();
+        let err = s
+            .execute_with(&plan, &RunOptions::default().with_cancel(t))
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::EXRQ0002);
     }
 
     #[test]

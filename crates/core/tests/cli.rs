@@ -107,6 +107,38 @@ fn exit_codes_distinguish_error_classes() {
 }
 
 #[test]
+fn deadline_ms_sheds_with_exrq0007_and_exit_3() {
+    // A zero deadline has always already passed: the run is shed with
+    // the typed deadline code before evaluation starts.
+    let out = xq()
+        .args(["--deadline-ms", "0"])
+        .arg("(1, 2, 3)")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[EXRQ0007]"));
+
+    // Mid-execution expiry trips the hard deadline inside the engine —
+    // same code, same exit class.
+    let out = xq()
+        .args(["--deadline-ms", "20"])
+        .arg("fn:count((1 to 100000000))")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[EXRQ0007]"));
+
+    // A generous deadline does not disturb a normal run.
+    let out = xq()
+        .args(["--deadline-ms", "60000"])
+        .arg("1 + 1")
+        .output()
+        .expect("xq runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2");
+}
+
+#[test]
 fn quiet_suppresses_results_but_not_errors() {
     let out = xq().arg("--quiet").arg("1 + 1").output().expect("xq runs");
     assert!(out.status.success());

@@ -55,6 +55,15 @@ pub enum ErrorCode {
     /// The optimizer produced an ill-formed plan (caught by per-rewrite
     /// validation; names the offending rule and operator).
     EXRQ0005,
+    /// Server overloaded: the admission queue is full and the request was
+    /// shed instead of queued. Retryable after backoff.
+    EXRQ0006,
+    /// Request deadline exceeded — either before execution started (shed
+    /// from the queue) or mid-execution via the [`BudgetMeter`]'s hard
+    /// deadline.
+    EXRQ0007,
+    /// Server draining: shutdown in progress, no new work admitted.
+    EXRQ0008,
 }
 
 impl ErrorCode {
@@ -76,6 +85,9 @@ impl ErrorCode {
             ErrorCode::EXRQ0003 => "EXRQ0003",
             ErrorCode::EXRQ0004 => "EXRQ0004",
             ErrorCode::EXRQ0005 => "EXRQ0005",
+            ErrorCode::EXRQ0006 => "EXRQ0006",
+            ErrorCode::EXRQ0007 => "EXRQ0007",
+            ErrorCode::EXRQ0008 => "EXRQ0008",
         }
     }
 
@@ -83,7 +95,12 @@ impl ErrorCode {
     pub fn class(self) -> ErrorClass {
         match self {
             ErrorCode::XPST0003 | ErrorCode::XPST0008 | ErrorCode::XPST0017 => ErrorClass::Static,
-            ErrorCode::EXRQ0001 | ErrorCode::EXRQ0002 | ErrorCode::EXRQ0003 => ErrorClass::Resource,
+            ErrorCode::EXRQ0001
+            | ErrorCode::EXRQ0002
+            | ErrorCode::EXRQ0003
+            | ErrorCode::EXRQ0006
+            | ErrorCode::EXRQ0007
+            | ErrorCode::EXRQ0008 => ErrorClass::Resource,
             ErrorCode::EXRQ0004 | ErrorCode::EXRQ0005 => ErrorClass::Verification,
             _ => ErrorClass::Dynamic,
         }
@@ -243,6 +260,11 @@ impl BudgetViolation {
 pub struct BudgetMeter {
     budget: ExecutionBudget,
     deadline: Option<Instant>,
+    /// Absolute request deadline (serving-layer shedding); trips as
+    /// [`ErrorCode::EXRQ0007`] rather than the budget's EXRQ0001, so a
+    /// shed request is distinguishable from a query that ran over its own
+    /// resource ceiling.
+    hard_deadline: Option<Instant>,
     cancel: Option<CancellationToken>,
     rows_total: AtomicUsize,
     ops_seen: AtomicUsize,
@@ -256,11 +278,20 @@ impl BudgetMeter {
         BudgetMeter {
             budget,
             deadline,
+            hard_deadline: None,
             cancel,
             rows_total: AtomicUsize::new(0),
             ops_seen: AtomicUsize::new(0),
             doc_accesses: AtomicUsize::new(0),
         }
+    }
+
+    /// Attach an absolute request deadline (the serving layer's
+    /// admission-to-completion budget). Polled at the same yield points
+    /// as the wall-clock budget; trips with [`ErrorCode::EXRQ0007`].
+    pub fn with_hard_deadline(mut self, at: Instant) -> Self {
+        self.hard_deadline = Some(at);
+        self
     }
 
     /// The limits this meter enforces.
@@ -277,6 +308,14 @@ impl BudgetMeter {
             .is_some_and(CancellationToken::is_cancelled)
         {
             return Err(BudgetViolation::new(ErrorCode::EXRQ0002, "query cancelled"));
+        }
+        if let Some(deadline) = self.hard_deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetViolation::new(
+                    ErrorCode::EXRQ0007,
+                    "request deadline exceeded",
+                ));
+            }
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -385,6 +424,13 @@ impl CancellationToken {
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// True when `other` is a clone of this token (shares the flag) —
+    /// identity, not state. Lets a registry of in-flight runs deregister
+    /// exactly the token it registered.
+    pub fn same_as(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +450,38 @@ mod tests {
         assert_eq!(ErrorCode::EXRQ0005.class(), ErrorClass::Verification);
         assert_eq!(ErrorClass::Verification.exit_code(), 5);
         assert_eq!(Stage::Verify.as_str(), "verify");
+    }
+
+    #[test]
+    fn serving_codes_are_resource_class() {
+        for code in [
+            ErrorCode::EXRQ0006,
+            ErrorCode::EXRQ0007,
+            ErrorCode::EXRQ0008,
+        ] {
+            assert_eq!(code.class(), ErrorClass::Resource);
+            assert_eq!(code.class().exit_code(), 3);
+        }
+        assert_eq!(ErrorCode::EXRQ0006.as_str(), "EXRQ0006");
+        assert_eq!(format!("{}", ErrorCode::EXRQ0007), "EXRQ0007");
+    }
+
+    #[test]
+    fn hard_deadline_trips_as_exrq0007() {
+        let m = BudgetMeter::new(ExecutionBudget::unbounded(), None)
+            .with_hard_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(m.poll().unwrap_err().code, ErrorCode::EXRQ0007);
+        // A generous deadline does not trip.
+        let m = BudgetMeter::new(ExecutionBudget::unbounded(), None)
+            .with_hard_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(m.poll().is_ok());
+        // The hard deadline outranks the wall budget in the poll order.
+        let m = BudgetMeter::new(
+            ExecutionBudget::unbounded().with_max_wall(Duration::ZERO),
+            None,
+        )
+        .with_hard_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(m.poll().unwrap_err().code, ErrorCode::EXRQ0007);
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub struct EngineOptions {
     /// both mean serial. Serial and parallel runs of the same plan
     /// produce bit-identical tables.
     pub threads: usize,
+    /// Absolute request deadline (serving layer). Unlike `budget.max_wall`
+    /// — which is relative to execution start — this instant also covers
+    /// time the request spent queued; it trips as EXRQ0007 at the same
+    /// yield points the wall budget uses, so shed work actually stops.
+    pub deadline: Option<std::time::Instant>,
 }
 
 /// One query execution context.
@@ -137,7 +142,10 @@ impl<'d, 's> Engine<'d, 's> {
     /// Create an engine over `dag` evaluating into `arena` (which also
     /// supplies the document registry via its catalog).
     pub fn new(dag: &'d Dag, arena: &'s mut FragArena, opts: EngineOptions) -> Self {
-        let meter = BudgetMeter::new(opts.budget.clone(), opts.cancel.clone());
+        let mut meter = BudgetMeter::new(opts.budget.clone(), opts.cancel.clone());
+        if let Some(at) = opts.deadline {
+            meter = meter.with_hard_deadline(at);
+        }
         let nodes_base = arena.constructed_nodes();
         Engine {
             dag,
@@ -341,11 +349,11 @@ pub(crate) fn eval_pure(
         }
         Op::EquiJoin { l, r, lcol, rcol } => {
             let (lt, rt) = (input(l), input(r));
-            eval_equijoin(&lt, &rt, lcol, rcol, meter.op_row_cap())
+            eval_equijoin(&lt, &rt, lcol, rcol, meter)
         }
         Op::ThetaJoin { l, r, pred } => {
             let (lt, rt) = (input(l), input(r));
-            eval_thetajoin(&lt, &rt, &pred, meter.op_row_cap())
+            eval_thetajoin(&lt, &rt, &pred, meter)
         }
         Op::Union { l, r } => {
             let (lt, rt) = (input(l), input(r));
@@ -362,7 +370,7 @@ pub(crate) fn eval_pure(
             new,
         } => {
             let t = input(inp);
-            eval_range(&t, lo, hi, new, meter.op_row_cap())
+            eval_range(&t, lo, hi, new, meter)
         }
         Op::Serialize { input: inp } => Ok((*input(inp)).clone()),
         Op::Element { .. } | Op::Attr { .. } | Op::TextNode { .. } => {
@@ -376,6 +384,12 @@ pub(crate) fn eval_pure(
 /// Inputs below this row count are not worth splitting: thread spawn and
 /// result concatenation would dominate the scan.
 pub(crate) const MORSEL_MIN_ROWS: usize = 4096;
+
+/// Row-explosive kernels (joins, range expansion) poll the budget meter
+/// every this many emitted rows, so cancellation and hard deadlines
+/// interrupt a single huge operator instead of waiting for its
+/// boundary. Power of two keeps the modulo nearly free.
+const POLL_STRIDE: usize = 8192;
 
 /// Contiguous near-equal ranges covering `0..n` (at most `threads` of
 /// them, never empty ones).
@@ -1042,8 +1056,9 @@ fn eval_equijoin(
     r: &Table,
     lcol: Col,
     rcol: Col,
-    cap: usize,
+    meter: &BudgetMeter,
 ) -> Result<Table, EvalError> {
+    let cap = meter.op_row_cap();
     let lc = l.col(lcol).clone();
     let rc = r.col(rcol).clone();
     // Fast path: both integer columns. Skewed keys make the match count
@@ -1063,6 +1078,9 @@ fn eval_equijoin(
                         }
                         lidx.push(i);
                         ridx.push(j);
+                        if lidx.len().is_multiple_of(POLL_STRIDE) {
+                            meter.poll()?;
+                        }
                     }
                 }
             }
@@ -1080,6 +1098,9 @@ fn eval_equijoin(
                         }
                         lidx.push(i);
                         ridx.push(j);
+                        if lidx.len().is_multiple_of(POLL_STRIDE) {
+                            meter.poll()?;
+                        }
                     }
                 }
             }
@@ -1092,11 +1113,12 @@ fn eval_thetajoin(
     l: &Table,
     r: &Table,
     pred: &[(Col, FunKind, Col)],
-    cap: usize,
+    meter: &BudgetMeter,
 ) -> Result<Table, EvalError> {
     // Invariant: the compiler only emits ThetaJoin with a non-empty
     // predicate list (an empty one would be a Cross in disguise).
     assert!(!pred.is_empty(), "theta join needs at least one predicate");
+    let cap = meter.op_row_cap();
     let (p0l, k0, p0r) = pred[0];
     let lc = l.col(p0l).clone();
     let rc = r.col(p0r).clone();
@@ -1115,6 +1137,9 @@ fn eval_thetajoin(
                         }
                         lidx.push(i);
                         ridx.push(j);
+                        if lidx.len().is_multiple_of(POLL_STRIDE) {
+                            meter.poll()?;
+                        }
                     }
                 }
             }
@@ -1151,13 +1176,21 @@ fn eval_thetajoin(
                 for k in range {
                     lidx.push(i);
                     ridx.push(rvals[k].1);
+                    if lidx.len().is_multiple_of(POLL_STRIDE) {
+                        meter.poll()?;
+                    }
                 }
             }
         }
         FunKind::Ne => {
             // Rare; nested loop.
+            let mut scanned = 0usize;
             for i in 0..l.nrows() {
                 for j in 0..r.nrows() {
+                    scanned += 1;
+                    if scanned.is_multiple_of(POLL_STRIDE) {
+                        meter.poll()?;
+                    }
                     if funs::compare_with(FunKind::Ne, &lc.get(i), &rc.get(j)) {
                         if lidx.len() >= cap {
                             return Err(row_cap_exceeded(cap));
@@ -1200,8 +1233,17 @@ fn eval_thetajoin(
 
 /// Expand `lo..=hi` integer ranges per row (empty when lo > hi). A query
 /// like `(1 to 100000000000)` must trip the row budget incrementally, not
-/// after exhausting memory, so the cap is checked inside the loop.
-fn eval_range(t: &Table, lo: Col, hi: Col, new: Col, cap: usize) -> Result<Table, EvalError> {
+/// after exhausting memory, so the cap is checked inside the loop — and
+/// the meter is polled there too, so a cancellation or hard deadline
+/// stops the expansion instead of waiting out a hundred-million-row op.
+fn eval_range(
+    t: &Table,
+    lo: Col,
+    hi: Col,
+    new: Col,
+    meter: &BudgetMeter,
+) -> Result<Table, EvalError> {
+    let cap = meter.op_row_cap();
     let loc = t.col(lo).clone();
     let hic = t.col(hi).clone();
     let mut idx: Vec<usize> = Vec::new();
@@ -1214,6 +1256,9 @@ fn eval_range(t: &Table, lo: Col, hi: Col, new: Col, cap: usize) -> Result<Table
             }
             idx.push(r);
             vals.push(v);
+            if vals.len().is_multiple_of(POLL_STRIDE) {
+                meter.poll()?;
+            }
         }
     }
     let base = t.gather(&idx);

@@ -30,5 +30,5 @@ pub mod table;
 pub use column::Column;
 pub use eval::{Engine, EngineOptions, EvalError, StepAlgo};
 pub use item::Item;
-pub use profile::Profile;
+pub use profile::{Profile, SchedStats};
 pub use table::Table;

@@ -30,15 +30,42 @@ use crate::eval::{
     eval_attr, eval_element, eval_pure, eval_textnode, poll_failpoints, Engine, EngineOptions,
     EvalError,
 };
-use crate::profile::Profile;
+use crate::profile::{Profile, SchedStats};
 use crate::table::Table;
 use exrquy_algebra::{Dag, Op, OpId};
 use exrquy_diag::BudgetMeter;
 use exrquy_xml::FragArena;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Shared atomic scheduler counters of one execution, snapshotted into
+/// [`SchedStats`] when the run completes.
+#[derive(Default)]
+struct SchedCounters {
+    regions: AtomicU64,
+    par_ops: AtomicU64,
+    inline_ops: AtomicU64,
+    steals: AtomicU64,
+    queue_peak: AtomicU64,
+}
+
+impl SchedCounters {
+    fn note_queue_depth(&self, depth: usize) {
+        self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SchedStats {
+        SchedStats {
+            regions: self.regions.load(Ordering::Relaxed),
+            par_ops: self.par_ops.load(Ordering::Relaxed),
+            inline_ops: self.inline_ops.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+        }
+    }
+}
 
 // Everything a worker touches must cross the scope boundary.
 const _: () = {
@@ -66,6 +93,7 @@ struct Cx<'a> {
     parents: &'a [Vec<u32>],
     is_writer: &'a [bool],
     threads: usize,
+    counters: &'a SchedCounters,
 }
 
 impl Cx<'_> {
@@ -121,11 +149,14 @@ impl Cx<'_> {
 fn run_region(cx: &Cx<'_>, mut seeds: Vec<OpId>, profile: &mut Profile) -> Result<(), EvalError> {
     while seeds.len() == 1 {
         let id = seeds.pop().expect("len checked");
+        cx.counters.inline_ops.fetch_add(1, Ordering::Relaxed);
         seeds.extend(cx.step(id, profile)?);
     }
     if seeds.is_empty() {
         return Ok(());
     }
+    cx.counters.regions.fetch_add(1, Ordering::Relaxed);
+    cx.counters.note_queue_depth(seeds.len());
     let w = cx.threads.min(seeds.len());
     let deques: Vec<Mutex<VecDeque<OpId>>> = (0..w).map(|_| Mutex::new(VecDeque::new())).collect();
     // `tasks` counts published-but-unfinished operators; workers spin
@@ -185,6 +216,7 @@ fn worker_loop(
                 let victim = (wi + k) % w;
                 next = deques[victim].lock().expect("deque lock").pop_front();
                 if next.is_some() {
+                    cx.counters.steals.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
             }
@@ -193,10 +225,12 @@ fn worker_loop(
             std::thread::yield_now();
             continue;
         };
+        cx.counters.par_ops.fetch_add(1, Ordering::Relaxed);
         match cx.step(id, prof) {
             Ok(ready) => {
                 if !ready.is_empty() {
-                    tasks.fetch_add(ready.len(), Ordering::Release);
+                    let outstanding = tasks.fetch_add(ready.len(), Ordering::Release) + ready.len();
+                    cx.counters.note_queue_depth(outstanding);
                     let mut dq = deques[wi].lock().expect("deque lock");
                     dq.extend(ready);
                 }
@@ -298,6 +332,7 @@ pub(crate) fn eval_parallel(
         })
         .collect();
     let threads = engine.opts.threads;
+    let counters = SchedCounters::default();
     let mut next_writer = 0;
     while results[root.0 as usize].get().is_none() {
         if !seeds.is_empty() {
@@ -311,6 +346,7 @@ pub(crate) fn eval_parallel(
                 parents: &parents,
                 is_writer: &is_writer,
                 threads,
+                counters: &counters,
             };
             run_region(&cx, std::mem::take(&mut seeds), &mut engine.profile)?;
         }
@@ -345,6 +381,7 @@ pub(crate) fn eval_parallel(
             unreachable!("scheduler stalled: no ready operator but the root is incomplete");
         }
     }
+    engine.profile.sched.merge(&counters.snapshot());
     // Fill the memo cache so later `eval` calls (e.g. a second root over
     // the same engine) reuse this run's results.
     for &id in &order {
@@ -417,6 +454,27 @@ mod tests {
         for (name, col) in serial.columns() {
             assert_eq!(col.as_ref(), par.col(*name).as_ref(), "column {name}");
         }
+    }
+
+    #[test]
+    fn scheduler_counters_populate_under_parallel_execution() {
+        let mut dag = Dag::new();
+        let root = diamond(&mut dag);
+        let mut arena = FragArena::new(Arc::new(Catalog::new()));
+        let mut e = Engine::new(&dag, &mut arena, opts(4));
+        e.eval(root).unwrap();
+        let s = e.profile.sched;
+        // The diamond has 4 pure operators; every one must be accounted
+        // either to a worker pool or to an inline stretch.
+        assert_eq!(s.par_ops + s.inline_ops, 4, "{s:?}");
+        // The two independent branches are ready simultaneously.
+        assert!(s.regions >= 1, "{s:?}");
+        assert!(s.queue_peak >= 2, "{s:?}");
+        // Serial execution never touches the scheduler.
+        let mut arena2 = FragArena::new(Arc::new(Catalog::new()));
+        let mut e2 = Engine::new(&dag, &mut arena2, opts(1));
+        e2.eval(root).unwrap();
+        assert_eq!(e2.profile.sched, SchedStats::default());
     }
 
     #[test]

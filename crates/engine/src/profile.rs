@@ -10,12 +10,44 @@ use exrquy_algebra::{Dag, Op, OpId};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+/// Work-stealing scheduler counters of one execution. All zero under
+/// serial execution; under parallel execution they make queue pressure
+/// and steal traffic visible, so scheduler regressions show up in
+/// `BENCH_par.json` rather than only in wall-clock noise.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Parallel regions that spun up a worker pool.
+    pub regions: u64,
+    /// Operators evaluated inside worker pools.
+    pub par_ops: u64,
+    /// Operators evaluated inline on single-ready linear stretches.
+    pub inline_ops: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// High-water mark of simultaneously outstanding ready tasks.
+    pub queue_peak: u64,
+}
+
+impl SchedStats {
+    /// Fold another execution's counters into this one (sums; the queue
+    /// high-water mark takes the max).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.regions += other.regions;
+        self.par_ops += other.par_ops;
+        self.inline_ops += other.inline_ops;
+        self.steals += other.steals;
+        self.queue_peak = self.queue_peak.max(other.queue_peak);
+    }
+}
+
 /// Aggregated wall-clock per operator kind and per operator instance.
 #[derive(Debug, Default, Clone)]
 pub struct Profile {
     per_kind: BTreeMap<&'static str, Duration>,
     per_op: BTreeMap<u32, Duration>,
     total: Duration,
+    /// Scheduler counters (parallel executions only; zero when serial).
+    pub sched: SchedStats,
 }
 
 /// Phase names used by the Table 2 reproduction.
@@ -51,6 +83,7 @@ impl Profile {
             *self.per_op.entry(*op).or_insert(Duration::ZERO) += *d;
         }
         self.total += other.total;
+        self.sched.merge(&other.sched);
     }
 
     /// Total recorded time.

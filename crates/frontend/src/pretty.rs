@@ -139,7 +139,19 @@ fn go(e: &Expr, s: &mut String) {
             }
         }
         Expr::Filter { input, predicate } => {
+            // A path input must be parenthesized: `a/b[2]` is a *step*
+            // predicate (positional per parent), while `(a/b)[2]`
+            // filters the whole sequence — the two parse differently
+            // and mean different things.
+            let needs_parens =
+                matches!(input.as_ref(), Expr::PathStep { .. } | Expr::PathSeq { .. });
+            if needs_parens {
+                s.push('(');
+            }
             go(input, s);
+            if needs_parens {
+                s.push(')');
+            }
             s.push('[');
             go(predicate, s);
             s.push(']');

@@ -3,6 +3,7 @@
 //! ```text
 //! fuzz-verify [--seed N]... [--iters N] [--profile ordered|unordered|both]
 //!             [--inject SPEC] [--expect-divergence] [--max-shrink-probes N]
+//!             [--serve] [--threads N]
 //! ```
 //!
 //! Deterministic: the same seed produces the same document and query
@@ -11,8 +12,15 @@
 //! at least one divergence — the planted-fault self-check CI runs), and 1
 //! otherwise, printing each divergence's minimized query and culprit
 //! rule.
+//!
+//! `--serve` switches to serve-path differential mode: the same query
+//! stream is submitted over a socket to an in-process `xqd` daemon and
+//! the responses are compared byte-for-byte against direct execution
+//! (see [`exrquy_verify::serve`]). `--threads` sets the daemon's
+//! intra-query parallelism in that mode.
 
 use exrquy_verify::fuzz::{run_fuzz, FuzzConfig, FuzzProfile};
+use exrquy_verify::serve::{run_serve_diff, ServeDiffConfig};
 use exrquy_verify::Attribution;
 use std::process::ExitCode;
 
@@ -20,6 +28,8 @@ fn main() -> ExitCode {
     let mut seeds: Vec<u64> = Vec::new();
     let mut cfg = FuzzConfig::default();
     let mut expect_divergence = false;
+    let mut serve = false;
+    let mut threads = 0_usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let parse_next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -54,11 +64,17 @@ fn main() -> ExitCode {
                 Err(_) => die("--max-shrink-probes: not a number"),
             },
             "--expect-divergence" => expect_divergence = true,
+            "--serve" => serve = true,
+            "--threads" => match parse_next(&mut args, "--threads").parse() {
+                Ok(n) => threads = n,
+                Err(_) => die("--threads: not a number"),
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: fuzz-verify [--seed N]... [--iters N] \
                      [--profile ordered|unordered|both] [--inject SPEC] \
-                     [--expect-divergence] [--max-shrink-probes N]"
+                     [--expect-divergence] [--max-shrink-probes N] \
+                     [--serve] [--threads N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -67,6 +83,28 @@ fn main() -> ExitCode {
     }
     if seeds.is_empty() {
         seeds.push(cfg.seed);
+    }
+
+    if serve {
+        if expect_divergence || !cfg.failpoints.is_empty() {
+            die("--serve does not combine with --inject/--expect-divergence");
+        }
+        let mut ok = true;
+        for seed in seeds {
+            let report = run_serve_diff(&ServeDiffConfig {
+                seed,
+                iters: cfg.iters,
+                profiles: cfg.profiles.clone(),
+                threads,
+            });
+            eprintln!("{report}");
+            ok &= report.clean();
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let mut ok = true;

@@ -436,6 +436,16 @@ impl Gen<'_> {
                 predicates,
             };
         }
+        // `(path)[pos]` — a positional filter in *expression* position,
+        // the sequence-level cousin of the step predicate (ordered
+        // profile only: it observes document order).
+        if self.profile == FuzzProfile::Ordered && depth < 2 && self.rng.gen_bool(0.15) {
+            let p = self.positional_predicate();
+            e = Expr::Filter {
+                input: Box::new(e),
+                predicate: Box::new(p),
+            };
+        }
         e
     }
 
@@ -459,11 +469,46 @@ impl Gen<'_> {
             // positional predicate — order-observing, ordered profile only
             _ => {
                 if self.profile == FuzzProfile::Ordered {
-                    Expr::IntLit(self.rng.gen_range(1i64..3))
+                    self.positional_predicate()
                 } else {
                     let id = self.id_of(Expr::ContextItem);
                     Expr::binary(BinOp::GenGt, id, Expr::IntLit(0))
                 }
+            }
+        }
+    }
+
+    /// An order-observing positional predicate (ordered profile only):
+    /// a bare integer position, a `position()` comparison against a
+    /// literal, or `position() eq last()` / `position() ne last()`.
+    /// Positions range past the typical sibling count so empty
+    /// selections are exercised, not just hits.
+    fn positional_predicate(&mut self) -> Expr {
+        let position = || Expr::Call {
+            name: "position".into(),
+            args: vec![],
+        };
+        let last = || Expr::Call {
+            name: "last".into(),
+            args: vec![],
+        };
+        match self.rng.gen_range(0..4u32) {
+            // [k] — now up to positions that often miss
+            0 | 1 => Expr::IntLit(self.rng.gen_range(1i64..6)),
+            // [position() <op> k]
+            2 => {
+                let k = Expr::IntLit(self.rng.gen_range(1i64..5));
+                let op = self.comparison_op();
+                Expr::binary(op, position(), k)
+            }
+            // [position() eq last()] (or ne — the complement)
+            _ => {
+                let op = if self.rng.gen_bool(0.5) {
+                    BinOp::GenEq
+                } else {
+                    BinOp::GenNe
+                };
+                Expr::binary(op, position(), last())
             }
         }
     }

@@ -48,6 +48,7 @@ pub mod concurrency;
 pub mod fuzz;
 pub mod harness;
 pub mod parallel;
+pub mod serve;
 pub mod shrink;
 pub mod suite;
 
@@ -59,5 +60,6 @@ pub use harness::{
     FaultCase, FaultOutcome, FaultReport, KindExemplar,
 };
 pub use parallel::{run_parallel_differential, ParallelConfig, ParallelReport};
+pub use serve::{run_serve_diff, ServeDiffConfig, ServeReport};
 pub use shrink::{shrink, weight, ShrinkOutcome};
 pub use suite::{run_xmark_suite, QueryOutcome, SuiteConfig, SuiteReport};

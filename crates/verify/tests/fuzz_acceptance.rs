@@ -63,9 +63,9 @@ fn planted_oracle_perturbation_detected_shrunk_and_attributed() {
 fn planted_rule_perturbation_is_hunted_and_named() {
     // `rule-perturb:weaken-criteria` makes the §7 weakening drop *real*
     // sort criteria. Under the ordered profile (sequence equivalence) the
-    // random hunt must catch it; seed 5 does within 30 iterations.
+    // random hunt must catch it; seed 1 does within 30 iterations.
     let cfg = FuzzConfig {
-        seed: 5,
+        seed: 1,
         iters: 30,
         profiles: vec![FuzzProfile::Ordered],
         failpoints: Failpoints::parse("rule-perturb:weaken-criteria").unwrap(),

@@ -1,0 +1,805 @@
+//! The serving core: bounded admission, deadline shedding, fair
+//! dispatch, graceful drain, and hot catalog reload.
+//!
+//! Threading model (std-only, no async runtime):
+//!
+//! ```text
+//! accept thread ──► reader thread per connection ──► admission queue
+//!                                                        │ (bounded,
+//!                                                        │  round-robin)
+//!                                   worker pool ◄────────┘
+//!                                        │
+//!                            responses via per-connection writer mutex
+//! ```
+//!
+//! Overload never blocks: a full queue sheds with `EXRQ0006`, an
+//! expired deadline sheds with `EXRQ0007` (before *or* during
+//! execution — the deadline rides into the engine's budget meter), and
+//! a draining server refuses with `EXRQ0008`. Every rejection is a
+//! typed response, not a hang.
+//!
+//! Catalog reload is zero-downtime: `load` parses into a staging
+//! builder under a load-serialization lock while queries keep cloning
+//! the *previous* [`Executor`] snapshot; the swap itself holds the
+//! snapshot write lock only long enough to replace one pointer.
+
+use crate::json::Value;
+use crate::proto::{err_response, ok_response, parse_request, Op, MAX_LINE_BYTES};
+use exrquy::{Error, Executor, QueryOptions, RunOptions, Session};
+use exrquy_diag::{CancellationToken, ErrorCode, Failpoints};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a daemon instance. `Default` matches the CLI
+/// defaults documented in `xqd --help`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker pool size (queries + loads execute here).
+    pub workers: usize,
+    /// Global admission-queue bound; beyond it requests shed `EXRQ0006`.
+    pub queue_capacity: usize,
+    /// Per-client in-flight cap — one chatty connection cannot occupy
+    /// the whole pool while others starve.
+    pub max_inflight_per_client: usize,
+    /// How long drain waits for in-flight work before cancelling it.
+    pub drain_grace: Duration,
+    /// Deadline applied to requests that do not carry `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Deterministic fault injection, re-armed per request.
+    pub failpoints: Failpoints,
+    /// Intra-query worker threads (0 = serial evaluation).
+    pub threads: usize,
+    /// Plan-cache capacity override for freshly swapped catalogs.
+    pub plan_cache: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            max_inflight_per_client: 2,
+            drain_grace: Duration::from_millis(2_000),
+            default_deadline: None,
+            failpoints: Failpoints::none(),
+            threads: 0,
+            plan_cache: None,
+        }
+    }
+}
+
+/// Monotonic serving counters; every shed path is individually visible
+/// so the chaos soak can assert "rejected, not wedged".
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    active_connections: AtomicU64,
+    received: AtomicU64,
+    proto_errors: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_draining: AtomicU64,
+    queue_peak: AtomicU64,
+    loads: AtomicU64,
+}
+
+/// Point-in-time view of the counters, exposed via the `stats` op and
+/// [`ServerHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub connections: u64,
+    pub active_connections: u64,
+    pub received: u64,
+    pub proto_errors: u64,
+    pub admitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub shed_overload: u64,
+    pub shed_deadline: u64,
+    pub shed_draining: u64,
+    pub queue_depth: u64,
+    pub queue_peak: u64,
+    pub loads: u64,
+}
+
+impl StatsSnapshot {
+    /// Total requests shed (any reason) — the "no hangs" denominator.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_deadline + self.shed_draining
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    client: u64,
+    id: Value,
+    op: Op,
+    deadline: Option<Instant>,
+    cancel: CancellationToken,
+    writer: Arc<ConnWriter>,
+}
+
+/// Admission state: per-client FIFO queues plus a round-robin rotation
+/// of clients with pending work. Fairness is by *client*, not by
+/// arrival order — a burst from one connection cannot starve others.
+#[derive(Default)]
+struct Sched {
+    queues: HashMap<u64, VecDeque<Job>>,
+    rotation: VecDeque<u64>,
+    queued: usize,
+    inflight: HashMap<u64, usize>,
+    inflight_total: usize,
+    stopped: bool,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    /// Current executor snapshot; queries clone it (two `Arc` bumps) and
+    /// run lock-free afterwards.
+    exec: RwLock<Executor>,
+    /// Serializes catalog loads; owns the staging session.
+    loader: Mutex<Session>,
+    sched: Mutex<Sched>,
+    work_ready: Condvar,
+    draining: AtomicBool,
+    stop_readers: AtomicBool,
+    shutdown_requested: AtomicBool,
+    shutdown_cv: Condvar,
+    shutdown_mx: Mutex<()>,
+    counters: Counters,
+    /// Cancellation tokens of in-flight runs, cancelled en masse when
+    /// the drain grace period expires.
+    active_runs: Mutex<Vec<CancellationToken>>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        let queued = self.sched.lock().unwrap().queued as u64;
+        let c = &self.counters;
+        StatsSnapshot {
+            connections: c.connections.load(Ordering::Relaxed),
+            active_connections: c.active_connections.load(Ordering::Relaxed),
+            received: c.received.load(Ordering::Relaxed),
+            proto_errors: c.proto_errors.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            shed_overload: c.shed_overload.load(Ordering::Relaxed),
+            shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+            shed_draining: c.shed_draining.load(Ordering::Relaxed),
+            queue_depth: queued,
+            queue_peak: c.queue_peak.load(Ordering::Relaxed),
+            loads: c.loads.load(Ordering::Relaxed),
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.shutdown_requested.store(true, Ordering::SeqCst);
+        let _guard = self.shutdown_mx.lock().unwrap();
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// Per-connection serialized writer. Workers and the reader thread both
+/// respond through this, so response lines never interleave.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Best-effort write; a dead client is not an error worth handling
+    /// beyond dropping the bytes.
+    fn send(&self, line: &str) {
+        let mut guard = self.stream.lock().unwrap();
+        let _ = guard.write_all(line.as_bytes());
+        let _ = guard.write_all(b"\n");
+        let _ = guard.flush();
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) leaves threads running; tests and the
+/// binary always drain explicitly.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// True once a `shutdown` op or [`request_shutdown`] fired.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Trigger drain from outside the protocol (SIGTERM path).
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Block until shutdown is requested (protocol `shutdown` op or
+    /// [`request_shutdown`]), polling `interrupted` so a signal flag can
+    /// break the wait.
+    pub fn wait_for_shutdown(&self, interrupted: impl Fn() -> bool) {
+        let mut guard = self.shared.shutdown_mx.lock().unwrap();
+        while !self.shared.shutdown_requested.load(Ordering::SeqCst) && !interrupted() {
+            let (g, _) = self
+                .shared
+                .shutdown_cv
+                .wait_timeout(guard, Duration::from_millis(100))
+                .unwrap();
+            guard = g;
+        }
+    }
+
+    /// Drain and stop: refuse new work, shed the queue with `EXRQ0008`,
+    /// give in-flight requests `drain_grace` to finish, cancel whatever
+    /// is still running, then join every thread. Returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        let shared = Arc::clone(&self.shared);
+        shared.request_shutdown();
+
+        // Shed everything still queued — typed refusal, not silence.
+        {
+            let mut sched = shared.sched.lock().unwrap();
+            for (_, queue) in sched.queues.iter_mut() {
+                for job in queue.drain(..) {
+                    shared
+                        .counters
+                        .shed_draining
+                        .fetch_add(1, Ordering::Relaxed);
+                    job.writer.send(&err_response(
+                        &job.id,
+                        ErrorCode::EXRQ0008.as_str(),
+                        "server draining: request rejected during shutdown",
+                    ));
+                }
+            }
+            sched.queues.clear();
+            sched.rotation.clear();
+            sched.queued = 0;
+            shared.work_ready.notify_all();
+        }
+
+        // Grace period for in-flight work.
+        let deadline = Instant::now() + shared.cfg.drain_grace;
+        {
+            let mut sched = shared.sched.lock().unwrap();
+            while sched.inflight_total > 0 && Instant::now() < deadline {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                let (g, _) = shared.work_ready.wait_timeout(sched, timeout).unwrap();
+                sched = g;
+            }
+        }
+
+        // Grace expired: cancel stragglers, then wait for them to yield
+        // at the next budget poll.
+        for token in shared.active_runs.lock().unwrap().iter() {
+            token.cancel();
+        }
+        {
+            let hard_stop = Instant::now() + shared.cfg.drain_grace;
+            let mut sched = shared.sched.lock().unwrap();
+            while sched.inflight_total > 0 && Instant::now() < hard_stop {
+                let timeout = hard_stop.saturating_duration_since(Instant::now());
+                let (g, _) = shared.work_ready.wait_timeout(sched, timeout).unwrap();
+                sched = g;
+            }
+            sched.stopped = true;
+            shared.work_ready.notify_all();
+        }
+        shared.stop_readers.store(true, Ordering::SeqCst);
+
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(acceptor) = self.accept_thread.take() {
+            let _ = acceptor.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for reader in readers {
+            let _ = reader.join();
+        }
+        shared.snapshot()
+    }
+}
+
+/// Bind, spawn the pool, and start accepting. `session` supplies the
+/// initial catalog (documents already loaded) and stays on as the
+/// staging area for `load` ops.
+pub fn spawn(cfg: ServerConfig, mut session: Session) -> io::Result<ServerHandle> {
+    if let Some(capacity) = cfg.plan_cache {
+        session.set_plan_cache_capacity(capacity);
+    }
+    session.set_failpoints(cfg.failpoints.clone());
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        exec: RwLock::new(session.executor().clone()),
+        loader: Mutex::new(session),
+        sched: Mutex::new(Sched::default()),
+        work_ready: Condvar::new(),
+        draining: AtomicBool::new(false),
+        stop_readers: AtomicBool::new(false),
+        shutdown_requested: AtomicBool::new(false),
+        shutdown_cv: Condvar::new(),
+        shutdown_mx: Mutex::new(()),
+        counters: Counters::default(),
+        active_runs: Mutex::new(Vec::new()),
+        cfg,
+    });
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for n in 0..workers {
+        let shared = Arc::clone(&shared);
+        worker_handles.push(
+            thread::Builder::new()
+                .name(format!("xqd-worker-{n}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+
+    let readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_shared = Arc::clone(&shared);
+    let accept_readers = Arc::clone(&readers);
+    let accept_thread = thread::Builder::new()
+        .name("xqd-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared, accept_readers))?;
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        accept_thread: Some(accept_thread),
+        workers: worker_handles,
+        readers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    let mut next_client = 0u64;
+    loop {
+        if shared.stop_readers.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                next_client += 1;
+                let client = next_client;
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .active_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name(format!("xqd-conn-{client}"))
+                    .spawn(move || {
+                        connection_loop(conn_shared.as_ref(), stream, client);
+                    });
+                match handle {
+                    Ok(h) => readers.lock().unwrap().push(h),
+                    Err(_) => {
+                        // Thread spawn failed (resource exhaustion):
+                        // shed the connection rather than wedging.
+                        shared
+                            .counters
+                            .active_connections
+                            .fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Outcome of pulling one line off a connection.
+enum Line {
+    /// A complete line within the size cap.
+    Full(String),
+    /// The line blew past [`MAX_LINE_BYTES`]; the excess was *discarded
+    /// in bounded chunks*, never buffered.
+    TooLong,
+    /// Peer closed (EOF or reset) or the server is stopping.
+    Closed,
+}
+
+fn read_line_capped(reader: &mut BufReader<TcpStream>, shared: &Shared) -> Line {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        if shared.stop_readers.load(Ordering::SeqCst) {
+            return Line::Closed;
+        }
+        let (copied, done) = {
+            let available = match reader.fill_buf() {
+                Ok([]) => return Line::Closed,
+                Ok(data) => data,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Line::Closed,
+            };
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !discarding {
+                        buf.extend_from_slice(&available[..pos]);
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !discarding {
+                        buf.extend_from_slice(available);
+                    }
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(copied);
+        if !discarding && buf.len() > MAX_LINE_BYTES {
+            buf = Vec::new();
+            discarding = true;
+        }
+        if done {
+            if discarding {
+                return Line::TooLong;
+            }
+            match String::from_utf8(buf) {
+                Ok(mut s) => {
+                    if s.ends_with('\r') {
+                        s.pop();
+                    }
+                    return Line::Full(s);
+                }
+                Err(_) => return Line::TooLong,
+            }
+        }
+    }
+}
+
+fn connection_loop(shared: &Shared, stream: TcpStream, client: u64) {
+    // Short read timeouts keep the reader responsive to shutdown even
+    // when the peer holds the connection open silently.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter {
+            stream: Mutex::new(w),
+        }),
+        Err(_) => {
+            shared
+                .counters
+                .active_connections
+                .fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        match read_line_capped(&mut reader, shared) {
+            Line::Closed => break,
+            Line::TooLong => {
+                shared.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&err_response(
+                    &Value::Null,
+                    "EPROTO",
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                ));
+            }
+            Line::Full(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                shared.counters.received.fetch_add(1, Ordering::Relaxed);
+                let request = match parse_request(&line) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        shared.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                        writer.send(&err_response(&e.id, "EPROTO", &e.message));
+                        continue;
+                    }
+                };
+                dispatch(shared, client, &writer, request.id, request.op);
+            }
+        }
+    }
+    shared
+        .counters
+        .active_connections
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Route one parsed request: cheap ops answer inline on the reader
+/// thread; queries and loads go through admission control.
+fn dispatch(shared: &Shared, client: u64, writer: &Arc<ConnWriter>, id: Value, op: Op) {
+    match op {
+        Op::Ping => writer.send(&ok_response(&id, vec![("pong", Value::Bool(true))])),
+        Op::Stats => {
+            let s = shared.snapshot();
+            let cache = shared.exec.read().unwrap().cache_stats();
+            writer.send(&ok_response(
+                &id,
+                vec![
+                    ("connections", Value::Int(s.connections as i64)),
+                    (
+                        "active_connections",
+                        Value::Int(s.active_connections as i64),
+                    ),
+                    ("received", Value::Int(s.received as i64)),
+                    ("proto_errors", Value::Int(s.proto_errors as i64)),
+                    ("admitted", Value::Int(s.admitted as i64)),
+                    ("completed", Value::Int(s.completed as i64)),
+                    ("failed", Value::Int(s.failed as i64)),
+                    ("shed_overload", Value::Int(s.shed_overload as i64)),
+                    ("shed_deadline", Value::Int(s.shed_deadline as i64)),
+                    ("shed_draining", Value::Int(s.shed_draining as i64)),
+                    ("queue_depth", Value::Int(s.queue_depth as i64)),
+                    ("queue_peak", Value::Int(s.queue_peak as i64)),
+                    ("loads", Value::Int(s.loads as i64)),
+                    ("plan_cache_hits", Value::Int(cache.hits as i64)),
+                    ("plan_cache_misses", Value::Int(cache.misses as i64)),
+                ],
+            ));
+        }
+        Op::Shutdown => {
+            writer.send(&ok_response(&id, vec![("draining", Value::Bool(true))]));
+            shared.request_shutdown();
+        }
+        op @ (Op::Query { .. } | Op::Load { .. }) => {
+            if shared.draining.load(Ordering::SeqCst) {
+                shared
+                    .counters
+                    .shed_draining
+                    .fetch_add(1, Ordering::Relaxed);
+                writer.send(&err_response(
+                    &id,
+                    ErrorCode::EXRQ0008.as_str(),
+                    "server draining: no new work admitted",
+                ));
+                return;
+            }
+            let deadline_ms = match &op {
+                Op::Query { deadline_ms, .. } => *deadline_ms,
+                _ => None,
+            };
+            let deadline = deadline_ms
+                .map(Duration::from_millis)
+                .or(shared.cfg.default_deadline)
+                .map(|d| Instant::now() + d);
+            let job = Job {
+                client,
+                id,
+                op,
+                deadline,
+                cancel: CancellationToken::new(),
+                writer: Arc::clone(writer),
+            };
+            submit(shared, job);
+        }
+    }
+}
+
+/// Admission control: bounded queue, queue-depth-aware rejection.
+fn submit(shared: &Shared, job: Job) {
+    let mut sched = shared.sched.lock().unwrap();
+    if sched.queued >= shared.cfg.queue_capacity {
+        shared
+            .counters
+            .shed_overload
+            .fetch_add(1, Ordering::Relaxed);
+        drop(sched);
+        job.writer.send(&err_response(
+            &job.id,
+            ErrorCode::EXRQ0006.as_str(),
+            &format!(
+                "server overloaded: admission queue full ({} queued)",
+                shared.cfg.queue_capacity
+            ),
+        ));
+        return;
+    }
+    let client = job.client;
+    sched.queues.entry(client).or_default().push_back(job);
+    if !sched.rotation.contains(&client) {
+        sched.rotation.push_back(client);
+    }
+    sched.queued += 1;
+    shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .queue_peak
+        .fetch_max(sched.queued as u64, Ordering::Relaxed);
+    shared.work_ready.notify_one();
+}
+
+/// Pop the next runnable job respecting round-robin fairness and the
+/// per-client in-flight cap. Returns `None` when nothing is eligible.
+fn next_job(shared: &Shared, sched: &mut Sched) -> Option<Job> {
+    let cap = shared.cfg.max_inflight_per_client.max(1);
+    for _ in 0..sched.rotation.len() {
+        let client = *sched.rotation.front().unwrap();
+        let running = sched.inflight.get(&client).copied().unwrap_or(0);
+        if running >= cap {
+            // At its cap: rotate past, give others a chance.
+            sched.rotation.rotate_left(1);
+            continue;
+        }
+        let queue = sched.queues.get_mut(&client).unwrap();
+        let job = queue.pop_front().unwrap();
+        if queue.is_empty() {
+            sched.queues.remove(&client);
+            sched.rotation.pop_front();
+        } else {
+            sched.rotation.rotate_left(1);
+        }
+        sched.queued -= 1;
+        *sched.inflight.entry(client).or_insert(0) += 1;
+        sched.inflight_total += 1;
+        return Some(job);
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut sched = shared.sched.lock().unwrap();
+            loop {
+                if sched.stopped {
+                    return;
+                }
+                if let Some(job) = next_job(shared, &mut sched) {
+                    break job;
+                }
+                sched = shared.work_ready.wait(sched).unwrap();
+            }
+        };
+        run_job(shared, &job);
+        let mut sched = shared.sched.lock().unwrap();
+        if let Some(n) = sched.inflight.get_mut(&job.client) {
+            *n -= 1;
+            if *n == 0 {
+                sched.inflight.remove(&job.client);
+            }
+        }
+        sched.inflight_total -= 1;
+        // A completion can unblock a capped client *and* the drain wait.
+        shared.work_ready.notify_all();
+    }
+}
+
+fn run_job(shared: &Shared, job: &Job) {
+    // Shed before spending any work if the deadline already passed
+    // while the request sat in the queue.
+    if let Some(at) = job.deadline {
+        if Instant::now() >= at {
+            shared
+                .counters
+                .shed_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            job.writer.send(&err_response(
+                &job.id,
+                ErrorCode::EXRQ0007.as_str(),
+                "request deadline exceeded while queued",
+            ));
+            return;
+        }
+    }
+    shared.active_runs.lock().unwrap().push(job.cancel.clone());
+    let response = match &job.op {
+        Op::Query {
+            query, baseline, ..
+        } => run_query(shared, job, query, *baseline),
+        Op::Load { url, xml } => run_load(shared, job, url, xml),
+        // Ping/Stats/Shutdown never reach the queue.
+        _ => err_response(&job.id, "EPROTO", "op not valid for worker"),
+    };
+    shared
+        .active_runs
+        .lock()
+        .unwrap()
+        .retain(|t| !t.same_as(&job.cancel));
+    job.writer.send(&response);
+}
+
+fn run_query(shared: &Shared, job: &Job, query: &str, baseline: bool) -> String {
+    let exec = shared.exec.read().unwrap().clone();
+    let mut opts = if baseline {
+        QueryOptions::baseline()
+    } else {
+        QueryOptions::order_indifferent()
+    };
+    if shared.cfg.threads > 0 {
+        opts = opts.with_threads(shared.cfg.threads);
+    }
+    let run = RunOptions {
+        deadline: job.deadline,
+        cancel: Some(job.cancel.clone()),
+        failpoints: if shared.cfg.failpoints.is_empty() {
+            None
+        } else {
+            Some(shared.cfg.failpoints.clone())
+        },
+    };
+    let result = exec
+        .prepare(query, &opts)
+        .and_then(|plan| exec.execute_with(&plan, &run));
+    match result {
+        Ok(out) => {
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            ok_response(&job.id, vec![("result", Value::Str(out.to_xml()))])
+        }
+        Err(e) => query_error_response(shared, &job.id, &e),
+    }
+}
+
+fn query_error_response(shared: &Shared, id: &Value, e: &Error) -> String {
+    let code = e.code();
+    if code == ErrorCode::EXRQ0007 {
+        shared
+            .counters
+            .shed_deadline
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    err_response(id, code.as_str(), &e.render_line())
+}
+
+/// Hot catalog reload: parse into the staging session under the load
+/// lock, then swap the executor snapshot. Queries in flight keep their
+/// pre-swap snapshot; new queries see the new catalog immediately.
+fn run_load(shared: &Shared, job: &Job, url: &str, xml: &str) -> String {
+    let mut session = shared.loader.lock().unwrap();
+    match session.load_document(url, xml) {
+        Ok(()) => {
+            let fresh = session.executor().clone();
+            *shared.exec.write().unwrap() = fresh;
+            shared.counters.loads.fetch_add(1, Ordering::Relaxed);
+            ok_response(
+                &job.id,
+                vec![("nodes", Value::Int(session.store_nodes() as i64))],
+            )
+        }
+        Err(e) => query_error_response(shared, &job.id, &e),
+    }
+}
