@@ -5,8 +5,8 @@
 //! Usage:
 //! `qps-bench [--addr host:port] [--scale 0.005] [--clients 4]
 //!            [--requests 50] [--queries 1,6,13] [--deadline-ms 0]
-//!            [--workers 4] [--queue 64] [--max-inflight 2]
-//!            [--threads 0] [--out BENCH_serve.json]`
+//!            [--retries 0] [--reload-every 0] [--workers 4] [--queue 64]
+//!            [--max-inflight 2] [--threads 0] [--out BENCH_serve.json]`
 //!
 //! Without `--addr` the daemon is spawned in-process on a loopback port
 //! with an XMark document at `--scale`, so the benchmark is
@@ -14,15 +14,24 @@
 //! are *successes* of the overload policy and are counted separately
 //! from errors: the daemon's contract is a typed answer for every
 //! request, never a hang.
+//!
+//! Clients go through the retrying `xqc` library. `--retries` defaults
+//! to 0 so sheds stay *visible* in the tally instead of being absorbed
+//! by the retry loop; raise it to measure the self-healing path.
+//! `--reload-every <ms>` (in-process mode only) runs a reloader thread
+//! that hot-swaps the same XMark document into the catalog on that
+//! cadence for the whole run — the hot-reload soak: throughput under
+//! continuous catalog churn, with zero failed requests.
 
 use exrquy::Session;
 use exrquy_bench::report::{num, percentile, write};
 use exrquy_bench::{fmt_bytes, Cli};
+use exrquy_diag::ErrorCode;
 use exrquy_xmark::{generate, query, XmarkConfig};
-use exrquy_xqd::json::{obj, parse, Value};
+use exrquy_xqc::{Client, ClientError, Config, QueryOpts};
+use exrquy_xqd::json::{obj, Value};
 use exrquy_xqd::{spawn, ServerConfig, ServerHandle};
-use std::io::{BufRead, BufReader, Write as _};
-use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Default, Clone)]
@@ -33,6 +42,16 @@ struct ClientTally {
     shed_deadline: u64,
     shed_draining: u64,
     errors: u64,
+    retries: u64,
+}
+
+fn bench_client(addr: &str, seed: u64, retries: u32) -> Client {
+    Client::connect(Config {
+        max_retries: retries,
+        read_timeout: Duration::from_secs(120),
+        jitter_seed: seed,
+        ..Config::new(addr)
+    })
 }
 
 fn main() {
@@ -42,6 +61,8 @@ fn main() {
     let clients = cli.get("clients", 4_usize).max(1);
     let requests = cli.get("requests", 50_usize).max(1);
     let deadline_ms = cli.get("deadline-ms", 0_u64);
+    let retries = cli.get("retries", 0_u32);
+    let reload_every_ms = cli.get("reload-every", 0_u64);
     let out_path = cli.get("out", String::from("BENCH_serve.json"));
     let query_nums: Vec<usize> = cli
         .get("queries", String::from("1,6,13"))
@@ -53,6 +74,7 @@ fn main() {
 
     // Spawn in-process unless pointed at a running daemon.
     let mut spawned: Option<ServerHandle> = None;
+    let mut reload_xml: Option<String> = None;
     let addr = if addr_flag.is_empty() {
         let cfg = ServerConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -73,24 +95,61 @@ fn main() {
             fmt_bytes(bytes),
             cfg.workers
         );
+        if reload_every_ms > 0 {
+            reload_xml = Some(xml);
+        }
         let handle = spawn(cfg, session).expect("spawn in-process daemon");
         let addr = handle.addr().to_string();
         spawned = Some(handle);
         addr
     } else {
+        if reload_every_ms > 0 {
+            eprintln!("qps-bench: --reload-every needs the in-process daemon (no --addr)");
+            std::process::exit(64);
+        }
         eprintln!("qps-bench: targeting running daemon at {addr_flag}");
         addr_flag
     };
 
+    // The hot-reload soak: swap the identical document into the catalog
+    // on a fixed cadence while the clients hammer queries. Results stay
+    // stable (same content); only the snapshot pointer churns.
+    let stop_reloader = AtomicBool::new(false);
     let started = Instant::now();
-    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+    let (tallies, reloads) = std::thread::scope(|scope| {
+        let reloader = reload_xml.as_ref().map(|xml| {
+            let addr = addr.clone();
+            let stop = &stop_reloader;
+            scope.spawn(move || {
+                let mut client = bench_client(&addr, 0x4e10ad, 4);
+                let mut reloads = 0_u64;
+                while !stop.load(Ordering::SeqCst) {
+                    match client.load("auction.xml", xml) {
+                        Ok(()) => reloads += 1,
+                        // Overload past the retry budget: skip this round.
+                        Err(ClientError::Server {
+                            code: ErrorCode::EXRQ0006,
+                            ..
+                        }) => {}
+                        Err(e) => panic!("hot reload failed mid-bench: {e}"),
+                    }
+                    std::thread::sleep(Duration::from_millis(reload_every_ms));
+                }
+                reloads
+            })
+        });
         let mut handles = Vec::new();
         for c in 0..clients {
             let addr = addr.clone();
             let queries = &queries;
-            handles.push(scope.spawn(move || run_client(&addr, c, requests, queries, deadline_ms)));
+            handles.push(
+                scope.spawn(move || run_client(&addr, c, requests, queries, deadline_ms, retries)),
+            );
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let tallies: Vec<ClientTally> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        stop_reloader.store(true, Ordering::SeqCst);
+        let reloads = reloader.map(|h| h.join().unwrap()).unwrap_or(0);
+        (tallies, reloads)
     });
     let wall = started.elapsed();
 
@@ -102,6 +161,7 @@ fn main() {
         all.shed_deadline += t.shed_deadline;
         all.shed_draining += t.shed_draining;
         all.errors += t.errors;
+        all.retries += t.retries;
     }
     all.latencies_ms.sort_by(|a, b| a.total_cmp(b));
     let total = (clients * requests) as u64;
@@ -117,10 +177,11 @@ fn main() {
     eprintln!(
         "qps-bench: {answered}/{total} answered in {:.2}s — {throughput:.1} req/s, \
          p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms, \
-         {} ok / {shed} shed / {} errors",
+         {} ok / {shed} shed / {} errors, {} retries, {reloads} hot reloads",
         wall.as_secs_f64(),
         all.ok,
-        all.errors
+        all.errors,
+        all.retries,
     );
 
     let mut pairs = vec![
@@ -139,6 +200,8 @@ fn main() {
         ("shed_deadline", Value::Int(all.shed_deadline as i64)),
         ("shed_draining", Value::Int(all.shed_draining as i64)),
         ("errors", Value::Int(all.errors as i64)),
+        ("client_retries", Value::Int(all.retries as i64)),
+        ("reloads", Value::Int(reloads as i64)),
     ];
 
     // With an in-process daemon the server-side counters come along for
@@ -149,10 +212,12 @@ fn main() {
             ("admitted", Value::Int(stats.admitted as i64)),
             ("completed", Value::Int(stats.completed as i64)),
             ("failed", Value::Int(stats.failed as i64)),
+            ("crashed", Value::Int(stats.crashed as i64)),
             ("shed_overload", Value::Int(stats.shed_overload as i64)),
             ("shed_deadline", Value::Int(stats.shed_deadline as i64)),
             ("shed_draining", Value::Int(stats.shed_draining as i64)),
             ("queue_peak", Value::Int(stats.queue_peak as i64)),
+            ("loads", Value::Int(stats.loads as i64)),
             ("connections", Value::Int(stats.connections as i64)),
         ])
     });
@@ -174,46 +239,35 @@ fn run_client(
     requests: usize,
     queries: &[String],
     deadline_ms: u64,
+    retries: u32,
 ) -> ClientTally {
-    let stream = TcpStream::connect(addr).expect("connect to daemon");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    let mut writer = stream.try_clone().unwrap();
-    let mut reader = BufReader::new(stream);
+    let mut client = bench_client(addr, 0xbe7c + client_idx as u64, retries);
     let mut tally = ClientTally::default();
+    let opts = QueryOpts {
+        deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        baseline: false,
+    };
 
     for i in 0..requests {
         let q = &queries[i % queries.len()];
-        let mut req = vec![
-            ("id", Value::Int((client_idx * requests + i) as i64)),
-            ("op", Value::Str("query".into())),
-            ("query", Value::Str(q.clone())),
-        ];
-        if deadline_ms > 0 {
-            req.push(("deadline_ms", Value::Int(deadline_ms as i64)));
-        }
-        let line = obj(req).render();
         let sent = Instant::now();
-        writer.write_all(line.as_bytes()).unwrap();
-        writer.write_all(b"\n").unwrap();
-        writer.flush().unwrap();
-
-        let mut response = String::new();
-        let n = reader.read_line(&mut response).expect("read response");
-        assert!(n > 0, "daemon closed connection mid-benchmark");
+        let outcome = client.query_with(q, &opts);
+        // One latency sample per *request* (retries included in its
+        // latency), so `answered == total` still proves no hangs.
         tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
-        let v = parse(response.trim_end()).expect("daemon sent invalid json");
-        if v.get("ok") == Some(&Value::Bool(true)) {
-            tally.ok += 1;
-        } else {
-            match v.get("code").and_then(Value::as_str) {
-                Some("EXRQ0006") => tally.shed_overload += 1,
-                Some("EXRQ0007") => tally.shed_deadline += 1,
-                Some("EXRQ0008") => tally.shed_draining += 1,
+        match outcome {
+            Ok(_) => tally.ok += 1,
+            Err(ClientError::Server { code, .. }) => match code {
+                ErrorCode::EXRQ0006 => tally.shed_overload += 1,
+                ErrorCode::EXRQ0007 => tally.shed_deadline += 1,
+                ErrorCode::EXRQ0008 => tally.shed_draining += 1,
                 _ => tally.errors += 1,
-            }
+            },
+            // Transport/protocol failures against a healthy daemon are
+            // harness bugs, not tally entries.
+            Err(e) => panic!("client {client_idx}: {e}"),
         }
     }
+    tally.retries = client.stats().retries;
     tally
 }

@@ -99,15 +99,26 @@ impl PlanCache {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
+    // The cache lock recovers from poisoning rather than propagating it:
+    // the map is structurally valid after any interrupted operation
+    // (worst case a stale LRU stamp), and with request panics contained
+    // by the serving layer, one crashed request must not wedge the
+    // cache for every later request.
     fn get(&self, key: u64) -> Option<Arc<Prepared>> {
-        let mut plans = self.plans.lock().expect("plan cache lock");
+        let mut plans = self
+            .plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (plan, stamp) = plans.get_mut(&key)?;
         *stamp = self.stamp();
         Some(Arc::clone(plan))
     }
 
     fn insert(&self, key: u64, plan: Arc<Prepared>) {
-        let mut plans = self.plans.lock().expect("plan cache lock");
+        let mut plans = self
+            .plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         plans.insert(key, (plan, self.stamp()));
         while plans.len() > self.capacity {
             let oldest = plans
@@ -165,6 +176,10 @@ pub struct RunOptions {
     pub cancel: Option<CancellationToken>,
     /// Failpoints for this run; overrides the plan's registry when set.
     pub failpoints: Option<Failpoints>,
+    /// Shared memory gauge for the serving layer's watermark governor:
+    /// the engine publishes this run's approximate constructed-node
+    /// bytes into it while the run is in flight.
+    pub gauge: Option<exrquy_diag::MemoryGauge>,
 }
 
 impl RunOptions {
@@ -315,6 +330,7 @@ impl Executor {
                 .unwrap_or_else(|| plan.failpoints.clone()),
             threads: plan.threads,
             deadline: run.deadline,
+            gauge: run.gauge.clone(),
         };
         let mut arena = FragArena::with_names(Arc::clone(&self.catalog), Arc::clone(&plan.names));
         let mut engine = Engine::new(&plan.dag, &mut arena, engine_opts);

@@ -23,9 +23,26 @@
 //!   rule-perturb:<rule> apply the named rewrite rule in a deliberately
 //!                       unsound variant (a planted optimizer bug; the
 //!                       optimizer decides which rules support it)
+//!   panic:<op>          panic (deliberately) when evaluating an operator
+//!                       of the given kind — exercises the serving layer's
+//!                       panic containment (EXRQ0009)
+//!   worker-kill:<n>     panic the worker thread that starts the n-th job,
+//!                       outside the containment region — exercises worker
+//!                       supervision and respawn
+//!   net-torn-write:<n>  tear every n-th response write: flush half the
+//!                       frame, pause, then the rest (framing must survive)
+//!   net-disconnect:<n>  drop the connection mid-frame on every n-th
+//!                       response write
+//!   net-trickle:<n>     slow-loris every n-th response: dribble the first
+//!                       bytes one at a time with flushes in between
+//!   net-slow-read:<n>   delay every n-th request read on a connection
 //! ```
 //!
 //! Example: `--inject doc-io:2,budget-trip:rownum,cancel-after:5`.
+//!
+//! The `net-*` chaos-transport points use every-n-th semantics with
+//! per-connection counters, so the fault pattern is deterministic per
+//! connection no matter how clients reconnect.
 
 use std::fmt;
 
@@ -86,6 +103,20 @@ pub struct Failpoints {
     pub oracle_perturb: Option<OracleArm>,
     /// Apply this named rewrite rule unsoundly (planted optimizer bug).
     pub rule_perturb: Option<String>,
+    /// Operator kind (canonical symbol) whose evaluation panics — the
+    /// deterministic trigger for the serving layer's panic containment.
+    pub panic_op: Option<String>,
+    /// 1-based index of the started job whose worker thread panics
+    /// outside the containment region (supervision test).
+    pub worker_kill: Option<usize>,
+    /// Tear every n-th response write on a connection.
+    pub net_torn_write: Option<usize>,
+    /// Disconnect mid-frame on every n-th response write.
+    pub net_disconnect: Option<usize>,
+    /// Slow-loris trickle every n-th response write.
+    pub net_trickle: Option<usize>,
+    /// Delay every n-th request read on a connection.
+    pub net_slow_read: Option<usize>,
 }
 
 /// Map a user-facing operator alias to the canonical kind name used by
@@ -176,10 +207,25 @@ impl Failpoints {
                     })?;
                     fp.rule_perturb = Some(rule.to_string());
                 }
+                "panic" => {
+                    let op = arg.filter(|a| !a.is_empty()).ok_or_else(|| {
+                        FailpointSpecError(
+                            "`panic` needs an operator kind, e.g. panic:rownum".into(),
+                        )
+                    })?;
+                    fp.panic_op = Some(canonical_op_kind(op));
+                }
+                "worker-kill" => fp.worker_kill = Some(num("worker-kill")?.max(1)),
+                "net-torn-write" => fp.net_torn_write = Some(num("net-torn-write")?.max(1)),
+                "net-disconnect" => fp.net_disconnect = Some(num("net-disconnect")?.max(1)),
+                "net-trickle" => fp.net_trickle = Some(num("net-trickle")?.max(1)),
+                "net-slow-read" => fp.net_slow_read = Some(num("net-slow-read")?.max(1)),
                 other => {
                     return Err(FailpointSpecError(format!(
                         "unknown failpoint `{other}` (expected doc-io, doc-parse, \
-                         budget-trip, cancel-after, oracle-perturb, rule-perturb)"
+                         budget-trip, cancel-after, oracle-perturb, rule-perturb, \
+                         panic, worker-kill, net-torn-write, net-disconnect, \
+                         net-trickle, net-slow-read)"
                     )))
                 }
             }
@@ -217,6 +263,45 @@ impl Failpoints {
     /// The rewrite rule to apply unsoundly, when armed.
     pub fn perturbed_rule(&self) -> Option<&str> {
         self.rule_perturb.as_deref()
+    }
+
+    /// Should evaluating an operator of `kind` panic (deliberately)?
+    pub fn panics_in(&self, kind: &str) -> bool {
+        self.panic_op.as_deref() == Some(kind)
+    }
+
+    /// Should the worker that starts the `n`-th (1-based) job panic
+    /// outside the containment region?
+    pub fn kills_worker_at(&self, job: usize) -> bool {
+        self.worker_kill == Some(job)
+    }
+
+    /// True when any `net-*` chaos-transport point is armed.
+    pub fn any_net_chaos(&self) -> bool {
+        self.net_torn_write.is_some()
+            || self.net_disconnect.is_some()
+            || self.net_trickle.is_some()
+            || self.net_slow_read.is_some()
+    }
+
+    /// Should the `n`-th (1-based) response write on a connection be torn?
+    pub fn tears_write(&self, nth: usize) -> bool {
+        self.net_torn_write.is_some_and(|k| nth.is_multiple_of(k))
+    }
+
+    /// Should the `n`-th (1-based) response write disconnect mid-frame?
+    pub fn disconnects_write(&self, nth: usize) -> bool {
+        self.net_disconnect.is_some_and(|k| nth.is_multiple_of(k))
+    }
+
+    /// Should the `n`-th (1-based) response write trickle byte-by-byte?
+    pub fn trickles_write(&self, nth: usize) -> bool {
+        self.net_trickle.is_some_and(|k| nth.is_multiple_of(k))
+    }
+
+    /// Should the `n`-th (1-based) request read on a connection be delayed?
+    pub fn delays_read(&self, nth: usize) -> bool {
+        self.net_slow_read.is_some_and(|k| nth.is_multiple_of(k))
     }
 }
 
@@ -274,6 +359,48 @@ mod tests {
         assert!(Failpoints::parse("doc-io:x").is_err());
         assert!(Failpoints::parse("budget-trip").is_err());
         assert!(Failpoints::parse("frobnicate:3").is_err());
+    }
+
+    #[test]
+    fn panic_failpoint_canonicalizes_like_budget_trip() {
+        let fp = Failpoints::parse("panic:rownum").unwrap();
+        assert!(fp.panics_in("%"));
+        assert!(!fp.panics_in("#"));
+        assert!(!fp.is_empty());
+        let fp = Failpoints::parse("panic:⋈θ").unwrap();
+        assert!(fp.panics_in("⋈θ"));
+        assert!(Failpoints::parse("panic").is_err());
+        assert!(Failpoints::parse("panic:").is_err());
+    }
+
+    #[test]
+    fn worker_kill_is_one_shot_by_job_index() {
+        let fp = Failpoints::parse("worker-kill:3").unwrap();
+        assert!(!fp.kills_worker_at(2));
+        assert!(fp.kills_worker_at(3));
+        assert!(!fp.kills_worker_at(4));
+        // 0 clamps to 1 (a "kill the first job" spec, never a no-op).
+        assert!(Failpoints::parse("worker-kill:0")
+            .unwrap()
+            .kills_worker_at(1));
+    }
+
+    #[test]
+    fn net_chaos_points_fire_every_nth() {
+        let fp =
+            Failpoints::parse("net-torn-write:3,net-disconnect:5,net-trickle:2,net-slow-read:4")
+                .unwrap();
+        assert!(fp.any_net_chaos());
+        assert!(!fp.tears_write(1));
+        assert!(fp.tears_write(3));
+        assert!(fp.tears_write(6));
+        assert!(fp.disconnects_write(5));
+        assert!(!fp.disconnects_write(6));
+        assert!(fp.trickles_write(2));
+        assert!(fp.delays_read(8));
+        assert!(!fp.delays_read(7));
+        assert!(!Failpoints::parse("doc-io:1").unwrap().any_net_chaos());
+        assert!(Failpoints::parse("net-trickle:x").is_err());
     }
 
     #[test]

@@ -64,9 +64,48 @@ pub enum ErrorCode {
     EXRQ0007,
     /// Server draining: shutdown in progress, no new work admitted.
     EXRQ0008,
+    /// Internal error: request execution panicked and the panic was
+    /// contained by the serving layer. The request's overlay is
+    /// discarded; shared state is unaffected. Always an engine bug,
+    /// never user error — and **never retry-safe**: the same input
+    /// deterministically panics again.
+    EXRQ0009,
+    /// Protocol error: the request line could not be parsed as a valid
+    /// request (invalid JSON, unknown op, bad field types, oversized
+    /// line). The connection survives; the request does not.
+    EPROTO,
 }
 
 impl ErrorCode {
+    /// Every code, for exhaustive iteration (round-trip tests, retry
+    /// tables). Kept in `as_str` order; the enum is `#[non_exhaustive]`,
+    /// so external matches should go through this slice or [`parse`].
+    ///
+    /// [`parse`]: ErrorCode::parse
+    pub const ALL: &'static [ErrorCode] = &[
+        ErrorCode::XPST0003,
+        ErrorCode::XPST0008,
+        ErrorCode::XPST0017,
+        ErrorCode::XPDY0002,
+        ErrorCode::XPTY0004,
+        ErrorCode::FORG0001,
+        ErrorCode::FORG0006,
+        ErrorCode::FOAR0001,
+        ErrorCode::FODC0002,
+        ErrorCode::FODC0006,
+        ErrorCode::XQTY0024,
+        ErrorCode::EXRQ0001,
+        ErrorCode::EXRQ0002,
+        ErrorCode::EXRQ0003,
+        ErrorCode::EXRQ0004,
+        ErrorCode::EXRQ0005,
+        ErrorCode::EXRQ0006,
+        ErrorCode::EXRQ0007,
+        ErrorCode::EXRQ0008,
+        ErrorCode::EXRQ0009,
+        ErrorCode::EPROTO,
+    ];
+
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorCode::XPST0003 => "XPST0003",
@@ -88,20 +127,36 @@ impl ErrorCode {
             ErrorCode::EXRQ0006 => "EXRQ0006",
             ErrorCode::EXRQ0007 => "EXRQ0007",
             ErrorCode::EXRQ0008 => "EXRQ0008",
+            ErrorCode::EXRQ0009 => "EXRQ0009",
+            ErrorCode::EPROTO => "EPROTO",
         }
+    }
+
+    /// Inverse of [`as_str`]: recover a code from its wire rendering.
+    /// Returns `None` for strings that are not a known code — callers
+    /// classifying wire errors (retry policies) must treat unknown
+    /// codes conservatively.
+    ///
+    /// [`as_str`]: ErrorCode::as_str
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.iter().copied().find(|c| c.as_str() == s)
     }
 
     /// Coarse class used for CLI exit codes and retry policies.
     pub fn class(self) -> ErrorClass {
         match self {
-            ErrorCode::XPST0003 | ErrorCode::XPST0008 | ErrorCode::XPST0017 => ErrorClass::Static,
+            ErrorCode::XPST0003 | ErrorCode::XPST0008 | ErrorCode::XPST0017 | ErrorCode::EPROTO => {
+                ErrorClass::Static
+            }
             ErrorCode::EXRQ0001
             | ErrorCode::EXRQ0002
             | ErrorCode::EXRQ0003
             | ErrorCode::EXRQ0006
             | ErrorCode::EXRQ0007
             | ErrorCode::EXRQ0008 => ErrorClass::Resource,
-            ErrorCode::EXRQ0004 | ErrorCode::EXRQ0005 => ErrorClass::Verification,
+            ErrorCode::EXRQ0004 | ErrorCode::EXRQ0005 | ErrorCode::EXRQ0009 => {
+                ErrorClass::Verification
+            }
             _ => ErrorClass::Dynamic,
         }
     }
@@ -433,6 +488,98 @@ impl CancellationToken {
     }
 }
 
+/// Approximate heap cost of one constructed XML node, used to convert
+/// the engine's constructed-node counter into the byte figure a
+/// [`MemoryGauge`] publishes. Deliberately coarse: the gauge governs
+/// admission (a watermark, not an allocator), so a stable fiction beats
+/// a fragile exact count.
+pub const APPROX_NODE_BYTES: usize = 64;
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// Process-wide gauge of approximate memory held by in-flight query
+/// executions. Cloneable (clones share the count); each execution
+/// publishes through its own [`MemoryTracker`], whose `Drop` releases
+/// the charge — so the gauge stays accurate even when an execution
+/// unwinds from a panic.
+///
+/// The serving layer compares `bytes_in_flight()` against a
+/// high-watermark to defer or shed new admissions (graceful
+/// degradation on the memory axis, which per-query budgets don't
+/// cover: many individually-cheap queries can still balloon the
+/// process).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryGauge(Arc<GaugeInner>);
+
+impl MemoryGauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Approximate bytes currently held by in-flight executions.
+    pub fn bytes_in_flight(&self) -> usize {
+        self.0.current.load(Ordering::Relaxed)
+    }
+
+    /// High-watermark of `bytes_in_flight` since the gauge was created.
+    pub fn peak_bytes(&self) -> usize {
+        self.0.peak.load(Ordering::Relaxed)
+    }
+
+    /// A tracker for one execution. Charges flow into this gauge and
+    /// are released when the tracker drops (normally or by unwinding).
+    pub fn tracker(&self) -> MemoryTracker {
+        MemoryTracker {
+            gauge: Arc::clone(&self.0),
+            charged: 0,
+        }
+    }
+}
+
+/// One execution's handle on a [`MemoryGauge`]. Publishes a monotone
+/// running total via [`charge_to`]; the difference is added to the
+/// shared gauge immediately and subtracted again on `Drop`.
+///
+/// [`charge_to`]: MemoryTracker::charge_to
+#[derive(Debug)]
+pub struct MemoryTracker {
+    gauge: Arc<GaugeInner>,
+    charged: usize,
+}
+
+impl MemoryTracker {
+    /// Publish this execution's current total. Totals only grow (an
+    /// execution's overlay is append-only until it drops); a smaller
+    /// value than previously charged is ignored.
+    pub fn charge_to(&mut self, total_bytes: usize) {
+        if total_bytes > self.charged {
+            let delta = total_bytes - self.charged;
+            self.charged = total_bytes;
+            let now = self.gauge.current.fetch_add(delta, Ordering::Relaxed) + delta;
+            self.gauge.peak.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes this tracker has charged so far.
+    pub fn charged(&self) -> usize {
+        self.charged
+    }
+}
+
+impl Drop for MemoryTracker {
+    fn drop(&mut self) {
+        if self.charged > 0 {
+            self.gauge
+                .current
+                .fetch_sub(self.charged, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +666,72 @@ mod tests {
         assert_eq!(m.ops_seen(), 2);
         assert_eq!(m.record_doc_access(), 1);
         assert_eq!(m.record_doc_access(), 2);
+    }
+
+    #[test]
+    fn every_code_round_trips_through_render_and_parse() {
+        // Exhaustive: every code (including EXRQ0009 and EPROTO)
+        // renders to a unique string and parses back to itself.
+        let mut seen = std::collections::HashSet::new();
+        for &code in ErrorCode::ALL {
+            let s = code.as_str();
+            assert!(seen.insert(s), "duplicate wire rendering {s}");
+            assert_eq!(ErrorCode::parse(s), Some(code), "round trip for {s}");
+            assert_eq!(format!("{code}"), s);
+            // Every class maps to a stable nonzero exit code.
+            assert!(code.class().exit_code() >= 1);
+        }
+        assert_eq!(seen.len(), ErrorCode::ALL.len());
+        assert_eq!(ErrorCode::parse("EXRQ9999"), None);
+        assert_eq!(ErrorCode::parse(""), None);
+        assert_eq!(ErrorCode::parse("exrq0001"), None, "parse is case-exact");
+    }
+
+    #[test]
+    fn new_codes_classify_for_serving() {
+        // A contained panic is always an engine bug: verification class.
+        assert_eq!(ErrorCode::EXRQ0009.class(), ErrorClass::Verification);
+        // A malformed request is the client's static mistake.
+        assert_eq!(ErrorCode::EPROTO.class(), ErrorClass::Static);
+        assert_eq!(ErrorCode::EPROTO.as_str(), "EPROTO");
+    }
+
+    #[test]
+    fn memory_gauge_tracks_and_releases_charges() {
+        let g = MemoryGauge::new();
+        assert_eq!(g.bytes_in_flight(), 0);
+        let mut a = g.tracker();
+        a.charge_to(100);
+        a.charge_to(250);
+        // Monotone: lower totals are ignored.
+        a.charge_to(10);
+        assert_eq!(a.charged(), 250);
+        let clone = g.clone();
+        assert_eq!(clone.bytes_in_flight(), 250);
+        let mut b = clone.tracker();
+        b.charge_to(50);
+        assert_eq!(g.bytes_in_flight(), 300);
+        assert_eq!(g.peak_bytes(), 300);
+        drop(a);
+        assert_eq!(g.bytes_in_flight(), 50);
+        drop(b);
+        assert_eq!(g.bytes_in_flight(), 0);
+        // Peak is sticky.
+        assert_eq!(g.peak_bytes(), 300);
+    }
+
+    #[test]
+    fn memory_tracker_releases_on_unwind() {
+        let g = MemoryGauge::new();
+        let g2 = g.clone();
+        let r = std::panic::catch_unwind(move || {
+            let mut t = g2.tracker();
+            t.charge_to(4096);
+            panic!("boom");
+        });
+        assert!(r.is_err());
+        assert_eq!(g.bytes_in_flight(), 0, "unwind must release the charge");
+        assert_eq!(g.peak_bytes(), 4096);
     }
 
     #[test]

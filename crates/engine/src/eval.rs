@@ -112,6 +112,11 @@ pub struct EngineOptions {
     /// time the request spent queued; it trips as EXRQ0007 at the same
     /// yield points the wall budget uses, so shed work actually stops.
     pub deadline: Option<std::time::Instant>,
+    /// Shared memory gauge (serving layer's watermark governor). When
+    /// set, the engine publishes this execution's approximate
+    /// constructed-node bytes as it runs; the charge is released when
+    /// the engine drops — including by unwinding from a panic.
+    pub gauge: Option<exrquy_diag::MemoryGauge>,
 }
 
 /// One query execution context.
@@ -136,6 +141,9 @@ pub struct Engine<'d, 's> {
     /// Overlay nodes present at engine creation; the constructed-node
     /// ceiling applies to the delta.
     pub(crate) nodes_base: usize,
+    /// This execution's handle on the serving layer's memory gauge;
+    /// its `Drop` releases the charge on any exit path.
+    tracker: Option<exrquy_diag::MemoryTracker>,
 }
 
 impl<'d, 's> Engine<'d, 's> {
@@ -147,6 +155,7 @@ impl<'d, 's> Engine<'d, 's> {
             meter = meter.with_hard_deadline(at);
         }
         let nodes_base = arena.constructed_nodes();
+        let tracker = opts.gauge.as_ref().map(exrquy_diag::MemoryGauge::tracker);
         Engine {
             dag,
             arena,
@@ -155,6 +164,7 @@ impl<'d, 's> Engine<'d, 's> {
             opts,
             meter,
             nodes_base,
+            tracker,
         }
     }
 
@@ -166,6 +176,9 @@ impl<'d, 's> Engine<'d, 's> {
             .constructed_nodes()
             .saturating_sub(self.nodes_base);
         self.meter.check_nodes(constructed)?;
+        if let Some(t) = self.tracker.as_mut() {
+            t.charge_to(constructed * exrquy_diag::APPROX_NODE_BYTES);
+        }
         Ok(())
     }
 
@@ -810,6 +823,12 @@ pub(crate) fn poll_failpoints(
             ErrorCode::EXRQ0001,
             format!("execution budget exceeded (injected in `{kind}` operator {id})"),
         ));
+    }
+    if failpoints.panics_in(kind) {
+        // A real panic, not an error return: the point is to exercise
+        // the serving layer's catch_unwind containment (EXRQ0009). Only
+        // ever reached with a `panic:<op>` failpoint armed.
+        panic!("injected panic in `{kind}` operator {id} (panic:<op> failpoint)");
     }
     Ok(())
 }

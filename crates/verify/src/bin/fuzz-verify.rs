@@ -3,7 +3,7 @@
 //! ```text
 //! fuzz-verify [--seed N]... [--iters N] [--profile ordered|unordered|both]
 //!             [--inject SPEC] [--expect-divergence] [--max-shrink-probes N]
-//!             [--serve] [--threads N]
+//!             [--serve] [--threads N] [--chaos]
 //! ```
 //!
 //! Deterministic: the same seed produces the same document and query
@@ -17,7 +17,11 @@
 //! stream is submitted over a socket to an in-process `xqd` daemon and
 //! the responses are compared byte-for-byte against direct execution
 //! (see [`exrquy_verify::serve`]). `--threads` sets the daemon's
-//! intra-query parallelism in that mode.
+//! intra-query parallelism in that mode; `--chaos` additionally arms
+//! the daemon's deterministic network failpoints and drives the socket
+//! arm through the retrying `xqc` client — the comparison must stay
+//! byte-for-byte through torn writes, trickled frames, and mid-frame
+//! disconnects.
 
 use exrquy_verify::fuzz::{run_fuzz, FuzzConfig, FuzzProfile};
 use exrquy_verify::serve::{run_serve_diff, ServeDiffConfig};
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
     let mut cfg = FuzzConfig::default();
     let mut expect_divergence = false;
     let mut serve = false;
+    let mut chaos = false;
     let mut threads = 0_usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +70,7 @@ fn main() -> ExitCode {
             },
             "--expect-divergence" => expect_divergence = true,
             "--serve" => serve = true,
+            "--chaos" => chaos = true,
             "--threads" => match parse_next(&mut args, "--threads").parse() {
                 Ok(n) => threads = n,
                 Err(_) => die("--threads: not a number"),
@@ -74,7 +80,7 @@ fn main() -> ExitCode {
                     "usage: fuzz-verify [--seed N]... [--iters N] \
                      [--profile ordered|unordered|both] [--inject SPEC] \
                      [--expect-divergence] [--max-shrink-probes N] \
-                     [--serve] [--threads N]"
+                     [--serve] [--threads N] [--chaos]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -83,6 +89,9 @@ fn main() -> ExitCode {
     }
     if seeds.is_empty() {
         seeds.push(cfg.seed);
+    }
+    if chaos && !serve {
+        die("--chaos requires --serve");
     }
 
     if serve {
@@ -96,6 +105,7 @@ fn main() -> ExitCode {
                 iters: cfg.iters,
                 profiles: cfg.profiles.clone(),
                 threads,
+                chaos,
             });
             eprintln!("{report}");
             ok &= report.clean();

@@ -348,8 +348,16 @@ pub fn gen_doc(rng: &mut SmallRng) -> String {
 struct Gen<'a> {
     rng: &'a mut SmallRng,
     profile: FuzzProfile,
-    /// Node-sequence variables in scope (bound by `for`/quantifiers).
+    /// Node-sequence variables in scope: `for`-bound singletons *and*
+    /// `let`-bound whole sequences. Safe as path inputs, not as
+    /// singleton expressions.
     node_vars: Vec<String>,
+    /// The `for`-bound subset of [`Gen::node_vars`]: exactly one node
+    /// per tuple, so `$v/@id` is a singleton and `string($v/@id)` is
+    /// deterministic. Singleton contexts (order-by keys, constructor
+    /// content) must draw from here only — a `let`-bound sequence there
+    /// would make the oracle's admissible set ambiguous.
+    for_vars: Vec<String>,
     next_var: usize,
 }
 
@@ -362,6 +370,7 @@ pub fn gen_query(rng: &mut SmallRng, profile: FuzzProfile) -> Expr {
         rng,
         profile,
         node_vars: Vec::new(),
+        for_vars: Vec::new(),
         next_var: 0,
     };
     match g.rng.gen_range(0..10u32) {
@@ -645,10 +654,12 @@ impl Gen<'_> {
         }
     }
 
-    /// A FLWOR: 1–2 `for` clauses over paths, optional `let`, `where`,
-    /// `order by`, returning something that uses the bound variables.
+    /// A FLWOR: 1–2 `for` clauses over paths, optional `let` (an
+    /// arithmetic value or a whole node sequence), `where`, `order by`,
+    /// returning something that uses the bound variables.
     fn flwor(&mut self, depth: usize) -> Expr {
         let outer_vars = self.node_vars.len();
+        let outer_for = self.for_vars.len();
         let mut clauses = Vec::new();
         let nfor = self.rng.gen_range(1..=2usize);
         for _ in 0..nfor {
@@ -661,14 +672,26 @@ impl Gen<'_> {
                 None
             };
             self.node_vars.push(var.clone());
+            self.for_vars.push(var.clone());
             clauses.push(Clause::For { var, pos_var, seq });
         }
         if self.rng.gen_bool(0.3) {
-            let expr = self.arith(depth + 1);
-            clauses.push(Clause::Let {
-                var: self.fresh_var(),
-                expr,
-            });
+            if self.rng.gen_bool(0.5) {
+                // `let` over a node *sequence*: the variable holds all
+                // matching nodes at once, later streamed by paths or
+                // returned whole — the optimizer must not confuse its
+                // (absent) iteration order with a `for` binding's.
+                let expr = self.path(depth + 1);
+                let var = self.fresh_var();
+                self.node_vars.push(var.clone());
+                clauses.push(Clause::Let { var, expr });
+            } else {
+                let expr = self.arith(depth + 1);
+                clauses.push(Clause::Let {
+                    var: self.fresh_var(),
+                    expr,
+                });
+            }
         }
         if self.rng.gen_bool(0.4) {
             let w = self.comparison(depth + 1);
@@ -681,9 +704,11 @@ impl Gen<'_> {
             0.3
         }) {
             // Keys over the unique `id` attribute are total, so ordering
-            // is deterministic in every arm.
-            let nth = self.rng.gen_range(outer_vars..self.node_vars.len());
-            let var = self.node_vars[nth].clone();
+            // is deterministic in every arm. Drawn from this FLWOR's
+            // `for` bindings only: a `let`-bound sequence is no
+            // singleton, so it cannot be an order key.
+            let nth = self.rng.gen_range(outer_for..self.for_vars.len());
+            let var = self.for_vars[nth].clone();
             let key = self.id_of(Expr::Var(var));
             order_by.push(OrderSpec {
                 key,
@@ -692,6 +717,7 @@ impl Gen<'_> {
         }
         let ret = self.flwor_return(depth + 1);
         self.node_vars.truncate(outer_vars);
+        self.for_vars.truncate(outer_for);
         Expr::Flwor {
             clauses,
             order_by,
@@ -701,14 +727,22 @@ impl Gen<'_> {
     }
 
     fn flwor_return(&mut self, depth: usize) -> Expr {
-        let var = self
-            .node_vars
-            .last()
-            .cloned()
-            .unwrap_or_else(|| "missing".into());
         match self.rng.gen_range(0..5u32) {
-            0 | 1 => Expr::Var(var),
+            // Returning any in-scope node var is fine — a `let`-bound
+            // sequence just yields all its nodes per tuple.
+            0 | 1 => Expr::Var(
+                self.node_vars
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| "missing".into()),
+            ),
+            // `string(...)` needs a singleton: `for`-bound vars only.
             2 => {
+                let var = self
+                    .for_vars
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| "missing".into());
                 let id = self.id_of(Expr::Var(var));
                 Expr::Call {
                     name: "string".into(),
@@ -729,7 +763,8 @@ impl Gen<'_> {
             1 => self.aggregate(depth),
             2 => self.arith(depth),
             _ => {
-                if let Some(var) = self.node_vars.last().cloned() {
+                // Singleton context: only `for`-bound vars qualify.
+                if let Some(var) = self.for_vars.last().cloned() {
                     let id = self.id_of(Expr::Var(var));
                     Expr::Call {
                         name: "string".into(),

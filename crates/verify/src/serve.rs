@@ -16,16 +16,34 @@
 //! [`QueryOptions::baseline`]. Both arms of a cell always use identical
 //! options, so any divergence is a serving-layer bug (framing, escaping,
 //! snapshot swap, scheduling), never an optimizer disagreement.
+//!
+//! The **chaos arm** ([`ServeDiffConfig::chaos`]) additionally arms the
+//! daemon's deterministic network failpoints (torn writes, trickled
+//! frames, mid-frame disconnects, delayed reads) and swaps the raw
+//! socket for the retrying [`exrquy_xqc::Client`]: the answers must
+//! *still* be byte-for-byte identical, proving the client's retry loop
+//! composes with the fault-injected transport without corrupting or
+//! dropping a single cell. Panic failpoints are deliberately excluded
+//! here — a contained panic answers `EXRQ0009`, which is a legitimate
+//! server answer, not a transport fault, so it belongs to the panic
+//! containment tests, not the transparency check.
 
 use crate::fuzz::{cell_rng, gen_doc, gen_query, FuzzProfile, FUZZ_DOC_URL};
 use exrquy::frontend::pretty;
 use exrquy::{QueryOptions, Session};
+use exrquy_diag::Failpoints;
+use exrquy_xqc::{Client, ClientError, Config as XqcConfig, QueryOpts};
 use exrquy_xqd::json::{obj, parse, Value};
 use exrquy_xqd::{spawn, ServerConfig};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// The failpoint spec the chaos arm arms on the daemon: every `net-*`
+/// fault class, on mutually prime cadences so they interleave.
+pub const CHAOS_NET_SPEC: &str =
+    "net-torn-write:5,net-trickle:9,net-disconnect:17,net-slow-read:13";
 
 /// Configuration of one serve-path differential run.
 #[derive(Debug, Clone)]
@@ -40,6 +58,9 @@ pub struct ServeDiffConfig {
     /// in-process arm always runs serial: parallel execution is
     /// byte-identical by contract, so this also cross-checks that.
     pub threads: usize,
+    /// Arm [`CHAOS_NET_SPEC`] on the daemon and drive the socket arm
+    /// through the retrying `xqc` client instead of a raw socket.
+    pub chaos: bool,
 }
 
 impl Default for ServeDiffConfig {
@@ -49,6 +70,7 @@ impl Default for ServeDiffConfig {
             iters: 100,
             profiles: vec![FuzzProfile::Ordered, FuzzProfile::Unordered],
             threads: 0,
+            chaos: false,
         }
     }
 }
@@ -75,6 +97,9 @@ pub struct ServeReport {
     /// Cells the daemon shed (`EXRQ0006/7/8`) — legal under load, so
     /// not a divergence, but they carry no signal either.
     pub skipped: usize,
+    /// Client-side retries spent recovering injected transport faults
+    /// (always 0 without [`ServeDiffConfig::chaos`]).
+    pub retries: u64,
     pub divergences: Vec<ServeDivergence>,
 }
 
@@ -88,12 +113,13 @@ impl fmt::Display for ServeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "serve-fuzz seed {}: {} cells, {} matched, {} skipped, {} divergences",
+            "serve-fuzz seed {}: {} cells, {} matched, {} skipped, {} divergences, {} retries",
             self.seed,
             self.cells,
             self.matched,
             self.skipped,
-            self.divergences.len()
+            self.divergences.len(),
+            self.retries,
         )?;
         for d in &self.divergences {
             write!(
@@ -115,6 +141,98 @@ enum Arm {
     Shed,
 }
 
+/// The socket arm's transport: a raw blocking socket in the default
+/// mode (any transport hiccup is a harness bug and panics), or the
+/// retrying `xqc` client when chaos is armed (transport faults are the
+/// point; only an *unrecovered* one panics).
+enum Wire {
+    Raw {
+        writer: TcpStream,
+        reader: BufReader<TcpStream>,
+    },
+    Retrying(Box<Client>),
+}
+
+impl Wire {
+    fn load(&mut self, id: i64, url: &str, xml: &str) -> Result<(), String> {
+        match self {
+            Wire::Raw { writer, reader } => {
+                let resp = roundtrip(
+                    writer,
+                    reader,
+                    obj(vec![
+                        ("id", Value::Int(id)),
+                        ("op", Value::Str("load".into())),
+                        ("url", Value::Str(url.into())),
+                        ("xml", Value::Str(xml.into())),
+                    ]),
+                );
+                if resp.get("ok") == Some(&Value::Bool(true)) {
+                    Ok(())
+                } else {
+                    Err(resp.render())
+                }
+            }
+            Wire::Retrying(client) => client.load(url, xml).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn query(&mut self, id: i64, query: &str, baseline: bool) -> Arm {
+        match self {
+            Wire::Raw { writer, reader } => {
+                let mut req = vec![
+                    ("id", Value::Int(id)),
+                    ("op", Value::Str("query".into())),
+                    ("query", Value::Str(query.into())),
+                ];
+                if baseline {
+                    req.push(("ordering", Value::Str("baseline".into())));
+                }
+                let resp = roundtrip(writer, reader, obj(req));
+                if resp.get("ok") == Some(&Value::Bool(true)) {
+                    Arm::Result(
+                        resp.get("result")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                    )
+                } else {
+                    match resp.get("code").and_then(Value::as_str) {
+                        Some(code) if code.starts_with("EXRQ000") => Arm::Shed,
+                        Some(code) => Arm::Error(code.to_string()),
+                        None => Arm::Error(format!("untyped failure: {}", resp.render())),
+                    }
+                }
+            }
+            Wire::Retrying(client) => {
+                let opts = QueryOpts {
+                    baseline,
+                    ..QueryOpts::default()
+                };
+                match client.query_with(query, &opts) {
+                    Ok(result) => Arm::Result(result),
+                    Err(ClientError::Server { code, .. })
+                        if code.as_str().starts_with("EXRQ000") =>
+                    {
+                        Arm::Shed
+                    }
+                    Err(ClientError::Server { code, .. }) => Arm::Error(code.as_str().to_string()),
+                    // An unrecovered transport/protocol failure under
+                    // bounded, deterministic chaos is a client bug.
+                    Err(e) => panic!("chaos serve-diff: unrecovered failure: {e}"),
+                }
+            }
+        }
+    }
+
+    fn retries(&self) -> u64 {
+        match self {
+            Wire::Raw { .. } => 0,
+            Wire::Retrying(client) => client.stats().retries,
+        }
+    }
+}
+
 /// Run the serve-path differential fuzzer against a freshly spawned
 /// in-process daemon. Panics on transport failures (connect, framing):
 /// those are harness bugs, not divergences.
@@ -124,23 +242,42 @@ pub fn run_serve_diff(cfg: &ServeDiffConfig) -> ServeReport {
             workers: 2,
             queue_capacity: 16,
             threads: cfg.threads,
+            failpoints: if cfg.chaos {
+                Failpoints::parse(CHAOS_NET_SPEC).expect("chaos spec parses")
+            } else {
+                Failpoints::default()
+            },
             ..ServerConfig::default()
         },
         Session::new(),
     )
     .expect("spawn in-process daemon for serve-diff");
-    let stream = TcpStream::connect(server.addr()).expect("connect to serve-diff daemon");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    let mut writer = stream.try_clone().unwrap();
-    let mut reader = BufReader::new(stream);
+    let mut wire = if cfg.chaos {
+        Wire::Retrying(Box::new(Client::connect(XqcConfig {
+            max_retries: 8,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(20),
+            read_timeout: Duration::from_secs(120),
+            jitter_seed: cfg.seed,
+            ..XqcConfig::new(server.addr().to_string())
+        })))
+    } else {
+        let stream = TcpStream::connect(server.addr()).expect("connect to serve-diff daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Wire::Raw {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    };
 
     let mut report = ServeReport {
         seed: cfg.seed,
         cells: 0,
         matched: 0,
         skipped: 0,
+        retries: 0,
         divergences: Vec::new(),
     };
 
@@ -171,50 +308,22 @@ pub fn run_serve_diff(cfg: &ServeDiffConfig) -> ServeReport {
 
             // Served arm: hot-reload the document (exercising the
             // snapshot swap every cell), then query over the wire.
-            let load = roundtrip(
-                &mut writer,
-                &mut reader,
-                obj(vec![
-                    ("id", Value::Int((i as i64) * 2)),
-                    ("op", Value::Str("load".into())),
-                    ("url", Value::Str(FUZZ_DOC_URL.into())),
-                    ("xml", Value::Str(doc.clone())),
-                ]),
-            );
-            if load.get("ok") != Some(&Value::Bool(true)) {
+            if let Err(failure) = wire.load((i as i64) * 2, FUZZ_DOC_URL, &doc) {
                 // The direct arm loaded this exact document above.
                 report.divergences.push(ServeDivergence {
                     iteration: i,
                     profile,
                     query,
                     direct: "document loads".to_string(),
-                    served: format!("load failed: {}", load.render()),
+                    served: format!("load failed: {failure}"),
                 });
                 continue;
             }
-            let mut req = vec![
-                ("id", Value::Int((i as i64) * 2 + 1)),
-                ("op", Value::Str("query".into())),
-                ("query", Value::Str(query.clone())),
-            ];
-            if matches!(profile, FuzzProfile::Ordered) {
-                req.push(("ordering", Value::Str("baseline".into())));
-            }
-            let resp = roundtrip(&mut writer, &mut reader, obj(req));
-            let served = if resp.get("ok") == Some(&Value::Bool(true)) {
-                Arm::Result(
-                    resp.get("result")
-                        .and_then(Value::as_str)
-                        .unwrap_or_default()
-                        .to_string(),
-                )
-            } else {
-                match resp.get("code").and_then(Value::as_str) {
-                    Some(code) if code.starts_with("EXRQ000") => Arm::Shed,
-                    Some(code) => Arm::Error(code.to_string()),
-                    None => Arm::Error(format!("untyped failure: {}", resp.render())),
-                }
-            };
+            let served = wire.query(
+                (i as i64) * 2 + 1,
+                &query,
+                matches!(profile, FuzzProfile::Ordered),
+            );
 
             match (&direct, &served) {
                 (_, Arm::Shed) => report.skipped += 1,
@@ -230,8 +339,8 @@ pub fn run_serve_diff(cfg: &ServeDiffConfig) -> ServeReport {
         }
     }
 
-    drop(writer);
-    drop(reader);
+    report.retries = wire.retries();
+    drop(wire);
     let stats = server.shutdown();
     assert_eq!(stats.queue_depth, 0, "serve-diff drain left work queued");
     report
@@ -289,5 +398,28 @@ mod tests {
             ..ServeDiffConfig::default()
         });
         assert!(report.clean(), "{report}");
+    }
+
+    /// With every network fault armed and the retrying client in the
+    /// loop, the serve path is *still* byte-for-byte transparent — and
+    /// deterministically so, because the faults are count-based and the
+    /// retry jitter is seeded.
+    #[test]
+    fn chaos_serve_path_stays_byte_identical_through_injected_faults() {
+        let cfg = ServeDiffConfig {
+            seed: 7,
+            iters: 10,
+            chaos: true,
+            ..ServeDiffConfig::default()
+        };
+        let a = run_serve_diff(&cfg);
+        assert!(a.clean(), "{a}");
+        assert!(
+            a.retries >= 1,
+            "40+ frames through a disconnect-every-17th transport \
+             must have needed retries: {a}"
+        );
+        let b = run_serve_diff(&cfg);
+        assert_eq!(a.to_string(), b.to_string(), "chaos run is deterministic");
     }
 }

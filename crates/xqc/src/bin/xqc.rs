@@ -1,0 +1,162 @@
+//! xqc — command-line client for an xqd daemon.
+//!
+//! ```text
+//! xqc --addr 127.0.0.1:7077 [--retries <n>] [--connect-timeout-ms <ms>] \
+//!     [--read-timeout-ms <ms>] [--seed <n>] <command> [args]
+//!
+//! commands:
+//!   query <expr> [--deadline-ms <ms>] [--ordering indifferent|baseline]
+//!   load <url> <path>        stage a document and hot-swap the catalog
+//!   ping | stats | health | ready | shutdown
+//! ```
+//!
+//! Exit codes mirror the repo's error taxonomy: 0 on success, the
+//! error class code (1 static, 2 dynamic, 3 resource, 4 io,
+//! 5 verification) on a server error, 4 on transport failure, 1 on
+//! protocol confusion. `ready` exits 0 only when the server is ready.
+
+use exrquy_xqc::{Client, ClientError, Config, QueryOpts};
+use std::process::exit;
+use std::time::Duration;
+
+const EXIT_USAGE: i32 = 64;
+const EXIT_IO: i32 = 4;
+const EXIT_STATIC: i32 = 1;
+const EXIT_NOT_READY: i32 = 1;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xqc --addr <host:port> [--retries <n>] [--connect-timeout-ms <ms>] \\\n\
+         \x20        [--read-timeout-ms <ms>] [--seed <n>] <command> [args]\n\
+         commands: query <expr> [--deadline-ms <ms>] [--ordering indifferent|baseline]\n\
+         \x20         load <url> <path> | ping | stats | health | ready | shutdown"
+    );
+    exit(EXIT_USAGE);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("xqc: {flag} requires a numeric argument");
+            exit(EXIT_USAGE);
+        }
+    }
+}
+
+fn fail(e: ClientError) -> ! {
+    eprintln!("xqc: {e}");
+    match e {
+        ClientError::Transport(_) => exit(EXIT_IO),
+        ClientError::Proto(_) => exit(EXIT_STATIC),
+        ClientError::Server { code, .. } => exit(code.class().exit_code()),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut cfg: Option<Config> = None;
+    let mut retries: Option<u32> = None;
+    let mut connect_ms: Option<u64> = None;
+    let mut read_ms: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut command: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(addr) = args.next() else { usage() };
+                cfg = Some(Config::new(addr));
+            }
+            "--retries" => retries = Some(parse_num("--retries", args.next())),
+            "--connect-timeout-ms" => {
+                connect_ms = Some(parse_num("--connect-timeout-ms", args.next()))
+            }
+            "--read-timeout-ms" => read_ms = Some(parse_num("--read-timeout-ms", args.next())),
+            "--seed" => seed = Some(parse_num("--seed", args.next())),
+            "--help" | "-h" => usage(),
+            _ => {
+                command.push(arg);
+                command.extend(args.by_ref());
+            }
+        }
+    }
+    let Some(mut cfg) = cfg else { usage() };
+    if let Some(n) = retries {
+        cfg.max_retries = n;
+    }
+    if let Some(ms) = connect_ms {
+        cfg.connect_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = read_ms {
+        cfg.read_timeout = Duration::from_millis(ms);
+    }
+    if let Some(s) = seed {
+        cfg.jitter_seed = s;
+    }
+    let mut client = Client::connect(cfg);
+
+    let mut cmd = command.into_iter();
+    match cmd.next().as_deref() {
+        Some("query") => {
+            let Some(expr) = cmd.next() else { usage() };
+            let mut opts = QueryOpts::default();
+            while let Some(flag) = cmd.next() {
+                match flag.as_str() {
+                    "--deadline-ms" => {
+                        opts.deadline_ms = Some(parse_num("--deadline-ms", cmd.next()))
+                    }
+                    "--ordering" => match cmd.next().as_deref() {
+                        Some("indifferent") => opts.baseline = false,
+                        Some("baseline") => opts.baseline = true,
+                        _ => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            match client.query_with(&expr, &opts) {
+                Ok(result) => println!("{result}"),
+                Err(e) => fail(e),
+            }
+        }
+        Some("load") => {
+            let (Some(url), Some(path)) = (cmd.next(), cmd.next()) else {
+                usage()
+            };
+            let xml = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("xqc: cannot read {path}: {e}");
+                exit(EXIT_IO);
+            });
+            if let Err(e) = client.load(&url, &xml) {
+                fail(e);
+            }
+            eprintln!("xqc: loaded {url} ({} bytes)", xml.len());
+        }
+        Some("ping") => match client.ping() {
+            Ok(()) => println!("pong"),
+            Err(e) => fail(e),
+        },
+        Some("stats") => match client.server_stats() {
+            Ok(v) => println!("{}", v.render()),
+            Err(e) => fail(e),
+        },
+        Some("health") => match client.health() {
+            Ok(v) => println!("{}", v.render()),
+            Err(e) => fail(e),
+        },
+        Some("ready") => match client.ready() {
+            Ok(ready) => {
+                println!("{ready}");
+                if !ready {
+                    exit(EXIT_NOT_READY);
+                }
+            }
+            Err(e) => fail(e),
+        },
+        Some("shutdown") => match client.shutdown() {
+            Ok(()) => eprintln!("xqc: server draining"),
+            Err(e) => fail(e),
+        },
+        _ => usage(),
+    }
+}

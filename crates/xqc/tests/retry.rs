@@ -1,0 +1,215 @@
+//! Retry-path coverage against scripted flaky servers: each test stands
+//! up a raw `TcpListener` that misbehaves in one specific way and
+//! asserts the client retries exactly when the failure is retry-safe.
+
+use exrquy_diag::ErrorCode;
+use exrquy_xqc::{Client, ClientError, Config};
+use exrquy_xqd::json::{parse, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fast-retry config pointed at `addr`.
+fn quick_cfg(addr: &str) -> Config {
+    Config {
+        max_retries: 3,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(4),
+        read_timeout: Duration::from_secs(5),
+        ..Config::new(addr)
+    }
+}
+
+/// Read one request line off `stream`; returns the echoed id rendering.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Value> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => None,
+        Ok(_) => parse(line.trim_end()).ok()?.get("id").cloned(),
+    }
+}
+
+fn respond(stream: &mut TcpStream, body: &str) {
+    stream.write_all(body.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+}
+
+/// Spawn a scripted server; each closure handles one accepted
+/// connection in order, then the listener closes.
+fn scripted<F>(script: Vec<F>) -> (String, JoinHandle<()>)
+where
+    F: FnOnce(TcpStream) + Send + 'static,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        for handler in script {
+            let (stream, _) = listener.accept().unwrap();
+            handler(stream);
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn connection_drop_before_response_triggers_reconnect_and_retry() {
+    let (addr, server) = scripted(vec![
+        // First connection: read the request, slam the door.
+        Box::new(|stream: TcpStream| {
+            let mut reader = BufReader::new(stream);
+            let _ = read_request(&mut reader);
+            // dropping the stream closes it without a response
+        }) as Box<dyn FnOnce(TcpStream) + Send>,
+        // Second connection: behave.
+        Box::new(|stream: TcpStream| {
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let id = read_request(&mut reader).unwrap();
+            respond(
+                &mut writer,
+                &format!(r#"{{"id":{},"ok":true,"result":"2"}}"#, id.render()),
+            );
+        }),
+    ]);
+
+    let mut client = Client::connect(quick_cfg(&addr));
+    assert_eq!(client.query("1 + 1").unwrap(), "2");
+    assert_eq!(client.stats().retries, 1);
+    assert_eq!(client.stats().reconnects, 1);
+    server.join().unwrap();
+}
+
+#[test]
+fn overload_shed_is_retried_on_the_same_connection() {
+    let (addr, server) = scripted(vec![Box::new(|stream: TcpStream| {
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // First attempt: shed with the retry-safe overload code.
+        let id = read_request(&mut reader).unwrap();
+        respond(
+            &mut writer,
+            &format!(
+                r#"{{"id":{},"ok":false,"code":"EXRQ0006","message":"overloaded"}}"#,
+                id.render()
+            ),
+        );
+        // Retry arrives on the *same* connection.
+        let id = read_request(&mut reader).unwrap();
+        respond(
+            &mut writer,
+            &format!(r#"{{"id":{},"ok":true,"result":"2"}}"#, id.render()),
+        );
+    }) as Box<dyn FnOnce(TcpStream) + Send>]);
+
+    let mut client = Client::connect(quick_cfg(&addr));
+    assert_eq!(client.query("1 + 1").unwrap(), "2");
+    assert_eq!(client.stats().retries, 1);
+    assert_eq!(client.stats().reconnects, 0, "no reconnect for a shed");
+    server.join().unwrap();
+}
+
+#[test]
+fn non_retryable_codes_fail_immediately_without_a_second_request() {
+    for code in ["EXRQ0009", "EPROTO", "XPST0003", "EXRQ0008"] {
+        let requests_seen = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&requests_seen);
+        let response = format!(r#""ok":false,"code":"{code}","message":"nope""#);
+        let (addr, server) = scripted(vec![Box::new(move |stream: TcpStream| {
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            while let Some(id) = read_request(&mut reader) {
+                seen.fetch_add(1, Ordering::SeqCst);
+                respond(
+                    &mut writer,
+                    &format!(r#"{{"id":{},{response}}}"#, id.render()),
+                );
+            }
+        }) as Box<dyn FnOnce(TcpStream) + Send>]);
+
+        let mut client = Client::connect(quick_cfg(&addr));
+        match client.query("1") {
+            Err(ClientError::Server { code: got, .. }) => {
+                assert_eq!(got, ErrorCode::parse(code).unwrap());
+            }
+            other => panic!("{code}: wanted a server error, got {other:?}"),
+        }
+        assert_eq!(client.stats().retries, 0, "{code} must not be retried");
+        drop(client); // closes the connection, ends the server loop
+        server.join().unwrap();
+        assert_eq!(requests_seen.load(Ordering::SeqCst), 1, "{code}");
+    }
+}
+
+#[test]
+fn garbage_and_mismatched_responses_are_protocol_errors_not_retries() {
+    for bad in [
+        "this is not json".to_string(),
+        // Valid JSON, but the wrong id: a confused peer, not a lost one.
+        r#"{"id":999,"ok":true,"result":"2"}"#.to_string(),
+        // Valid error shape with a code outside the taxonomy.
+        r#"{"id":1,"ok":false,"code":"EWHAT","message":"?"}"#.to_string(),
+    ] {
+        let (addr, server) = scripted(vec![Box::new(move |stream: TcpStream| {
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let _ = read_request(&mut reader);
+            respond(&mut writer, &bad);
+        }) as Box<dyn FnOnce(TcpStream) + Send>]);
+
+        let mut client = Client::connect(quick_cfg(&addr));
+        match client.query("1") {
+            Err(ClientError::Proto(_)) => {}
+            other => panic!("wanted a protocol error, got {other:?}"),
+        }
+        assert_eq!(client.stats().retries, 0);
+        server.join().unwrap();
+    }
+}
+
+#[test]
+fn truncated_response_line_counts_as_transport_and_is_retried() {
+    let (addr, server) = scripted(vec![
+        Box::new(|mut stream: TcpStream| {
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let _ = read_request(&mut reader);
+            // Half a frame, no newline, then close: a torn write the
+            // peer never finished.
+            stream.write_all(br#"{"id":1,"ok":tr"#).unwrap();
+            stream.flush().unwrap();
+        }) as Box<dyn FnOnce(TcpStream) + Send>,
+        Box::new(|stream: TcpStream| {
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let id = read_request(&mut reader).unwrap();
+            respond(
+                &mut writer,
+                &format!(r#"{{"id":{},"ok":true,"result":"1"}}"#, id.render()),
+            );
+        }),
+    ]);
+
+    let mut client = Client::connect(quick_cfg(&addr));
+    assert_eq!(client.query("1").unwrap(), "1");
+    assert_eq!(client.stats().retries, 1);
+    assert_eq!(client.stats().reconnects, 1);
+    server.join().unwrap();
+}
+
+#[test]
+fn connect_refused_exhausts_the_retry_budget_then_surfaces_transport() {
+    // Bind then drop to get a port that actively refuses.
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let mut client = Client::connect(quick_cfg(&addr));
+    match client.query("1") {
+        Err(ClientError::Transport(m)) => assert!(m.contains("connect"), "{m}"),
+        other => panic!("wanted transport failure, got {other:?}"),
+    }
+    assert_eq!(client.stats().retries, 3, "full budget spent");
+}

@@ -4,7 +4,7 @@
 //! xqd --listen 127.0.0.1:7077 --doc site.xml=./site.xml \
 //!     [--workers <n>] [--queue <n>] [--max-inflight <n>] \
 //!     [--drain-grace-ms <ms>] [--deadline-ms <ms>] [--threads <n>] \
-//!     [--plan-cache <n>] [--inject <spec>]
+//!     [--plan-cache <n>] [--mem-watermark <bytes>] [--inject <spec>]
 //! ```
 //!
 //! The daemon drains gracefully on SIGTERM/SIGINT or a `shutdown` op:
@@ -26,7 +26,8 @@ fn usage() -> ! {
         "usage: xqd --listen <addr> [--doc <url>=<path>]... \\\n\
          \x20        [--workers <n>] [--queue <n>] [--max-inflight <n>] \\\n\
          \x20        [--drain-grace-ms <ms>] [--deadline-ms <ms>] \\\n\
-         \x20        [--threads <n>] [--plan-cache <n>] [--inject <spec>]"
+         \x20        [--threads <n>] [--plan-cache <n>] \\\n\
+         \x20        [--mem-watermark <bytes>] [--inject <spec>]"
     );
     exit(EXIT_USAGE);
 }
@@ -108,6 +109,9 @@ fn main() {
             }
             "--threads" => cfg.threads = parse_num("--threads", args.next()),
             "--plan-cache" => cfg.plan_cache = Some(parse_num("--plan-cache", args.next())),
+            "--mem-watermark" => {
+                cfg.mem_watermark = Some(parse_num("--mem-watermark", args.next()))
+            }
             "--inject" => {
                 let Some(spec) = args.next() else { usage() };
                 match Failpoints::parse(&spec) {
@@ -155,12 +159,17 @@ fn main() {
     eprintln!("xqd: draining...");
     let stats = handle.shutdown();
     eprintln!(
-        "xqd: done — {} completed, {} failed, {} shed ({} overload / {} deadline / {} drain)",
+        "xqd: done — {} completed, {} failed, {} crashed, {} shed \
+         ({} overload / {} deadline / {} drain / {} drained), \
+         {} workers respawned",
         stats.completed,
         stats.failed,
+        stats.crashed,
         stats.shed(),
         stats.shed_overload,
         stats.shed_deadline,
         stats.shed_draining,
+        stats.drained,
+        stats.workers_respawned,
     );
 }

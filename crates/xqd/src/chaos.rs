@@ -1,0 +1,96 @@
+//! Chaos transport: a deterministic fault-injecting wrapper over the
+//! server side of a connection, driven by the `net-*` failpoints.
+//!
+//! Faults are keyed on per-connection counters with every-n-th
+//! semantics ([`Failpoints::tears_write`] & co.), so the fault pattern
+//! on any given connection is a pure function of the spec and how many
+//! frames crossed it — reconnecting clients see the same pattern again
+//! from frame one, which is what makes the chaos arm of the serve-path
+//! differential reproducible.
+//!
+//! The injected faults are the real network failure modes a line
+//! protocol must survive:
+//!
+//! - **torn write**: the frame is flushed in two halves with a pause
+//!   between them — framing must not depend on a write being atomic;
+//! - **mid-frame disconnect**: half a frame, then a hard socket
+//!   shutdown — the client must detect the truncated line and retry;
+//! - **slow-loris trickle**: the first bytes dribble out one flush at a
+//!   time — readers with timeouts must tolerate slow-but-live peers;
+//! - **delayed read**: request reads stall briefly — exercises the
+//!   reader's timeout/shutdown polling.
+
+use exrquy_diag::Failpoints;
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Per-connection chaos counters plus the armed spec. One instance per
+/// connection; `None` (from [`ChaosState::arm`]) when no `net-*`
+/// failpoint is armed, so the fast path pays a single `Option` check.
+pub(crate) struct ChaosState {
+    fp: Failpoints,
+    writes: AtomicUsize,
+    reads: AtomicUsize,
+}
+
+impl ChaosState {
+    /// Chaos state for one connection, or `None` when no network
+    /// failpoint is armed.
+    pub(crate) fn arm(fp: &Failpoints) -> Option<Arc<ChaosState>> {
+        fp.any_net_chaos().then(|| {
+            Arc::new(ChaosState {
+                fp: fp.clone(),
+                writes: AtomicUsize::new(0),
+                reads: AtomicUsize::new(0),
+            })
+        })
+    }
+
+    /// Write one response frame (line + `\n`), possibly torn, trickled,
+    /// or cut short by an injected disconnect.
+    pub(crate) fn write_frame(&self, stream: &mut TcpStream, frame: &[u8]) -> io::Result<()> {
+        let nth = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fp.disconnects_write(nth) {
+            // Half a frame, then a hard close: the client sees a
+            // truncated line with no newline and must not parse it.
+            let cut = frame.len() / 2;
+            stream.write_all(&frame[..cut])?;
+            stream.flush()?;
+            let _ = stream.shutdown(Shutdown::Both);
+            return Ok(());
+        }
+        if self.fp.trickles_write(nth) {
+            let head = frame.len().min(16);
+            for b in &frame[..head] {
+                stream.write_all(std::slice::from_ref(b))?;
+                stream.flush()?;
+                thread::sleep(Duration::from_micros(200));
+            }
+            stream.write_all(&frame[head..])?;
+            return stream.flush();
+        }
+        if self.fp.tears_write(nth) {
+            let cut = frame.len() / 2;
+            stream.write_all(&frame[..cut])?;
+            stream.flush()?;
+            thread::sleep(Duration::from_millis(1));
+            stream.write_all(&frame[cut..])?;
+            return stream.flush();
+        }
+        stream.write_all(frame)?;
+        stream.flush()
+    }
+
+    /// Called once per request-line read (not per poll, so the counter
+    /// stays deterministic); stalls briefly when `net-slow-read` fires.
+    pub(crate) fn before_read(&self) {
+        let nth = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fp.delays_read(nth) {
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+}

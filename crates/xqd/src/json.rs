@@ -398,6 +398,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
+        // Invariant: the scanned slice contains only ASCII number
+        // characters (digits, sign, dot, exponent), so it is valid UTF-8.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if is_float {
             text.parse::<f64>()

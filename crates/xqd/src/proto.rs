@@ -8,14 +8,23 @@
 //! {"id": 3, "op": "load", "url": "new.xml", "xml": "<a/>"}
 //! {"id": 4, "op": "stats"}
 //! {"id": 5, "op": "ping"}
-//! {"id": 6, "op": "shutdown"}
+//! {"id": 6, "op": "health"}
+//! {"id": 7, "op": "ready"}
+//! {"id": 8, "op": "shutdown"}
 //! ```
 //!
 //! Responses echo `id` and carry either `"ok": true` plus op-specific
 //! fields (`result` for queries) or `"ok": false` with `code` /
 //! `message`. Engine errors surface their `EXRQ`/W3C code; requests the
-//! server could not even parse get the synthetic code `EPROTO` and an
-//! `id` of `null` when the id itself was unreadable.
+//! server could not even parse get [`exrquy_diag::ErrorCode::EPROTO`]
+//! and an `id` of `null` when the id itself was unreadable.
+//!
+//! `health` and `ready` are the probe ops: both answer inline on the
+//! reader thread (never queued), so they respond even when the worker
+//! pool is saturated or the server is draining. `health` reports
+//! liveness plus worker-pool state; `ready` reports `"ready": false`
+//! (still with `"ok": true` — the probe itself succeeded) while the
+//! server drains or a catalog reload is staging.
 
 use crate::json::{obj, parse, Value};
 
@@ -47,6 +56,10 @@ pub enum Op {
     },
     Stats,
     Ping,
+    /// Liveness probe: worker-pool state, answered inline.
+    Health,
+    /// Readiness probe: flips false during drain and catalog reload.
+    Ready,
     Shutdown,
 }
 
@@ -134,6 +147,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         }
         "stats" => Op::Stats,
         "ping" => Op::Ping,
+        "health" => Op::Health,
+        "ready" => Op::Ready,
         "shutdown" => Op::Shutdown,
         other => return Err(ProtoError::new(id.clone(), format!("unknown op '{other}'"))),
     };
@@ -207,6 +222,14 @@ mod tests {
                 "{line}: {} should mention {needle}",
                 e.message
             );
+        }
+    }
+
+    #[test]
+    fn parses_probe_ops() {
+        for (name, want) in [("health", "Health"), ("ready", "Ready")] {
+            let r = parse_request(&format!(r#"{{"id":1,"op":"{name}"}}"#)).unwrap();
+            assert_eq!(format!("{:?}", r.op), want);
         }
     }
 

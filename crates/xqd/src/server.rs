@@ -22,18 +22,47 @@
 //! builder under a load-serialization lock while queries keep cloning
 //! the *previous* [`Executor`] snapshot; the swap itself holds the
 //! snapshot write lock only long enough to replace one pointer.
+//!
+//! Fault containment is layered (see DESIGN.md "Fault containment &
+//! self-healing"):
+//!
+//! 1. **`catch_unwind` around query execution** — an engine panic
+//!    answers `EXRQ0009` and the daemon keeps serving; the panicking
+//!    run's overlay arena died with the unwind, and a canary probe
+//!    checks the shared snapshot still answers.
+//! 2. **Worker supervision** — a worker thread that dies outside the
+//!    containment region (any non-engine panic) is detected by the
+//!    supervisor, its orphaned request answered `EXRQ0009`, its
+//!    scheduler accounting repaired, and a replacement worker spawned.
+//! 3. **Poison-recovering locks** — every shared mutex recovers from
+//!    `PoisonError` instead of propagating it, so a single crash never
+//!    cascades into every later lock acquisition.
+//!
+//! Counters reconcile at all times:
+//! `admitted == completed + failed + shed_deadline + drained + crashed`
+//! (see [`StatsSnapshot::reconciles`]).
 
+use crate::chaos::ChaosState;
 use crate::json::Value;
 use crate::proto::{err_response, ok_response, parse_request, Op, MAX_LINE_BYTES};
 use exrquy::{Error, Executor, QueryOptions, RunOptions, Session};
-use exrquy_diag::{CancellationToken, ErrorCode, Failpoints};
+use exrquy_diag::{CancellationToken, ErrorCode, Failpoints, MemoryGauge};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poisoning. Shared serving state stays
+/// structurally valid across a panicking lock holder (counters and
+/// collections are updated in place, never left half-rebuilt), and with
+/// panics contained per-request, a poisoned lock must degrade to "keep
+/// serving", not "every future request panics too".
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs for a daemon instance. `Default` matches the CLI
 /// defaults documented in `xqd --help`.
@@ -58,6 +87,12 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Plan-cache capacity override for freshly swapped catalogs.
     pub plan_cache: Option<usize>,
+    /// Memory high-watermark in bytes over the approximate
+    /// constructed-node footprint of all in-flight requests. Above it,
+    /// runnable work stays queued (already-expired jobs still shed
+    /// cheaply) until in-flight executions release memory. `None`
+    /// disables the governor.
+    pub mem_watermark: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +107,7 @@ impl Default for ServerConfig {
             failpoints: Failpoints::none(),
             threads: 0,
             plan_cache: None,
+            mem_watermark: None,
         }
     }
 }
@@ -92,6 +128,18 @@ struct Counters {
     shed_draining: AtomicU64,
     queue_peak: AtomicU64,
     loads: AtomicU64,
+    /// Requests whose execution panicked: contained by `catch_unwind`
+    /// or repaired by the supervisor after a worker died.
+    crashed: AtomicU64,
+    /// Admitted requests shed from the queue at drain time (the
+    /// dispatch-time refusal of *unadmitted* work stays in
+    /// `shed_draining`, so admission arithmetic reconciles).
+    drained: AtomicU64,
+    /// Dead worker threads detected and replaced by the supervisor.
+    workers_respawned: AtomicU64,
+    /// Times a worker found only memory-deferred work (watermark
+    /// governor held runnable jobs back).
+    mem_deferred: AtomicU64,
 }
 
 /// Point-in-time view of the counters, exposed via the `stats` op and
@@ -111,12 +159,28 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     pub queue_peak: u64,
     pub loads: u64,
+    pub crashed: u64,
+    pub drained: u64,
+    pub workers_respawned: u64,
+    pub mem_deferred: u64,
+    pub mem_inflight_bytes: u64,
+    pub mem_peak_bytes: u64,
 }
 
 impl StatsSnapshot {
     /// Total requests shed (any reason) — the "no hangs" denominator.
     pub fn shed(&self) -> u64 {
-        self.shed_overload + self.shed_deadline + self.shed_draining
+        self.shed_overload + self.shed_deadline + self.shed_draining + self.drained
+    }
+
+    /// The admission ledger balances: every admitted request is
+    /// accounted exactly once as completed, failed, deadline-shed,
+    /// drain-shed, or crashed. (`shed_overload` and `shed_draining`
+    /// refuse *before* admission, so they are outside the ledger.)
+    /// Only meaningful when nothing is queued or in flight.
+    pub fn reconciles(&self) -> bool {
+        self.admitted
+            == self.completed + self.failed + self.shed_deadline + self.drained + self.crashed
     }
 }
 
@@ -143,6 +207,16 @@ struct Sched {
     stopped: bool,
 }
 
+/// What the supervisor needs to answer for a request whose worker died
+/// mid-job: enough to send the `EXRQ0009` response and repair the
+/// scheduler's in-flight accounting.
+struct OrphanJob {
+    client: u64,
+    id: Value,
+    writer: Arc<ConnWriter>,
+    cancel: CancellationToken,
+}
+
 struct Shared {
     cfg: ServerConfig,
     /// Current executor snapshot; queries clone it (two `Arc` bumps) and
@@ -153,7 +227,10 @@ struct Shared {
     sched: Mutex<Sched>,
     work_ready: Condvar,
     draining: AtomicBool,
+    /// True while a catalog reload is staging — flips `/ready` off.
+    reloading: AtomicBool,
     stop_readers: AtomicBool,
+    stop_supervisor: AtomicBool,
     shutdown_requested: AtomicBool,
     shutdown_cv: Condvar,
     shutdown_mx: Mutex<()>,
@@ -161,11 +238,25 @@ struct Shared {
     /// Cancellation tokens of in-flight runs, cancelled en masse when
     /// the drain grace period expires.
     active_runs: Mutex<Vec<CancellationToken>>,
+    /// Shared memory gauge for the watermark governor; every in-flight
+    /// engine publishes its constructed-node bytes here.
+    gauge: MemoryGauge,
+    /// `running[i]` is what worker `i` is executing right now — the
+    /// supervisor's repair manifest when a worker dies.
+    running: Mutex<Vec<Option<OrphanJob>>>,
+    /// Monotone count of jobs started by the pool, for `worker-kill:<n>`.
+    jobs_started: AtomicU64,
+    /// Worker join handles, indexed by worker slot; `None` while a slot
+    /// is being respawned or after shutdown joined it. Shared with the
+    /// supervisor (which takes, joins, and replaces dead workers) and
+    /// the `health` probe.
+    workers: Mutex<Vec<Option<thread::JoinHandle<()>>>>,
+    started_at: Instant,
 }
 
 impl Shared {
     fn snapshot(&self) -> StatsSnapshot {
-        let queued = self.sched.lock().unwrap().queued as u64;
+        let queued = lock_recover(&self.sched).queued as u64;
         let c = &self.counters;
         StatsSnapshot {
             connections: c.connections.load(Ordering::Relaxed),
@@ -181,31 +272,58 @@ impl Shared {
             queue_depth: queued,
             queue_peak: c.queue_peak.load(Ordering::Relaxed),
             loads: c.loads.load(Ordering::Relaxed),
+            crashed: c.crashed.load(Ordering::Relaxed),
+            drained: c.drained.load(Ordering::Relaxed),
+            workers_respawned: c.workers_respawned.load(Ordering::Relaxed),
+            mem_deferred: c.mem_deferred.load(Ordering::Relaxed),
+            mem_inflight_bytes: self.gauge.bytes_in_flight() as u64,
+            mem_peak_bytes: self.gauge.peak_bytes() as u64,
         }
     }
 
     fn request_shutdown(&self) {
         self.draining.store(true, Ordering::SeqCst);
         self.shutdown_requested.store(true, Ordering::SeqCst);
-        let _guard = self.shutdown_mx.lock().unwrap();
+        let _guard = lock_recover(&self.shutdown_mx);
         self.shutdown_cv.notify_all();
+    }
+
+    /// Worker threads currently alive (not crashed, not yet joined).
+    fn workers_alive(&self) -> usize {
+        lock_recover(&self.workers)
+            .iter()
+            .filter(|h| h.as_ref().is_some_and(|h| !h.is_finished()))
+            .count()
     }
 }
 
 /// Per-connection serialized writer. Workers and the reader thread both
-/// respond through this, so response lines never interleave.
+/// respond through this, so response lines never interleave. Carries
+/// the connection's chaos-transport state when `net-*` failpoints are
+/// armed.
 struct ConnWriter {
     stream: Mutex<TcpStream>,
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl ConnWriter {
     /// Best-effort write; a dead client is not an error worth handling
     /// beyond dropping the bytes.
     fn send(&self, line: &str) {
-        let mut guard = self.stream.lock().unwrap();
-        let _ = guard.write_all(line.as_bytes());
-        let _ = guard.write_all(b"\n");
-        let _ = guard.flush();
+        let mut guard = lock_recover(&self.stream);
+        match &self.chaos {
+            None => {
+                let _ = guard.write_all(line.as_bytes());
+                let _ = guard.write_all(b"\n");
+                let _ = guard.flush();
+            }
+            Some(chaos) => {
+                let mut frame = Vec::with_capacity(line.len() + 1);
+                frame.extend_from_slice(line.as_bytes());
+                frame.push(b'\n');
+                let _ = chaos.write_frame(&mut guard, &frame);
+            }
+        }
     }
 }
 
@@ -216,7 +334,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept_thread: Option<thread::JoinHandle<()>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    supervisor: Option<thread::JoinHandle<()>>,
     readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
 }
 
@@ -244,13 +362,13 @@ impl ServerHandle {
     /// [`request_shutdown`]), polling `interrupted` so a signal flag can
     /// break the wait.
     pub fn wait_for_shutdown(&self, interrupted: impl Fn() -> bool) {
-        let mut guard = self.shared.shutdown_mx.lock().unwrap();
+        let mut guard = lock_recover(&self.shared.shutdown_mx);
         while !self.shared.shutdown_requested.load(Ordering::SeqCst) && !interrupted() {
             let (g, _) = self
                 .shared
                 .shutdown_cv
                 .wait_timeout(guard, Duration::from_millis(100))
-                .unwrap();
+                .unwrap_or_else(PoisonError::into_inner);
             guard = g;
         }
     }
@@ -264,14 +382,13 @@ impl ServerHandle {
         shared.request_shutdown();
 
         // Shed everything still queued — typed refusal, not silence.
+        // These were *admitted*, so they count as `drained`, keeping the
+        // admission ledger in balance.
         {
-            let mut sched = shared.sched.lock().unwrap();
+            let mut sched = lock_recover(&shared.sched);
             for (_, queue) in sched.queues.iter_mut() {
                 for job in queue.drain(..) {
-                    shared
-                        .counters
-                        .shed_draining
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.counters.drained.fetch_add(1, Ordering::Relaxed);
                     job.writer.send(&err_response(
                         &job.id,
                         ErrorCode::EXRQ0008.as_str(),
@@ -288,39 +405,59 @@ impl ServerHandle {
         // Grace period for in-flight work.
         let deadline = Instant::now() + shared.cfg.drain_grace;
         {
-            let mut sched = shared.sched.lock().unwrap();
+            let mut sched = lock_recover(&shared.sched);
             while sched.inflight_total > 0 && Instant::now() < deadline {
                 let timeout = deadline.saturating_duration_since(Instant::now());
-                let (g, _) = shared.work_ready.wait_timeout(sched, timeout).unwrap();
+                let (g, _) = shared
+                    .work_ready
+                    .wait_timeout(sched, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
                 sched = g;
             }
         }
 
         // Grace expired: cancel stragglers, then wait for them to yield
         // at the next budget poll.
-        for token in shared.active_runs.lock().unwrap().iter() {
+        for token in lock_recover(&shared.active_runs).iter() {
             token.cancel();
         }
         {
             let hard_stop = Instant::now() + shared.cfg.drain_grace;
-            let mut sched = shared.sched.lock().unwrap();
+            let mut sched = lock_recover(&shared.sched);
             while sched.inflight_total > 0 && Instant::now() < hard_stop {
                 let timeout = hard_stop.saturating_duration_since(Instant::now());
-                let (g, _) = shared.work_ready.wait_timeout(sched, timeout).unwrap();
+                let (g, _) = shared
+                    .work_ready
+                    .wait_timeout(sched, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
                 sched = g;
             }
+        }
+
+        // Stop the supervisor *before* stopping workers: workers exiting
+        // normally on `stopped` must not look like crashes to respawn.
+        shared.stop_supervisor.store(true, Ordering::SeqCst);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        {
+            let mut sched = lock_recover(&shared.sched);
             sched.stopped = true;
             shared.work_ready.notify_all();
         }
         shared.stop_readers.store(true, Ordering::SeqCst);
 
-        for worker in self.workers.drain(..) {
+        let workers: Vec<_> = lock_recover(&shared.workers)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for worker in workers {
             let _ = worker.join();
         }
         if let Some(acceptor) = self.accept_thread.take() {
             let _ = acceptor.join();
         }
-        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        let readers = std::mem::take(&mut *lock_recover(&self.readers));
         for reader in readers {
             let _ = reader.join();
         }
@@ -347,24 +484,33 @@ pub fn spawn(cfg: ServerConfig, mut session: Session) -> io::Result<ServerHandle
         sched: Mutex::new(Sched::default()),
         work_ready: Condvar::new(),
         draining: AtomicBool::new(false),
+        reloading: AtomicBool::new(false),
         stop_readers: AtomicBool::new(false),
+        stop_supervisor: AtomicBool::new(false),
         shutdown_requested: AtomicBool::new(false),
         shutdown_cv: Condvar::new(),
         shutdown_mx: Mutex::new(()),
         counters: Counters::default(),
         active_runs: Mutex::new(Vec::new()),
+        gauge: MemoryGauge::new(),
+        running: Mutex::new((0..workers).map(|_| None).collect()),
+        jobs_started: AtomicU64::new(0),
+        workers: Mutex::new((0..workers).map(|_| None).collect()),
+        started_at: Instant::now(),
         cfg,
     });
 
-    let mut worker_handles = Vec::with_capacity(workers);
-    for n in 0..workers {
-        let shared = Arc::clone(&shared);
-        worker_handles.push(
-            thread::Builder::new()
-                .name(format!("xqd-worker-{n}"))
-                .spawn(move || worker_loop(&shared))?,
-        );
+    {
+        let mut handles = lock_recover(&shared.workers);
+        for (n, slot) in handles.iter_mut().enumerate() {
+            *slot = Some(spawn_worker(&shared, n)?);
+        }
     }
+
+    let supervisor_shared = Arc::clone(&shared);
+    let supervisor = thread::Builder::new()
+        .name("xqd-supervisor".to_string())
+        .spawn(move || supervisor_loop(&supervisor_shared))?;
 
     let readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let accept_shared = Arc::clone(&shared);
@@ -377,9 +523,74 @@ pub fn spawn(cfg: ServerConfig, mut session: Session) -> io::Result<ServerHandle
         shared,
         addr,
         accept_thread: Some(accept_thread),
-        workers: worker_handles,
+        supervisor: Some(supervisor),
         readers,
     })
+}
+
+fn spawn_worker(shared: &Arc<Shared>, slot: usize) -> io::Result<thread::JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("xqd-worker-{slot}"))
+        .spawn(move || worker_loop(&shared, slot))
+}
+
+/// Worker supervision: detect worker threads that died (any panic that
+/// escaped per-request containment), answer their orphaned request with
+/// `EXRQ0009`, repair the scheduler's in-flight accounting, and spawn a
+/// replacement into the same slot. Polls at a coarse interval — worker
+/// death is rare, so detection latency matters less than overhead.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    while !shared.stop_supervisor.load(Ordering::SeqCst) {
+        let dead: Vec<usize> = {
+            let handles = lock_recover(&shared.workers);
+            handles
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.as_ref().is_some_and(|h| h.is_finished()))
+                .map(|(slot, _)| slot)
+                .collect()
+        };
+        for slot in dead {
+            // Re-check under the race with shutdown: a worker exiting
+            // normally on `stopped` must be joined by shutdown, not us.
+            if shared.stop_supervisor.load(Ordering::SeqCst) {
+                return;
+            }
+            let handle = lock_recover(&shared.workers)[slot].take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+            if let Some(orphan) = lock_recover(&shared.running)[slot].take() {
+                shared.counters.crashed.fetch_add(1, Ordering::Relaxed);
+                orphan.writer.send(&err_response(
+                    &orphan.id,
+                    ErrorCode::EXRQ0009.as_str(),
+                    "internal error: worker thread died while executing this request",
+                ));
+                lock_recover(&shared.active_runs).retain(|t| !t.same_as(&orphan.cancel));
+                let mut sched = lock_recover(&shared.sched);
+                if let Some(n) = sched.inflight.get_mut(&orphan.client) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        sched.inflight.remove(&orphan.client);
+                    }
+                }
+                sched.inflight_total = sched.inflight_total.saturating_sub(1);
+                shared.work_ready.notify_all();
+            }
+            shared
+                .counters
+                .workers_respawned
+                .fetch_add(1, Ordering::Relaxed);
+            // On spawn failure (resource exhaustion) the slot stays
+            // empty: the pool shrinks rather than the daemon dying.
+            if let Ok(h) = spawn_worker(shared, slot) {
+                lock_recover(&shared.workers)[slot] = Some(h);
+            }
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
 }
 
 fn accept_loop(
@@ -408,7 +619,7 @@ fn accept_loop(
                         connection_loop(conn_shared.as_ref(), stream, client);
                     });
                 match handle {
-                    Ok(h) => readers.lock().unwrap().push(h),
+                    Ok(h) => lock_recover(&readers).push(h),
                     Err(_) => {
                         // Thread spawn failed (resource exhaustion):
                         // shed the connection rather than wedging.
@@ -438,7 +649,16 @@ enum Line {
     Closed,
 }
 
-fn read_line_capped(reader: &mut BufReader<TcpStream>, shared: &Shared) -> Line {
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+    chaos: Option<&ChaosState>,
+) -> Line {
+    // Chaos read-delay fires per line read, not per poll iteration, so
+    // the per-connection counter stays deterministic.
+    if let Some(chaos) = chaos {
+        chaos.before_read();
+    }
     let mut buf: Vec<u8> = Vec::new();
     let mut discarding = false;
     loop {
@@ -495,14 +715,23 @@ fn read_line_capped(reader: &mut BufReader<TcpStream>, shared: &Shared) -> Line 
     }
 }
 
+/// Per-connection keep-alive state, surfaced through the `stats` op.
+struct ConnState {
+    /// Requests received on this connection (valid or not).
+    requests: AtomicU64,
+    opened: Instant,
+}
+
 fn connection_loop(shared: &Shared, stream: TcpStream, client: u64) {
     // Short read timeouts keep the reader responsive to shutdown even
     // when the peer holds the connection open silently.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let chaos = ChaosState::arm(&shared.cfg.failpoints);
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(ConnWriter {
             stream: Mutex::new(w),
+            chaos: chaos.clone(),
         }),
         Err(_) => {
             shared
@@ -513,15 +742,20 @@ fn connection_loop(shared: &Shared, stream: TcpStream, client: u64) {
         }
     };
     let mut reader = BufReader::new(stream);
+    let conn = ConnState {
+        requests: AtomicU64::new(0),
+        opened: Instant::now(),
+    };
 
     loop {
-        match read_line_capped(&mut reader, shared) {
+        match read_line_capped(&mut reader, shared, chaos.as_deref()) {
             Line::Closed => break,
             Line::TooLong => {
                 shared.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                conn.requests.fetch_add(1, Ordering::Relaxed);
                 writer.send(&err_response(
                     &Value::Null,
-                    "EPROTO",
+                    ErrorCode::EPROTO.as_str(),
                     &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
                 ));
             }
@@ -530,15 +764,16 @@ fn connection_loop(shared: &Shared, stream: TcpStream, client: u64) {
                     continue;
                 }
                 shared.counters.received.fetch_add(1, Ordering::Relaxed);
+                conn.requests.fetch_add(1, Ordering::Relaxed);
                 let request = match parse_request(&line) {
                     Ok(r) => r,
                     Err(e) => {
                         shared.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
-                        writer.send(&err_response(&e.id, "EPROTO", &e.message));
+                        writer.send(&err_response(&e.id, ErrorCode::EPROTO.as_str(), &e.message));
                         continue;
                     }
                 };
-                dispatch(shared, client, &writer, request.id, request.op);
+                dispatch(shared, client, &writer, request.id, request.op, &conn);
             }
         }
     }
@@ -549,13 +784,62 @@ fn connection_loop(shared: &Shared, stream: TcpStream, client: u64) {
 }
 
 /// Route one parsed request: cheap ops answer inline on the reader
-/// thread; queries and loads go through admission control.
-fn dispatch(shared: &Shared, client: u64, writer: &Arc<ConnWriter>, id: Value, op: Op) {
+/// thread; queries and loads go through admission control. Probe ops
+/// (`health`, `ready`) deliberately answer inline *before* the draining
+/// check — probes must respond even while the server refuses work.
+fn dispatch(
+    shared: &Shared,
+    client: u64,
+    writer: &Arc<ConnWriter>,
+    id: Value,
+    op: Op,
+    conn: &ConnState,
+) {
     match op {
         Op::Ping => writer.send(&ok_response(&id, vec![("pong", Value::Bool(true))])),
+        Op::Health => {
+            let alive = shared.workers_alive();
+            writer.send(&ok_response(
+                &id,
+                vec![
+                    ("alive", Value::Bool(true)),
+                    ("workers", Value::Int(shared.cfg.workers.max(1) as i64)),
+                    ("workers_alive", Value::Int(alive as i64)),
+                    (
+                        "workers_respawned",
+                        Value::Int(shared.counters.workers_respawned.load(Ordering::Relaxed)
+                            as i64),
+                    ),
+                    (
+                        "crashed",
+                        Value::Int(shared.counters.crashed.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "uptime_ms",
+                        Value::Int(shared.started_at.elapsed().as_millis() as i64),
+                    ),
+                ],
+            ));
+        }
+        Op::Ready => {
+            let draining = shared.draining.load(Ordering::SeqCst);
+            let reloading = shared.reloading.load(Ordering::SeqCst);
+            writer.send(&ok_response(
+                &id,
+                vec![
+                    ("ready", Value::Bool(!draining && !reloading)),
+                    ("draining", Value::Bool(draining)),
+                    ("reloading", Value::Bool(reloading)),
+                ],
+            ));
+        }
         Op::Stats => {
             let s = shared.snapshot();
-            let cache = shared.exec.read().unwrap().cache_stats();
+            let cache = shared
+                .exec
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .cache_stats();
             writer.send(&ok_response(
                 &id,
                 vec![
@@ -575,6 +859,23 @@ fn dispatch(shared: &Shared, client: u64, writer: &Arc<ConnWriter>, id: Value, o
                     ("queue_depth", Value::Int(s.queue_depth as i64)),
                     ("queue_peak", Value::Int(s.queue_peak as i64)),
                     ("loads", Value::Int(s.loads as i64)),
+                    ("crashed", Value::Int(s.crashed as i64)),
+                    ("drained", Value::Int(s.drained as i64)),
+                    ("workers_respawned", Value::Int(s.workers_respawned as i64)),
+                    ("mem_deferred", Value::Int(s.mem_deferred as i64)),
+                    (
+                        "mem_inflight_bytes",
+                        Value::Int(s.mem_inflight_bytes as i64),
+                    ),
+                    ("mem_peak_bytes", Value::Int(s.mem_peak_bytes as i64)),
+                    (
+                        "conn_requests",
+                        Value::Int(conn.requests.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "conn_lifetime_ms",
+                        Value::Int(conn.opened.elapsed().as_millis() as i64),
+                    ),
                     ("plan_cache_hits", Value::Int(cache.hits as i64)),
                     ("plan_cache_misses", Value::Int(cache.misses as i64)),
                 ],
@@ -620,7 +921,7 @@ fn dispatch(shared: &Shared, client: u64, writer: &Arc<ConnWriter>, id: Value, o
 
 /// Admission control: bounded queue, queue-depth-aware rejection.
 fn submit(shared: &Shared, job: Job) {
-    let mut sched = shared.sched.lock().unwrap();
+    let mut sched = lock_recover(&shared.sched);
     if sched.queued >= shared.cfg.queue_capacity {
         shared
             .counters
@@ -651,11 +952,22 @@ fn submit(shared: &Shared, job: Job) {
     shared.work_ready.notify_one();
 }
 
-/// Pop the next runnable job respecting round-robin fairness and the
-/// per-client in-flight cap. Returns `None` when nothing is eligible.
+/// Pop the next runnable job respecting round-robin fairness, the
+/// per-client in-flight cap, and the memory watermark. Returns `None`
+/// when nothing is eligible.
 fn next_job(shared: &Shared, sched: &mut Sched) -> Option<Job> {
     let cap = shared.cfg.max_inflight_per_client.max(1);
+    // Over the watermark, runnable work stays queued until in-flight
+    // executions release memory; jobs already past their deadline still
+    // pop (they shed immediately without running, freeing the queue).
+    let over_watermark = shared
+        .cfg
+        .mem_watermark
+        .is_some_and(|w| shared.gauge.bytes_in_flight() > w);
+    let mut deferred = false;
     for _ in 0..sched.rotation.len() {
+        // Invariant: the loop runs at most rotation.len() times and only
+        // rotates (never drains) within an iteration, so front() exists.
         let client = *sched.rotation.front().unwrap();
         let running = sched.inflight.get(&client).copied().unwrap_or(0);
         if running >= cap {
@@ -663,6 +975,19 @@ fn next_job(shared: &Shared, sched: &mut Sched) -> Option<Job> {
             sched.rotation.rotate_left(1);
             continue;
         }
+        if over_watermark {
+            let expired = sched.queues[&client]
+                .front()
+                .is_some_and(|j| j.deadline.is_some_and(|at| Instant::now() >= at));
+            if !expired {
+                deferred = true;
+                sched.rotation.rotate_left(1);
+                continue;
+            }
+        }
+        // Invariant: a client stays in the rotation only while its queue
+        // is non-empty (both are pruned together below), so the queue
+        // exists and has a front job.
         let queue = sched.queues.get_mut(&client).unwrap();
         let job = queue.pop_front().unwrap();
         if queue.is_empty() {
@@ -676,13 +1001,16 @@ fn next_job(shared: &Shared, sched: &mut Sched) -> Option<Job> {
         sched.inflight_total += 1;
         return Some(job);
     }
+    if deferred {
+        shared.counters.mem_deferred.fetch_add(1, Ordering::Relaxed);
+    }
     None
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, slot: usize) {
     loop {
         let job = {
-            let mut sched = shared.sched.lock().unwrap();
+            let mut sched = lock_recover(&shared.sched);
             loop {
                 if sched.stopped {
                     return;
@@ -690,11 +1018,43 @@ fn worker_loop(shared: &Shared) {
                 if let Some(job) = next_job(shared, &mut sched) {
                     break job;
                 }
-                sched = shared.work_ready.wait(sched).unwrap();
+                // With a watermark configured the wait must time out:
+                // memory can drain without a scheduler event (a parallel
+                // engine's workers release as they go), so re-check
+                // periodically instead of sleeping until notified.
+                sched = if shared.cfg.mem_watermark.is_some() {
+                    shared
+                        .work_ready
+                        .wait_timeout(sched, Duration::from_millis(25))
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                } else {
+                    shared
+                        .work_ready
+                        .wait(sched)
+                        .unwrap_or_else(PoisonError::into_inner)
+                };
             }
         };
+        // Register in the supervisor's manifest *before* running: if
+        // this thread dies inside run_job, the supervisor knows which
+        // request to answer and which accounting to repair.
+        lock_recover(&shared.running)[slot] = Some(OrphanJob {
+            client: job.client,
+            id: job.id.clone(),
+            writer: Arc::clone(&job.writer),
+            cancel: job.cancel.clone(),
+        });
+        let seq = shared.jobs_started.fetch_add(1, Ordering::Relaxed) + 1;
+        if shared.cfg.failpoints.kills_worker_at(seq as usize) {
+            // Deliberately OUTSIDE the catch_unwind containment region
+            // and holding no lock: this panic kills the worker thread
+            // itself, which is exactly what supervision exists for.
+            panic!("injected worker death at job {seq} (worker-kill:<n> failpoint)");
+        }
         run_job(shared, &job);
-        let mut sched = shared.sched.lock().unwrap();
+        lock_recover(&shared.running)[slot] = None;
+        let mut sched = lock_recover(&shared.sched);
         if let Some(n) = sched.inflight.get_mut(&job.client) {
             *n -= 1;
             if *n == 0 {
@@ -724,25 +1084,38 @@ fn run_job(shared: &Shared, job: &Job) {
             return;
         }
     }
-    shared.active_runs.lock().unwrap().push(job.cancel.clone());
+    lock_recover(&shared.active_runs).push(job.cancel.clone());
     let response = match &job.op {
         Op::Query {
             query, baseline, ..
         } => run_query(shared, job, query, *baseline),
         Op::Load { url, xml } => run_load(shared, job, url, xml),
-        // Ping/Stats/Shutdown never reach the queue.
-        _ => err_response(&job.id, "EPROTO", "op not valid for worker"),
+        // Ping/Stats/probes/Shutdown never reach the queue.
+        _ => err_response(
+            &job.id,
+            ErrorCode::EPROTO.as_str(),
+            "op not valid for worker",
+        ),
     };
-    shared
-        .active_runs
-        .lock()
-        .unwrap()
-        .retain(|t| !t.same_as(&job.cancel));
+    lock_recover(&shared.active_runs).retain(|t| !t.same_as(&job.cancel));
     job.writer.send(&response);
 }
 
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("panic payload of unknown type")
+}
+
 fn run_query(shared: &Shared, job: &Job, query: &str, baseline: bool) -> String {
-    let exec = shared.exec.read().unwrap().clone();
+    let exec = shared
+        .exec
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
     let mut opts = if baseline {
         QueryOptions::baseline()
     } else {
@@ -759,16 +1132,58 @@ fn run_query(shared: &Shared, job: &Job, query: &str, baseline: bool) -> String 
         } else {
             Some(shared.cfg.failpoints.clone())
         },
+        gauge: Some(shared.gauge.clone()),
     };
-    let result = exec
-        .prepare(query, &opts)
-        .and_then(|plan| exec.execute_with(&plan, &run));
+    // Panic containment. Unwind-safety audit of the captured state:
+    //  - `exec` is this request's own clone of the executor; its shared
+    //    pieces are the immutable `Arc<Catalog>` (never mutated by
+    //    execution) and the plan cache, whose lock recovers from
+    //    poisoning and whose map operations leave it structurally valid;
+    //  - `opts` / `run` are request-owned;
+    //  - the `FragArena` overlay is created *inside* `execute_with` and
+    //    dropped by the unwind itself — a half-built overlay cannot leak
+    //    into any other request because no other request can reach it;
+    //  - the memory gauge charge is released by `MemoryTracker::Drop`
+    //    during the unwind.
+    // Hence `AssertUnwindSafe` is sound: observing this state after a
+    // panic cannot expose a broken invariant.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.prepare(query, &opts)
+            .and_then(|plan| exec.execute_with(&plan, &run))
+    }));
     match result {
-        Ok(out) => {
+        Ok(Ok(out)) => {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             ok_response(&job.id, vec![("result", Value::Str(out.to_xml()))])
         }
-        Err(e) => query_error_response(shared, &job.id, &e),
+        Ok(Err(e)) => query_error_response(shared, &job.id, &e),
+        Err(payload) => {
+            shared.counters.crashed.fetch_add(1, Ordering::Relaxed);
+            // Poison detection: the panicking run's overlay died with
+            // its arena; the shared snapshot must still answer. A
+            // canary probe (no failpoints, no deadline) turns that
+            // from an assumption into a checked invariant. Wrapped in
+            // its own catch_unwind so a truly poisoned pool degrades
+            // to a typed response, not a dead worker.
+            let canary = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                exec.prepare("1", &QueryOptions::order_indifferent())
+                    .and_then(|plan| exec.execute_with(&plan, &RunOptions::default()))
+                    .is_ok()
+            }));
+            let pool_intact = matches!(canary, Ok(true));
+            debug_assert!(pool_intact, "shared executor poisoned by a contained panic");
+            if !pool_intact {
+                eprintln!("xqd: WARNING: canary probe failed after contained panic");
+            }
+            err_response(
+                &job.id,
+                ErrorCode::EXRQ0009.as_str(),
+                &format!(
+                    "internal error: request execution panicked ({}); overlay discarded",
+                    panic_message(payload.as_ref())
+                ),
+            )
+        }
     }
 }
 
@@ -788,18 +1203,29 @@ fn query_error_response(shared: &Shared, id: &Value, e: &Error) -> String {
 /// Hot catalog reload: parse into the staging session under the load
 /// lock, then swap the executor snapshot. Queries in flight keep their
 /// pre-swap snapshot; new queries see the new catalog immediately.
+/// Readiness flips off for the duration — a probe-driven balancer stops
+/// routing to an instance that is mid-reload.
 fn run_load(shared: &Shared, job: &Job, url: &str, xml: &str) -> String {
-    let mut session = shared.loader.lock().unwrap();
-    match session.load_document(url, xml) {
-        Ok(()) => {
-            let fresh = session.executor().clone();
-            *shared.exec.write().unwrap() = fresh;
-            shared.counters.loads.fetch_add(1, Ordering::Relaxed);
-            ok_response(
-                &job.id,
-                vec![("nodes", Value::Int(session.store_nodes() as i64))],
-            )
+    shared.reloading.store(true, Ordering::SeqCst);
+    let response = {
+        let mut session = lock_recover(&shared.loader);
+        match session.load_document(url, xml) {
+            Ok(()) => {
+                let fresh = session.executor().clone();
+                *shared.exec.write().unwrap_or_else(PoisonError::into_inner) = fresh;
+                shared.counters.loads.fetch_add(1, Ordering::Relaxed);
+                // A load is an admitted request that ran to success: it
+                // counts into `completed` (and `loads`), keeping the
+                // admission ledger in balance.
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                ok_response(
+                    &job.id,
+                    vec![("nodes", Value::Int(session.store_nodes() as i64))],
+                )
+            }
+            Err(e) => query_error_response(shared, &job.id, &e),
         }
-        Err(e) => query_error_response(shared, &job.id, &e),
-    }
+    };
+    shared.reloading.store(false, Ordering::SeqCst);
+    response
 }
