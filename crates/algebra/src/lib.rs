@@ -24,6 +24,7 @@ pub mod dag;
 pub mod diff;
 pub mod dot;
 pub mod op;
+pub mod phys;
 pub mod stats;
 pub mod value;
 
@@ -31,5 +32,6 @@ pub use col::Col;
 pub use dag::{Dag, OpId, SchemaError};
 pub use diff::{plan_diff, PlanDiff};
 pub use op::{AggrKind, FunKind, Op, SortKey};
+pub use phys::{lower, FuseStep, PhysOp, PhysPlan};
 pub use stats::PlanStats;
 pub use value::AValue;

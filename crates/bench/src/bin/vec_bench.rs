@@ -1,0 +1,270 @@
+//! Vectorized engine-core benchmark: scalar operator-at-a-time vs the
+//! batch-at-a-time path (flattened physical programs, selection vectors,
+//! fused kernels), emitting `BENCH_vec.json`.
+//!
+//! Usage:
+//! `vec-bench [--scales 0.01,0.1] [--runs 3] [--queries 1..20]
+//!            [--micro-rows 500000] [--micro-runs <runs>]
+//!            [--out BENCH_vec.json]
+//!            [--baseline seed_times.txt] [--baseline-label <rev>]`
+//!
+//! Two sections:
+//!
+//! * **micro** — synthetic single-operator-class kernels (map, filter,
+//!   fused filter→map chains, aggregation, distinct) over a generated
+//!   integer stream, reported as ns/row for each engine path. These
+//!   isolate where batching pays: fused chains skip whole intermediate
+//!   table materializations, selection vectors defer gathers, and the
+//!   bit-packed boolean column feeds σ without boxing.
+//! * **e2e** — the XMark query set at each configured scale, scalar vs
+//!   vectorized wall-clock, with the per-scale geometric-mean speedup.
+//!
+//! Every e2e cell's rendered output must be byte-identical between the
+//! two paths (`identical_serializations` in the JSON — the run aborts
+//! red otherwise), so the speedup is never bought with a semantics
+//! change.
+//!
+//! `--baseline` points at a whitespace-separated `scale query ms` file
+//! (lines starting with `#` are comments) holding the same queries
+//! timed by the *pre-refactor* build's harness on the same host; when
+//! given, each row and scale section also reports the speedup of the
+//! vectorized path over that baseline. This is the end-to-end "vs the
+//! engine before the batch core landed" number — the in-binary scalar
+//! column understates it because `--scalar` shares the columnar table
+//! layout, the staircase/name-stream steps, and the constructor fast
+//! paths with the vectorized engine.
+
+use exrquy::{QueryOptions, ResultItem, Session};
+use exrquy_bench::report::{num, write};
+use exrquy_bench::{best_of, fmt_bytes, xmark_session, Cli};
+use exrquy_xmark::{query, query_name};
+use exrquy_xqd::json::{obj, Value};
+
+/// One micro-benchmark kernel: a query whose runtime is dominated by a
+/// single operator class, and the row count it processes.
+struct Micro {
+    class: &'static str,
+    rows: usize,
+    query: String,
+}
+
+fn micros(n: usize) -> Vec<Micro> {
+    vec![
+        Micro {
+            class: "map (fun)",
+            rows: n,
+            query: format!("fn:count(for $i in (1 to {n}) return $i * 2 + 1)"),
+        },
+        Micro {
+            class: "filter (select)",
+            rows: n,
+            query: format!("fn:count(for $i in (1 to {n}) where $i mod 7 = 3 return $i)"),
+        },
+        Micro {
+            class: "fused filter->map",
+            rows: n,
+            query: format!("fn:count(for $i in (1 to {n}) where $i mod 7 = 3 return $i * 2 + 1)"),
+        },
+        Micro {
+            class: "aggregate (sum)",
+            rows: n,
+            query: format!("fn:sum(for $i in (1 to {n}) return $i mod 97)"),
+        },
+        Micro {
+            class: "distinct",
+            rows: n,
+            query: format!("fn:count(fn:distinct-values(for $i in (1 to {n}) return $i mod 1024))"),
+        },
+    ]
+}
+
+fn main() {
+    let cli = Cli::new();
+    let scales: Vec<f64> = cli
+        .get("scales", String::from("0.01,0.1"))
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let runs = cli.get("runs", 3_usize);
+    let queries = parse_queries(&cli.get("queries", String::from("1..20")));
+    let micro_rows = cli.get("micro-rows", 500_000_usize);
+    // Micro cells run hundreds of milliseconds each — they are stable at
+    // far fewer repetitions than the sub-millisecond e2e cells need.
+    let micro_runs = cli.get("micro-runs", runs);
+    let out_path = cli.get("out", String::from("BENCH_vec.json"));
+    let baseline_path = cli.get("baseline", String::new());
+    let baseline_label = cli.get("baseline-label", String::from("pre-refactor"));
+    let baseline = load_baseline(&baseline_path);
+
+    let scalar_opts = QueryOptions::order_indifferent().with_vectorized(false);
+    let vector_opts = QueryOptions::order_indifferent().with_vectorized(true);
+
+    // Micro section: ns/row per operator class, no document involved.
+    eprintln!("vec-bench: micro kernels over {micro_rows} rows");
+    let mut session = Session::new();
+    let mut micro_rows_json: Vec<Value> = Vec::new();
+    for m in micros(micro_rows) {
+        let scalar = best_of(&mut session, &m.query, &scalar_opts, micro_runs)
+            .unwrap_or_else(|e| panic!("micro `{}` scalar failed: {e}", m.class));
+        let vector = best_of(&mut session, &m.query, &vector_opts, micro_runs)
+            .unwrap_or_else(|e| panic!("micro `{}` vectorized failed: {e}", m.class));
+        let (s_ns, v_ns) = (
+            scalar.as_nanos() as f64 / m.rows as f64,
+            vector.as_nanos() as f64 / m.rows as f64,
+        );
+        eprintln!(
+            "  {:>18}: scalar {s_ns:7.1} ns/row, vectorized {v_ns:7.1} ns/row (x{:.2})",
+            m.class,
+            s_ns / v_ns.max(1e-9)
+        );
+        micro_rows_json.push(obj(vec![
+            ("class", Value::Str(m.class.into())),
+            ("rows", Value::Int(m.rows as i64)),
+            ("scalar_ns_per_row", num(s_ns)),
+            ("vectorized_ns_per_row", num(v_ns)),
+            ("speedup", num(s_ns / v_ns.max(1e-9))),
+        ]));
+    }
+
+    // E2E section: XMark at each scale, both engine paths.
+    let mut identical = true;
+    let mut scale_sections: Vec<Value> = Vec::new();
+    for &scale in &scales {
+        let (mut session, bytes) = xmark_session(scale);
+        eprintln!(
+            "vec-bench: XMark scale {scale} ({}), {} nodes",
+            fmt_bytes(bytes),
+            session.store_nodes()
+        );
+        let mut rows: Vec<Value> = Vec::new();
+        let mut ratios: Vec<f64> = Vec::new();
+        let mut base_ratios: Vec<f64> = Vec::new();
+        for &n in &queries {
+            let q = query(n);
+            if rendered(&mut session, q, &scalar_opts) != rendered(&mut session, q, &vector_opts) {
+                identical = false;
+                eprintln!("  {}: output DIVERGED between engine paths", query_name(n));
+            }
+            let scalar = best_of(&mut session, q, &scalar_opts, runs)
+                .unwrap_or_else(|e| panic!("{} scalar failed: {e}", query_name(n)));
+            let vector = best_of(&mut session, q, &vector_opts, runs)
+                .unwrap_or_else(|e| panic!("{} vectorized failed: {e}", query_name(n)));
+            let (s_ms, v_ms) = (scalar.as_secs_f64() * 1e3, vector.as_secs_f64() * 1e3);
+            let speedup = s_ms / v_ms.max(1e-9);
+            ratios.push(speedup);
+            let mut cells = vec![
+                ("query", Value::Str(query_name(n))),
+                ("scalar_ms", num(s_ms)),
+                ("vectorized_ms", num(v_ms)),
+                ("speedup", num(speedup)),
+            ];
+            let base = baseline
+                .iter()
+                .find_map(|&((bs, bq), ms)| ((bs - scale).abs() < 1e-12 && bq == n).then_some(ms));
+            match base {
+                Some(b_ms) => {
+                    let vs_base = b_ms / v_ms.max(1e-9);
+                    base_ratios.push(vs_base);
+                    cells.push(("baseline_ms", num(b_ms)));
+                    cells.push(("speedup_vs_baseline", num(vs_base)));
+                    eprintln!(
+                        "  {:>4}: scalar {s_ms:8.2} ms, vectorized {v_ms:8.2} ms (x{speedup:.2}; x{vs_base:.2} vs {baseline_label} {b_ms:.2} ms)",
+                        query_name(n)
+                    );
+                }
+                None => eprintln!(
+                    "  {:>4}: scalar {s_ms:8.2} ms, vectorized {v_ms:8.2} ms (x{speedup:.2})",
+                    query_name(n)
+                ),
+            }
+            rows.push(obj(cells));
+        }
+        let geomean =
+            (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len().max(1) as f64).exp();
+        eprintln!("  scale {scale}: geomean speedup x{geomean:.2} (vs in-binary --scalar)");
+        let mut section = vec![
+            ("scale", num(scale)),
+            ("doc_bytes", Value::Int(bytes as i64)),
+            ("geomean_speedup", num(geomean)),
+        ];
+        if !base_ratios.is_empty() {
+            let g =
+                (base_ratios.iter().map(|r| r.ln()).sum::<f64>() / base_ratios.len() as f64).exp();
+            eprintln!("  scale {scale}: geomean speedup x{g:.2} (vs {baseline_label})");
+            section.push(("geomean_speedup_vs_baseline", num(g)));
+        }
+        section.push(("queries", Value::Array(rows)));
+        scale_sections.push(obj(section));
+    }
+
+    let mut report = vec![
+        ("bench", Value::Str("vectorized-engine-core".into())),
+        ("runs_per_cell", Value::Int(runs as i64)),
+        (
+            "host_cores",
+            Value::Int(std::thread::available_parallelism().map_or(1, |n| n.get()) as i64),
+        ),
+        ("identical_serializations", Value::Bool(identical)),
+    ];
+    if !baseline.is_empty() {
+        report.push(("baseline", Value::Str(baseline_label.clone())));
+    }
+    report.push(("micro", Value::Array(micro_rows_json)));
+    report.push(("xmark", Value::Array(scale_sections)));
+    let report = obj(report);
+    write(&out_path, &report);
+    eprintln!(
+        "wrote {out_path} (serializations {})",
+        if identical { "identical" } else { "DIVERGED" }
+    );
+    assert!(identical, "vectorized output diverged from scalar");
+}
+
+/// Parse a `scale query ms` baseline file (e.g. `0.01 Q7 0.38`); `#`
+/// lines are comments, a missing or empty path yields no baseline.
+fn load_baseline(path: &str) -> Vec<((f64, usize), f64)> {
+    if path.is_empty() {
+        return Vec::new();
+    }
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline file `{path}`: {e}"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split_whitespace();
+        let (Some(s), Some(q), Some(ms)) = (f.next(), f.next(), f.next()) else {
+            panic!("malformed baseline line `{line}` (want `scale query ms`)");
+        };
+        let scale: f64 = s
+            .parse()
+            .unwrap_or_else(|_| panic!("bad scale in `{line}`"));
+        let qn: usize = q
+            .trim_start_matches(['Q', 'q'])
+            .parse()
+            .unwrap_or_else(|_| panic!("bad query in `{line}`"));
+        let ms: f64 = ms.parse().unwrap_or_else(|_| panic!("bad ms in `{line}`"));
+        out.push(((scale, qn), ms));
+    }
+    out
+}
+
+/// The byte-identity witness: full rendered output, order preserved.
+fn rendered(session: &mut Session, q: &str, opts: &QueryOptions) -> Vec<String> {
+    let out = session.query_with(q, opts).expect("query failed");
+    out.items.iter().map(ResultItem::render).collect()
+}
+
+fn parse_queries(spec: &str) -> Vec<usize> {
+    if let Some((a, b)) = spec.split_once("..") {
+        let a: usize = a.parse().unwrap_or(1);
+        let b: usize = b.parse().unwrap_or(20);
+        (a..=b).collect()
+    } else {
+        spec.split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect()
+    }
+}

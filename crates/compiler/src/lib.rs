@@ -39,7 +39,7 @@ mod helpers;
 mod paths;
 mod truth;
 
-use exrquy_algebra::{AValue, Col, Dag, Op, OpId};
+use exrquy_algebra::{AValue, Col, Dag, Op, OpId, PhysPlan};
 use exrquy_diag::ErrorCode;
 use exrquy_frontend::{Expr, Module, OrderingMode};
 use exrquy_xml::{Catalog, NameId, NamePool};
@@ -88,6 +88,18 @@ pub struct CompiledPlan {
     /// query mentions that no document contains. Shared, not cloned, into
     /// the prepared plan and every execution overlay.
     pub names: Arc<NamePool>,
+}
+
+impl CompiledPlan {
+    /// Lower into the flattened physical program the vectorized engine
+    /// executes ([`exrquy_algebra::lower`]): slots in topological order
+    /// with integer operands and, with `fuse` set, single-consumer
+    /// `fun`/`σ`/`attach`/`π` runs collapsed into fused chains. Callers
+    /// that cache plans lower once here and execute the program many
+    /// times.
+    pub fn lower(&self, fuse: bool) -> PhysPlan {
+        exrquy_algebra::lower(&self.dag, self.root, fuse)
+    }
 }
 
 /// One loop-lifting stack frame.

@@ -201,3 +201,32 @@ fn costly_rownum_census() {
             > stats::costly_rownums(&unordered.dag, unordered.root)
     );
 }
+
+#[test]
+fn compiled_plans_lower_to_flattened_programs() {
+    // A where-clause produces a fun→σ(→π) run: the lowered program must
+    // fuse it, keep slots topologically ordered, and publish the root in
+    // the last slot.
+    let p = compile(r#"for $x in (1, 2, 3, 4) where $x > 2 return $x"#);
+    let fused = p.lower(true);
+    assert_eq!(fused.root as usize, fused.len() - 1);
+    assert!(fused.fused_chains >= 1, "{}", fused.render(&p.dag));
+    for (i, op) in fused.ops.iter().enumerate() {
+        let args = match op {
+            exrquy_algebra::PhysOp::Op { args, .. } => args.clone(),
+            exrquy_algebra::PhysOp::Fused { input, .. } => vec![*input],
+        };
+        assert!(args.iter().all(|&a| (a as usize) < i), "slot {i} operands");
+    }
+    // The unfused lowering covers the same operators, one slot each.
+    let flat = p.lower(false);
+    assert_eq!(flat.fused_chains, 0);
+    assert_eq!(
+        flat.len(),
+        fused.len() + fused.fused_ops - fused.fused_chains
+    );
+    assert_eq!(
+        flat.ops.last().unwrap().out_id(),
+        fused.ops.last().unwrap().out_id()
+    );
+}

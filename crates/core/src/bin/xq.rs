@@ -13,8 +13,13 @@
 //!   --query-file <path>  read the query from a file instead of the argument
 //!   --baseline           order-aware compiler (no order indifference)
 //!   --unordered          force ordering mode unordered + full analysis
-//!   --explain            print the plan instead of executing
+//!   --explain            print the plan (logical DAG + the flattened
+//!                        physical program with its fused chains) instead
+//!                        of executing
 //!   --sql                print the SQL:1999 translation instead of executing
+//!   --scalar             force the scalar operator-at-a-time engine path
+//!                        (no selection vectors, no fused kernels); results
+//!                        are byte-identical to the vectorized default
 //!   --time               print compile/execute wall-clock to stderr
 //!   --profile            print the per-phase execution profile to stderr
 //!   --threads <n>        intra-query worker threads (default 1 = serial;
@@ -55,7 +60,7 @@ const EXIT_IO: i32 = 4;
 fn usage() -> ! {
     eprintln!(
         "usage: xq [--doc url=path]… [--baseline|--unordered] [--explain] \
-         [--time] [--profile] [--threads <n>] [--plan-cache <n>] \
+         [--scalar] [--time] [--profile] [--threads <n>] [--plan-cache <n>] \
          [--timeout <secs>] [--deadline-ms <ms>] [--max-rows <n>] \
          [--max-nodes <n>] [--max-depth <n>] [--verify] [--inject <spec>] \
          [--quiet] (<query> | --query-file <path>)"
@@ -90,6 +95,7 @@ fn main() {
     let mut verify = false;
     let mut inject: Option<String> = None;
     let mut sql = false;
+    let mut scalar = false;
     let mut plan_cache: Option<usize> = None;
     let mut time = false;
     let mut profile = false;
@@ -124,6 +130,7 @@ fn main() {
                 inject = Some(spec);
             }
             "--sql" => sql = true,
+            "--scalar" => scalar = true,
             "--threads" => {
                 opts = opts.with_threads(parse_num("--threads", args.next()));
             }
@@ -165,7 +172,7 @@ fn main() {
         }
     }
     let Some(query) = query else { usage() };
-    opts = opts.with_budget(budget);
+    opts = opts.with_budget(budget).with_vectorized(!scalar);
     // CLI flag wins over the environment fallback.
     let inject = inject.or_else(|| std::env::var("EXRQ_INJECT").ok());
     if let Some(spec) = &inject {
@@ -237,6 +244,8 @@ fn main() {
 
     if explain {
         print!("{}", plan.plan_text());
+        println!("-- physical program --");
+        print!("{}", plan.phys_text());
         let cs = session.cache_stats();
         eprintln!(
             "plan cache: {} hit(s), {} miss(es), {} uncacheable, {} evicted ({:.0}% hit rate)",

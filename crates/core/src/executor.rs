@@ -152,6 +152,7 @@ fn fingerprint(query: &str, opts: &QueryOptions) -> u64 {
     opts.step_algo.hash(&mut h);
     opts.budget.hash(&mut h);
     opts.threads.hash(&mut h);
+    opts.vectorized.hash(&mut h);
     h.finish()
 }
 
@@ -283,9 +284,13 @@ impl Executor {
             try_optimize_with(&mut dag, root, &opts.opt, opts.failpoints.perturbed_rule())
                 .map_err(Error::Opt)?;
         let stats_final = PlanStats::of(&dag, root);
+        // Lower once: executions run the flattened program directly.
+        let phys = exrquy_algebra::lower(&dag, root, opts.vectorized);
         Ok(Prepared {
             dag,
             root,
+            phys,
+            vectorized: opts.vectorized,
             stats_initial,
             stats_final,
             opt_report,
@@ -329,18 +334,24 @@ impl Executor {
                 .clone()
                 .unwrap_or_else(|| plan.failpoints.clone()),
             threads: plan.threads,
+            scalar: !plan.vectorized,
             deadline: run.deadline,
             gauge: run.gauge.clone(),
         };
         let mut arena = FragArena::with_names(Arc::clone(&self.catalog), Arc::clone(&plan.names));
         let mut engine = Engine::new(&plan.dag, &mut arena, engine_opts);
-        let result = engine.eval(plan.root).map_err(Error::Eval)?;
+        let result = engine.eval_plan(&plan.phys).map_err(Error::Eval)?;
         // Rows in pos order; pos values need not be dense or start at 1 —
         // only their ranks matter.
-        let pos = result.col(Col::POS).clone();
-        let item = result.col(Col::ITEM).clone();
+        let pos = result.col(Col::POS);
+        let item = result.col(Col::ITEM);
         let mut order: Vec<usize> = (0..result.nrows()).collect();
-        order.sort_by(|&a, &b| pos.get(a).sort_cmp(&pos.get(b)));
+        // `pos` is integral in every plan the compiler emits; the typed
+        // sort key skips per-comparison `Item` construction.
+        match pos.to_int_vec() {
+            Ok(keys) => order.sort_by_key(|&a| keys[a]),
+            Err(_) => order.sort_by(|&a, &b| pos.get(a).sort_cmp(&pos.get(b))),
+        }
         let profile = engine.profile.clone();
         drop(engine);
         let items = order

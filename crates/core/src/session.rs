@@ -101,6 +101,13 @@ pub struct QueryOptions {
     /// Worker threads for intra-query parallel execution (`1` = serial).
     /// Serial and parallel runs produce byte-identical serializations.
     pub threads: usize,
+    /// Run the vectorized engine core: the plan is lowered to a flattened
+    /// slot program at prepare time (with select→fun→project chains fused
+    /// into single-pass kernels) and executed over selection vectors.
+    /// When `false`, the scalar operator-at-a-time reference path runs
+    /// instead. Both produce byte-identical serializations — the
+    /// vectorization differential asserts exactly that.
+    pub vectorized: bool,
 }
 
 impl Default for QueryOptions {
@@ -122,6 +129,7 @@ impl QueryOptions {
             cancel: None,
             failpoints: Failpoints::none(),
             threads: 1,
+            vectorized: true,
         }
     }
 
@@ -137,6 +145,7 @@ impl QueryOptions {
             cancel: None,
             failpoints: Failpoints::none(),
             threads: 1,
+            vectorized: true,
         }
     }
 
@@ -152,6 +161,7 @@ impl QueryOptions {
             cancel: None,
             failpoints: Failpoints::none(),
             threads: 1,
+            vectorized: true,
         }
     }
 
@@ -179,6 +189,14 @@ impl QueryOptions {
         self.threads = threads;
         self
     }
+
+    /// Toggle the vectorized engine core (`false` forces the scalar
+    /// reference path; used by the vectorization differential and as the
+    /// `vec-bench` baseline).
+    pub fn with_vectorized(mut self, vectorized: bool) -> Self {
+        self.vectorized = vectorized;
+        self
+    }
 }
 
 /// A compiled, optimized, reusable query plan.
@@ -186,6 +204,13 @@ impl QueryOptions {
 pub struct Prepared {
     pub dag: Dag,
     pub root: OpId,
+    /// The flattened physical program (lowered once at prepare time;
+    /// every execution runs it without re-deriving the schedule). Fused
+    /// chains are present exactly when the plan was prepared with
+    /// [`QueryOptions::vectorized`].
+    pub phys: exrquy_algebra::PhysPlan,
+    /// Whether executions of this plan run the vectorized engine core.
+    pub(crate) vectorized: bool,
     /// Plan statistics before optimization.
     pub stats_initial: PlanStats,
     /// Plan statistics of the final plan.
@@ -228,6 +253,13 @@ impl Prepared {
     /// Graphviz rendering of the plan.
     pub fn plan_dot(&self, title: &str) -> String {
         exrquy_algebra::dot::to_dot(&self.dag, self.root, title)
+    }
+
+    /// Text rendering of the flattened physical program — one line per
+    /// slot, fused chains spelled out step by step (shown by
+    /// `xq --explain`).
+    pub fn phys_text(&self) -> String {
+        self.phys.render(&self.dag)
     }
 
     /// SQL:1999 rendering of the plan (the "XQuery on SQL Hosts" mapping;

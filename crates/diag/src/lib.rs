@@ -70,6 +70,12 @@ pub enum ErrorCode {
     /// never user error — and **never retry-safe**: the same input
     /// deterministically panics again.
     EXRQ0009,
+    /// Internal error: an engine invariant was violated (e.g. a plan
+    /// handed the engine a non-integer value in an `iter`/`pos`-class
+    /// column). Always a planner/engine bug — the typed counterpart of a
+    /// panic, so a future plan bug degrades to an error response instead
+    /// of a daemon-side `catch_unwind` crash report. Never retry-safe.
+    EXRQ0010,
     /// Protocol error: the request line could not be parsed as a valid
     /// request (invalid JSON, unknown op, bad field types, oversized
     /// line). The connection survives; the request does not.
@@ -103,6 +109,7 @@ impl ErrorCode {
         ErrorCode::EXRQ0007,
         ErrorCode::EXRQ0008,
         ErrorCode::EXRQ0009,
+        ErrorCode::EXRQ0010,
         ErrorCode::EPROTO,
     ];
 
@@ -128,6 +135,7 @@ impl ErrorCode {
             ErrorCode::EXRQ0007 => "EXRQ0007",
             ErrorCode::EXRQ0008 => "EXRQ0008",
             ErrorCode::EXRQ0009 => "EXRQ0009",
+            ErrorCode::EXRQ0010 => "EXRQ0010",
             ErrorCode::EPROTO => "EPROTO",
         }
     }
@@ -154,9 +162,10 @@ impl ErrorCode {
             | ErrorCode::EXRQ0006
             | ErrorCode::EXRQ0007
             | ErrorCode::EXRQ0008 => ErrorClass::Resource,
-            ErrorCode::EXRQ0004 | ErrorCode::EXRQ0005 | ErrorCode::EXRQ0009 => {
-                ErrorClass::Verification
-            }
+            ErrorCode::EXRQ0004
+            | ErrorCode::EXRQ0005
+            | ErrorCode::EXRQ0009
+            | ErrorCode::EXRQ0010 => ErrorClass::Verification,
             _ => ErrorClass::Dynamic,
         }
     }

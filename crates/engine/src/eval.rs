@@ -11,17 +11,17 @@
 //! owning thread; the row-wise kernels in this module additionally split
 //! large inputs into morsels. Both paths produce bit-identical tables.
 
-use crate::column::Column;
+use crate::column::{Column, ColumnError};
 use crate::funs::{self, DynError};
 use crate::item::{GroupKey, Item};
 use crate::profile::Profile;
-use crate::table::Table;
-use exrquy_algebra::{AValue, AggrKind, Col, Dag, FunKind, Op, OpId};
+use crate::table::{ColView, Table};
+use exrquy_algebra::{AValue, AggrKind, Col, Dag, FunKind, Op, OpId, PhysPlan};
 use exrquy_diag::{
     BudgetMeter, BudgetViolation, CancellationToken, ErrorCode, ExecutionBudget, Failpoints,
 };
 use exrquy_xml::tree::NodeKind;
-use exrquy_xml::{axis, FragArena, NodeId, NodeRead, TreeBuilder};
+use exrquy_xml::{axis, FragArena, NameId, NodeId, NodeRead, TreeBuilder};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -71,6 +71,15 @@ impl From<BudgetViolation> for EvalError {
     }
 }
 
+impl From<ColumnError> for EvalError {
+    fn from(e: ColumnError) -> Self {
+        EvalError {
+            code: ErrorCode::EXRQ0010,
+            message: e.to_string(),
+        }
+    }
+}
+
 /// Step-operator algorithm selection (§3: "several existing XPath step
 /// evaluation techniques may be plugged in to realize ⬡").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -107,6 +116,13 @@ pub struct EngineOptions {
     /// both mean serial. Serial and parallel runs of the same plan
     /// produce bit-identical tables.
     pub threads: usize,
+    /// Force the scalar (pre-vectorization) operator-at-a-time path:
+    /// per-evaluation `topo_order` walks, materializing gathers, no
+    /// selection vectors, no fused chains. The vectorization
+    /// differential runs every query with this toggled both ways and
+    /// asserts byte-identical serializations; `vec-bench` uses it as
+    /// the old-engine baseline. Both paths produce identical tables.
+    pub scalar: bool,
     /// Absolute request deadline (serving layer). Unlike `budget.max_wall`
     /// — which is relative to execution start — this instant also covers
     /// time the request spent queued; it trips as EXRQ0007 at the same
@@ -130,7 +146,7 @@ pub struct Engine<'d, 's> {
     /// Per-execution fragment overlay over the shared catalog. Dropping
     /// it (with the engine) releases everything this query constructed.
     pub arena: &'s mut FragArena,
-    pub(crate) cache: HashMap<OpId, Arc<Table>>,
+    pub(crate) cache: FastMap<OpId, Arc<Table>>,
     /// Per-kind timing of this execution.
     pub profile: Profile,
     pub(crate) opts: EngineOptions,
@@ -159,7 +175,7 @@ impl<'d, 's> Engine<'d, 's> {
         Engine {
             dag,
             arena,
-            cache: HashMap::new(),
+            cache: FastMap::default(),
             profile: Profile::default(),
             opts,
             meter,
@@ -182,8 +198,22 @@ impl<'d, 's> Engine<'d, 's> {
         Ok(())
     }
 
-    /// Evaluate the plan rooted at `root`.
+    /// Does this engine run the vectorized (flattened-plan) core? Armed
+    /// failpoints force the per-operator scalar schedule so injected
+    /// faults keep their exact operator-boundary placement.
+    pub fn vectorized(&self) -> bool {
+        !self.opts.scalar && self.opts.failpoints.is_empty()
+    }
+
+    /// Evaluate the plan rooted at `root`. The vectorized engine lowers
+    /// the DAG into a flattened slot program first; callers that prepare
+    /// plans ahead of time hand the lowered program to
+    /// [`eval_plan`](Self::eval_plan) instead and skip the lowering.
     pub fn eval(&mut self, root: OpId) -> Result<Arc<Table>, EvalError> {
+        if self.vectorized() {
+            let plan = exrquy_algebra::lower(self.dag, root, true);
+            return crate::vec::eval_phys(self, &plan);
+        }
         if self.opts.threads > 1 {
             return crate::par::eval_parallel(self, root);
         }
@@ -201,6 +231,18 @@ impl<'d, 's> Engine<'d, 's> {
             self.meter.record_op();
         }
         Ok(self.cache[&root].clone())
+    }
+
+    /// Evaluate a pre-lowered flattened plan (prepared once, executed
+    /// many times — the plan cache holds the lowered program alongside
+    /// the DAG). Falls back to [`eval`](Self::eval) on the root operator
+    /// when this engine is configured for the scalar path.
+    pub fn eval_plan(&mut self, plan: &PhysPlan) -> Result<Arc<Table>, EvalError> {
+        let root = plan.ops[plan.root as usize].out_id();
+        if !self.vectorized() {
+            return self.eval(root);
+        }
+        crate::vec::eval_phys(self, plan)
     }
 
     /// Injected-fault checks at the operator boundary (see
@@ -234,11 +276,12 @@ impl<'d, 's> Engine<'d, 's> {
                 eval_textnode(self.arena, &ct)
             }
             _ => {
+                let children = op.children();
                 let cache = &self.cache;
                 eval_pure(
                     self.dag,
                     id,
-                    &|i| cache[&i].clone(),
+                    &|k| cache[&children[k]].clone(),
                     self.arena,
                     &self.opts,
                     &self.meter,
@@ -250,20 +293,24 @@ impl<'d, 's> Engine<'d, 's> {
 
 // ------------------------------------------------------- pure operators
 
-/// Evaluate a non-constructing operator. Shared by the serial engine and
-/// the parallel scheduler's worker threads: `input` resolves already
-/// evaluated children (from the memo cache or the scheduler's result
-/// slots) and the arena is only read. Writer operators
+/// Evaluate a non-constructing operator. Shared by the serial engine,
+/// the flattened-plan executor, and the parallel scheduler's worker
+/// threads: `input` resolves the operator's already evaluated children
+/// *by child ordinal* (position in [`Op::children`] order — the caller
+/// maps ordinals to its memo cache or result slots; ordinal resolution
+/// is what lets the flattened plan skip `OpId` hash lookups entirely)
+/// and the arena is only read. Writer operators
 /// (`Element`/`Attr`/`TextNode`) never reach this function.
 pub(crate) fn eval_pure(
     dag: &Dag,
     id: OpId,
-    input: &dyn Fn(OpId) -> Arc<Table>,
+    input: &dyn Fn(usize) -> Arc<Table>,
     arena: &FragArena,
     opts: &EngineOptions,
     meter: &BudgetMeter,
 ) -> Result<Table, EvalError> {
     let threads = opts.threads.max(1);
+    let vec = !opts.scalar;
     let op = dag.op(id).clone();
     match op {
         Op::Lit { cols, rows } => Ok(eval_lit(&cols, &rows)),
@@ -286,106 +333,100 @@ pub(crate) fn eval_pure(
                 Column::Item(vec![Item::Node(node)]),
             )]))
         }
-        Op::Project { input: inp, cols } => {
-            let t = input(inp);
-            let out = cols
-                .iter()
-                .map(|(new, src)| (*new, t.col(*src).clone()))
-                .collect();
-            Ok(Table::from_refs(out, t.nrows()))
+        Op::Project { cols, .. } => {
+            let t = input(0);
+            let out = cols.iter().map(|(new, src)| (*new, t.col(*src))).collect();
+            Ok(Table::from_views(out, t.nrows()))
         }
-        Op::Select { input: inp, col } => {
-            let t = input(inp);
-            eval_select(&t, col, threads)
+        Op::Select { col, .. } => {
+            let t = input(0);
+            eval_select(&t, col, threads, vec)
         }
         Op::RowNum {
-            input: inp,
-            new,
-            order,
-            part,
+            new, order, part, ..
         } => {
-            let t = input(inp);
-            Ok(eval_rownum(&t, new, &order, part, threads))
+            let t = input(0);
+            Ok(eval_rownum(&t, new, &order, part, threads, vec))
         }
-        Op::RowId { input: inp, new } => {
-            let t = input(inp);
+        Op::RowId { new, .. } => {
+            let t = input(0);
             let n = t.nrows();
             Ok(t.with_column(new, Column::Int((1..=n as i64).collect())))
         }
-        Op::Attach {
-            input: inp,
-            col,
-            value,
-        } => {
-            let t = input(inp);
-            let item = avalue_item(&value);
-            let col_data = match &item {
-                Item::Int(i) => Column::Int(vec![*i; t.nrows()]),
-                other => Column::Item(vec![other.clone(); t.nrows()]),
-            };
-            Ok(t.with_column(col, col_data))
+        Op::Attach { col, value, .. } => {
+            let t = input(0);
+            Ok(t.with_column(col, attach_column(&value, t.nrows(), vec)))
         }
         Op::Fun {
-            input: inp,
-            new,
-            kind,
-            args,
+            new, kind, args, ..
         } => {
-            let t = input(inp);
-            eval_fun(arena, &t, new, kind, &args, threads)
+            let t = input(0);
+            eval_fun(arena, &t, new, kind, &args, threads, vec)
         }
         Op::Aggr {
-            input: inp,
             kind,
             new,
             arg,
             part,
+            ..
         } => {
-            let t = input(inp);
-            eval_aggr(arena, &t, kind, new, arg, part)
+            let t = input(0);
+            eval_aggr(arena, &t, kind, new, arg, part, vec)
         }
-        Op::Distinct { input: inp } => {
-            let t = input(inp);
-            Ok(eval_distinct(&t))
+        Op::Distinct { .. } => {
+            let t = input(0);
+            Ok(eval_distinct(&t, vec))
         }
-        Op::Step {
-            input: inp,
-            axis,
-            test,
-        } => {
-            let t = input(inp);
-            eval_step(arena, &t, axis, test, opts.step_algo, threads)
+        Op::Step { axis, test, .. } => {
+            let t = input(0);
+            // The vectorized engine upgrades the default staircase scan
+            // to per-name node streams (TwigStack-style tag access,
+            // paper §1) for named *element* steps: descendant windows
+            // become two binary searches over a columnar pre-rank
+            // stream, and child steps probe the stream adaptively
+            // (falling back to the direct children walk when the name
+            // is frequent below the context node). Attribute steps keep
+            // the direct scan — their candidate windows are already
+            // contiguous. Same sorted, duplicate-free output either
+            // way (the step-algorithm differential holds across all
+            // three implementations); an explicit `step_algo` choice
+            // is honored unchanged.
+            use exrquy_xml::{Axis, NodeTest};
+            let named_elem = matches!(
+                axis,
+                Axis::Descendant | Axis::DescendantOrSelf | Axis::Child
+            ) && matches!(test, NodeTest::Name(_));
+            let algo = match opts.step_algo {
+                StepAlgo::Staircase if vec && named_elem => StepAlgo::NameStream,
+                other => other,
+            };
+            eval_step(arena, &t, axis, test, algo, threads)
         }
-        Op::Cross { l, r } => {
-            let (lt, rt) = (input(l), input(r));
-            eval_cross(&lt, &rt, meter.op_row_cap())
+        Op::Cross { .. } => {
+            let (lt, rt) = (input(0), input(1));
+            eval_cross(&lt, &rt, meter.op_row_cap(), vec)
         }
-        Op::EquiJoin { l, r, lcol, rcol } => {
-            let (lt, rt) = (input(l), input(r));
-            eval_equijoin(&lt, &rt, lcol, rcol, meter)
+        Op::EquiJoin { lcol, rcol, .. } => {
+            let (lt, rt) = (input(0), input(1));
+            eval_equijoin(&lt, &rt, lcol, rcol, meter, vec)
         }
-        Op::ThetaJoin { l, r, pred } => {
-            let (lt, rt) = (input(l), input(r));
-            eval_thetajoin(&lt, &rt, &pred, meter)
+        Op::ThetaJoin { pred, .. } => {
+            let (lt, rt) = (input(0), input(1));
+            eval_thetajoin(&lt, &rt, &pred, meter, vec)
         }
-        Op::Union { l, r } => {
-            let (lt, rt) = (input(l), input(r));
+        Op::Union { .. } => {
+            let (lt, rt) = (input(0), input(1));
             Ok(eval_union(&lt, &rt))
         }
-        Op::Difference { l, r, on } => {
-            let (lt, rt) = (input(l), input(r));
-            Ok(eval_difference(&lt, &rt, &on))
+        Op::Difference { on, .. } => {
+            let (lt, rt) = (input(0), input(1));
+            Ok(eval_difference(&lt, &rt, &on, vec))
         }
-        Op::Range {
-            input: inp,
-            lo,
-            hi,
-            new,
-        } => {
-            let t = input(inp);
-            eval_range(&t, lo, hi, new, meter)
+        Op::Range { lo, hi, new, .. } => {
+            let t = input(0);
+            eval_range(&t, lo, hi, new, meter, vec)
         }
-        Op::Serialize { input: inp } => Ok((*input(inp)).clone()),
+        Op::Serialize { .. } => Ok((*input(0)).clone()),
         Op::Element { .. } | Op::Attr { .. } | Op::TextNode { .. } => {
             unreachable!("writer operators are evaluated on the owning thread")
         }
@@ -402,7 +443,7 @@ pub(crate) const MORSEL_MIN_ROWS: usize = 4096;
 /// every this many emitted rows, so cancellation and hard deadlines
 /// interrupt a single huge operator instead of waiting for its
 /// boundary. Power of two keeps the modulo nearly free.
-const POLL_STRIDE: usize = 8192;
+pub(crate) const POLL_STRIDE: usize = 8192;
 
 /// Contiguous near-equal ranges covering `0..n` (at most `threads` of
 /// them, never empty ones).
@@ -425,7 +466,7 @@ fn morsel_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
 /// On failure the error of the earliest morsel wins; because morsels are
 /// contiguous and ordered, that is exactly the error the serial scan
 /// would have hit first.
-fn run_morsels<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, EvalError>
+pub(crate) fn run_morsels<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, EvalError>
 where
     T: Send,
     F: Fn(std::ops::Range<usize>) -> Result<T, EvalError> + Sync,
@@ -456,7 +497,7 @@ where
 }
 
 /// Effective worker count for a kernel over `nrows` rows.
-fn kernel_threads(nrows: usize, threads: usize) -> usize {
+pub(crate) fn kernel_threads(nrows: usize, threads: usize) -> usize {
     if nrows >= MORSEL_MIN_ROWS {
         threads
     } else {
@@ -464,14 +505,36 @@ fn kernel_threads(nrows: usize, threads: usize) -> usize {
     }
 }
 
-fn eval_select(t: &Table, col: Col, threads: usize) -> Result<Table, EvalError> {
-    let c = t.col(col).clone();
+/// Constant column for an `attach` (vectorized: integers and booleans
+/// stay dense; scalar: the pre-refactor `Int`-or-boxed layout).
+pub(crate) fn attach_column(value: &AValue, nrows: usize, vec: bool) -> Column {
+    let item = avalue_item(value);
+    match &item {
+        Item::Int(i) => Column::Int(vec![*i; nrows]),
+        Item::Bool(b) if vec => Column::Bool(crate::bits::BitVec::from_iter_exact(
+            std::iter::repeat_n(*b, nrows),
+        )),
+        other => Column::Item(vec![other.clone(); nrows]),
+    }
+}
+
+fn eval_select(t: &Table, col: Col, threads: usize, vec: bool) -> Result<Table, EvalError> {
+    let c = t.col(col);
     let n = t.nrows();
+    if vec {
+        // Batch kernel: word-at-a-time over dense bit-packed predicates,
+        // no per-row boxing otherwise; output rows stay shared behind a
+        // selection vector.
+        let op = crate::kernels::Operand::from_view(&c, None);
+        let (keep, _batches) = crate::kernels::select_batch(&op, n, threads)?;
+        return Ok(t.select_rows(keep));
+    }
+    let c = &c;
     let parts = run_morsels(n, kernel_threads(n, threads), |range| {
-        let mut idx = Vec::new();
+        let mut idx: Vec<u32> = Vec::new();
         for i in range {
             match c.get(i) {
-                Item::Bool(true) => idx.push(i),
+                Item::Bool(true) => idx.push(i as u32),
                 Item::Bool(false) => {}
                 other => {
                     return Err(EvalError::new(
@@ -484,6 +547,7 @@ fn eval_select(t: &Table, col: Col, threads: usize) -> Result<Table, EvalError> 
         Ok(idx)
     })?;
     let idx = parts.concat();
+    let idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
     Ok(t.gather(&idx))
 }
 
@@ -494,10 +558,23 @@ fn eval_fun(
     kind: FunKind,
     args: &[Col],
     threads: usize,
+    vec: bool,
 ) -> Result<Table, EvalError> {
-    let arg_cols: Vec<_> = args.iter().map(|a| t.col(*a).clone()).collect();
+    let arg_cols: Vec<ColView> = args.iter().map(|a| t.col(*a)).collect();
     let n = t.nrows();
     let arg_cols = &arg_cols;
+    if vec {
+        // Batch kernels: integer comparisons and arithmetic run over
+        // the raw slices (comparison results bit-packed, integer
+        // arithmetic dense); other shapes fall back to the per-row
+        // loop inside the kernel, adaptively densified.
+        let ops: Vec<crate::kernels::Operand> = arg_cols
+            .iter()
+            .map(|c| crate::kernels::Operand::from_view(c, None))
+            .collect();
+        let (col, _batches) = crate::kernels::fun_batch(arena, kind, &ops, n, threads)?;
+        return Ok(t.with_column(new, col));
+    }
     let parts = run_morsels(n, kernel_threads(n, threads), move |range| {
         let mut out = Vec::with_capacity(range.len());
         let mut buf: Vec<Item> = Vec::with_capacity(arg_cols.len());
@@ -525,58 +602,92 @@ fn eval_step(
     algo: StepAlgo,
     threads: usize,
 ) -> Result<Table, EvalError> {
-    let iter_col = t.col(Col::ITER).clone();
-    let item_col = t.col(Col::ITEM).clone();
-    // Collect (iter, node) context pairs.
+    let iter_col = t.col(Col::ITER);
+    let item_col = t.col(Col::ITEM);
+    // Collect (iter, node) context pairs. Batch extraction: resolve the
+    // column representations once and scan slices; the fallback per-row
+    // loop handles exotic representations. Row order (and therefore
+    // which non-node item errors first) matches the per-row loop.
     let mut ctx: Vec<(i64, NodeId)> = Vec::with_capacity(t.nrows());
-    for r in 0..t.nrows() {
-        match item_col.get(r) {
-            Item::Node(n) => ctx.push((iter_col.get_int(r), n)),
-            other => {
-                return Err(EvalError::new(
-                    ErrorCode::XPTY0004,
-                    format!("path step applied to atomic value {other}"),
-                ))
+    let non_node = |other: &dyn std::fmt::Display| {
+        EvalError::new(
+            ErrorCode::XPTY0004,
+            format!("path step applied to atomic value {other}"),
+        )
+    };
+    match (int_view(&iter_col), &**item_col.data(), item_col.sel()) {
+        (Some(iv), Column::Item(items), sel) => {
+            let mut push = |r: usize, it: &Item| match it {
+                Item::Node(n) => {
+                    ctx.push((iv[r], *n));
+                    Ok(())
+                }
+                other => Err(non_node(other)),
+            };
+            match sel {
+                None => {
+                    for (r, it) in items.iter().enumerate() {
+                        push(r, it)?;
+                    }
+                }
+                Some(s) => {
+                    for (r, &p) in s.iter().enumerate() {
+                        push(r, &items[p as usize])?;
+                    }
+                }
+            }
+        }
+        _ => {
+            for r in 0..t.nrows() {
+                match item_col.get(r) {
+                    Item::Node(n) => ctx.push((iter_col.get_int(r)?, n)),
+                    other => return Err(non_node(&other)),
+                }
             }
         }
     }
-    ctx.sort_unstable_by_key(|&(i, n)| (i, n));
+    if !ctx.is_sorted() {
+        ctx.sort_unstable();
+    }
     ctx.dedup();
     // One group per (iter, frag): the staircase-join unit of work.
-    let mut groups: Vec<(i64, u32, Vec<u32>)> = Vec::new();
+    // Groups are (start, end) ranges into the sorted `ctx` — the pre
+    // ranks are copied into one reusable buffer per morsel rather than
+    // one fresh vector per group (a query loop evaluates thousands of
+    // single-node groups per step).
+    let mut groups: Vec<(i64, u32, usize, usize)> = Vec::new();
     let mut i = 0;
     while i < ctx.len() {
         let (it, frag) = (ctx[i].0, ctx[i].1.frag);
-        let mut pres: Vec<u32> = Vec::new();
+        let start = i;
         while i < ctx.len() && ctx[i].0 == it && ctx[i].1.frag == frag {
-            pres.push(ctx[i].1.pre);
             i += 1;
         }
-        groups.push((it, frag, pres));
+        groups.push((it, frag, start, i));
     }
     // Data-parallel over groups; partials concatenate in group order, so
     // the output is the serial (iter, doc-order) sequence either way.
     let groups = &groups;
+    let ctx = &ctx;
     let parts = run_morsels(
         groups.len(),
         kernel_threads(t.nrows(), threads),
         move |range| {
             let mut out_iter: Vec<i64> = Vec::new();
             let mut out_item: Vec<Item> = Vec::new();
+            let mut pres: Vec<u32> = Vec::new();
             for g in range {
-                let (it, frag, pres) = &groups[g];
-                let doc = arena.frag(*frag);
+                let (it, frag, start, end) = groups[g];
+                pres.clear();
+                pres.extend(ctx[start..end].iter().map(|c| c.1.pre));
+                let doc = arena.frag(frag);
                 let result = match algo {
-                    StepAlgo::Staircase => axis::step(doc, pres, ax, test),
-                    StepAlgo::NameStream => axis::step_name_stream(doc, pres, ax, test),
-                    StepAlgo::Naive => axis::naive(doc, pres, ax, test),
+                    StepAlgo::Staircase => axis::step(doc, &pres, ax, test),
+                    StepAlgo::NameStream => axis::step_name_stream(doc, &pres, ax, test),
+                    StepAlgo::Naive => axis::naive(doc, &pres, ax, test),
                 };
-                out_iter.extend(std::iter::repeat_n(*it, result.len()));
-                out_item.extend(
-                    result
-                        .into_iter()
-                        .map(|p| Item::Node(NodeId::new(*frag, p))),
-                );
+                out_iter.extend(std::iter::repeat_n(it, result.len()));
+                out_item.extend(result.into_iter().map(|p| Item::Node(NodeId::new(frag, p))));
             }
             Ok((out_iter, out_item))
         },
@@ -595,29 +706,70 @@ fn eval_step(
 
 // --------------------------------------------------- node construction
 
-/// Gather `content` rows grouped by `iter`, sorted by `pos`, keeping
-/// the content-part tag (`ord`; 0 when the plan carries none).
-fn content_by_iter(content: &Table) -> HashMap<i64, Vec<(i64, i64, Item)>> {
-    let mut by_iter: HashMap<i64, Vec<(i64, i64, Item)>> = HashMap::new();
-    let iters = content.col(Col::ITER).clone();
-    let poss = content.col(Col::POS).clone();
-    let items = content.col(Col::ITEM).clone();
-    let ords = if content.schema().contains(&Col::ORD) {
-        Some(content.col(Col::ORD).clone())
-    } else {
-        None
-    };
-    for r in 0..content.nrows() {
-        let ord = ords.as_ref().map_or(0, |c| c.get_int(r));
-        by_iter
-            .entry(iters.get_int(r))
-            .or_default()
-            .push((poss.get_int(r), ord, items.get(r)));
+/// `content` rows grouped by `iter` and sorted by `pos` within each
+/// group: one global stable sort over (iter, pos) with groups read back
+/// as contiguous slices — no hash map, no per-group vector.
+struct ContentGroups {
+    /// (iter, pos, ord, item), sorted by (iter, pos); ties keep row
+    /// order (matching the per-group stable sort this replaces). `ord`
+    /// is the content-part tag (0 when the plan carries none).
+    rows: Vec<(i64, i64, i64, Item)>,
+}
+
+impl ContentGroups {
+    fn build(content: &Table) -> Result<Self, EvalError> {
+        let n = content.nrows();
+        let iters = content.col(Col::ITER);
+        let poss = content.col(Col::POS);
+        let items = content.col(Col::ITEM);
+        let ords = if content.schema().contains(&Col::ORD) {
+            Some(content.col(Col::ORD))
+        } else {
+            None
+        };
+        let mut rows: Vec<(i64, i64, i64, Item)> = Vec::with_capacity(n);
+        // Batch extraction: pull the three integer columns out as
+        // slices and dispatch on the item column's representation once,
+        // instead of re-branching per row and per column. Non-integer
+        // iter/pos/ord columns keep the per-row path (and its exact
+        // type-error reporting).
+        let (iv, pv) = (int_view(&iters), int_view(&poss));
+        let ov = match &ords {
+            Some(c) => int_view(c).map(Some),
+            None => Some(None),
+        };
+        if let (Some(iv), Some(pv), Some(ov)) = (iv, pv, ov) {
+            let ord = |r: usize| ov.as_ref().map_or(0, |o| o[r]);
+            match (&**items.data(), items.sel()) {
+                (Column::Item(v), None) => {
+                    rows.extend((0..n).map(|r| (iv[r], pv[r], ord(r), v[r].clone())));
+                }
+                (Column::Item(v), Some(s)) => {
+                    rows.extend((0..n).map(|r| (iv[r], pv[r], ord(r), v[s[r] as usize].clone())));
+                }
+                _ => rows.extend((0..n).map(|r| (iv[r], pv[r], ord(r), items.get(r)))),
+            }
+        } else {
+            for r in 0..n {
+                let ord = match &ords {
+                    Some(c) => c.get_int(r)?,
+                    None => 0,
+                };
+                rows.push((iters.get_int(r)?, poss.get_int(r)?, ord, items.get(r)));
+            }
+        }
+        if !rows.is_sorted_by_key(|&(it, p, _, _)| (it, p)) {
+            rows.sort_by_key(|&(it, p, _, _)| (it, p));
+        }
+        Ok(ContentGroups { rows })
     }
-    for v in by_iter.values_mut() {
-        v.sort_by_key(|&(p, _, _)| p);
+
+    /// The content slice of one iteration (empty when it has none).
+    fn get(&self, iter: i64) -> &[(i64, i64, i64, Item)] {
+        let lo = self.rows.partition_point(|r| r.0 < iter);
+        let hi = lo + self.rows[lo..].partition_point(|r| r.0 == iter);
+        &self.rows[lo..hi]
     }
-    by_iter
 }
 
 pub(crate) fn eval_element(
@@ -625,24 +777,51 @@ pub(crate) fn eval_element(
     names: &Table,
     content: &Table,
 ) -> Result<Table, EvalError> {
-    let by_iter = content_by_iter(content);
+    let by_iter = ContentGroups::build(content)?;
     // One new fragment holds all elements constructed by this operator
     // invocation, as sibling roots, in iter order.
-    let mut order: Vec<(i64, usize)> = (0..names.nrows())
-        .map(|r| (names.col(Col::ITER).get_int(r), r))
-        .collect();
+    let name_iters = names.col(Col::ITER);
+    let name_items = names.col(Col::ITEM);
+    let mut order: Vec<(i64, usize)> = Vec::with_capacity(names.nrows());
+    for r in 0..names.nrows() {
+        order.push((name_iters.get_int(r)?, r));
+    }
     order.sort_unstable();
     let mut b = TreeBuilder::new();
+    // The output size is known up front: one element per name row plus
+    // every content node's subtree (atomics over-count slightly — they
+    // merge into shared text nodes — which only pads the reservation).
+    let est: usize = order.len()
+        + by_iter
+            .rows
+            .iter()
+            .map(|(_, _, _, it)| match it {
+                Item::Node(n) => arena.doc_of(*n).size(n.pre) as usize + 1,
+                _ => 1,
+            })
+            .sum::<usize>();
+    b.reserve(est);
     let mut roots: Vec<(i64, u32)> = Vec::with_capacity(order.len());
+    // Constructor names are overwhelmingly one literal string attached
+    // to every row (the same `Arc<str>` clone), so remember the last
+    // (allocation, id) pair and skip the intern hash on a pointer hit.
+    let mut last_name: Option<(*const u8, NameId)> = None;
     for &(it, r) in &order {
-        let name_item = names.col(Col::ITEM).get(r);
-        let name_str = match &name_item {
-            Item::Str(s) => s.to_string(),
-            other => other.to_xq_string(),
+        let name_item = name_items.get(r);
+        let name_id = match &name_item {
+            Item::Str(s) => match last_name {
+                Some((p, id)) if std::ptr::eq(p, s.as_ptr()) => id,
+                _ => {
+                    let id = arena.intern(s);
+                    last_name = Some((s.as_ptr(), id));
+                    id
+                }
+            },
+            other => arena.intern(&other.to_xq_string()),
         };
-        let name_id = arena.intern(&name_str);
         let root = b.open_element(name_id);
-        if let Some(items) = by_iter.get(&it) {
+        let items = by_iter.get(it);
+        if !items.is_empty() {
             build_content(arena, &mut b, items)?;
         }
         b.close();
@@ -673,12 +852,12 @@ pub(crate) fn eval_element(
 fn build_content(
     arena: &FragArena,
     b: &mut TreeBuilder,
-    items: &[(i64, i64, Item)],
+    items: &[(i64, i64, i64, Item)],
 ) -> Result<(), EvalError> {
     let mut pending_text: Option<String> = None;
     let mut pending_ord: i64 = 0;
     let mut content_started = false;
-    for (_, ord, item) in items {
+    for (_, _, ord, item) in items {
         match item {
             Item::Node(n) => {
                 let doc = arena.doc_of(*n);
@@ -729,20 +908,25 @@ pub(crate) fn eval_attr(
     values: &Table,
 ) -> Result<Table, EvalError> {
     // values: iter|item (one string per iteration).
+    let val_iters = values.col(Col::ITER);
+    let val_items = values.col(Col::ITEM);
     let mut val_by_iter: HashMap<i64, String> = HashMap::new();
     for r in 0..values.nrows() {
-        let it = values.col(Col::ITER).get_int(r);
-        let v = values.col(Col::ITEM).get(r).to_xq_string();
+        let it = val_iters.get_int(r)?;
+        let v = val_items.get(r).to_xq_string();
         val_by_iter.insert(it, v);
     }
-    let mut order: Vec<(i64, usize)> = (0..names.nrows())
-        .map(|r| (names.col(Col::ITER).get_int(r), r))
-        .collect();
+    let name_iters = names.col(Col::ITER);
+    let name_items = names.col(Col::ITEM);
+    let mut order: Vec<(i64, usize)> = Vec::with_capacity(names.nrows());
+    for r in 0..names.nrows() {
+        order.push((name_iters.get_int(r)?, r));
+    }
     order.sort_unstable();
     let mut doc = exrquy_xml::Document::new();
     let mut rows: Vec<(i64, u32)> = Vec::new();
     for &(it, r) in &order {
-        let name_str = names.col(Col::ITEM).get(r).to_xq_string();
+        let name_str = name_items.get(r).to_xq_string();
         let name_id = arena.intern(&name_str);
         let value = val_by_iter.get(&it).cloned().unwrap_or_default();
         let pre = doc.push_orphan_attribute(name_id, &value);
@@ -766,14 +950,17 @@ pub(crate) fn eval_attr(
 }
 
 pub(crate) fn eval_textnode(arena: &mut FragArena, content: &Table) -> Result<Table, EvalError> {
-    let mut order: Vec<(i64, usize)> = (0..content.nrows())
-        .map(|r| (content.col(Col::ITER).get_int(r), r))
-        .collect();
+    let c_iters = content.col(Col::ITER);
+    let c_items = content.col(Col::ITEM);
+    let mut order: Vec<(i64, usize)> = Vec::with_capacity(content.nrows());
+    for r in 0..content.nrows() {
+        order.push((c_iters.get_int(r)?, r));
+    }
     order.sort_unstable();
     let mut b = TreeBuilder::new();
     let mut rows: Vec<(i64, u32)> = Vec::new();
     for &(it, r) in &order {
-        let s = content.col(Col::ITEM).get(r).to_xq_string();
+        let s = c_items.get(r).to_xq_string();
         // Empty strings construct no text node (the XDM has none).
         if let Some(pre) = b.text(&s) {
             rows.push((it, pre));
@@ -833,7 +1020,7 @@ pub(crate) fn poll_failpoints(
     Ok(())
 }
 
-fn avalue_item(v: &AValue) -> Item {
+pub(crate) fn avalue_item(v: &AValue) -> Item {
     match v {
         AValue::Int(i) => Item::Int(*i),
         AValue::Dbl(b) => Item::Dbl(f64::from_bits(*b)),
@@ -872,6 +1059,7 @@ fn eval_rownum(
     order: &[exrquy_algebra::SortKey],
     part: Option<Col>,
     threads: usize,
+    vec: bool,
 ) -> Table {
     let n = t.nrows();
     // Fast path (§7): `%⟨⟩` with no order criteria needs no sort — dense
@@ -880,7 +1068,7 @@ fn eval_rownum(
         let nums: Vec<i64> = match part {
             None => (1..=n as i64).collect(),
             Some(p) => {
-                let pc = t.col(p).clone();
+                let pc = t.col(p);
                 let mut counters: HashMap<GroupKey, i64> = HashMap::new();
                 (0..n)
                     .map(|r| {
@@ -893,20 +1081,18 @@ fn eval_rownum(
         };
         return t.with_column(new, Column::Int(nums));
     }
-    // Sort keys: dereference integer columns once so the comparator
-    // avoids per-comparison Item boxing — `%` is the hot operator whose
-    // cost the whole paper is about, keep its constant factors honest.
+    // Sort keys: materialize integer columns once so the comparator
+    // avoids per-comparison Item boxing (and selection-vector
+    // indirection) — `%` is the hot operator whose cost the whole paper
+    // is about, keep its constant factors honest.
     enum Key {
-        Int(Arc<Column>, bool),
-        Item(Arc<Column>, bool),
+        Int(Vec<i64>, bool),
+        Item(ColView, bool),
     }
     impl Key {
         fn cmp_rows(&self, a: usize, b: usize) -> std::cmp::Ordering {
             match self {
-                Key::Int(c, desc) => {
-                    let Column::Int(v) = &**c else {
-                        unreachable!("Key::Int built from a non-Int column")
-                    };
+                Key::Int(v, desc) => {
                     let o = v[a].cmp(&v[b]);
                     if *desc {
                         o.reverse()
@@ -928,18 +1114,18 @@ fn eval_rownum(
             self.cmp_rows(a, b) == std::cmp::Ordering::Equal
         }
     }
-    fn key_for(col: Arc<Column>, desc: bool) -> Key {
-        match &*col {
-            Column::Int(_) => Key::Int(col, desc),
-            Column::Item(_) => Key::Item(col, desc),
+    fn key_for(view: ColView, desc: bool) -> Key {
+        match int_view(&view) {
+            Some(v) => Key::Int(v.into_owned(), desc),
+            None => Key::Item(view, desc),
         }
     }
     let mut keys: Vec<Key> = Vec::with_capacity(order.len() + 1);
     if let Some(p) = part {
-        keys.push(key_for(t.col(p).clone(), false));
+        keys.push(key_for(t.col(p), false));
     }
     for k in order {
-        keys.push(key_for(t.col(k.col).clone(), k.desc));
+        keys.push(key_for(t.col(k.col), k.desc));
     }
     let cmp = |a: usize, b: usize| {
         for k in &keys {
@@ -950,9 +1136,28 @@ fn eval_rownum(
         }
         std::cmp::Ordering::Equal
     };
+    let has_part = part.is_some();
+    // Vectorized: a sortedness probe over the materialized keys skips
+    // the sort when rows already arrive in key order (the common
+    // iter→seq reorder over staircase output, which is produced in
+    // document order). A stable sort of sorted input is the identity
+    // permutation, so numbering sequentially is bit-identical.
+    if vec && (1..n).all(|r| cmp(r - 1, r) != std::cmp::Ordering::Greater) {
+        let mut nums = vec![0i64; n];
+        let mut rank = 0i64;
+        for (r, num) in nums.iter_mut().enumerate() {
+            let new_group = match (has_part, r) {
+                (_, 0) => true,
+                (true, _) => !keys[0].eq_rows(r, r - 1),
+                (false, _) => false,
+            };
+            rank = if new_group { 1 } else { rank + 1 };
+            *num = rank;
+        }
+        return t.with_column(new, Column::Int(nums));
+    }
     let idx = stable_sorted_indices(n, threads, &cmp);
     // Dense 1,2,3,… numbering per partition, written back to row order.
-    let has_part = part.is_some();
     let mut nums = vec![0i64; n];
     let mut rank = 0i64;
     for (k, &row) in idx.iter().enumerate() {
@@ -1015,9 +1220,195 @@ where
     out
 }
 
-fn eval_distinct(t: &Table) -> Table {
-    let mut seen: std::collections::HashSet<Vec<GroupKey>> = std::collections::HashSet::new();
-    let mut idx = Vec::new();
+/// Dense `i64` values of a view whose underlying column is `Int`: the
+/// shared slice when unselected, a gathered copy when a selection vector
+/// is interposed. `None` for non-`Int` representations.
+fn int_view<'a>(c: &'a ColView) -> Option<std::borrow::Cow<'a, [i64]>> {
+    match (&**c.data(), c.sel()) {
+        (Column::Int(v), None) => Some(std::borrow::Cow::Borrowed(v.as_slice())),
+        (Column::Int(v), Some(s)) => Some(std::borrow::Cow::Owned(
+            s.iter().map(|&i| v[i as usize]).collect(),
+        )),
+        _ => None,
+    }
+}
+
+/// Non-decreasing? One linear scan — cheap next to building a hash
+/// index, and the gate for the merge-join batch kernel.
+fn is_sorted_run(v: &[i64]) -> bool {
+    v.windows(2).all(|w| w[0] <= w[1])
+}
+
+// ------------------------------------------------- batch join machinery
+
+/// Multiply-rotate hasher for the batch join kernels: they hash short
+/// in-memory keys by the million, where SipHash's HashDoS hardening is
+/// all cost and no threat model (the data is already resident).
+#[derive(Default)]
+pub(crate) struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let mut last = 0u64;
+        for &b in chunks.remainder() {
+            last = last << 8 | b as u64;
+        }
+        self.write_u64(last ^ (bytes.len() as u64) << 56);
+    }
+}
+
+pub(crate) type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FastHasher>>;
+
+/// Borrowed join key with [`Item::group_key`] equality semantics
+/// (numbers collapse to their f64 bits) but no per-row allocation or
+/// `Arc` clone.
+#[derive(PartialEq, Eq, Hash)]
+enum RefKey<'a> {
+    Node(NodeId),
+    Num(u64),
+    Str(&'a str),
+    Bool(bool),
+}
+
+fn ref_key(it: &Item) -> RefKey<'_> {
+    match it {
+        Item::Node(n) => RefKey::Node(*n),
+        Item::Int(i) => RefKey::Num((*i as f64).to_bits()),
+        Item::Dbl(d) => RefKey::Num(d.to_bits()),
+        Item::Str(s) => RefKey::Str(s),
+        Item::Bool(b) => RefKey::Bool(*b),
+    }
+}
+
+/// Run `f(row, key)` over every row of a view, resolving the column
+/// representation and selection vector once outside the loop instead of
+/// through per-row `get` dispatch (which clones the item).
+fn for_each_key<'a>(c: &'a ColView, mut f: impl FnMut(usize, RefKey<'a>)) {
+    match (&**c.data(), c.sel()) {
+        (Column::Item(v), None) => {
+            for (r, it) in v.iter().enumerate() {
+                f(r, ref_key(it));
+            }
+        }
+        (Column::Item(v), Some(s)) => {
+            for (r, &p) in s.iter().enumerate() {
+                f(r, ref_key(&v[p as usize]));
+            }
+        }
+        (Column::Int(v), None) => {
+            for (r, &i) in v.iter().enumerate() {
+                f(r, RefKey::Num((i as f64).to_bits()));
+            }
+        }
+        (Column::Int(v), Some(s)) => {
+            for (r, &p) in s.iter().enumerate() {
+                f(r, RefKey::Num((v[p as usize] as f64).to_bits()));
+            }
+        }
+        (Column::Bool(v), None) => {
+            for r in 0..v.len() {
+                f(r, RefKey::Bool(v.get(r)));
+            }
+        }
+        (Column::Bool(v), Some(s)) => {
+            for (r, &p) in s.iter().enumerate() {
+                f(r, RefKey::Bool(v.get(p as usize)));
+            }
+        }
+    }
+}
+
+/// Hash-join row-pair builder over borrowed keys — the batch-path
+/// replacement for the per-row `group_key` probe loop. Pair order (left
+/// rows in order, each with its right matches in right-row order), the
+/// row-cap check, and the poll cadence are identical to the scalar
+/// loop's, so the kernels are error- and output-interchangeable.
+fn hash_join_pairs<'a>(
+    lc: &'a ColView,
+    rc: &'a ColView,
+    cap: usize,
+    meter: &BudgetMeter,
+    lidx: &mut Vec<u32>,
+    ridx: &mut Vec<u32>,
+) -> Result<(), EvalError> {
+    let mut index: FastMap<RefKey<'a>, Vec<u32>> = FastMap::default();
+    for_each_key(rc, |j, k| index.entry(k).or_default().push(j as u32));
+    let mut err: Option<EvalError> = None;
+    for_each_key(lc, |i, k| {
+        if err.is_some() {
+            return;
+        }
+        if let Some(matches) = index.get(&k) {
+            for &j in matches {
+                if lidx.len() >= cap {
+                    err = Some(row_cap_exceeded(cap));
+                    return;
+                }
+                lidx.push(i as u32);
+                ridx.push(j);
+                if lidx.len().is_multiple_of(POLL_STRIDE) {
+                    if let Err(e) = meter.poll() {
+                        err = Some(e.into());
+                        return;
+                    }
+                }
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn eval_distinct(t: &Table, vec: bool) -> Table {
+    let mut idx: Vec<u32> = Vec::new();
+    // Vectorized: a single dense integer column (distinct over
+    // loop-lifted `iter` values, typically ascending) run-dedups when
+    // sorted and falls back to an integer set otherwise — no per-row
+    // key vector either way. First-occurrence order is what the generic
+    // scan produces too, so the reference arm stays byte-identical.
+    if let ([(_, c)], true) = (t.columns(), vec) {
+        if let Some(v) = int_view(c) {
+            if v.is_sorted() {
+                for r in 0..v.len() {
+                    if r == 0 || v[r] != v[r - 1] {
+                        idx.push(r as u32);
+                    }
+                }
+            } else {
+                let mut seen: std::collections::HashSet<
+                    i64,
+                    std::hash::BuildHasherDefault<FastHasher>,
+                > = Default::default();
+                for (r, &k) in v.iter().enumerate() {
+                    if seen.insert(k) {
+                        idx.push(r as u32);
+                    }
+                }
+            }
+            return if vec {
+                t.select_rows(idx)
+            } else {
+                let idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
+                t.gather(&idx)
+            };
+        }
+    }
+    let mut seen: std::collections::HashSet<
+        Vec<GroupKey>,
+        std::hash::BuildHasherDefault<FastHasher>,
+    > = Default::default();
     for r in 0..t.nrows() {
         let key: Vec<GroupKey> = t
             .columns()
@@ -1025,10 +1416,15 @@ fn eval_distinct(t: &Table) -> Table {
             .map(|(_, c)| c.get(r).group_key())
             .collect();
         if seen.insert(key) {
-            idx.push(r);
+            idx.push(r as u32);
         }
     }
-    t.gather(&idx)
+    if vec {
+        t.select_rows(idx)
+    } else {
+        let idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
+        t.gather(&idx)
+    }
 }
 
 /// The EXRQ0001 error raised when a row-explosive operator would exceed
@@ -1041,31 +1437,53 @@ fn row_cap_exceeded(cap: usize) -> EvalError {
     )
 }
 
-fn eval_cross(l: &Table, r: &Table, cap: usize) -> Result<Table, EvalError> {
+fn eval_cross(l: &Table, r: &Table, cap: usize, vec: bool) -> Result<Table, EvalError> {
     let (n, m) = (l.nrows(), r.nrows());
     // n·m is known up front — reject oversized (or overflowing) products
     // before allocating anything.
     if n.checked_mul(m).is_none_or(|total| total > cap) {
         return Err(row_cap_exceeded(cap));
     }
-    let mut lidx = Vec::with_capacity(n * m);
-    let mut ridx = Vec::with_capacity(n * m);
+    let mut lidx: Vec<u32> = Vec::with_capacity(n * m);
+    let mut ridx: Vec<u32> = Vec::with_capacity(n * m);
     for i in 0..n {
         for j in 0..m {
-            lidx.push(i);
-            ridx.push(j);
+            lidx.push(i as u32);
+            ridx.push(j as u32);
         }
     }
-    Ok(join_gather(l, r, &lidx, &ridx))
+    Ok(join_output(l, r, lidx, ridx, vec))
 }
 
-fn join_gather(l: &Table, r: &Table, lidx: &[usize], ridx: &[usize]) -> Table {
+/// Assemble a join's output from matched (left, right) row pairs. The
+/// vectorized shape shares both inputs' columns behind two selection
+/// vectors — a join emits zero copied cells; the scalar shape gathers.
+fn join_output(l: &Table, r: &Table, lidx: Vec<u32>, ridx: Vec<u32>, vec: bool) -> Table {
+    let nrows = lidx.len();
+    if vec {
+        // `select_rows` composes any prior selection once per distinct
+        // vector (not once per column), so a chain of joins stays one
+        // indirection deep per side.
+        let lt = l.select_rows(lidx);
+        let rt = r.select_rows(ridx);
+        let mut cols: Vec<(Col, ColView)> =
+            Vec::with_capacity(l.columns().len() + r.columns().len());
+        for (name, c) in lt.columns() {
+            cols.push((*name, c.clone()));
+        }
+        for (name, c) in rt.columns() {
+            cols.push((*name, c.clone()));
+        }
+        return Table::from_views(cols, nrows);
+    }
+    let lidx: Vec<usize> = lidx.iter().map(|&i| i as usize).collect();
+    let ridx: Vec<usize> = ridx.iter().map(|&i| i as usize).collect();
     let mut cols: Vec<(Col, Column)> = Vec::new();
     for (name, c) in l.columns() {
-        cols.push((*name, c.gather(lidx)));
+        cols.push((*name, c.gather(&lidx)));
     }
     for (name, c) in r.columns() {
-        cols.push((*name, c.gather(ridx)));
+        cols.push((*name, c.gather(&ridx)));
     }
     Table::new(cols)
 }
@@ -1076,18 +1494,56 @@ fn eval_equijoin(
     lcol: Col,
     rcol: Col,
     meter: &BudgetMeter,
+    vec: bool,
 ) -> Result<Table, EvalError> {
     let cap = meter.op_row_cap();
-    let lc = l.col(lcol).clone();
-    let rc = r.col(rcol).clone();
+    let lc = l.col(lcol);
+    let rc = r.col(rcol);
     // Fast path: both integer columns. Skewed keys make the match count
     // quadratic in the worst case, so the budget is checked at each push.
-    let (mut lidx, mut ridx) = (Vec::new(), Vec::new());
-    match (&*lc, &*rc) {
-        (Column::Int(lv), Column::Int(rv)) => {
-            let mut index: HashMap<i64, Vec<usize>> = HashMap::new();
+    let (mut lidx, mut ridx): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+    match (int_view(&lc), int_view(&rc)) {
+        // Batch kernel: loop-lifted plans join on `iter` columns, which
+        // arrive sorted on both sides — a linear merge needs no hash
+        // table (and none of its per-distinct-key allocations). The pair
+        // stream it emits is exactly the hash join's (left rows in
+        // order, matching right rows in order within each), so the two
+        // kernels are output- and error-interchangeable.
+        (Some(lv), Some(rv)) if vec && is_sorted_run(&lv) && is_sorted_run(&rv) => {
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < lv.len() && j < rv.len() {
+                let v = lv[i];
+                if v < rv[j] {
+                    i += 1;
+                } else if v > rv[j] {
+                    j += 1;
+                } else {
+                    // Equal-key group: [j, je) on the right.
+                    let mut je = j + 1;
+                    while je < rv.len() && rv[je] == v {
+                        je += 1;
+                    }
+                    while i < lv.len() && lv[i] == v {
+                        for j2 in j..je {
+                            if lidx.len() >= cap {
+                                return Err(row_cap_exceeded(cap));
+                            }
+                            lidx.push(i as u32);
+                            ridx.push(j2 as u32);
+                            if lidx.len().is_multiple_of(POLL_STRIDE) {
+                                meter.poll()?;
+                            }
+                        }
+                        i += 1;
+                    }
+                    j = je;
+                }
+            }
+        }
+        (Some(lv), Some(rv)) => {
+            let mut index: HashMap<i64, Vec<u32>> = HashMap::new();
             for (j, &v) in rv.iter().enumerate() {
-                index.entry(v).or_default().push(j);
+                index.entry(v).or_default().push(j as u32);
             }
             for (i, &v) in lv.iter().enumerate() {
                 if let Some(matches) = index.get(&v) {
@@ -1095,7 +1551,7 @@ fn eval_equijoin(
                         if lidx.len() >= cap {
                             return Err(row_cap_exceeded(cap));
                         }
-                        lidx.push(i);
+                        lidx.push(i as u32);
                         ridx.push(j);
                         if lidx.len().is_multiple_of(POLL_STRIDE) {
                             meter.poll()?;
@@ -1104,10 +1560,14 @@ fn eval_equijoin(
                 }
             }
         }
+        _ if vec => hash_join_pairs(&lc, &rc, cap, meter, &mut lidx, &mut ridx)?,
         _ => {
-            let mut index: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+            let mut index: HashMap<GroupKey, Vec<u32>> = HashMap::new();
             for j in 0..r.nrows() {
-                index.entry(rc.get(j).group_key()).or_default().push(j);
+                index
+                    .entry(rc.get(j).group_key())
+                    .or_default()
+                    .push(j as u32);
             }
             for i in 0..l.nrows() {
                 if let Some(matches) = index.get(&lc.get(i).group_key()) {
@@ -1115,7 +1575,7 @@ fn eval_equijoin(
                         if lidx.len() >= cap {
                             return Err(row_cap_exceeded(cap));
                         }
-                        lidx.push(i);
+                        lidx.push(i as u32);
                         ridx.push(j);
                         if lidx.len().is_multiple_of(POLL_STRIDE) {
                             meter.poll()?;
@@ -1125,7 +1585,7 @@ fn eval_equijoin(
             }
         }
     }
-    Ok(join_gather(l, r, &lidx, &ridx))
+    Ok(join_output(l, r, lidx, ridx, vec))
 }
 
 fn eval_thetajoin(
@@ -1133,20 +1593,27 @@ fn eval_thetajoin(
     r: &Table,
     pred: &[(Col, FunKind, Col)],
     meter: &BudgetMeter,
+    vec: bool,
 ) -> Result<Table, EvalError> {
     // Invariant: the compiler only emits ThetaJoin with a non-empty
     // predicate list (an empty one would be a Cross in disguise).
     assert!(!pred.is_empty(), "theta join needs at least one predicate");
     let cap = meter.op_row_cap();
     let (p0l, k0, p0r) = pred[0];
-    let lc = l.col(p0l).clone();
-    let rc = r.col(p0r).clone();
-    let (mut lidx, mut ridx) = (Vec::new(), Vec::new());
+    let lc = l.col(p0l);
+    let rc = r.col(p0r);
+    let (mut lidx, mut ridx): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
     match k0 {
+        FunKind::Eq if vec => {
+            hash_join_pairs(&lc, &rc, cap, meter, &mut lidx, &mut ridx)?;
+        }
         FunKind::Eq => {
-            let mut index: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+            let mut index: HashMap<GroupKey, Vec<u32>> = HashMap::new();
             for j in 0..r.nrows() {
-                index.entry(rc.get(j).group_key()).or_default().push(j);
+                index
+                    .entry(rc.get(j).group_key())
+                    .or_default()
+                    .push(j as u32);
             }
             for i in 0..l.nrows() {
                 if let Some(matches) = index.get(&lc.get(i).group_key()) {
@@ -1154,7 +1621,7 @@ fn eval_thetajoin(
                         if lidx.len() >= cap {
                             return Err(row_cap_exceeded(cap));
                         }
-                        lidx.push(i);
+                        lidx.push(i as u32);
                         ridx.push(j);
                         if lidx.len().is_multiple_of(POLL_STRIDE) {
                             meter.poll()?;
@@ -1166,8 +1633,8 @@ fn eval_thetajoin(
         FunKind::Lt | FunKind::Le | FunKind::Gt | FunKind::Ge => {
             // Band join: sort the right side numerically, emit a range per
             // left row. Non-numeric values never match.
-            let mut rvals: Vec<(f64, usize)> = (0..r.nrows())
-                .filter_map(|j| rc.get(j).as_number_promoting().map(|v| (v, j)))
+            let mut rvals: Vec<(f64, u32)> = (0..r.nrows())
+                .filter_map(|j| rc.get(j).as_number_promoting().map(|v| (v, j as u32)))
                 .filter(|(v, _)| !v.is_nan())
                 .collect();
             // NaNs were filtered above, so partial_cmp cannot return None.
@@ -1193,7 +1660,7 @@ fn eval_thetajoin(
                     return Err(row_cap_exceeded(cap));
                 }
                 for k in range {
-                    lidx.push(i);
+                    lidx.push(i as u32);
                     ridx.push(rvals[k].1);
                     if lidx.len().is_multiple_of(POLL_STRIDE) {
                         meter.poll()?;
@@ -1214,8 +1681,8 @@ fn eval_thetajoin(
                         if lidx.len() >= cap {
                             return Err(row_cap_exceeded(cap));
                         }
-                        lidx.push(i);
-                        ridx.push(j);
+                        lidx.push(i as u32);
+                        ridx.push(j as u32);
                     }
                 }
             }
@@ -1231,13 +1698,13 @@ fn eval_thetajoin(
     if pred.len() > 1 {
         let rest: Vec<_> = pred[1..]
             .iter()
-            .map(|&(lcn, k, rcn)| (l.col(lcn).clone(), k, r.col(rcn).clone()))
+            .map(|&(lcn, k, rcn)| (l.col(lcn), k, r.col(rcn)))
             .collect();
         let mut flidx = Vec::new();
         let mut fridx = Vec::new();
         'pair: for p in 0..lidx.len() {
             for (lcn, k, rcn) in &rest {
-                if !funs::compare_with(*k, &lcn.get(lidx[p]), &rcn.get(ridx[p])) {
+                if !funs::compare_with(*k, &lcn.get(lidx[p] as usize), &rcn.get(ridx[p] as usize)) {
                     continue 'pair;
                 }
             }
@@ -1247,7 +1714,7 @@ fn eval_thetajoin(
         lidx = flidx;
         ridx = fridx;
     }
-    Ok(join_gather(l, r, &lidx, &ridx))
+    Ok(join_output(l, r, lidx, ridx, vec))
 }
 
 /// Expand `lo..=hi` integer ranges per row (empty when lo > hi). A query
@@ -1261,11 +1728,12 @@ fn eval_range(
     hi: Col,
     new: Col,
     meter: &BudgetMeter,
+    vec: bool,
 ) -> Result<Table, EvalError> {
     let cap = meter.op_row_cap();
-    let loc = t.col(lo).clone();
-    let hic = t.col(hi).clone();
-    let mut idx: Vec<usize> = Vec::new();
+    let loc = t.col(lo);
+    let hic = t.col(hi);
+    let mut idx: Vec<u32> = Vec::new();
     let mut vals: Vec<i64> = Vec::new();
     for r in 0..t.nrows() {
         let (a, b) = (range_int(&loc.get(r))?, range_int(&hic.get(r))?);
@@ -1273,14 +1741,19 @@ fn eval_range(
             if vals.len() >= cap {
                 return Err(row_cap_exceeded(cap));
             }
-            idx.push(r);
+            idx.push(r as u32);
             vals.push(v);
             if vals.len().is_multiple_of(POLL_STRIDE) {
                 meter.poll()?;
             }
         }
     }
-    let base = t.gather(&idx);
+    let base = if vec {
+        t.select_rows(idx)
+    } else {
+        let idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
+        t.gather(&idx)
+    };
     Ok(base.with_column(new, Column::Int(vals)))
 }
 
@@ -1298,24 +1771,30 @@ fn eval_union(l: &Table, r: &Table) -> Table {
     let mut cols: Vec<(Col, Column)> = Vec::new();
     for (name, lc) in l.columns() {
         let rc = r.col(*name);
-        cols.push((*name, lc.append(rc)));
+        cols.push((*name, lc.to_ref().append(&rc.to_ref())));
     }
     Table::new(cols)
 }
 
-fn eval_difference(l: &Table, r: &Table, on: &[(Col, Col)]) -> Table {
-    let rcols: Vec<_> = on.iter().map(|&(_, rc)| r.col(rc).clone()).collect();
+fn eval_difference(l: &Table, r: &Table, on: &[(Col, Col)], vec: bool) -> Table {
+    let rcols: Vec<_> = on.iter().map(|&(_, rc)| r.col(rc)).collect();
     let keys: std::collections::HashSet<Vec<GroupKey>> = (0..r.nrows())
         .map(|j| rcols.iter().map(|c| c.get(j).group_key()).collect())
         .collect();
-    let lcols: Vec<_> = on.iter().map(|&(lc, _)| l.col(lc).clone()).collect();
-    let idx: Vec<usize> = (0..l.nrows())
+    let lcols: Vec<_> = on.iter().map(|&(lc, _)| l.col(lc)).collect();
+    let idx: Vec<u32> = (0..l.nrows())
         .filter(|&i| {
             let key: Vec<GroupKey> = lcols.iter().map(|c| c.get(i).group_key()).collect();
             !keys.contains(&key)
         })
+        .map(|i| i as u32)
         .collect();
-    l.gather(&idx)
+    if vec {
+        l.select_rows(idx)
+    } else {
+        let idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
+        l.gather(&idx)
+    }
 }
 
 fn eval_aggr<R: NodeRead + ?Sized>(
@@ -1325,6 +1804,7 @@ fn eval_aggr<R: NodeRead + ?Sized>(
     new: Col,
     arg: Option<Col>,
     part: Option<Col>,
+    vec: bool,
 ) -> Result<Table, EvalError> {
     struct State {
         count: i64,
@@ -1350,17 +1830,68 @@ fn eval_aggr<R: NodeRead + ?Sized>(
             }
         }
     }
-    let arg_col = arg.map(|a| t.col(a).clone());
-    let part_col = part.map(|p| t.col(p).clone());
+    let arg_col = arg.map(|a| t.col(a));
+    let part_col = part.map(|p| t.col(p));
+    // Vectorized: sorted integer partitions (the loop-lifted common
+    // case: grouped by ascending `iter`) aggregate over contiguous runs
+    // — no hash map, no per-row state lookup. Count never reads the
+    // argument; sum over a dense integer argument adds in the same row
+    // order as the per-row loop, so the f64 accumulation is
+    // bit-identical.
+    if let (Some(p), true) = (&part_col, vec) {
+        if let Some(pv) = int_view(p) {
+            if matches!(kind, AggrKind::Count | AggrKind::Sum) && pv.is_sorted() {
+                let sum_arg = match (kind, &arg_col) {
+                    (AggrKind::Sum, Some(a)) => int_view(a),
+                    _ => None,
+                };
+                let fast = matches!(kind, AggrKind::Count) || sum_arg.is_some();
+                if fast {
+                    let mut out_part: Vec<i64> = Vec::new();
+                    let mut out_val: Vec<Item> = Vec::new();
+                    let mut i = 0;
+                    while i < pv.len() {
+                        let k = pv[i];
+                        let mut j = i + 1;
+                        while j < pv.len() && pv[j] == k {
+                            j += 1;
+                        }
+                        out_part.push(k);
+                        out_val.push(match (kind, &sum_arg) {
+                            (AggrKind::Count, _) => Item::Int((j - i) as i64),
+                            (_, Some(av)) => {
+                                let mut s = 0.0f64;
+                                for &x in &av[i..j] {
+                                    s += x as f64;
+                                }
+                                Item::Dbl(s)
+                            }
+                            _ => unreachable!(),
+                        });
+                        i = j;
+                    }
+                    let mut cols: Vec<(Col, Column)> = Vec::new();
+                    if let Some(pc) = part {
+                        cols.push((pc, Column::Int(out_part)));
+                    }
+                    cols.push((new, Column::Item(out_val)));
+                    return Ok(Table::new(cols));
+                }
+            }
+        }
+    }
     let pos_col = if t.schema().contains(&Col::POS) {
-        Some(t.col(Col::POS).clone())
+        Some(t.col(Col::POS))
     } else {
         None
     };
     let mut groups: Vec<(i64, State)> = Vec::new();
-    let mut index: HashMap<i64, usize> = HashMap::new();
+    let mut index: FastMap<i64, usize> = FastMap::default();
     for r in 0..t.nrows() {
-        let key = part_col.as_ref().map_or(0, |p| p.get_int(r));
+        let key = match &part_col {
+            Some(p) => p.get_int(r)?,
+            None => 0,
+        };
         let gi = *index.entry(key).or_insert_with(|| {
             groups.push((key, State::new()));
             groups.len() - 1
@@ -1410,7 +1941,10 @@ fn eval_aggr<R: NodeRead + ?Sized>(
                 AggrKind::Ebv => st.ebv_items.push(item),
                 AggrKind::StrJoin => {
                     let atom = funs::atomize_item(nodes, &item);
-                    let posv = pos_col.as_ref().map_or(r as i64, |p| p.get_int(r));
+                    let posv = match &pos_col {
+                        Some(p) => p.get_int(r)?,
+                        None => r as i64,
+                    };
                     st.strs.push((posv, atom.to_xq_string()));
                 }
                 AggrKind::Count => {}

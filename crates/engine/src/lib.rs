@@ -19,16 +19,20 @@
 //! Evaluation is memoized over the shared DAG: an operator reachable via
 //! ten paths is evaluated once (§3's sharing).
 
+pub mod bits;
 pub mod column;
 pub mod eval;
 pub mod funs;
 pub mod item;
+mod kernels;
 mod par;
 pub mod profile;
 pub mod table;
+mod vec;
 
-pub use column::Column;
+pub use bits::BitVec;
+pub use column::{Column, ColumnBuilder, ColumnError};
 pub use eval::{Engine, EngineOptions, EvalError, StepAlgo};
 pub use item::Item;
-pub use profile::{Profile, SchedStats};
-pub use table::Table;
+pub use profile::{Profile, SchedStats, VecStats};
+pub use table::{ColView, SelVec, Table};

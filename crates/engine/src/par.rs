@@ -1,23 +1,29 @@
 //! Work-stealing intra-query scheduler.
 //!
-//! [`eval_parallel`] evaluates independent pure subplans of the shared
-//! DAG concurrently and pins every node-constructing ("writer") operator
-//! to the main thread, in exactly the serial topological sequence — the
-//! single-writer rule. Fragment ids and interned name ids are handed out
-//! in the same order as a serial run, so the two paths produce
-//! bit-identical tables (the differential suites assert this).
+//! The scheduler runs over a *node graph* — either the shared DAG
+//! (scalar path) or a flattened [`PhysPlan`] whose slots may be fused
+//! chains (vectorized path, via [`eval_parallel_phys`]). Both shapes go
+//! through the same worker loops and the same kernels, so serial and
+//! parallel runs of either path produce bit-identical tables (the
+//! differential suites assert this).
+//!
+//! Independent pure nodes evaluate concurrently; every node-constructing
+//! ("writer") operator is pinned to the main thread, in exactly the
+//! serial topological sequence — the single-writer rule. Fragment ids
+//! and interned name ids are handed out in the same order as a serial
+//! run.
 //!
 //! Shape of the loop: alternate
 //!
-//! 1. a **parallel region** draining every ready pure operator through
-//!    per-worker deques with work stealing (a finished operator releases
-//!    its parents; newly ready pure parents go onto the finishing
-//!    worker's own deque), and
+//! 1. a **parallel region** draining every ready pure node through
+//!    per-worker deques with work stealing (a finished node releases its
+//!    parents; newly ready pure parents go onto the finishing worker's
+//!    own deque), and
 //! 2. a **writer phase** executing ready writers on the main thread with
 //!    `&mut FragArena`.
 //!
 //! Termination: after a region drains, the topologically earliest
-//! unfinished operator has all children finished; the region would have
+//! unfinished node has all children finished; the region would have
 //! consumed it if it were pure, so it is the next writer in sequence (or
 //! the root is done). The loop therefore always progresses.
 //!
@@ -32,10 +38,11 @@ use crate::eval::{
 };
 use crate::profile::{Profile, SchedStats};
 use crate::table::Table;
-use exrquy_algebra::{Dag, Op, OpId};
+use crate::vec::exec_fused;
+use exrquy_algebra::{Dag, FuseStep, Op, OpId, PhysOp, PhysPlan};
 use exrquy_diag::BudgetMeter;
 use exrquy_xml::FragArena;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -78,64 +85,168 @@ const _: () = {
     assert_send::<Profile>();
 };
 
+/// What a scheduled node executes.
+enum NodeKind<'p> {
+    /// A pure logical operator (kernels run via [`eval_pure`]).
+    Pure(OpId),
+    /// An arena-mutating constructor, pinned to the main thread.
+    Writer(OpId),
+    /// A fused chain over the node's single child.
+    Fused(&'p [FuseStep]),
+}
+
+/// A schedulable plan: nodes in topological order with node-index
+/// operand edges (operand order and multiplicity preserved — kernels
+/// resolve children by ordinal).
+struct NodeGraph<'p> {
+    nodes: Vec<NodeKind<'p>>,
+    children: Vec<Vec<u32>>,
+    /// DAG id publishing each node's table (chain tail for fused nodes);
+    /// the key for memo-cache seeding, profiling, and failpoints.
+    out_ids: Vec<OpId>,
+    root: usize,
+}
+
+impl NodeGraph<'_> {
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn graph_from_dag(dag: &Dag, root: OpId) -> NodeGraph<'static> {
+    let order = dag.topo_order(root);
+    let mut idx_of: HashMap<OpId, u32> = HashMap::with_capacity(order.len());
+    let mut g = NodeGraph {
+        nodes: Vec::with_capacity(order.len()),
+        children: Vec::with_capacity(order.len()),
+        out_ids: Vec::with_capacity(order.len()),
+        root: 0,
+    };
+    for &id in &order {
+        idx_of.insert(id, g.nodes.len() as u32);
+        let op = dag.op(id);
+        g.children
+            .push(op.children().iter().map(|c| idx_of[c]).collect());
+        g.nodes.push(if is_writer_op(op) {
+            NodeKind::Writer(id)
+        } else {
+            NodeKind::Pure(id)
+        });
+        g.out_ids.push(id);
+    }
+    g.root = idx_of[&root] as usize;
+    g
+}
+
+fn graph_from_phys<'p>(dag: &Dag, plan: &'p PhysPlan) -> NodeGraph<'p> {
+    let mut g = NodeGraph {
+        nodes: Vec::with_capacity(plan.len()),
+        children: Vec::with_capacity(plan.len()),
+        out_ids: Vec::with_capacity(plan.len()),
+        root: plan.root as usize,
+    };
+    for op in &plan.ops {
+        match op {
+            PhysOp::Op { id, args } => {
+                g.children.push(args.clone());
+                g.nodes.push(if is_writer_op(dag.op(*id)) {
+                    NodeKind::Writer(*id)
+                } else {
+                    NodeKind::Pure(*id)
+                });
+            }
+            PhysOp::Fused { input, steps, .. } => {
+                g.children.push(vec![*input]);
+                g.nodes.push(NodeKind::Fused(steps));
+            }
+        }
+        g.out_ids.push(op.out_id());
+    }
+    g
+}
+
 /// Shared scheduler state, borrowed by every worker of a region.
-struct Cx<'a> {
+struct Cx<'a, 'p> {
     dag: &'a Dag,
+    graph: &'a NodeGraph<'p>,
     arena: &'a FragArena,
     opts: &'a EngineOptions,
     meter: &'a BudgetMeter,
-    /// One result slot per DAG operator, indexed by `OpId.0`.
+    /// One result slot per graph node.
     results: &'a [OnceLock<Arc<Table>>],
-    /// Outstanding-children count per operator (with multiplicity: an
-    /// operator using one child twice waits for it twice).
+    /// Outstanding-children count per node (with multiplicity: a node
+    /// using one child twice waits for it twice).
     waiting: &'a [AtomicUsize],
-    /// Reverse edges, with multiplicity, restricted to the live plan.
+    /// Reverse edges, with multiplicity.
     parents: &'a [Vec<u32>],
-    is_writer: &'a [bool],
     threads: usize,
     counters: &'a SchedCounters,
 }
 
-impl Cx<'_> {
-    fn result(&self, id: OpId) -> Arc<Table> {
-        self.results[id.0 as usize]
+impl Cx<'_, '_> {
+    fn result(&self, ni: u32) -> Arc<Table> {
+        self.results[ni as usize]
             .get()
             .expect("child evaluated before parent (topological invariant)")
             .clone()
     }
 
-    /// Evaluate one pure operator, publish its table, and return the
-    /// parents it made ready (pure parents only — writers are picked up
-    /// by the main loop's sequence pointer).
-    fn step(&self, id: OpId, prof: &mut Profile) -> Result<Vec<OpId>, EvalError> {
+    /// Evaluate one pure node, publish its table, and return the parents
+    /// it made ready (pure parents only — writers are picked up by the
+    /// main loop's sequence pointer).
+    fn step(&self, ni: u32, prof: &mut Profile) -> Result<Vec<u32>, EvalError> {
         self.meter.poll()?;
-        poll_failpoints(&self.opts.failpoints, self.dag, id, self.meter.ops_seen())?;
-        let started = Instant::now();
-        let table = eval_pure(
-            self.dag,
-            id,
-            &|i| self.result(i),
-            self.arena,
-            self.opts,
-            self.meter,
-        )?;
-        prof.record(self.dag, id, started.elapsed());
+        let out = self.graph.out_ids[ni as usize];
+        let ch = &self.graph.children[ni as usize];
+        let table = match &self.graph.nodes[ni as usize] {
+            NodeKind::Pure(id) => {
+                poll_failpoints(&self.opts.failpoints, self.dag, *id, self.meter.ops_seen())?;
+                let started = Instant::now();
+                let table = eval_pure(
+                    self.dag,
+                    *id,
+                    &|k| self.result(ch[k]),
+                    self.arena,
+                    self.opts,
+                    self.meter,
+                )?;
+                prof.record(self.dag, *id, started.elapsed());
+                table
+            }
+            NodeKind::Fused(steps) => {
+                let started = Instant::now();
+                let input = self.result(ch[0]);
+                let mut batches = 0u64;
+                let table = exec_fused(
+                    &input,
+                    steps,
+                    self.arena,
+                    self.opts,
+                    self.meter,
+                    &mut batches,
+                )?;
+                prof.vec.batches += batches;
+                prof.record(self.dag, out, started.elapsed());
+                table
+            }
+            NodeKind::Writer(_) => unreachable!("writers run on the owning thread"),
+        };
         self.meter.charge_rows(table.nrows())?;
-        let _ = self.results[id.0 as usize].set(Arc::new(table));
+        let _ = self.results[ni as usize].set(Arc::new(table));
         self.meter.record_op();
-        Ok(self.release_parents(id))
+        Ok(self.release_parents(ni))
     }
 
     /// Decrement each parent's outstanding count; a parent hitting zero
     /// is ready. Pure ready parents are returned; ready writers surface
     /// through the main loop's `waiting` check instead.
-    fn release_parents(&self, id: OpId) -> Vec<OpId> {
+    fn release_parents(&self, ni: u32) -> Vec<u32> {
         let mut ready = Vec::new();
-        for &p in &self.parents[id.0 as usize] {
+        for &p in &self.parents[ni as usize] {
             if self.waiting[p as usize].fetch_sub(1, Ordering::AcqRel) == 1
-                && !self.is_writer[p as usize]
+                && !matches!(self.graph.nodes[p as usize], NodeKind::Writer(_))
             {
-                ready.push(OpId(p));
+                ready.push(p);
             }
         }
         ready
@@ -144,13 +255,17 @@ impl Cx<'_> {
 
 /// Drain `seeds` and everything they transitively make ready, in
 /// parallel. Linear stretches run inline on the calling thread; a scoped
-/// worker pool is only spun up once two or more operators are ready at
-/// the same time.
-fn run_region(cx: &Cx<'_>, mut seeds: Vec<OpId>, profile: &mut Profile) -> Result<(), EvalError> {
+/// worker pool is only spun up once two or more nodes are ready at the
+/// same time.
+fn run_region(
+    cx: &Cx<'_, '_>,
+    mut seeds: Vec<u32>,
+    profile: &mut Profile,
+) -> Result<(), EvalError> {
     while seeds.len() == 1 {
-        let id = seeds.pop().expect("len checked");
+        let ni = seeds.pop().expect("len checked");
         cx.counters.inline_ops.fetch_add(1, Ordering::Relaxed);
-        seeds.extend(cx.step(id, profile)?);
+        seeds.extend(cx.step(ni, profile)?);
     }
     if seeds.is_empty() {
         return Ok(());
@@ -158,14 +273,14 @@ fn run_region(cx: &Cx<'_>, mut seeds: Vec<OpId>, profile: &mut Profile) -> Resul
     cx.counters.regions.fetch_add(1, Ordering::Relaxed);
     cx.counters.note_queue_depth(seeds.len());
     let w = cx.threads.min(seeds.len());
-    let deques: Vec<Mutex<VecDeque<OpId>>> = (0..w).map(|_| Mutex::new(VecDeque::new())).collect();
-    // `tasks` counts published-but-unfinished operators; workers spin
-    // until it reaches zero. Children are published (and counted) before
-    // their releaser is retired, so the count only hits zero when the
-    // region is truly drained.
+    let deques: Vec<Mutex<VecDeque<u32>>> = (0..w).map(|_| Mutex::new(VecDeque::new())).collect();
+    // `tasks` counts published-but-unfinished nodes; workers spin until
+    // it reaches zero. Children are published (and counted) before their
+    // releaser is retired, so the count only hits zero when the region
+    // is truly drained.
     let tasks = AtomicUsize::new(seeds.len());
-    for (i, id) in seeds.into_iter().enumerate() {
-        deques[i % w].lock().expect("deque lock").push_back(id);
+    for (i, ni) in seeds.into_iter().enumerate() {
+        deques[i % w].lock().expect("deque lock").push_back(ni);
     }
     let abort = AtomicBool::new(false);
     let first_err: Mutex<Option<EvalError>> = Mutex::new(None);
@@ -195,9 +310,9 @@ fn run_region(cx: &Cx<'_>, mut seeds: Vec<OpId>, profile: &mut Profile) -> Resul
 }
 
 fn worker_loop(
-    cx: &Cx<'_>,
+    cx: &Cx<'_, '_>,
     wi: usize,
-    deques: &[Mutex<VecDeque<OpId>>],
+    deques: &[Mutex<VecDeque<u32>>],
     tasks: &AtomicUsize,
     abort: &AtomicBool,
     first_err: &Mutex<Option<EvalError>>,
@@ -221,12 +336,12 @@ fn worker_loop(
                 }
             }
         }
-        let Some(id) = next else {
+        let Some(ni) = next else {
             std::thread::yield_now();
             continue;
         };
         cx.counters.par_ops.fetch_add(1, Ordering::Relaxed);
-        match cx.step(id, prof) {
+        match cx.step(ni, prof) {
             Ok(ready) => {
                 if !ready.is_empty() {
                     let outstanding = tasks.fetch_add(ready.len(), Ordering::Release) + ready.len();
@@ -248,29 +363,31 @@ fn worker_loop(
     }
 }
 
-/// Evaluate one writer operator on the main thread.
+/// Evaluate one writer node on the main thread; `ch` are its operand
+/// node indices in [`Op::children`] order.
 fn eval_writer(
     engine: &mut Engine<'_, '_>,
     id: OpId,
+    ch: &[u32],
     results: &[OnceLock<Arc<Table>>],
 ) -> Result<Table, EvalError> {
-    let get = |i: OpId| -> Arc<Table> {
-        results[i.0 as usize]
+    let get = |k: usize| -> Arc<Table> {
+        results[ch[k] as usize]
             .get()
             .expect("writer input evaluated")
             .clone()
     };
     match engine.dag.op(id).clone() {
-        Op::Element { names, content } => {
-            let (nt, ct) = (get(names), get(content));
+        Op::Element { .. } => {
+            let (nt, ct) = (get(0), get(1));
             eval_element(engine.arena, &nt, &ct)
         }
-        Op::Attr { names, values } => {
-            let (nt, vt) = (get(names), get(values));
+        Op::Attr { .. } => {
+            let (nt, vt) = (get(0), get(1));
             eval_attr(engine.arena, &nt, &vt)
         }
-        Op::TextNode { content } => {
-            let ct = get(content);
+        Op::TextNode { .. } => {
+            let ct = get(0);
             eval_textnode(engine.arena, &ct)
         }
         other => unreachable!("`{}` is not a writer operator", other.kind_name()),
@@ -284,67 +401,81 @@ fn is_writer_op(op: &Op) -> bool {
     )
 }
 
-/// Parallel evaluation of the plan rooted at `root` (entered from
-/// [`Engine::eval`] when `threads > 1`).
+/// Parallel evaluation of the DAG rooted at `root` (entered from
+/// [`Engine::eval`] on the scalar path when `threads > 1`).
 pub(crate) fn eval_parallel(
     engine: &mut Engine<'_, '_>,
     root: OpId,
 ) -> Result<Arc<Table>, EvalError> {
+    let graph = graph_from_dag(engine.dag, root);
+    eval_parallel_graph(engine, &graph)
+}
+
+/// Parallel evaluation of a flattened plan (entered from the vectorized
+/// executor when `threads > 1`); fused chains are scheduled as single
+/// nodes, so both paths share the kernel bodies.
+pub(crate) fn eval_parallel_phys(
+    engine: &mut Engine<'_, '_>,
+    plan: &PhysPlan,
+) -> Result<Arc<Table>, EvalError> {
+    let graph = graph_from_phys(engine.dag, plan);
+    eval_parallel_graph(engine, &graph)
+}
+
+fn eval_parallel_graph(
+    engine: &mut Engine<'_, '_>,
+    graph: &NodeGraph<'_>,
+) -> Result<Arc<Table>, EvalError> {
     let dag = engine.dag;
-    let order = dag.topo_order(root);
-    let n = dag.len();
+    let n = graph.len();
     let results: Vec<OnceLock<Arc<Table>>> = (0..n).map(|_| OnceLock::new()).collect();
     // Seed from the memo cache (repeated `eval` calls on one engine).
-    for (id, t) in &engine.cache {
-        let _ = results[id.0 as usize].set(t.clone());
+    for (i, out) in graph.out_ids.iter().enumerate() {
+        if let Some(t) = engine.cache.get(out) {
+            let _ = results[i].set(t.clone());
+        }
     }
     let mut waiting: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
     let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut is_writer = vec![false; n];
-    for &id in &order {
-        let i = id.0 as usize;
-        is_writer[i] = is_writer_op(dag.op(id));
+    for i in 0..n {
         if results[i].get().is_some() {
             continue;
         }
         let mut outstanding = 0;
-        for c in dag.op(id).children() {
-            if results[c.0 as usize].get().is_some() {
+        for &c in &graph.children[i] {
+            if results[c as usize].get().is_some() {
                 continue;
             }
             outstanding += 1;
-            parents[c.0 as usize].push(id.0);
+            parents[c as usize].push(i as u32);
         }
         waiting[i] = AtomicUsize::new(outstanding);
     }
-    let writer_seq: Vec<OpId> = order
-        .iter()
-        .copied()
-        .filter(|&id| is_writer[id.0 as usize] && results[id.0 as usize].get().is_none())
+    let writer_seq: Vec<usize> = (0..n)
+        .filter(|&i| matches!(graph.nodes[i], NodeKind::Writer(_)) && results[i].get().is_none())
         .collect();
-    let mut seeds: Vec<OpId> = order
-        .iter()
-        .copied()
-        .filter(|&id| {
-            results[id.0 as usize].get().is_none()
-                && !is_writer[id.0 as usize]
-                && waiting[id.0 as usize].load(Ordering::Relaxed) == 0
+    let mut seeds: Vec<u32> = (0..n)
+        .filter(|&i| {
+            results[i].get().is_none()
+                && !matches!(graph.nodes[i], NodeKind::Writer(_))
+                && waiting[i].load(Ordering::Relaxed) == 0
         })
+        .map(|i| i as u32)
         .collect();
     let threads = engine.opts.threads;
     let counters = SchedCounters::default();
     let mut next_writer = 0;
-    while results[root.0 as usize].get().is_none() {
+    while results[graph.root].get().is_none() {
         if !seeds.is_empty() {
             let cx = Cx {
                 dag,
+                graph,
                 arena: &*engine.arena,
                 opts: &engine.opts,
                 meter: &engine.meter,
                 results: &results,
                 waiting: &waiting,
                 parents: &parents,
-                is_writer: &is_writer,
                 threads,
                 counters: &counters,
             };
@@ -352,47 +483,48 @@ pub(crate) fn eval_parallel(
         }
         let mut progressed = false;
         while next_writer < writer_seq.len() {
-            let id = writer_seq[next_writer];
-            if waiting[id.0 as usize].load(Ordering::Acquire) != 0 {
+            let i = writer_seq[next_writer];
+            if waiting[i].load(Ordering::Acquire) != 0 {
                 break;
             }
             next_writer += 1;
             progressed = true;
+            let NodeKind::Writer(id) = graph.nodes[i] else {
+                unreachable!("writer sequence holds writers only")
+            };
             engine.meter.poll()?;
             engine.poll_failpoints(id)?;
             let started = Instant::now();
-            let table = eval_writer(engine, id, &results)?;
+            let table = eval_writer(engine, id, &graph.children[i], &results)?;
             engine.profile.record(dag, id, started.elapsed());
             let nrows = table.nrows();
-            let _ = results[id.0 as usize].set(Arc::new(table));
+            let _ = results[i].set(Arc::new(table));
             engine.charge_op_output(nrows)?;
             engine.meter.record_op();
-            for &p in &parents[id.0 as usize] {
-                if waiting[p as usize].fetch_sub(1, Ordering::AcqRel) == 1 && !is_writer[p as usize]
+            for &p in &parents[i] {
+                if waiting[p as usize].fetch_sub(1, Ordering::AcqRel) == 1
+                    && !matches!(graph.nodes[p as usize], NodeKind::Writer(_))
                 {
-                    seeds.push(OpId(p));
+                    seeds.push(p);
                 }
             }
         }
-        if results[root.0 as usize].get().is_some() {
+        if results[graph.root].get().is_some() {
             break;
         }
         if seeds.is_empty() && !progressed {
-            unreachable!("scheduler stalled: no ready operator but the root is incomplete");
+            unreachable!("scheduler stalled: no ready node but the root is incomplete");
         }
     }
     engine.profile.sched.merge(&counters.snapshot());
     // Fill the memo cache so later `eval` calls (e.g. a second root over
     // the same engine) reuse this run's results.
-    for &id in &order {
-        if let Some(t) = results[id.0 as usize].get() {
-            engine.cache.entry(id).or_insert_with(|| t.clone());
+    for (i, out) in graph.out_ids.iter().enumerate() {
+        if let Some(t) = results[i].get() {
+            engine.cache.entry(*out).or_insert_with(|| t.clone());
         }
     }
-    Ok(results[root.0 as usize]
-        .get()
-        .expect("root evaluated")
-        .clone())
+    Ok(results[graph.root].get().expect("root evaluated").clone())
 }
 
 #[cfg(test)]
@@ -400,7 +532,7 @@ mod tests {
     use super::*;
     use crate::eval::EngineOptions;
     use crate::item::Item;
-    use exrquy_algebra::{AValue, Col};
+    use exrquy_algebra::{AValue, Col, FunKind};
     use exrquy_xml::Catalog;
 
     fn opts(threads: usize) -> EngineOptions {
@@ -452,7 +584,7 @@ mod tests {
         assert_eq!(serial.schema(), par.schema());
         assert_eq!(serial.nrows(), par.nrows());
         for (name, col) in serial.columns() {
-            assert_eq!(col.as_ref(), par.col(*name).as_ref(), "column {name}");
+            assert_eq!(col.to_column(), par.col(*name).to_column(), "column {name}");
         }
     }
 
@@ -475,6 +607,66 @@ mod tests {
         let mut e2 = Engine::new(&dag, &mut arena2, opts(1));
         e2.eval(root).unwrap();
         assert_eq!(e2.profile.sched, SchedStats::default());
+    }
+
+    #[test]
+    fn parallel_runs_fused_chains_identically() {
+        // fun → σ → fun over a wide literal: fuses into one chain, which
+        // the scheduler must execute as a single node with the same
+        // result as the serial vectorized run and the scalar run.
+        let mut dag = Dag::new();
+        let rows: Vec<Vec<i64>> = (0..20_000).map(|i| vec![i % 11, i]).collect();
+        let base = lit(&mut dag, vec![Col::ITER, Col::ITEM], rows);
+        let lt = dag.add(Op::Fun {
+            input: base,
+            new: Col::RES,
+            kind: FunKind::Lt,
+            args: vec![Col::ITER, Col::ITEM],
+        });
+        let sel = dag.add(Op::Select {
+            input: lt,
+            col: Col::RES,
+        });
+        let add = dag.add(Op::Fun {
+            input: sel,
+            new: Col::ITEM1,
+            kind: FunKind::Add,
+            args: vec![Col::ITER, Col::ITEM],
+        });
+        let root = dag.add(Op::Distinct { input: add });
+        let run = |threads: usize, scalar: bool| -> Table {
+            let mut arena = FragArena::new(Arc::new(Catalog::new()));
+            let mut e = Engine::new(
+                &dag,
+                &mut arena,
+                EngineOptions {
+                    threads,
+                    scalar,
+                    ..EngineOptions::default()
+                },
+            );
+            (*e.eval(root).unwrap()).clone()
+        };
+        let scalar = run(1, true);
+        for t in [run(1, false), run(4, false)] {
+            assert_eq!(scalar.schema(), t.schema());
+            assert_eq!(scalar.nrows(), t.nrows());
+            // Value-wise comparison: the vectorized path may pick denser
+            // physical representations (bit-packed booleans) for the
+            // same logical column.
+            for (name, col) in scalar.columns() {
+                let tc = t.col(*name);
+                for r in 0..scalar.nrows() {
+                    assert_eq!(col.get(r), tc.get(r), "column {name} row {r}");
+                }
+            }
+        }
+        // The chain really fused (3 ops in one slot).
+        let mut arena = FragArena::new(Arc::new(Catalog::new()));
+        let mut e = Engine::new(&dag, &mut arena, opts(4));
+        e.eval(root).unwrap();
+        assert_eq!(e.profile.vec.fused_chains, 1, "{:?}", e.profile.vec);
+        assert_eq!(e.profile.vec.fused_ops, 3, "{:?}", e.profile.vec);
     }
 
     #[test]

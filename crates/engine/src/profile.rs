@@ -40,6 +40,32 @@ impl SchedStats {
     }
 }
 
+/// Vectorized-executor counters of one execution. All zero on the
+/// scalar path; on the flattened-plan path they record how much of the
+/// plan ran through fused single-pass kernels, so `--explain` and
+/// `BENCH_vec.json` can report fusion coverage alongside wall time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VecStats {
+    /// Slots in the flattened physical plan.
+    pub phys_slots: u64,
+    /// Fused select→fun→project chains executed.
+    pub fused_chains: u64,
+    /// Logical operators absorbed into fused chains.
+    pub fused_ops: u64,
+    /// Batches (morsels) processed by vectorized kernels.
+    pub batches: u64,
+}
+
+impl VecStats {
+    /// Fold another execution's counters into this one.
+    pub fn merge(&mut self, other: &VecStats) {
+        self.phys_slots += other.phys_slots;
+        self.fused_chains += other.fused_chains;
+        self.fused_ops += other.fused_ops;
+        self.batches += other.batches;
+    }
+}
+
 /// Aggregated wall-clock per operator kind and per operator instance.
 #[derive(Debug, Default, Clone)]
 pub struct Profile {
@@ -48,6 +74,8 @@ pub struct Profile {
     total: Duration,
     /// Scheduler counters (parallel executions only; zero when serial).
     pub sched: SchedStats,
+    /// Vectorized-executor counters (zero on the scalar path).
+    pub vec: VecStats,
 }
 
 /// Phase names used by the Table 2 reproduction.
@@ -84,6 +112,7 @@ impl Profile {
         }
         self.total += other.total;
         self.sched.merge(&other.sched);
+        self.vec.merge(&other.vec);
     }
 
     /// Total recorded time.

@@ -51,6 +51,7 @@ pub mod parallel;
 pub mod serve;
 pub mod shrink;
 pub mod suite;
+pub mod vectorized;
 
 pub use attribute::{attribute_divergence, Attribution};
 pub use concurrency::{run_concurrent_differential, ConcurrencyConfig, ConcurrencyReport};
@@ -63,3 +64,4 @@ pub use parallel::{run_parallel_differential, ParallelConfig, ParallelReport};
 pub use serve::{run_serve_diff, ServeDiffConfig, ServeReport};
 pub use shrink::{shrink, weight, ShrinkOutcome};
 pub use suite::{run_xmark_suite, QueryOutcome, SuiteConfig, SuiteReport};
+pub use vectorized::{run_vectorized_differential, VectorizedConfig, VectorizedReport};

@@ -143,7 +143,7 @@ pub fn step(doc: &Document, ctx: &[u32], axis: Axis, test: NodeTest) -> Vec<u32>
         "context must be sorted, dup-free"
     );
     let attr = axis.principal_is_attribute();
-    let mut out = match axis {
+    let out = match axis {
         Axis::Descendant => staircase_descendant(doc, ctx, false, test),
         Axis::DescendantOrSelf => staircase_descendant(doc, ctx, true, test),
         Axis::Child => {
@@ -247,7 +247,6 @@ pub fn step(doc: &Document, ctx: &[u32], axis: Axis, test: NodeTest) -> Vec<u32>
         }
     };
     debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
-    out.shrink_to_fit();
     out
 }
 
@@ -340,13 +339,23 @@ pub fn step_name_stream(doc: &Document, ctx: &[u32], axis: Axis, test: NodeTest)
                 }
                 let (lo, hi) = (v + 1, v + doc.size(v) + 1);
                 let from = stream.partition_point(|&p| p < lo);
-                let to = stream.partition_point(|&p| p < hi);
-                out.extend(
-                    stream[from..to]
-                        .iter()
-                        .copied()
-                        .filter(|&p| doc.parent(p) == Some(v)),
-                );
+                let to = from + stream[from..].partition_point(|&p| p < hi);
+                // Adaptive: a small same-name window filters by parent
+                // (skipping the subtree scan entirely); a large one —
+                // the name is frequent below `v`, e.g. recursive
+                // markup — walks the real children instead, bounding
+                // the cost by the fanout rather than the subtree's
+                // name frequency.
+                if to - from <= 16 {
+                    out.extend(
+                        stream[from..to]
+                            .iter()
+                            .copied()
+                            .filter(|&p| doc.parent(p) == Some(v)),
+                    );
+                } else {
+                    out.extend(doc.children(v).filter(|&p| test.matches(doc, p, false)));
+                }
             }
             out.sort_unstable();
             out.dedup();

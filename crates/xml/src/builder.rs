@@ -50,6 +50,12 @@ impl TreeBuilder {
         self.doc.push_node(kind, name, level, parent, text)
     }
 
+    /// Pre-allocate room for `additional` more nodes (see
+    /// [`Document::reserve`]).
+    pub fn reserve(&mut self, additional: usize) {
+        self.doc.reserve(additional);
+    }
+
     /// Open an element node; subsequent nodes become its attributes /
     /// children until [`close`](Self::close).
     pub fn open_element(&mut self, name: NameId) -> u32 {
@@ -79,7 +85,7 @@ impl TreeBuilder {
             !*self.content_started.last().unwrap(),
             "attribute() after element content started"
         );
-        let text = self.doc.push_text_data(value.to_owned());
+        let text = self.doc.push_text_data(value.into());
         self.push(NodeKind::Attribute, name, text)
     }
 
@@ -89,7 +95,7 @@ impl TreeBuilder {
         if content.is_empty() {
             return None;
         }
-        let text = self.doc.push_text_data(content.to_owned());
+        let text = self.doc.push_text_data(content.into());
         let pre = self.push(NodeKind::Text, NameId::NONE, text);
         self.mark_content();
         Some(pre)
@@ -97,7 +103,7 @@ impl TreeBuilder {
 
     /// Append a comment node.
     pub fn comment(&mut self, content: &str) -> u32 {
-        let text = self.doc.push_text_data(content.to_owned());
+        let text = self.doc.push_text_data(content.into());
         let pre = self.push(NodeKind::Comment, NameId::NONE, text);
         self.mark_content();
         pre
@@ -105,7 +111,7 @@ impl TreeBuilder {
 
     /// Append a processing-instruction node.
     pub fn processing_instruction(&mut self, target: NameId, content: &str) -> u32 {
-        let text = self.doc.push_text_data(content.to_owned());
+        let text = self.doc.push_text_data(content.into());
         let pre = self.push(NodeKind::ProcessingInstruction, target, text);
         self.mark_content();
         pre
@@ -121,6 +127,48 @@ impl TreeBuilder {
         if src.kind(src_pre) == NodeKind::Document {
             for c in src.children(src_pre) {
                 self.copy_subtree(src, c);
+            }
+            return;
+        }
+        // Element subtrees splice columnar: the pre-order window
+        // [src_pre, src_pre + size] lands verbatim except for three
+        // rebased columns (levels shift by the destination depth,
+        // parents by the destination pre offset, text indices into the
+        // destination's text pool). Subtree sizes are pre-relative and
+        // copy unchanged. This replaces the per-node replay — one array
+        // extend per column instead of an open/close call per node.
+        if src.kind(src_pre) == NodeKind::Element {
+            let a = src_pre as usize;
+            let b = a + src.size(src_pre) as usize + 1;
+            let dst_base = self.doc.len() as u32;
+            let level_off = self.level() as i32 - src.level(src_pre) as i32;
+            let parent = self.parent();
+            self.mark_content();
+            let d = &mut self.doc;
+            d.kinds.extend_from_slice(&src.kinds[a..b]);
+            d.names.extend_from_slice(&src.names[a..b]);
+            d.sizes.extend_from_slice(&src.sizes[a..b]);
+            d.levels.extend(
+                src.levels[a..b]
+                    .iter()
+                    .map(|&l| (l as i32 + level_off) as u16),
+            );
+            d.parents
+                .extend(src.parents[a..b].iter().enumerate().map(|(i, &p)| {
+                    if i == 0 {
+                        parent
+                    } else {
+                        p - src_pre + dst_base
+                    }
+                }));
+            d.texts.reserve(b - a);
+            for &t in &src.texts[a..b] {
+                if t == NO_TEXT {
+                    d.texts.push(NO_TEXT);
+                } else {
+                    d.texts.push(d.text_data.len() as u32);
+                    d.text_data.push(src.text_data[t as usize].clone());
+                }
             }
             return;
         }

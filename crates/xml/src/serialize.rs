@@ -8,28 +8,40 @@ use crate::name::{NameId, NamePool};
 use crate::tree::{Document, NodeKind};
 use std::fmt::Write;
 
-/// Escape character data content (`<`, `&`, `>` after `]]`).
-pub fn escape_text(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            _ => out.push(c),
+/// Copy `s` into `out`, replacing the bytes `special` selects via
+/// `repl`. Clean spans between special characters are appended in bulk,
+/// so unescaped text (the common case) is a single `push_str`.
+fn escape_spans(s: &str, out: &mut String, repl: impl Fn(u8) -> Option<&'static str>) {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if let Some(r) = repl(b) {
+            out.push_str(&s[start..i]);
+            out.push_str(r);
+            start = i + 1;
         }
     }
+    out.push_str(&s[start..]);
+}
+
+/// Escape character data content (`<`, `&`, `>` after `]]`).
+pub fn escape_text(s: &str, out: &mut String) {
+    escape_spans(s, out, |b| match b {
+        b'<' => Some("&lt;"),
+        b'>' => Some("&gt;"),
+        b'&' => Some("&amp;"),
+        _ => None,
+    });
 }
 
 /// Escape an attribute value (double-quote delimited).
 pub fn escape_attr(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '&' => out.push_str("&amp;"),
-            '"' => out.push_str("&quot;"),
-            _ => out.push(c),
-        }
-    }
+    escape_spans(s, out, |b| match b {
+        b'<' => Some("&lt;"),
+        b'&' => Some("&amp;"),
+        b'"' => Some("&quot;"),
+        _ => None,
+    });
 }
 
 /// Serialize the subtree rooted at `pre` of `doc` into `out`, resolving
@@ -115,6 +127,10 @@ pub fn serialize_node<R: NodeRead + ?Sized>(nodes: &R, node: NodeId, out: &mut S
 /// Convenience: serialize a node to a fresh string.
 pub fn node_to_string<R: NodeRead + ?Sized>(nodes: &R, node: NodeId) -> String {
     let mut out = String::new();
+    // Rough markup-per-node estimate; avoids the realloc ladder while a
+    // large subtree streams in.
+    let nodes_in_subtree = nodes.doc_of(node).size(node.pre) as usize + 1;
+    out.reserve(nodes_in_subtree * 16);
     serialize_node(nodes, node, &mut out);
     out
 }

@@ -72,8 +72,10 @@ pub struct Document {
     /// Per-node index into `text_data` (text content of text nodes, value of
     /// attributes, content of comments/PIs); `NO_TEXT` otherwise.
     pub texts: Vec<u32>,
-    /// Owned string content referenced from `texts`.
-    pub text_data: Vec<String>,
+    /// Shared string content referenced from `texts`. Entries are
+    /// `Arc<str>` so a subtree splice ([`TreeBuilder::copy_subtree`])
+    /// copies text by refcount bump, not by reallocating every string.
+    pub text_data: Vec<std::sync::Arc<str>>,
     /// Lazily built per-name element/attribute streams (sorted pre rank
     /// lists) — the tag-name-based access paths of TwigStack-style step
     /// evaluation (paper §1). Built on first use by
@@ -139,7 +141,7 @@ impl Document {
     /// String content of a text/attribute/comment/PI node; `None` otherwise.
     pub fn text(&self, pre: u32) -> Option<&str> {
         let t = self.texts[pre as usize];
-        (t != NO_TEXT).then(|| self.text_data[t as usize].as_str())
+        (t != NO_TEXT).then(|| &*self.text_data[t as usize])
     }
 
     /// Per-name node streams, built lazily on first access (one pass over
@@ -186,6 +188,18 @@ impl Document {
         anc < desc && desc <= anc + self.size(anc)
     }
 
+    /// Pre-allocate room for `additional` more nodes across all six
+    /// encoding columns (bulk constructors know their output size up
+    /// front; one reservation beats six growth schedules).
+    pub fn reserve(&mut self, additional: usize) {
+        self.kinds.reserve(additional);
+        self.names.reserve(additional);
+        self.sizes.reserve(additional);
+        self.levels.reserve(additional);
+        self.parents.reserve(additional);
+        self.texts.reserve(additional);
+    }
+
     /// Append one node; used by [`crate::builder::TreeBuilder`]. Returns the
     /// new node's pre rank.
     pub(crate) fn push_node(
@@ -210,12 +224,12 @@ impl Document {
     /// constructor outside any element content creates one). Returns its
     /// pre rank. Only valid on fragments built as flat forests.
     pub fn push_orphan_attribute(&mut self, name: NameId, value: &str) -> u32 {
-        let text = self.push_text_data(value.to_owned());
+        let text = self.push_text_data(value.into());
         self.push_node(NodeKind::Attribute, name, 0, NO_PARENT, text)
     }
 
     /// Intern string content, returning its index for `texts`.
-    pub(crate) fn push_text_data(&mut self, s: String) -> u32 {
+    pub(crate) fn push_text_data(&mut self, s: std::sync::Arc<str>) -> u32 {
         let id = self.text_data.len() as u32;
         self.text_data.push(s);
         id
