@@ -63,6 +63,8 @@ fn main() {
     let deadline_ms = cli.get("deadline-ms", 0_u64);
     let retries = cli.get("retries", 0_u32);
     let reload_every_ms = cli.get("reload-every", 0_u64);
+    let catalogs_n = cli.get("catalogs", 0_usize);
+    let shards = cli.get("shards", 0_usize);
     let out_path = cli.get("out", String::from("BENCH_serve.json"));
     let query_nums: Vec<usize> = cli
         .get("queries", String::from("1,6,13"))
@@ -74,7 +76,7 @@ fn main() {
 
     // Spawn in-process unless pointed at a running daemon.
     let mut spawned: Option<ServerHandle> = None;
-    let mut reload_xml: Option<String> = None;
+    let mut corpus_xml: Option<String> = None;
     let addr = if addr_flag.is_empty() {
         let cfg = ServerConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -95,9 +97,7 @@ fn main() {
             fmt_bytes(bytes),
             cfg.workers
         );
-        if reload_every_ms > 0 {
-            reload_xml = Some(xml);
-        }
+        corpus_xml = Some(xml);
         let handle = spawn(cfg, session).expect("spawn in-process daemon");
         let addr = handle.addr().to_string();
         spawned = Some(handle);
@@ -107,15 +107,49 @@ fn main() {
             eprintln!("qps-bench: --reload-every needs the in-process daemon (no --addr)");
             std::process::exit(64);
         }
+        if catalogs_n > 0 {
+            corpus_xml = Some(generate(&XmarkConfig::at_scale(scale)));
+        }
         eprintln!("qps-bench: targeting running daemon at {addr_flag}");
         addr_flag
     };
+
+    // Multi-tenant arm: stand up `--catalogs M` named catalogs, each
+    // holding its own copy of the XMark document (staged lazily
+    // server-side, optionally re-partitioned with `--shards N`), then
+    // route client c at catalog c mod M. Latency percentiles are
+    // reported per catalog as well as overall.
+    let catalog_names: Vec<String> = (0..catalogs_n).map(|i| format!("cat{i}")).collect();
+    if catalogs_n > 0 {
+        let xml = corpus_xml.as_ref().expect("corpus generated above");
+        let mut setup = bench_client(&addr, 0xca7a, 4);
+        for name in &catalog_names {
+            setup
+                .load_into(
+                    "auction.xml",
+                    xml,
+                    Some(name),
+                    (shards > 0).then_some(shards),
+                )
+                .expect("named catalog setup load");
+        }
+        eprintln!(
+            "qps-bench: {} named catalogs loaded{}",
+            catalogs_n,
+            if shards > 0 {
+                format!(", {shards} shards each")
+            } else {
+                String::new()
+            }
+        );
+    }
 
     // The hot-reload soak: swap the identical document into the catalog
     // on a fixed cadence while the clients hammer queries. Results stay
     // stable (same content); only the snapshot pointer churns.
     let stop_reloader = AtomicBool::new(false);
     let started = Instant::now();
+    let reload_xml = (reload_every_ms > 0).then(|| corpus_xml.clone().expect("in-process"));
     let (tallies, reloads) = std::thread::scope(|scope| {
         let reloader = reload_xml.as_ref().map(|xml| {
             let addr = addr.clone();
@@ -142,9 +176,18 @@ fn main() {
         for c in 0..clients {
             let addr = addr.clone();
             let queries = &queries;
-            handles.push(
-                scope.spawn(move || run_client(&addr, c, requests, queries, deadline_ms, retries)),
-            );
+            let catalog = (catalogs_n > 0).then(|| catalog_names[c % catalogs_n].clone());
+            handles.push(scope.spawn(move || {
+                run_client(
+                    &addr,
+                    c,
+                    requests,
+                    queries,
+                    deadline_ms,
+                    retries,
+                    catalog.as_deref(),
+                )
+            }));
         }
         let tallies: Vec<ClientTally> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         stop_reloader.store(true, Ordering::SeqCst);
@@ -204,6 +247,45 @@ fn main() {
         ("reloads", Value::Int(reloads as i64)),
     ];
 
+    // Per-catalog latency percentiles: client c ran against catalog
+    // c mod M, so the per-catalog sample is the union of those clients'
+    // tallies.
+    if catalogs_n > 0 {
+        let mut per_catalog = Vec::with_capacity(catalogs_n);
+        for (ci, name) in catalog_names.iter().enumerate() {
+            let mut lat: Vec<f64> = tallies
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| c % catalogs_n == ci)
+                .flat_map(|(_, t)| t.latencies_ms.iter().copied())
+                .collect();
+            lat.sort_by(|a, b| a.total_cmp(b));
+            let ok: u64 = tallies
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| c % catalogs_n == ci)
+                .map(|(_, t)| t.ok)
+                .sum();
+            eprintln!(
+                "qps-bench: catalog {name}: {} samples, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+                lat.len(),
+                percentile(&lat, 50.0),
+                percentile(&lat, 95.0),
+                percentile(&lat, 99.0),
+            );
+            per_catalog.push(obj(vec![
+                ("catalog", Value::Str(name.clone())),
+                ("requests", Value::Int(lat.len() as i64)),
+                ("ok", Value::Int(ok as i64)),
+                ("p50_ms", num(percentile(&lat, 50.0))),
+                ("p95_ms", num(percentile(&lat, 95.0))),
+                ("p99_ms", num(percentile(&lat, 99.0))),
+            ]));
+        }
+        pairs.push(("shards_per_catalog", Value::Int(shards.max(1) as i64)));
+        pairs.push(("catalogs", Value::Array(per_catalog)));
+    }
+
     // With an in-process daemon the server-side counters come along for
     // free and must agree with the client's view.
     let server_stats = spawned.map(|handle| {
@@ -233,6 +315,7 @@ fn main() {
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_client(
     addr: &str,
     client_idx: usize,
@@ -240,12 +323,14 @@ fn run_client(
     queries: &[String],
     deadline_ms: u64,
     retries: u32,
+    catalog: Option<&str>,
 ) -> ClientTally {
     let mut client = bench_client(addr, 0xbe7c + client_idx as u64, retries);
     let mut tally = ClientTally::default();
     let opts = QueryOpts {
         deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
         baseline: false,
+        catalog: catalog.map(str::to_string),
     };
 
     for i in 0..requests {

@@ -41,6 +41,29 @@ impl Compiler<'_> {
                 let crossed = self.dag.add(Op::Cross { l: lp, r: with_pos });
                 Ok(self.canonical(crossed))
             }
+            ("collection", 0) => {
+                // The whole catalog, one document root per fragment, in
+                // collection (= fragment) order. Compiled as a fanout per
+                // catalog shard under a disjoint bag union `∪̂`: shards are
+                // contiguous fragment ranges, so the shard-major
+                // concatenation *is* collection order and the union needs
+                // no re-sort. `pos` is the global fragment rank, emitted by
+                // each fanout directly.
+                let parts: Vec<OpId> = (0..self.catalog.shard_count())
+                    .map(|s| {
+                        let (lo, hi) = self.catalog.shard_range(s);
+                        self.dag.add(Op::Fanout {
+                            shard: s as u32,
+                            lo,
+                            hi,
+                        })
+                    })
+                    .collect();
+                let union = self.dag.add(Op::ShardUnion { parts });
+                let lp = self.cur_loop();
+                let crossed = self.dag.add(Op::Cross { l: lp, r: union });
+                Ok(self.canonical(crossed))
+            }
             ("count", 1) => self.compile_aggregate(AggrKind::Count, &args[0], Some(AValue::Int(0))),
             ("sum", 1) => self.compile_aggregate(AggrKind::Sum, &args[0], Some(AValue::dbl(0.0))),
             ("avg", 1) => self.compile_aggregate(AggrKind::Avg, &args[0], None),

@@ -381,6 +381,50 @@ impl Session {
         Ok(())
     }
 
+    /// Register `xml` under `url` *without parsing the tree yet*. Only
+    /// the document's names are scanned (so plans compile against a
+    /// complete, frozen name pool); the pre/size/level tree is built on
+    /// the first execution of a plan that can touch the fragment —
+    /// shard-atomically, under the run's budget, cancellation and
+    /// `doc-parse` failpoints (see `Executor::materialize_for`). Note the
+    /// session-level `doc-parse` failpoint does **not** fire here: with
+    /// lazy loading the parse belongs to execution, so the failpoint
+    /// travels with [`QueryOptions::failpoints`] instead.
+    pub fn load_document_lazy(&mut self, url: &str, xml: &str) {
+        let mut builder = self.executor.catalog().to_builder();
+        builder.load_str_lazy(url, xml);
+        self.executor =
+            Executor::with_cache_capacity(Arc::new(builder.build()), self.cache_capacity);
+    }
+
+    /// Re-partition the catalog into `n` shards (contiguous, ascending
+    /// fragment ranges; clamped to at least 1). Swaps in a fresh executor
+    /// — the shard layout is baked into compiled `collection()` plans, so
+    /// the plan cache must not survive a re-partitioning.
+    pub fn set_shards(&mut self, n: usize) {
+        let mut builder = self.executor.catalog().to_builder();
+        builder.set_shards(n);
+        self.executor =
+            Executor::with_cache_capacity(Arc::new(builder.build()), self.cache_capacity);
+    }
+
+    /// Bulk-register a document corpus lazily and partition it into
+    /// `shards` in a single catalog swap (one snapshot, one plan-cache
+    /// invalidation — not one per document).
+    pub fn load_corpus_sharded<'a>(
+        &mut self,
+        docs: impl IntoIterator<Item = (&'a str, &'a str)>,
+        shards: usize,
+    ) {
+        let mut builder = self.executor.catalog().to_builder();
+        for (url, xml) in docs {
+            builder.load_str_lazy(url, xml);
+        }
+        builder.set_shards(shards);
+        self.executor =
+            Executor::with_cache_capacity(Arc::new(builder.build()), self.cache_capacity);
+    }
+
     /// Arm failpoints on the session's document resolver (the `doc-parse`
     /// hook fires in [`load_document`](Self::load_document)). Failpoints
     /// for plan evaluation travel with [`QueryOptions::failpoints`]
@@ -392,6 +436,12 @@ impl Session {
     /// Number of nodes across loaded documents.
     pub fn store_nodes(&self) -> usize {
         self.executor.catalog().total_nodes()
+    }
+
+    /// Number of shards in the catalog's current partitioning (1 unless
+    /// [`set_shards`](Self::set_shards) asked for more).
+    pub fn shard_count(&self) -> usize {
+        self.executor.catalog().shard_count()
     }
 
     /// The current catalog snapshot. Clone the `Arc` to share the loaded
@@ -608,6 +658,65 @@ mod tests {
             .execute_with(&plan, &RunOptions::default().with_cancel(t))
             .unwrap_err();
         assert_eq!(err.code(), ErrorCode::EXRQ0002);
+    }
+
+    #[test]
+    fn collection_scans_lazy_sharded_catalogs() {
+        let docs: Vec<(String, String)> = (0..5)
+            .map(|i| (format!("d{i}.xml"), format!("<r><x>{i}</x></r>")))
+            .collect();
+        // Unsharded eager baseline.
+        let mut base = Session::new();
+        for (url, xml) in &docs {
+            base.load_document(url, xml).unwrap();
+        }
+        let expect = base.query("fn:collection()//x").unwrap().to_xml();
+        assert_eq!(expect, "<x>0</x><x>1</x><x>2</x><x>3</x><x>4</x>");
+
+        // Lazy + sharded: nothing parses at load time, everything the
+        // plan touches parses at first execution, and the serialization
+        // is byte-identical across shard counts and engine paths.
+        for shards in [1, 2, 8] {
+            let mut s = Session::new();
+            s.load_corpus_sharded(docs.iter().map(|(u, x)| (u.as_str(), x.as_str())), shards);
+            assert_eq!(s.store_nodes(), 0, "lazy load must not parse");
+            for vectorized in [true, false] {
+                let opts = QueryOptions::order_indifferent().with_vectorized(vectorized);
+                let out = s.query_with("fn:collection()//x", &opts).unwrap();
+                assert_eq!(out.to_xml(), expect, "shards={shards} vec={vectorized}");
+            }
+            assert!(s.store_nodes() > 0, "execution materializes the catalog");
+            // Documents also stay addressable by name.
+            assert_eq!(
+                s.query(r#"fn:count(doc("d3.xml")//x)"#).unwrap().to_xml(),
+                "1"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_layout_feeds_the_plan_cache_key() {
+        let docs: Vec<(String, String)> = (0..4)
+            .map(|i| (format!("d{i}.xml"), format!("<r><x>{i}</x></r>")))
+            .collect();
+        let mut s = Session::new();
+        s.load_corpus_sharded(docs.iter().map(|(u, x)| (u.as_str(), x.as_str())), 2);
+        let opts = QueryOptions::order_indifferent();
+        let two = s.prepare("fn:collection()//x", &opts).unwrap();
+        // Re-partitioning swaps the executor, so even an identical query
+        // text compiles fresh plans with the new fanout ranges.
+        s.set_shards(4);
+        let four = s.prepare("fn:collection()//x", &opts).unwrap();
+        assert!(!Arc::ptr_eq(&two, &four));
+        let fanouts = |p: &Prepared| {
+            p.dag
+                .reachable(p.root)
+                .into_iter()
+                .filter(|id| matches!(p.dag.op(*id), exrquy_algebra::Op::Fanout { .. }))
+                .count()
+        };
+        assert_eq!(fanouts(&two), 2);
+        assert_eq!(fanouts(&four), 4);
     }
 
     #[test]

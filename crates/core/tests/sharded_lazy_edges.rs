@@ -1,0 +1,149 @@
+//! Edge behavior of lazy, budget-governed shard materialization.
+//!
+//! A sharded catalog stages documents without parsing and materializes
+//! each shard atomically at first touch (`Executor::materialize_for`).
+//! These tests pin the failure-path contract of that staging: a budget
+//! trip or cancellation mid-load must leave no *partial shard* visible,
+//! injected per-shard faults must surface as their typed error codes,
+//! and the session must stay fully usable afterwards — a failed load is
+//! a retryable event, not a poisoned catalog.
+
+use exrquy::diag::{CancellationToken, ErrorCode, ExecutionBudget, Failpoints};
+use exrquy::{QueryOptions, Session};
+
+const COLLECT: &str = "fn:collection()//x";
+
+/// Five one-element docs; at 2 shards the `i*n/k` bounds split them
+/// 2 + 3 in frag order (d0–d1, then d2–d4), 4 nodes per document.
+fn corpus() -> Vec<(String, String)> {
+    (0..5)
+        .map(|i| (format!("d{i}.xml"), format!("<r><x>{i}</x></r>")))
+        .collect()
+}
+
+fn sharded_session(shards: usize) -> Session {
+    let docs = corpus();
+    let mut s = Session::new();
+    s.load_corpus_sharded(docs.iter().map(|(u, x)| (u.as_str(), x.as_str())), shards);
+    assert_eq!(s.store_nodes(), 0, "staging must not parse");
+    s
+}
+
+const EXPECT: &str = "<x>0</x><x>1</x><x>2</x><x>3</x><x>4</x>";
+
+#[test]
+fn budget_trip_mid_load_leaves_no_partial_shard() {
+    let s = sharded_session(2);
+    let opts = QueryOptions::order_indifferent()
+        .with_failpoints(Failpoints::parse("budget-trip:fanout").unwrap());
+    let err = s.query_with(COLLECT, &opts).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::EXRQ0001);
+    // The trip fired before the first shard committed: nothing visible.
+    assert_eq!(s.store_nodes(), 0, "tripped load must not commit a shard");
+    // The session is not poisoned — the same query succeeds unarmed.
+    let out = s
+        .query_with(COLLECT, &QueryOptions::order_indifferent())
+        .unwrap();
+    assert_eq!(out.to_xml(), EXPECT);
+}
+
+#[test]
+fn node_cap_commits_whole_shards_only() {
+    // Each doc is 4 nodes (doc, r, x, text). Shard 0 holds d0–d1 (8
+    // nodes), shard 1 holds d2–d4 (12 nodes). A cap of 15 admits shard 0
+    // whole but trips on shard 1 — and the catalog must show exactly the
+    // committed shard, never a partially parsed one.
+    let s = sharded_session(2);
+    let strict = QueryOptions::order_indifferent()
+        .with_budget(ExecutionBudget::unbounded().with_max_nodes(15));
+    let err = s.query_with(COLLECT, &strict).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::EXRQ0001);
+    let committed = s.store_nodes();
+    assert!(
+        committed == 8,
+        "expected exactly shard 0 (8 nodes) committed, got {committed}"
+    );
+    // A cap below the first shard commits nothing at all.
+    let s = sharded_session(2);
+    let tiny = QueryOptions::order_indifferent()
+        .with_budget(ExecutionBudget::unbounded().with_max_nodes(5));
+    let err = s.query_with(COLLECT, &tiny).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::EXRQ0001);
+    assert_eq!(s.store_nodes(), 0, "undersized cap must commit nothing");
+}
+
+#[test]
+fn doc_parse_failpoint_targets_one_shard_and_spares_the_rest() {
+    // Parse counter 4 lands on the middle document of shard 1 (d3.xml):
+    // shard 0 has already committed, shard 1 must not appear at all —
+    // not even d2.xml, whose parse counter precedes the fault.
+    let s = sharded_session(2);
+    let opts = QueryOptions::order_indifferent()
+        .with_failpoints(Failpoints::parse("doc-parse:4").unwrap());
+    let err = s.query_with(COLLECT, &opts).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::FODC0006);
+    assert!(
+        err.render_line().contains("d3.xml"),
+        "error should name the faulted document: {}",
+        err.render_line()
+    );
+    assert_eq!(s.store_nodes(), 8, "only the clean shard may commit");
+    // Recovery completes the catalog and serializes identically to an
+    // untouched lazy load.
+    let out = s
+        .query_with(COLLECT, &QueryOptions::order_indifferent())
+        .unwrap();
+    assert_eq!(out.to_xml(), EXPECT);
+}
+
+#[test]
+fn doc_io_failpoint_fires_per_document_over_a_sharded_catalog() {
+    let s = sharded_session(2);
+    let opts =
+        QueryOptions::order_indifferent().with_failpoints(Failpoints::parse("doc-io:1").unwrap());
+    let err = s.query_with(r#"doc("d3.xml")//x"#, &opts).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::FODC0002);
+    // The injected I/O fault is per access, not per catalog: the same
+    // document resolves once the failpoint is unarmed.
+    let out = s
+        .query_with(r#"doc("d3.xml")//x"#, &QueryOptions::order_indifferent())
+        .unwrap();
+    assert_eq!(out.to_xml(), "<x>3</x>");
+}
+
+#[test]
+fn cancellation_lands_between_shards() {
+    let s = sharded_session(8);
+    let token = CancellationToken::new();
+    token.cancel();
+    let opts = QueryOptions::order_indifferent().with_cancel(token);
+    let err = s.query_with(COLLECT, &opts).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::EXRQ0002);
+    assert!(
+        err.render_line().contains("shard"),
+        "cancellation during staging should say where it landed: {}",
+        err.render_line()
+    );
+    assert_eq!(s.store_nodes(), 0, "cancelled load must not commit");
+    // A live token lets the same session finish the load.
+    let opts = QueryOptions::order_indifferent().with_cancel(CancellationToken::new());
+    assert_eq!(s.query_with(COLLECT, &opts).unwrap().to_xml(), EXPECT);
+}
+
+#[test]
+fn repartitioning_never_reuses_stale_shard_plans() {
+    // Same query text across three layouts of one session: if the shard
+    // layout leaked out of the plan-cache key, the second and third runs
+    // would reuse a fanout compiled for the wrong ranges.
+    let mut s = sharded_session(2);
+    let opts = QueryOptions::order_indifferent();
+    assert_eq!(s.query_with(COLLECT, &opts).unwrap().to_xml(), EXPECT);
+    for shards in [8, 1] {
+        s.set_shards(shards);
+        assert_eq!(
+            s.query_with(COLLECT, &opts).unwrap().to_xml(),
+            EXPECT,
+            "layout {shards} must serialize identically"
+        );
+    }
+}

@@ -427,6 +427,52 @@ pub(crate) fn eval_pure(
             eval_range(&t, lo, hi, new, meter, vec)
         }
         Op::Serialize { .. } => Ok((*input(0)).clone()),
+        Op::Fanout { lo, hi, .. } => {
+            let catalog = arena.catalog();
+            if hi as usize > catalog.frag_count() {
+                return Err(EvalError::new(
+                    ErrorCode::FODC0002,
+                    format!(
+                        "collection shard range [{lo},{hi}) exceeds catalog ({} fragments)",
+                        catalog.frag_count()
+                    ),
+                ));
+            }
+            let n = (hi - lo) as usize;
+            let mut pos = Vec::with_capacity(n);
+            let mut items = Vec::with_capacity(n);
+            for frag in lo..hi {
+                let access = meter.record_doc_access();
+                if opts.failpoints.doc_io_fails(access) {
+                    let url = catalog.frag_url(frag).unwrap_or("<collection>");
+                    return Err(EvalError::new(
+                        ErrorCode::FODC0002,
+                        format!(
+                            "I/O error retrieving document `{url}` (injected at access {access})"
+                        ),
+                    ));
+                }
+                pos.push(frag as i64 + 1);
+                items.push(Item::Node(NodeId::new(frag, 0)));
+            }
+            Ok(Table::new(vec![
+                (Col::POS, Column::Int(pos)),
+                (Col::ITEM, Column::Item(items)),
+            ]))
+        }
+        Op::ShardUnion { parts } => {
+            let tables: Vec<Arc<Table>> = (0..parts.len()).map(&input).collect();
+            let first = tables
+                .first()
+                .expect("∪̂ with no parts rejected at plan validation");
+            let mut cols: Vec<(Col, Column)> = Vec::with_capacity(first.schema().len());
+            for (name, _) in first.columns() {
+                let refs: Vec<_> = tables.iter().map(|t| t.col(*name).to_ref()).collect();
+                let borrowed: Vec<&Column> = refs.iter().map(|r| r.as_ref()).collect();
+                cols.push((*name, Column::append_all(&borrowed)));
+            }
+            Ok(Table::new(cols))
+        }
         Op::Element { .. } | Op::Attr { .. } | Op::TextNode { .. } => {
             unreachable!("writer operators are evaluated on the owning thread")
         }

@@ -35,6 +35,13 @@ pub const RULE_NAMES: &[&str] = &[
     "distinct-disjoint-union",
     "union-empty-side",
     "union-align-schema",
+    "shard-push-select",
+    "shard-push-project",
+    "shard-push-fun",
+    "shard-push-attach",
+    "shard-push-step",
+    "shard-push-cross",
+    "shard-union-singleton",
 ];
 
 /// A set of named rewrite rules, packed into one word.

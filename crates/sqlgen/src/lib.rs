@@ -502,6 +502,26 @@ fn emit_op(dag: &Dag, id: OpId, opts: &SqlOptions) -> String {
             cte_name(*content)
         ),
         Op::Serialize { input } => format!("SELECT * FROM {}", cte_name(*input)),
+        Op::Fanout { lo, hi, .. } => format!(
+            // One shard of the collection scan: document roots of the
+            // shard's fragment range, pos = the global collection rank.
+            "SELECT d.frag + 1 AS pos, d.pre AS item FROM doc_nodes d \
+             WHERE d.kind = 'doc' AND d.frag >= {lo} AND d.frag < {hi}"
+        ),
+        Op::ShardUnion { parts } => {
+            // ∪̂ is an n-ary bag append: align column order explicitly.
+            let cols = dag.schema(parts[0]);
+            let list = cols
+                .iter()
+                .map(|c| ident(*c))
+                .collect::<Vec<_>>()
+                .join(", ");
+            parts
+                .iter()
+                .map(|p| format!("SELECT {list} FROM {}", cte_name(*p)))
+                .collect::<Vec<_>>()
+                .join(" UNION ALL ")
+        }
     }
 }
 

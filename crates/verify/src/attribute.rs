@@ -22,7 +22,7 @@
 //! `OptOptions::disabled_rules`, which feeds the plan-cache fingerprint —
 //! no probe can poison or reuse another configuration's cached plan.
 
-use crate::fuzz::{oracle_outcome, OracleOutcome, FUZZ_DOC_URL};
+use crate::fuzz::{load_corpus, oracle_outcome, OracleOutcome};
 use exrquy::opt::RuleSet;
 use exrquy::{QueryOptions, Session};
 use std::fmt;
@@ -106,7 +106,7 @@ pub fn attribute_divergence(doc: &str, query: &str, opts: &QueryOptions) -> Attr
 /// Distinct rules the optimized arm's trace fired, in first-fired order.
 fn fired_rules(doc: &str, query: &str, opts: &QueryOptions) -> Vec<&'static str> {
     let mut session = Session::new();
-    if session.load_document(FUZZ_DOC_URL, doc).is_err() {
+    if load_corpus(&mut session, doc).is_err() {
         return Vec::new();
     }
     let Ok(plan) = session.prepare(query, opts) else {

@@ -40,6 +40,76 @@ use std::fmt;
 /// The URL every generated query reads its document from.
 pub const FUZZ_DOC_URL: &str = "f.xml";
 
+/// Record separator between documents of a multi-document corpus blob.
+const DOC_SEP: char = '\u{1E}';
+/// Separator between a record's name and its body within a corpus blob.
+const URL_SEP: char = '\u{1F}';
+/// Reserved record name carrying the corpus shard count.
+const SHARDS_KEY: &str = "#shards";
+
+/// A fuzz corpus: the documents a generated query may read, plus the
+/// shard count its catalog is partitioned into. Encoded into a single
+/// `String` (see [`encode_corpus`]) so [`Divergence::doc`] and every
+/// shrink/attribution signature stay one-string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corpus {
+    /// `(url, xml)` in load (= collection) order.
+    pub docs: Vec<(String, String)>,
+    pub shards: usize,
+}
+
+/// Encode a corpus into one blob: `\x1E`-separated records of
+/// `name\x1F body`, led by a `#shards` record. The separators are
+/// control characters no generated document contains.
+pub fn encode_corpus(corpus: &Corpus) -> String {
+    let mut out = format!("{SHARDS_KEY}{URL_SEP}{}", corpus.shards);
+    for (url, xml) in &corpus.docs {
+        out.push(DOC_SEP);
+        out.push_str(url);
+        out.push(URL_SEP);
+        out.push_str(xml);
+    }
+    out
+}
+
+/// Decode a corpus blob. A blob without separators is the legacy
+/// single-document form: that exact string under [`FUZZ_DOC_URL`],
+/// 1 shard — so every pre-multi-document seed and regression case
+/// reproduces byte-for-byte.
+pub fn decode_corpus(blob: &str) -> Corpus {
+    if !blob.contains(URL_SEP) {
+        return Corpus {
+            docs: vec![(FUZZ_DOC_URL.to_string(), blob.to_string())],
+            shards: 1,
+        };
+    }
+    let mut docs = Vec::new();
+    let mut shards = 1;
+    for record in blob.split(DOC_SEP) {
+        let (name, body) = record.split_once(URL_SEP).unwrap_or((record, ""));
+        if name == SHARDS_KEY {
+            shards = body.parse().unwrap_or(1);
+        } else {
+            docs.push((name.to_string(), body.to_string()));
+        }
+    }
+    Corpus { docs, shards }
+}
+
+/// Load a corpus blob into `session` (all documents, then the shard
+/// layout). Shared by the oracle and the attribution replayer so every
+/// probe sees the same catalog the fuzzer generated.
+pub(crate) fn load_corpus(session: &mut Session, blob: &str) -> Result<(), Error> {
+    let corpus = decode_corpus(blob);
+    for (url, xml) in &corpus.docs {
+        session.load_document(url, xml)?;
+    }
+    if corpus.shards > 1 {
+        session.set_shards(corpus.shards);
+    }
+    Ok(())
+}
+
 /// Element-name pool for generated documents and node tests.
 const NAMES: &[&str] = &["a", "b", "c", "d"];
 
@@ -122,7 +192,8 @@ impl Default for FuzzConfig {
 pub struct Divergence {
     pub iteration: usize,
     pub profile: FuzzProfile,
-    /// The generated document the query ran over.
+    /// The generated document — or [`encode_corpus`] blob — the query
+    /// ran over ([`decode_corpus`] tells the two apart).
     pub doc: String,
     /// The query as generated.
     pub query: String,
@@ -197,10 +268,11 @@ pub(crate) enum OracleOutcome {
     Errored,
 }
 
-/// Run the three-way oracle on one (document, query) cell.
+/// Run the three-way oracle on one (corpus, query) cell. `doc` is
+/// either a bare document or an [`encode_corpus`] blob.
 pub(crate) fn oracle_outcome(doc: &str, query: &str, opts: &QueryOptions) -> OracleOutcome {
     let mut session = Session::new();
-    if session.load_document(FUZZ_DOC_URL, doc).is_err() {
+    if load_corpus(&mut session, doc).is_err() {
         return OracleOutcome::Errored;
     }
     match session.verify(query, opts) {
@@ -223,8 +295,20 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         for &profile in &cfg.profiles {
             report.cells += 1;
             let mut rng = cell_rng(cfg.seed, i, profile);
-            let doc = gen_doc(&mut rng);
-            let expr = gen_query(&mut rng, profile);
+            // Every third iteration fuzzes a multi-document corpus under
+            // a random shard layout (the shard-parallel differential
+            // arm); the gate is positional, not an RNG draw, so the
+            // other two thirds reproduce historical seeds exactly.
+            let (doc, expr) = if i % 3 == 2 {
+                let corpus = gen_corpus(&mut rng);
+                let urls: Vec<String> = corpus.docs.iter().map(|(u, _)| u.clone()).collect();
+                let expr = gen_query_corpus(&mut rng, profile, &urls);
+                (encode_corpus(&corpus), expr)
+            } else {
+                let doc = gen_doc(&mut rng);
+                let expr = gen_query(&mut rng, profile);
+                (doc, expr)
+            };
             let query = pretty(&expr);
             let opts = profile.options().with_failpoints(cfg.failpoints.clone());
             match oracle_outcome(&doc, &query, &opts) {
@@ -319,6 +403,14 @@ fn render(n: &DocNode, ids: &[i64], next: &mut usize, out: &mut String) {
 /// Uniqueness makes `order by …/@id` keys total, so sequence-equivalence
 /// verification of `order by` queries cannot trip over tie-breaking.
 pub fn gen_doc(rng: &mut SmallRng) -> String {
+    gen_doc_from(rng, 0).0
+}
+
+/// [`gen_doc`] with ids drawn from `base+1..=base+n`: documents of one
+/// multi-document corpus take disjoint id ranges, so order-by keys and
+/// join predicates stay total *across* the corpus, not just within one
+/// document. Returns the document and its node count (the next base).
+fn gen_doc_from(rng: &mut SmallRng, base: i64) -> (String, usize) {
     let root = DocNode {
         name: "r",
         children: (0..rng.gen_range(2..=4usize))
@@ -327,7 +419,7 @@ pub fn gen_doc(rng: &mut SmallRng) -> String {
         text: None,
     };
     let n = count_nodes(&root);
-    let mut ids: Vec<i64> = (1..=n as i64).collect();
+    let mut ids: Vec<i64> = (base + 1..=base + n as i64).collect();
     // Fisher–Yates: ids land on elements in shuffled order, so document
     // order and id order disagree (which is what makes order-dropping
     // bugs observable).
@@ -338,7 +430,24 @@ pub fn gen_doc(rng: &mut SmallRng) -> String {
     let mut out = String::new();
     let mut next = 0;
     render(&root, &ids, &mut next, &mut out);
-    out
+    (out, n)
+}
+
+/// Generate a multi-document corpus: 2–4 documents with disjoint id
+/// ranges under a random shard layout (1 up to one shard per document —
+/// including layouts whose trailing shards are empty, which the
+/// shard-parallel scan must tolerate).
+pub fn gen_corpus(rng: &mut SmallRng) -> Corpus {
+    let n = rng.gen_range(2..=4usize);
+    let mut base = 0i64;
+    let mut docs = Vec::with_capacity(n);
+    for k in 0..n {
+        let (xml, nodes) = gen_doc_from(rng, base);
+        base += nodes as i64;
+        docs.push((format!("f{k}.xml"), xml));
+    }
+    let shards = rng.gen_range(1..=n + 1);
+    Corpus { docs, shards }
 }
 
 // ---------------------------------------------------------------------
@@ -348,6 +457,9 @@ pub fn gen_doc(rng: &mut SmallRng) -> String {
 struct Gen<'a> {
     rng: &'a mut SmallRng,
     profile: FuzzProfile,
+    /// Document URLs queries may `doc(...)`; more than one URL also
+    /// unlocks `fn:collection()` path roots (the whole-corpus scan).
+    urls: Vec<String>,
     /// Node-sequence variables in scope: `for`-bound singletons *and*
     /// `let`-bound whole sequences. Safe as path inputs, not as
     /// singleton expressions.
@@ -366,9 +478,22 @@ struct Gen<'a> {
 /// under [`FuzzProfile::Unordered`] no order-observing construct
 /// (positional predicate, `at` variable) is emitted.
 pub fn gen_query(rng: &mut SmallRng, profile: FuzzProfile) -> Expr {
+    gen_query_corpus(rng, profile, &[FUZZ_DOC_URL.to_string()])
+}
+
+/// [`gen_query`] over a multi-document corpus: `doc(...)` calls draw
+/// from `urls`, and with more than one URL paths may also root at
+/// `fn:collection()` — so generated queries join across documents
+/// (`doc("f0.xml")//a[@id eq doc("f2.xml")//b/@id]`-shaped predicates
+/// arise from the ordinary comparison grammar once the two sides pick
+/// different documents). With a single URL the draw sequence is
+/// identical to the original single-document generator, keeping every
+/// historical seed's query stream intact.
+pub fn gen_query_corpus(rng: &mut SmallRng, profile: FuzzProfile, urls: &[String]) -> Expr {
     let mut g = Gen {
         rng,
         profile,
+        urls: urls.to_vec(),
         node_vars: Vec::new(),
         for_vars: Vec::new(),
         next_var: 0,
@@ -396,10 +521,30 @@ impl Gen<'_> {
     }
 
     fn doc_call(&mut self) -> Expr {
+        // Single-URL corpora draw nothing from the RNG, so the
+        // single-document query stream is bit-identical to before
+        // multi-document support existed.
+        let url = if self.urls.len() == 1 {
+            self.urls[0].clone()
+        } else {
+            self.urls[self.rng.gen_range(0..self.urls.len())].clone()
+        };
         Expr::Call {
             name: "doc".into(),
-            args: vec![Expr::StrLit(FUZZ_DOC_URL.into())],
+            args: vec![Expr::StrLit(url)],
         }
+    }
+
+    /// A path root: one document, or (multi-document corpora only)
+    /// `fn:collection()` — the sharded whole-corpus scan.
+    fn source(&mut self) -> Expr {
+        if self.urls.len() > 1 && self.rng.gen_bool(0.3) {
+            return Expr::Call {
+                name: "collection".into(),
+                args: vec![],
+            };
+        }
+        self.doc_call()
     }
 
     /// `…/@id` relative to `base`.
@@ -419,7 +564,7 @@ impl Gen<'_> {
             let i = self.rng.gen_range(0..self.node_vars.len());
             Expr::Var(self.node_vars[i].clone())
         } else {
-            self.doc_call()
+            self.source()
         };
         let steps = self.rng.gen_range(1..=3usize);
         for _ in 0..steps {
@@ -864,5 +1009,79 @@ mod tests {
         let report = run_fuzz(&cfg);
         assert!(report.clean(), "{report}");
         assert!(report.passed > 0, "{report}");
+    }
+
+    #[test]
+    fn corpus_blobs_round_trip_and_legacy_docs_decode() {
+        let mut rng = cell_rng(11, 2, FuzzProfile::Ordered);
+        let corpus = gen_corpus(&mut rng);
+        assert!((2..=4).contains(&corpus.docs.len()));
+        assert_eq!(corpus, decode_corpus(&encode_corpus(&corpus)));
+        // Disjoint id ranges across the corpus: collect every id.
+        let mut ids: Vec<i64> = Vec::new();
+        for (_, xml) in &corpus.docs {
+            for part in xml.split("id=\"").skip(1) {
+                ids.push(part[..part.find('"').unwrap()].parse().unwrap());
+            }
+        }
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "corpus ids must be unique across documents");
+        // A blob with no separators is the legacy single-document form.
+        let legacy = decode_corpus("<r><a id=\"1\"/></r>");
+        assert_eq!(legacy.shards, 1);
+        assert_eq!(
+            legacy.docs,
+            vec![(FUZZ_DOC_URL.to_string(), "<r><a id=\"1\"/></r>".to_string())]
+        );
+    }
+
+    #[test]
+    fn single_url_corpus_queries_match_the_legacy_stream() {
+        // gen_query must stay a bit-identical alias of gen_query_corpus
+        // over [FUZZ_DOC_URL]: historical seeds depend on it.
+        let urls = vec![FUZZ_DOC_URL.to_string()];
+        for profile in [FuzzProfile::Ordered, FuzzProfile::Unordered] {
+            for i in 0..20 {
+                let mut a = cell_rng(3, i, profile);
+                let mut b = cell_rng(3, i, profile);
+                let _ = gen_doc(&mut a);
+                let _ = gen_doc(&mut b);
+                assert_eq!(
+                    pretty(&gen_query(&mut a, profile)),
+                    pretty(&gen_query_corpus(&mut b, profile, &urls))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_document_cells_run_clean_and_exercise_collection() {
+        // The corpus arm must both generate cross-document queries and
+        // come back clean on an unperturbed engine.
+        let cfg = FuzzConfig {
+            seed: 20260808,
+            iters: 18,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert!(report.clean(), "{report}");
+        // At least one multi-document cell must draw a collection() or a
+        // second document — otherwise the arm is generating but not
+        // exercising the corpus.
+        let mut saw_corpus_read = false;
+        for i in (2..cfg.iters).step_by(3) {
+            for profile in [FuzzProfile::Ordered, FuzzProfile::Unordered] {
+                let mut rng = cell_rng(cfg.seed, i, profile);
+                let corpus = gen_corpus(&mut rng);
+                let urls: Vec<String> = corpus.docs.iter().map(|(u, _)| u.clone()).collect();
+                let q = pretty(&gen_query_corpus(&mut rng, profile, &urls));
+                if q.contains("collection") || urls[1..].iter().any(|u| q.contains(u.as_str())) {
+                    saw_corpus_read = true;
+                }
+            }
+        }
+        assert!(saw_corpus_read, "no multi-document cell read past f0.xml");
     }
 }

@@ -25,6 +25,11 @@
 //!   the serial run (exact sequence equality, deliberately stricter than
 //!   the bag equivalence the unordered mode would grant), over both the
 //!   XMark queries and a fuzz-generated corpus.
+//! * [`sharded`] — the sharded-vs-unsharded differential: the same
+//!   corpus (XMark split by subtree, plus fuzz-generated multi-document
+//!   corpora) partitioned into 1, 2, and 8 shards must serialize
+//!   *byte-identically* per engine path (vectorized and scalar), so
+//!   shard count never leaks into output in any form.
 //! * [`fuzz`] — the self-minimizing differential fuzzer (CLI:
 //!   `fuzz-verify`): a grammar-driven generator draws random documents
 //!   and queries per seeded cell and pushes each through the oracle,
@@ -49,19 +54,26 @@ pub mod fuzz;
 pub mod harness;
 pub mod parallel;
 pub mod serve;
+pub mod sharded;
 pub mod shrink;
 pub mod suite;
 pub mod vectorized;
 
 pub use attribute::{attribute_divergence, Attribution};
 pub use concurrency::{run_concurrent_differential, ConcurrencyConfig, ConcurrencyReport};
-pub use fuzz::{gen_doc, gen_query, run_fuzz, Divergence, FuzzConfig, FuzzProfile, FuzzReport};
+pub use fuzz::{
+    decode_corpus, encode_corpus, gen_corpus, gen_doc, gen_query, gen_query_corpus, run_fuzz,
+    Corpus, Divergence, FuzzConfig, FuzzProfile, FuzzReport,
+};
 pub use harness::{
     coverage_corpus, default_cases, failpoint_coverage, run_fault_matrix, CoverageReport,
     FaultCase, FaultOutcome, FaultReport, KindExemplar,
 };
 pub use parallel::{run_parallel_differential, ParallelConfig, ParallelReport};
 pub use serve::{run_serve_diff, ServeDiffConfig, ServeReport};
+pub use sharded::{
+    run_sharded_differential, split_xmark, ShardedConfig, ShardedReport, XMARK_SHARD_QUERIES,
+};
 pub use shrink::{shrink, weight, ShrinkOutcome};
 pub use suite::{run_xmark_suite, QueryOutcome, SuiteConfig, SuiteReport};
 pub use vectorized::{run_vectorized_differential, VectorizedConfig, VectorizedReport};

@@ -1,0 +1,386 @@
+//! Sharded-vs-unsharded equivalence differential: the acceptance
+//! harness for shard-parallel catalogs.
+//!
+//! A sharded catalog promises that partitioning is *invisible*: the same
+//! corpus under 1, 2, or 8 shards must serialize byte-identically —
+//! same items, same order, same rendered text, and the same error code
+//! when a query fails. Shard count may not leak into output in any form.
+//! The promise is checked over two corpora:
+//!
+//! * the XMark document split by subtree (each top-level `site` section
+//!   becomes its own document), queried through `fn:collection()`, and
+//! * a stream of fuzz-generated multi-document corpora and queries from
+//!   the grammar-driven generator, under both the ordered and unordered
+//!   profiles.
+//!
+//! Every cell runs on both engine paths — vectorized and scalar
+//! (`--scalar`) — and each path is compared against its own single-shard
+//! reference, so a shard-layout-dependent reorder is caught even if both
+//! paths drift identically. Comparison is exact sequence equality of
+//! rendered items: the paper's order indifference justifies shard-local
+//! `%`/`#` numbering precisely because shards are contiguous ascending
+//! fragment ranges, so shard-major concatenation *is* collection order —
+//! bag equivalence would under-test that invariant.
+
+use crate::fuzz::{cell_rng, gen_corpus, gen_query_corpus, FuzzProfile};
+use exrquy::frontend::pretty;
+use exrquy::{QueryOptions, ResultItem, Session};
+use exrquy_xmark::{generate, XmarkConfig};
+use std::fmt;
+
+/// Parameters for a sharded equivalence run.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// XMark scale factor for the split-by-subtree corpus.
+    pub scale: f64,
+    /// Generator seed (XMark document and fuzz stream).
+    pub seed: u64,
+    /// Shard layouts to compare against the 1-shard reference.
+    pub shards: Vec<usize>,
+    /// Fuzz-generated (corpus, query) cells per profile on top of the
+    /// XMark matrix.
+    pub fuzz_iters: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            scale: 0.0025,
+            seed: 42,
+            shards: vec![2, 8],
+            fuzz_iters: 50,
+        }
+    }
+}
+
+/// Outcome of a sharded equivalence run.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// (query, layout, path) cells compared against their reference.
+    pub cells: usize,
+    /// Cells where reference and sharded run errored with the same code
+    /// (compared-and-equal; tracked separately for visibility).
+    pub error_cells: usize,
+    /// Distinct queries that went through the comparison.
+    pub queries: usize,
+    /// Divergence descriptions; empty on success.
+    pub mismatches: Vec<String>,
+}
+
+impl ShardedReport {
+    /// Every compared cell byte-identical (or identically erroring)?
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for ShardedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sharded equivalence: {} queries, {} cells, {} error cells, {} mismatch(es)",
+            self.queries,
+            self.cells,
+            self.error_cells,
+            self.mismatches.len()
+        )?;
+        for m in &self.mismatches {
+            write!(f, "\n  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The top-level sections of an XMark `site` document, in document order.
+const XMARK_SECTIONS: &[&str] = &[
+    "regions",
+    "categories",
+    "catgraph",
+    "people",
+    "open_auctions",
+    "closed_auctions",
+];
+
+/// Split one XMark document by subtree: each top-level section of
+/// `<site>` becomes its own `<site>`-rooted document, in section order —
+/// so `fn:collection()//x` over the split corpus visits the same
+/// elements in the same order as `doc(...)//x` over the original.
+pub fn split_xmark(xml: &str) -> Vec<(String, String)> {
+    let mut docs = Vec::with_capacity(XMARK_SECTIONS.len());
+    for section in XMARK_SECTIONS {
+        let open = format!("<{section}>");
+        let close = format!("</{section}>");
+        let Some(start) = xml.find(&open) else {
+            continue;
+        };
+        let end = xml[start..]
+            .find(&close)
+            .map(|i| start + i + close.len())
+            .unwrap_or_else(|| panic!("unterminated <{section}> in generated XMark"));
+        docs.push((
+            format!("{section}.xml"),
+            format!("<site>{}</site>", &xml[start..end]),
+        ));
+    }
+    assert_eq!(
+        docs.len(),
+        XMARK_SECTIONS.len(),
+        "XMark generator changed its section layout"
+    );
+    docs
+}
+
+/// The XMark shard matrix: the benchmark's access patterns — attribute
+/// lookups, descendant counting, value joins, aggregates, constructors,
+/// sorting — rewritten against `fn:collection()` so every query scans
+/// the whole split corpus through the shard fanout.
+pub const XMARK_SHARD_QUERIES: &[&str] = &[
+    // Exact-match lookup by attribute value (Q1-shaped).
+    r#"for $b in fn:collection()//person[@id = "person0"] return $b/name/text()"#,
+    // Descendant counting through the fanout (Q6-shaped).
+    r#"for $s in fn:collection()/site return fn:count($s//item)"#,
+    // Multiple descendant counts summed across the corpus (Q7-shaped).
+    r#"fn:count(fn:collection()//description) + fn:count(fn:collection()//annotation)
+       + fn:count(fn:collection()//emailaddress)"#,
+    // Cross-document value join: people and closed auctions live in
+    // *different* documents of the split corpus (Q8-shaped).
+    r#"for $p in fn:collection()//people/person
+       let $a := for $t in fn:collection()//closed_auctions/closed_auction
+                 where $t/buyer/@person = $p/@id
+                 return $t
+       return <item person="{ $p/name/text() }">{ fn:count($a) }</item>"#,
+    // Aggregate over a filtered stream (Q5-shaped).
+    r#"fn:count(for $i in fn:collection()//closed_auction
+                where $i/price/text() >= 40
+                return $i/price)"#,
+    // Existence scan with constructor output.
+    r#"for $p in fn:collection()//person
+       where fn:exists($p/homepage)
+       return <has-page>{ $p/name/text() }</has-page>"#,
+    // Ordered whole-corpus scan: item names in collection order — the
+    // rawest form of the byte-identity promise.
+    r#"for $i in fn:collection()//item return $i/name/text()"#,
+    // Sorting across shard boundaries (Q20-flavoured ordering).
+    r#"for $p in fn:collection()//person
+       order by $p/name/text() descending
+       return $p/name/text()"#,
+    // Positional access within a shard-crossing stream.
+    r#"for $a in fn:collection()//open_auction
+       return <first>{ $a/bidder[1]/increase/text() }</first>"#,
+    // Quantifier over the fanout.
+    r#"fn:count(fn:collection()//open_auction[some $b in bidder
+                satisfies $b/increase/text() >= 20])"#,
+];
+
+/// The full rendered output, order preserved — the byte-identity witness.
+fn rendered(items: &[ResultItem]) -> Vec<String> {
+    items.iter().map(ResultItem::render).collect()
+}
+
+/// Build a session over `docs` partitioned into `shards`.
+fn corpus_session(docs: &[(String, String)], shards: usize) -> Session {
+    let mut session = Session::new();
+    session.load_corpus_sharded(docs.iter().map(|(u, x)| (u.as_str(), x.as_str())), shards);
+    session
+}
+
+/// Compare one (query, layout, path) cell against the 1-shard reference
+/// result for the same path. `Ok(false)` marks a same-code error cell.
+#[allow(clippy::too_many_arguments)]
+fn compare_cell(
+    reference: &Session,
+    sharded: &Session,
+    label: &str,
+    q: &str,
+    base: &QueryOptions,
+    shards: usize,
+    vectorized: bool,
+) -> Result<bool, String> {
+    let path = if vectorized { "vectorized" } else { "scalar" };
+    let opts = base.clone().with_vectorized(vectorized).with_threads(1);
+    let want = reference.query_with(q, &opts);
+    let got = sharded.query_with(q, &opts);
+    match (want, got) {
+        (Ok(w), Ok(g)) => {
+            let (w, g) = (rendered(&w.items), rendered(&g.items));
+            if w == g {
+                Ok(true)
+            } else {
+                Err(format!(
+                    "{label} [{path}] x{shards} shards: serialization diverged \
+                     ({} vs {} items{})",
+                    w.len(),
+                    g.len(),
+                    w.iter()
+                        .zip(&g)
+                        .position(|(a, b)| a != b)
+                        .map(|i| format!(", first at index {i}"))
+                        .unwrap_or_default()
+                ))
+            }
+        }
+        (Err(we), Err(ge)) => {
+            if we.code() == ge.code() {
+                Ok(false)
+            } else {
+                Err(format!(
+                    "{label} [{path}] x{shards} shards: error codes diverged \
+                     (unsharded {} vs sharded {})",
+                    we.render_line(),
+                    ge.render_line()
+                ))
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!(
+            "{label} [{path}] x{shards} shards: sharded errored where unsharded \
+             succeeded: {}",
+            e.render_line()
+        )),
+        (Err(e), Ok(_)) => Err(format!(
+            "{label} [{path}] x{shards} shards: sharded succeeded where unsharded \
+             errored: {}",
+            e.render_line()
+        )),
+    }
+}
+
+/// Run the sharded equivalence differential over the XMark split corpus
+/// and the multi-document fuzz stream.
+pub fn run_sharded_differential(cfg: &ShardedConfig) -> ShardedReport {
+    let mut report = ShardedReport {
+        cells: 0,
+        error_cells: 0,
+        queries: 0,
+        mismatches: Vec::new(),
+    };
+
+    // One corpus, one reference session per engine path semantics (the
+    // reference is always the 1-shard layout of the *same* corpus).
+    let run_corpus = |report: &mut ShardedReport,
+                      docs: &[(String, String)],
+                      queries: &[(String, String, QueryOptions)]| {
+        let reference = corpus_session(docs, 1);
+        for &shards in &cfg.shards {
+            let sharded = corpus_session(docs, shards);
+            for (label, q, base) in queries {
+                for vectorized in [true, false] {
+                    report.cells += 1;
+                    match compare_cell(&reference, &sharded, label, q, base, shards, vectorized) {
+                        Ok(true) => {}
+                        Ok(false) => report.error_cells += 1,
+                        Err(m) => report.mismatches.push(m),
+                    }
+                }
+            }
+        }
+    };
+
+    // XMark matrix over the split-by-subtree corpus, both compiler
+    // profiles.
+    let xml = generate(&XmarkConfig {
+        scale: cfg.scale,
+        seed: cfg.seed,
+    });
+    let xmark_docs = split_xmark(&xml);
+    let mut xmark_queries = Vec::new();
+    for (n, q) in XMARK_SHARD_QUERIES.iter().enumerate() {
+        for (profile, base) in [
+            ("unordered", QueryOptions::order_indifferent()),
+            ("baseline", QueryOptions::baseline()),
+        ] {
+            xmark_queries.push((
+                format!("xmark-shard S{} [{profile}]", n + 1),
+                q.to_string(),
+                base,
+            ));
+        }
+    }
+    report.queries += XMARK_SHARD_QUERIES.len();
+    run_corpus(&mut report, &xmark_docs, &xmark_queries);
+
+    // Fuzz stream: a fresh multi-document corpus and query per cell,
+    // both profiles. Seeded off the same cell_rng stream as the fuzzer's
+    // multi-document arm, so a divergence here reproduces there.
+    for i in 0..cfg.fuzz_iters {
+        for profile in [FuzzProfile::Ordered, FuzzProfile::Unordered] {
+            let mut rng = cell_rng(cfg.seed, i, profile);
+            let corpus = gen_corpus(&mut rng);
+            let urls: Vec<String> = corpus.docs.iter().map(|(u, _)| u.clone()).collect();
+            let q = pretty(&gen_query_corpus(&mut rng, profile, &urls));
+            report.queries += 1;
+            run_corpus(
+                &mut report,
+                &corpus.docs,
+                &[(format!("fuzz iter {i} [{profile}]"), q, profile.options())],
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xmark_splits_into_all_sections_in_order() {
+        let xml = generate(&XmarkConfig {
+            scale: 0.001,
+            seed: 42,
+        });
+        let docs = split_xmark(&xml);
+        let urls: Vec<&str> = docs.iter().map(|(u, _)| u.as_str()).collect();
+        assert_eq!(
+            urls,
+            vec![
+                "regions.xml",
+                "categories.xml",
+                "catgraph.xml",
+                "people.xml",
+                "open_auctions.xml",
+                "closed_auctions.xml"
+            ]
+        );
+        for (url, doc) in &docs {
+            assert!(doc.starts_with("<site>"), "{url} not site-rooted");
+            assert!(doc.ends_with("</site>"), "{url} not site-terminated");
+        }
+        // Nothing element-like lost: the split covers every item/person.
+        let count = |hay: &str, needle: &str| hay.matches(needle).count();
+        let items: usize = docs.iter().map(|(_, d)| count(d, "<item ")).sum();
+        assert_eq!(items, count(&xml, "<item "));
+        let persons: usize = docs.iter().map(|(_, d)| count(d, "<person ")).sum();
+        assert_eq!(persons, count(&xml, "<person "));
+    }
+
+    #[test]
+    fn xmark_matrix_queries_succeed_on_the_reference() {
+        // Guards against dialect drift silently degrading the matrix to
+        // error-vs-error cells: every matrix query must actually run.
+        let xml = generate(&XmarkConfig {
+            scale: 0.001,
+            seed: 42,
+        });
+        let session = corpus_session(&split_xmark(&xml), 1);
+        for q in XMARK_SHARD_QUERIES {
+            session
+                .query_with(q, &QueryOptions::order_indifferent())
+                .unwrap_or_else(|e| panic!("matrix query failed: {q}: {}", e.render_line()));
+        }
+    }
+
+    #[test]
+    fn small_sharded_subset_is_byte_identical() {
+        // Full coverage lives in the tier-1 integration test
+        // (`tests/sharded_equivalence.rs`); a small subset keeps the
+        // unit tier fast.
+        let cfg = ShardedConfig {
+            scale: 0.001,
+            fuzz_iters: 6,
+            ..ShardedConfig::default()
+        };
+        let report = run_sharded_differential(&cfg);
+        assert!(report.passed(), "{report}");
+        assert!(report.cells > 0 && report.error_cells < report.cells);
+    }
+}

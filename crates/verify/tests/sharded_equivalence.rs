@@ -1,0 +1,27 @@
+//! Tier-1 acceptance for sharded catalogs: execution over 2- and
+//! 8-shard partitions of the XMark split-by-subtree corpus and ≥200
+//! fuzz-generated multi-document queries serializes byte-identically to
+//! single-catalog (1-shard) execution, on both the vectorized and
+//! scalar paths. Shard count must be absent from output in any form.
+
+use exrquy_verify::{run_sharded_differential, ShardedConfig};
+
+#[test]
+fn sharded_execution_is_byte_identical_to_unsharded() {
+    let cfg = ShardedConfig {
+        fuzz_iters: 100,
+        ..ShardedConfig::default()
+    };
+    let report = run_sharded_differential(&cfg);
+    assert!(report.passed(), "{report}");
+    // 10 XMark matrix queries + 100 fuzz iters x 2 profiles.
+    assert_eq!(report.queries, 210);
+    // XMark: 10 queries x 2 profiles x 2 layouts (2, 8 shards) x 2 paths
+    // + fuzz: 200 queries x 2 layouts x 2 paths.
+    assert_eq!(report.cells, 880);
+    // The matrix is exercised by real results, not error-vs-error cells.
+    assert!(
+        report.error_cells * 2 < report.cells,
+        "too many error cells: {report}"
+    );
+}

@@ -22,11 +22,12 @@
 //! (the `item` column of the paper's `iter|pos|item` tables).
 
 use crate::name::{NameId, NamePool};
-use crate::parse::ParseError;
+use crate::parse::{parse_document, scan_names, ParseError};
 use crate::tree::Document;
+use exrquy_diag::ErrorCode;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Global node identifier. Lexicographic order on `(frag, pre)` is the
 /// document order the relational plans rely on (the paper's "order-
@@ -69,18 +70,115 @@ pub trait NodeRead {
     }
 }
 
-/// The immutable document layer: parsed documents, a frozen name pool,
-/// and the `fn:doc()` URL map. Cheap to clone (fragments and pool are
-/// behind `Arc`s) and shareable across threads.
-#[derive(Debug, Default, Clone)]
+/// One base fragment: either an eagerly parsed document or a lazy slot
+/// holding the raw XML plus a write-once cell the parsed tree lands in
+/// on first touch. Names are interned eagerly in both cases (the scan
+/// pass of [`CatalogBuilder::load_str_lazy`]), so the catalog's pool is
+/// frozen and complete regardless of which slots have materialized.
+#[derive(Debug)]
+enum FragSlot {
+    Loaded(Arc<Document>),
+    Lazy {
+        xml: Arc<str>,
+        cell: OnceLock<Arc<Document>>,
+    },
+}
+
+impl FragSlot {
+    fn document(&self) -> Option<&Arc<Document>> {
+        match self {
+            FragSlot::Loaded(d) => Some(d),
+            FragSlot::Lazy { cell, .. } => cell.get(),
+        }
+    }
+}
+
+impl Clone for FragSlot {
+    fn clone(&self) -> Self {
+        match self {
+            FragSlot::Loaded(d) => FragSlot::Loaded(Arc::clone(d)),
+            FragSlot::Lazy { xml, cell } => {
+                let copy = OnceLock::new();
+                if let Some(d) = cell.get() {
+                    let _ = copy.set(Arc::clone(d));
+                }
+                FragSlot::Lazy {
+                    xml: Arc::clone(xml),
+                    cell: copy,
+                }
+            }
+        }
+    }
+}
+
+/// Why a batch of lazy fragments failed to materialize. Either way
+/// nothing from the failing batch became visible — materialization
+/// stages every parse first and commits only a fully parsed batch, so a
+/// budget trip or parse error mid-shard leaves no partial shard behind.
+#[derive(Debug, Clone)]
+pub enum MaterializeError {
+    /// A document in the batch is malformed (or parse was fault-injected).
+    Parse(ParseError),
+    /// Parsing the batch would exceed the caller's node ceiling.
+    NodeBudget { nodes: usize, cap: usize },
+}
+
+impl fmt::Display for MaterializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaterializeError::Parse(e) => e.fmt(f),
+            MaterializeError::NodeBudget { nodes, cap } => write!(
+                f,
+                "lazy document load would materialize {nodes} XML nodes, exceeding the budget of {cap}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MaterializeError {}
+
+/// What one [`Catalog::materialize_frags`] call committed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaterializeStats {
+    /// Fragments parsed and committed by this call.
+    pub frags: usize,
+    /// Nodes those fragments hold.
+    pub nodes: usize,
+    /// Raw XML bytes parsed.
+    pub bytes: usize,
+}
+
+/// The immutable document layer: parsed (or lazily pending) documents, a
+/// frozen name pool, the `fn:doc()` URL map, and the shard layout — a
+/// partition of the fragment range into contiguous, ascending shards.
+/// Cheap to clone (fragments and pool are behind `Arc`s) and shareable
+/// across threads.
+#[derive(Debug, Clone)]
 pub struct Catalog {
-    frags: Vec<Arc<Document>>,
+    frags: Vec<FragSlot>,
     pool: Arc<NamePool>,
     docs: HashMap<String, NodeId>,
+    /// Shard boundaries: shard `i` covers fragments
+    /// `shards[i]..shards[i+1]`; always `shards[0] == 0` and
+    /// `*shards.last() == frag_count()`. Contiguity + ascending order is
+    /// what makes a shard-major concatenation of per-shard results equal
+    /// to global document/collection order.
+    shards: Vec<u32>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            frags: Vec::new(),
+            pool: Arc::default(),
+            docs: HashMap::new(),
+            shards: vec![0, 0],
+        }
+    }
 }
 
 impl Catalog {
-    /// An empty catalog (no documents, no names).
+    /// An empty catalog (no documents, no names, one empty shard).
     pub fn new() -> Self {
         Self::default()
     }
@@ -98,6 +196,7 @@ impl Catalog {
             frags: self.frags.clone(),
             pool: (*self.pool).clone(),
             docs: self.docs.clone(),
+            shards: self.shard_count(),
         }
     }
 
@@ -111,9 +210,133 @@ impl Catalog {
         self.frags.is_empty()
     }
 
-    /// Total node count over all base documents.
+    /// Total node count over all *materialized* base documents (lazy
+    /// slots contribute once they load).
     pub fn total_nodes(&self) -> usize {
-        self.frags.iter().map(|d| d.len()).sum()
+        self.frags
+            .iter()
+            .filter_map(|s| s.document())
+            .map(|d| d.len())
+            .sum()
+    }
+
+    /// Number of shards in the layout (≥ 1; empty shards are legal when
+    /// there are more shards than documents).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len() - 1
+    }
+
+    /// Shard boundaries (see the field doc on `shards`).
+    pub fn shard_bounds(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// Fragment range `[lo, hi)` of shard `i`.
+    pub fn shard_range(&self, i: usize) -> (u32, u32) {
+        (self.shards[i], self.shards[i + 1])
+    }
+
+    /// Which shard holds fragment `frag`. Boundaries may repeat (empty
+    /// shards), so the owner is the last shard whose lower bound is
+    /// ≤ `frag`.
+    pub fn shard_of(&self, frag: u32) -> usize {
+        debug_assert!((frag as usize) < self.frag_count());
+        self.shards.partition_point(|&b| b <= frag) - 1
+    }
+
+    /// Deterministic hash of the shard layout (boundaries + fragment
+    /// count). Part of the plan-cache key: compiled plans embed per-shard
+    /// fragment ranges, so two layouts over the same corpus must never
+    /// share a cache entry.
+    pub fn layout_signature(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.frags.len().hash(&mut h);
+        self.shards.hash(&mut h);
+        h.finish()
+    }
+
+    /// URL registered for fragment `frag`, if it is a document root.
+    pub fn frag_url(&self, frag: u32) -> Option<&str> {
+        self.docs
+            .iter()
+            .find(|(_, node)| node.frag == frag)
+            .map(|(url, _)| url.as_str())
+    }
+
+    /// Whether fragment `frag` has a parsed tree (eager, or lazy and
+    /// already touched).
+    pub fn is_materialized(&self, frag: u32) -> bool {
+        self.frags[frag as usize].document().is_some()
+    }
+
+    /// Fragments in `[lo, hi)` that still need parsing.
+    pub fn pending_frags(&self, lo: u32, hi: u32) -> Vec<u32> {
+        (lo..hi.min(self.frag_count() as u32))
+            .filter(|&f| !self.is_materialized(f))
+            .collect()
+    }
+
+    /// Parse the given lazy fragments and commit them, atomically per
+    /// call: every document is parsed into a staging area first (against
+    /// a scratch copy of the frozen pool — the eager name scan guarantees
+    /// no new names appear), and only a fully parsed batch is published
+    /// into the write-once cells. On any error *nothing* from this call
+    /// becomes visible. `node_cap` bounds the nodes this call may
+    /// materialize (a lazy-load budget); already-materialized fragments
+    /// in `frags` are skipped and free.
+    ///
+    /// Concurrent callers may race on the same fragment; the first commit
+    /// wins and later ones are dropped — both parsed the same bytes
+    /// against the same frozen pool, so the trees are identical.
+    pub fn materialize_frags(
+        &self,
+        frags: &[u32],
+        node_cap: Option<usize>,
+    ) -> Result<MaterializeStats, MaterializeError> {
+        let mut staged: Vec<(u32, Document)> = Vec::new();
+        let mut scratch: Option<NamePool> = None;
+        let mut stats = MaterializeStats::default();
+        for &f in frags {
+            let FragSlot::Lazy { xml, cell } = &self.frags[f as usize] else {
+                continue;
+            };
+            if cell.get().is_some() {
+                continue;
+            }
+            let pool = scratch.get_or_insert_with(|| (*self.pool).clone());
+            let before = pool.len();
+            let url = self.frag_url(f).unwrap_or("<collection>").to_owned();
+            let doc = parse_document(xml, pool)
+                .map_err(|e| MaterializeError::Parse(e.with_source(url.clone())))?;
+            if pool.len() != before {
+                return Err(MaterializeError::Parse(ParseError {
+                    offset: 0,
+                    message: "lazily loaded document interned names the load-time scan missed"
+                        .into(),
+                    code: ErrorCode::FODC0006,
+                    source: Some(url),
+                }));
+            }
+            stats.frags += 1;
+            stats.nodes += doc.len();
+            stats.bytes += xml.len();
+            if let Some(cap) = node_cap {
+                if stats.nodes > cap {
+                    return Err(MaterializeError::NodeBudget {
+                        nodes: stats.nodes,
+                        cap,
+                    });
+                }
+            }
+            staged.push((f, doc));
+        }
+        for (f, doc) in staged {
+            if let FragSlot::Lazy { cell, .. } = &self.frags[f as usize] {
+                let _ = cell.set(Arc::new(doc));
+            }
+        }
+        Ok(stats)
     }
 
     /// The frozen name pool documents were interned against.
@@ -140,7 +363,12 @@ impl Catalog {
 
 impl NodeRead for Catalog {
     fn frag(&self, frag: u32) -> &Document {
-        &self.frags[frag as usize]
+        self.frags[frag as usize].document().unwrap_or_else(|| {
+            panic!(
+                "fragment {frag} is lazy and not yet materialized \
+                 (executors must materialize every fragment a plan can touch before evaluating)"
+            )
+        })
     }
 
     fn resolve_name(&self, id: NameId) -> &str {
@@ -149,13 +377,28 @@ impl NodeRead for Catalog {
 }
 
 /// Mutable staging area for building a [`Catalog`]. Documents are parsed
-/// into the builder; nothing becomes visible to readers until
-/// [`build`](Self::build) produces the immutable catalog.
-#[derive(Debug, Default)]
+/// (or name-scanned and deferred) into the builder; nothing becomes
+/// visible to readers until [`build`](Self::build) produces the
+/// immutable catalog.
+#[derive(Debug)]
 pub struct CatalogBuilder {
-    frags: Vec<Arc<Document>>,
+    frags: Vec<FragSlot>,
     pool: NamePool,
     docs: HashMap<String, NodeId>,
+    /// Desired shard count; [`build`](Self::build) turns it into
+    /// contiguous near-equal fragment ranges.
+    shards: usize,
+}
+
+impl Default for CatalogBuilder {
+    fn default() -> Self {
+        CatalogBuilder {
+            frags: Vec::new(),
+            pool: NamePool::default(),
+            docs: HashMap::new(),
+            shards: 1,
+        }
+    }
 }
 
 impl CatalogBuilder {
@@ -169,17 +412,38 @@ impl CatalogBuilder {
         Ok(self.insert(url, doc))
     }
 
+    /// Register `xml` under `url` *without parsing it*: only the names
+    /// are interned (one cheap scan, so the built catalog's pool is
+    /// complete and frozen) and the tree is encoded on first touch —
+    /// see [`Catalog::materialize_frags`]. Malformed XML is accepted
+    /// here and reported when materialization first parses it. Same
+    /// replace-in-place semantics as [`load_str`](Self::load_str).
+    pub fn load_str_lazy(&mut self, url: &str, xml: &str) -> NodeId {
+        scan_names(xml, &mut self.pool);
+        self.insert_slot(
+            url,
+            FragSlot::Lazy {
+                xml: Arc::from(xml),
+                cell: OnceLock::new(),
+            },
+        )
+    }
+
     /// Register an already-encoded document under `url` (same replace
     /// semantics as [`load_str`](Self::load_str)).
     pub fn insert(&mut self, url: &str, doc: Document) -> NodeId {
+        self.insert_slot(url, FragSlot::Loaded(Arc::new(doc)))
+    }
+
+    fn insert_slot(&mut self, url: &str, slot: FragSlot) -> NodeId {
         let node = match self.docs.get(url) {
             Some(old) => {
-                self.frags[old.frag as usize] = Arc::new(doc);
+                self.frags[old.frag as usize] = slot;
                 *old
             }
             None => {
                 let frag = self.frags.len() as u32;
-                self.frags.push(Arc::new(doc));
+                self.frags.push(slot);
                 NodeId::new(frag, 0)
             }
         };
@@ -193,12 +457,26 @@ impl CatalogBuilder {
         &mut self.pool
     }
 
-    /// Freeze into an immutable, shareable catalog.
+    /// Set the shard count the built catalog partitions its fragments
+    /// into (clamped to ≥ 1). More shards than documents is legal — the
+    /// surplus shards are empty.
+    pub fn set_shards(&mut self, n: usize) -> &mut Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Freeze into an immutable, shareable catalog. Shard boundaries are
+    /// computed here: `k` contiguous near-equal fragment ranges in
+    /// ascending order.
     pub fn build(self) -> Catalog {
+        let n = self.frags.len();
+        let k = self.shards;
+        let shards = (0..=k).map(|i| (i * n / k) as u32).collect();
         Catalog {
             frags: self.frags,
             pool: Arc::new(self.pool),
             docs: self.docs,
+            shards,
         }
     }
 }
@@ -415,5 +693,122 @@ mod tests {
         assert_send_sync::<Catalog>();
         assert_send_sync::<Arc<Catalog>>();
         assert_send_sync::<FragArena>();
+    }
+
+    #[test]
+    fn lazy_load_defers_parse_until_materialized() {
+        let mut b = Catalog::builder();
+        let root = b.load_str_lazy("a.xml", "<a><b/><c/></a>");
+        let cat = b.build();
+        assert_eq!(root, NodeId::new(0, 0));
+        assert!(!cat.is_materialized(0));
+        assert_eq!(cat.total_nodes(), 0);
+        // Names were interned eagerly by the scan.
+        assert!(cat.pool().lookup("b").is_some());
+        assert_eq!(cat.pending_frags(0, 1), vec![0]);
+        let stats = cat.materialize_frags(&[0], None).unwrap();
+        assert_eq!((stats.frags, stats.nodes), (1, 4));
+        assert!(cat.is_materialized(0));
+        assert_eq!(cat.total_nodes(), 4);
+        assert_eq!(cat.frag(0).len(), 4);
+        // Re-materializing is free.
+        let again = cat.materialize_frags(&[0], None).unwrap();
+        assert_eq!(again.frags, 0);
+    }
+
+    #[test]
+    fn lazy_parse_error_surfaces_at_materialization() {
+        let mut b = Catalog::builder();
+        b.load_str_lazy("good.xml", "<g/>");
+        b.load_str_lazy("bad.xml", "<broken");
+        let cat = b.build();
+        let err = cat.materialize_frags(&[0, 1], None).unwrap_err();
+        assert!(matches!(err, MaterializeError::Parse(_)), "{err}");
+        assert!(err.to_string().contains("bad.xml"), "{err}");
+        // Atomic: the good document did not commit either.
+        assert!(!cat.is_materialized(0));
+    }
+
+    #[test]
+    fn node_budget_trips_without_partial_commit() {
+        let mut b = Catalog::builder();
+        b.load_str_lazy("a.xml", "<a><b/><c/></a>"); // 4 nodes
+        b.load_str_lazy("b.xml", "<a><b/><c/></a>"); // 4 nodes
+        let cat = b.build();
+        let err = cat.materialize_frags(&[0, 1], Some(5)).unwrap_err();
+        assert!(matches!(err, MaterializeError::NodeBudget { .. }), "{err}");
+        assert!(!cat.is_materialized(0) && !cat.is_materialized(1));
+        assert_eq!(cat.total_nodes(), 0);
+    }
+
+    #[test]
+    fn shard_layout_partitions_fragments() {
+        let mut b = Catalog::builder();
+        for i in 0..5 {
+            b.load_str(&format!("d{i}.xml"), "<d/>").unwrap();
+        }
+        b.set_shards(2);
+        let cat = b.build();
+        assert_eq!(cat.shard_count(), 2);
+        assert_eq!(cat.shard_bounds(), &[0, 2, 5]);
+        assert_eq!(cat.shard_range(0), (0, 2));
+        assert_eq!(cat.shard_range(1), (2, 5));
+        assert_eq!(cat.shard_of(0), 0);
+        assert_eq!(cat.shard_of(1), 0);
+        assert_eq!(cat.shard_of(2), 1);
+        assert_eq!(cat.shard_of(4), 1);
+    }
+
+    #[test]
+    fn oversharded_layouts_have_empty_shards() {
+        let mut b = Catalog::builder();
+        for i in 0..3 {
+            b.load_str(&format!("d{i}.xml"), "<d/>").unwrap();
+        }
+        b.set_shards(8);
+        let cat = b.build();
+        assert_eq!(cat.shard_count(), 8);
+        let total: u32 = (0..8)
+            .map(|i| {
+                let (lo, hi) = cat.shard_range(i);
+                assert!(lo <= hi);
+                hi - lo
+            })
+            .sum();
+        assert_eq!(total, 3);
+        // Every fragment is owned by the shard whose range contains it.
+        for f in 0..3u32 {
+            let s = cat.shard_of(f);
+            let (lo, hi) = cat.shard_range(s);
+            assert!(lo <= f && f < hi);
+        }
+    }
+
+    #[test]
+    fn layout_signature_distinguishes_shard_counts() {
+        let mut b = Catalog::builder();
+        for i in 0..6 {
+            b.load_str(&format!("d{i}.xml"), "<d/>").unwrap();
+        }
+        b.set_shards(2);
+        let two = b.build();
+        let mut b8 = two.to_builder();
+        b8.set_shards(8);
+        let eight = b8.build();
+        assert_ne!(two.layout_signature(), eight.layout_signature());
+        // Round-tripping through a builder preserves the layout.
+        let same = two.to_builder().build();
+        assert_eq!(two.layout_signature(), same.layout_signature());
+    }
+
+    #[test]
+    fn frag_url_reverse_lookup() {
+        let mut b = Catalog::builder();
+        b.load_str("x.xml", "<x/>").unwrap();
+        b.load_str("y.xml", "<y/>").unwrap();
+        let cat = b.build();
+        assert_eq!(cat.frag_url(0), Some("x.xml"));
+        assert_eq!(cat.frag_url(1), Some("y.xml"));
+        assert_eq!(cat.frag_url(2), None);
     }
 }

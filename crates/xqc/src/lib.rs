@@ -151,6 +151,9 @@ pub struct QueryOpts {
     /// Request the order-aware baseline instead of the default
     /// order-indifferent execution.
     pub baseline: bool,
+    /// Route the query at a named server catalog instead of the
+    /// default one (see the xqd `catalog` request field).
+    pub catalog: Option<String>,
 }
 
 struct Conn {
@@ -213,6 +216,9 @@ impl Client {
         if opts.baseline {
             fields.push(("ordering", Value::Str("baseline".into())));
         }
+        if let Some(c) = &opts.catalog {
+            fields.push(("catalog", Value::Str(c.clone())));
+        }
         let resp = self.request(fields)?;
         match resp.get("result").and_then(Value::as_str) {
             Some(r) => Ok(r.to_string()),
@@ -224,12 +230,31 @@ impl Client {
 
     /// Stage a document and swap it into the server catalog.
     pub fn load(&mut self, url: &str, xml: &str) -> Result<(), ClientError> {
-        self.request(vec![
+        self.load_into(url, xml, None, None)
+    }
+
+    /// Stage a document into a *named* catalog (created by the server on
+    /// first load; `None` targets the default), optionally
+    /// re-partitioning it into `shards` shards afterwards.
+    pub fn load_into(
+        &mut self,
+        url: &str,
+        xml: &str,
+        catalog: Option<&str>,
+        shards: Option<usize>,
+    ) -> Result<(), ClientError> {
+        let mut fields = vec![
             ("op", Value::Str("load".into())),
             ("url", Value::Str(url.into())),
             ("xml", Value::Str(xml.into())),
-        ])
-        .map(|_| ())
+        ];
+        if let Some(c) = catalog {
+            fields.push(("catalog", Value::Str(c.into())));
+        }
+        if let Some(n) = shards {
+            fields.push(("shards", Value::Int(n as i64)));
+        }
+        self.request(fields).map(|_| ())
     }
 
     pub fn ping(&mut self) -> Result<(), ClientError> {

@@ -6,12 +6,23 @@
 //! {"id": 1, "op": "query", "query": "1 + 1", "deadline_ms": 500}
 //! {"id": 2, "op": "query", "query": "...", "ordering": "baseline"}
 //! {"id": 3, "op": "load", "url": "new.xml", "xml": "<a/>"}
-//! {"id": 4, "op": "stats"}
-//! {"id": 5, "op": "ping"}
-//! {"id": 6, "op": "health"}
-//! {"id": 7, "op": "ready"}
-//! {"id": 8, "op": "shutdown"}
+//! {"id": 4, "op": "load", "url": "d1.xml", "xml": "<a/>", "catalog": "corpus", "shards": 8}
+//! {"id": 5, "op": "query", "query": "fn:collection()//x", "catalog": "corpus"}
+//! {"id": 6, "op": "stats"}
+//! {"id": 7, "op": "ping"}
+//! {"id": 8, "op": "health"}
+//! {"id": 9, "op": "ready"}
+//! {"id": 10, "op": "shutdown"}
 //! ```
+//!
+//! The optional `catalog` field routes a query or load at a *named*
+//! catalog instead of the default one; named catalogs are created by
+//! the first load that mentions them, stage documents lazily (the tree
+//! parse is deferred to the first query that can touch it), and a
+//! query naming an unknown catalog gets `FODC0002`. The optional
+//! `shards` field on `load` re-partitions the target catalog into that
+//! many shards after the load commits — shard-parallel `fn:collection()`
+//! plans are compiled against that layout.
 //!
 //! Responses echo `id` and carry either `"ok": true` plus op-specific
 //! fields (`result` for queries) or `"ok": false` with `code` /
@@ -48,11 +59,19 @@ pub enum Op {
         deadline_ms: Option<u64>,
         /// `"indifferent"` (default) or `"baseline"`.
         baseline: bool,
+        /// Named catalog to run against; `None` routes to the default.
+        catalog: Option<String>,
     },
     /// Stage a document and atomically swap it into the shared catalog.
     Load {
         url: String,
         xml: String,
+        /// Named catalog to load into; created on first load. `None`
+        /// targets the default catalog.
+        catalog: Option<String>,
+        /// Re-partition the target catalog into this many shards after
+        /// the load commits (the `load --shard` op).
+        shards: Option<usize>,
     },
     Stats,
     Ping,
@@ -77,6 +96,22 @@ impl ProtoError {
             id,
             message: message.into(),
         }
+    }
+}
+
+/// Shared `catalog` field of query/load ops: an optional non-empty
+/// string naming a catalog other than the default.
+fn parse_catalog(
+    map: &std::collections::BTreeMap<String, Value>,
+    id: &Value,
+) -> Result<Option<String>, ProtoError> {
+    match map.get("catalog") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) if !s.is_empty() => Ok(Some(s.clone())),
+        Some(_) => Err(ProtoError::new(
+            id.clone(),
+            "catalog must be a non-empty string",
+        )),
     }
 }
 
@@ -126,10 +161,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                     ))
                 }
             };
+            let catalog = parse_catalog(map, &id)?;
             Op::Query {
                 query,
                 deadline_ms,
                 baseline,
+                catalog,
             }
         }
         "load" => {
@@ -143,7 +180,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 .and_then(Value::as_str)
                 .ok_or_else(|| ProtoError::new(id.clone(), "load op requires 'xml'"))?
                 .to_string();
-            Op::Load { url, xml }
+            let catalog = parse_catalog(map, &id)?;
+            let shards = match map.get("shards") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_i64().filter(|n| *n >= 1).ok_or_else(|| {
+                    ProtoError::new(id.clone(), "shards must be a positive integer")
+                })? as usize),
+            };
+            Op::Load {
+                url,
+                xml,
+                catalog,
+                shards,
+            }
         }
         "stats" => Op::Stats,
         "ping" => Op::Ping,
@@ -189,12 +238,74 @@ mod tests {
                 query,
                 deadline_ms,
                 baseline,
+                catalog,
             } => {
                 assert_eq!(query, "1+1");
                 assert_eq!(deadline_ms, Some(250));
                 assert!(baseline);
+                assert_eq!(catalog, None);
             }
             other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_catalog_routing_and_sharded_loads() {
+        let r =
+            parse_request(r#"{"id":1,"op":"query","query":"fn:collection()","catalog":"corpus"}"#)
+                .unwrap();
+        match r.op {
+            Op::Query { catalog, .. } => assert_eq!(catalog.as_deref(), Some("corpus")),
+            other => panic!("wrong op: {other:?}"),
+        }
+        let r = parse_request(
+            r#"{"id":2,"op":"load","url":"d.xml","xml":"<a/>","catalog":"corpus","shards":8}"#,
+        )
+        .unwrap();
+        match r.op {
+            Op::Load {
+                url,
+                catalog,
+                shards,
+                ..
+            } => {
+                assert_eq!(url, "d.xml");
+                assert_eq!(catalog.as_deref(), Some("corpus"));
+                assert_eq!(shards, Some(8));
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        // Absent fields keep the single-catalog wire format working.
+        let r = parse_request(r#"{"id":3,"op":"load","url":"d.xml","xml":"<a/>"}"#).unwrap();
+        match r.op {
+            Op::Load {
+                catalog, shards, ..
+            } => {
+                assert_eq!(catalog, None);
+                assert_eq!(shards, None);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        for (line, needle) in [
+            (
+                r#"{"id":1,"op":"query","query":"1","catalog":""}"#,
+                "catalog must be",
+            ),
+            (
+                r#"{"id":1,"op":"query","query":"1","catalog":7}"#,
+                "catalog must be",
+            ),
+            (
+                r#"{"id":1,"op":"load","url":"d","xml":"<a/>","shards":0}"#,
+                "shards must be",
+            ),
+            (
+                r#"{"id":1,"op":"load","url":"d","xml":"<a/>","shards":"two"}"#,
+                "shards must be",
+            ),
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert!(e.message.contains(needle), "{line}: {}", e.message);
         }
     }
 

@@ -217,6 +217,14 @@ struct OrphanJob {
     cancel: CancellationToken,
 }
 
+/// One named catalog beyond the default: its staging session plus the
+/// executor snapshot queries routed at it will clone. Same split as the
+/// default `exec`/`loader` pair on [`Shared`].
+struct NamedCatalog {
+    exec: RwLock<Executor>,
+    loader: Mutex<Session>,
+}
+
 struct Shared {
     cfg: ServerConfig,
     /// Current executor snapshot; queries clone it (two `Arc` bumps) and
@@ -224,6 +232,10 @@ struct Shared {
     exec: RwLock<Executor>,
     /// Serializes catalog loads; owns the staging session.
     loader: Mutex<Session>,
+    /// Named catalogs, created lazily by the first `load` that names
+    /// one. Queries carrying a `catalog` field route here; the map lock
+    /// is held only long enough to clone the entry's `Arc`.
+    catalogs: RwLock<HashMap<String, Arc<NamedCatalog>>>,
     sched: Mutex<Sched>,
     work_ready: Condvar,
     draining: AtomicBool,
@@ -481,6 +493,7 @@ pub fn spawn(cfg: ServerConfig, mut session: Session) -> io::Result<ServerHandle
     let shared = Arc::new(Shared {
         exec: RwLock::new(session.executor().clone()),
         loader: Mutex::new(session),
+        catalogs: RwLock::new(HashMap::new()),
         sched: Mutex::new(Sched::default()),
         work_ready: Condvar::new(),
         draining: AtomicBool::new(false),
@@ -1087,9 +1100,17 @@ fn run_job(shared: &Shared, job: &Job) {
     lock_recover(&shared.active_runs).push(job.cancel.clone());
     let response = match &job.op {
         Op::Query {
-            query, baseline, ..
-        } => run_query(shared, job, query, *baseline),
-        Op::Load { url, xml } => run_load(shared, job, url, xml),
+            query,
+            baseline,
+            catalog,
+            ..
+        } => run_query(shared, job, query, *baseline, catalog.as_deref()),
+        Op::Load {
+            url,
+            xml,
+            catalog,
+            shards,
+        } => run_load(shared, job, url, xml, catalog.as_deref(), *shards),
         // Ping/Stats/probes/Shutdown never reach the queue.
         _ => err_response(
             &job.id,
@@ -1110,12 +1131,45 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("panic payload of unknown type")
 }
 
-fn run_query(shared: &Shared, job: &Job, query: &str, baseline: bool) -> String {
-    let exec = shared
-        .exec
-        .read()
-        .unwrap_or_else(PoisonError::into_inner)
-        .clone();
+fn run_query(
+    shared: &Shared,
+    job: &Job,
+    query: &str,
+    baseline: bool,
+    catalog: Option<&str>,
+) -> String {
+    let exec = match catalog {
+        None => shared
+            .exec
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone(),
+        Some(name) => {
+            let entry = shared
+                .catalogs
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get(name)
+                .cloned();
+            match entry {
+                Some(c) => c
+                    .exec
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+                None => {
+                    // An admitted request must settle the ledger even
+                    // when routing fails before the engine runs.
+                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    return err_response(
+                        &job.id,
+                        ErrorCode::FODC0002.as_str(),
+                        &format!("unknown catalog `{name}` (load into it first)"),
+                    );
+                }
+            }
+        }
+    };
     let mut opts = if baseline {
         QueryOptions::baseline()
     } else {
@@ -1205,27 +1259,109 @@ fn query_error_response(shared: &Shared, id: &Value, e: &Error) -> String {
 /// pre-swap snapshot; new queries see the new catalog immediately.
 /// Readiness flips off for the duration — a probe-driven balancer stops
 /// routing to an instance that is mid-reload.
-fn run_load(shared: &Shared, job: &Job, url: &str, xml: &str) -> String {
+fn run_load(
+    shared: &Shared,
+    job: &Job,
+    url: &str,
+    xml: &str,
+    catalog: Option<&str>,
+    shards: Option<usize>,
+) -> String {
     shared.reloading.store(true, Ordering::SeqCst);
-    let response = {
-        let mut session = lock_recover(&shared.loader);
-        match session.load_document(url, xml) {
-            Ok(()) => {
-                let fresh = session.executor().clone();
-                *shared.exec.write().unwrap_or_else(PoisonError::into_inner) = fresh;
-                shared.counters.loads.fetch_add(1, Ordering::Relaxed);
-                // A load is an admitted request that ran to success: it
-                // counts into `completed` (and `loads`), keeping the
-                // admission ledger in balance.
-                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-                ok_response(
-                    &job.id,
-                    vec![("nodes", Value::Int(session.store_nodes() as i64))],
-                )
-            }
-            Err(e) => query_error_response(shared, &job.id, &e),
+    let response = match catalog {
+        None => {
+            let mut session = lock_recover(&shared.loader);
+            load_into(
+                shared,
+                job,
+                &mut session,
+                &shared.exec,
+                url,
+                xml,
+                shards,
+                false,
+            )
+        }
+        Some(name) => {
+            // Get-or-create the named catalog, then stage under *its*
+            // loader lock — loads into different catalogs do not
+            // serialize against each other or against the default.
+            let entry = {
+                let mut map = shared
+                    .catalogs
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner);
+                map.entry(name.to_string())
+                    .or_insert_with(|| {
+                        let session = Session::new();
+                        Arc::new(NamedCatalog {
+                            exec: RwLock::new(session.executor().clone()),
+                            loader: Mutex::new(session),
+                        })
+                    })
+                    .clone()
+            };
+            let mut session = lock_recover(&entry.loader);
+            load_into(
+                shared,
+                job,
+                &mut session,
+                &entry.exec,
+                url,
+                xml,
+                shards,
+                true,
+            )
         }
     };
     shared.reloading.store(false, Ordering::SeqCst);
     response
+}
+
+/// Stage `url` into `session`, apply a requested shard count, and
+/// publish the fresh executor snapshot. The default catalog stages
+/// eagerly (`lazy == false`) so malformed documents are rejected at
+/// load time, exactly as before catalogs were routable; named catalogs
+/// stage lazily — the corpus case — deferring each tree parse until the
+/// first query that can touch it, under that run's budget and
+/// cancellation (see `Executor` lazy materialization).
+#[allow(clippy::too_many_arguments)]
+fn load_into(
+    shared: &Shared,
+    job: &Job,
+    session: &mut Session,
+    exec: &RwLock<Executor>,
+    url: &str,
+    xml: &str,
+    shards: Option<usize>,
+    lazy: bool,
+) -> String {
+    let staged = if lazy {
+        session.load_document_lazy(url, xml);
+        Ok(())
+    } else {
+        session.load_document(url, xml)
+    };
+    match staged {
+        Ok(()) => {
+            if let Some(n) = shards {
+                session.set_shards(n);
+            }
+            let fresh = session.executor().clone();
+            *exec.write().unwrap_or_else(PoisonError::into_inner) = fresh;
+            shared.counters.loads.fetch_add(1, Ordering::Relaxed);
+            // A load is an admitted request that ran to success: it
+            // counts into `completed` (and `loads`), keeping the
+            // admission ledger in balance.
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            ok_response(
+                &job.id,
+                vec![
+                    ("nodes", Value::Int(session.store_nodes() as i64)),
+                    ("shards", Value::Int(session.shard_count() as i64)),
+                ],
+            )
+        }
+        Err(e) => query_error_response(shared, &job.id, &e),
+    }
 }

@@ -310,3 +310,54 @@ fn abrupt_disconnect_does_not_wedge_the_server() {
     let stats = handle.shutdown();
     assert_eq!(stats.active_connections, 0, "connection leak");
 }
+
+#[test]
+fn named_catalogs_route_queries_and_shard_their_corpus() {
+    let handle = small_server(default_cfg());
+    let mut c = Client::connect(&handle);
+
+    // Build a 3-document corpus in catalog "corpus", re-partitioned to
+    // 2 shards on the last load. Named loads stage lazily, so nodes==0
+    // until a query materializes the shards.
+    for (i, shards) in [(0, ""), (1, ""), (2, r#","shards":2"#)] {
+        let r = c.roundtrip(&format!(
+            r#"{{"id":{i},"op":"load","url":"d{i}.xml","xml":"<r><x>{i}</x></r>","catalog":"corpus"{shards}}}"#
+        ));
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        if shards.is_empty() {
+            assert_eq!(r.get("shards").and_then(Value::as_i64), Some(1));
+        } else {
+            assert_eq!(r.get("shards").and_then(Value::as_i64), Some(2));
+            assert_eq!(
+                r.get("nodes").and_then(Value::as_i64),
+                Some(0),
+                "named loads stage lazily — no tree parse at load time"
+            );
+        }
+    }
+
+    // A routed collection() scan sees all three documents in load
+    // order, byte-identical to what a local sharded session produces.
+    let r = c.roundtrip(r#"{"id":3,"op":"query","query":"fn:collection()//x","catalog":"corpus"}"#);
+    assert_eq!(
+        r.get("result").and_then(Value::as_str),
+        Some("<x>0</x><x>1</x><x>2</x>"),
+        "{r:?}"
+    );
+
+    // The default catalog is untouched by named loads: t.xml is still
+    // there, and the corpus documents are not.
+    let r = c.roundtrip(r#"{"id":4,"op":"query","query":"fn:count(doc(\"t.xml\")//c)"}"#);
+    assert_eq!(r.get("result").and_then(Value::as_str), Some("2"));
+    let r = c.roundtrip(r#"{"id":5,"op":"query","query":"fn:count(doc(\"d0.xml\"))"}"#);
+    assert_eq!(r.get("ok"), Some(&Value::Bool(false)));
+
+    // Routing at a catalog nobody loaded is a typed error, not a hang.
+    let r = c.roundtrip(r#"{"id":6,"op":"query","query":"1+1","catalog":"nope"}"#);
+    assert_eq!(r.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(r.get("code").and_then(Value::as_str), Some("FODC0002"));
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.loads, 3);
+    assert_eq!(stats.failed, 2, "missing doc + unknown catalog");
+}
