@@ -283,6 +283,13 @@ pub enum Op {
     /// independent of the catalog the plan later runs against (the plan
     /// cache keys on the layout, so ranges never go stale).
     Fanout { shard: u32, lo: u32, hi: u32 },
+    /// Stable ascending lexicographic sort by `keys` (integer rank
+    /// columns). Schema-preserving. Emitted only by the cost-based join
+    /// enumerator: after reordering a join cluster, sorting by the
+    /// per-leaf `#` rank columns restores the canonical tree's emission
+    /// order exactly, which is what keeps reordered plans byte-identical
+    /// to the rule-only reference plan.
+    Sort { input: OpId, keys: Vec<Col> },
     /// `∪̂` — n-ary disjoint bag union over per-shard subplans. Column
     /// *sets* of all parts must coincide. Parts are kept in ascending
     /// shard order and — by construction and by every shard-push rewrite —
@@ -310,6 +317,7 @@ impl Op {
             | Op::Step { input, .. }
             | Op::TextNode { content: input }
             | Op::Range { input, .. }
+            | Op::Sort { input, .. }
             | Op::Serialize { input } => vec![*input],
             Op::Cross { l, r }
             | Op::EquiJoin { l, r, .. }
@@ -346,6 +354,7 @@ impl Op {
             | Op::Step { input, .. }
             | Op::TextNode { content: input }
             | Op::Range { input, .. }
+            | Op::Sort { input, .. }
             | Op::Serialize { input } => *input = ch[0],
             Op::Cross { l, r }
             | Op::EquiJoin { l, r, .. }
@@ -391,6 +400,7 @@ impl Op {
         "text",
         "range",
         "serialize",
+        "sort",
         "fanout",
         "∪̂",
     ];
@@ -419,6 +429,7 @@ impl Op {
             Op::TextNode { .. } => "text",
             Op::Range { .. } => "range",
             Op::Serialize { .. } => "serialize",
+            Op::Sort { .. } => "sort",
             Op::Fanout { .. } => "fanout",
             Op::ShardUnion { .. } => "∪̂",
         }

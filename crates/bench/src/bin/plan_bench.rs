@@ -1,0 +1,229 @@
+//! Cost-based planner benchmark: statistics-driven join reordering and
+//! rank-compensation elision vs the rule-only planner (`--no-cost`),
+//! over a deliberately skewed multi-document join corpus, emitting
+//! `BENCH_cost.json`.
+//!
+//! Usage:
+//! `plan-bench [--rows 1000] [--keys 50] [--runs 3]
+//!             [--out BENCH_cost.json] [--min-geomean 1.0]`
+//!
+//! The corpus is a star schema: three "big" documents (`--rows` elements,
+//! `--keys` distinct join keys each, uniformly cycled) and one "tiny"
+//! document whose two elements match only 2 of those keys. Every query
+//! is a multi-way star join written in its *worst* clause order — the
+//! selective tiny relation joined last — which is exactly the situation
+//! the paper's order indifference lets a cost-based planner repair: the
+//! join clusters reorder against the cardinality model, the hash builds
+//! flip onto the small sides, and (the queries being aggregates in
+//! unordered mode) the order-restoring compensation sort is provably
+//! unnecessary and elided. One query is written in its *best* clause
+//! order as a no-regression control.
+//!
+//! Two sections feed the JSON:
+//!
+//! * **timing** — each query, costed vs `--no-cost`, best-of-`--runs`
+//!   wall-clock on the default vectorized path, with the geometric-mean
+//!   speedup over all queries.
+//! * **matrix** — every query × {costed, uncosted} × {vectorized,
+//!   scalar} × {1, 2, 8}-shard corpus layouts, each cell's rendered
+//!   serialization compared byte-for-byte against the uncosted
+//!   vectorized 1-shard reference (`identical_serializations` — the run
+//!   aborts red on any divergence, so the speedup is never bought with
+//!   a semantics change).
+//!
+//! `--min-geomean` is the CI guardrail: the process exits nonzero when
+//! the measured geomean falls below it.
+
+use exrquy::{QueryOptions, Session};
+use exrquy_bench::report::{num, write};
+use exrquy_bench::{best_of, Cli};
+use exrquy_xqd::json::{obj, Value};
+use std::fmt::Write as _;
+
+/// One skewed star document: `rows` elements named `tag`, join key
+/// cycling over `keys` distinct values.
+fn star_doc(tag: &str, rows: usize, keys: usize) -> String {
+    let mut xml = String::with_capacity(rows * 24);
+    xml.push_str("<doc>");
+    for i in 0..rows {
+        let _ = write!(xml, "<{tag} k=\"k{}\" id=\"{tag}{i}\"/>", i % keys);
+    }
+    xml.push_str("</doc>");
+    xml
+}
+
+/// The tiny selective relation: two elements matching keys k0 and k1
+/// only — joining it early collapses the iteration space.
+fn tiny_doc() -> String {
+    "<doc><t k=\"k0\" id=\"t0\"/><t k=\"k1\" id=\"t1\"/></doc>".to_string()
+}
+
+/// The query set: star joins over the corpus, worst clause order first.
+fn queries() -> Vec<(&'static str, String)> {
+    let star4_skewed = r#"fn:count(for $y in doc("big0.xml")//s
+for $x in doc("big1.xml")//r where $x/@k = $y/@k
+for $w in doc("big2.xml")//w where $w/@k = $y/@k
+for $t in doc("tiny.xml")//t where $t/@k = $y/@k
+return $t)"#
+        .to_string();
+    let star3_big = r#"fn:count(for $y in doc("big0.xml")//s
+for $x in doc("big1.xml")//r where $x/@k = $y/@k
+for $w in doc("big2.xml")//w where $w/@k = $y/@k
+return $w)"#
+        .to_string();
+    let star3_tiny = r#"fn:count(for $y in doc("big0.xml")//s
+for $x in doc("big1.xml")//r where $x/@k = $y/@k
+for $t in doc("tiny.xml")//t where $t/@k = $y/@k
+return $t)"#
+        .to_string();
+    let star4_ideal = r#"fn:count(for $y in doc("big0.xml")//s
+for $t in doc("tiny.xml")//t where $t/@k = $y/@k
+for $x in doc("big1.xml")//r where $x/@k = $y/@k
+for $w in doc("big2.xml")//w where $w/@k = $y/@k
+return $w)"#
+        .to_string();
+    vec![
+        ("star4-skewed", star4_skewed),
+        ("star3-big", star3_big),
+        ("star3-tiny", star3_tiny),
+        ("star4-ideal", star4_ideal),
+    ]
+}
+
+fn corpus(rows: usize, keys: usize) -> Vec<(String, String)> {
+    vec![
+        ("big0.xml".to_string(), star_doc("s", rows, keys)),
+        ("big1.xml".to_string(), star_doc("r", rows, keys)),
+        ("big2.xml".to_string(), star_doc("w", rows, keys)),
+        ("tiny.xml".to_string(), tiny_doc()),
+    ]
+}
+
+fn session(docs: &[(String, String)], shards: usize) -> Session {
+    let mut s = Session::new();
+    s.load_corpus_sharded(docs.iter().map(|(u, x)| (u.as_str(), x.as_str())), shards);
+    s
+}
+
+/// Rendered serialization of one query under `opts`, or the error code —
+/// the unit of the byte-identity matrix.
+fn cell(session: &Session, query: &str, opts: &QueryOptions) -> String {
+    match session.query_with(query, opts) {
+        Ok(out) => exrquy::result::serialize_sequence(&out.items),
+        Err(e) => format!("<error {}>", e.code()),
+    }
+}
+
+fn main() {
+    let cli = Cli::new();
+    let rows: usize = cli.get("rows", 1000);
+    let keys: usize = cli.get("keys", 50);
+    let runs: usize = cli.get("runs", 3);
+    let out_path: String = cli.get("out", "BENCH_cost.json".to_string());
+    let min_geomean: f64 = cli.get("min-geomean", 0.0);
+
+    let costed = QueryOptions::order_indifferent();
+    let mut uncosted = costed.clone();
+    uncosted.opt.cost = false;
+
+    let docs = corpus(rows, keys);
+    let mut timing_session = session(&docs, 1);
+
+    // -- timing: costed vs rule-only on the default vectorized path --
+    let mut rows_json: Vec<Value> = Vec::new();
+    let mut ratios: Vec<f64> = Vec::new();
+    println!(
+        "{:<14} {:>11} {:>11} {:>8}  plan",
+        "query", "costed", "--no-cost", "speedup"
+    );
+    for (name, q) in &queries() {
+        let plan = timing_session
+            .prepare(q, &costed)
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let (reordered, elided) = (plan.cost_report.reordered, plan.cost_report.elided);
+        let c = best_of(&mut timing_session, q, &costed, runs)
+            .unwrap_or_else(|e| panic!("{name} costed: {e:?}"))
+            .as_secs_f64()
+            * 1e3;
+        let u = best_of(&mut timing_session, q, &uncosted, runs)
+            .unwrap_or_else(|e| panic!("{name} uncosted: {e:?}"))
+            .as_secs_f64()
+            * 1e3;
+        let speedup = u / c;
+        ratios.push(speedup);
+        println!(
+            "{name:<14} {c:>9.2}ms {u:>9.2}ms {speedup:>7.2}x  {reordered} reordered, {elided} elided"
+        );
+        rows_json.push(obj(vec![
+            ("query", Value::Str(name.to_string())),
+            ("costed_ms", num(c)),
+            ("uncosted_ms", num(u)),
+            ("speedup", num(speedup)),
+            ("reordered", Value::Int(reordered as i64)),
+            ("elided", Value::Int(elided as i64)),
+        ]));
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!("geomean speedup: {geomean:.2}x");
+
+    // -- matrix: byte-identity across planner × engine path × layout --
+    let reference: Vec<String> = queries()
+        .iter()
+        .map(|(_, q)| cell(&timing_session, q, &uncosted))
+        .collect();
+    let mut cells = 0usize;
+    let mut identical = true;
+    for shards in [1usize, 2, 8] {
+        let s = session(&docs, shards);
+        for (arm_name, arm) in [("costed", &costed), ("uncosted", &uncosted)] {
+            for vectorized in [true, false] {
+                for (i, (name, q)) in queries().iter().enumerate() {
+                    let opts = arm.clone().with_vectorized(vectorized);
+                    let got = cell(&s, q, &opts);
+                    cells += 1;
+                    if got != reference[i] {
+                        identical = false;
+                        let path = if vectorized { "vec" } else { "scalar" };
+                        eprintln!(
+                            "MISMATCH: {name} [{arm_name}/{path}/x{shards} shards] \
+                             diverged from the uncosted vectorized 1-shard reference"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    println!("matrix: {cells} cells, identical_serializations: {identical}");
+
+    let report = obj(vec![
+        ("bench", Value::Str("plan".to_string())),
+        (
+            "corpus",
+            obj(vec![
+                ("rows", Value::Int(rows as i64)),
+                ("keys", Value::Int(keys as i64)),
+                ("docs", Value::Int(docs.len() as i64)),
+                (
+                    "skew",
+                    Value::Str("tiny relation matches 2 keys".to_string()),
+                ),
+            ]),
+        ),
+        ("runs", Value::Int(runs as i64)),
+        ("queries", Value::Array(rows_json)),
+        ("geomean_speedup", num(geomean)),
+        ("matrix_cells", Value::Int(cells as i64)),
+        ("identical_serializations", Value::Bool(identical)),
+    ]);
+    write(&out_path, &report);
+    println!("wrote {out_path}");
+
+    if !identical {
+        eprintln!("FAIL: costed plans must serialize byte-identically");
+        std::process::exit(1);
+    }
+    if geomean < min_geomean {
+        eprintln!("FAIL: geomean speedup {geomean:.2}x below guardrail {min_geomean:.2}x");
+        std::process::exit(1);
+    }
+}

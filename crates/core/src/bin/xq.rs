@@ -14,8 +14,13 @@
 //!   --baseline           order-aware compiler (no order indifference)
 //!   --unordered          force ordering mode unordered + full analysis
 //!   --explain            print the plan (logical DAG + the flattened
-//!                        physical program with its fused chains) instead
-//!                        of executing
+//!                        physical program with its fused chains), run the
+//!                        query once, and print one coherent table of
+//!                        per-operator estimated vs. actual cardinalities
+//!                        plus fusion and plan-cache statistics
+//!   --no-cost            disable statistics-driven cost-based planning
+//!                        (join reordering, selection ordering); the
+//!                        rule-only planner runs instead
 //!   --sql                print the SQL:1999 translation instead of executing
 //!   --scalar             force the scalar operator-at-a-time engine path
 //!                        (no selection vectors, no fused kernels); results
@@ -60,7 +65,7 @@ const EXIT_IO: i32 = 4;
 fn usage() -> ! {
     eprintln!(
         "usage: xq [--doc url=path]… [--baseline|--unordered] [--explain] \
-         [--scalar] [--time] [--profile] [--threads <n>] [--plan-cache <n>] \
+         [--no-cost] [--scalar] [--time] [--profile] [--threads <n>] [--plan-cache <n>] \
          [--timeout <secs>] [--deadline-ms <ms>] [--max-rows <n>] \
          [--max-nodes <n>] [--max-depth <n>] [--verify] [--inject <spec>] \
          [--quiet] (<query> | --query-file <path>)"
@@ -96,6 +101,7 @@ fn main() {
     let mut inject: Option<String> = None;
     let mut sql = false;
     let mut scalar = false;
+    let mut no_cost = false;
     let mut plan_cache: Option<usize> = None;
     let mut time = false;
     let mut profile = false;
@@ -131,6 +137,7 @@ fn main() {
             }
             "--sql" => sql = true,
             "--scalar" => scalar = true,
+            "--no-cost" => no_cost = true,
             "--threads" => {
                 opts = opts.with_threads(parse_num("--threads", args.next()));
             }
@@ -173,6 +180,10 @@ fn main() {
     }
     let Some(query) = query else { usage() };
     opts = opts.with_budget(budget).with_vectorized(!scalar);
+    // Applied after --baseline/--unordered so it survives either preset.
+    if no_cost {
+        opts.opt.cost = false;
+    }
     // CLI flag wins over the environment fallback.
     let inject = inject.or_else(|| std::env::var("EXRQ_INJECT").ok());
     if let Some(spec) = &inject {
@@ -246,8 +257,34 @@ fn main() {
         print!("{}", plan.plan_text());
         println!("-- physical program --");
         print!("{}", plan.phys_text());
+        // One execution feeds the "actual" column and the fusion
+        // counters; if it fails (budget trip, armed failpoint…) the
+        // table still prints with estimates only.
+        let run = exrquy::RunOptions {
+            deadline,
+            ..Default::default()
+        };
+        let executed = session.execute_with(&plan, &run);
+        let profile = match &executed {
+            Ok(out) => Some(&out.profile),
+            Err(e) => {
+                eprintln!(
+                    "xq: explain run failed, estimates only: {}",
+                    e.render_line()
+                );
+                None
+            }
+        };
+        println!("-- cardinalities (estimated vs actual) --");
+        print!("{}", plan.cardinality_table(profile));
+        if let Some(p) = profile {
+            println!(
+                "fusion: {} phys slot(s), {} fused chain(s) absorbing {} op(s), {} batch(es)",
+                p.vec.phys_slots, p.vec.fused_chains, p.vec.fused_ops, p.vec.batches
+            );
+        }
         let cs = session.cache_stats();
-        eprintln!(
+        println!(
             "plan cache: {} hit(s), {} miss(es), {} uncacheable, {} evicted ({:.0}% hit rate)",
             cs.hits,
             cs.misses,

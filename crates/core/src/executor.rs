@@ -288,6 +288,17 @@ impl Executor {
         let (root, opt_report) =
             try_optimize_with(&mut dag, root, &opts.opt, opts.failpoints.perturbed_rule())
                 .map_err(Error::Opt)?;
+        // Cost-based pass: join-order enumeration and selection ordering
+        // over catalog statistics. Every plan it picks serializes
+        // byte-identically to the canonical plan; `--no-cost`
+        // (`opts.opt.cost = false`) keeps the rule-only planner, in which
+        // case only the cardinality estimates are computed (for explain).
+        let cost_ctx = exrquy_opt::CostContext {
+            stats: Some(self.catalog.stats()),
+            perturb: opts.failpoints.perturbed_stats(),
+        };
+        let (root, cost_report) =
+            exrquy_opt::cost_optimize(&mut dag, root, &opts.opt, &cost_ctx).map_err(Error::Opt)?;
         let stats_final = PlanStats::of(&dag, root);
         // Lower once: executions run the flattened program directly.
         let phys = exrquy_algebra::lower(&dag, root, opts.vectorized);
@@ -299,6 +310,7 @@ impl Executor {
             stats_initial,
             stats_final,
             opt_report,
+            cost_report,
             names,
             step_algo: opts.step_algo,
             budget: opts.budget.clone(),

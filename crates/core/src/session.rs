@@ -9,7 +9,7 @@ use exrquy_compiler::CompileError;
 use exrquy_diag::{CancellationToken, ErrorClass, ErrorCode, ExecutionBudget, Failpoints, Stage};
 use exrquy_engine::{Profile, StepAlgo};
 use exrquy_frontend::{OrderingMode, XqError};
-use exrquy_opt::{OptError, OptOptions, OptReport};
+use exrquy_opt::{CostReport, OptError, OptOptions, OptReport};
 use exrquy_xml::{Catalog, NamePool, ParseError};
 use std::fmt;
 use std::sync::Arc;
@@ -216,6 +216,11 @@ pub struct Prepared {
     /// Plan statistics of the final plan.
     pub stats_final: PlanStats,
     pub opt_report: OptReport,
+    /// Cost-based planning report: per-operator cardinality estimates
+    /// (joined with the execution profile's actual row counts by
+    /// `xq --explain`), join clusters examined/reordered, selection
+    /// chains re-applied, and the cost rewrite trace.
+    pub cost_report: CostReport,
     /// The plan's frozen name-pool snapshot (catalog names plus names the
     /// compiler interned for this query), shared with every execution's
     /// arena — plan rendering and SQL emission borrow it, never copy it.
@@ -260,6 +265,66 @@ impl Prepared {
     /// `xq --explain`).
     pub fn phys_text(&self) -> String {
         self.phys.render(&self.dag)
+    }
+
+    /// The coherent `--explain` cardinality table: one row per operator
+    /// of the final plan (topological order, children before parents)
+    /// with the cost model's estimated cardinality next to the actual
+    /// row count observed by `profile` (when a run's profile is
+    /// supplied). Operators absorbed into fused vectorized chains
+    /// record no actual count and show `-`; so do estimates when the
+    /// cost model could not type an operator.
+    pub fn cardinality_table(&self, profile: Option<&Profile>) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:>6}  {:<12}  {:>12}  {:>10}  {:>8}",
+            "op", "operator", "estimated", "actual", "err"
+        );
+        for id in self.dag.topo_order(self.root) {
+            let est = self.cost_report.estimates.get(&id).copied();
+            let actual = profile.and_then(|p| p.op_rows(id));
+            let est_s = est.map_or_else(|| "-".to_string(), |e| format!("{e:.1}"));
+            let act_s = actual.map_or_else(|| "-".to_string(), |a| a.to_string());
+            // Relative error ×N (estimated/actual, whichever ≥1) — the
+            // at-a-glance "how wrong was the model here" column.
+            let err_s = match (est, actual) {
+                (Some(e), Some(a)) => {
+                    let (e, a) = (e.max(1e-3), a as f64);
+                    let ratio = if a == 0.0 {
+                        e.max(1.0)
+                    } else if e >= a {
+                        e / a
+                    } else {
+                        a / e
+                    };
+                    format!("x{ratio:.1}")
+                }
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "{:>6}  {:<12}  {:>12}  {:>10}  {:>8}",
+                format!("#{}", id.0),
+                self.dag.op(id).kind_name(),
+                est_s,
+                act_s,
+                err_s
+            );
+        }
+        let _ = writeln!(
+            s,
+            "cost: {} join cluster(s), {} reordered ({} compensation sort(s) elided), {} select chain(s) reordered",
+            self.cost_report.clusters,
+            self.cost_report.reordered,
+            self.cost_report.elided,
+            self.cost_report.select_chains
+        );
+        for fired in &self.cost_report.trace {
+            let _ = writeln!(s, "  {} at op #{}", fired.rule, fired.before.0);
+        }
+        s
     }
 
     /// SQL:1999 rendering of the plan (the "XQuery on SQL Hosts" mapping;

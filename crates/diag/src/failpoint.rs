@@ -23,6 +23,10 @@
 //!   rule-perturb:<rule> apply the named rewrite rule in a deliberately
 //!                       unsound variant (a planted optimizer bug; the
 //!                       optimizer decides which rules support it)
+//!   stats-perturb:<f>   deterministically corrupt the cost model's
+//!                       cardinality estimates by factor f (even operator
+//!                       ids ×f, odd ÷f) — wrong statistics may change
+//!                       which plan wins, never what it returns
 //!   panic:<op>          panic (deliberately) when evaluating an operator
 //!                       of the given kind — exercises the serving layer's
 //!                       panic containment (EXRQ0009)
@@ -103,6 +107,10 @@ pub struct Failpoints {
     pub oracle_perturb: Option<OracleArm>,
     /// Apply this named rewrite rule unsoundly (planted optimizer bug).
     pub rule_perturb: Option<String>,
+    /// Corrupt cost-model cardinality estimates by this factor, stored as
+    /// bits so the registry stays `Eq` (planted planner-statistics bug:
+    /// the plan may change, serialized results must not).
+    pub stats_perturb: Option<u64>,
     /// Operator kind (canonical symbol) whose evaluation panics — the
     /// deterministic trigger for the serving layer's panic containment.
     pub panic_op: Option<String>,
@@ -207,6 +215,24 @@ impl Failpoints {
                     })?;
                     fp.rule_perturb = Some(rule.to_string());
                 }
+                "stats-perturb" => {
+                    let raw = arg.filter(|a| !a.is_empty()).ok_or_else(|| {
+                        FailpointSpecError(
+                            "`stats-perturb` needs a factor, e.g. stats-perturb:100".into(),
+                        )
+                    })?;
+                    let f = raw.parse::<f64>().map_err(|_| {
+                        FailpointSpecError(format!(
+                            "`stats-perturb`: cannot parse `{raw}` as a number"
+                        ))
+                    })?;
+                    if !f.is_finite() || f <= 0.0 {
+                        return Err(FailpointSpecError(
+                            "`stats-perturb` factor must be finite and positive".into(),
+                        ));
+                    }
+                    fp.stats_perturb = Some(f.to_bits());
+                }
                 "panic" => {
                     let op = arg.filter(|a| !a.is_empty()).ok_or_else(|| {
                         FailpointSpecError(
@@ -224,7 +250,7 @@ impl Failpoints {
                     return Err(FailpointSpecError(format!(
                         "unknown failpoint `{other}` (expected doc-io, doc-parse, \
                          budget-trip, cancel-after, oracle-perturb, rule-perturb, \
-                         panic, worker-kill, net-torn-write, net-disconnect, \
+                         stats-perturb, panic, worker-kill, net-torn-write, net-disconnect, \
                          net-trickle, net-slow-read)"
                     )))
                 }
@@ -263,6 +289,11 @@ impl Failpoints {
     /// The rewrite rule to apply unsoundly, when armed.
     pub fn perturbed_rule(&self) -> Option<&str> {
         self.rule_perturb.as_deref()
+    }
+
+    /// The cost-model estimate corruption factor, when armed.
+    pub fn perturbed_stats(&self) -> Option<f64> {
+        self.stats_perturb.map(f64::from_bits)
     }
 
     /// Should evaluating an operator of `kind` panic (deliberately)?
@@ -351,6 +382,21 @@ mod tests {
         assert!(!fp.is_empty());
         assert!(Failpoints::parse("rule-perturb").is_err());
         assert!(Failpoints::parse("rule-perturb:").is_err());
+    }
+
+    #[test]
+    fn stats_perturb_arms() {
+        let fp = Failpoints::parse("stats-perturb:100").unwrap();
+        assert_eq!(fp.perturbed_stats(), Some(100.0));
+        assert!(!fp.is_empty());
+        let fp = Failpoints::parse("stats-perturb:0.25").unwrap();
+        assert_eq!(fp.perturbed_stats(), Some(0.25));
+        assert!(Failpoints::parse("stats-perturb").is_err());
+        assert!(Failpoints::parse("stats-perturb:").is_err());
+        assert!(Failpoints::parse("stats-perturb:0").is_err());
+        assert!(Failpoints::parse("stats-perturb:-3").is_err());
+        assert!(Failpoints::parse("stats-perturb:inf").is_err());
+        assert!(Failpoints::parse("stats-perturb:x").is_err());
     }
 
     #[test]

@@ -226,6 +226,7 @@ impl<'d, 's> Engine<'d, 's> {
             let started = Instant::now();
             let table = self.eval_op(id)?;
             self.profile.record(self.dag, id, started.elapsed());
+            self.profile.record_rows(id, table.nrows());
             self.charge_op_output(table.nrows())?;
             self.cache.insert(id, Arc::new(table));
             self.meter.record_op();
@@ -427,6 +428,10 @@ pub(crate) fn eval_pure(
             eval_range(&t, lo, hi, new, meter, vec)
         }
         Op::Serialize { .. } => Ok((*input(0)).clone()),
+        Op::Sort { keys, .. } => {
+            let t = input(0);
+            eval_sort(&t, &keys, vec)
+        }
         Op::Fanout { lo, hi, .. } => {
             let catalog = arena.catalog();
             if hi as usize > catalog.frag_count() {
@@ -1415,6 +1420,36 @@ fn hash_join_pairs<'a>(
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// Stable ascending lexicographic sort by integer key columns — the
+/// order-restoring compensation the cost-based join enumerator grafts
+/// over a reordered join cluster. The rank columns are assigned before
+/// any reordering, so sorting by them reproduces the canonical row
+/// order byte-for-byte regardless of the join order actually executed.
+fn eval_sort(t: &Table, keys: &[Col], vec: bool) -> Result<Table, EvalError> {
+    let key_cols: Vec<Vec<i64>> = keys
+        .iter()
+        .map(|&k| t.col(k).to_int_vec())
+        .collect::<Result<_, _>>()?;
+    let mut idx: Vec<u32> = (0..t.nrows() as u32).collect();
+    // `sort_by` is stable: rows with equal key tuples keep their input
+    // order, which the regraft invariant relies on for duplicate ranks.
+    idx.sort_by(|&a, &b| {
+        for kc in &key_cols {
+            match kc[a as usize].cmp(&kc[b as usize]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(if vec {
+        t.select_rows(idx)
+    } else {
+        let idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
+        t.gather(&idx)
+    })
 }
 
 fn eval_distinct(t: &Table, vec: bool) -> Table {

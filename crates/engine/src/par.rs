@@ -211,6 +211,7 @@ impl Cx<'_, '_> {
                     self.meter,
                 )?;
                 prof.record(self.dag, *id, started.elapsed());
+                prof.record_rows(*id, table.nrows());
                 table
             }
             NodeKind::Fused(steps) => {
@@ -227,6 +228,7 @@ impl Cx<'_, '_> {
                 )?;
                 prof.vec.batches += batches;
                 prof.record(self.dag, out, started.elapsed());
+                prof.record_rows(out, table.nrows());
                 table
             }
             NodeKind::Writer(_) => unreachable!("writers run on the owning thread"),
@@ -498,6 +500,7 @@ fn eval_parallel_graph(
             let table = eval_writer(engine, id, &graph.children[i], &results)?;
             engine.profile.record(dag, id, started.elapsed());
             let nrows = table.nrows();
+            engine.profile.record_rows(id, nrows);
             let _ = results[i].set(Arc::new(table));
             engine.charge_op_output(nrows)?;
             engine.meter.record_op();

@@ -71,6 +71,11 @@ impl VecStats {
 pub struct Profile {
     per_kind: BTreeMap<&'static str, Duration>,
     per_op: BTreeMap<u32, Duration>,
+    /// Output row count per operator instance (the *actual* cardinality
+    /// that `--explain` reports next to the planner's estimate). Fused
+    /// chains record only their final operator; absorbed members have no
+    /// entry.
+    per_op_rows: BTreeMap<u32, u64>,
     total: Duration,
     /// Scheduler counters (parallel executions only; zero when serial).
     pub sched: SchedStats,
@@ -100,6 +105,21 @@ impl Profile {
         self.total += d;
     }
 
+    /// Record the output row count of `op` (latest execution wins).
+    pub fn record_rows(&mut self, op: OpId, nrows: usize) {
+        self.per_op_rows.insert(op.0, nrows as u64);
+    }
+
+    /// Observed output row count of `op`, if it was executed.
+    pub fn op_rows(&self, op: OpId) -> Option<u64> {
+        self.per_op_rows.get(&op.0).copied()
+    }
+
+    /// All observed output row counts, keyed by raw operator id.
+    pub fn rows(&self) -> &BTreeMap<u32, u64> {
+        &self.per_op_rows
+    }
+
     /// Fold another profile into this one (parallel workers each record
     /// into a private profile; the scheduler merges them when the region
     /// joins).
@@ -109,6 +129,9 @@ impl Profile {
         }
         for (op, d) in &other.per_op {
             *self.per_op.entry(*op).or_insert(Duration::ZERO) += *d;
+        }
+        for (op, n) in &other.per_op_rows {
+            self.per_op_rows.insert(*op, *n);
         }
         self.total += other.total;
         self.sched.merge(&other.sched);

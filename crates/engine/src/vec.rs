@@ -51,6 +51,7 @@ pub(crate) fn eval_phys(engine: &mut Engine, plan: &PhysPlan) -> Result<Arc<Tabl
         let started = Instant::now();
         let table = exec_slot(engine, phys, &slots)?;
         engine.profile.record(engine.dag, out_id, started.elapsed());
+        engine.profile.record_rows(out_id, table.nrows());
         engine.charge_op_output(table.nrows())?;
         let t = Arc::new(table);
         engine.cache.insert(out_id, t.clone());

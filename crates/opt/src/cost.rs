@@ -1,0 +1,1849 @@
+//! Statistics-driven cost-based planning: cardinality estimation, join
+//! graph isolation with byte-identical re-grafting, and selectivity-ordered
+//! selection chains.
+//!
+//! This pass runs *after* the rule rewriter ([`crate::try_optimize_with`])
+//! and never changes what a plan returns — only how it is shaped:
+//!
+//! 1. **Cardinality estimation** ([`estimate_cardinalities`]) walks the
+//!    plan bottom-up deriving an estimated row count per operator, consulting
+//!    the catalog's [`CatalogStats`] (element/attribute histograms, fanout,
+//!    fragment weights) when available and falling back to fixed per-kind
+//!    multipliers otherwise. Estimates feed the enumerator below and the
+//!    `--explain` estimated-vs-actual table.
+//!
+//! 2. **Join graph isolation + reordering** (`cost-join-reorder`): a
+//!    maximal cluster of equi-/theta-joins and cross products (with the
+//!    interleaved projections the FLWOR compiler emits) is detached from
+//!    the order-maintenance spine, its join order re-enumerated against the
+//!    cardinality model (exact DP over bitmasks up to 8 relations, greedy
+//!    pairwise merging beyond), and the winning tree grafted back behind an
+//!    order-restoring compensation: every leaf is numbered with a fresh `#`
+//!    rank column, the rebuilt cluster is sorted lexicographically by those
+//!    ranks in the *original* left-to-right leaf order, and a final
+//!    projection restores the cluster root's exact schema. Because every
+//!    join kernel emits each matching pair exactly once and the rank tuple
+//!    is unique per output row, the re-sorted cluster reproduces the
+//!    canonical tree's rows, order, and columns *byte-identically* — the
+//!    enumerator can only make plans faster, never different. While the
+//!    rebuilt tree's *shape* is fixed by the enumerator, each join's
+//!    *orientation* is chosen separately ([`build_join`]): the hash kernel
+//!    always builds its table from the right input, so the side with the
+//!    smaller estimated cardinality is swapped onto the right — a pure
+//!    emission-order permutation the compensation sort absorbs.
+//!
+//!    **Rank-compensation elision** ([`rank_elidable`]): when the
+//!    downstream cone from the cluster root provably cannot observe the
+//!    cluster's row order — the paper's order-indifference condition,
+//!    decided by a conservative column-taint and order-influence abstract
+//!    interpretation — the rank columns and the compensation sort are
+//!    skipped entirely, which is where the large wins come from (an
+//!    unordered aggregate over a reordered star join pays no restore
+//!    cost at all). Any construct the analysis cannot prove indifferent
+//!    keeps the full compensation, so byte-identity holds by
+//!    construction either way.
+//!
+//! 3. **Selection ordering** (`cost-select-order`): chains of stacked σ
+//!    operators are re-applied cheapest-predicate-first. Selections emit the
+//!    surviving rows in input order, so any application order yields the
+//!    same table; the pass is gated on every σ column being produced by a
+//!    boolean-valued function (or boolean attachment), which rules out the
+//!    one observable difference a reorder could cause — a type error raised
+//!    by a row another σ would have filtered.
+//!
+//! Both rewrites honor [`OptOptions::disabled_rules`] and the global
+//! [`OptOptions::cost`] switch, and record [`RuleApplication`]s so the
+//! differential attribution pass of `exrquy-verify` can bisect a divergence
+//! to a single named rule — exactly as for the rule rewriter. The
+//! `stats-perturb:<factor>` failpoint deterministically corrupts estimates
+//! (even operator ids are multiplied by the factor, odd ones divided),
+//! which may change which plan wins but — by the byte-identity argument —
+//! never what it returns.
+
+use crate::props;
+use crate::rewrite::{OptError, OptOptions, RuleApplication};
+use exrquy_algebra::{AggrKind, Col, Dag, FunKind, Op, OpId};
+use exrquy_xml::{Axis, CatalogStats, NodeTest};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Everything the cost model knows beyond the plan itself.
+#[derive(Clone, Default)]
+pub struct CostContext {
+    /// Frozen statistics of the catalog snapshot the plan will run
+    /// against; `None` (no catalog, or stats not collected) falls back to
+    /// fixed per-operator multipliers.
+    pub stats: Option<Arc<CatalogStats>>,
+    /// `stats-perturb:<factor>` failpoint: deterministically corrupt every
+    /// estimate (even `OpId` → ×factor, odd → ÷factor). Plan choice may
+    /// change; serialized results must not.
+    pub perturb: Option<f64>,
+}
+
+impl CostContext {
+    /// Context with catalog statistics and no perturbation.
+    pub fn with_stats(stats: Arc<CatalogStats>) -> Self {
+        CostContext {
+            stats: Some(stats),
+            perturb: None,
+        }
+    }
+}
+
+/// Outcome of one [`cost_optimize`] run.
+#[derive(Debug, Clone, Default)]
+pub struct CostReport {
+    /// Estimated output rows per operator of the *final* plan.
+    pub estimates: HashMap<OpId, f64>,
+    /// Join clusters examined.
+    pub clusters: usize,
+    /// Join clusters actually rebuilt in a cheaper order.
+    pub reordered: usize,
+    /// Reordered clusters whose rank-sort compensation was provably
+    /// unnecessary and therefore elided (order indifference downstream).
+    pub elided: usize,
+    /// Selection chains re-applied in selectivity order.
+    pub select_chains: usize,
+    /// Every cost rewrite, in firing order (same shape as the rule
+    /// rewriter's trace).
+    pub trace: Vec<RuleApplication>,
+}
+
+/// Run the cost-based passes over an already rule-optimized plan. With
+/// [`OptOptions::cost`] off (or both rules disabled) the plan is returned
+/// unchanged, but estimates are still computed so `--explain` can show
+/// them for the rule-only plan.
+pub fn cost_optimize(
+    dag: &mut Dag,
+    root: OpId,
+    opts: &OptOptions,
+    ctx: &CostContext,
+) -> Result<(OpId, CostReport), OptError> {
+    let mut report = CostReport::default();
+    let mut cur = root;
+    if opts.cost && !opts.disabled_rules.contains("cost-join-reorder") {
+        cur = reorder_joins(dag, cur, ctx, &mut report)?;
+    }
+    if opts.cost && !opts.disabled_rules.contains("cost-select-order") {
+        cur = order_selects(dag, cur, ctx, &mut report)?;
+    }
+    report.estimates = estimate_cardinalities(dag, cur, ctx);
+    Ok((cur, report))
+}
+
+// ---------------------------------------------------------------------
+// Cardinality estimation
+// ---------------------------------------------------------------------
+
+/// Estimated output rows for every operator reachable from `root`.
+pub fn estimate_cardinalities(dag: &Dag, root: OpId, ctx: &CostContext) -> HashMap<OpId, f64> {
+    let keys = props::keys(dag, root);
+    let mut est: HashMap<OpId, f64> = HashMap::new();
+    for id in dag.topo_order(root) {
+        let of = |c: OpId, est: &HashMap<OpId, f64>| est.get(&c).copied().unwrap_or(1.0);
+        let op = dag.op(id);
+        let mut e = match op {
+            Op::Lit { rows, .. } => rows.len() as f64,
+            Op::Doc { .. } => 1.0,
+            Op::Fanout { lo, hi, .. } => (hi.saturating_sub(*lo)) as f64,
+            Op::Select { input, .. } => of(*input, &est) * 0.33,
+            Op::Project { input, .. }
+            | Op::RowNum { input, .. }
+            | Op::RowId { input, .. }
+            | Op::Attach { input, .. }
+            | Op::Fun { input, .. }
+            | Op::Sort { input, .. }
+            | Op::Serialize { input } => of(*input, &est),
+            Op::Step { input, axis, test } => step_estimate(of(*input, &est), *axis, test, ctx),
+            Op::Distinct { input } => of(*input, &est) * 0.9,
+            Op::Aggr { input, part, .. } => {
+                if part.is_some() {
+                    (of(*input, &est) * 0.1).max(1.0)
+                } else {
+                    1.0
+                }
+            }
+            Op::Range { input, .. } => of(*input, &est) * 4.0,
+            Op::Cross { l, r } => of(*l, &est) * of(*r, &est),
+            Op::EquiJoin { l, r, lcol, rcol } => {
+                let (lc, rc) = (of(*l, &est), of(*r, &est));
+                lc * rc * eq_selectivity(lc, rc, key_of(&keys, *l, *lcol), key_of(&keys, *r, *rcol))
+            }
+            Op::ThetaJoin { l, r, pred } => {
+                let (lc, rc) = (of(*l, &est), of(*r, &est));
+                let mut sel = 1.0;
+                for (pc, kind, qc) in pred {
+                    sel *= match kind {
+                        FunKind::Eq => {
+                            eq_selectivity(lc, rc, key_of(&keys, *l, *pc), key_of(&keys, *r, *qc))
+                        }
+                        FunKind::Ne => 0.9,
+                        _ => 0.3, // band comparison
+                    };
+                }
+                lc * rc * sel
+            }
+            Op::Union { l, r } => of(*l, &est) + of(*r, &est),
+            Op::ShardUnion { parts } => parts.iter().map(|p| of(*p, &est)).sum(),
+            Op::Difference { l, .. } => of(*l, &est),
+            Op::Element { names, .. } => of(*names, &est),
+            Op::Attr { names, .. } => of(*names, &est),
+            Op::TextNode { content } => of(*content, &est),
+        };
+        if let Some(f) = ctx.perturb {
+            let f = f.abs().max(1e-6);
+            e = if id.0 % 2 == 0 { e * f } else { e / f };
+        }
+        est.insert(id, e.clamp(1e-3, f64::MAX));
+    }
+    est
+}
+
+/// Is `col` inferred globally unique at `id`?
+fn key_of(keys: &props::KeyMap, id: OpId, col: Col) -> bool {
+    keys.get(&id).is_some_and(|k| k.contains(&col))
+}
+
+/// Equi-predicate selectivity `1 / max(ndv_l, ndv_r)`: a key column's
+/// distinct count is its cardinality, a non-key's the square root of it
+/// (the classic "half the information" guess).
+fn eq_selectivity(lcard: f64, rcard: f64, lkey: bool, rkey: bool) -> f64 {
+    let ndv_l = if lkey { lcard } else { lcard.sqrt() };
+    let ndv_r = if rkey { rcard } else { rcard.sqrt() };
+    1.0 / ndv_l.max(ndv_r).max(1.0)
+}
+
+/// Per-context-node yield of one location step, from catalog statistics
+/// when available, fixed per-axis multipliers otherwise.
+fn step_estimate(input: f64, axis: Axis, test: &NodeTest, ctx: &CostContext) -> f64 {
+    if let Some(s) = ctx.stats.as_deref() {
+        let frags = s.frags.max(1) as f64;
+        let elements = s.elements.max(1) as f64;
+        let per = match axis {
+            Axis::Descendant | Axis::DescendantOrSelf => match test {
+                NodeTest::Name(n) => s.elem_count(*n) as f64 / frags,
+                _ => s.total_nodes as f64 / frags,
+            },
+            Axis::Child => match test {
+                NodeTest::Name(n) => s.avg_fanout * (s.elem_count(*n) as f64 / elements),
+                _ => s.avg_fanout,
+            },
+            Axis::Attribute => match test {
+                NodeTest::Name(n) => (s.attr_count(*n) as f64 / elements).min(1.0),
+                _ => 0.8,
+            },
+            Axis::SelfAxis => 0.9,
+            Axis::Parent => 1.0,
+            _ => 4.0,
+        };
+        return input * per.max(1e-3);
+    }
+    let per = match axis {
+        Axis::Descendant | Axis::DescendantOrSelf => 8.0,
+        Axis::Child => 2.0,
+        Axis::Attribute => 0.5,
+        Axis::SelfAxis => 0.9,
+        Axis::Parent => 1.0,
+        _ => 4.0,
+    };
+    input * per
+}
+
+// ---------------------------------------------------------------------
+// Join graph isolation
+// ---------------------------------------------------------------------
+
+/// Reordering is capped at this many cluster leaves (bitmask width minus
+/// headroom); larger clusters keep their canonical order.
+const MAX_LEAVES: usize = 24;
+/// Exact DP up to this many leaves, greedy pairwise merging beyond.
+const DP_LEAVES: usize = 8;
+/// A rebuilt order must beat the canonical cost by this factor — the
+/// compensation sort is not free, so near-ties keep the canonical tree.
+const REBUILD_GAIN: f64 = 0.99;
+
+/// How one original join combined its two subtrees. Each rebuilt join
+/// applies exactly one original bundle (possibly side-mirrored), with the
+/// predicate list order preserved — the engine's join mechanism and match
+/// semantics (`GroupKey` hashing for the first predicate, promoting value
+/// comparison for residuals) therefore stay exactly those of the
+/// canonical tree.
+#[derive(Debug, Clone)]
+enum Mechanism {
+    /// `EquiJoin` on one column pair.
+    Equi { l: (usize, Col), r: (usize, Col) },
+    /// `ThetaJoin` on a conjunction; columns resolved to (leaf, column).
+    Theta { preds: Vec<ThetaPred> },
+}
+
+/// A theta-join conjunct with both columns resolved to (leaf, column).
+type ThetaPred = ((usize, Col), FunKind, (usize, Col));
+
+/// One original join edge: its mechanism plus the leaves its predicates
+/// actually reference on each side. A rebuilt join may apply the bundle
+/// at any cut that puts `lneed` wholly on one side and `rneed` wholly on
+/// the other — joins are cross-product-plus-filter semantically, so the
+/// match set depends only on the referenced columns, not on which other
+/// leaves happen to ride along.
+#[derive(Debug, Clone)]
+struct Bundle {
+    mech: Mechanism,
+    /// Leaves referenced by left-side predicate columns.
+    lneed: u64,
+    /// Leaves referenced by right-side predicate columns.
+    rneed: u64,
+}
+
+impl Bundle {
+    fn support(&self) -> u64 {
+        self.lneed | self.rneed
+    }
+}
+
+/// A join order: leaves at the bottom, each interior node optionally
+/// applying one bundle (`None` = cross product; `bool` = mirrored).
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(usize),
+    Join {
+        l: Box<Tree>,
+        r: Box<Tree>,
+        bundle: Option<(usize, bool)>,
+    },
+}
+
+/// One isolated join cluster, flattened.
+struct Cluster {
+    root: OpId,
+    leaves: Vec<OpId>,
+    bundles: Vec<Bundle>,
+    /// Root schema columns resolved to their (leaf, leaf column) source,
+    /// in root schema order.
+    out: Vec<(Col, usize, Col)>,
+    /// Support mask of every interior join of the canonical tree
+    /// (including the root) — the canonical cost is the sum of their
+    /// estimated cardinalities.
+    supports: Vec<u64>,
+    /// Dissolved interior operators (joins and projections).
+    interiors: Vec<OpId>,
+    /// More than 64 leaves: masks overflowed, skip this cluster.
+    overflow: bool,
+}
+
+/// A join (or cross) the cluster walk may dissolve. Theta joins whose
+/// first predicate is a band comparison stay opaque: the band kernel's
+/// asymmetric mechanics are kept exactly where the canonical plan put
+/// them.
+fn is_cluster_join(op: &Op) -> bool {
+    match op {
+        Op::Cross { .. } | Op::EquiJoin { .. } => true,
+        Op::ThetaJoin { pred, .. } => matches!(
+            pred.first(),
+            Some((_, FunKind::Eq, _)) | Some((_, FunKind::Ne, _))
+        ),
+        _ => false,
+    }
+}
+
+/// May `id` be dissolved into the enclosing cluster? Requires a single
+/// global consumer and a chain of projections bottoming at a join.
+fn dissolvable(dag: &Dag, id: OpId, consumers: &HashMap<OpId, u32>) -> bool {
+    if consumers.get(&id).copied().unwrap_or(0) != 1 {
+        return false;
+    }
+    match dag.op(id) {
+        op if is_cluster_join(op) => true,
+        Op::Project { input, .. } => dissolvable(dag, *input, consumers),
+        _ => false,
+    }
+}
+
+/// Bit for leaf `i` (saturating: clusters past 64 leaves are skipped via
+/// the overflow flag, so a clamped bit never drives a rebuild).
+fn leaf_bit(i: usize) -> u64 {
+    1u64 << (i.min(63))
+}
+
+struct Flattener<'a> {
+    dag: &'a Dag,
+    consumers: &'a HashMap<OpId, u32>,
+    leaves: Vec<OpId>,
+    bundles: Vec<Bundle>,
+    supports: Vec<u64>,
+    interiors: Vec<OpId>,
+    overflow: bool,
+}
+
+type ColMap = HashMap<Col, (usize, Col)>;
+
+impl Flattener<'_> {
+    fn mask(&self, from: usize, to: usize) -> u64 {
+        let mut m = 0u64;
+        for i in from..to {
+            if i < 64 {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// Flatten the subtree at `id` (already known dissolvable, or the
+    /// cluster root); returns the column provenance map at `id`.
+    fn flatten(&mut self, id: OpId, is_root: bool) -> ColMap {
+        if !is_root {
+            self.interiors.push(id);
+        }
+        let op = self.dag.op(id).clone();
+        match op {
+            Op::Project { input, cols } => {
+                let im = self.flatten(input, false);
+                cols.iter()
+                    .filter_map(|(new, src)| im.get(src).map(|&s| (*new, s)))
+                    .collect()
+            }
+            Op::Cross { l, r } => self.merge_sides(id, l, r).0,
+            Op::EquiJoin { l, r, lcol, rcol } => {
+                let (cm, maps) = self.merge_sides(id, l, r);
+                let (lm, rm) = maps;
+                let (a, b) = (lm[&lcol], rm[&rcol]);
+                self.bundles.push(Bundle {
+                    mech: Mechanism::Equi { l: a, r: b },
+                    lneed: leaf_bit(a.0),
+                    rneed: leaf_bit(b.0),
+                });
+                cm
+            }
+            Op::ThetaJoin { l, r, pred } => {
+                let (cm, maps) = self.merge_sides(id, l, r);
+                let (lm, rm) = maps;
+                let preds: Vec<ThetaPred> =
+                    pred.iter().map(|(a, k, b)| (lm[a], *k, rm[b])).collect();
+                let lneed = preds.iter().fold(0, |m, (a, ..)| m | leaf_bit(a.0));
+                let rneed = preds.iter().fold(0, |m, (.., b)| m | leaf_bit(b.0));
+                self.bundles.push(Bundle {
+                    mech: Mechanism::Theta { preds },
+                    lneed,
+                    rneed,
+                });
+                cm
+            }
+            _ => unreachable!("flatten called on a non-interior operator"),
+        }
+    }
+
+    /// Flatten or leaf both sides of a join, record the canonical
+    /// intermediate's leaf set (for the canonical-cost baseline), and
+    /// return the merged column map plus the per-side maps.
+    fn merge_sides(&mut self, id: OpId, l: OpId, r: OpId) -> (ColMap, (ColMap, ColMap)) {
+        let _ = id;
+        let start = self.leaves.len();
+        let lm = self.child(l);
+        let rm = self.child(r);
+        let end = self.leaves.len();
+        self.supports.push(self.mask(start, end));
+        let mut cm = lm.clone();
+        cm.extend(rm.iter().map(|(c, s)| (*c, *s)));
+        (cm, (lm, rm))
+    }
+
+    fn child(&mut self, id: OpId) -> ColMap {
+        if dissolvable(self.dag, id, self.consumers) {
+            self.flatten(id, false)
+        } else {
+            self.leaf(id)
+        }
+    }
+
+    fn leaf(&mut self, id: OpId) -> ColMap {
+        let idx = self.leaves.len();
+        if idx >= 64 {
+            self.overflow = true;
+        }
+        self.leaves.push(id);
+        self.dag.schema(id).iter().map(|&c| (c, (idx, c))).collect()
+    }
+}
+
+/// Global consumer counts (with multiplicity) over the plan.
+fn consumer_counts(dag: &Dag, root: OpId) -> HashMap<OpId, u32> {
+    let mut counts: HashMap<OpId, u32> = HashMap::new();
+    for id in dag.topo_order(root) {
+        for c in dag.op(id).children() {
+            *counts.entry(c).or_default() += 1;
+        }
+    }
+    counts
+}
+
+/// The cardinality model over one cluster's leaves and bundles.
+struct CardModel {
+    leafcard: Vec<f64>,
+    sels: Vec<f64>,
+    supports: Vec<u64>,
+}
+
+impl CardModel {
+    fn new(cluster: &Cluster, est: &HashMap<OpId, f64>, keys: &props::KeyMap) -> Self {
+        let leafcard: Vec<f64> = cluster
+            .leaves
+            .iter()
+            .map(|l| est.get(l).copied().unwrap_or(1.0))
+            .collect();
+        let ndv = |(i, c): (usize, Col)| -> f64 {
+            let card = leafcard[i];
+            if key_of(keys, cluster.leaves[i], c) {
+                card
+            } else {
+                card.sqrt()
+            }
+        };
+        let sels = cluster
+            .bundles
+            .iter()
+            .map(|b| {
+                let s = match &b.mech {
+                    Mechanism::Equi { l, r } => 1.0 / ndv(*l).max(ndv(*r)).max(1.0),
+                    Mechanism::Theta { preds } => preds
+                        .iter()
+                        .map(|(l, k, r)| match k {
+                            FunKind::Eq => 1.0 / ndv(*l).max(ndv(*r)).max(1.0),
+                            FunKind::Ne => 0.9,
+                            _ => 0.3,
+                        })
+                        .product(),
+                };
+                f64::max(s, 1e-9)
+            })
+            .collect();
+        CardModel {
+            leafcard,
+            sels,
+            supports: cluster.bundles.iter().map(Bundle::support).collect(),
+        }
+    }
+
+    /// Estimated rows of the join of the leaf set `mask`, with every
+    /// bundle whose support lies inside it applied.
+    fn card(&self, mask: u64) -> f64 {
+        let mut c = 1.0;
+        for (i, &lc) in self.leafcard.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                c *= lc;
+            }
+        }
+        for (s, &sup) in self.sels.iter().zip(&self.supports) {
+            if sup & mask == sup {
+                c *= s;
+            }
+        }
+        c
+    }
+}
+
+/// Bundles of `model` forced at the cut `(s1, s2)`: support inside the
+/// union but astride the cut. Returns `None` (invalid cut) when more than
+/// one is forced or a forced bundle's sides straddle; `Some(None)` is a
+/// cross product, `Some(Some((idx, mirrored)))` the one applied bundle.
+fn forced_bundle(bundles: &[Bundle], s1: u64, s2: u64) -> Option<Option<(usize, bool)>> {
+    let union = s1 | s2;
+    let mut found: Option<(usize, bool)> = None;
+    for (i, b) in bundles.iter().enumerate() {
+        let sup = b.support();
+        if sup & union != sup || sup & s1 == sup || sup & s2 == sup {
+            continue;
+        }
+        let orient = if b.lneed & s1 == b.lneed && b.rneed & s2 == b.rneed {
+            (i, false)
+        } else if b.lneed & s2 == b.lneed && b.rneed & s1 == b.rneed {
+            (i, true)
+        } else {
+            return None; // one side's references straddle the cut
+        };
+        if found.is_some() {
+            return None; // two bundles forced: cut separates both
+        }
+        found = Some(orient);
+    }
+    Some(found)
+}
+
+/// Exact dynamic program over leaf subsets (≤ [`DP_LEAVES`] leaves).
+fn enumerate_dp(n: usize, bundles: &[Bundle], model: &CardModel) -> Option<(f64, Tree)> {
+    let full = (1u64 << n) - 1;
+    let mut dp: Vec<Option<(f64, Tree)>> = vec![None; (full + 1) as usize];
+    for i in 0..n {
+        dp[1 << i] = Some((0.0, Tree::Leaf(i)));
+    }
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let low = mask & mask.wrapping_neg();
+        let mut best: Option<(f64, Tree)> = None;
+        // Enumerate proper submasks containing the lowest bit: left/right
+        // assignment is symmetric in cost, the bundle orientation flag
+        // covers the rest.
+        let mut s1 = (mask - 1) & mask;
+        while s1 > 0 {
+            let s2 = mask ^ s1;
+            if s1 & low != 0 {
+                if let (Some((c1, t1)), Some((c2, t2))) = (&dp[s1 as usize], &dp[s2 as usize]) {
+                    if let Some(bundle) = forced_bundle(bundles, s1, s2) {
+                        let cost = c1 + c2 + model.card(mask);
+                        if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                            best = Some((
+                                cost,
+                                Tree::Join {
+                                    l: Box::new(t1.clone()),
+                                    r: Box::new(t2.clone()),
+                                    bundle,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            s1 = (s1 - 1) & mask;
+        }
+        dp[mask as usize] = best;
+    }
+    dp[full as usize].take()
+}
+
+/// Greedy pairwise merging for clusters too large for the exact DP:
+/// repeatedly fuse the valid component pair with the smallest estimated
+/// result, preferring bundle-connected pairs over cross products. Bails
+/// out (`None` → keep canonical) if no valid pair remains.
+fn enumerate_greedy(n: usize, bundles: &[Bundle], model: &CardModel) -> Option<(f64, Tree)> {
+    /// Best fusion candidate: (connected, cost, i, j, bundle idx + mirror).
+    type Best = (bool, f64, usize, usize, Option<(usize, bool)>);
+    let mut comps: Vec<(u64, f64, Tree)> = (0..n).map(|i| (1 << i, 0.0, Tree::Leaf(i))).collect();
+    while comps.len() > 1 {
+        let mut best: Option<Best> = None;
+        for i in 0..comps.len() {
+            for j in (i + 1)..comps.len() {
+                let (mi, mj) = (comps[i].0, comps[j].0);
+                let Some(bundle) = forced_bundle(bundles, mi, mj) else {
+                    continue;
+                };
+                let key = (bundle.is_none(), model.card(mi | mj));
+                if best
+                    .as_ref()
+                    .is_none_or(|(cross, card, ..)| key < (*cross, *card))
+                {
+                    best = Some((key.0, key.1, i, j, bundle));
+                }
+            }
+        }
+        let (_, card, i, j, bundle) = best?;
+        let (mj, cj, tj) = comps.swap_remove(j);
+        let (mi, ci, ti) = std::mem::replace(&mut comps[i], (0, 0.0, Tree::Leaf(0)));
+        comps[i] = (
+            mi | mj,
+            ci + cj + card,
+            Tree::Join {
+                l: Box::new(ti),
+                r: Box::new(tj),
+                bundle,
+            },
+        );
+    }
+    let (_, cost, tree) = comps.pop()?;
+    Some((cost, tree))
+}
+
+/// Post-order leaf sets of `tree`'s internal joins plus its leaf order —
+/// a tree reproduces the canonical shape exactly when its leaves read
+/// `0..n` left to right *and* its internal sets match the canonical
+/// supports (same post-order). Guard against rebuilding an identical tree
+/// just to pay for the compensation sort.
+fn tree_shape(tree: &Tree, leaves: &mut Vec<usize>, internals: &mut Vec<u64>) -> u64 {
+    match tree {
+        Tree::Leaf(i) => {
+            leaves.push(*i);
+            leaf_bit(*i)
+        }
+        Tree::Join { l, r, .. } => {
+            let m = tree_shape(l, leaves, internals) | tree_shape(r, leaves, internals);
+            internals.push(m);
+            m
+        }
+    }
+}
+
+/// The `cost-join-reorder` pass over the whole plan.
+fn reorder_joins(
+    dag: &mut Dag,
+    root: OpId,
+    ctx: &CostContext,
+    report: &mut CostReport,
+) -> Result<OpId, OptError> {
+    let topo = dag.topo_order(root);
+    let consumers = consumer_counts(dag, root);
+    let keys = props::keys(dag, root);
+    let est = estimate_cardinalities(dag, root, ctx);
+    let consts = const_cols(dag, &topo);
+
+    // Pass A (detection, parents first): find maximal cluster roots, pick
+    // a cheaper order where one exists.
+    let mut processed: HashSet<OpId> = HashSet::new();
+    let mut decisions: HashMap<OpId, (Cluster, Tree, bool, CardModel)> = HashMap::new();
+    for &id in topo.iter().rev() {
+        if processed.contains(&id) || !is_cluster_join(dag.op(id)) {
+            continue;
+        }
+        let mut fl = Flattener {
+            dag,
+            consumers: &consumers,
+            leaves: Vec::new(),
+            bundles: Vec::new(),
+            supports: Vec::new(),
+            interiors: Vec::new(),
+            overflow: false,
+        };
+        let cm = fl.flatten(id, true);
+        let cluster = Cluster {
+            root: id,
+            out: dag
+                .schema(id)
+                .iter()
+                .map(|&c| {
+                    let (li, lc) = cm[&c];
+                    (c, li, lc)
+                })
+                .collect(),
+            leaves: fl.leaves,
+            bundles: fl.bundles,
+            supports: fl.supports,
+            interiors: fl.interiors,
+            overflow: fl.overflow,
+        };
+        processed.insert(id);
+        processed.extend(cluster.interiors.iter().copied());
+        report.clusters += 1;
+        let n = cluster.leaves.len();
+        if !(3..=MAX_LEAVES).contains(&n) || cluster.overflow {
+            continue;
+        }
+        let model = CardModel::new(&cluster, &est, &keys);
+        let canonical: f64 = cluster.supports.iter().map(|&s| model.card(s)).sum();
+        let found = if n <= DP_LEAVES {
+            enumerate_dp(n, &cluster.bundles, &model)
+        } else {
+            enumerate_greedy(n, &cluster.bundles, &model)
+        };
+        let Some((cost, tree)) = found else { continue };
+        let (mut order, mut internals) = (Vec::new(), Vec::new());
+        tree_shape(&tree, &mut order, &mut internals);
+        let identity = order.iter().copied().eq(0..n) && internals == cluster.supports;
+        if cost < canonical * REBUILD_GAIN && !identity {
+            let elide = rank_elidable(dag, root, id, &topo, &keys, &consts);
+            decisions.insert(id, (cluster, tree, elide, model));
+        }
+    }
+    if decisions.is_empty() {
+        return Ok(root);
+    }
+
+    // Pass B (rebuild, children first): graft each winning order back in
+    // behind its order-restoring compensation.
+    let mut memo: HashMap<OpId, OpId> = HashMap::new();
+    for &id in &topo {
+        if let Some((cluster, tree, elide, model)) = decisions.get(&id) {
+            let new = graft(dag, cluster, tree, &memo, *elide, model)?;
+            report.reordered += 1;
+            report.elided += usize::from(*elide);
+            report.trace.push(RuleApplication {
+                round: 0,
+                rule: "cost-join-reorder",
+                before: id,
+                after: new,
+            });
+            memo.insert(id, new);
+            continue;
+        }
+        let op = dag.op(id).clone();
+        let mapped: Vec<OpId> = op
+            .children()
+            .iter()
+            .map(|c| memo.get(c).copied().unwrap_or(*c))
+            .collect();
+        let new = if mapped == op.children() {
+            id
+        } else {
+            dag.try_add(op.with_children(&mapped))
+                .map_err(|e| opt_err("cost-join-reorder", id, dag, e.0))?
+        };
+        memo.insert(id, new);
+    }
+    let new_root = memo[&root];
+    dag.validate_plan(new_root)
+        .map_err(|e| opt_err("cost-join-reorder", new_root, dag, e.0))?;
+    Ok(new_root)
+}
+
+fn opt_err(rule: &'static str, op: OpId, dag: &Dag, message: String) -> OptError {
+    OptError {
+        rule,
+        op,
+        kind: if (op.0 as usize) < dag.len() {
+            dag.op(op).kind_name()
+        } else {
+            "?"
+        },
+        round: 0,
+        message,
+    }
+}
+
+/// Materialize the chosen order: rank + rename every leaf, build the join
+/// tree, sort by the ranks in original leaf order, restore the root
+/// schema. With `elide` (downstream provably cannot observe the cluster's
+/// row order, see [`rank_elidable`]) the rank columns and the sort are
+/// skipped entirely — the rebuilt tree's own emission order stands.
+fn graft(
+    dag: &mut Dag,
+    cluster: &Cluster,
+    tree: &Tree,
+    memo: &HashMap<OpId, OpId>,
+    elide: bool,
+    model: &CardModel,
+) -> Result<OpId, OptError> {
+    let rule = "cost-join-reorder";
+    let n = cluster.leaves.len();
+    // Fresh names: one rank column per leaf occurrence plus one rename per
+    // leaf column, so rebuilt join schemas are disjoint by construction.
+    let ranks: Vec<Col> = (0..n).map(|_| dag.fresh_col()).collect();
+    let mut fresh: HashMap<(usize, Col), Col> = HashMap::new();
+    let mut bases: Vec<OpId> = Vec::with_capacity(n);
+    for (i, &leaf) in cluster.leaves.iter().enumerate() {
+        let input = memo.get(&leaf).copied().unwrap_or(leaf);
+        let schema: Vec<Col> = dag.schema(input).to_vec();
+        let base = if elide {
+            input
+        } else {
+            dag.try_add(Op::RowId {
+                input,
+                new: ranks[i],
+            })
+            .map_err(|e| opt_err(rule, leaf, dag, e.0))?
+        };
+        let mut cols: Vec<(Col, Col)> = Vec::with_capacity(schema.len() + 1);
+        for &c in &schema {
+            let f = dag.fresh_col();
+            fresh.insert((i, c), f);
+            cols.push((f, c));
+        }
+        if !elide {
+            cols.push((ranks[i], ranks[i]));
+        }
+        let renamed = dag
+            .try_add(Op::Project { input: base, cols })
+            .map_err(|e| opt_err(rule, leaf, dag, e.0))?;
+        bases.push(renamed);
+    }
+    let (joined, _) = build_join(dag, cluster, tree, &bases, &fresh, model)?;
+    let restored = if elide {
+        joined
+    } else {
+        dag.try_add(Op::Sort {
+            input: joined,
+            keys: ranks,
+        })
+        .map_err(|e| opt_err(rule, cluster.root, dag, e.0))?
+    };
+    let cols: Vec<(Col, Col)> = cluster
+        .out
+        .iter()
+        .map(|&(c, li, lc)| (c, fresh[&(li, lc)]))
+        .collect();
+    dag.try_add(Op::Project {
+        input: restored,
+        cols,
+    })
+    .map_err(|e| opt_err(rule, cluster.root, dag, e.0))
+}
+
+/// Build the rebuilt join tree bottom-up, returning the op and its leaf
+/// mask. Every join is oriented so the side with the *smaller* estimated
+/// cardinality lands on the right: the hash-join kernels build their
+/// table from the right input and probe with the left, so the estimate
+/// decides the build side. Orientation only permutes emission order,
+/// which the compensation sort (or its proven elision) already absorbs.
+fn build_join(
+    dag: &mut Dag,
+    cluster: &Cluster,
+    tree: &Tree,
+    bases: &[OpId],
+    fresh: &HashMap<(usize, Col), Col>,
+    model: &CardModel,
+) -> Result<(OpId, u64), OptError> {
+    let rule = "cost-join-reorder";
+    match tree {
+        Tree::Leaf(i) => Ok((bases[*i], leaf_bit(*i))),
+        Tree::Join { l, r, bundle } => {
+            let (mut lid, lmask) = build_join(dag, cluster, l, bases, fresh, model)?;
+            let (mut rid, rmask) = build_join(dag, cluster, r, bases, fresh, model)?;
+            let mut flip = false;
+            if model.card(lmask) < model.card(rmask) {
+                std::mem::swap(&mut lid, &mut rid);
+                flip = true;
+            }
+            let op = match bundle {
+                None => Op::Cross { l: lid, r: rid },
+                Some((bi, mirrored)) => match &cluster.bundles[*bi].mech {
+                    Mechanism::Equi { l: a, r: b } => {
+                        let (a, b) = if *mirrored != flip { (b, a) } else { (a, b) };
+                        Op::EquiJoin {
+                            l: lid,
+                            r: rid,
+                            lcol: fresh[a],
+                            rcol: fresh[b],
+                        }
+                    }
+                    Mechanism::Theta { preds } => {
+                        let pred = preds
+                            .iter()
+                            .map(|(a, k, b)| {
+                                if *mirrored != flip {
+                                    (fresh[b], k.mirror(), fresh[a])
+                                } else {
+                                    (fresh[a], *k, fresh[b])
+                                }
+                            })
+                            .collect();
+                        Op::ThetaJoin {
+                            l: lid,
+                            r: rid,
+                            pred,
+                        }
+                    }
+                },
+            };
+            let id = dag
+                .try_add(op)
+                .map_err(|e| opt_err(rule, cluster.root, dag, e.0))?;
+            Ok((id, lmask | rmask))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rank-compensation elision
+// ---------------------------------------------------------------------
+
+/// Taint marker for a column whose values were merged from *different*
+/// `#` sources by a union; any use of such a column bails.
+const CONFLICT: u32 = u32::MAX;
+
+/// Per-operator sets of columns provably holding at most one distinct
+/// value (the unit-loop `iter`, attached constants, and everything that
+/// carries them unchanged). A constant partition column means a grouped
+/// aggregate has at most one group, which makes it as strong an
+/// order-dependence pinch as an unpartitioned one.
+fn const_cols(dag: &Dag, topo: &[OpId]) -> HashMap<OpId, HashSet<Col>> {
+    let mut out: HashMap<OpId, HashSet<Col>> = HashMap::new();
+    for &id in topo {
+        let get = |m: &HashMap<OpId, HashSet<Col>>, c: OpId, col: Col| {
+            m.get(&c).is_some_and(|s| s.contains(&col))
+        };
+        let set: HashSet<Col> = match dag.op(id) {
+            Op::Lit { cols, rows } => {
+                if rows.len() <= 1 {
+                    cols.iter().copied().collect()
+                } else {
+                    cols.iter()
+                        .enumerate()
+                        .filter(|&(i, _)| rows.iter().all(|r| r[i] == rows[0][i]))
+                        .map(|(_, &c)| c)
+                        .collect()
+                }
+            }
+            // One row: the document root.
+            Op::Doc { .. } => dag.schema(id).iter().copied().collect(),
+            Op::Fanout { lo, hi, .. } => {
+                if hi.saturating_sub(*lo) <= 1 {
+                    dag.schema(id).iter().copied().collect()
+                } else {
+                    HashSet::new()
+                }
+            }
+            Op::Attach { input, col, .. } => {
+                let mut s = out.get(input).cloned().unwrap_or_default();
+                s.insert(*col);
+                s
+            }
+            Op::Project { input, cols } => cols
+                .iter()
+                .filter(|(_, inp)| get(&out, *input, *inp))
+                .map(|&(o, _)| o)
+                .collect(),
+            Op::Fun {
+                input, new, args, ..
+            } => {
+                let mut s = out.get(input).cloned().unwrap_or_default();
+                if args.iter().all(|a| s.contains(a)) {
+                    s.insert(*new);
+                }
+                s
+            }
+            Op::Select { input, .. }
+            | Op::Sort { input, .. }
+            | Op::Distinct { input }
+            | Op::Serialize { input } => out.get(input).cloned().unwrap_or_default(),
+            // New numbering columns are not constant; carried ones are.
+            Op::RowId { input, .. } | Op::RowNum { input, .. } | Op::Range { input, .. } => out
+                .get(input)
+                .map(|s| {
+                    dag.schema(id)
+                        .iter()
+                        .filter(|c| s.contains(c))
+                        .copied()
+                        .collect()
+                })
+                .unwrap_or_default(),
+            Op::Aggr { input, part, .. } => {
+                part.filter(|p| get(&out, *input, *p)).into_iter().collect()
+            }
+            // The step replaces `item`; only a constant iter survives.
+            Op::Step { input, .. } => {
+                if get(&out, *input, Col::ITER) {
+                    [Col::ITER].into_iter().collect()
+                } else {
+                    HashSet::new()
+                }
+            }
+            Op::Cross { l, r } | Op::EquiJoin { l, r, .. } | Op::ThetaJoin { l, r, .. } => {
+                let mut s = out.get(l).cloned().unwrap_or_default();
+                if let Some(rs) = out.get(r) {
+                    s.extend(rs.iter().copied());
+                }
+                s
+            }
+            Op::Difference { l, .. } => out.get(l).cloned().unwrap_or_default(),
+            // Two branches may carry different single values.
+            Op::Union { .. }
+            | Op::ShardUnion { .. }
+            | Op::Element { .. }
+            | Op::Attr { .. }
+            | Op::TextNode { .. } => HashSet::new(),
+        };
+        out.insert(id, set);
+    }
+    out
+}
+
+/// Decide whether the rank-sort compensation for the cluster rooted at
+/// `start` can be elided: walk the downstream cone from `start` to `root`
+/// proving that no operator can translate the cluster's *row order* into
+/// observable output. Row-order influence propagates through per-row
+/// operators; `#` inside the cone turns order into *opaque* ids, tracked
+/// per column and accepted only where bijection-invariant (equality
+/// against ids of the same source, grouping keys); `%`, f64-accumulating
+/// aggregates, node constructors, and an influenced serialization root
+/// all bail. Influence dies at an aggregate with at most one group (no
+/// partition column, or a provably constant one) or a sort whose keys
+/// include a proven unique key. Anything this walk cannot vouch for keeps
+/// the compensation — elision can only be a strict subset of the safe
+/// cases.
+fn rank_elidable(
+    dag: &Dag,
+    root: OpId,
+    start: OpId,
+    topo: &[OpId],
+    keys: &props::KeyMap,
+    consts: &HashMap<OpId, HashSet<Col>>,
+) -> bool {
+    let mut influenced: HashSet<OpId> = HashSet::new();
+    let mut taints: HashMap<OpId, HashMap<Col, u32>> = HashMap::new();
+    influenced.insert(start);
+
+    let t = |taints: &HashMap<OpId, HashMap<Col, u32>>, op: OpId, col: Col| -> Option<u32> {
+        taints.get(&op).and_then(|m| m.get(&col).copied())
+    };
+    // Equality across two possibly-tainted columns is invariant only when
+    // both are clean or both carry ids of one identical `#` source.
+    let eq_ok = |a: Option<u32>, b: Option<u32>| a == b && a != Some(CONFLICT);
+
+    for &id in topo {
+        if id == start {
+            continue;
+        }
+        let op = dag.op(id);
+        let kids = op.children();
+        let any_influence = kids.iter().any(|c| influenced.contains(c));
+        let any_taint = kids
+            .iter()
+            .any(|c| taints.get(c).is_some_and(|m| !m.is_empty()));
+        if !any_influence && !any_taint {
+            continue;
+        }
+        let mut out_taint: HashMap<Col, u32> = HashMap::new();
+        let mut out_influence = any_influence;
+        match op {
+            Op::Project { input, cols } => {
+                for &(o, i) in cols {
+                    if let Some(s) = t(&taints, *input, i) {
+                        out_taint.insert(o, s);
+                    }
+                }
+            }
+            Op::Select { input, col } => {
+                if t(&taints, *input, *col).is_some() {
+                    return false;
+                }
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+            }
+            Op::Attach { input, .. } => {
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+            }
+            Op::Fun {
+                input,
+                new,
+                kind,
+                args,
+            } => {
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+                let srcs: Vec<Option<u32>> = args.iter().map(|a| t(&taints, *input, *a)).collect();
+                if srcs.iter().any(Option::is_some) {
+                    let id_eq = matches!(kind, FunKind::Eq | FunKind::Ne)
+                        && srcs.len() == 2
+                        && eq_ok(srcs[0], srcs[1]);
+                    if !id_eq {
+                        return false;
+                    }
+                }
+                out_taint.remove(new);
+            }
+            Op::RowId { input, new } => {
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+                if influenced.contains(input) {
+                    out_taint.insert(*new, id.0);
+                } else {
+                    out_taint.remove(new);
+                }
+            }
+            Op::RowNum {
+                input,
+                new,
+                order,
+                part,
+            } => {
+                if part.is_some_and(|p| t(&taints, *input, p).is_some())
+                    || order.iter().any(|k| t(&taints, *input, k.col).is_some())
+                {
+                    return false;
+                }
+                if influenced.contains(input) && !order.iter().any(|k| key_of(keys, *input, k.col))
+                {
+                    // Rank values would depend on arrival order.
+                    return false;
+                }
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+                out_taint.remove(new);
+            }
+            Op::Aggr {
+                input,
+                kind,
+                new,
+                arg,
+                part,
+            } => {
+                if arg.is_some_and(|a| t(&taints, *input, a).is_some()) {
+                    return false;
+                }
+                let inf = influenced.contains(input);
+                if inf
+                    && matches!(
+                        kind,
+                        AggrKind::Sum | AggrKind::Avg | AggrKind::Ebv | AggrKind::StrJoin
+                    )
+                {
+                    // f64 accumulation order / tie-broken concatenation /
+                    // sequence EBV all observe arrival order.
+                    return false;
+                }
+                match part {
+                    None => out_influence = false,
+                    Some(p) => {
+                        let psrc = t(&taints, *input, *p);
+                        if psrc == Some(CONFLICT) {
+                            return false;
+                        }
+                        if let Some(s) = psrc {
+                            out_taint.insert(*p, s);
+                        }
+                        let single_group = consts.get(input).is_some_and(|s| s.contains(p));
+                        out_influence = inf && !single_group;
+                    }
+                }
+                out_taint.remove(new);
+            }
+            Op::Distinct { input } => {
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+                if out_taint.values().any(|&s| s == CONFLICT) {
+                    return false;
+                }
+            }
+            Op::Step { input, .. } => {
+                if t(&taints, *input, Col::ITEM).is_some() {
+                    return false;
+                }
+                if let Some(s) = t(&taints, *input, Col::ITER) {
+                    out_taint.insert(Col::ITER, s);
+                }
+            }
+            Op::Cross { l, r } => {
+                out_taint = taints.get(l).cloned().unwrap_or_default();
+                out_taint.extend(taints.get(r).cloned().unwrap_or_default());
+            }
+            Op::EquiJoin { l, r, lcol, rcol } => {
+                if !eq_ok(t(&taints, *l, *lcol), t(&taints, *r, *rcol)) {
+                    return false;
+                }
+                out_taint = taints.get(l).cloned().unwrap_or_default();
+                out_taint.extend(taints.get(r).cloned().unwrap_or_default());
+            }
+            Op::ThetaJoin { l, r, pred } => {
+                for &(a, k, b) in pred {
+                    let (sa, sb) = (t(&taints, *l, a), t(&taints, *r, b));
+                    let clean = sa.is_none() && sb.is_none();
+                    let id_eq = matches!(k, FunKind::Eq | FunKind::Ne) && eq_ok(sa, sb);
+                    if !clean && !id_eq {
+                        return false;
+                    }
+                }
+                out_taint = taints.get(l).cloned().unwrap_or_default();
+                out_taint.extend(taints.get(r).cloned().unwrap_or_default());
+            }
+            Op::Union { l, r } => {
+                for &c in dag.schema(id) {
+                    match (t(&taints, *l, c), t(&taints, *r, c)) {
+                        (None, None) => {}
+                        (a, b) if a == b => {
+                            out_taint.insert(c, a.unwrap());
+                        }
+                        _ => {
+                            out_taint.insert(c, CONFLICT);
+                        }
+                    }
+                }
+            }
+            Op::ShardUnion { parts } => {
+                for &c in dag.schema(id) {
+                    let srcs: Vec<Option<u32>> = parts.iter().map(|p| t(&taints, *p, c)).collect();
+                    if srcs.iter().all(Option::is_none) {
+                        continue;
+                    }
+                    if srcs.windows(2).all(|w| w[0] == w[1]) {
+                        out_taint.insert(c, srcs[0].unwrap_or(CONFLICT));
+                    } else {
+                        out_taint.insert(c, CONFLICT);
+                    }
+                }
+            }
+            Op::Difference { l, r, on } => {
+                for &(lc, rc) in on {
+                    if !eq_ok(t(&taints, *l, lc), t(&taints, *r, rc)) {
+                        return false;
+                    }
+                }
+                // Anti-semijoin: `r` contributes a value *set* only.
+                out_taint = taints.get(l).cloned().unwrap_or_default();
+                out_influence = influenced.contains(l);
+            }
+            Op::Sort { input, keys: ks } => {
+                if ks.iter().any(|k| t(&taints, *input, *k).is_some()) {
+                    return false;
+                }
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+                // A unique sort key re-canonicalizes the row order.
+                if ks.iter().any(|k| key_of(keys, *input, *k)) {
+                    out_influence = false;
+                }
+            }
+            Op::Range { input, lo, hi, new } => {
+                if t(&taints, *input, *lo).is_some() || t(&taints, *input, *hi).is_some() {
+                    return false;
+                }
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+                out_taint.remove(new);
+            }
+            Op::Serialize { input } => {
+                out_taint = taints.get(input).cloned().unwrap_or_default();
+            }
+            // Node constructors fix the identity (and hence document
+            // order) of new nodes by arrival order; anything else is
+            // outside the proof.
+            Op::Element { .. }
+            | Op::Attr { .. }
+            | Op::TextNode { .. }
+            | Op::Lit { .. }
+            | Op::Doc { .. }
+            | Op::Fanout { .. } => return false,
+        }
+        if out_influence {
+            influenced.insert(id);
+        }
+        if !out_taint.is_empty() {
+            taints.insert(id, out_taint);
+        }
+    }
+    !influenced.contains(&root) && taints.get(&root).is_none_or(|m| m.is_empty())
+}
+
+// ---------------------------------------------------------------------
+// Selection ordering
+// ---------------------------------------------------------------------
+
+/// What produces a σ column's values, when they are provably boolean.
+enum BoolSrc {
+    Fun(FunKind),
+    Const,
+}
+
+/// Walk down from `id` to the producer of `col`; `Some` only when every
+/// value is a boolean (so a σ on it can never raise a type error and its
+/// application order is unobservable).
+fn bool_producer(dag: &Dag, id: OpId, col: Col) -> Option<BoolSrc> {
+    match dag.op(id) {
+        Op::Fun {
+            input, new, kind, ..
+        } => {
+            if *new == col {
+                if bool_valued(*kind) {
+                    Some(BoolSrc::Fun(*kind))
+                } else {
+                    None
+                }
+            } else {
+                bool_producer(dag, *input, col)
+            }
+        }
+        Op::Attach {
+            input,
+            col: c,
+            value,
+        } => {
+            if *c == col {
+                matches!(value, exrquy_algebra::AValue::Bool(_)).then_some(BoolSrc::Const)
+            } else {
+                bool_producer(dag, *input, col)
+            }
+        }
+        Op::Project { input, cols } => cols
+            .iter()
+            .find(|(new, _)| *new == col)
+            .and_then(|(_, src)| bool_producer(dag, *input, *src)),
+        Op::Select { input, .. }
+        | Op::Distinct { input }
+        | Op::Sort { input, .. }
+        | Op::Serialize { input } => bool_producer(dag, *input, col),
+        Op::RowNum { input, new, .. } | Op::RowId { input, new } => (*new != col)
+            .then(|| bool_producer(dag, *input, col))
+            .flatten(),
+        Op::Range { input, new, .. } => (*new != col)
+            .then(|| bool_producer(dag, *input, col))
+            .flatten(),
+        Op::Cross { l, r } | Op::EquiJoin { l, r, .. } | Op::ThetaJoin { l, r, .. } => {
+            if dag.schema(*l).contains(&col) {
+                bool_producer(dag, *l, col)
+            } else {
+                bool_producer(dag, *r, col)
+            }
+        }
+        Op::Union { l, r } => bool_producer(dag, *l, col).and_then(|_| bool_producer(dag, *r, col)),
+        Op::ShardUnion { parts } => {
+            let mut src = None;
+            for p in parts {
+                src = bool_producer(dag, *p, col);
+                src.as_ref()?;
+            }
+            src
+        }
+        _ => None,
+    }
+}
+
+/// Function kinds that always yield a boolean on success.
+fn bool_valued(kind: FunKind) -> bool {
+    matches!(
+        kind,
+        FunKind::Eq
+            | FunKind::Ne
+            | FunKind::Lt
+            | FunKind::Le
+            | FunKind::Gt
+            | FunKind::Ge
+            | FunKind::And
+            | FunKind::Or
+            | FunKind::Not
+            | FunKind::Contains
+            | FunKind::StartsWith
+            | FunKind::EndsWith
+            | FunKind::ItemEbv
+            | FunKind::NodeBefore
+            | FunKind::NodeAfter
+            | FunKind::NodeIs
+    )
+}
+
+/// Fixed selectivity guess per boolean producer kind (smaller = more
+/// selective = applied first).
+fn producer_selectivity(src: &BoolSrc) -> f64 {
+    match src {
+        BoolSrc::Const => 0.5,
+        BoolSrc::Fun(kind) => match kind {
+            FunKind::Eq | FunKind::NodeIs => 0.1,
+            FunKind::And => 0.15,
+            FunKind::Contains | FunKind::StartsWith | FunKind::EndsWith => 0.25,
+            FunKind::Lt | FunKind::Le | FunKind::Gt | FunKind::Ge => 0.3,
+            FunKind::ItemEbv => 0.33,
+            FunKind::NodeBefore | FunKind::NodeAfter => 0.4,
+            FunKind::Or => 0.5,
+            FunKind::Not => 0.7,
+            FunKind::Ne => 0.9,
+            _ => 0.33,
+        },
+    }
+}
+
+/// The `cost-select-order` pass: re-apply stacked σ chains in ascending
+/// selectivity order.
+fn order_selects(
+    dag: &mut Dag,
+    root: OpId,
+    ctx: &CostContext,
+    report: &mut CostReport,
+) -> Result<OpId, OptError> {
+    let topo = dag.topo_order(root);
+    let consumers = consumer_counts(dag, root);
+
+    // Pass A: find chains (head = topmost σ) worth reordering.
+    let mut processed: HashSet<OpId> = HashSet::new();
+    let mut decisions: HashMap<OpId, (OpId, Vec<Col>)> = HashMap::new();
+    for &id in topo.iter().rev() {
+        if processed.contains(&id) {
+            continue;
+        }
+        let Op::Select { input, col } = *dag.op(id) else {
+            continue;
+        };
+        // Collect the chain top-down; interior links must have no other
+        // consumers, or reordering would change what those consumers see.
+        let mut chain = vec![(id, col)];
+        let mut cur = input;
+        while let Op::Select { input, col } = *dag.op(cur) {
+            if consumers.get(&cur).copied().unwrap_or(0) != 1 {
+                break;
+            }
+            chain.push((cur, col));
+            cur = input;
+        }
+        processed.extend(chain.iter().map(|(s, _)| *s));
+        if chain.len() < 2 {
+            continue;
+        }
+        let bottom = cur;
+        // Original application order is bottom-up.
+        chain.reverse();
+        let mut ranked: Vec<(Col, f64)> = Vec::with_capacity(chain.len());
+        let mut all_bool = true;
+        for &(sid, c) in &chain {
+            match bool_producer(dag, bottom, c) {
+                Some(src) => {
+                    let mut sel = producer_selectivity(&src);
+                    if let Some(f) = ctx.perturb {
+                        let f = f.abs().max(1e-6);
+                        sel = if sid.0 % 2 == 0 { sel * f } else { sel / f };
+                    }
+                    ranked.push((c, sel));
+                }
+                None => {
+                    all_bool = false;
+                    break;
+                }
+            }
+        }
+        if !all_bool {
+            continue;
+        }
+        let mut sorted = ranked.clone();
+        sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+        if sorted
+            .iter()
+            .map(|(c, _)| *c)
+            .eq(ranked.iter().map(|(c, _)| *c))
+        {
+            continue;
+        }
+        decisions.insert(id, (bottom, sorted.into_iter().map(|(c, _)| c).collect()));
+    }
+    if decisions.is_empty() {
+        return Ok(root);
+    }
+
+    // Pass B: rebuild bottom-up with reordered chains.
+    let mut memo: HashMap<OpId, OpId> = HashMap::new();
+    for &id in &topo {
+        if let Some((bottom, order)) = decisions.get(&id) {
+            let mut new = memo.get(bottom).copied().unwrap_or(*bottom);
+            for &c in order {
+                new = dag
+                    .try_add(Op::Select { input: new, col: c })
+                    .map_err(|e| opt_err("cost-select-order", id, dag, e.0))?;
+            }
+            report.select_chains += 1;
+            report.trace.push(RuleApplication {
+                round: 1,
+                rule: "cost-select-order",
+                before: id,
+                after: new,
+            });
+            memo.insert(id, new);
+            continue;
+        }
+        let op = dag.op(id).clone();
+        let mapped: Vec<OpId> = op
+            .children()
+            .iter()
+            .map(|c| memo.get(c).copied().unwrap_or(*c))
+            .collect();
+        let new = if mapped == op.children() {
+            id
+        } else {
+            dag.try_add(op.with_children(&mapped))
+                .map_err(|e| opt_err("cost-select-order", id, dag, e.0))?
+        };
+        memo.insert(id, new);
+    }
+    let new_root = memo[&root];
+    dag.validate_plan(new_root)
+        .map_err(|e| opt_err("cost-select-order", new_root, dag, e.0))?;
+    Ok(new_root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exrquy_algebra::AValue;
+
+    fn lit(dag: &mut Dag, col: Col, vals: &[i64]) -> OpId {
+        dag.add(Op::Lit {
+            cols: vec![col],
+            rows: vals.iter().map(|&v| vec![AValue::Int(v)]).collect(),
+        })
+    }
+
+    /// Three-relation chain: big ⨝ big ⨝ tiny, written left-deep with the
+    /// tiny relation last — the cost model should join through the tiny
+    /// side first.
+    fn chain_plan(dag: &mut Dag) -> (OpId, OpId, OpId, OpId) {
+        let a = lit(dag, Col(40), &(0..30).collect::<Vec<_>>());
+        let b = lit(dag, Col(41), &(0..30).map(|v| v % 3).collect::<Vec<_>>());
+        let c = lit(dag, Col(42), &[0, 1]);
+        let ab = dag.add(Op::ThetaJoin {
+            l: a,
+            r: b,
+            pred: vec![(Col(40), FunKind::Ne, Col(41))],
+        });
+        let root = dag.add(Op::EquiJoin {
+            l: ab,
+            r: c,
+            lcol: Col(41),
+            rcol: Col(42),
+        });
+        (a, b, c, root)
+    }
+
+    #[test]
+    fn estimates_cover_every_operator_and_respect_perturbation() {
+        let mut dag = Dag::new();
+        let (a, _, _, root) = chain_plan(&mut dag);
+        let est = estimate_cardinalities(&dag, root, &CostContext::default());
+        for id in dag.topo_order(root) {
+            assert!(est[&id].is_finite() && est[&id] > 0.0, "estimate for {id}");
+        }
+        assert_eq!(est[&a], 30.0);
+        let perturbed = estimate_cardinalities(
+            &dag,
+            root,
+            &CostContext {
+                stats: None,
+                perturb: Some(4.0),
+            },
+        );
+        let expect = if a.0 % 2 == 0 { 120.0 } else { 7.5 };
+        assert_eq!(perturbed[&a], expect);
+        // Determinism: the same context reproduces the same numbers.
+        let again = estimate_cardinalities(&dag, root, &CostContext::default());
+        assert_eq!(est[&root], again[&root]);
+    }
+
+    #[test]
+    fn join_reorder_fires_and_preserves_schema() {
+        let mut dag = Dag::new();
+        let (.., root) = chain_plan(&mut dag);
+        let schema_before: Vec<Col> = dag.schema(root).to_vec();
+        let opts = OptOptions::default();
+        let (new_root, report) =
+            cost_optimize(&mut dag, root, &opts, &CostContext::default()).unwrap();
+        assert_eq!(report.clusters, 1);
+        assert_eq!(report.reordered, 1, "cheap order should win: {report:?}");
+        assert_ne!(new_root, root);
+        assert_eq!(dag.schema(new_root), schema_before.as_slice());
+        dag.validate_plan(new_root).unwrap();
+        // The graft is Project(Sort(...)) over the reordered joins.
+        assert!(matches!(dag.op(new_root), Op::Project { .. }));
+        let Op::Project { input, .. } = dag.op(new_root) else {
+            unreachable!()
+        };
+        assert!(matches!(dag.op(*input), Op::Sort { .. }));
+        assert_eq!(report.trace.len(), 1);
+        assert_eq!(report.trace[0].rule, "cost-join-reorder");
+    }
+
+    #[test]
+    fn join_reorder_respects_gates() {
+        for opts in [
+            OptOptions {
+                cost: false,
+                ..OptOptions::default()
+            },
+            OptOptions::default().without_rule("cost-join-reorder"),
+        ] {
+            let mut dag = Dag::new();
+            let (.., root) = chain_plan(&mut dag);
+            let (new_root, report) =
+                cost_optimize(&mut dag, root, &opts, &CostContext::default()).unwrap();
+            assert_eq!(new_root, root);
+            assert_eq!(report.reordered, 0);
+            assert!(report.trace.is_empty());
+            // Estimates are still available for --explain.
+            assert!(!report.estimates.is_empty());
+        }
+    }
+
+    #[test]
+    fn two_relation_joins_keep_their_canonical_order() {
+        let mut dag = Dag::new();
+        let a = lit(&mut dag, Col(40), &[1, 2, 3]);
+        let b = lit(&mut dag, Col(41), &[1, 2]);
+        let root = dag.add(Op::EquiJoin {
+            l: a,
+            r: b,
+            lcol: Col(40),
+            rcol: Col(41),
+        });
+        let (new_root, report) = cost_optimize(
+            &mut dag,
+            root,
+            &OptOptions::default(),
+            &CostContext::default(),
+        )
+        .unwrap();
+        assert_eq!(new_root, root);
+        assert_eq!(report.reordered, 0);
+    }
+
+    #[test]
+    fn select_chain_reorders_most_selective_first() {
+        let mut dag = Dag::new();
+        let base = lit(&mut dag, Col(40), &[1, 2, 3, 4]);
+        let ne = dag.add(Op::Fun {
+            input: base,
+            new: Col(41),
+            kind: FunKind::Ne,
+            args: vec![Col(40), Col(40)],
+        });
+        let eq = dag.add(Op::Fun {
+            input: ne,
+            new: Col(42),
+            kind: FunKind::Eq,
+            args: vec![Col(40), Col(40)],
+        });
+        // Canonical order applies the weak σ (Ne, sel 0.9) first.
+        let s1 = dag.add(Op::Select {
+            input: eq,
+            col: Col(41),
+        });
+        let s2 = dag.add(Op::Select {
+            input: s1,
+            col: Col(42),
+        });
+        let (new_root, report) = cost_optimize(
+            &mut dag,
+            s2,
+            &OptOptions::default(),
+            &CostContext::default(),
+        )
+        .unwrap();
+        assert_eq!(report.select_chains, 1);
+        assert_ne!(new_root, s2);
+        // New head filters on the Ne column (weakest last).
+        let Op::Select { input, col } = dag.op(new_root) else {
+            panic!("head must stay a σ");
+        };
+        assert_eq!(*col, Col(41));
+        let Op::Select { col, .. } = dag.op(*input) else {
+            panic!("σ chain expected");
+        };
+        assert_eq!(*col, Col(42));
+        assert_eq!(report.trace[0].rule, "cost-select-order");
+    }
+
+    #[test]
+    fn select_chain_without_boolean_proof_is_untouched() {
+        let mut dag = Dag::new();
+        // Columns straight out of a literal: no boolean producer proof.
+        let base = dag.add(Op::Lit {
+            cols: vec![Col(41), Col(42)],
+            rows: vec![vec![AValue::Bool(true), AValue::Bool(false)]],
+        });
+        let s1 = dag.add(Op::Select {
+            input: base,
+            col: Col(41),
+        });
+        let s2 = dag.add(Op::Select {
+            input: s1,
+            col: Col(42),
+        });
+        let (new_root, report) = cost_optimize(
+            &mut dag,
+            s2,
+            &OptOptions::default(),
+            &CostContext::default(),
+        )
+        .unwrap();
+        assert_eq!(new_root, s2);
+        assert_eq!(report.select_chains, 0);
+    }
+
+    #[test]
+    fn shared_interior_joins_are_cluster_leaves() {
+        // The a⨝b result feeds both the outer join and a distinct — it
+        // must not be dissolved (its other consumer still needs it).
+        let mut dag = Dag::new();
+        let a = lit(&mut dag, Col(40), &(0..20).collect::<Vec<_>>());
+        let b = lit(&mut dag, Col(41), &(0..20).collect::<Vec<_>>());
+        let c = lit(&mut dag, Col(42), &[0]);
+        let ab = dag.add(Op::EquiJoin {
+            l: a,
+            r: b,
+            lcol: Col(40),
+            rcol: Col(41),
+        });
+        let outer = dag.add(Op::EquiJoin {
+            l: ab,
+            r: c,
+            lcol: Col(41),
+            rcol: Col(42),
+        });
+        let shared = dag.add(Op::Distinct { input: ab });
+        let shared_p = dag.add(Op::Project {
+            input: shared,
+            cols: vec![(Col(43), Col(40))],
+        });
+        let root = dag.add(Op::Cross {
+            l: outer,
+            r: shared_p,
+        });
+        let (new_root, _) = cost_optimize(
+            &mut dag,
+            root,
+            &OptOptions::default(),
+            &CostContext::default(),
+        )
+        .unwrap();
+        dag.validate_plan(new_root).unwrap();
+        // ab stays reachable whatever happened to the outer cluster.
+        assert!(dag.reachable(new_root).contains(&ab));
+    }
+
+    #[test]
+    fn rank_compensation_elided_under_order_indifferent_aggregate() {
+        // An ungrouped count over the cluster cannot observe row order:
+        // the reorder must fire *without* rank columns or a restore sort.
+        let mut dag = Dag::new();
+        let (.., joins) = chain_plan(&mut dag);
+        let root = dag.add(Op::Aggr {
+            input: joins,
+            kind: AggrKind::Count,
+            new: Col(50),
+            arg: None,
+            part: None,
+        });
+        let (new_root, report) = cost_optimize(
+            &mut dag,
+            root,
+            &OptOptions::default(),
+            &CostContext::default(),
+        )
+        .unwrap();
+        assert_eq!(report.reordered, 1);
+        assert_eq!(report.elided, 1, "count is order-indifferent: {report:?}");
+        dag.validate_plan(new_root).unwrap();
+        let reachable = dag.reachable(new_root);
+        assert!(
+            !reachable
+                .iter()
+                .any(|id| matches!(dag.op(*id), Op::Sort { .. } | Op::RowId { .. })),
+            "elision must drop both the restore sort and the rank columns"
+        );
+    }
+
+    #[test]
+    fn rank_compensation_kept_under_order_sensitive_aggregate() {
+        // Sum accumulates f64 in row order — the analysis must refuse to
+        // elide and keep the byte-identical compensation sort.
+        let mut dag = Dag::new();
+        let (.., joins) = chain_plan(&mut dag);
+        let root = dag.add(Op::Aggr {
+            input: joins,
+            kind: AggrKind::Sum,
+            new: Col(50),
+            arg: Some(Col(42)),
+            part: None,
+        });
+        let (new_root, report) = cost_optimize(
+            &mut dag,
+            root,
+            &OptOptions::default(),
+            &CostContext::default(),
+        )
+        .unwrap();
+        assert_eq!(report.reordered, 1);
+        assert_eq!(report.elided, 0, "sum observes row order: {report:?}");
+        dag.validate_plan(new_root).unwrap();
+        let reachable = dag.reachable(new_root);
+        assert!(
+            reachable
+                .iter()
+                .any(|id| matches!(dag.op(*id), Op::Sort { .. })),
+            "order-sensitive consumer must keep the restore sort"
+        );
+    }
+
+    #[test]
+    fn stats_sharpen_step_estimates() {
+        use exrquy_xml::NameId;
+        let mut stats = CatalogStats {
+            frags: 2,
+            elements: 100,
+            total_nodes: 300,
+            avg_fanout: 3.0,
+            ..CatalogStats::default()
+        };
+        stats.elem_counts.insert(NameId(7), 50);
+        let ctx = CostContext::with_stats(Arc::new(stats));
+        let with = step_estimate(4.0, Axis::Descendant, &NodeTest::Name(NameId(7)), &ctx);
+        assert_eq!(with, 4.0 * 25.0); // 50 elements over 2 fragments
+        let without = step_estimate(
+            4.0,
+            Axis::Descendant,
+            &NodeTest::Name(NameId(7)),
+            &CostContext::default(),
+        );
+        assert_eq!(without, 32.0); // fixed ×8 fallback
+    }
+}

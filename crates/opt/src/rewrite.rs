@@ -28,6 +28,13 @@ pub struct OptOptions {
     /// default — the paper's contribution is purely logical; this is the
     /// orthogonal extension, exercised by the ablation benches.
     pub physical_order: bool,
+    /// Statistics-driven cost-based planning (see [`crate::cost`]): join
+    /// graph isolation + cardinality-estimated join reordering, and
+    /// selectivity-ordered σ chains. Runs as a separate pass after the
+    /// rule rewriter (it needs catalog statistics the rewriter does not
+    /// have); this flag rides the plan-cache fingerprint so costed and
+    /// rule-only plans never alias in the cache.
+    pub cost: bool,
     /// Individually disabled named rules (see [`crate::rules::RULE_NAMES`])
     /// — finer-grained than the pass flags above; a rule fires only when
     /// its pass is enabled *and* its name is not in this set. The
@@ -45,6 +52,7 @@ impl Default for OptOptions {
             weaken_rownum: true,
             merge_steps: true,
             physical_order: false,
+            cost: true,
             disabled_rules: RuleSet::empty(),
             max_rounds: 8,
         }
@@ -59,6 +67,7 @@ impl OptOptions {
             weaken_rownum: false,
             merge_steps: false,
             physical_order: false,
+            cost: false,
             disabled_rules: RuleSet::empty(),
             max_rounds: 1,
         }

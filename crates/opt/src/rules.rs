@@ -42,6 +42,8 @@ pub const RULE_NAMES: &[&str] = &[
     "shard-push-step",
     "shard-push-cross",
     "shard-union-singleton",
+    "cost-join-reorder",
+    "cost-select-order",
 ];
 
 /// A set of named rewrite rules, packed into one word.

@@ -312,6 +312,14 @@ fn emit_op(dag: &Dag, id: OpId, opts: &SqlOptions) -> String {
         Op::Select { input, col } => {
             format!("SELECT * FROM {} WHERE {}", cte_name(*input), ident(*col))
         }
+        Op::Sort { input, keys } => {
+            let order = keys
+                .iter()
+                .map(|k| ident(*k))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("SELECT * FROM {} ORDER BY {order}", cte_name(*input))
+        }
         Op::RowNum {
             input,
             new,

@@ -1,0 +1,400 @@
+//! Costed-vs-uncosted equivalence differential: the acceptance harness
+//! for statistics-driven cost-based planning.
+//!
+//! The cost pass promises that planning is *invisible*: whatever join
+//! order the enumerator picks and however it re-applies a selection
+//! chain, the serialized result must be byte-identical to the rule-only
+//! (`--no-cost`) plan — same items, same order, same rendered text, and
+//! the same error code when a query fails. Unlike the order-indifference
+//! rewrites, the cost pass gets *no* admissible-set freedom: its rank
+//! compensation (`#` per leaf + a trailing `sort`) must restore the
+//! canonical row order exactly. The promise is checked over three
+//! corpora:
+//!
+//! * the full XMark suite (Q1–Q20) over the generated auction document,
+//! * the XMark shard matrix over the split-by-subtree corpus under 1, 2,
+//!   and 8 shards, and
+//! * a stream of fuzz-generated multi-document corpora, each probed with
+//!   a grammar-drawn query *and* authored multi-document join queries
+//!   (three-relation equality/inequality bundles — the shapes the join
+//!   enumerator actually reorders), across shard layouts.
+//!
+//! Every cell runs on both engine paths (vectorized and scalar), each
+//! compared against its own uncosted reference. On top, the
+//! `stats-perturb:<factor>` failpoint arms corrupt every cardinality
+//! estimate by orders of magnitude in both directions: a wrong estimate
+//! may change the chosen plan, but may never change a byte of output —
+//! the differential that separates a cost *model* bug (benign) from a
+//! cost *rewrite* bug (unsound).
+
+use crate::fuzz::{cell_rng, gen_corpus, gen_query_corpus, FuzzProfile};
+use crate::sharded::{split_xmark, XMARK_SHARD_QUERIES};
+use exrquy::diag::Failpoints;
+use exrquy::frontend::pretty;
+use exrquy::{QueryOptions, ResultItem, Session};
+use exrquy_xmark::{generate, query, XmarkConfig, ALL_QUERIES};
+use std::fmt;
+
+/// Parameters for a costed equivalence run.
+#[derive(Debug, Clone)]
+pub struct CostedConfig {
+    /// XMark scale factor (whole document and split corpus).
+    pub scale: f64,
+    /// Generator seed (XMark document and fuzz stream).
+    pub seed: u64,
+    /// Shard layouts the multi-document corpora run under.
+    pub shards: Vec<usize>,
+    /// Fuzz iterations per profile; each draws a fresh corpus, one
+    /// grammar query and [`JOIN_SHAPES`] authored join queries.
+    pub fuzz_iters: usize,
+}
+
+impl Default for CostedConfig {
+    fn default() -> Self {
+        CostedConfig {
+            scale: 0.0025,
+            seed: 42,
+            shards: vec![1, 2, 8],
+            fuzz_iters: 60,
+        }
+    }
+}
+
+/// Outcome of a costed equivalence run.
+#[derive(Debug, Default)]
+pub struct CostedReport {
+    /// (query, layout, path, arm) cells compared against their uncosted
+    /// reference.
+    pub cells: usize,
+    /// Cells where both arms errored with the same code.
+    pub error_cells: usize,
+    /// Distinct queries that went through the comparison.
+    pub queries: usize,
+    /// Authored join queries in the stream (the ISSUE's ≥200 floor).
+    pub join_queries: usize,
+    /// Prepared costed plans whose join enumerator actually rebuilt a
+    /// cluster — the witness that the differential exercises the rewrite
+    /// rather than vacuously comparing identical plans.
+    pub reordered_plans: usize,
+    /// Cells run under a `stats-perturb` arm.
+    pub perturbed_cells: usize,
+    /// Divergence descriptions; empty on success.
+    pub mismatches: Vec<String>,
+}
+
+impl CostedReport {
+    /// Every compared cell byte-identical (or identically erroring)?
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for CostedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "costed equivalence: {} queries ({} joins), {} cells ({} perturbed, \
+             {} error), {} plans reordered, {} mismatch(es)",
+            self.queries,
+            self.join_queries,
+            self.cells,
+            self.perturbed_cells,
+            self.error_cells,
+            self.reordered_plans,
+            self.mismatches.len()
+        )?;
+        for m in &self.mismatches {
+            write!(f, "\n  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Perturbation factors for the corrupted-estimate arms: inflate and
+/// deflate by three orders of magnitude (alternating per operator id —
+/// see the failpoint — so relative costs scramble, not just scale).
+const PERTURB_FACTORS: &[f64] = &[1000.0, 0.001];
+
+/// Authored join shapes per fuzz corpus (see [`join_queries`]).
+pub const JOIN_SHAPES: usize = 2;
+
+/// The full rendered output, order preserved — the byte-identity witness.
+fn rendered(items: &[ResultItem]) -> Vec<String> {
+    items.iter().map(ResultItem::render).collect()
+}
+
+/// `base` with the cost pass switched off — the rule-only reference arm.
+fn uncosted(base: &QueryOptions) -> QueryOptions {
+    let mut o = base.clone();
+    o.opt.cost = false;
+    o
+}
+
+/// `base` with a `stats-perturb` failpoint armed (cost pass on).
+fn perturbed(base: &QueryOptions, factor: f64) -> QueryOptions {
+    base.clone()
+        .with_failpoints(Failpoints::parse(&format!("stats-perturb:{factor}")).unwrap())
+}
+
+/// Authored multi-document join queries over `urls`: three-relation
+/// bundles with equality/inequality predicates — exactly the dissolvable
+/// shapes the enumerator reorders (band joins stay opaque by design, so
+/// the grammar stream covers those). Element names rotate with `i` so
+/// the stream hits populated and empty relations alike.
+pub fn join_queries(urls: &[String], i: usize) -> Vec<String> {
+    const NAMES: &[&str] = &["a", "b", "c", "d"];
+    let n = |k: usize| NAMES[(i + k) % NAMES.len()];
+    let u = |k: usize| &urls[k % urls.len()];
+    vec![
+        // Three documents, two inequality bundles: every pair of rows
+        // with distinct ids matches, so the result is large, the
+        // intermediate orders differ per join order, and the rank
+        // compensation has real work to do.
+        format!(
+            r#"for $x in doc("{}")//{}, $y in doc("{}")//{}, $z in doc("{}")//{}
+               where $x/@id != $y/@id and $y/@id != $z/@id
+               return <j>{{string($x/@id)}}.{{string($y/@id)}}.{{string($z/@id)}}</j>"#,
+            u(0),
+            n(0),
+            u(1),
+            n(1),
+            u(2),
+            n(2)
+        ),
+        // Whole-corpus self equi-join (every node matches itself) plus an
+        // inequality leg — an Eq bundle and a Ne bundle in one cluster,
+        // scanned through the shard fanout.
+        format!(
+            r#"for $x in fn:collection()//{}, $y in fn:collection()//{}, $z in fn:collection()//{}
+               where $x/@id = $y/@id and $y/@id != $z/@id
+               return <j>{{string($x/@id)}}:{{string($z/@id)}}</j>"#,
+            n(0),
+            n(0),
+            n(1)
+        ),
+    ]
+}
+
+/// Build a session over `docs` partitioned into `shards`.
+fn corpus_session(docs: &[(String, String)], shards: usize) -> Session {
+    let mut session = Session::new();
+    session.load_corpus_sharded(docs.iter().map(|(u, x)| (u.as_str(), x.as_str())), shards);
+    session
+}
+
+/// Compare one (query, arm, path) cell: the costed (or perturbed) run
+/// against the uncosted reference on the same session. `Ok(false)`
+/// marks a same-code error cell.
+fn compare_cell(
+    session: &Session,
+    label: &str,
+    q: &str,
+    reference: &QueryOptions,
+    arm: &QueryOptions,
+    arm_name: &str,
+) -> Result<bool, String> {
+    let want = session.query_with(q, reference);
+    let got = session.query_with(q, arm);
+    match (want, got) {
+        (Ok(w), Ok(g)) => {
+            let (w, g) = (rendered(&w.items), rendered(&g.items));
+            if w == g {
+                Ok(true)
+            } else {
+                Err(format!(
+                    "{label} [{arm_name}]: serialization diverged ({} vs {} items{})",
+                    w.len(),
+                    g.len(),
+                    w.iter()
+                        .zip(&g)
+                        .position(|(a, b)| a != b)
+                        .map(|i| format!(", first at index {i}"))
+                        .unwrap_or_default()
+                ))
+            }
+        }
+        (Err(we), Err(ge)) => {
+            if we.code() == ge.code() {
+                Ok(false)
+            } else {
+                Err(format!(
+                    "{label} [{arm_name}]: error codes diverged (uncosted {} vs {})",
+                    we.render_line(),
+                    ge.render_line()
+                ))
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!(
+            "{label} [{arm_name}]: arm errored where uncosted succeeded: {}",
+            e.render_line()
+        )),
+        (Err(e), Ok(_)) => Err(format!(
+            "{label} [{arm_name}]: arm succeeded where uncosted errored: {}",
+            e.render_line()
+        )),
+    }
+}
+
+/// Run one query through every arm on one session: costed vs uncosted on
+/// both engine paths, plus (when `perturb` is set) the corrupted-estimate
+/// arms on the vectorized path.
+fn run_query(
+    report: &mut CostedReport,
+    session: &Session,
+    label: &str,
+    q: &str,
+    base: &QueryOptions,
+    perturb: bool,
+) {
+    for vectorized in [true, false] {
+        let costed = base.clone().with_vectorized(vectorized);
+        let reference = uncosted(&costed);
+        report.cells += 1;
+        match compare_cell(session, label, q, &reference, &costed, "costed") {
+            Ok(true) => {}
+            Ok(false) => report.error_cells += 1,
+            Err(m) => report.mismatches.push(m),
+        }
+        if vectorized {
+            if let Ok(plan) = session.prepare(q, &costed) {
+                if plan.cost_report.reordered > 0 {
+                    report.reordered_plans += 1;
+                }
+            }
+            if perturb {
+                for &factor in PERTURB_FACTORS {
+                    report.cells += 1;
+                    report.perturbed_cells += 1;
+                    let arm = perturbed(&costed, factor);
+                    let name = format!("stats-perturb:{factor}");
+                    match compare_cell(session, label, q, &reference, &arm, &name) {
+                        Ok(true) => {}
+                        Ok(false) => report.error_cells += 1,
+                        Err(m) => report.mismatches.push(m),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the costed equivalence differential over the XMark suite, the
+/// split-corpus shard matrix, and the multi-document fuzz/join stream.
+pub fn run_costed_differential(cfg: &CostedConfig) -> CostedReport {
+    let mut report = CostedReport::default();
+    let base = QueryOptions::order_indifferent();
+
+    // XMark Q1–Q20 over the whole auction document.
+    let xml = generate(&XmarkConfig {
+        scale: cfg.scale,
+        seed: cfg.seed,
+    });
+    let mut session = Session::new();
+    session
+        .load_document("auction.xml", &xml)
+        .expect("XMark generator emitted malformed XML");
+    for qn in 1..=ALL_QUERIES.len() {
+        report.queries += 1;
+        run_query(
+            &mut report,
+            &session,
+            &format!("xmark Q{qn}"),
+            query(qn),
+            &base,
+            // Perturb the join-bearing queries; the rest would only
+            // re-check estimate computation.
+            (8..=12).contains(&qn),
+        );
+    }
+
+    // The shard matrix over the split corpus, every layout.
+    let split = split_xmark(&xml);
+    for &shards in &cfg.shards {
+        let session = corpus_session(&split, shards);
+        for (n, q) in XMARK_SHARD_QUERIES.iter().enumerate() {
+            if shards == cfg.shards[0] {
+                report.queries += 1;
+            }
+            run_query(
+                &mut report,
+                &session,
+                &format!("xmark-shard S{} x{shards}", n + 1),
+                q,
+                &base,
+                false,
+            );
+        }
+    }
+
+    // Fuzz stream: per cell a fresh corpus, one grammar query at the
+    // corpus's own layout, and the authored join queries across every
+    // configured layout (with the corrupted-estimate arms).
+    for i in 0..cfg.fuzz_iters {
+        for profile in [FuzzProfile::Ordered, FuzzProfile::Unordered] {
+            let mut rng = cell_rng(cfg.seed, i, profile);
+            let corpus = gen_corpus(&mut rng);
+            let urls: Vec<String> = corpus.docs.iter().map(|(u, _)| u.clone()).collect();
+            let q = pretty(&gen_query_corpus(&mut rng, profile, &urls));
+            report.queries += 1;
+            run_query(
+                &mut report,
+                &corpus_session(&corpus.docs, corpus.shards),
+                &format!("fuzz iter {i} [{profile}]"),
+                &q,
+                &profile.options(),
+                false,
+            );
+            for (j, jq) in join_queries(&urls, i).iter().enumerate() {
+                report.queries += 1;
+                report.join_queries += 1;
+                for &shards in &cfg.shards {
+                    run_query(
+                        &mut report,
+                        &corpus_session(&corpus.docs, shards),
+                        &format!("join {i}.{j} [{profile}] x{shards}"),
+                        jq,
+                        &profile.options(),
+                        shards == cfg.shards[0],
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_costed_subset_is_byte_identical() {
+        // Full coverage lives in the tier-1 integration test
+        // (`tests/costed_equivalence.rs`); a small subset keeps the unit
+        // tier fast.
+        let cfg = CostedConfig {
+            scale: 0.001,
+            fuzz_iters: 4,
+            ..CostedConfig::default()
+        };
+        let report = run_costed_differential(&cfg);
+        assert!(report.passed(), "{report}");
+        assert!(report.cells > 0 && report.perturbed_cells > 0);
+        assert!(
+            report.reordered_plans > 0,
+            "differential never exercised a join reorder: {report}"
+        );
+    }
+
+    #[test]
+    fn join_stream_shapes_are_well_formed() {
+        let urls = vec!["f0.xml".to_string(), "f1.xml".to_string()];
+        for i in 0..4 {
+            let qs = join_queries(&urls, i);
+            assert_eq!(qs.len(), JOIN_SHAPES);
+            for q in qs {
+                exrquy::frontend::parse_query(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            }
+        }
+    }
+}

@@ -30,6 +30,12 @@
 //!   corpora) partitioned into 1, 2, and 8 shards must serialize
 //!   *byte-identically* per engine path (vectorized and scalar), so
 //!   shard count never leaks into output in any form.
+//! * [`costed`] — the costed-vs-uncosted differential: every plan the
+//!   cost-based join enumerator picks must serialize *byte-identically*
+//!   to the rule-only (`--no-cost`) plan, over XMark Q1–Q20, the shard
+//!   matrix, and a fuzz stream of multi-document join queries — with
+//!   `stats-perturb` arms proving corrupted estimates may change the
+//!   plan but never the output.
 //! * [`fuzz`] — the self-minimizing differential fuzzer (CLI:
 //!   `fuzz-verify`): a grammar-driven generator draws random documents
 //!   and queries per seeded cell and pushes each through the oracle,
@@ -50,6 +56,7 @@
 
 pub mod attribute;
 pub mod concurrency;
+pub mod costed;
 pub mod fuzz;
 pub mod harness;
 pub mod parallel;
@@ -61,6 +68,7 @@ pub mod vectorized;
 
 pub use attribute::{attribute_divergence, Attribution};
 pub use concurrency::{run_concurrent_differential, ConcurrencyConfig, ConcurrencyReport};
+pub use costed::{join_queries, run_costed_differential, CostedConfig, CostedReport};
 pub use fuzz::{
     decode_corpus, encode_corpus, gen_corpus, gen_doc, gen_query, gen_query_corpus, run_fuzz,
     Corpus, Divergence, FuzzConfig, FuzzProfile, FuzzReport,

@@ -1,0 +1,23 @@
+//! Tier-1 acceptance: the costed-vs-uncosted differential at full
+//! breadth — XMark Q1–Q20, the split-corpus shard matrix under 1/2/8
+//! shards, and ≥200 authored multi-document join queries from the fuzz
+//! stream, every cell byte-identical on both engine paths, with the
+//! `stats-perturb` arms proving corrupted estimates never change output.
+
+use exrquy_verify::{run_costed_differential, CostedConfig};
+
+#[test]
+fn costed_plans_serialize_byte_identically() {
+    let report = run_costed_differential(&CostedConfig::default());
+    assert!(report.passed(), "{report}");
+    assert!(
+        report.join_queries >= 200,
+        "join stream too small: {report}"
+    );
+    assert!(
+        report.reordered_plans > 0,
+        "differential never exercised a join reorder: {report}"
+    );
+    assert!(report.perturbed_cells > 0, "{report}");
+    println!("{report}");
+}

@@ -23,6 +23,7 @@
 
 use crate::name::{NameId, NamePool};
 use crate::parse::{parse_document, scan_names, ParseError};
+use crate::stats::{self, CatalogStats};
 use crate::tree::Document;
 use exrquy_diag::ErrorCode;
 use std::collections::HashMap;
@@ -164,6 +165,11 @@ pub struct Catalog {
     /// what makes a shard-major concatenation of per-shard results equal
     /// to global document/collection order.
     shards: Vec<u32>,
+    /// Statistics snapshot for cost-based planning, computed once on
+    /// first use (see [`stats`](Self::stats)). Lives on the catalog so it
+    /// is invalidated by exactly the same executor swap that invalidates
+    /// the plan cache.
+    stats: OnceLock<Arc<CatalogStats>>,
 }
 
 impl Default for Catalog {
@@ -173,6 +179,7 @@ impl Default for Catalog {
             pool: Arc::default(),
             docs: HashMap::new(),
             shards: vec![0, 0],
+            stats: OnceLock::new(),
         }
     }
 }
@@ -359,6 +366,29 @@ impl Catalog {
     pub fn doc_urls(&self) -> impl Iterator<Item = &str> {
         self.docs.keys().map(String::as_str)
     }
+
+    /// Statistics for cost-based planning, frozen per catalog snapshot:
+    /// the first call walks every materialized fragment exactly and
+    /// byte-scan-estimates the still-lazy ones; every later call returns
+    /// the same `Arc`. A fragment materializing *after* the freeze does
+    /// not update the snapshot — estimates only steer plan choice, never
+    /// results, and the next catalog swap recomputes exactly.
+    pub fn stats(&self) -> Arc<CatalogStats> {
+        Arc::clone(self.stats.get_or_init(|| {
+            let per: Vec<stats::FragStats> = self
+                .frags
+                .iter()
+                .map(|slot| match slot.document() {
+                    Some(d) => stats::stats_of_document(d),
+                    None => match slot {
+                        FragSlot::Lazy { xml, .. } => stats::estimate_from_xml(xml, &self.pool),
+                        FragSlot::Loaded(_) => unreachable!("loaded slots have documents"),
+                    },
+                })
+                .collect();
+            Arc::new(stats::aggregate(per, &self.shards))
+        }))
+    }
 }
 
 impl NodeRead for Catalog {
@@ -466,19 +496,66 @@ impl CatalogBuilder {
     }
 
     /// Freeze into an immutable, shareable catalog. Shard boundaries are
-    /// computed here: `k` contiguous near-equal fragment ranges in
-    /// ascending order.
+    /// computed here: `k` contiguous ranges balanced by *node weight*
+    /// (exact node counts for parsed fragments, byte-scan estimates for
+    /// lazy ones), so one fat document no longer lands a whole corpus's
+    /// work on shard 0 the way the old fragment-count split did.
     pub fn build(self) -> Catalog {
-        let n = self.frags.len();
-        let k = self.shards;
-        let shards = (0..=k).map(|i| (i * n / k) as u32).collect();
+        let weights: Vec<u64> = self
+            .frags
+            .iter()
+            .map(|slot| match slot.document() {
+                Some(d) => (d.len() as u64).max(1),
+                None => match slot {
+                    FragSlot::Lazy { xml, .. } => stats::estimate_node_weight(xml),
+                    FragSlot::Loaded(_) => unreachable!("loaded slots have documents"),
+                },
+            })
+            .collect();
+        let shards = balanced_bounds(&weights, self.shards);
         Catalog {
             frags: self.frags,
             pool: Arc::new(self.pool),
             docs: self.docs,
             shards,
+            stats: OnceLock::new(),
         }
     }
+}
+
+/// Shard boundaries balancing cumulative node weight: boundary `i` lands
+/// on the fragment index whose cumulative weight is nearest `i·W/k`,
+/// ties toward the lower index — which reproduces the historical
+/// `⌊i·n/k⌋` fragment-count split on uniform corpora (all the fixed test
+/// layouts), while skewed corpora get genuinely balanced shards.
+fn balanced_bounds(weights: &[u64], k: usize) -> Vec<u32> {
+    let n = weights.len();
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    let mut cum: Vec<u128> = Vec::with_capacity(n + 1);
+    cum.push(0);
+    for &w in weights {
+        cum.push(cum.last().unwrap() + w as u128);
+    }
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0u32);
+    let mut prev = 0usize;
+    for i in 1..k {
+        // Compare k·cum[j] against i·W to stay in integer arithmetic.
+        let target = i as u128 * total;
+        let mut best = prev;
+        let mut best_d = u128::MAX;
+        for (j, &c) in cum.iter().enumerate().skip(prev) {
+            let d = (c * k as u128).abs_diff(target);
+            if d < best_d {
+                best_d = d;
+                best = j;
+            }
+        }
+        prev = best;
+        bounds.push(best as u32);
+    }
+    bounds.push(n as u32);
+    bounds
 }
 
 /// The per-execution overlay: owns every fragment and name one query
@@ -757,6 +834,59 @@ mod tests {
         assert_eq!(cat.shard_of(1), 0);
         assert_eq!(cat.shard_of(2), 1);
         assert_eq!(cat.shard_of(4), 1);
+    }
+
+    #[test]
+    fn shard_bounds_balance_by_node_weight() {
+        // One fat document followed by five tiny ones: the historical
+        // fragment-count split would be [0, 3, 6], leaving ~96% of the
+        // nodes in shard 0. Node-weight balancing isolates the fat
+        // document instead.
+        let big = format!("<r>{}</r>", "<x/>".repeat(100));
+        let mut b = Catalog::builder();
+        b.load_str("big.xml", &big).unwrap();
+        for i in 0..5 {
+            b.load_str(&format!("s{i}.xml"), "<d/>").unwrap();
+        }
+        b.set_shards(2);
+        let cat = b.build();
+        assert_eq!(cat.shard_bounds(), &[0, 1, 6]);
+
+        // Lazy loads balance on byte-scan estimates the same way — no
+        // parse happens at build time.
+        let mut b = Catalog::builder();
+        b.load_str_lazy("big.xml", &big);
+        for i in 0..5 {
+            b.load_str_lazy(&format!("s{i}.xml"), "<d/>");
+        }
+        b.set_shards(2);
+        let cat = b.build();
+        assert_eq!(cat.total_nodes(), 0, "balancing must not parse");
+        assert_eq!(cat.shard_bounds(), &[0, 1, 6]);
+    }
+
+    #[test]
+    fn stats_freeze_per_catalog_snapshot() {
+        let mut b = Catalog::builder();
+        b.load_str_lazy("a.xml", r#"<r><x k="3"/><x k="8"/></r>"#);
+        let cat = b.build();
+        let s1 = cat.stats();
+        assert_eq!(s1.estimated_frags, 1);
+        assert_eq!(s1.frags, 1);
+        let x = cat.pool().lookup("x").unwrap();
+        let k = cat.pool().lookup("k").unwrap();
+        assert_eq!(s1.elem_count(x), 2);
+        assert_eq!(s1.attr_count(k), 2);
+        assert_eq!(s1.int_ranges[&k], (3, 8));
+        // Materializing after the freeze does not mutate the snapshot…
+        cat.materialize_frags(&[0], None).unwrap();
+        assert!(Arc::ptr_eq(&s1, &cat.stats()));
+        // …but the next snapshot (catalog swap) recomputes exactly.
+        let cat2 = cat.to_builder().build();
+        let s2 = cat2.stats();
+        assert_eq!(s2.estimated_frags, 0);
+        assert_eq!(s2.total_nodes, cat2.total_nodes() as u64);
+        assert_eq!(s2.per_shard_nodes.len(), cat2.shard_count());
     }
 
     #[test]

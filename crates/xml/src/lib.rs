@@ -29,6 +29,7 @@ pub mod name;
 pub mod parse;
 pub mod rng;
 pub mod serialize;
+pub mod stats;
 pub mod tree;
 
 pub use axis::{Axis, NodeTest};
@@ -38,4 +39,5 @@ pub use catalog::{
 };
 pub use name::{NameId, NamePool};
 pub use parse::{parse_document, parse_document_with, scan_names, ParseError, DEFAULT_MAX_DEPTH};
+pub use stats::{CatalogStats, FragStats};
 pub use tree::{Document, NodeKind};
